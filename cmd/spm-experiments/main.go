@@ -1,0 +1,49 @@
+// Command spm-experiments regenerates the paper's evaluation artifacts
+// (experiments E1–E20, see DESIGN.md for the index). With no arguments it
+// runs everything; with experiment IDs it runs just those.
+//
+//	spm-experiments            # all experiments
+//	spm-experiments E3 E10     # selected experiments
+//	spm-experiments -list      # list IDs and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spm/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+	if err := run(*list, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "spm-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(list bool, ids []string) error {
+	if list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s (%s)\n", e.ID, e.Title, e.Paper)
+		}
+		return nil
+	}
+	if len(ids) == 0 {
+		return experiments.RunAll(os.Stdout)
+	}
+	for _, id := range ids {
+		e, ok := experiments.Get(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try -list)", id)
+		}
+		fmt.Printf("== %s: %s\n   (%s)\n\n", e.ID, e.Title, e.Paper)
+		if err := e.Run(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}

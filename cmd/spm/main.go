@@ -1,0 +1,301 @@
+// Command spm is the driver for the security-policy-mechanism library: it
+// parses flowchart programs in the DSL, runs them, instruments them with
+// the surveillance or high-water protection mechanisms of Jones & Lipton,
+// certifies them statically, and checks soundness over finite domains.
+//
+// Usage:
+//
+//	spm run       [-trace] file.fc input...
+//	spm instrument [-policy {i,j}] [-variant untimed|timed|highwater] file.fc
+//	spm certify   [-policy {i,j}] file.fc
+//	spm specialize [-policy {i,j}] file.fc
+//	spm check     [-policy {i,j}] [-variant ...] [-domain 0,1,2] [-time] file.fc
+//	spm dot       file.fc
+//
+// Programs use the flowchart DSL (see package spm/internal/flowchart):
+//
+//	program demo
+//	inputs x1 x2
+//	    if x2 == 0 goto A else B
+//	A:  y := x1
+//	    halt
+//	B:  violation "denied"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"spm/internal/core"
+	"spm/internal/flowchart"
+	"spm/internal/lattice"
+	"spm/internal/static"
+	"spm/internal/surveillance"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "spm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return usage()
+	}
+	switch args[0] {
+	case "run":
+		return cmdRun(args[1:])
+	case "instrument":
+		return cmdInstrument(args[1:])
+	case "certify":
+		return cmdCertify(args[1:])
+	case "specialize":
+		return cmdSpecialize(args[1:])
+	case "check":
+		return cmdCheck(args[1:])
+	case "dot":
+		return cmdDot(args[1:])
+	case "help", "-h", "--help":
+		return usage()
+	default:
+		return fmt.Errorf("unknown subcommand %q (try: spm help)", args[0])
+	}
+}
+
+func usage() error {
+	fmt.Fprintln(os.Stderr, `usage:
+  spm run        [-trace] file.fc input...
+  spm instrument [-policy {i,j}] [-variant untimed|timed|highwater] file.fc
+  spm certify    [-policy {i,j}] file.fc
+  spm specialize [-policy {i,j}] file.fc
+  spm check      [-policy {i,j}] [-variant ...] [-domain 0,1,2] [-time] file.fc
+  spm dot        file.fc`)
+	return nil
+}
+
+func loadProgram(path string) (*flowchart.Program, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return flowchart.Parse(string(data))
+}
+
+func parsePolicy(spec string, arity int) (lattice.IndexSet, error) {
+	if spec == "" {
+		return lattice.EmptySet, nil
+	}
+	if spec == "all" {
+		return lattice.AllInputs(arity), nil
+	}
+	return lattice.ParseIndexSet(spec)
+}
+
+func parseVariant(spec string) (surveillance.Variant, error) {
+	switch spec {
+	case "", "untimed":
+		return surveillance.Untimed, nil
+	case "timed":
+		return surveillance.Timed, nil
+	case "highwater", "high-water":
+		return surveillance.Monotone, nil
+	default:
+		return 0, fmt.Errorf("unknown variant %q (want untimed, timed, or highwater)", spec)
+	}
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	trace := fs.Bool("trace", false, "print each executed box")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) < 1 {
+		return fmt.Errorf("run: need a program file")
+	}
+	p, err := loadProgram(rest[0])
+	if err != nil {
+		return err
+	}
+	inputs := make([]int64, 0, len(rest)-1)
+	for _, a := range rest[1:] {
+		v, err := strconv.ParseInt(a, 10, 64)
+		if err != nil {
+			return fmt.Errorf("run: bad input %q: %v", a, err)
+		}
+		inputs = append(inputs, v)
+	}
+	var tracer flowchart.Tracer
+	if *trace {
+		tracer = func(id flowchart.NodeID, n *flowchart.Node, env flowchart.Env) {
+			switch n.Kind {
+			case flowchart.KindAssign:
+				fmt.Printf("  [%3d] %s := %s\n", id, n.Target, n.Expr)
+			case flowchart.KindDecision:
+				fmt.Printf("  [%3d] if %s → %v\n", id, n.Cond, n.Cond.Eval(env))
+			default:
+				fmt.Printf("  [%3d] %s\n", id, n.Kind)
+			}
+		}
+	}
+	res, err := p.RunBudget(inputs, flowchart.DefaultMaxSteps, tracer)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	return nil
+}
+
+func cmdInstrument(args []string) error {
+	fs := flag.NewFlagSet("instrument", flag.ContinueOnError)
+	policy := fs.String("policy", "{}", "allowed input indices, e.g. {1,3} or all")
+	variant := fs.String("variant", "untimed", "untimed, timed, or highwater")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("instrument: need exactly one program file")
+	}
+	p, err := loadProgram(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	allowed, err := parsePolicy(*policy, p.Arity())
+	if err != nil {
+		return err
+	}
+	v, err := parseVariant(*variant)
+	if err != nil {
+		return err
+	}
+	m, err := surveillance.Instrument(p, allowed, v)
+	if err != nil {
+		return err
+	}
+	fmt.Print(flowchart.Print(m))
+	return nil
+}
+
+func cmdCertify(args []string) error {
+	fs := flag.NewFlagSet("certify", flag.ContinueOnError)
+	policy := fs.String("policy", "{}", "allowed input indices")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("certify: need exactly one program file")
+	}
+	p, err := loadProgram(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	allowed, err := parsePolicy(*policy, p.Arity())
+	if err != nil {
+		return err
+	}
+	rep, err := static.Certify(p, allowed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	return nil
+}
+
+func cmdSpecialize(args []string) error {
+	fs := flag.NewFlagSet("specialize", flag.ContinueOnError)
+	policy := fs.String("policy", "{}", "allowed input indices")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("specialize: need exactly one program file")
+	}
+	p, err := loadProgram(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	allowed, err := parsePolicy(*policy, p.Arity())
+	if err != nil {
+		return err
+	}
+	gm, err := static.Specialize(p, allowed, -1)
+	if err != nil {
+		return err
+	}
+	accept, deny := gm.Leaves()
+	fmt.Printf("specialised mechanism (%d accepting, %d denying residuals):\n%s", accept, deny, gm.Describe())
+	return nil
+}
+
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	policy := fs.String("policy", "{}", "allowed input indices")
+	variant := fs.String("variant", "untimed", "untimed, timed, or highwater")
+	domain := fs.String("domain", "0,1,2", "comma-separated values every input ranges over")
+	timed := fs.Bool("time", false, "observe running time as well as the value")
+	raw := fs.Bool("raw", false, "check the bare program instead of instrumenting")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("check: need exactly one program file")
+	}
+	p, err := loadProgram(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	allowed, err := parsePolicy(*policy, p.Arity())
+	if err != nil {
+		return err
+	}
+	var values []int64
+	for _, part := range strings.Split(*domain, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return fmt.Errorf("check: bad domain value %q", part)
+		}
+		values = append(values, v)
+	}
+	var m core.Mechanism
+	if *raw {
+		m = core.FromProgram(p)
+	} else {
+		v, err := parseVariant(*variant)
+		if err != nil {
+			return err
+		}
+		m, err = surveillance.Mechanism(p, allowed, v)
+		if err != nil {
+			return err
+		}
+	}
+	obs := core.ObserveValue
+	if *timed {
+		obs = core.ObserveValueAndTime
+	}
+	pol := core.NewAllowSet(p.Arity(), allowed)
+	rep, err := core.CheckSoundness(m, pol, core.Grid(p.Arity(), values...), obs)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	return nil
+}
+
+func cmdDot(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("dot: need exactly one program file")
+	}
+	p, err := loadProgram(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Print(flowchart.Dot(p))
+	return nil
+}

@@ -1,0 +1,17 @@
+// Package spm reproduces Jones & Lipton, "The Enforcement of Security
+// Policies for Computation" (SOSP 1975; JCSS 17:35–55, 1978), as a Go
+// library: the formal model of security policies, protection mechanisms,
+// soundness and completeness (internal/core); the flowchart language and
+// the surveillance protection mechanism (internal/flowchart,
+// internal/surveillance); the high-water-mark comparison, the program
+// transforms, and static certification (internal/highwater,
+// internal/transform, internal/static); and the paper's worked-example
+// machines — Fenton's data-mark machine, the one-way tape, the paged
+// memory behind the password attack, the logon program, the file system,
+// and the history-dependent statistical database.
+//
+// See DESIGN.md for the system inventory and the experiment index, and
+// EXPERIMENTS.md for the reproduced results. The benchmarks in
+// bench_test.go regenerate one measurement per experiment; the
+// cmd/spm-experiments binary prints the full tables.
+package spm

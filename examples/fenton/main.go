@@ -1,0 +1,49 @@
+// Fenton: the data-mark machine of Example 1 and the halt-semantics trap
+// of Example 6. The machine suppresses updates to low registers under a
+// priv program counter (so the output never encodes priv data), but the
+// "halt as error" interpretation leaks one bit by negative inference —
+// the error message appears exactly when the priv register is zero.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spm/internal/core"
+	"spm/internal/fenton"
+	"spm/internal/lattice"
+)
+
+func main() {
+	leak := fenton.MustAssemble("leak", `
+    brz r1 ZERO      // branch on the priv register r1
+    jmp JOIN
+ZERO: halt           // reached only when r1 == 0, counter still priv
+JOIN: halt           // the join: counter mark discharged here
+`)
+	fmt.Println("the program:")
+	fmt.Print(fenton.Disassemble(leak))
+
+	for _, sem := range []fenton.HaltSemantics{fenton.HaltAsNoop, fenton.HaltAsError} {
+		m, err := fenton.NewMechanism(leak, 1, lattice.EmptySet, sem) // r1 priv
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nunder %s:\n", sem)
+		for _, x := range []int64{0, 1, 2} {
+			o, err := m.Run([]int64{x})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  x=%d → %s\n", x, o)
+		}
+		rep, err := core.CheckSoundness(m, core.NewAllow(1), core.Grid(1, 0, 1, 2), core.ObserveValue)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  sound for allow(): %v\n", rep.Sound)
+	}
+
+	fmt.Println("\nHolmes: \"That was the curious incident\" — the absence of the")
+	fmt.Println("error message tells the user that x ≠ 0.")
+}

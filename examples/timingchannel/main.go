@@ -1,0 +1,68 @@
+// Timingchannel: the Section 2 example behind the observability
+// postulate. A program can compute a constant and still leak its input
+// through running time; the timed surveillance variant M′ (Theorem 3′)
+// closes the channel by halting before any disallowed test.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spm/internal/core"
+	"spm/internal/flowchart"
+	"spm/internal/lattice"
+	"spm/internal/surveillance"
+)
+
+func main() {
+	// Q(x) = 1 for every x — but the loop runs x times.
+	q := flowchart.MustParse(`
+program constant
+inputs x1
+Loop: if x1 == 0 goto Done else Body
+Body: x1 := x1 - 1
+      goto Loop
+Done: y := 1
+      halt
+`)
+	qm := core.FromProgram(q)
+	fmt.Println("the 'constant' program:")
+	for _, x := range []int64{0, 3, 6} {
+		o, err := qm.Run([]int64{x})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  Q(%d) = %d in %d steps\n", x, o.Value, o.Steps)
+	}
+
+	pol := core.NewAllow(1) // allow(): reveal nothing about x
+	dom := core.Grid(1, 0, 1, 2, 3, 4, 5, 6)
+
+	repV, err := core.CheckSoundness(qm, pol, dom, core.ObserveValue)
+	if err != nil {
+		log.Fatal(err)
+	}
+	repT, err := core.CheckSoundness(qm, pol, dom, core.ObserveValueAndTime)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nQ as its own mechanism:")
+	fmt.Println("  value only:  ", repV.Sound, "(constant output)")
+	fmt.Println("  value + time:", repT.Sound, "(steps encode x — the forgotten observable)")
+
+	// M′ halts at the first disallowed test, in time independent of x.
+	mp := surveillance.MustMechanism(q, lattice.EmptySet, surveillance.Timed)
+	fmt.Println("\ntimed surveillance M′:")
+	for _, x := range []int64{0, 3, 6} {
+		o, err := mp.Run([]int64{x})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  M′(%d) = %s in %d steps\n", x, o, o.Steps)
+	}
+	repMp, err := core.CheckSoundness(mp, pol, dom, core.ObserveValueAndTime)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n" + repMp.String())
+}

@@ -1,0 +1,223 @@
+// Package accesscontrol reproduces Example 6 of Jones & Lipton: the
+// distinction between *access control* policies and *information control*
+// policies. "Enforcing an access control policy that specifies that the
+// operation READFILE(A) cannot be performed is not the same as ensuring
+// that information about A is not extracted. The operating system may have
+// a sequence of operations excluding READFILE(A) that has the same effect
+// as READFILE(A)."
+//
+// The model is a minimal file store whose k files are initialised from the
+// mechanism's k inputs, driven by a script of operations — COPY(src, dst)
+// and READ(f) — standing in for an operating system's file API. Two
+// reference monitors guard the same script:
+//
+//   - AccessControl forbids the *operation* READ(f) for protected files f.
+//     It is exactly the policy Example 6 warns about: a script that copies
+//     a protected file somewhere readable extracts the information without
+//     ever issuing a forbidden operation.
+//   - FlowControl tracks, per file, the set of original files whose
+//     information it may contain (the surveillance idea transplanted to
+//     the file system), and forbids a READ whose result would carry
+//     protected information however it got there.
+//
+// Against the information policy allow(unprotected), FlowControl is sound
+// and AccessControl is not — the package's tests and experiment E19 verify
+// both directions, including that the two monitors coincide on scripts
+// with no copying.
+package accesscontrol
+
+import (
+	"fmt"
+	"strings"
+
+	"spm/internal/core"
+	"spm/internal/lattice"
+)
+
+// OpKind is a file-system operation kind.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	// OpCopy copies Src's contents to Dst.
+	OpCopy OpKind = iota
+	// OpRead outputs Src's contents and ends the script.
+	OpRead
+)
+
+// Op is one scripted operation. File indices are 1-based, matching the
+// input positions.
+type Op struct {
+	Kind OpKind
+	Src  int
+	Dst  int // OpCopy only
+}
+
+// String renders the op in the paper's style.
+func (o Op) String() string {
+	switch o.Kind {
+	case OpCopy:
+		return fmt.Sprintf("COPYFILE(%d→%d)", o.Src, o.Dst)
+	case OpRead:
+		return fmt.Sprintf("READFILE(%d)", o.Src)
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o.Kind))
+	}
+}
+
+// Copy builds a COPYFILE op.
+func Copy(src, dst int) Op { return Op{Kind: OpCopy, Src: src, Dst: dst} }
+
+// Read builds a READFILE op.
+func Read(src int) Op { return Op{Kind: OpRead, Src: src} }
+
+// Script is a sequence of operations ending in a READ; it denotes a
+// program Q : file contents → read value.
+type Script struct {
+	Name string
+	K    int // number of files = mechanism arity
+	Ops  []Op
+}
+
+// NewScript validates and builds a script.
+func NewScript(name string, k int, ops ...Op) (*Script, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("accesscontrol: need at least one file")
+	}
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("accesscontrol: empty script")
+	}
+	for i, op := range ops {
+		if op.Src < 1 || op.Src > k {
+			return nil, fmt.Errorf("accesscontrol: op %d: source file %d out of range", i, op.Src)
+		}
+		if op.Kind == OpCopy && (op.Dst < 1 || op.Dst > k) {
+			return nil, fmt.Errorf("accesscontrol: op %d: destination file %d out of range", i, op.Dst)
+		}
+		if op.Kind == OpRead && i != len(ops)-1 {
+			return nil, fmt.Errorf("accesscontrol: READ must be the final operation (op %d)", i)
+		}
+	}
+	if ops[len(ops)-1].Kind != OpRead {
+		return nil, fmt.Errorf("accesscontrol: script must end in READ")
+	}
+	return &Script{Name: name, K: k, Ops: ops}, nil
+}
+
+// MustScript is NewScript but panics on error.
+func MustScript(name string, k int, ops ...Op) *Script {
+	s, err := NewScript(name, k, ops...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// String renders the script.
+func (s *Script) String() string {
+	parts := make([]string, len(s.Ops))
+	for i, op := range s.Ops {
+		parts[i] = op.String()
+	}
+	return strings.Join(parts, "; ")
+}
+
+// Monitor selects the reference monitor guarding the script.
+type Monitor uint8
+
+// Monitors.
+const (
+	// NoMonitor runs the script unguarded: the bare program Q.
+	NoMonitor Monitor = iota
+	// AccessControl forbids READ of protected files (the operation, not
+	// the information).
+	AccessControl
+	// FlowControl forbids READs whose result would carry protected
+	// information, tracking flows through copies.
+	FlowControl
+)
+
+// String names the monitor.
+func (m Monitor) String() string {
+	switch m {
+	case AccessControl:
+		return "access-control"
+	case FlowControl:
+		return "flow-control"
+	default:
+		return "unguarded"
+	}
+}
+
+// Notices issued by the monitors.
+const (
+	NoticeAccessDenied = "READFILE operation denied by access control"
+	NoticeFlowDenied   = "read value would carry protected information"
+)
+
+// Mechanism wraps a script under a monitor as a core.Mechanism. Protected
+// names the files whose information is to be denied; the corresponding
+// information policy is allow({1..k} \ Protected).
+type Mechanism struct {
+	S         *Script
+	Protected lattice.IndexSet
+	M         Monitor
+}
+
+// NewMechanism validates the protected set against the script.
+func NewMechanism(s *Script, protected lattice.IndexSet, m Monitor) (*Mechanism, error) {
+	if !protected.SubsetOf(lattice.AllInputs(s.K)) {
+		return nil, fmt.Errorf("accesscontrol: protected%v exceeds %d files", protected, s.K)
+	}
+	return &Mechanism{S: s, Protected: protected, M: m}, nil
+}
+
+// Name implements core.Mechanism.
+func (m *Mechanism) Name() string {
+	return fmt.Sprintf("%s[%s,protect%v]", m.S.Name, m.M, m.Protected)
+}
+
+// Arity implements core.Mechanism.
+func (m *Mechanism) Arity() int { return m.S.K }
+
+// Policy returns the information policy the monitors are trying to
+// enforce: allow everything except the protected files.
+func (m *Mechanism) Policy() core.Policy {
+	return core.NewAllowSet(m.S.K, lattice.AllInputs(m.S.K).Minus(m.Protected))
+}
+
+// Run implements core.Mechanism: the script executes over files loaded
+// from the inputs; each operation costs one step.
+func (m *Mechanism) Run(input []int64) (core.Outcome, error) {
+	if len(input) != m.S.K {
+		return core.Outcome{}, fmt.Errorf("accesscontrol: %q: got %d inputs, want %d", m.Name(), len(input), m.S.K)
+	}
+	contents := make([]int64, m.S.K+1) // 1-based
+	taint := make([]lattice.IndexSet, m.S.K+1)
+	for i := 0; i < m.S.K; i++ {
+		contents[i+1] = input[i]
+		taint[i+1] = lattice.NewIndexSet(i + 1)
+	}
+	var steps int64
+	for _, op := range m.S.Ops {
+		steps++
+		switch op.Kind {
+		case OpCopy:
+			contents[op.Dst] = contents[op.Src]
+			taint[op.Dst] = taint[op.Src]
+		case OpRead:
+			switch m.M {
+			case AccessControl:
+				if m.Protected.Contains(op.Src) {
+					return core.Outcome{Violation: true, Notice: NoticeAccessDenied, Steps: steps}, nil
+				}
+			case FlowControl:
+				if !taint[op.Src].Intersect(m.Protected).IsEmpty() {
+					return core.Outcome{Violation: true, Notice: NoticeFlowDenied, Steps: steps}, nil
+				}
+			}
+			return core.Outcome{Value: contents[op.Src], Steps: steps}, nil
+		}
+	}
+	return core.Outcome{}, fmt.Errorf("accesscontrol: script %q did not end in READ", m.S.Name)
+}

@@ -1,0 +1,233 @@
+package accesscontrol
+
+import (
+	"strings"
+	"testing"
+
+	"spm/internal/core"
+	"spm/internal/lattice"
+)
+
+// laundered is Example 6's counterexample script: copy the protected file
+// 1 into file 2, then read file 2 — no READFILE(1) ever happens.
+func laundered() *Script {
+	return MustScript("laundered", 2, Copy(1, 2), Read(2))
+}
+
+// direct reads the protected file outright.
+func direct() *Script {
+	return MustScript("direct", 2, Read(1))
+}
+
+// clean never touches file 1's information.
+func clean() *Script {
+	return MustScript("clean", 2, Read(2))
+}
+
+func protect1() lattice.IndexSet { return lattice.NewIndexSet(1) }
+
+func dom2() core.Domain { return core.Grid(2, 0, 1, 2) }
+
+func TestScriptValidation(t *testing.T) {
+	if _, err := NewScript("x", 0, Read(1)); err == nil {
+		t.Error("zero files accepted")
+	}
+	if _, err := NewScript("x", 2); err == nil {
+		t.Error("empty script accepted")
+	}
+	if _, err := NewScript("x", 2, Read(3)); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	if _, err := NewScript("x", 2, Copy(1, 5), Read(1)); err == nil {
+		t.Error("out-of-range destination accepted")
+	}
+	if _, err := NewScript("x", 2, Copy(1, 2)); err == nil {
+		t.Error("script without READ accepted")
+	}
+	if _, err := NewScript("x", 2, Read(1), Copy(1, 2), Read(2)); err == nil {
+		t.Error("non-final READ accepted")
+	}
+}
+
+func TestAccessControlBlocksDirectRead(t *testing.T) {
+	m, err := NewMechanism(direct(), protect1(), AccessControl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := m.Run([]int64{7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Violation || o.Notice != NoticeAccessDenied {
+		t.Errorf("direct read under access control = %v", o)
+	}
+}
+
+func TestExample6Laundering(t *testing.T) {
+	// Access control happily permits the laundered read — and thereby
+	// hands over file 1's contents.
+	ac, err := NewMechanism(laundered(), protect1(), AccessControl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := ac.Run([]int64{7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Violation || o.Value != 7 {
+		t.Errorf("laundered read under access control = %v, want the protected 7", o)
+	}
+	// Flow control follows the information, not the operation name.
+	fc, err := NewMechanism(laundered(), protect1(), FlowControl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err = fc.Run([]int64{7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Violation || o.Notice != NoticeFlowDenied {
+		t.Errorf("laundered read under flow control = %v, want Λ", o)
+	}
+}
+
+func TestSoundnessVerdicts(t *testing.T) {
+	// Against the information policy allow(2): flow control is sound on
+	// the laundering script, access control is not.
+	for _, tc := range []struct {
+		mon   Monitor
+		sound bool
+	}{
+		{NoMonitor, false},
+		{AccessControl, false},
+		{FlowControl, true},
+	} {
+		m, err := NewMechanism(laundered(), protect1(), tc.mon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := core.CheckSoundness(m, m.Policy(), dom2(), core.ObserveValue)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Sound != tc.sound {
+			t.Errorf("%s: sound=%v, want %v (%s)", tc.mon, rep.Sound, tc.sound, rep)
+		}
+	}
+}
+
+func TestMonitorsAgreeWithoutCopying(t *testing.T) {
+	// On copy-free scripts the two monitors coincide.
+	for _, s := range []*Script{direct(), clean()} {
+		ac, err := NewMechanism(s, protect1(), AccessControl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fc, err := NewMechanism(s, protect1(), FlowControl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = dom2().Enumerate(func(in []int64) error {
+			oa, err := ac.Run(in)
+			if err != nil {
+				return err
+			}
+			of, err := fc.Run(in)
+			if err != nil {
+				return err
+			}
+			if oa.Violation != of.Violation || (!oa.Violation && oa.Value != of.Value) {
+				t.Errorf("%s: monitors disagree on %v: %v vs %v", s.Name, in, oa, of)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCleanScriptPassesBoth(t *testing.T) {
+	for _, mon := range []Monitor{AccessControl, FlowControl} {
+		m, err := NewMechanism(clean(), protect1(), mon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err := m.Run([]int64{7, 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Violation || o.Value != 9 {
+			t.Errorf("%s on clean script = %v, want 9", mon, o)
+		}
+		rep, err := core.CheckSoundness(m, m.Policy(), dom2(), core.ObserveValue)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Sound {
+			t.Errorf("%s on clean script unsound: %s", mon, rep)
+		}
+	}
+}
+
+func TestMultiHopLaundering(t *testing.T) {
+	// Two hops: 1 → 2 → 3; flow control still traces it.
+	s := MustScript("twohop", 3, Copy(1, 2), Copy(2, 3), Read(3))
+	fc, err := NewMechanism(s, protect1(), FlowControl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := fc.Run([]int64{7, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Violation {
+		t.Errorf("two-hop laundering not caught: %v", o)
+	}
+	// Overwriting the copy clears the flow (forgetting, as in
+	// surveillance): 1 → 2, then 3 → 2, read 2 is fine.
+	s2 := MustScript("overwrite", 3, Copy(1, 2), Copy(3, 2), Read(2))
+	fc2, err := NewMechanism(s2, protect1(), FlowControl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err = fc2.Run([]int64{7, 0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Violation || o.Value != 4 {
+		t.Errorf("overwritten copy should read clean: %v", o)
+	}
+	rep, err := core.CheckSoundness(fc2, fc2.Policy(), core.Grid(3, 0, 1), core.ObserveValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Sound {
+		t.Errorf("overwrite script unsound: %s", rep)
+	}
+}
+
+func TestMechanismErrors(t *testing.T) {
+	if _, err := NewMechanism(direct(), lattice.NewIndexSet(5), FlowControl); err == nil {
+		t.Error("protected set beyond files accepted")
+	}
+	m, err := NewMechanism(direct(), protect1(), FlowControl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run([]int64{1}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if !strings.Contains(m.Name(), "flow-control") {
+		t.Errorf("Name = %q", m.Name())
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if got := laundered().String(); !strings.Contains(got, "COPYFILE(1→2)") || !strings.Contains(got, "READFILE(2)") {
+		t.Errorf("script String = %q", got)
+	}
+	if NoMonitor.String() != "unguarded" {
+		t.Error("monitor names")
+	}
+}

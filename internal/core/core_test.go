@@ -1,0 +1,501 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"spm/internal/flowchart"
+	"spm/internal/lattice"
+)
+
+// ident2 is Q(x1,x2) = x2 as a mechanism.
+func ident2() Mechanism {
+	return NewFunc("Q:x2", 2, func(in []int64) Outcome {
+		return Outcome{Value: in[1], Steps: 1}
+	})
+}
+
+// const2 is Q(x1,x2) = 7.
+func const2() Mechanism {
+	return NewFunc("Q:7", 2, func(in []int64) Outcome {
+		return Outcome{Value: 7, Steps: 1}
+	})
+}
+
+func smallDom() Domain { return Grid(2, 0, 1, 2) }
+
+func TestNullSoundForEveryPolicy(t *testing.T) {
+	// Example 3: the mechanism that always outputs Λ is sound for any
+	// security policy.
+	null := NewNull(2)
+	for _, set := range lattice.Subsets(2) {
+		pol := NewAllowSet(2, set)
+		rep, err := CheckSoundness(null, pol, smallDom(), ObserveValue)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Sound {
+			t.Errorf("null mechanism unsound for %s: %s", pol.Name(), rep)
+		}
+	}
+}
+
+func TestProgramAsOwnMechanism(t *testing.T) {
+	// Example 3 continued: a program as its own protection mechanism may
+	// or may not be sound.
+	q := ident2()
+	// Unsound for allow(1): the output is exactly the disallowed input.
+	rep, err := CheckSoundness(q, NewAllow(2, 1), smallDom(), ObserveValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sound {
+		t.Error("Q(x1,x2)=x2 should be unsound for allow(1)")
+	}
+	if rep.WitnessA == nil || rep.WitnessB == nil {
+		t.Error("unsound report should carry witnesses")
+	}
+	if !strings.Contains(rep.String(), "UNSOUND") {
+		t.Errorf("report string: %s", rep)
+	}
+	// Sound for allow(2) and allow(1,2).
+	for _, pol := range []Policy{NewAllow(2, 2), NewAllow(2, 1, 2)} {
+		rep, err := CheckSoundness(q, pol, smallDom(), ObserveValue)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Sound {
+			t.Errorf("Q(x1,x2)=x2 should be sound for %s: %s", pol.Name(), rep)
+		}
+	}
+	// A constant program is sound even for allow().
+	rep, err = CheckSoundness(const2(), NewAllow(2), smallDom(), ObserveValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Sound {
+		t.Errorf("constant program should be sound for allow(): %s", rep)
+	}
+}
+
+func TestSoundnessUnderTimeObservation(t *testing.T) {
+	// The Section 2 timing program: value constant, steps encode x1.
+	q := NewFunc("timed", 1, func(in []int64) Outcome {
+		return Outcome{Value: 1, Steps: 3 + 2*abs(in[0])}
+	})
+	dom := Grid(1, 0, 1, 2, 3)
+	pol := NewAllow(1)
+	repValue, err := CheckSoundness(q, pol, dom, ObserveValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !repValue.Sound {
+		t.Error("constant value should be sound when time is unobservable")
+	}
+	repTime, err := CheckSoundness(q, pol, dom, ObserveValueAndTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repTime.Sound {
+		t.Error("running time leaks x; mechanism must be unsound under value+time")
+	}
+}
+
+func TestLeakyViolationNoticesAreUnsound(t *testing.T) {
+	// Example 4 (Denning, Rotenberg): a mechanism whose notice text
+	// depends on disallowed data is unsound under the strict observation,
+	// but looks sound if the user cannot read notice texts.
+	m := NewFunc("leaky-notices", 1, func(in []int64) Outcome {
+		if in[0] == 0 {
+			return Outcome{Violation: true, Notice: "zero", Steps: 1}
+		}
+		return Outcome{Violation: true, Notice: "nonzero", Steps: 1}
+	})
+	pol := NewAllow(1)
+	dom := Grid(1, 0, 1, 2)
+	rep, err := CheckSoundness(m, pol, dom, ObserveValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sound {
+		t.Error("distinct notices must make the mechanism unsound")
+	}
+	repCoarse, err := CheckSoundness(m, pol, dom, CoarseNotices(ObserveValue))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !repCoarse.Sound {
+		t.Error("under coarse notices the mechanism should appear sound")
+	}
+}
+
+func TestCoarseNoticesKeepsTime(t *testing.T) {
+	m := NewFunc("timed-notice", 1, func(in []int64) Outcome {
+		return Outcome{Violation: true, Notice: "x", Steps: in[0]}
+	})
+	rep, err := CheckSoundness(m, NewAllow(1), Grid(1, 1, 2), CoarseNotices(ObserveValueAndTime))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sound {
+		t.Error("coarse value+time observation must still see notice timing")
+	}
+}
+
+func TestUnionTheorem(t *testing.T) {
+	// Theorem 1. Build two sound mechanisms for Q(x1,x2)=x2 and
+	// I=allow(2) that pass on different inputs.
+	q := ident2()
+	mA := NewFunc("passes-when-x2-even", 2, func(in []int64) Outcome {
+		if in[1]%2 == 0 {
+			return Outcome{Value: in[1], Steps: 1}
+		}
+		return Outcome{Violation: true, Notice: "A", Steps: 1}
+	})
+	mB := NewFunc("passes-when-x2-small", 2, func(in []int64) Outcome {
+		if in[1] < 2 {
+			return Outcome{Value: in[1], Steps: 1}
+		}
+		return Outcome{Violation: true, Notice: "B", Steps: 1}
+	})
+	pol := NewAllow(2, 2)
+	dom := smallDom()
+	u := MustUnion("A∨B", mA, mB)
+
+	for _, m := range []Mechanism{mA, mB, u} {
+		rep, err := CheckSoundness(m, pol, dom, CoarseNotices(ObserveValue))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Sound {
+			t.Errorf("%s should be sound: %s", m.Name(), rep)
+		}
+		ok, w, err := VerifyMechanism(m, q, dom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("%s violates the mechanism property at %v", m.Name(), w)
+		}
+	}
+	// Union at least as complete as each member, strictly here.
+	for _, m := range []Mechanism{mA, mB} {
+		rep, err := Compare(u, m, dom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Relation != MoreComplete {
+			t.Errorf("union vs %s: %s, want more complete", m.Name(), rep)
+		}
+	}
+	// Union picks the first member's notice when all fail: x2=3 fails both.
+	dom3 := Domain{{0}, {3}}
+	var got Outcome
+	err := dom3.Enumerate(func(in []int64) error {
+		o, err := u.Run(in)
+		got = o
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Violation || got.Notice != "A" {
+		t.Errorf("union failure outcome = %v, want first member's notice A", got)
+	}
+}
+
+func TestUnionErrors(t *testing.T) {
+	if _, err := Union("empty"); err == nil {
+		t.Error("union of zero mechanisms accepted")
+	}
+	if _, err := Union("mismatch", NewNull(1), NewNull(2)); err == nil {
+		t.Error("union with arity mismatch accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustUnion did not panic")
+		}
+	}()
+	MustUnion("boom")
+}
+
+func TestCompareRelations(t *testing.T) {
+	dom := Grid(1, 0, 1, 2, 3)
+	pass := func(name string, f func(int64) bool) Mechanism {
+		return NewFunc(name, 1, func(in []int64) Outcome {
+			if f(in[0]) {
+				return Outcome{Value: 1, Steps: 1}
+			}
+			return Outcome{Violation: true, Steps: 1}
+		})
+	}
+	all := pass("all", func(int64) bool { return true })
+	even := pass("even", func(v int64) bool { return v%2 == 0 })
+	odd := pass("odd", func(v int64) bool { return v%2 == 1 })
+	even2 := pass("even2", func(v int64) bool { return v%2 == 0 })
+
+	cases := []struct {
+		a, b Mechanism
+		want Relation
+	}{
+		{all, even, MoreComplete},
+		{even, all, LessComplete},
+		{even, even2, Equal},
+		{even, odd, Incomparable},
+	}
+	for _, tc := range cases {
+		rep, err := Compare(tc.a, tc.b, dom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Relation != tc.want {
+			t.Errorf("Compare(%s,%s) = %s, want %s", tc.a.Name(), tc.b.Name(), rep.Relation, tc.want)
+		}
+	}
+	// Report counters.
+	rep, _ := Compare(all, even, dom)
+	if rep.PassM1 != 4 || rep.PassM2 != 2 || rep.Checked != 4 {
+		t.Errorf("counters: %+v", rep)
+	}
+	if rep.OnlyM1 == nil || rep.OnlyM2 != nil {
+		t.Errorf("witnesses: %+v", rep)
+	}
+	if !strings.Contains(rep.String(), ">") {
+		t.Errorf("String() = %s", rep.String())
+	}
+}
+
+func TestVerifyMechanismCatchesLiars(t *testing.T) {
+	q := ident2()
+	liar := NewFunc("liar", 2, func(in []int64) Outcome {
+		return Outcome{Value: in[1] + 1, Steps: 1} // not Q(a), not a notice
+	})
+	ok, w, err := VerifyMechanism(liar, q, smallDom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || w == nil {
+		t.Error("liar mechanism must fail VerifyMechanism with a witness")
+	}
+}
+
+func TestMeasureLeak(t *testing.T) {
+	// The logon shape: Q(secret, guess) = [secret == guess]. Policy
+	// allows only the guess. Each query leaks at most 1 bit.
+	q := NewFunc("eq", 2, func(in []int64) Outcome {
+		if in[0] == in[1] {
+			return Outcome{Value: 1, Steps: 1}
+		}
+		return Outcome{Value: 0, Steps: 1}
+	})
+	pol := NewAllow(2, 2)
+	dom := Grid(2, 0, 1, 2, 3)
+	rep, err := MeasureLeak(q, pol, dom, ObserveValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxOutcomes != 2 {
+		t.Errorf("MaxOutcomes = %d, want 2", rep.MaxOutcomes)
+	}
+	if rep.Bits != 1 {
+		t.Errorf("Bits = %v, want 1", rep.Bits)
+	}
+	if rep.Classes != 4 {
+		t.Errorf("Classes = %d, want 4", rep.Classes)
+	}
+	// A sound mechanism leaks zero bits.
+	repNull, err := MeasureLeak(NewNull(2), pol, dom, ObserveValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repNull.Bits != 0 || repNull.MaxOutcomes != 1 {
+		t.Errorf("null leak = %+v", repNull)
+	}
+	if !strings.Contains(rep.String(), "bits/query") {
+		t.Errorf("String() = %s", rep.String())
+	}
+}
+
+func TestProgramMechanismAdapter(t *testing.T) {
+	p := flowchart.MustParse("program add1\ninputs x\n y := x + 1\n halt\n")
+	m := FromProgram(p)
+	if m.Name() != "add1" || m.Arity() != 1 {
+		t.Error("adapter metadata wrong")
+	}
+	o, err := m.Run([]int64{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Value != 5 || o.Violation {
+		t.Errorf("Run = %v", o)
+	}
+	if _, err := m.Run([]int64{1, 2}); err == nil {
+		t.Error("arity error not propagated")
+	}
+}
+
+func TestAllowPolicy(t *testing.T) {
+	pol := NewAllow(3, 1, 3)
+	if pol.Name() != "allow(1,3)" {
+		t.Errorf("Name = %q", pol.Name())
+	}
+	if pol.Arity() != 3 {
+		t.Error("arity")
+	}
+	a := pol.View([]int64{10, 20, 30})
+	b := pol.View([]int64{10, 99, 30})
+	c := pol.View([]int64{11, 20, 30})
+	if a != b {
+		t.Error("views differing only on disallowed input must match")
+	}
+	if a == c {
+		t.Error("views differing on allowed input must differ")
+	}
+	// View must not confuse (1, 23) with (12, 3).
+	p2 := NewAllow(2, 1, 2)
+	if p2.View([]int64{1, 23}) == p2.View([]int64{12, 3}) {
+		t.Error("view encoding is ambiguous")
+	}
+}
+
+func TestAllowPanicsOutOfArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewAllow(1, 2) did not panic")
+		}
+	}()
+	NewAllow(1, 2)
+}
+
+func TestContentPolicy(t *testing.T) {
+	// Example 2 shape: file visible only when its directory says YES (1).
+	pol := NewContent("dir-gated", 2, func(in []int64) string {
+		if in[0] == 1 {
+			return FormatInputs(in)
+		}
+		return FormatInputs([]int64{in[0], 0})
+	})
+	if pol.Name() != "dir-gated" || pol.Arity() != 2 {
+		t.Error("metadata")
+	}
+	if pol.View([]int64{0, 5}) != pol.View([]int64{0, 9}) {
+		t.Error("file hidden when directory says NO")
+	}
+	if pol.View([]int64{1, 5}) == pol.View([]int64{1, 9}) {
+		t.Error("file visible when directory says YES")
+	}
+}
+
+func TestIntegrityPolicy(t *testing.T) {
+	pol := NewIntegrity(2, 1)
+	if pol.Name() != "integrity(1)" {
+		t.Errorf("Name = %q", pol.Name())
+	}
+	// Q copies the untrusted input: unsound for integrity(1).
+	q := ident2()
+	rep, err := CheckSoundness(q, pol, smallDom(), ObserveValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sound {
+		t.Error("output influenced by untrusted input must be unsound")
+	}
+}
+
+func TestDomainEnumerate(t *testing.T) {
+	d := Domain{{1, 2}, {10, 20, 30}}
+	if d.Size() != 6 {
+		t.Errorf("Size = %d", d.Size())
+	}
+	var count int
+	var first, last []int64
+	err := d.Enumerate(func(in []int64) error {
+		if count == 0 {
+			first = append([]int64(nil), in...)
+		}
+		last = append(last[:0], in...)
+		count++
+		return nil
+	})
+	if err != nil || count != 6 {
+		t.Fatalf("count = %d, err = %v", count, err)
+	}
+	if first[0] != 1 || first[1] != 10 || last[0] != 2 || last[1] != 30 {
+		t.Errorf("order: first %v last %v", first, last)
+	}
+	// Zero-arity domain enumerates the single empty tuple.
+	var zero int
+	if err := (Domain{}).Enumerate(func(in []int64) error { zero++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if zero != 1 {
+		t.Errorf("zero-arity count = %d", zero)
+	}
+	// Empty value list short-circuits.
+	var none int
+	if err := (Domain{{}}).Enumerate(func(in []int64) error { none++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if none != 0 {
+		t.Errorf("empty product count = %d", none)
+	}
+}
+
+func TestRangeHelper(t *testing.T) {
+	vs := Range(-1, 2)
+	if len(vs) != 4 || vs[0] != -1 || vs[3] != 2 {
+		t.Errorf("Range = %v", vs)
+	}
+	if Range(3, 2) != nil {
+		t.Error("empty range should be nil")
+	}
+}
+
+func TestConstantMechanism(t *testing.T) {
+	c := &Constant{MechName: "const", K: 2, V: 9}
+	o, err := c.Run([]int64{1, 2})
+	if err != nil || o.Value != 9 || o.Violation {
+		t.Errorf("constant = %v, %v", o, err)
+	}
+	rep, err := CheckSoundness(c, NewAllow(2), smallDom(), ObserveValueAndTime)
+	if err != nil || !rep.Sound {
+		t.Errorf("constant must be sound for allow() even with time: %v %v", rep, err)
+	}
+}
+
+func TestArityMismatchErrors(t *testing.T) {
+	if _, err := CheckSoundness(NewNull(2), NewAllow(1), Grid(2, 0), ObserveValue); err == nil {
+		t.Error("CheckSoundness arity mismatch not reported")
+	}
+	if _, _, err := VerifyMechanism(NewNull(1), NewNull(2), Grid(1, 0)); err == nil {
+		t.Error("VerifyMechanism arity mismatch not reported")
+	}
+	if _, err := Compare(NewNull(1), NewNull(2), Grid(1, 0)); err == nil {
+		t.Error("Compare arity mismatch not reported")
+	}
+	if _, err := MeasureLeak(NewNull(2), NewAllow(1), Grid(2, 0), ObserveValue); err == nil {
+		t.Error("MeasureLeak arity mismatch not reported")
+	}
+	if _, err := NewFunc("f", 2, nil).Run([]int64{1}); err == nil {
+		t.Error("Func arity mismatch not reported")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if got := (Outcome{Value: 3}).String(); got != "3" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Outcome{Violation: true}).String(); got != "Λ" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Outcome{Violation: true, Notice: "n"}).String(); got != "Λ[n]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func abs(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

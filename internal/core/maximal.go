@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+)
+
+// MaximalMech is the maximal sound protection mechanism of Theorem 2,
+// constructed by tabulation over a finite domain: it releases Q(d) exactly
+// when Q's observable output is constant on d's policy class, and issues Λ
+// otherwise. Over a finite domain this construction is effective; Theorem 4
+// is the statement that no such effective construction exists over all of
+// Z^k — which is why Run rejects inputs outside the tabulated domain
+// instead of guessing.
+type MaximalMech struct {
+	MechName string
+	K        int
+	table    map[string]Outcome // input key -> outcome (violation = Λ)
+}
+
+// NoticeMaximal is the violation notice issued by the maximal mechanism.
+const NoticeMaximal = "maximal: output varies within the policy class"
+
+// Maximal tabulates the maximal sound protection mechanism for q and pol
+// over dom under obs. The resulting mechanism is sound by construction
+// and, by Theorem 2, at least as complete as every sound mechanism for
+// (q, pol) over the domain.
+//
+// All violation notices are considered equivalent (as in the paper's
+// completeness ordering), so within a class whose Q-observations agree the
+// mechanism returns Q's outcome, and otherwise the single notice
+// NoticeMaximal.
+func Maximal(q Mechanism, pol Policy, dom Domain, obs Observation) (*MaximalMech, error) {
+	if q.Arity() != pol.Arity() || len(dom) != q.Arity() {
+		return nil, fmt.Errorf("core: arity mismatch: mechanism %d, policy %d, domain %d",
+			q.Arity(), pol.Arity(), len(dom))
+	}
+	type classInfo struct {
+		obs      string
+		constant bool
+	}
+	classes := make(map[string]*classInfo)
+	// Pass 1: determine which classes are Q-constant under obs.
+	if err := dom.Enumerate(func(in []int64) error {
+		o, err := q.Run(in)
+		if err != nil {
+			return err
+		}
+		view := pol.View(in)
+		rendered := obs.Render(o)
+		if ci, ok := classes[view]; ok {
+			if ci.obs != rendered {
+				ci.constant = false
+			}
+			return nil
+		}
+		classes[view] = &classInfo{obs: rendered, constant: true}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	// Pass 2: tabulate outcomes.
+	m := &MaximalMech{
+		MechName: "maximal(" + q.Name() + "," + pol.Name() + ")",
+		K:        q.Arity(),
+		table:    make(map[string]Outcome, dom.Size()),
+	}
+	if err := dom.Enumerate(func(in []int64) error {
+		key := FormatInputs(in)
+		if classes[pol.View(in)].constant {
+			o, err := q.Run(in)
+			if err != nil {
+				return err
+			}
+			m.table[key] = o
+		} else {
+			m.table[key] = Outcome{Violation: true, Notice: NoticeMaximal, Steps: 1}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Name implements Mechanism.
+func (m *MaximalMech) Name() string { return m.MechName }
+
+// Arity implements Mechanism.
+func (m *MaximalMech) Arity() int { return m.K }
+
+// Run implements Mechanism. Inputs outside the tabulated domain are an
+// error: the construction is only defined there (Theorem 4 forbids the
+// general case).
+func (m *MaximalMech) Run(input []int64) (Outcome, error) {
+	if len(input) != m.K {
+		return Outcome{}, fmt.Errorf("core: %q: got %d inputs, want %d", m.MechName, len(input), m.K)
+	}
+	o, ok := m.table[FormatInputs(input)]
+	if !ok {
+		return Outcome{}, fmt.Errorf("core: %q: input %s outside the tabulated domain", m.MechName, FormatInputs(input))
+	}
+	return o, nil
+}
+
+// PassCount returns how many tabulated inputs the mechanism passes, for
+// completeness reports.
+func (m *MaximalMech) PassCount() (pass, total int) {
+	for _, o := range m.table {
+		if !o.Violation {
+			pass++
+		}
+	}
+	return pass, len(m.table)
+}

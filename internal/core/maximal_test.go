@@ -1,0 +1,174 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMaximalSoundAndDominates(t *testing.T) {
+	// Q(x1,x2) = x2 with allow(2): Q itself is sound, so the maximal
+	// mechanism must pass everywhere and agree with Q.
+	q := ident2()
+	pol := NewAllow(2, 2)
+	dom := smallDom()
+	m, err := Maximal(q, pol, dom, ObserveValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckSoundness(m, pol, dom, ObserveValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Sound {
+		t.Errorf("maximal mechanism unsound: %s", rep)
+	}
+	pass, total := m.PassCount()
+	if pass != total {
+		t.Errorf("maximal should pass everywhere when Q is sound: %d/%d", pass, total)
+	}
+	cr, err := Compare(m, q, dom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Relation != Equal {
+		t.Errorf("maximal vs sound Q: %s, want equal", cr)
+	}
+}
+
+func TestMaximalOnUnsoundProgram(t *testing.T) {
+	// Q(x1,x2) = x2 with allow(1): every class has varying output (x2
+	// sweeps the domain), so the maximal mechanism is Λ everywhere —
+	// "pulling the plug" really is the best sound option here.
+	q := ident2()
+	pol := NewAllow(2, 1)
+	dom := smallDom()
+	m, err := Maximal(q, pol, dom, ObserveValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass, total := m.PassCount()
+	if pass != 0 || total != dom.Size() {
+		t.Errorf("pass = %d/%d, want 0/%d", pass, total, dom.Size())
+	}
+	rep, err := CheckSoundness(m, pol, dom, ObserveValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Sound {
+		t.Errorf("maximal unsound: %s", rep)
+	}
+}
+
+func TestMaximalPartiallyConstant(t *testing.T) {
+	// Q passes information only when x1 = 0: Q(x1,x2) = x2 * sign(x1).
+	// Under allow(1) the x1=0 class is constant (output 0), others vary.
+	q := NewFunc("gated", 2, func(in []int64) Outcome {
+		if in[0] == 0 {
+			return Outcome{Value: 0, Steps: 1}
+		}
+		return Outcome{Value: in[1], Steps: 1}
+	})
+	pol := NewAllow(2, 1)
+	dom := smallDom()
+	m, err := Maximal(q, pol, dom, ObserveValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = dom.Enumerate(func(in []int64) error {
+		o, err := m.Run(in)
+		if err != nil {
+			return err
+		}
+		if (in[0] == 0) == o.Violation {
+			t.Errorf("maximal%v = %v", in, o)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckSoundness(m, pol, dom, ObserveValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Sound {
+		t.Errorf("maximal unsound: %s", rep)
+	}
+}
+
+func TestMaximalDominatesArbitrarySoundMechanisms(t *testing.T) {
+	// Theorem 2 over the finite domain: any sound mechanism we can write
+	// down is below the tabulated maximal one.
+	q := ident2()
+	pol := NewAllow(2, 2)
+	dom := smallDom()
+	m, err := Maximal(q, pol, dom, ObserveValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sound := []Mechanism{
+		NewNull(2),
+		NewFunc("even-only", 2, func(in []int64) Outcome {
+			if in[1]%2 == 0 {
+				return Outcome{Value: in[1], Steps: 1}
+			}
+			return Outcome{Violation: true, Steps: 1}
+		}),
+		q, // sound here
+	}
+	for _, s := range sound {
+		cr, err := Compare(m, s, dom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cr.Relation == LessComplete || cr.Relation == Incomparable {
+			t.Errorf("maximal %s %s — Theorem 2 violated", cr.Relation, s.Name())
+		}
+	}
+}
+
+func TestMaximalUnderTimeObservation(t *testing.T) {
+	// With observable time, a value-constant but time-varying class is
+	// not constant, so the maximal mechanism for value+time refuses it.
+	q := NewFunc("timed", 1, func(in []int64) Outcome {
+		return Outcome{Value: 1, Steps: 1 + in[0]}
+	})
+	pol := NewAllow(1)
+	dom := Grid(1, 0, 1, 2)
+	mv, err := Maximal(q, pol, dom, ObserveValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := Maximal(q, pol, dom, ObserveValueAndTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv, _ := mv.PassCount()
+	pt, _ := mt.PassCount()
+	if pv != 3 || pt != 0 {
+		t.Errorf("value-maximal passes %d (want 3), time-maximal passes %d (want 0)", pv, pt)
+	}
+}
+
+func TestMaximalOutsideDomain(t *testing.T) {
+	q := ident2()
+	m, err := Maximal(q, NewAllow(2, 2), smallDom(), ObserveValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run([]int64{99, 99}); err == nil {
+		t.Error("out-of-domain input accepted")
+	}
+	if _, err := m.Run([]int64{1}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if !strings.Contains(m.Name(), "maximal") {
+		t.Errorf("Name = %q", m.Name())
+	}
+}
+
+func TestMaximalArityMismatch(t *testing.T) {
+	if _, err := Maximal(NewNull(2), NewAllow(1), Grid(2, 0), ObserveValue); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}

@@ -1,0 +1,226 @@
+// Package core implements the basic security model of Section 2 of Jones &
+// Lipton: programs as total functions, security policies as information
+// filters, protection mechanisms as gatekeepers, and the relations between
+// them — soundness, completeness, and the union operator of Theorem 1.
+//
+// The definitions are extensional, exactly as in the paper: a mechanism M
+// for a program Q must satisfy M(d) = Q(d) or M(d) ∈ F (violation notices);
+// M is sound for policy I iff M factors through I; M1 is as complete as M2
+// iff M1 returns real output whenever M2 does. Over the finite domains used
+// in tests and experiments these relations are decidable by enumeration,
+// which is how CheckSoundness, VerifyMechanism, and Compare work. (Over
+// unbounded domains they are undecidable — Theorem 4 — which is why the
+// checkers take an explicit Domain.)
+package core
+
+import (
+	"fmt"
+
+	"spm/internal/flowchart"
+)
+
+// Outcome is the observable result of running a protection mechanism (or a
+// bare program) on one input: either a value in E, or a violation notice in
+// F. Steps carries the running time for use when the observability
+// postulate includes time.
+type Outcome struct {
+	Value     int64
+	Steps     int64
+	Violation bool
+	Notice    string
+}
+
+// String renders the outcome, using the paper's Λ for violation notices.
+func (o Outcome) String() string {
+	if o.Violation {
+		if o.Notice == "" {
+			return "Λ"
+		}
+		return "Λ[" + o.Notice + "]"
+	}
+	return fmt.Sprintf("%d", o.Value)
+}
+
+// Mechanism is a protection mechanism M : D1 × ... × Dk → E ∪ F. A bare
+// program Q is itself a (possibly unsound) mechanism — the paper's
+// Example 3 — so this interface also represents programs used as view
+// functions.
+type Mechanism interface {
+	// Name identifies the mechanism in reports and experiment tables.
+	Name() string
+	// Arity returns k, the number of inputs.
+	Arity() int
+	// Run evaluates the mechanism. An error return means the evaluation
+	// itself failed (step budget exhausted, bad arity) and is distinct
+	// from a violation notice, which is a legitimate output in F.
+	Run(input []int64) (Outcome, error)
+}
+
+// Func adapts a plain Go function into a Mechanism. It is used for
+// programs whose natural expression is not a flowchart (the logon checker,
+// the file system) and for hand-built mechanisms in tests.
+type Func struct {
+	MechName string
+	K        int
+	Fn       func(input []int64) Outcome
+}
+
+// NewFunc builds a Func mechanism.
+func NewFunc(name string, arity int, fn func(input []int64) Outcome) *Func {
+	return &Func{MechName: name, K: arity, Fn: fn}
+}
+
+// Name implements Mechanism.
+func (f *Func) Name() string { return f.MechName }
+
+// Arity implements Mechanism.
+func (f *Func) Arity() int { return f.K }
+
+// Run implements Mechanism.
+func (f *Func) Run(input []int64) (Outcome, error) {
+	if len(input) != f.K {
+		return Outcome{}, fmt.Errorf("core: mechanism %q: got %d inputs, want %d", f.MechName, len(input), f.K)
+	}
+	return f.Fn(input), nil
+}
+
+// Program adapts a flowchart program into a Mechanism — the program "as its
+// own protection mechanism" of Example 3. Violation-halt boxes in the
+// flowchart become violation notices, so instrumented programs produced by
+// the surveillance transformation are also wrapped with Program.
+type Program struct {
+	P        *flowchart.Program
+	MaxSteps int64
+}
+
+// FromProgram wraps a flowchart program with the default step budget.
+func FromProgram(p *flowchart.Program) *Program {
+	return &Program{P: p, MaxSteps: flowchart.DefaultMaxSteps}
+}
+
+// Name implements Mechanism.
+func (pm *Program) Name() string { return pm.P.Name }
+
+// Arity implements Mechanism.
+func (pm *Program) Arity() int { return pm.P.Arity() }
+
+// Run implements Mechanism.
+func (pm *Program) Run(input []int64) (Outcome, error) {
+	res, err := pm.P.RunBudget(input, pm.MaxSteps, nil)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{Value: res.Value, Steps: res.Steps, Violation: res.Violation, Notice: res.Notice}, nil
+}
+
+// Null is the trivial mechanism that always outputs the violation notice Λ
+// — the paper's "pulling the plug" (Example 3). It is sound for every
+// policy and minimally complete.
+type Null struct {
+	K int
+}
+
+// NewNull builds the null mechanism of the given arity.
+func NewNull(arity int) *Null { return &Null{K: arity} }
+
+// Name implements Mechanism.
+func (n *Null) Name() string { return "null" }
+
+// Arity implements Mechanism.
+func (n *Null) Arity() int { return n.K }
+
+// Run implements Mechanism. The single notice carries no information.
+func (n *Null) Run(input []int64) (Outcome, error) {
+	return Outcome{Violation: true, Notice: "plug pulled", Steps: 1}, nil
+}
+
+// UnionMech is M1 ∨ M2 ∨ ... : it outputs the real result if any member
+// does, and otherwise the first member's violation notice. By Theorem 1 the
+// union of sound mechanisms for the same (Q, I) is sound and at least as
+// complete as every member.
+type UnionMech struct {
+	MechName string
+	Members  []Mechanism
+}
+
+// Union forms the join of one or more mechanisms. All members must have the
+// same arity.
+func Union(name string, members ...Mechanism) (*UnionMech, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("core: union of zero mechanisms")
+	}
+	k := members[0].Arity()
+	for _, m := range members[1:] {
+		if m.Arity() != k {
+			return nil, fmt.Errorf("core: union arity mismatch: %q has %d, %q has %d",
+				members[0].Name(), k, m.Name(), m.Arity())
+		}
+	}
+	return &UnionMech{MechName: name, Members: members}, nil
+}
+
+// MustUnion is Union but panics on error.
+func MustUnion(name string, members ...Mechanism) *UnionMech {
+	u, err := Union(name, members...)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// Name implements Mechanism.
+func (u *UnionMech) Name() string { return u.MechName }
+
+// Arity implements Mechanism.
+func (u *UnionMech) Arity() int { return u.Members[0].Arity() }
+
+// Run implements Mechanism. Per the paper's definition, M(a) = Q(a)
+// provided some Mi(a) = Q(a), and M(a) = M1(a) otherwise. Since each
+// member is a mechanism for the same Q, a non-violation member output *is*
+// Q(a); we return the first one. The step count reported is the sum over
+// members actually consulted, which keeps the union honest under the
+// time-observable postulate (all members are always consulted).
+func (u *UnionMech) Run(input []int64) (Outcome, error) {
+	var first Outcome
+	var chosen *Outcome
+	var total int64
+	for i, m := range u.Members {
+		o, err := m.Run(input)
+		if err != nil {
+			return Outcome{}, fmt.Errorf("core: union member %q: %w", m.Name(), err)
+		}
+		total += o.Steps
+		if i == 0 {
+			first = o
+		}
+		if !o.Violation && chosen == nil {
+			c := o
+			chosen = &c
+		}
+	}
+	if chosen != nil {
+		chosen.Steps = total
+		return *chosen, nil
+	}
+	first.Steps = total
+	return first, nil
+}
+
+// Constant is the mechanism that always returns a fixed value; the
+// degenerate sound mechanism for constant programs.
+type Constant struct {
+	MechName string
+	K        int
+	V        int64
+}
+
+// Name implements Mechanism.
+func (c *Constant) Name() string { return c.MechName }
+
+// Arity implements Mechanism.
+func (c *Constant) Arity() int { return c.K }
+
+// Run implements Mechanism.
+func (c *Constant) Run(input []int64) (Outcome, error) {
+	return Outcome{Value: c.V, Steps: 1}, nil
+}

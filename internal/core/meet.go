@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+)
+
+// IntersectMech is the meet of mechanisms under the completeness order:
+// it returns the real output only when every member does, and otherwise
+// the first violating member's notice. Together with Union (the join,
+// Theorem 1) this realises the paper's remark that, assuming a single
+// violation notice, "the sound protection mechanisms form a lattice".
+type IntersectMech struct {
+	MechName string
+	Members  []Mechanism
+}
+
+// Intersect forms the meet of one or more mechanisms of equal arity.
+func Intersect(name string, members ...Mechanism) (*IntersectMech, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("core: intersection of zero mechanisms")
+	}
+	k := members[0].Arity()
+	for _, m := range members[1:] {
+		if m.Arity() != k {
+			return nil, fmt.Errorf("core: intersection arity mismatch: %q has %d, %q has %d",
+				members[0].Name(), k, m.Name(), m.Arity())
+		}
+	}
+	return &IntersectMech{MechName: name, Members: members}, nil
+}
+
+// MustIntersect is Intersect but panics on error.
+func MustIntersect(name string, members ...Mechanism) *IntersectMech {
+	m, err := Intersect(name, members...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Name implements Mechanism.
+func (x *IntersectMech) Name() string { return x.MechName }
+
+// Arity implements Mechanism.
+func (x *IntersectMech) Arity() int { return x.Members[0].Arity() }
+
+// Run implements Mechanism. All members are always consulted (constant
+// consultation pattern), mirroring UnionMech, so the meet's running time
+// does not encode which member vetoed.
+func (x *IntersectMech) Run(input []int64) (Outcome, error) {
+	var firstViolation *Outcome
+	var last Outcome
+	var total int64
+	for _, m := range x.Members {
+		o, err := m.Run(input)
+		if err != nil {
+			return Outcome{}, fmt.Errorf("core: intersection member %q: %w", m.Name(), err)
+		}
+		total += o.Steps
+		if o.Violation && firstViolation == nil {
+			v := o
+			firstViolation = &v
+		}
+		last = o
+	}
+	if firstViolation != nil {
+		firstViolation.Steps = total
+		return *firstViolation, nil
+	}
+	last.Steps = total
+	return last, nil
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// CheckSoundnessParallel is CheckSoundness with the domain enumeration
+// sharded across workers goroutines (runtime.NumCPU() when workers ≤ 0).
+// Mechanisms must be safe for concurrent Run calls — every mechanism in
+// this library is, because Run never mutates receiver state. The verdict
+// is deterministic; when multiple counterexamples exist, the reported
+// witness pair may differ from the sequential checker's.
+func CheckSoundnessParallel(m Mechanism, pol Policy, dom Domain, obs Observation, workers int) (SoundnessReport, error) {
+	rep := SoundnessReport{Mechanism: m.Name(), Policy: pol.Name(), Observation: obs.ObsName, Sound: true}
+	if m.Arity() != pol.Arity() || len(dom) != m.Arity() {
+		return rep, fmt.Errorf("core: arity mismatch: mechanism %d, policy %d, domain %d",
+			m.Arity(), pol.Arity(), len(dom))
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers == 1 || len(dom) == 0 || dom.Size() < 2*workers {
+		return CheckSoundness(m, pol, dom, obs)
+	}
+
+	// Shard on the first input position: each worker takes a round-robin
+	// slice of its values and enumerates the rest of the product locally,
+	// building a view → observation table and noting the first in-shard
+	// conflict. A sequential merge then catches cross-shard conflicts
+	// (views span shards whenever input 1 is disallowed by the policy).
+	type entry struct {
+		obs   string
+		input []int64
+	}
+	type shardResult struct {
+		views     map[string]entry
+		conflictA *entry
+		conflictB *entry
+		checked   int
+		err       error
+	}
+	results := make([]shardResult, workers)
+
+	var wg sync.WaitGroup
+	first := dom[0]
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res := &results[w]
+			res.views = make(map[string]entry)
+			var mine []int64
+			for i := w; i < len(first); i += workers {
+				mine = append(mine, first[i])
+			}
+			if len(mine) == 0 {
+				return
+			}
+			sub := make(Domain, len(dom))
+			copy(sub, dom)
+			sub[0] = mine
+			res.err = sub.Enumerate(func(input []int64) error {
+				o, err := m.Run(input)
+				if err != nil {
+					return err
+				}
+				res.checked++
+				view := pol.View(input)
+				rendered := obs.Render(o)
+				prev, ok := res.views[view]
+				if !ok {
+					res.views[view] = entry{obs: rendered, input: append([]int64(nil), input...)}
+					return nil
+				}
+				if prev.obs != rendered && res.conflictA == nil {
+					a, b := prev, entry{obs: rendered, input: append([]int64(nil), input...)}
+					res.conflictA, res.conflictB = &a, &b
+				}
+				return nil
+			})
+		}(w)
+	}
+	wg.Wait()
+
+	merged := make(map[string]entry)
+	for w := range results {
+		res := &results[w]
+		if res.err != nil {
+			return rep, res.err
+		}
+		rep.Checked += res.checked
+		if res.conflictA != nil && rep.Sound {
+			rep.Sound = false
+			rep.WitnessA = res.conflictA.input
+			rep.WitnessB = res.conflictB.input
+			rep.ObsA = res.conflictA.obs
+			rep.ObsB = res.conflictB.obs
+		}
+		for view, e := range res.views {
+			prev, ok := merged[view]
+			if !ok {
+				merged[view] = e
+				continue
+			}
+			if prev.obs != e.obs && rep.Sound {
+				rep.Sound = false
+				rep.WitnessA = prev.input
+				rep.WitnessB = e.input
+				rep.ObsA = prev.obs
+				rep.ObsB = e.obs
+			}
+		}
+	}
+	return rep, nil
+}

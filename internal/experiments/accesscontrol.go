@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"spm/internal/accesscontrol"
+	"spm/internal/core"
+	"spm/internal/lattice"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E19",
+		Title: "Access control is not information control: COPYFILE launders a forbidden READFILE",
+		Paper: "Example 6",
+		Run:   runE19,
+	})
+}
+
+func runE19(w io.Writer) error {
+	script := accesscontrol.MustScript("laundered", 2, accesscontrol.Copy(1, 2), accesscontrol.Read(2))
+	protected := lattice.NewIndexSet(1)
+	dom := core.Grid(2, 0, 1, 2)
+
+	tw := table(w)
+	fmt.Fprintln(tw, "monitor\toutcome on (7,9)\tsound for allow(2)")
+	for _, mon := range []accesscontrol.Monitor{
+		accesscontrol.NoMonitor, accesscontrol.AccessControl, accesscontrol.FlowControl,
+	} {
+		m, err := accesscontrol.NewMechanism(script, protected, mon)
+		if err != nil {
+			return err
+		}
+		o, err := m.Run([]int64{7, 9})
+		if err != nil {
+			return err
+		}
+		rep, err := core.CheckSoundness(m, m.Policy(), dom, core.ObserveValue)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", mon, outcomeCell(o), mark(rep.Sound))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "script: %s — no READFILE(1) is ever issued, yet access control releases file 1's contents\n", script)
+	return nil
+}

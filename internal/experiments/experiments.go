@@ -1,0 +1,83 @@
+// Package experiments regenerates every evaluation artifact of Jones &
+// Lipton's paper as a text table: the worked examples (Ex. 1–9), the
+// flowchart comparisons of Section 4, the theorems' demonstrations, and
+// the Section 2 side-channel studies. DESIGN.md carries the experiment
+// index mapping each ID to the paper artifact and the implementing
+// modules; EXPERIMENTS.md records the emitted tables next to the paper's
+// claims.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	// ID is the experiment identifier (e.g. "E3").
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Paper identifies the paper artifact being reproduced.
+	Paper string
+	// Run regenerates the artifact, writing a table to w.
+	Run func(w io.Writer) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every experiment in ID order.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool {
+		// Numeric ID ordering: E2 < E10.
+		return idKey(out[i].ID) < idKey(out[j].ID)
+	})
+	return out
+}
+
+func idKey(id string) int {
+	var n int
+	fmt.Sscanf(id, "E%d", &n)
+	return n
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment, writing a titled section per
+// experiment.
+func RunAll(w io.Writer) error {
+	for _, e := range All() {
+		fmt.Fprintf(w, "== %s: %s\n   (%s)\n\n", e.ID, e.Title, e.Paper)
+		if err := e.Run(w); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// table starts a tabwriter with the conventions used by all experiments.
+func table(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// mark renders a boolean as the symbols used across the tables.
+func mark(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"spm/internal/core"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E20",
+		Title: "Sound mechanisms form a lattice: union is join, intersection is meet",
+		Paper: "Section 2 (remark after Theorem 1)",
+		Run:   runE20,
+	})
+}
+
+// runE20 exhibits the lattice structure on two incomparable sound
+// mechanisms for Q(x1,x2) = x2 under allow(2): one passes when x2 is
+// even, the other when x2 is small. Union passes where either does
+// (the join), intersection where both do (the meet); all four are sound.
+func runE20(w io.Writer) error {
+	q := core.NewFunc("Q:x2", 2, func(in []int64) core.Outcome {
+		return core.Outcome{Value: in[1], Steps: 1}
+	})
+	pol := core.NewAllow(2, 2)
+	dom := core.Grid(2, 0, 1, 2, 3)
+	gate := func(name string, pred func(int64) bool) core.Mechanism {
+		return core.NewFunc(name, 2, func(in []int64) core.Outcome {
+			if pred(in[1]) {
+				o, _ := q.Run(in)
+				return core.Outcome{Value: o.Value, Steps: 1}
+			}
+			return core.Outcome{Violation: true, Notice: name, Steps: 1}
+		})
+	}
+	a := gate("pass-if-x2-even", func(v int64) bool { return v%2 == 0 })
+	b := gate("pass-if-x2-small", func(v int64) bool { return v < 2 })
+	join := core.MustUnion("A∨B", a, b)
+	meet := core.MustIntersect("A∧B", a, b)
+
+	tw := table(w)
+	fmt.Fprintln(tw, "mechanism\tsound\tpasses")
+	for _, m := range []core.Mechanism{a, b, join, meet} {
+		rep, err := core.CheckSoundness(m, pol, dom, core.CoarseNotices(core.ObserveValue))
+		if err != nil {
+			return err
+		}
+		passes := 0
+		if err := dom.Enumerate(func(in []int64) error {
+			o, err := m.Run(in)
+			if err != nil {
+				return err
+			}
+			if !o.Violation {
+				passes++
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d/%d\n", m.Name(), mark(rep.Sound), passes, dom.Size())
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	ab, err := core.Compare(a, b, dom)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "A %s B (incomparable members)\n", relSym(ab.Relation))
+	for _, pair := range [][2]core.Mechanism{{join, a}, {join, b}, {meet, a}, {meet, b}} {
+		cr, err := core.Compare(pair[0], pair[1], dom)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s %s %s\n", pair[0].Name(), relSym(cr.Relation), pair[1].Name())
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"spm/internal/core"
+	"spm/internal/fenton"
+	"spm/internal/lattice"
+	"spm/internal/logon"
+	"spm/internal/paging"
+	"spm/internal/tape"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E10",
+		Title: "Password work factor: n^k brute force vs n·k page-boundary attack",
+		Paper: "Section 2 (classic attack)",
+		Run:   runE10,
+	})
+	register(Experiment{
+		ID:    "E11",
+		Title: "Fenton halt semantics: halt-as-error leaks by negative inference",
+		Paper: "Examples 1 and 6",
+		Run:   runE11,
+	})
+	register(Experiment{
+		ID:    "E13",
+		Title: "One-way tape: reading block 2 is sound only with constant-time tab",
+		Paper: "Section 2 tape program",
+		Run:   runE13,
+	})
+}
+
+func runE10(w io.Writer) error {
+	tw := table(w)
+	fmt.Fprintln(tw, "n\tk\tn^k\tbrute guesses\tattack guesses\tn·k bound\trecovered")
+	type cfg struct {
+		n      int
+		stored string
+	}
+	cases := []cfg{
+		{4, "cb"},
+		{4, "dacb"},
+		{8, "hfc"},
+		{8, "hgfeh"[0:4] + "b"}, // "hgfeb", k=5
+		{16, "ponm"},
+		{16, "ponmlk"},
+	}
+	for _, tc := range cases {
+		k := len(tc.stored)
+		memA := paging.MustNew(64, 16)
+		cA, err := logon.NewChecker(memA, []byte(tc.stored), 0)
+		if err != nil {
+			return err
+		}
+		attack, err := logon.PageBoundaryAttack(cA, tc.n)
+		if err != nil {
+			return err
+		}
+		memB := paging.MustNew(64, 16)
+		cB, err := logon.NewChecker(memB, []byte(tc.stored), 0)
+		if err != nil {
+			return err
+		}
+		brute, err := logon.BruteForceAgainst(cB, tc.n)
+		if err != nil {
+			return err
+		}
+		pow := 1
+		for i := 0; i < k; i++ {
+			pow *= tc.n
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			tc.n, k, pow, brute.Guesses, attack.Guesses, tc.n*k, mark(attack.Found && brute.Found))
+	}
+	return tw.Flush()
+}
+
+func runE11(w io.Writer) error {
+	leak := fenton.MustAssemble("leak", `
+    brz r1 ZERO
+    jmp JOIN
+ZERO: halt
+JOIN: halt
+`)
+	dom := core.Grid(1, 0, 1, 2)
+	pol := core.NewAllow(1) // r1 is priv
+	tw := table(w)
+	fmt.Fprintln(tw, "halt semantics\tx=0 outcome\tx=1 outcome\tsound for allow()")
+	for _, sem := range []fenton.HaltSemantics{fenton.HaltAsNoop, fenton.HaltAsError} {
+		m, err := fenton.NewMechanism(leak, 1, lattice.EmptySet, sem)
+		if err != nil {
+			return err
+		}
+		o0, err := m.Run([]int64{0})
+		if err != nil {
+			return err
+		}
+		o1, err := m.Run([]int64{1})
+		if err != nil {
+			return err
+		}
+		rep, err := core.CheckSoundness(m, pol, dom, core.ObserveValue)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", sem, outcomeCell(o0), outcomeCell(o1), mark(rep.Sound))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "halt-as-error emits the message iff x = 0: the dog that did nothing in the nighttime.")
+	return nil
+}
+
+func runE13(w io.Writer) error {
+	pol := core.NewAllow(2, 2)
+	dom := core.Domain{{5, 1234, 987654}, {7, 42}}
+	tw := table(w)
+	fmt.Fprintln(tw, "reader\tsound (value)\tsound (value+time)")
+	for _, m := range []core.Mechanism{
+		&tape.Reader{UseTab: false},
+		&tape.Reader{UseTab: true, Cost: tape.TabLinear},
+		&tape.Reader{UseTab: true, Cost: tape.TabConstant},
+	} {
+		rv, err := core.CheckSoundness(m, pol, dom, core.ObserveValue)
+		if err != nil {
+			return err
+		}
+		rt, err := core.CheckSoundness(m, pol, dom, core.ObserveValueAndTime)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", m.Name(), mark(rv.Sound), mark(rt.Sound))
+	}
+	return tw.Flush()
+}

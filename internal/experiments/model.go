@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"spm/internal/core"
+	"spm/internal/filesys"
+	"spm/internal/flowchart"
+	"spm/internal/lattice"
+	"spm/internal/logon"
+	"spm/internal/surveillance"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E1",
+		Title: "Trivial mechanisms: null is sound for every policy; Q itself may or may not be",
+		Paper: "Example 3",
+		Run:   runE1,
+	})
+	register(Experiment{
+		ID:    "E2",
+		Title: "Logon program: unsound for allow(1,3) but leaks at most one bit per query",
+		Paper: "Example 5",
+		Run:   runE2,
+	})
+	register(Experiment{
+		ID:    "E12",
+		Title: "Union of sound mechanisms is sound and at least as complete as each member",
+		Paper: "Theorem 1",
+		Run:   runE12,
+	})
+	register(Experiment{
+		ID:    "E14",
+		Title: "Maximal-mechanism construction decides ∀x A(x)=0 (finite demonstration)",
+		Paper: "Theorem 4",
+		Run:   runE14,
+	})
+	register(Experiment{
+		ID:    "E15",
+		Title: "File system: gatekeeper sound for the content-dependent policy, raw Q unsound",
+		Paper: "Example 2",
+		Run:   runE15,
+	})
+	register(Experiment{
+		ID:    "E17",
+		Title: "History-dependent policy: tracker attack vs history-aware gatekeeper",
+		Paper: "Section 2 (data base remark)",
+		Run:   runE17,
+	})
+}
+
+func runE1(w io.Writer) error {
+	dom := logon.Domain(3)
+	cases := []struct {
+		m   core.Mechanism
+		pol core.Policy
+	}{
+		{core.NewNull(3), core.NewAllow(3)},
+		{core.NewNull(3), core.NewAllow(3, 1, 2, 3)},
+		{core.NewNull(3), logon.Policy()},
+		{logon.Program(), core.NewAllow(3, 1, 2, 3)},
+		{logon.Program(), logon.Policy()},
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "mechanism\tpolicy\tsound\tpasses")
+	for _, tc := range cases {
+		rep, err := core.CheckSoundness(tc.m, tc.pol, dom, core.ObserveValue)
+		if err != nil {
+			return err
+		}
+		passes := 0
+		if err := dom.Enumerate(func(in []int64) error {
+			o, err := tc.m.Run(in)
+			if err != nil {
+				return err
+			}
+			if !o.Violation {
+				passes++
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d/%d\n", tc.m.Name(), tc.pol.Name(), mark(rep.Sound), passes, dom.Size())
+	}
+	return tw.Flush()
+}
+
+func runE2(w io.Writer) error {
+	q := logon.Program()
+	pol := logon.Policy()
+	dom := logon.Domain(3)
+	rep, err := core.CheckSoundness(q, pol, dom, core.ObserveValue)
+	if err != nil {
+		return err
+	}
+	leak, err := core.MeasureLeak(q, pol, dom, core.ObserveValue)
+	if err != nil {
+		return err
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "property\tvalue")
+	fmt.Fprintf(tw, "sound for %s\t%s\n", pol.Name(), mark(rep.Sound))
+	if !rep.Sound {
+		fmt.Fprintf(tw, "counterexample\t%s vs %s → %q vs %q\n",
+			core.FormatInputs(rep.WitnessA), core.FormatInputs(rep.WitnessB), rep.ObsA, rep.ObsB)
+	}
+	fmt.Fprintf(tw, "policy classes\t%d\n", leak.Classes)
+	fmt.Fprintf(tw, "worst-class outcomes\t%d\n", leak.MaxOutcomes)
+	fmt.Fprintf(tw, "bits leaked per query\t%.2f\n", leak.Bits)
+	return tw.Flush()
+}
+
+func runE12(w io.Writer) error {
+	// Members from E3's program: surveillance and high-water for
+	// allow(2), plus the null mechanism; the union dominates all.
+	q := flowchart.MustParse(progForgetful)
+	J := lattice.NewIndexSet(2)
+	pol := core.NewAllowSet(2, J)
+	dom := core.Grid(2, 0, 1, 2)
+	ms := surveillance.MustMechanism(q, J, surveillance.Untimed)
+	mh := surveillance.MustMechanism(q, J, surveillance.Monotone)
+	null := core.NewNull(2)
+	u := core.MustUnion("Ms∨Mh∨null", ms, mh, null)
+
+	tw := table(w)
+	fmt.Fprintln(tw, "mechanism\tsound\tpasses\tunion vs member")
+	for _, m := range []core.Mechanism{ms, mh, null, u} {
+		rep, err := core.CheckSoundness(m, pol, dom, core.CoarseNotices(core.ObserveValue))
+		if err != nil {
+			return err
+		}
+		passes := 0
+		if err := dom.Enumerate(func(in []int64) error {
+			o, err := m.Run(in)
+			if err != nil {
+				return err
+			}
+			if !o.Violation {
+				passes++
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		rel := "-"
+		if m != u {
+			cr, err := core.Compare(u, m, dom)
+			if err != nil {
+				return err
+			}
+			rel = "union " + relSym(cr.Relation) + " member"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d/%d\t%s\n", m.Name(), mark(rep.Sound), passes, dom.Size(), rel)
+	}
+	return tw.Flush()
+}
+
+func relSym(r core.Relation) string {
+	switch r {
+	case core.Equal:
+		return "="
+	case core.MoreComplete:
+		return ">"
+	case core.LessComplete:
+		return "<"
+	default:
+		return "<>"
+	}
+}
+
+func runE14(w io.Writer) error {
+	// Theorem 4's reduction, exhibited on finite function tables: Q_A
+	// computes y := A(x1) with A(0) = 0, under allow(). The maximal sound
+	// mechanism M is constant; M(0) = 0 iff ∀x A(x) = 0. Constructing M
+	// therefore decides the ∀x question — which is undecidable for
+	// general A, so no effective maximal-mechanism constructor exists.
+	// Here we tabulate finite As and the resulting maximal mechanism
+	// behaviour on the test domain.
+	tables := []struct {
+		name string
+		a    []int64 // A(0..3), A(0) = 0 always
+	}{
+		{"A ≡ 0", []int64{0, 0, 0, 0}},
+		{"A(2) = 1", []int64{0, 0, 1, 0}},
+		{"A(x) = x", []int64{0, 1, 2, 3}},
+	}
+	dom := core.Grid(1, 0, 1, 2, 3)
+	pol := core.NewAllow(1)
+	tw := table(w)
+	fmt.Fprintln(tw, "A\t∀x A(x)=0\tQ_A sound for allow()\tmaximal M(0)")
+	for _, tc := range tables {
+		a := tc.a
+		q := core.NewFunc("Q_A", 1, func(in []int64) core.Outcome {
+			x := in[0]
+			if x < 0 || x >= int64(len(a)) {
+				return core.Outcome{Value: 0, Steps: 1}
+			}
+			return core.Outcome{Value: a[x], Steps: 1}
+		})
+		rep, err := core.CheckSoundness(q, pol, dom, core.ObserveValue)
+		if err != nil {
+			return err
+		}
+		allZero := true
+		for _, v := range a {
+			if v != 0 {
+				allZero = false
+			}
+		}
+		// Over the finite domain the maximal sound mechanism is Q itself
+		// when Q is constant, and the constant-Λ mechanism otherwise.
+		maxAt0 := "Λ"
+		if rep.Sound {
+			maxAt0 = "0"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", tc.name, mark(allZero), mark(rep.Sound), maxAt0)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "M(0) = 0 exactly when ∀x A(x) = 0: an effective maximal-mechanism")
+	fmt.Fprintln(w, "constructor would decide the (undecidable) all-zero question.")
+	return nil
+}
+
+func runE15(w io.Writer) error {
+	s, err := filesys.New(2)
+	if err != nil {
+		return err
+	}
+	pol := s.Policy()
+	dom := s.Domain([]int64{0, 1, 2}, false)
+	tw := table(w)
+	fmt.Fprintln(tw, "mechanism\tsound\tmechanism-property vs Q")
+	for _, m := range []core.Mechanism{s.Gatekeeper(), s.Program()} {
+		rep, err := core.CheckSoundness(m, pol, dom, core.ObserveValue)
+		if err != nil {
+			return err
+		}
+		ok, _, err := core.VerifyMechanism(m, s.Program(), dom)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", m.Name(), mark(rep.Sound), mark(ok))
+	}
+	return tw.Flush()
+}
+
+func runE17(w io.Writer) error {
+	db, err := newStatDB()
+	if err != nil {
+		return err
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "guard\tq1 sum{0,1,2}\tq2 sum{1,2}\trecord 0 isolated")
+	for _, mode := range statModes() {
+		s := newStatSession(db, mode)
+		r1 := s.Query([]int{0, 1, 2})
+		r2 := s.Query([]int{1, 2})
+		isolated := "no"
+		if !r1.Violation && !r2.Violation {
+			isolated = fmt.Sprintf("yes: %d", r1.Sum-r2.Sum)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", mode, statOutcome(r1), statOutcome(r2), isolated)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spm/internal/querydb"
+)
+
+// The paper's flowchart programs, shared across experiments. Each constant
+// names the figure or example it reproduces.
+
+// progForgetful is the Section 4 flowchart (p. 48) separating surveillance
+// from high-water mark.
+const progForgetful = `
+program forgetful
+inputs x1 x2
+    r := x1
+    r := 0
+    if x2 == 0 goto Zero else NonZero
+Zero:    y := r
+         halt
+NonZero: y := x1
+         halt
+`
+
+// progBothArms is the p. 49 flowchart showing surveillance is not maximal.
+const progBothArms = `
+program botharms
+inputs x1 x2
+    if x1 == 0 goto A else B
+A:  y := x2
+    halt
+B:  y := x2
+    halt
+`
+
+// progEx7 is Example 7: the if-then-else transform yields a maximal
+// mechanism.
+const progEx7 = `
+program ex7
+inputs x1 x2
+    if x1 == 1 goto A else B
+A:  r := 1
+    goto J
+B:  r := 2
+    goto J
+J:  y := 1
+    halt
+`
+
+// progEx8 is Example 8: the transform makes the mechanism less complete.
+const progEx8 = `
+program ex8
+inputs x1 x2
+    if x2 == 1 goto A else B
+A:  y := 1
+    goto J
+B:  y := x1
+    goto J
+J:  halt
+`
+
+// progEx9 is Example 9: specialisation beats whole-program certification.
+const progEx9 = `
+program ex9
+inputs x1 x2
+    if x1 == 0 goto A else B
+A:  y := 1
+    goto J
+B:  y := x2
+    goto J
+J:  halt
+`
+
+// progTiming is the Section 2 constant-value program whose running time
+// reveals its input.
+const progTiming = `
+program timing
+inputs x1
+Loop: if x1 == 0 goto Done else Body
+Body: x1 := x1 - 1
+      goto Loop
+Done: y := 1
+      halt
+`
+
+// progWhile drives the while/unroll transform experiment (E16).
+const progWhile = `
+program whileloop
+inputs x1 x2
+    r := x1
+Loop: if r > 0 goto Body else Done
+Body: r := r - 1
+      goto Loop
+Done: y := x2
+      halt
+`
+
+// Statistical-database fixtures for E17.
+
+func newStatDB() (*querydb.DB, error) {
+	return querydb.NewDB([]int64{30, 50, 20, 40})
+}
+
+func statModes() []querydb.GuardMode {
+	return []querydb.GuardMode{querydb.SizeOnly, querydb.HistoryAware}
+}
+
+func newStatSession(db *querydb.DB, mode querydb.GuardMode) *querydb.Session {
+	return querydb.NewSession(db, mode, 2)
+}
+
+func statOutcome(r querydb.QueryResult) string {
+	if r.Violation {
+		return "Λ"
+	}
+	return fmt.Sprintf("%d", r.Sum)
+}

@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"spm/internal/core"
+	"spm/internal/flowchart"
+	"spm/internal/lattice"
+	"spm/internal/progen"
+	"spm/internal/surveillance"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E3",
+		Title: "Surveillance vs high-water mark: M_s > M_h (surveillance forgets)",
+		Paper: "Section 4, flowchart p. 48",
+		Run:   runE3,
+	})
+	register(Experiment{
+		ID:    "E4",
+		Title: "Surveillance is not maximal: M_max = Q sound while M_s always reports Λ",
+		Paper: "Section 4, flowchart p. 49",
+		Run:   runE4,
+	})
+	register(Experiment{
+		ID:    "E7",
+		Title: "Soundness sweep over random programs (Theorems 3 and 3')",
+		Paper: "Theorems 3, 3'",
+		Run:   runE7,
+	})
+	register(Experiment{
+		ID:    "E8",
+		Title: "Timing channel: constant value, revealing running time; M' closes it",
+		Paper: "Section 2 timing program",
+		Run:   runE8,
+	})
+}
+
+func runE3(w io.Writer) error {
+	q := flowchart.MustParse(progForgetful)
+	J := lattice.NewIndexSet(2)
+	dom := core.Grid(2, 0, 1, 2)
+	ms := surveillance.MustMechanism(q, J, surveillance.Untimed)
+	mh := surveillance.MustMechanism(q, J, surveillance.Monotone)
+
+	tw := table(w)
+	fmt.Fprintln(tw, "input\tQ\tM_s (surveillance)\tM_h (high-water)")
+	if err := dom.Enumerate(func(in []int64) error {
+		qo, err := core.FromProgram(q).Run(in)
+		if err != nil {
+			return err
+		}
+		so, err := ms.Run(in)
+		if err != nil {
+			return err
+		}
+		ho, err := mh.Run(in)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", core.FormatInputs(in), outcomeCell(qo), outcomeCell(so), outcomeCell(ho))
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	cr, err := core.Compare(ms, mh, dom)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "relation: M_s %s M_h (pass %d vs %d of %d)\n",
+		relSym(cr.Relation), cr.PassM1, cr.PassM2, cr.Checked)
+	return nil
+}
+
+func outcomeCell(o core.Outcome) string {
+	if o.Violation {
+		return "Λ"
+	}
+	return fmt.Sprintf("%d", o.Value)
+}
+
+func runE4(w io.Writer) error {
+	q := flowchart.MustParse(progBothArms)
+	J := lattice.NewIndexSet(2)
+	pol := core.NewAllowSet(2, J)
+	dom := core.Grid(2, 0, 1, 2)
+	ms := surveillance.MustMechanism(q, J, surveillance.Untimed)
+	qm := core.FromProgram(q)
+
+	msPass, qSound := 0, false
+	if err := dom.Enumerate(func(in []int64) error {
+		o, err := ms.Run(in)
+		if err != nil {
+			return err
+		}
+		if !o.Violation {
+			msPass++
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	rep, err := core.CheckSoundness(qm, pol, dom, core.ObserveValue)
+	if err != nil {
+		return err
+	}
+	qSound = rep.Sound
+	cr, err := core.Compare(qm, ms, dom)
+	if err != nil {
+		return err
+	}
+	// The Theorem 2 maximal mechanism, tabulated over the domain, should
+	// coincide with Q here (Q is sound, so nothing can beat it).
+	max, err := core.Maximal(qm, pol, dom, core.ObserveValue)
+	if err != nil {
+		return err
+	}
+	maxPass, maxTotal := max.PassCount()
+	agree, err := core.Compare(max, qm, dom)
+	if err != nil {
+		return err
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "mechanism\tsound for allow(2)\tpasses")
+	fmt.Fprintf(tw, "M_s\tyes (Thm 3)\t%d/%d\n", msPass, dom.Size())
+	fmt.Fprintf(tw, "Q\t%s\t%d/%d\n", mark(qSound), dom.Size(), dom.Size())
+	fmt.Fprintf(tw, "M_max (Thm 2 tabulation)\tyes\t%d/%d\n", maxPass, maxTotal)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "relation: Q %s M_s — surveillance is sound but not maximal; tabulated M_max %s Q\n",
+		relSym(cr.Relation), relSym(agree.Relation))
+	return nil
+}
+
+func runE7(w io.Writer) error {
+	r := rand.New(rand.NewSource(1975))
+	cfg := progen.DefaultConfig(2)
+	dom := core.Grid(2, 0, 1, 2)
+	const trials = 25
+	type row struct {
+		variant string
+		obs     core.Observation
+		sound   int
+		total   int
+	}
+	rows := []row{
+		{"untimed M", core.ObserveValue, 0, 0},
+		{"untimed M", core.ObserveValueAndTime, 0, 0},
+		{"timed M'", core.ObserveValueAndTime, 0, 0},
+	}
+	variants := []surveillance.Variant{surveillance.Untimed, surveillance.Untimed, surveillance.Timed}
+	for trial := 0; trial < trials; trial++ {
+		q := progen.Generate(r, cfg)
+		for _, J := range lattice.Subsets(2) {
+			pol := core.NewAllowSet(2, J)
+			for i := range rows {
+				m, err := surveillance.Mechanism(q, J, variants[i])
+				if err != nil {
+					return err
+				}
+				rep, err := core.CheckSoundness(m, pol, dom, rows[i].obs)
+				if err != nil {
+					return err
+				}
+				rows[i].total++
+				if rep.Sound {
+					rows[i].sound++
+				}
+			}
+		}
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "mechanism\tobservation\tsound\texpected")
+	expect := []string{"all (Thm 3)", "not all (time leaks)", "all (Thm 3')"}
+	for i, rw := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d/%d\t%s\n", rw.variant, rw.obs.ObsName, rw.sound, rw.total, expect[i])
+	}
+	return tw.Flush()
+}
+
+func runE8(w io.Writer) error {
+	q := flowchart.MustParse(progTiming)
+	dom := core.Grid(1, 0, 1, 2, 3)
+	pol := core.NewAllow(1)
+	qm := core.FromProgram(q)
+	ms := surveillance.MustMechanism(q, lattice.EmptySet, surveillance.Untimed)
+	mp := surveillance.MustMechanism(q, lattice.EmptySet, surveillance.Timed)
+
+	tw := table(w)
+	fmt.Fprintln(tw, "x1\tQ value\tQ steps\tM steps\tM' outcome\tM' steps")
+	if err := dom.Enumerate(func(in []int64) error {
+		qo, err := qm.Run(in)
+		if err != nil {
+			return err
+		}
+		so, err := ms.Run(in)
+		if err != nil {
+			return err
+		}
+		po, err := mp.Run(in)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%s\t%d\n", in[0], qo.Value, qo.Steps, so.Steps, outcomeCell(po), po.Steps)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, tc := range []struct {
+		name string
+		m    core.Mechanism
+		obs  core.Observation
+	}{
+		{"Q under value", qm, core.ObserveValue},
+		{"Q under value+time", qm, core.ObserveValueAndTime},
+		{"M (untimed) under value+time", ms, core.ObserveValueAndTime},
+		{"M' (timed) under value+time", mp, core.ObserveValueAndTime},
+	} {
+		rep, err := core.CheckSoundness(tc.m, pol, dom, tc.obs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-32s sound=%s\n", tc.name, mark(rep.Sound))
+	}
+	return nil
+}

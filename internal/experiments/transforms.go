@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"spm/internal/core"
+	"spm/internal/flowchart"
+	"spm/internal/lattice"
+	"spm/internal/static"
+	"spm/internal/surveillance"
+	"spm/internal/transform"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E5",
+		Title: "If-then-else transform yields a maximal mechanism on Example 7",
+		Paper: "Example 7",
+		Run:   runE5,
+	})
+	register(Experiment{
+		ID:    "E6",
+		Title: "The same transform makes Example 8's mechanism strictly less complete",
+		Paper: "Example 8",
+		Run:   runE6,
+	})
+	register(Experiment{
+		ID:    "E9",
+		Title: "Duplication/specialisation beats whole-program certification and the transform",
+		Paper: "Example 9, Section 5",
+		Run:   runE9,
+	})
+	register(Experiment{
+		ID:    "E16",
+		Title: "While transform (bounded unrolling) removes loop-test classes",
+		Paper: "Section 4, while transform",
+		Run:   runE16,
+	})
+}
+
+// transformComparison runs plain vs transformed surveillance over a
+// domain, printing pass counts and the completeness relation.
+func transformComparison(w io.Writer, src string, J lattice.IndexSet, dom core.Domain) error {
+	q := flowchart.MustParse(src)
+	qt, applied, err := transform.IfThenElseAll(q)
+	if err != nil {
+		return err
+	}
+	if ok, witness, err := transform.Equivalent(q, qt, dom); err != nil || !ok {
+		return fmt.Errorf("transform not equivalent (witness %v): %v", witness, err)
+	}
+	ms := surveillance.MustMechanism(q, J, surveillance.Untimed)
+	mt := surveillance.MustMechanism(qt, J, surveillance.Untimed)
+	pol := core.NewAllowSet(q.Arity(), J)
+
+	tw := table(w)
+	fmt.Fprintln(tw, "mechanism\tsound\tpasses")
+	for _, m := range []core.Mechanism{ms, mt} {
+		rep, err := core.CheckSoundness(m, pol, dom, core.ObserveValue)
+		if err != nil {
+			return err
+		}
+		passes := 0
+		if err := dom.Enumerate(func(in []int64) error {
+			o, err := m.Run(in)
+			if err != nil {
+				return err
+			}
+			if !o.Violation {
+				passes++
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d/%d\n", m.Name(), mark(rep.Sound), passes, dom.Size())
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	cr, err := core.Compare(mt, ms, dom)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "transformed %s plain (diamonds rewritten: %d)\n", relSym(cr.Relation), applied)
+	return nil
+}
+
+func runE5(w io.Writer) error {
+	return transformComparison(w, progEx7, lattice.NewIndexSet(2), core.Grid(2, 0, 1, 2))
+}
+
+func runE6(w io.Writer) error {
+	return transformComparison(w, progEx8, lattice.NewIndexSet(2), core.Grid(2, 0, 1, 2))
+}
+
+func runE9(w io.Writer) error {
+	q := flowchart.MustParse(progEx9)
+	J := lattice.NewIndexSet(1)
+	pol := core.NewAllowSet(2, J)
+	dom := core.Grid(2, 0, 1, 2)
+
+	// Candidate compile-time mechanisms.
+	whole, rep, err := static.Mechanism(q, J)
+	if err != nil {
+		return err
+	}
+	spec, err := static.Specialize(q, J, -1)
+	if err != nil {
+		return err
+	}
+	qt, _, err := transform.IfThenElseAll(q)
+	if err != nil {
+		return err
+	}
+	ifte := surveillance.MustMechanism(qt, J, surveillance.Untimed)
+	ms := surveillance.MustMechanism(q, J, surveillance.Untimed)
+
+	tw := table(w)
+	fmt.Fprintln(tw, "mechanism\tsound\tpasses")
+	for _, m := range []core.Mechanism{whole, ifte, ms, spec} {
+		sr, err := core.CheckSoundness(m, pol, dom, core.CoarseNotices(core.ObserveValue))
+		if err != nil {
+			return err
+		}
+		passes := 0
+		if err := dom.Enumerate(func(in []int64) error {
+			o, err := m.Run(in)
+			if err != nil {
+				return err
+			}
+			if !o.Violation {
+				passes++
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d/%d\n", m.Name(), mark(sr.Sound), passes, dom.Size())
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "whole-program certification: %s\n", rep)
+	fmt.Fprintf(w, "specialised mechanism:\n%s", spec.Describe())
+	return nil
+}
+
+func runE16(w io.Writer) error {
+	q := flowchart.MustParse(progWhile)
+	J := lattice.NewIndexSet(2)
+	pol := core.NewAllowSet(2, J)
+	dom := core.Grid(2, 0, 1, 2)
+	loops, err := transform.FindLoops(q)
+	if err != nil {
+		return err
+	}
+	if len(loops) != 1 {
+		return fmt.Errorf("expected one loop, found %d", len(loops))
+	}
+	qt, err := transform.Unroll(q, loops[0], 2)
+	if err != nil {
+		return err
+	}
+	if ok, witness, err := transform.Equivalent(q, qt, dom); err != nil || !ok {
+		return fmt.Errorf("unroll not equivalent (witness %v): %v", witness, err)
+	}
+	ms := surveillance.MustMechanism(q, J, surveillance.Untimed)
+	mt := surveillance.MustMechanism(qt, J, surveillance.Untimed)
+	tw := table(w)
+	fmt.Fprintln(tw, "mechanism\tsound\tpasses")
+	for _, m := range []core.Mechanism{ms, mt} {
+		rep, err := core.CheckSoundness(m, pol, dom, core.ObserveValue)
+		if err != nil {
+			return err
+		}
+		passes := 0
+		if err := dom.Enumerate(func(in []int64) error {
+			o, err := m.Run(in)
+			if err != nil {
+				return err
+			}
+			if !o.Violation {
+				passes++
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d/%d\n", m.Name(), mark(rep.Sound), passes, dom.Size())
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	cr, err := core.Compare(mt, ms, dom)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "unrolled %s plain: the loop test's classes no longer reach the counter\n", relSym(cr.Relation))
+	return nil
+}

@@ -1,0 +1,214 @@
+package fenton
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"spm/internal/core"
+	"spm/internal/lattice"
+)
+
+// Assemble parses data-mark assembler text. Syntax, one instruction per
+// line, with // comments and optional "LABEL:" prefixes:
+//
+//	    inc r1
+//	L:  brz r1 END      // if r1 == 0 goto END
+//	    dec r1
+//	    jmp L
+//	END: halt
+//
+// Register names are r0..rN; r0 is the output register. Targets are labels
+// or absolute instruction indices.
+func Assemble(name, src string) (*Program, error) {
+	type rawInstr struct {
+		op     Opcode
+		reg    int
+		target string
+		line   int
+	}
+	var raws []rawInstr
+	labels := make(map[string]int)
+	maxReg := -1
+
+	lineNo := 0
+	for _, line := range strings.Split(src, "\n") {
+		lineNo++
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly several) prefix the instruction.
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			lab := strings.TrimSpace(line[:i])
+			if lab == "" || strings.ContainsAny(lab, " \t") {
+				return nil, fmt.Errorf("fenton asm line %d: bad label %q", lineNo, lab)
+			}
+			if _, dup := labels[lab]; dup {
+				return nil, fmt.Errorf("fenton asm line %d: duplicate label %q", lineNo, lab)
+			}
+			labels[lab] = len(raws)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue // label-only line
+		}
+		fields := strings.Fields(line)
+		op := strings.ToLower(fields[0])
+		argc := len(fields) - 1
+		parseReg := func(s string) (int, error) {
+			if !strings.HasPrefix(s, "r") && !strings.HasPrefix(s, "R") {
+				return 0, fmt.Errorf("fenton asm line %d: expected register, got %q", lineNo, s)
+			}
+			v, err := strconv.Atoi(s[1:])
+			if err != nil || v < 0 {
+				return 0, fmt.Errorf("fenton asm line %d: bad register %q", lineNo, s)
+			}
+			if v > maxReg {
+				maxReg = v
+			}
+			return v, nil
+		}
+		switch op {
+		case "inc", "dec":
+			if argc != 1 {
+				return nil, fmt.Errorf("fenton asm line %d: %s takes one register", lineNo, op)
+			}
+			reg, err := parseReg(fields[1])
+			if err != nil {
+				return nil, err
+			}
+			o := OpInc
+			if op == "dec" {
+				o = OpDec
+			}
+			raws = append(raws, rawInstr{op: o, reg: reg, line: lineNo})
+		case "brz":
+			if argc != 2 {
+				return nil, fmt.Errorf("fenton asm line %d: brz takes register and target", lineNo)
+			}
+			reg, err := parseReg(fields[1])
+			if err != nil {
+				return nil, err
+			}
+			raws = append(raws, rawInstr{op: OpBrz, reg: reg, target: fields[2], line: lineNo})
+		case "jmp":
+			if argc != 1 {
+				return nil, fmt.Errorf("fenton asm line %d: jmp takes a target", lineNo)
+			}
+			raws = append(raws, rawInstr{op: OpJmp, target: fields[1], line: lineNo})
+		case "halt":
+			if argc != 0 {
+				return nil, fmt.Errorf("fenton asm line %d: halt takes no operands", lineNo)
+			}
+			raws = append(raws, rawInstr{op: OpHalt, line: lineNo})
+		default:
+			return nil, fmt.Errorf("fenton asm line %d: unknown instruction %q", lineNo, op)
+		}
+	}
+
+	p := &Program{Name: name, NumRegs: maxReg + 1}
+	if p.NumRegs == 0 {
+		p.NumRegs = 1 // r0 always exists as the output register
+	}
+	for _, rw := range raws {
+		ins := Instr{Op: rw.op, Reg: rw.reg}
+		if rw.op == OpBrz || rw.op == OpJmp {
+			if idx, ok := labels[rw.target]; ok {
+				ins.Target = idx
+			} else if v, err := strconv.Atoi(rw.target); err == nil {
+				ins.Target = v
+			} else {
+				return nil, fmt.Errorf("fenton asm line %d: undefined label %q", rw.line, rw.target)
+			}
+		}
+		p.Instrs = append(p.Instrs, ins)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	p.computeJoins()
+	return p, nil
+}
+
+// MustAssemble is Assemble but panics on error; for program literals.
+func MustAssemble(name, src string) *Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Disassemble renders the program as assembler text with absolute targets.
+func Disassemble(p *Program) string {
+	var b strings.Builder
+	for i, ins := range p.Instrs {
+		fmt.Fprintf(&b, "%3d: %s\n", i, ins)
+	}
+	return b.String()
+}
+
+// Mechanism wraps a data-mark program as a core.Mechanism of arity k: the
+// mechanism's inputs load registers 1..k, and registers whose input index
+// is NOT in allowed start with the priv mark — Fenton's encoding of
+// allow(J) ("objects may only encode information from sources having the
+// null attribute"). Register 0 is the output.
+type Mechanism struct {
+	P        *Program
+	K        int
+	Allowed  lattice.IndexSet
+	Sem      HaltSemantics
+	MaxSteps int64
+}
+
+// NewMechanism builds the mechanism; arity must leave room for the output
+// register (k < NumRegs is not required — extra registers are scratch).
+func NewMechanism(p *Program, arity int, allowed lattice.IndexSet, sem HaltSemantics) (*Mechanism, error) {
+	if arity < 0 || arity+1 > p.NumRegs {
+		return nil, fmt.Errorf("fenton: arity %d needs %d registers, program has %d", arity, arity+1, p.NumRegs)
+	}
+	if !allowed.SubsetOf(lattice.AllInputs(arity)) {
+		return nil, fmt.Errorf("fenton: allow%v names inputs beyond arity %d", allowed, arity)
+	}
+	return &Mechanism{P: p, K: arity, Allowed: allowed, Sem: sem, MaxSteps: DefaultMaxSteps}, nil
+}
+
+// Name implements core.Mechanism.
+func (m *Mechanism) Name() string {
+	return fmt.Sprintf("%s[%s,allow%v]", m.P.Name, m.Sem, m.Allowed)
+}
+
+// Arity implements core.Mechanism.
+func (m *Mechanism) Arity() int { return m.K }
+
+// Run implements core.Mechanism. Negative inputs are clamped to zero: the
+// machine's registers, like Minsky's, hold naturals.
+func (m *Mechanism) Run(input []int64) (core.Outcome, error) {
+	if len(input) != m.K {
+		return core.Outcome{}, fmt.Errorf("fenton: mechanism %q: got %d inputs, want %d", m.Name(), len(input), m.K)
+	}
+	regs := make([]int64, m.K+1)
+	marks := make([]Mark, m.K+1)
+	for i, v := range input {
+		if v < 0 {
+			v = 0
+		}
+		regs[i+1] = v
+		if !m.Allowed.Contains(i + 1) {
+			marks[i+1] = Priv
+		}
+	}
+	res, err := m.P.Run(regs, marks, m.Sem, m.MaxSteps)
+	if err != nil {
+		return core.Outcome{}, err
+	}
+	return core.Outcome{Value: res.Output, Steps: res.Steps, Violation: res.Violation, Notice: res.Notice}, nil
+}

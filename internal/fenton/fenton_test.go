@@ -1,0 +1,359 @@
+package fenton
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"spm/internal/core"
+	"spm/internal/lattice"
+)
+
+// asmLeak is the paper's negative-inference construction (Example 1
+// continued): under halt-as-error semantics the machine emits the error
+// message if and only if x (= r1, priv) is zero.
+const asmLeak = `
+    brz r1 ZERO
+    jmp JOIN
+ZERO: halt          // reached only when r1 == 0, with priv counter
+JOIN: halt          // the join: counter mark discharged here
+`
+
+// asmCopy copies r1 into r0 by counting down: r0 ends equal to r1.
+const asmCopy = `
+LOOP: brz r1 DONE
+      dec r1
+      inc r0
+      jmp LOOP
+DONE: halt
+`
+
+// asmConst ignores its input and outputs 2.
+const asmConst = `
+    inc r0
+    inc r0
+    halt
+`
+
+func TestAssembleAndDisassemble(t *testing.T) {
+	p := MustAssemble("copy", asmCopy)
+	if p.NumRegs != 2 {
+		t.Errorf("NumRegs = %d, want 2", p.NumRegs)
+	}
+	if len(p.Instrs) != 5 {
+		t.Errorf("len(Instrs) = %d", len(p.Instrs))
+	}
+	dis := Disassemble(p)
+	for _, want := range []string{"brz r1 4", "dec r1", "inc r0", "jmp 0", "halt"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"empty", "", "empty program"},
+		{"no halt", "inc r0\n", "no halt"},
+		{"bad op", "frob r0\nhalt\n", "unknown instruction"},
+		{"bad reg", "inc x0\nhalt\n", "expected register"},
+		{"bad label", "jmp NOWHERE\nhalt\n", "undefined label"},
+		{"dup label", "A: halt\nA: halt\n", "duplicate label"},
+		{"inc argc", "inc r0 r1\nhalt\n", "one register"},
+		{"brz argc", "brz r0\nhalt\n", "register and target"},
+		{"halt argc", "halt r0\n", "no operands"},
+		{"target range", "jmp 99\nhalt\n", "out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Assemble("bad", tc.src)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCopyProgram(t *testing.T) {
+	p := MustAssemble("copy", asmCopy)
+	for _, x := range []int64{0, 1, 5} {
+		res, err := p.Run([]int64{0, x}, nil, HaltAsNoop, DefaultMaxSteps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Violation || res.Output != x {
+			t.Errorf("copy(%d) = %+v", x, res)
+		}
+	}
+}
+
+func TestSuppressedUpdatesArePartialComputations(t *testing.T) {
+	// With r1 priv the loop's "inc r0" happens under a priv counter and
+	// is suppressed (r0 is null): the machine outputs 0 — the result of a
+	// partial computation, which is neither Q(a) nor a violation notice.
+	// This is Jones & Lipton's criticism of Fenton's mechanism: E and F
+	// are not disjoint.
+	p := MustAssemble("copy", asmCopy)
+	res, err := p.Run([]int64{0, 3}, []Mark{Null, Priv}, HaltAsNoop, DefaultMaxSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation || res.Output != 0 {
+		t.Errorf("suppressed copy should output 0 silently: %+v", res)
+	}
+	// Formally: the data-mark machine fails the Jones–Lipton mechanism
+	// property against the unprotected program Q.
+	m, err := NewMechanism(p, 1, lattice.EmptySet, HaltAsNoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewMechanism(p, 1, lattice.NewIndexSet(1), HaltAsNoop) // all marks null: bare Q
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, w, err := core.VerifyMechanism(m, q, core.Grid(1, 0, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("Fenton's machine should fail the mechanism property (partial computations)")
+	}
+	if w == nil {
+		t.Error("want a witness input")
+	}
+}
+
+func TestMarkDischargedAtJoin(t *testing.T) {
+	// Branching on priv data marks the counter, but after the join an
+	// increment no longer taints its target.
+	src := `
+    brz r1 A
+A:  inc r0        // at the join: counter is null again
+    halt
+`
+	p := MustAssemble("join", src)
+	res, err := p.Run([]int64{0, 1}, []Mark{Null, Priv}, HaltAsNoop, DefaultMaxSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation || res.Output != 1 {
+		t.Errorf("post-join increment should be clean: %+v", res)
+	}
+}
+
+func TestUpdateSuppressedInsideRegion(t *testing.T) {
+	// An increment of a null register strictly inside a priv branch
+	// region is suppressed on both paths, so the output never encodes the
+	// branch outcome.
+	src := `
+    brz r1 SKIP
+    inc r0        // inside the region: suppressed
+SKIP: halt
+`
+	p := MustAssemble("inside", src)
+	for _, x := range []int64{0, 1} {
+		res, err := p.Run([]int64{0, x}, []Mark{Null, Priv}, HaltAsNoop, DefaultMaxSteps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Violation || res.Output != 0 {
+			t.Errorf("x=%d: %+v, want silent 0 (suppressed update)", x, res)
+		}
+	}
+	// Without the priv mark the increment executes normally.
+	res, err := p.Run([]int64{0, 1}, []Mark{Null, Null}, HaltAsNoop, DefaultMaxSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != 1 {
+		t.Errorf("unmarked run = %+v, want 1", res)
+	}
+}
+
+func TestHaltAsErrorLeak(t *testing.T) {
+	// The paper's construction: the error message appears iff x == 0.
+	p := MustAssemble("leak", asmLeak)
+	res0, err := p.Run([]int64{0, 0}, []Mark{Null, Priv}, HaltAsError, DefaultMaxSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := p.Run([]int64{0, 1}, []Mark{Null, Priv}, HaltAsError, DefaultMaxSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res0.Violation || res0.Notice != NoticeHaltPriv {
+		t.Errorf("x=0 should emit the halt error: %+v", res0)
+	}
+	if res1.Violation {
+		t.Errorf("x≠0 should halt normally: %+v", res1)
+	}
+}
+
+func TestHaltSemanticsSoundness(t *testing.T) {
+	p := MustAssemble("leak", asmLeak)
+	pol := core.NewAllow(1) // allow nothing: r1 is priv
+	dom := core.Grid(1, 0, 1, 2)
+
+	mErr, err := NewMechanism(p, 1, lattice.EmptySet, HaltAsError)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := core.CheckSoundness(mErr, pol, dom, core.ObserveValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sound {
+		t.Error("halt-as-error must be unsound (negative inference)")
+	}
+
+	mNoop, err := NewMechanism(p, 1, lattice.EmptySet, HaltAsNoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = core.CheckSoundness(mNoop, pol, dom, core.ObserveValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Sound {
+		t.Errorf("halt-as-noop should be sound on this program: %s", rep)
+	}
+}
+
+func TestFentonTimeNotHandled(t *testing.T) {
+	// "As Fenton correctly points out, the observability postulate does
+	// not hold for his programs": the copy loop's running time reveals
+	// the priv input even though the output is withheld.
+	p := MustAssemble("copy", asmCopy)
+	m, err := NewMechanism(p, 1, lattice.EmptySet, HaltAsNoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := core.Grid(1, 0, 1, 2, 3)
+	pol := core.NewAllow(1)
+	repValue, err := core.CheckSoundness(m, pol, dom, core.ObserveValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !repValue.Sound {
+		t.Errorf("value-only: %s", repValue)
+	}
+	repTime, err := core.CheckSoundness(m, pol, dom, core.ObserveValueAndTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repTime.Sound {
+		t.Error("running time must leak the priv input on Fenton's machine")
+	}
+}
+
+func TestFallOffEndUndefined(t *testing.T) {
+	// "the semantics of the halt statement are undefined in case the halt
+	// statement is the last program statement": when control proceeds
+	// past the final instruction the machine reports the undefined case
+	// as an execution error rather than inventing behaviour.
+	src := `
+    brz r1 SKIP
+    halt          // priv counter: noop, falls through
+SKIP: inc r0      // last instruction: control falls off the end
+`
+	p := MustAssemble("undef", src)
+	for _, x := range []int64{0, 1} {
+		_, err := p.Run([]int64{0, x}, []Mark{Null, Priv}, HaltAsNoop, DefaultMaxSteps)
+		if !errors.Is(err, ErrUndefined) {
+			t.Errorf("x=%d: err = %v, want ErrUndefined", x, err)
+		}
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	src := `
+LOOP: inc r0
+      jmp LOOP
+      halt
+`
+	p := MustAssemble("spin", src)
+	_, err := p.Run(nil, nil, HaltAsNoop, 50)
+	if !errors.Is(err, ErrStepLimit) {
+		t.Errorf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestNestedPrivRegions(t *testing.T) {
+	// Two nested priv branches; the inner discharge must not clear the
+	// outer scope.
+	src := `
+    brz r1 J1
+    brz r2 J2
+J2: inc r0       // still inside r1's region
+J1: halt
+`
+	p := MustAssemble("nested", src)
+	// r1 = 1, r2 = 0: fall through on r1 (outer scope open), brz r2 jumps
+	// to J2 (inner join). The inner discharge must leave the outer scope
+	// active, so the increment is still suppressed.
+	res, err := p.Run([]int64{0, 1, 0}, []Mark{Null, Priv, Priv}, HaltAsNoop, DefaultMaxSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation || res.Output != 0 {
+		t.Errorf("inner join must not discharge outer scope: %+v, want suppressed 0", res)
+	}
+	// With both registers null the increment executes.
+	res, err = p.Run([]int64{0, 1, 0}, []Mark{Null, Null, Null}, HaltAsNoop, DefaultMaxSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != 1 {
+		t.Errorf("unmarked nested run = %+v, want 1", res)
+	}
+}
+
+func TestMechanismErrors(t *testing.T) {
+	p := MustAssemble("const", asmConst)
+	if _, err := NewMechanism(p, 5, lattice.EmptySet, HaltAsNoop); err == nil {
+		t.Error("arity exceeding registers accepted")
+	}
+	if _, err := NewMechanism(p, 0, lattice.NewIndexSet(1), HaltAsNoop); err == nil {
+		t.Error("allow beyond arity accepted")
+	}
+	m, err := NewMechanism(p, 0, lattice.EmptySet, HaltAsNoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run([]int64{1}); err == nil {
+		t.Error("input arity mismatch accepted")
+	}
+	o, err := m.Run(nil)
+	if err != nil || o.Value != 2 {
+		t.Errorf("const run = %v, %v", o, err)
+	}
+	if !strings.Contains(m.Name(), "halt-as-noop") {
+		t.Errorf("Name = %q", m.Name())
+	}
+}
+
+func TestNegativeInputsClamped(t *testing.T) {
+	p := MustAssemble("copy", asmCopy)
+	m, err := NewMechanism(p, 1, lattice.NewIndexSet(1), HaltAsNoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := m.Run([]int64{-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Value != 0 {
+		t.Errorf("negative input should clamp to 0: %v", o)
+	}
+}
+
+func TestMarkString(t *testing.T) {
+	if Null.String() != "null" || Priv.String() != "priv" {
+		t.Error("mark names")
+	}
+	if HaltAsNoop.String() != "halt-as-noop" || HaltAsError.String() != "halt-as-error" {
+		t.Error("semantics names")
+	}
+}

@@ -1,0 +1,409 @@
+// Package fenton implements Fenton's data-mark machine (J. S. Fenton,
+// "Memoryless subsystems", Computer Journal 17(2), 1974) — the running
+// Example 1 of Jones & Lipton — as a Minsky-style register machine with
+// security marks.
+//
+// Each register carries a fixed mark, null or priv, assigned before the
+// run; the program counter carries a dynamic one. Branching on a priv
+// register makes the program counter priv until control reaches the
+// branch's join point (the immediate postdominator, computed statically,
+// standing in for Fenton's structured return mechanism). While the counter
+// is priv, an update to a null register is suppressed — the instruction
+// has no effect — which is Fenton's memoryless-subsystem rule preventing
+// implicit flows into low registers. The machine enforces
+// allow(...)-style policies: the output register r0 is null, so it can
+// never encode priv information.
+//
+// Note the consequence Jones & Lipton highlight: a suppressed update means
+// the machine can return the result of a *partial computation* rather than
+// Q's value or a violation notice — Fenton's "violation notices" F and the
+// program outputs E are not disjoint, so in the Jones–Lipton sense the
+// data-mark machine is not a protection mechanism at all (Example 1
+// continued). TestSuppressedUpdatesArePartialComputations demonstrates
+// this with core.VerifyMechanism.
+//
+// The interesting — and historically important — subtlety is the halt
+// instruction, "if P = null then halt" (Example 1 continued, and
+// Example 6's negative-inference discussion). What happens when P ≠ null?
+// The machine implements the paper's two candidate interpretations:
+//
+//   - HaltAsNoop: the halt is skipped and execution proceeds to the next
+//     instruction; undefined (an execution error) when the halt is the
+//     last instruction.
+//   - HaltAsError: a violation notice is emitted immediately. This
+//     interpretation is UNSOUND: a program can emit the error message if
+//     and only if a priv register is zero, so the presence or absence of
+//     the message is a negative inference channel. The package's tests and
+//     experiment E11 demonstrate the leak exactly as the paper describes.
+package fenton
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Mark is a security attribute: null (public) or priv (possibly
+// privileged).
+type Mark uint8
+
+// Marks.
+const (
+	Null Mark = iota
+	Priv
+)
+
+// String renders the mark in Fenton's spelling.
+func (m Mark) String() string {
+	if m == Priv {
+		return "priv"
+	}
+	return "null"
+}
+
+// Opcode is a machine instruction kind.
+type Opcode uint8
+
+// Instruction set: the two Minsky operations, a conditional branch, an
+// unconditional jump, and halt.
+const (
+	OpInc  Opcode = iota // INC r: r += 1
+	OpDec                // DEC r: r -= 1 (floor 0, Minsky-style)
+	OpBrz                // BRZ r, target: if r == 0 jump, else fall through
+	OpJmp                // JMP target
+	OpHalt               // HALT (subject to the halt-semantics variant)
+)
+
+// String names the opcode.
+func (op Opcode) String() string {
+	switch op {
+	case OpInc:
+		return "inc"
+	case OpDec:
+		return "dec"
+	case OpBrz:
+		return "brz"
+	case OpJmp:
+		return "jmp"
+	case OpHalt:
+		return "halt"
+	default:
+		return fmt.Sprintf("Opcode(%d)", uint8(op))
+	}
+}
+
+// Instr is a single machine instruction.
+type Instr struct {
+	Op     Opcode
+	Reg    int // register operand for inc/dec/brz
+	Target int // jump target for brz/jmp
+}
+
+// String renders the instruction in assembler syntax.
+func (i Instr) String() string {
+	switch i.Op {
+	case OpInc, OpDec:
+		return fmt.Sprintf("%s r%d", i.Op, i.Reg)
+	case OpBrz:
+		return fmt.Sprintf("brz r%d %d", i.Reg, i.Target)
+	case OpJmp:
+		return fmt.Sprintf("jmp %d", i.Target)
+	default:
+		return "halt"
+	}
+}
+
+// HaltSemantics selects the interpretation of halt under a priv program
+// counter.
+type HaltSemantics uint8
+
+// The two interpretations discussed in Example 1 continued.
+const (
+	// HaltAsNoop skips the halt and proceeds; sound, but undefined when
+	// the halt is the final instruction.
+	HaltAsNoop HaltSemantics = iota
+	// HaltAsError emits a violation notice; unsound by negative
+	// inference.
+	HaltAsError
+)
+
+// String names the semantics.
+func (h HaltSemantics) String() string {
+	if h == HaltAsError {
+		return "halt-as-error"
+	}
+	return "halt-as-noop"
+}
+
+// Program is an assembled data-mark program.
+type Program struct {
+	Name    string
+	Instrs  []Instr
+	NumRegs int
+	// joins[i], for a BRZ at i, is the instruction index at which the
+	// program counter's mark acquired by that branch is discharged
+	// (the branch's immediate postdominator), or -1 when the paths never
+	// rejoin before halting.
+	joins []int
+}
+
+// Result is a machine run's outcome. Output is register 0's value.
+type Result struct {
+	Output    int64
+	Steps     int64
+	Violation bool
+	Notice    string
+}
+
+// Errors returned by Run.
+var (
+	ErrStepLimit = errors.New("fenton: step limit exceeded")
+	ErrUndefined = errors.New("fenton: halt-as-noop fell off the end of the program (semantics undefined)")
+	ErrBadReg    = errors.New("fenton: register index out of range")
+)
+
+// DefaultMaxSteps bounds machine executions.
+const DefaultMaxSteps = 1 << 20
+
+// Notices issued by the machine.
+const (
+	// NoticeHaltPriv is the halt-as-error message: the program counter
+	// was priv at a halt.
+	NoticeHaltPriv = "halt attempted with priv program counter"
+	// NoticeOutputPriv is issued when the output register is priv-marked
+	// at a successful halt.
+	NoticeOutputPriv = "output register carries priv mark"
+)
+
+// Run executes the program. regs holds the initial register values (padded
+// with zeros to NumRegs); marks holds the registers' fixed marks (padded
+// with Null). The machine mutates neither slice.
+func (p *Program) Run(regs []int64, marks []Mark, sem HaltSemantics, maxSteps int64) (Result, error) {
+	r := make([]int64, p.NumRegs)
+	copy(r, regs)
+	m := make([]Mark, p.NumRegs)
+	copy(m, marks)
+	if len(regs) > p.NumRegs || len(marks) > p.NumRegs {
+		return Result{}, fmt.Errorf("%w: program has %d registers", ErrBadReg, p.NumRegs)
+	}
+
+	// Active priv scopes: join indices of branches on priv registers that
+	// control is currently inside. The counter is priv while any scope is
+	// open. Scopes with join -1 never close.
+	var scopes []int
+	pcMark := func() Mark {
+		if len(scopes) > 0 {
+			return Priv
+		}
+		return Null
+	}
+	var steps int64
+	pc := 0
+	for {
+		if steps >= maxSteps {
+			return Result{Steps: steps}, fmt.Errorf("%w: budget %d, program %q", ErrStepLimit, maxSteps, p.Name)
+		}
+		if pc < 0 || pc >= len(p.Instrs) {
+			return Result{Steps: steps}, fmt.Errorf("%w (pc=%d)", ErrUndefined, pc)
+		}
+		// Discharge scopes whose join point control has reached.
+		for len(scopes) > 0 && scopes[len(scopes)-1] == pc {
+			scopes = scopes[:len(scopes)-1]
+		}
+		ins := p.Instrs[pc]
+		steps++
+		switch ins.Op {
+		case OpInc:
+			// Fenton's rule: an update executes only when the counter's
+			// mark can flow to the register's (fixed) mark; otherwise the
+			// instruction is suppressed.
+			if pcMark() == Null || m[ins.Reg] == Priv {
+				r[ins.Reg]++
+			}
+			pc++
+		case OpDec:
+			if pcMark() == Null || m[ins.Reg] == Priv {
+				if r[ins.Reg] > 0 {
+					r[ins.Reg]--
+				}
+			}
+			pc++
+		case OpBrz:
+			if m[ins.Reg] == Priv {
+				scopes = append(scopes, p.joins[pc])
+			}
+			if r[ins.Reg] == 0 {
+				pc = ins.Target
+			} else {
+				pc++
+			}
+		case OpJmp:
+			pc = ins.Target
+		case OpHalt:
+			if pcMark() == Priv {
+				switch sem {
+				case HaltAsError:
+					return Result{Steps: steps, Violation: true, Notice: NoticeHaltPriv}, nil
+				default: // HaltAsNoop
+					pc++
+					continue
+				}
+			}
+			if m[0] == Priv {
+				return Result{Steps: steps, Violation: true, Notice: NoticeOutputPriv}, nil
+			}
+			return Result{Output: r[0], Steps: steps}, nil
+		default:
+			return Result{Steps: steps}, fmt.Errorf("fenton: unknown opcode %d at %d", ins.Op, pc)
+		}
+	}
+}
+
+// computeJoins fills p.joins with the immediate postdominator of every BRZ
+// instruction, via the standard iterative postdominance dataflow over the
+// instruction graph augmented with a virtual exit.
+func (p *Program) computeJoins() {
+	n := len(p.Instrs)
+	p.joins = make([]int, n)
+	for i := range p.joins {
+		p.joins[i] = -1
+	}
+	if n == 0 {
+		return
+	}
+	succs := func(i int) []int {
+		ins := p.Instrs[i]
+		switch ins.Op {
+		case OpBrz:
+			out := []int{ins.Target}
+			if i+1 < n {
+				out = append(out, i+1)
+			}
+			return out
+		case OpJmp:
+			return []int{ins.Target}
+		case OpHalt:
+			// Under halt-as-noop a priv-counter halt falls through, so
+			// the join analysis must assume the fall-through edge; for
+			// halts that actually exit, an over-late join merely keeps
+			// the counter priv longer, which is conservative.
+			if i+1 < n {
+				return []int{i + 1}
+			}
+			return nil
+		default:
+			if i+1 < n {
+				return []int{i + 1}
+			}
+			return nil
+		}
+	}
+	// pdom sets over n+1 slots (virtual exit is slot n).
+	const wordBits = 64
+	words := (n + 1 + wordBits - 1) / wordBits
+	full := make([]uint64, words)
+	for i := 0; i <= n; i++ {
+		full[i/wordBits] |= 1 << uint(i%wordBits)
+	}
+	pdom := make([][]uint64, n)
+	for i := 0; i < n; i++ {
+		pdom[i] = make([]uint64, words)
+		if len(succs(i)) == 0 || badTarget(p.Instrs[i], n) {
+			pdom[i][i/wordBits] = 1 << uint(i%wordBits)
+			pdom[i][n/wordBits] |= 1 << uint(n%wordBits)
+		} else {
+			copy(pdom[i], full)
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i < n; i++ {
+			ss := succs(i)
+			if len(ss) == 0 || badTarget(p.Instrs[i], n) {
+				continue
+			}
+			acc := make([]uint64, words)
+			copy(acc, pdom[ss[0]])
+			for _, s := range ss[1:] {
+				for w := range acc {
+					acc[w] &= pdom[s][w]
+				}
+			}
+			acc[i/wordBits] |= 1 << uint(i%wordBits)
+			for w := range acc {
+				nv := pdom[i][w] & acc[w]
+				if nv != pdom[i][w] {
+					pdom[i][w] = nv
+					changed = true
+				}
+			}
+		}
+	}
+	has := func(set []uint64, j int) bool { return set[j/wordBits]&(1<<uint(j%wordBits)) != 0 }
+	count := func(set []uint64) int {
+		c := 0
+		for _, w := range set {
+			for ; w != 0; w &= w - 1 {
+				c++
+			}
+		}
+		return c
+	}
+	for i := 0; i < n; i++ {
+		if p.Instrs[i].Op != OpBrz {
+			continue
+		}
+		best, bestCount := -1, -1
+		for j := 0; j < n; j++ {
+			if j == i || !has(pdom[i], j) {
+				continue
+			}
+			if c := count(pdom[j]); c > bestCount {
+				bestCount = c
+				best = j
+			}
+		}
+		p.joins[i] = best // -1 means only the virtual exit postdominates
+	}
+}
+
+// badTarget reports whether an instruction's jump target is outside the
+// program; such instructions are treated as exits by the join analysis
+// (Validate rejects them anyway).
+func badTarget(ins Instr, n int) bool {
+	switch ins.Op {
+	case OpBrz, OpJmp:
+		return ins.Target < 0 || ins.Target >= n
+	}
+	return false
+}
+
+// Validate checks that every register and jump target is in range and that
+// the program contains a halt.
+func (p *Program) Validate() error {
+	if len(p.Instrs) == 0 {
+		return fmt.Errorf("fenton %q: empty program", p.Name)
+	}
+	halts := 0
+	for i, ins := range p.Instrs {
+		switch ins.Op {
+		case OpInc, OpDec, OpBrz:
+			if ins.Reg < 0 || ins.Reg >= p.NumRegs {
+				return fmt.Errorf("fenton %q: instruction %d: register r%d out of range [0,%d)", p.Name, i, ins.Reg, p.NumRegs)
+			}
+		}
+		switch ins.Op {
+		case OpBrz, OpJmp:
+			if ins.Target < 0 || ins.Target >= len(p.Instrs) {
+				return fmt.Errorf("fenton %q: instruction %d: target %d out of range", p.Name, i, ins.Target)
+			}
+		}
+		if ins.Op == OpHalt {
+			halts++
+		}
+	}
+	if halts == 0 {
+		return fmt.Errorf("fenton %q: no halt instruction", p.Name)
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+// Package filesys implements Example 2 of Jones & Lipton: a simple file
+// system Q(d1,...,dk, f1,...,fk, q) where di is the directory entry
+// governing file fi and q selects the file to read. The interesting
+// security policy is content dependent — not of the allow(...) form:
+//
+//	I(d1,...,dk, f1,...,fk, q) = (d1,...,dk, f1',...,fk', q)
+//	where fi' = fi if di = YES and 0 otherwise.
+//
+// The user may always see every directory entry, but a file's contents
+// only when its directory permits. The gatekeeper mechanism checks the
+// directory before releasing the file and is sound for this policy; the
+// raw program (the file system without its gatekeeper) is not.
+package filesys
+
+import (
+	"fmt"
+
+	"spm/internal/core"
+)
+
+// YES is the directory value granting access; any other value denies.
+const YES int64 = 1
+
+// NoticeDenied is the paper's violation notice text for this example.
+const NoticeDenied = "Illegal access attempted, run aborted."
+
+// System models a k-file file system.
+type System struct {
+	K int
+}
+
+// New builds a file system with k files.
+func New(k int) (*System, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("filesys: need at least one file, got %d", k)
+	}
+	return &System{K: k}, nil
+}
+
+// Arity returns the mechanism arity: k directories, k files, one query.
+func (s *System) Arity() int { return 2*s.K + 1 }
+
+// inputLayout: input[0..K-1] directories, input[K..2K-1] files,
+// input[2K] = query (1-based file index).
+
+// Program returns the raw file system Q: it returns file q's contents
+// regardless of the directory — the program as its own (unsound)
+// protection mechanism.
+func (s *System) Program() core.Mechanism {
+	return core.NewFunc(fmt.Sprintf("filesys%d-raw", s.K), s.Arity(), func(in []int64) core.Outcome {
+		q := in[2*s.K]
+		if q < 1 || q > int64(s.K) {
+			return core.Outcome{Value: 0, Steps: 1}
+		}
+		return core.Outcome{Value: in[s.K+int(q)-1], Steps: 1}
+	})
+}
+
+// Gatekeeper returns the protected file system: file q is released only
+// when directory q says YES; otherwise the run aborts with the paper's
+// violation notice. Note the mechanism also releases directory contents —
+// the policy permits that (the user "can always obtain the value of all
+// the directories").
+func (s *System) Gatekeeper() core.Mechanism {
+	return core.NewFunc(fmt.Sprintf("filesys%d-gatekeeper", s.K), s.Arity(), func(in []int64) core.Outcome {
+		q := in[2*s.K]
+		if q < 1 || q > int64(s.K) {
+			return core.Outcome{Value: 0, Steps: 2}
+		}
+		if in[int(q)-1] != YES {
+			return core.Outcome{Violation: true, Notice: NoticeDenied, Steps: 2}
+		}
+		return core.Outcome{Value: in[s.K+int(q)-1], Steps: 2}
+	})
+}
+
+// Policy returns the content-dependent policy described above.
+func (s *System) Policy() core.Policy {
+	k := s.K
+	return core.NewContent(fmt.Sprintf("dir-gated(%d files)", k), s.Arity(), func(in []int64) string {
+		view := make([]int64, 0, len(in))
+		view = append(view, in[:k]...) // directories always visible
+		for i := 0; i < k; i++ {
+			if in[i] == YES {
+				view = append(view, in[k+i])
+			} else {
+				view = append(view, 0)
+			}
+		}
+		view = append(view, in[2*k]) // the query is the user's own
+		return core.FormatInputs(view)
+	})
+}
+
+// Domain builds an exhaustive test domain: directories over {0, YES},
+// files over fileValues, queries over 1..K (plus an out-of-range probe
+// when includeBadQuery is set).
+func (s *System) Domain(fileValues []int64, includeBadQuery bool) core.Domain {
+	d := make(core.Domain, 0, s.Arity())
+	for i := 0; i < s.K; i++ {
+		d = append(d, []int64{0, YES})
+	}
+	for i := 0; i < s.K; i++ {
+		d = append(d, fileValues)
+	}
+	queries := make([]int64, 0, s.K+1)
+	for q := 1; q <= s.K; q++ {
+		queries = append(queries, int64(q))
+	}
+	if includeBadQuery {
+		queries = append(queries, int64(s.K+1))
+	}
+	d = append(d, queries)
+	return d
+}

@@ -1,0 +1,132 @@
+package filesys
+
+import (
+	"testing"
+
+	"spm/internal/core"
+)
+
+func sys(t *testing.T, k int) *System {
+	t.Helper()
+	s, err := New(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("zero files accepted")
+	}
+}
+
+func TestGatekeeperBehaviour(t *testing.T) {
+	s := sys(t, 2)
+	gk := s.Gatekeeper()
+	// d1=YES, d2=NO, f1=7, f2=9.
+	in := []int64{YES, 0, 7, 9, 1}
+	o, err := gk.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Violation || o.Value != 7 {
+		t.Errorf("permitted read = %v, want 7", o)
+	}
+	in[4] = 2 // query the denied file
+	o, err = gk.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Violation || o.Notice != NoticeDenied {
+		t.Errorf("denied read = %v, want %q", o, NoticeDenied)
+	}
+}
+
+func TestRawProgramReturnsAnything(t *testing.T) {
+	s := sys(t, 2)
+	q := s.Program()
+	o, err := q.Run([]int64{0, 0, 7, 9, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Violation || o.Value != 9 {
+		t.Errorf("raw Q = %v, want 9 (no protection)", o)
+	}
+}
+
+func TestGatekeeperSoundRawUnsound(t *testing.T) {
+	s := sys(t, 2)
+	pol := s.Policy()
+	dom := s.Domain([]int64{0, 1, 2}, false)
+	gk := s.Gatekeeper()
+	rep, err := core.CheckSoundness(gk, pol, dom, core.ObserveValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Sound {
+		t.Errorf("gatekeeper should be sound for the content policy: %s", rep)
+	}
+	raw := s.Program()
+	rep, err = core.CheckSoundness(raw, pol, dom, core.ObserveValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sound {
+		t.Error("raw file system should be unsound")
+	}
+}
+
+func TestGatekeeperIsAMechanismForQ(t *testing.T) {
+	s := sys(t, 2)
+	dom := s.Domain([]int64{0, 1}, true)
+	ok, w, err := core.VerifyMechanism(s.Gatekeeper(), s.Program(), dom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("gatekeeper fails the mechanism property at %v", w)
+	}
+}
+
+func TestPolicyNotAllowForm(t *testing.T) {
+	// The content policy distinguishes inputs that any allow(...) policy
+	// would conflate or conflates ones allow would distinguish: with
+	// d1=NO, the file value is filtered.
+	s := sys(t, 1)
+	pol := s.Policy()
+	if pol.View([]int64{0, 5, 1}) != pol.View([]int64{0, 9, 1}) {
+		t.Error("denied file should be filtered from the view")
+	}
+	if pol.View([]int64{YES, 5, 1}) == pol.View([]int64{YES, 9, 1}) {
+		t.Error("granted file must appear in the view")
+	}
+	// Directories always visible.
+	if pol.View([]int64{0, 5, 1}) == pol.View([]int64{YES, 5, 1}) {
+		t.Error("directory values must always be visible")
+	}
+}
+
+func TestBadQueryHandling(t *testing.T) {
+	s := sys(t, 2)
+	dom := s.Domain([]int64{0, 1}, true)
+	// Out-of-range queries return 0 from both raw and gatekeeper, keeping
+	// the mechanism property intact; soundness still holds.
+	rep, err := core.CheckSoundness(s.Gatekeeper(), s.Policy(), dom, core.ObserveValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Sound {
+		t.Errorf("gatekeeper with bad queries: %s", rep)
+	}
+}
+
+func TestArity(t *testing.T) {
+	s := sys(t, 3)
+	if s.Arity() != 7 {
+		t.Errorf("Arity = %d, want 7", s.Arity())
+	}
+	if len(s.Domain([]int64{0}, false)) != 7 {
+		t.Error("domain arity mismatch")
+	}
+}

@@ -1,0 +1,475 @@
+package flowchart
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NodeID identifies a box within a Program. IDs are indices into
+// Program.Nodes.
+type NodeID int32
+
+// NoNode is the absent successor.
+const NoNode NodeID = -1
+
+// Kind distinguishes the four box forms of the paper's flowchart language.
+type Kind uint8
+
+// Box kinds.
+const (
+	KindStart    Kind = iota // the unique entry box
+	KindAssign               // v := E(w1,...,wp)
+	KindDecision             // branch on B(w1,...,wp)
+	KindHalt                 // halt with output, or with a violation notice
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindStart:
+		return "start"
+	case KindAssign:
+		return "assign"
+	case KindDecision:
+		return "decision"
+	case KindHalt:
+		return "halt"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Node is one box of a flowchart. Which fields are meaningful depends on
+// Kind:
+//
+//	KindStart:    Next
+//	KindAssign:   Target, Expr, Next
+//	KindDecision: Cond, True, False
+//	KindHalt:     Violation, Notice
+//
+// A halt box with Violation set produces a violation notice instead of the
+// output value; the surveillance transformation introduces such boxes (the
+// paper's Λ output).
+type Node struct {
+	Kind  Kind
+	Label string // optional name for printing and DSL round trips
+
+	Target string // KindAssign
+	Expr   Expr   // KindAssign
+	Cond   Pred   // KindDecision
+
+	Next  NodeID // KindStart, KindAssign
+	True  NodeID // KindDecision
+	False NodeID // KindDecision
+
+	Violation bool   // KindHalt
+	Notice    string // KindHalt, when Violation
+}
+
+// Succs returns the node's successor IDs (0, 1, or 2 of them).
+func (n *Node) Succs() []NodeID {
+	switch n.Kind {
+	case KindStart, KindAssign:
+		return []NodeID{n.Next}
+	case KindDecision:
+		return []NodeID{n.True, n.False}
+	default:
+		return nil
+	}
+}
+
+// Program is a flowchart: a program Q : Z^k → Z in the paper's sense, where
+// k = len(Inputs). Program variables not listed in Inputs start at 0; the
+// variable named Output carries the result at a halt box.
+type Program struct {
+	Name   string
+	Inputs []string // x1..xk, in input-position order
+	Output string   // result variable; "y" if empty
+	Nodes  []Node
+	Start  NodeID
+	// Funcs is the table of named total functions available to Call
+	// expressions.
+	Funcs map[string]*Func
+}
+
+// DefaultOutput is the output variable used when Program.Output is empty.
+const DefaultOutput = "y"
+
+// OutputVar returns the effective output variable name.
+func (p *Program) OutputVar() string {
+	if p.Output == "" {
+		return DefaultOutput
+	}
+	return p.Output
+}
+
+// Arity returns k, the number of inputs.
+func (p *Program) Arity() int { return len(p.Inputs) }
+
+// InputIndex returns the 1-based input position of name, or 0 if name is
+// not an input. The 1-based convention matches the paper's allow(i1,...,im)
+// notation and the lattice.IndexSet domain.
+func (p *Program) InputIndex(name string) int {
+	for i, in := range p.Inputs {
+		if in == name {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Node returns a pointer to the node with the given ID. It panics on
+// out-of-range IDs, which indicate a malformed program (use Validate).
+func (p *Program) Node(id NodeID) *Node {
+	return &p.Nodes[id]
+}
+
+// AddNode appends a node and returns its ID.
+func (p *Program) AddNode(n Node) NodeID {
+	p.Nodes = append(p.Nodes, n)
+	return NodeID(len(p.Nodes) - 1)
+}
+
+// InstallFunc registers a named total function for Call expressions.
+func (p *Program) InstallFunc(f *Func) {
+	if p.Funcs == nil {
+		p.Funcs = make(map[string]*Func)
+	}
+	p.Funcs[f.Name] = f
+}
+
+// Variables returns every variable mentioned by the program (inputs,
+// assignment targets, and variables read by expressions and predicates),
+// sorted. The output variable is always included.
+type varCollector struct{ set map[string]bool }
+
+// Variables returns the sorted set of all variables the program mentions.
+func (p *Program) Variables() []string {
+	set := make(map[string]bool)
+	for _, in := range p.Inputs {
+		set[in] = true
+	}
+	set[p.OutputVar()] = true
+	for i := range p.Nodes {
+		n := &p.Nodes[i]
+		switch n.Kind {
+		case KindAssign:
+			set[n.Target] = true
+			if n.Expr != nil {
+				n.Expr.AddVars(set)
+			}
+		case KindDecision:
+			if n.Cond != nil {
+				n.Cond.AddVars(set)
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sortStrings(out)
+	return out
+}
+
+// Clone returns a deep-enough copy of the program: the node slice and the
+// function table are copied; expression trees are shared (they are
+// immutable after construction).
+func (p *Program) Clone() *Program {
+	q := &Program{
+		Name:   p.Name,
+		Inputs: append([]string(nil), p.Inputs...),
+		Output: p.Output,
+		Nodes:  append([]Node(nil), p.Nodes...),
+		Start:  p.Start,
+	}
+	if p.Funcs != nil {
+		q.Funcs = make(map[string]*Func, len(p.Funcs))
+		for k, v := range p.Funcs {
+			q.Funcs[k] = v
+		}
+	}
+	return q
+}
+
+// Validate checks structural well-formedness: exactly one start box at
+// p.Start, all successor IDs in range, assignment/decision payloads present,
+// every call expression resolvable against the function table, at least one
+// halt box reachable, and no successor pointing at the start box (the start
+// box has in-degree zero in the paper's figures).
+func (p *Program) Validate() error {
+	if len(p.Nodes) == 0 {
+		return fmt.Errorf("flowchart %q: no nodes", p.Name)
+	}
+	if p.Start < 0 || int(p.Start) >= len(p.Nodes) {
+		return fmt.Errorf("flowchart %q: start id %d out of range", p.Name, p.Start)
+	}
+	if p.Nodes[p.Start].Kind != KindStart {
+		return fmt.Errorf("flowchart %q: start node has kind %s", p.Name, p.Nodes[p.Start].Kind)
+	}
+	seenInputs := make(map[string]bool, len(p.Inputs))
+	for _, in := range p.Inputs {
+		if in == "" {
+			return fmt.Errorf("flowchart %q: empty input name", p.Name)
+		}
+		if seenInputs[in] {
+			return fmt.Errorf("flowchart %q: duplicate input %q", p.Name, in)
+		}
+		seenInputs[in] = true
+	}
+	starts := 0
+	halts := 0
+	for i := range p.Nodes {
+		n := &p.Nodes[i]
+		id := NodeID(i)
+		switch n.Kind {
+		case KindStart:
+			starts++
+			if id != p.Start {
+				return fmt.Errorf("flowchart %q: extra start box at node %d", p.Name, i)
+			}
+			if err := p.checkSucc(id, n.Next); err != nil {
+				return err
+			}
+		case KindAssign:
+			if n.Target == "" {
+				return fmt.Errorf("flowchart %q: assign box %d has no target", p.Name, i)
+			}
+			if n.Expr == nil {
+				return fmt.Errorf("flowchart %q: assign box %d has no expression", p.Name, i)
+			}
+			if err := p.resolveCalls(n.Expr); err != nil {
+				return fmt.Errorf("flowchart %q: assign box %d: %v", p.Name, i, err)
+			}
+			if err := p.checkSucc(id, n.Next); err != nil {
+				return err
+			}
+		case KindDecision:
+			if n.Cond == nil {
+				return fmt.Errorf("flowchart %q: decision box %d has no predicate", p.Name, i)
+			}
+			if err := p.resolveCalls(n.Cond); err != nil {
+				return fmt.Errorf("flowchart %q: decision box %d: %v", p.Name, i, err)
+			}
+			if err := p.checkSucc(id, n.True); err != nil {
+				return err
+			}
+			if err := p.checkSucc(id, n.False); err != nil {
+				return err
+			}
+		case KindHalt:
+			halts++
+		default:
+			return fmt.Errorf("flowchart %q: node %d has unknown kind %d", p.Name, i, n.Kind)
+		}
+	}
+	if starts != 1 {
+		return fmt.Errorf("flowchart %q: %d start boxes, want exactly 1", p.Name, starts)
+	}
+	if halts == 0 {
+		return fmt.Errorf("flowchart %q: no halt box", p.Name)
+	}
+	return nil
+}
+
+func (p *Program) checkSucc(from, to NodeID) error {
+	if to < 0 || int(to) >= len(p.Nodes) {
+		return fmt.Errorf("flowchart %q: node %d has successor %d out of range", p.Name, from, to)
+	}
+	if p.Nodes[to].Kind == KindStart {
+		return fmt.Errorf("flowchart %q: node %d jumps back to the start box", p.Name, from)
+	}
+	return nil
+}
+
+// resolveCalls binds every Call expression in the tree to the program's
+// function table, reporting unknown names and arity mismatches.
+func (p *Program) resolveCalls(node interface{ AddVars(map[string]bool) }) error {
+	var walkExpr func(e Expr) error
+	var walkPred func(q Pred) error
+	walkExpr = func(e Expr) error {
+		switch x := e.(type) {
+		case *Bin:
+			if err := walkExpr(x.L); err != nil {
+				return err
+			}
+			return walkExpr(x.R)
+		case *Neg:
+			return walkExpr(x.X)
+		case *BitNot:
+			return walkExpr(x.X)
+		case *Cond:
+			if err := walkPred(x.P); err != nil {
+				return err
+			}
+			if err := walkExpr(x.A); err != nil {
+				return err
+			}
+			return walkExpr(x.B)
+		case *Call:
+			f, ok := p.Funcs[x.Name]
+			if !ok {
+				return fmt.Errorf("call to unknown function %q", x.Name)
+			}
+			if f.Arity != len(x.Args) {
+				return fmt.Errorf("function %q called with %d args, want %d", x.Name, len(x.Args), f.Arity)
+			}
+			x.Resolved = f
+			for _, a := range x.Args {
+				if err := walkExpr(a); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+	walkPred = func(q Pred) error {
+		switch x := q.(type) {
+		case *Cmp:
+			if err := walkExpr(x.L); err != nil {
+				return err
+			}
+			return walkExpr(x.R)
+		case *Not:
+			return walkPred(x.X)
+		case *AndP:
+			if err := walkPred(x.L); err != nil {
+				return err
+			}
+			return walkPred(x.R)
+		case *OrP:
+			if err := walkPred(x.L); err != nil {
+				return err
+			}
+			return walkPred(x.R)
+		default:
+			return nil
+		}
+	}
+	switch x := node.(type) {
+	case Expr:
+		return walkExpr(x)
+	case Pred:
+		return walkPred(x)
+	default:
+		return nil
+	}
+}
+
+// ------------------------------------------------------------------ builder
+
+// Builder constructs programs programmatically. It is the API used by the
+// surveillance and transform packages; examples and tests mostly use the
+// DSL parser instead.
+type Builder struct {
+	p *Program
+}
+
+// NewBuilder starts a program with the given name and input variables. The
+// start box is created immediately; wire its successor with SetNext or by
+// making the first added statement node the entry via Entry().
+func NewBuilder(name string, inputs ...string) *Builder {
+	b := &Builder{p: &Program{Name: name, Inputs: inputs}}
+	b.p.Start = b.p.AddNode(Node{Kind: KindStart, Next: NoNode})
+	return b
+}
+
+// Program finalises and returns the program. It does not validate; call
+// Program.Validate separately so callers can decide how to handle errors.
+func (b *Builder) Program() *Program { return b.p }
+
+// StartID returns the ID of the start box.
+func (b *Builder) StartID() NodeID { return b.p.Start }
+
+// Assign appends an assignment box target := e with unset successor.
+func (b *Builder) Assign(target string, e Expr) NodeID {
+	return b.p.AddNode(Node{Kind: KindAssign, Target: target, Expr: e, Next: NoNode})
+}
+
+// Decision appends a decision box with unset successors.
+func (b *Builder) Decision(cond Pred) NodeID {
+	return b.p.AddNode(Node{Kind: KindDecision, Cond: cond, True: NoNode, False: NoNode})
+}
+
+// Halt appends a normal halt box.
+func (b *Builder) Halt() NodeID {
+	return b.p.AddNode(Node{Kind: KindHalt})
+}
+
+// ViolationHalt appends a halt box that yields a violation notice.
+func (b *Builder) ViolationHalt(notice string) NodeID {
+	return b.p.AddNode(Node{Kind: KindHalt, Violation: true, Notice: notice})
+}
+
+// SetNext wires the single successor of a start or assignment box.
+func (b *Builder) SetNext(from, to NodeID) {
+	n := b.p.Node(from)
+	switch n.Kind {
+	case KindStart, KindAssign:
+		n.Next = to
+	default:
+		panic(fmt.Sprintf("flowchart: SetNext on %s box", n.Kind))
+	}
+}
+
+// SetBranch wires both successors of a decision box.
+func (b *Builder) SetBranch(from, onTrue, onFalse NodeID) {
+	n := b.p.Node(from)
+	if n.Kind != KindDecision {
+		panic(fmt.Sprintf("flowchart: SetBranch on %s box", n.Kind))
+	}
+	n.True = onTrue
+	n.False = onFalse
+}
+
+// Seq wires a linear chain: start/assign nodes are linked in order; the
+// final node's successor is left untouched. It panics if an interior node
+// is a decision or halt box.
+func (b *Builder) Seq(ids ...NodeID) {
+	for i := 0; i+1 < len(ids); i++ {
+		b.SetNext(ids[i], ids[i+1])
+	}
+}
+
+// ---------------------------------------------------------------- identifiers
+
+// ReservedMarker is the character reserved for instrumentation-generated
+// variables (surveillance shadows like "x1#" and the program-counter class
+// "C#"). The DSL lexer rejects it in user identifiers, so instrumented
+// variables can never collide with user variables.
+const ReservedMarker = '#'
+
+// ValidUserIdent reports whether name is a legal user-written identifier:
+// a letter or underscore followed by letters, digits, or underscores, with
+// no reserved marker.
+func ValidUserIdent(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z'):
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return !strings.ContainsRune(name, ReservedMarker)
+}
+
+// ShadowVar returns the surveillance variable name for v (the paper's v̄).
+func ShadowVar(v string) string { return v + string(ReservedMarker) }
+
+// IsShadowVar reports whether name is an instrumentation-generated shadow.
+func IsShadowVar(name string) bool {
+	return strings.HasSuffix(name, string(ReservedMarker))
+}
+
+// CounterShadow is the shadow variable of the program counter (the paper's
+// C̄).
+const CounterShadow = "C#"

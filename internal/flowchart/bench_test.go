@@ -1,0 +1,69 @@
+package flowchart
+
+import "testing"
+
+func BenchmarkParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(progE3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPrint(b *testing.B) {
+	p := MustParse(progE3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Print(p)
+	}
+}
+
+func BenchmarkInterpret(b *testing.B) {
+	p := MustParse(`
+inputs x
+Loop: if x == 0 goto Done else Body
+Body: x := x - 1
+      goto Loop
+Done: y := 1
+      halt
+`)
+	in := []int64{256}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.RunBudget(in, DefaultMaxSteps, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompiledRun(b *testing.B) {
+	p := MustParse(`
+inputs x
+Loop: if x == 0 goto Done else Body
+Body: x := x - 1
+      goto Loop
+Done: y := 1
+      halt
+`)
+	c, err := p.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := []int64{256}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Run(in, DefaultMaxSteps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompile(b *testing.B) {
+	p := MustParse(progE3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Compile(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

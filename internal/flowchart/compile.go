@@ -1,0 +1,312 @@
+package flowchart
+
+import (
+	"fmt"
+	"math"
+)
+
+// Compiled is a program lowered to slot-indexed form: variable names are
+// resolved to positions in a flat register file and expressions become
+// closures over it, removing per-step map lookups. Compiled.Run computes
+// exactly the same Result (value, steps, violations) as Program.RunBudget;
+// the equivalence is property-tested against the tree-walking interpreter.
+//
+// This is the library's interpreter ablation: the benchmarks compare
+// map-environment interpretation against compiled execution so the cost
+// attributed to surveillance instrumentation can be separated from the
+// cost of the execution engine.
+type Compiled struct {
+	Source *Program
+
+	slotOf     map[string]int
+	inputSlots []int
+	outputSlot int
+	code       []cnode
+	start      int32
+}
+
+type cnode struct {
+	kind      Kind
+	target    int
+	expr      func(regs []int64) int64
+	cond      func(regs []int64) bool
+	next      int32
+	onTrue    int32
+	onFalse   int32
+	violation bool
+	notice    string
+}
+
+// Compile lowers the program. The program must validate.
+func (p *Program) Compile() (*Compiled, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Compiled{Source: p, slotOf: make(map[string]int)}
+	slot := func(name string) int {
+		if s, ok := c.slotOf[name]; ok {
+			return s
+		}
+		s := len(c.slotOf)
+		c.slotOf[name] = s
+		return s
+	}
+	for _, in := range p.Inputs {
+		c.inputSlots = append(c.inputSlots, slot(in))
+	}
+	c.outputSlot = slot(p.OutputVar())
+	c.code = make([]cnode, len(p.Nodes))
+	for i := range p.Nodes {
+		n := &p.Nodes[i]
+		cn := cnode{kind: n.Kind, next: int32(n.Next), onTrue: int32(n.True), onFalse: int32(n.False),
+			violation: n.Violation, notice: n.Notice}
+		switch n.Kind {
+		case KindAssign:
+			cn.target = slot(n.Target)
+			e, err := compileExpr(n.Expr, slot)
+			if err != nil {
+				return nil, fmt.Errorf("flowchart %q: node %d: %w", p.Name, i, err)
+			}
+			cn.expr = e
+		case KindDecision:
+			q, err := compilePred(n.Cond, slot)
+			if err != nil {
+				return nil, fmt.Errorf("flowchart %q: node %d: %w", p.Name, i, err)
+			}
+			cn.cond = q
+		}
+		c.code[i] = cn
+	}
+	c.start = int32(p.Start)
+	return c, nil
+}
+
+// Slots returns the register-file size.
+func (c *Compiled) Slots() int { return len(c.slotOf) }
+
+// Run executes the compiled program; semantics identical to
+// Program.RunBudget.
+func (c *Compiled) Run(inputs []int64, maxSteps int64) (Result, error) {
+	if len(inputs) != len(c.inputSlots) {
+		return Result{}, fmt.Errorf("%w: got %d inputs, program %q wants %d",
+			ErrArity, len(inputs), c.Source.Name, len(c.inputSlots))
+	}
+	regs := make([]int64, len(c.slotOf))
+	for i, s := range c.inputSlots {
+		regs[s] = inputs[i]
+	}
+	var steps int64
+	pc := c.start
+	for {
+		if steps >= maxSteps {
+			return Result{Steps: steps}, fmt.Errorf("%w: budget %d, program %q", ErrStepLimit, maxSteps, c.Source.Name)
+		}
+		n := &c.code[pc]
+		steps++
+		switch n.kind {
+		case KindStart:
+			pc = n.next
+		case KindAssign:
+			regs[n.target] = n.expr(regs)
+			pc = n.next
+		case KindDecision:
+			if n.cond(regs) {
+				pc = n.onTrue
+			} else {
+				pc = n.onFalse
+			}
+		case KindHalt:
+			if n.violation {
+				return Result{Steps: steps, Violation: true, Notice: n.notice}, nil
+			}
+			return Result{Value: regs[c.outputSlot], Steps: steps}, nil
+		default:
+			return Result{Steps: steps}, fmt.Errorf("flowchart %q: node %d has unknown kind %d", c.Source.Name, pc, n.kind)
+		}
+	}
+}
+
+// compileExpr lowers an expression tree to a closure over the register
+// file.
+func compileExpr(e Expr, slot func(string) int) (func([]int64) int64, error) {
+	switch x := e.(type) {
+	case Const:
+		v := int64(x)
+		return func([]int64) int64 { return v }, nil
+	case Var:
+		s := slot(string(x))
+		return func(regs []int64) int64 { return regs[s] }, nil
+	case *Neg:
+		sub, err := compileExpr(x.X, slot)
+		if err != nil {
+			return nil, err
+		}
+		return func(regs []int64) int64 { return -sub(regs) }, nil
+	case *BitNot:
+		sub, err := compileExpr(x.X, slot)
+		if err != nil {
+			return nil, err
+		}
+		return func(regs []int64) int64 { return ^sub(regs) }, nil
+	case *Bin:
+		l, err := compileExpr(x.L, slot)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileExpr(x.R, slot)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case OpAdd:
+			return func(regs []int64) int64 { return l(regs) + r(regs) }, nil
+		case OpSub:
+			return func(regs []int64) int64 { return l(regs) - r(regs) }, nil
+		case OpMul:
+			return func(regs []int64) int64 { return l(regs) * r(regs) }, nil
+		case OpDiv:
+			return func(regs []int64) int64 {
+				lv, rv := l(regs), r(regs)
+				if rv == 0 {
+					return 0
+				}
+				if lv == math.MinInt64 && rv == -1 {
+					return math.MinInt64
+				}
+				return lv / rv
+			}, nil
+		case OpMod:
+			return func(regs []int64) int64 {
+				lv, rv := l(regs), r(regs)
+				if rv == 0 {
+					return 0
+				}
+				if lv == math.MinInt64 && rv == -1 {
+					return 0
+				}
+				return lv % rv
+			}, nil
+		case OpAnd:
+			return func(regs []int64) int64 { return l(regs) & r(regs) }, nil
+		case OpOr:
+			return func(regs []int64) int64 { return l(regs) | r(regs) }, nil
+		case OpXor:
+			return func(regs []int64) int64 { return l(regs) ^ r(regs) }, nil
+		case OpAndNot:
+			return func(regs []int64) int64 { return l(regs) &^ r(regs) }, nil
+		default:
+			return nil, fmt.Errorf("compile: unknown binary op %d", x.Op)
+		}
+	case *Cond:
+		p, err := compilePred(x.P, slot)
+		if err != nil {
+			return nil, err
+		}
+		a, err := compileExpr(x.A, slot)
+		if err != nil {
+			return nil, err
+		}
+		b, err := compileExpr(x.B, slot)
+		if err != nil {
+			return nil, err
+		}
+		// Both arms evaluated, like the interpreter: constant time.
+		return func(regs []int64) int64 {
+			av, bv := a(regs), b(regs)
+			if p(regs) {
+				return av
+			}
+			return bv
+		}, nil
+	case *Call:
+		if x.Resolved == nil || x.Resolved.Fn == nil {
+			return nil, fmt.Errorf("compile: unresolved call to %q", x.Name)
+		}
+		args := make([]func([]int64) int64, len(x.Args))
+		for i, a := range x.Args {
+			f, err := compileExpr(a, slot)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = f
+		}
+		fn := x.Resolved.Fn
+		return func(regs []int64) int64 {
+			vals := make([]int64, len(args))
+			for i, f := range args {
+				vals[i] = f(regs)
+			}
+			return fn(vals)
+		}, nil
+	default:
+		return nil, fmt.Errorf("compile: unknown expression type %T", e)
+	}
+}
+
+// compilePred lowers a predicate tree.
+func compilePred(q Pred, slot func(string) int) (func([]int64) bool, error) {
+	switch x := q.(type) {
+	case BoolConst:
+		v := bool(x)
+		return func([]int64) bool { return v }, nil
+	case *Not:
+		sub, err := compilePred(x.X, slot)
+		if err != nil {
+			return nil, err
+		}
+		return func(regs []int64) bool { return !sub(regs) }, nil
+	case *AndP:
+		l, err := compilePred(x.L, slot)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compilePred(x.R, slot)
+		if err != nil {
+			return nil, err
+		}
+		return func(regs []int64) bool {
+			lv, rv := l(regs), r(regs)
+			return lv && rv
+		}, nil
+	case *OrP:
+		l, err := compilePred(x.L, slot)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compilePred(x.R, slot)
+		if err != nil {
+			return nil, err
+		}
+		return func(regs []int64) bool {
+			lv, rv := l(regs), r(regs)
+			return lv || rv
+		}, nil
+	case *Cmp:
+		l, err := compileExpr(x.L, slot)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileExpr(x.R, slot)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case CmpEq:
+			return func(regs []int64) bool { return l(regs) == r(regs) }, nil
+		case CmpNe:
+			return func(regs []int64) bool { return l(regs) != r(regs) }, nil
+		case CmpLt:
+			return func(regs []int64) bool { return l(regs) < r(regs) }, nil
+		case CmpLe:
+			return func(regs []int64) bool { return l(regs) <= r(regs) }, nil
+		case CmpGt:
+			return func(regs []int64) bool { return l(regs) > r(regs) }, nil
+		case CmpGe:
+			return func(regs []int64) bool { return l(regs) >= r(regs) }, nil
+		default:
+			return nil, fmt.Errorf("compile: unknown comparison op %d", x.Op)
+		}
+	default:
+		return nil, fmt.Errorf("compile: unknown predicate type %T", q)
+	}
+}

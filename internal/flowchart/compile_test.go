@@ -1,0 +1,124 @@
+package flowchart
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCompiledMatchesInterpreter(t *testing.T) {
+	sources := []string{
+		progE3,
+		"inputs x\nLoop: if x == 0 goto Done else Body\nBody: x := x - 1\n goto Loop\nDone: y := 1\n halt\n",
+		"inputs a b\n y := ite(a == b, a * 3, a &^ b) % 5\n halt\n",
+		"inputs a b\n if (a == 0) && (b > 1 || a >= b) goto T else F\nT: y := -a\n halt\nF: y := ^b\n halt\n",
+		"inputs a\n y := a / 0 + a % 0\n halt\n",
+	}
+	for _, src := range sources {
+		p := MustParse(src)
+		c, err := p.Compile()
+		if err != nil {
+			t.Fatalf("compile: %v\n%s", err, src)
+		}
+		for v1 := int64(-3); v1 <= 3; v1++ {
+			for v2 := int64(-3); v2 <= 3; v2++ {
+				in := make([]int64, p.Arity())
+				if len(in) > 0 {
+					in[0] = v1
+				}
+				if len(in) > 1 {
+					in[1] = v2
+				}
+				ri, erri := p.RunBudget(in, 4096, nil)
+				rc, errc := c.Run(in, 4096)
+				if (erri == nil) != (errc == nil) {
+					t.Fatalf("error divergence on %v: %v vs %v", in, erri, errc)
+				}
+				if erri == nil && ri != rc {
+					t.Fatalf("result divergence on %v: %+v vs %+v\n%s", in, ri, rc, src)
+				}
+			}
+		}
+	}
+}
+
+func TestCompiledStepLimit(t *testing.T) {
+	p := MustParse(`
+inputs x
+Loop: x := x + 1
+      if x == x + 1 goto Done else Loop
+Done: halt
+`)
+	c, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run([]int64{0}, 50); !errors.Is(err, ErrStepLimit) {
+		t.Errorf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestCompiledArity(t *testing.T) {
+	p := MustParse("inputs a b\n y := a\n halt\n")
+	c, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run([]int64{1}, 100); !errors.Is(err, ErrArity) {
+		t.Errorf("err = %v, want ErrArity", err)
+	}
+}
+
+func TestCompileInvalidProgram(t *testing.T) {
+	p := &Program{Name: "bad"}
+	if _, err := p.Compile(); err == nil {
+		t.Error("invalid program compiled")
+	}
+}
+
+func TestCompiledWithCalls(t *testing.T) {
+	sq := &Func{Name: "sq", Arity: 1, Fn: func(a []int64) int64 { return a[0] * a[0] }}
+	p, err := ParseWithOptions("inputs x\n y := sq(x + 1)\n halt\n", ParseOptions{Funcs: []*Func{sq}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Run([]int64{5}, 100)
+	if err != nil || r.Value != 36 {
+		t.Errorf("sq(6) = %+v, %v", r, err)
+	}
+}
+
+func TestCompiledViolationHalts(t *testing.T) {
+	p := MustParse(`
+inputs x
+    if x < 0 goto Bad else OK
+Bad: violation "negative"
+OK:  y := x
+     halt
+`)
+	c, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Run([]int64{-1}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Violation || r.Notice != "negative" {
+		t.Errorf("violation = %+v", r)
+	}
+}
+
+func TestCompiledSlots(t *testing.T) {
+	p := MustParse(progE3) // variables: x1 x2 r y
+	c, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Slots() != 4 {
+		t.Errorf("Slots = %d, want 4", c.Slots())
+	}
+}

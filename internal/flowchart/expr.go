@@ -1,0 +1,525 @@
+// Package flowchart implements the flowchart programming language of
+// Section 3 of Jones & Lipton: finite connected directed graphs of start,
+// decision, assignment, and halt boxes over integer variables.
+//
+// The paper allows "any reasonable choice" of predicates and expressions so
+// long as they are recursive; we provide total integer arithmetic
+// (division and remainder by zero yield 0, so every expression is a total
+// function, matching the paper's totality assumption), bitwise operations
+// (which let the surveillance transformation of Section 3 express set union
+// on index-set bitmasks inside the language itself), and a constant-time
+// conditional select ite(p, a, b) used by the if-then-else transform of
+// Section 4.
+//
+// Running time is modelled as the number of boxes executed, which the paper
+// explicitly admits as a time measure. Each box costs one step regardless of
+// its expression, matching the Section 3 requirement that expressions be
+// implementable in time independent of data values.
+package flowchart
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Env holds the current value of every variable during execution. Absent
+// variables read as 0, matching the paper's initialisation of program and
+// output variables.
+type Env map[string]int64
+
+// Get returns the value of name, 0 if unset.
+func (e Env) Get(name string) int64 { return e[name] }
+
+// Set assigns name := v.
+func (e Env) Set(name string, v int64) { e[name] = v }
+
+// Clone returns an independent copy of the environment.
+func (e Env) Clone() Env {
+	out := make(Env, len(e))
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+// Expr is an integer-valued expression E(w1,...,wp) appearing in an
+// assignment box. All expressions are total.
+type Expr interface {
+	// Eval computes the expression's value in env.
+	Eval(env Env) int64
+	// AddVars inserts every variable mentioned by the expression into set.
+	// The surveillance transformation uses this to form w̄1 ∪ ... ∪ w̄p.
+	AddVars(set map[string]bool)
+	// String renders the expression in DSL syntax.
+	String() string
+}
+
+// Pred is a boolean-valued predicate B(w1,...,wp) appearing in a decision
+// box. All predicates are total.
+type Pred interface {
+	Eval(env Env) bool
+	AddVars(set map[string]bool)
+	String() string
+}
+
+// Vars returns the sorted variable set of an expression or predicate. The
+// argument may be an Expr or a Pred.
+func Vars(node interface{ AddVars(map[string]bool) }) []string {
+	set := make(map[string]bool)
+	node.AddVars(set)
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	// Insertion sort: variable lists are tiny and this avoids an import.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// ---------------------------------------------------------------- literals
+
+// Const is an integer literal.
+type Const int64
+
+// C is shorthand for Const(v) in programmatic construction.
+func C(v int64) Const { return Const(v) }
+
+// Eval implements Expr.
+func (c Const) Eval(Env) int64          { return int64(c) }
+func (c Const) AddVars(map[string]bool) {}
+func (c Const) String() string          { return fmt.Sprintf("%d", int64(c)) }
+
+// Var is a variable reference.
+type Var string
+
+// V is shorthand for Var(name) in programmatic construction.
+func V(name string) Var { return Var(name) }
+
+// Eval implements Expr.
+func (v Var) Eval(env Env) int64          { return env.Get(string(v)) }
+func (v Var) AddVars(set map[string]bool) { set[string(v)] = true }
+func (v Var) String() string              { return string(v) }
+
+// ------------------------------------------------------------- arithmetic
+
+// BinOp identifies a binary integer operator.
+type BinOp uint8
+
+// Binary operators. Division and remainder are total: x/0 = 0 and x%0 = 0,
+// and MinInt64 / -1 = MinInt64 (wrapping), so that every flowchart denotes a
+// total function as the paper requires.
+const (
+	OpAdd    BinOp = iota // +
+	OpSub                 // -
+	OpMul                 // *
+	OpDiv                 // / (total)
+	OpMod                 // % (total)
+	OpAnd                 // & (set intersection on index masks)
+	OpOr                  // | (set union on index masks)
+	OpXor                 // ^
+	OpAndNot              // &^ (set difference on index masks)
+)
+
+var binOpNames = [...]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpAnd: "&", OpOr: "|", OpXor: "^", OpAndNot: "&^",
+}
+
+// String returns the operator's DSL spelling.
+func (op BinOp) String() string {
+	if int(op) < len(binOpNames) {
+		return binOpNames[op]
+	}
+	return fmt.Sprintf("BinOp(%d)", uint8(op))
+}
+
+// precedence groups for printing: higher binds tighter.
+func (op BinOp) precedence() int {
+	switch op {
+	case OpMul, OpDiv, OpMod, OpAnd, OpAndNot:
+		return 5
+	default: // + - | ^
+		return 4
+	}
+}
+
+// Bin is a binary arithmetic/bitwise expression.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// B is shorthand for &Bin{op, l, r}.
+func B(op BinOp, l, r Expr) *Bin { return &Bin{Op: op, L: l, R: r} }
+
+// Add returns l + r.
+func Add(l, r Expr) *Bin { return B(OpAdd, l, r) }
+
+// Sub returns l - r.
+func Sub(l, r Expr) *Bin { return B(OpSub, l, r) }
+
+// Mul returns l * r.
+func Mul(l, r Expr) *Bin { return B(OpMul, l, r) }
+
+// Or returns l | r, set union on index masks.
+func Or(l, r Expr) *Bin { return B(OpOr, l, r) }
+
+// Eval implements Expr with total semantics.
+func (b *Bin) Eval(env Env) int64 {
+	l := b.L.Eval(env)
+	r := b.R.Eval(env)
+	switch b.Op {
+	case OpAdd:
+		return l + r
+	case OpSub:
+		return l - r
+	case OpMul:
+		return l * r
+	case OpDiv:
+		if r == 0 {
+			return 0
+		}
+		if l == math.MinInt64 && r == -1 {
+			return math.MinInt64
+		}
+		return l / r
+	case OpMod:
+		if r == 0 {
+			return 0
+		}
+		if l == math.MinInt64 && r == -1 {
+			return 0
+		}
+		return l % r
+	case OpAnd:
+		return l & r
+	case OpOr:
+		return l | r
+	case OpXor:
+		return l ^ r
+	case OpAndNot:
+		return l &^ r
+	default:
+		panic(fmt.Sprintf("flowchart: unknown binary op %d", b.Op))
+	}
+}
+
+// AddVars implements Expr.
+func (b *Bin) AddVars(set map[string]bool) {
+	b.L.AddVars(set)
+	b.R.AddVars(set)
+}
+
+// String implements Expr, parenthesising by precedence.
+func (b *Bin) String() string {
+	return fmt.Sprintf("%s %s %s",
+		childString(b.L, b.Op.precedence(), false),
+		b.Op, childString(b.R, b.Op.precedence(), true))
+}
+
+// childString parenthesises child if it binds looser than parent (or equal,
+// on the right, since all our operators are left-associative).
+func childString(e Expr, parentPrec int, right bool) string {
+	var p int
+	switch c := e.(type) {
+	case *Bin:
+		p = c.Op.precedence()
+	default:
+		return e.String()
+	}
+	if p < parentPrec || (p == parentPrec && right) {
+		return "(" + e.String() + ")"
+	}
+	return e.String()
+}
+
+// Neg is unary minus.
+type Neg struct{ X Expr }
+
+// Eval implements Expr.
+func (n *Neg) Eval(env Env) int64          { return -n.X.Eval(env) }
+func (n *Neg) AddVars(set map[string]bool) { n.X.AddVars(set) }
+func (n *Neg) String() string              { return "-" + atomString(n.X) }
+
+// BitNot is unary bitwise complement (^x in Go syntax).
+type BitNot struct{ X Expr }
+
+// Eval implements Expr.
+func (n *BitNot) Eval(env Env) int64          { return ^n.X.Eval(env) }
+func (n *BitNot) AddVars(set map[string]bool) { n.X.AddVars(set) }
+func (n *BitNot) String() string              { return "^" + atomString(n.X) }
+
+func atomString(e Expr) string {
+	switch e.(type) {
+	case Const, Var:
+		return e.String()
+	case *Call:
+		return e.String()
+	default:
+		return "(" + e.String() + ")"
+	}
+}
+
+// Cond is the constant-time conditional select ite(p, a, b): its value is a
+// if p holds, b otherwise. Both arms are always evaluated, so evaluation
+// time is independent of the data — this is the "f(x1)" selection function
+// of Example 7, and the vehicle of the if-then-else transform.
+type Cond struct {
+	P    Pred
+	A, B Expr
+}
+
+// Ite is shorthand for &Cond{p, a, b}.
+func Ite(p Pred, a, b Expr) *Cond { return &Cond{P: p, A: a, B: b} }
+
+// Eval implements Expr; note both arms are evaluated unconditionally.
+func (c *Cond) Eval(env Env) int64 {
+	a := c.A.Eval(env)
+	b := c.B.Eval(env)
+	if c.P.Eval(env) {
+		return a
+	}
+	return b
+}
+
+// AddVars implements Expr.
+func (c *Cond) AddVars(set map[string]bool) {
+	c.P.AddVars(set)
+	c.A.AddVars(set)
+	c.B.AddVars(set)
+}
+
+// String implements Expr.
+func (c *Cond) String() string {
+	return fmt.Sprintf("ite(%s, %s, %s)", c.P, c.A, c.B)
+}
+
+// Func is a named total function that may be installed in a program's
+// function table and invoked by Call expressions. It lets examples model
+// the paper's arbitrary total functions A(x) (Theorem 4) and tabulated
+// selection functions f(x1) (Example 7).
+type Func struct {
+	Name  string
+	Arity int
+	Fn    func(args []int64) int64
+}
+
+// Call invokes a named function from the enclosing program's function table.
+// The binding is resolved at validation time; Resolved caches the function.
+type Call struct {
+	Name     string
+	Args     []Expr
+	Resolved *Func
+}
+
+// Eval implements Expr. Calling an unresolved function yields 0 (total
+// semantics); Program.Validate reports unresolved calls as errors before
+// execution, so this is defensive only.
+func (c *Call) Eval(env Env) int64 {
+	if c.Resolved == nil || c.Resolved.Fn == nil {
+		return 0
+	}
+	args := make([]int64, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = a.Eval(env)
+	}
+	return c.Resolved.Fn(args)
+}
+
+// AddVars implements Expr.
+func (c *Call) AddVars(set map[string]bool) {
+	for _, a := range c.Args {
+		a.AddVars(set)
+	}
+}
+
+// String implements Expr.
+func (c *Call) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return c.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// ------------------------------------------------------------- predicates
+
+// CmpOp identifies a comparison operator.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	CmpEq CmpOp = iota // ==
+	CmpNe              // !=
+	CmpLt              // <
+	CmpLe              // <=
+	CmpGt              // >
+	CmpGe              // >=
+)
+
+var cmpOpNames = [...]string{
+	CmpEq: "==", CmpNe: "!=", CmpLt: "<", CmpLe: "<=", CmpGt: ">", CmpGe: ">=",
+}
+
+// String returns the operator's DSL spelling.
+func (op CmpOp) String() string {
+	if int(op) < len(cmpOpNames) {
+		return cmpOpNames[op]
+	}
+	return fmt.Sprintf("CmpOp(%d)", uint8(op))
+}
+
+// Cmp compares two integer expressions.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// Eq returns l == r.
+func Eq(l, r Expr) *Cmp { return &Cmp{Op: CmpEq, L: l, R: r} }
+
+// Ne returns l != r.
+func Ne(l, r Expr) *Cmp { return &Cmp{Op: CmpNe, L: l, R: r} }
+
+// Lt returns l < r.
+func Lt(l, r Expr) *Cmp { return &Cmp{Op: CmpLt, L: l, R: r} }
+
+// Le returns l <= r.
+func Le(l, r Expr) *Cmp { return &Cmp{Op: CmpLe, L: l, R: r} }
+
+// Gt returns l > r.
+func Gt(l, r Expr) *Cmp { return &Cmp{Op: CmpGt, L: l, R: r} }
+
+// Ge returns l >= r.
+func Ge(l, r Expr) *Cmp { return &Cmp{Op: CmpGe, L: l, R: r} }
+
+// Eval implements Pred.
+func (c *Cmp) Eval(env Env) bool {
+	l := c.L.Eval(env)
+	r := c.R.Eval(env)
+	switch c.Op {
+	case CmpEq:
+		return l == r
+	case CmpNe:
+		return l != r
+	case CmpLt:
+		return l < r
+	case CmpLe:
+		return l <= r
+	case CmpGt:
+		return l > r
+	case CmpGe:
+		return l >= r
+	default:
+		panic(fmt.Sprintf("flowchart: unknown comparison op %d", c.Op))
+	}
+}
+
+// AddVars implements Pred.
+func (c *Cmp) AddVars(set map[string]bool) {
+	c.L.AddVars(set)
+	c.R.AddVars(set)
+}
+
+// String implements Pred.
+func (c *Cmp) String() string {
+	return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R)
+}
+
+// BoolConst is the constant predicate true or false.
+type BoolConst bool
+
+// Eval implements Pred.
+func (b BoolConst) Eval(Env) bool           { return bool(b) }
+func (b BoolConst) AddVars(map[string]bool) {}
+func (b BoolConst) String() string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
+
+// Not negates a predicate.
+type Not struct{ X Pred }
+
+// Eval implements Pred.
+func (n *Not) Eval(env Env) bool           { return !n.X.Eval(env) }
+func (n *Not) AddVars(set map[string]bool) { n.X.AddVars(set) }
+func (n *Not) String() string {
+	switch n.X.(type) {
+	case BoolConst:
+		return "!" + n.X.String()
+	default:
+		return "!(" + n.X.String() + ")"
+	}
+}
+
+// AndP is predicate conjunction. Both operands are always evaluated
+// (no short-circuit), keeping evaluation time data-independent.
+type AndP struct{ L, R Pred }
+
+// Eval implements Pred.
+func (a *AndP) Eval(env Env) bool {
+	l := a.L.Eval(env)
+	r := a.R.Eval(env)
+	return l && r
+}
+
+// AddVars implements Pred.
+func (a *AndP) AddVars(set map[string]bool) {
+	a.L.AddVars(set)
+	a.R.AddVars(set)
+}
+
+// String implements Pred.
+func (a *AndP) String() string {
+	return predChild(a.L, 2) + " && " + predChild(a.R, 2)
+}
+
+// OrP is predicate disjunction, also without short-circuit.
+type OrP struct{ L, R Pred }
+
+// Eval implements Pred.
+func (o *OrP) Eval(env Env) bool {
+	l := o.L.Eval(env)
+	r := o.R.Eval(env)
+	return l || r
+}
+
+// AddVars implements Pred.
+func (o *OrP) AddVars(set map[string]bool) {
+	o.L.AddVars(set)
+	o.R.AddVars(set)
+}
+
+// String implements Pred.
+func (o *OrP) String() string {
+	return predChild(o.L, 1) + " || " + predChild(o.R, 1)
+}
+
+func predPrecedence(p Pred) int {
+	switch p.(type) {
+	case *OrP:
+		return 1
+	case *AndP:
+		return 2
+	default:
+		return 3
+	}
+}
+
+func predChild(p Pred, parentPrec int) string {
+	if predPrecedence(p) < parentPrec {
+		return "(" + p.String() + ")"
+	}
+	return p.String()
+}

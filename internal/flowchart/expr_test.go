@@ -1,0 +1,206 @@
+package flowchart
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstAndVar(t *testing.T) {
+	env := Env{"x": 42}
+	if got := C(7).Eval(env); got != 7 {
+		t.Errorf("Const eval = %d", got)
+	}
+	if got := V("x").Eval(env); got != 42 {
+		t.Errorf("Var eval = %d", got)
+	}
+	if got := V("missing").Eval(env); got != 0 {
+		t.Errorf("unset Var eval = %d, want 0", got)
+	}
+}
+
+func TestBinArithmetic(t *testing.T) {
+	env := Env{"a": 10, "b": 3}
+	cases := []struct {
+		e    Expr
+		want int64
+	}{
+		{Add(V("a"), V("b")), 13},
+		{Sub(V("a"), V("b")), 7},
+		{Mul(V("a"), V("b")), 30},
+		{B(OpDiv, V("a"), V("b")), 3},
+		{B(OpMod, V("a"), V("b")), 1},
+		{B(OpAnd, C(0b1100), C(0b1010)), 0b1000},
+		{Or(C(0b1100), C(0b1010)), 0b1110},
+		{B(OpXor, C(0b1100), C(0b1010)), 0b0110},
+		{B(OpAndNot, C(0b1100), C(0b1010)), 0b0100},
+	}
+	for _, tc := range cases {
+		if got := tc.e.Eval(env); got != tc.want {
+			t.Errorf("%s = %d, want %d", tc.e, got, tc.want)
+		}
+	}
+}
+
+func TestTotalDivision(t *testing.T) {
+	env := Env{}
+	if got := B(OpDiv, C(5), C(0)).Eval(env); got != 0 {
+		t.Errorf("5/0 = %d, want 0 (total semantics)", got)
+	}
+	if got := B(OpMod, C(5), C(0)).Eval(env); got != 0 {
+		t.Errorf("5%%0 = %d, want 0 (total semantics)", got)
+	}
+	if got := B(OpDiv, C(math.MinInt64), C(-1)).Eval(env); got != math.MinInt64 {
+		t.Errorf("MinInt64/-1 = %d, want MinInt64 (wrapping)", got)
+	}
+	if got := B(OpMod, C(math.MinInt64), C(-1)).Eval(env); got != 0 {
+		t.Errorf("MinInt64%%-1 = %d, want 0", got)
+	}
+}
+
+func TestTotalDivisionNeverPanics(t *testing.T) {
+	prop := func(a, b int64) bool {
+		B(OpDiv, C(a), C(b)).Eval(nil)
+		B(OpMod, C(a), C(b)).Eval(nil)
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnary(t *testing.T) {
+	env := Env{"x": 5}
+	if got := (&Neg{V("x")}).Eval(env); got != -5 {
+		t.Errorf("-x = %d", got)
+	}
+	if got := (&BitNot{C(0)}).Eval(env); got != -1 {
+		t.Errorf("^0 = %d", got)
+	}
+}
+
+func TestCondEvaluatesBothArms(t *testing.T) {
+	env := Env{"x": 1}
+	e := Ite(Eq(V("x"), C(1)), C(10), B(OpDiv, C(1), C(0)))
+	if got := e.Eval(env); got != 10 {
+		t.Errorf("ite = %d, want 10", got)
+	}
+	// The untaken arm is still evaluated (constant-time select); total
+	// division means this cannot fault.
+	e2 := Ite(Ne(V("x"), C(1)), C(10), C(20))
+	if got := e2.Eval(env); got != 20 {
+		t.Errorf("ite false arm = %d, want 20", got)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	env := Env{"a": 1, "b": 2}
+	cases := []struct {
+		p    Pred
+		want bool
+	}{
+		{Eq(V("a"), V("b")), false},
+		{Ne(V("a"), V("b")), true},
+		{Lt(V("a"), V("b")), true},
+		{Le(V("a"), V("a")), true},
+		{Gt(V("a"), V("b")), false},
+		{Ge(V("b"), V("a")), true},
+	}
+	for _, tc := range cases {
+		if got := tc.p.Eval(env); got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestBoolOps(t *testing.T) {
+	env := Env{}
+	tr, fa := BoolConst(true), BoolConst(false)
+	if (&AndP{tr, fa}).Eval(env) {
+		t.Error("true && false")
+	}
+	if !(&OrP{tr, fa}).Eval(env) {
+		t.Error("true || false")
+	}
+	if (&Not{tr}).Eval(env) {
+		t.Error("!true")
+	}
+	if got := tr.String(); got != "true" {
+		t.Errorf("true.String() = %q", got)
+	}
+	if got := fa.String(); got != "false" {
+		t.Errorf("false.String() = %q", got)
+	}
+}
+
+func TestVarsCollection(t *testing.T) {
+	e := Add(Mul(V("b"), V("a")), Ite(Eq(V("c"), C(0)), V("d"), C(1)))
+	got := Vars(e)
+	want := []string{"a", "b", "c", "d"}
+	if len(got) != len(want) {
+		t.Fatalf("Vars = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestExprStringPrecedence(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{Add(V("a"), Mul(V("b"), V("c"))), "a + b * c"},
+		{Mul(Add(V("a"), V("b")), V("c")), "(a + b) * c"},
+		{Sub(V("a"), Sub(V("b"), V("c"))), "a - (b - c)"},
+		{Sub(Sub(V("a"), V("b")), V("c")), "a - b - c"},
+		{&Neg{Add(V("a"), V("b"))}, "-(a + b)"},
+		{&BitNot{V("a")}, "^a"},
+		{Or(V("a"), B(OpAnd, V("b"), V("c"))), "a | b & c"},
+	}
+	for _, tc := range cases {
+		if got := tc.e.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestPredStringPrecedence(t *testing.T) {
+	p := &OrP{&AndP{Eq(V("a"), C(0)), Ne(V("b"), C(1))}, Lt(V("c"), C(2))}
+	want := "a == 0 && b != 1 || c < 2"
+	if got := p.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	q := &AndP{&OrP{Eq(V("a"), C(0)), Ne(V("b"), C(1))}, Lt(V("c"), C(2))}
+	want = "(a == 0 || b != 1) && c < 2"
+	if got := q.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestCallExpr(t *testing.T) {
+	f := &Func{Name: "double", Arity: 1, Fn: func(a []int64) int64 { return 2 * a[0] }}
+	call := &Call{Name: "double", Args: []Expr{V("x")}, Resolved: f}
+	if got := call.Eval(Env{"x": 21}); got != 42 {
+		t.Errorf("double(21) = %d", got)
+	}
+	if got := call.String(); got != "double(x)" {
+		t.Errorf("call.String() = %q", got)
+	}
+	// Unresolved calls evaluate to 0 (defensive total semantics).
+	raw := &Call{Name: "nope"}
+	if got := raw.Eval(Env{}); got != 0 {
+		t.Errorf("unresolved call = %d, want 0", got)
+	}
+}
+
+func TestEnvCloneIndependent(t *testing.T) {
+	e := Env{"x": 1}
+	c := e.Clone()
+	c.Set("x", 2)
+	if e.Get("x") != 1 {
+		t.Error("Clone is not independent")
+	}
+}

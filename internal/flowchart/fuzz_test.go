@@ -1,0 +1,51 @@
+package flowchart
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParse checks the parser's robustness invariants: it never panics,
+// and whenever it accepts a program, the program validates, prints, and
+// re-parses with a stable printed form (one-step idempotence), and runs
+// without unexpected failures.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		progE3,
+		"inputs x\n y := x\n halt\n",
+		"inputs a b\n if a == b goto T else F\nT: halt\nF: violation \"no\"\n",
+		"program p\ninputs x\noutput z\n z := ite(x > 0, 1, -1)\n halt\n",
+		"inputs x\n y := x | 3 &^ 1 ^ 2 % 4 / 5 * 6 - 7 + 8\n halt\n",
+		"inputs x\n if !(x == 0) && true || false goto A else A\nA: halt\n",
+		"// comment only\ninputs x\n halt\n",
+		"inputs x\nL: x := x - 1\n if x > 0 goto L else D\nD: halt\n",
+		"inputs\n y := 0 - -3\n halt\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted program does not validate: %v", err)
+		}
+		text1 := Print(p)
+		p2, err := ParseWithOptions(text1, ParseOptions{AllowShadows: true})
+		if err != nil {
+			t.Fatalf("printed program does not re-parse: %v\n%s", err, text1)
+		}
+		text2 := Print(p2)
+		if text1 != text2 {
+			t.Fatalf("print not idempotent:\n--- 1 ---\n%s--- 2 ---\n%s", text1, text2)
+		}
+		// Accepted programs must run (or hit the budget) without panics;
+		// only the step limit is a tolerable failure.
+		in := make([]int64, p.Arity())
+		if _, err := p.RunBudget(in, 4096, nil); err != nil && !errors.Is(err, ErrStepLimit) {
+			t.Fatalf("run failed unexpectedly: %v", err)
+		}
+	})
+}

@@ -1,0 +1,150 @@
+package flowchart
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Result is the outcome of executing a flowchart.
+//
+// Under the observability postulate the output of a program may be taken to
+// be either Value alone (time unobservable) or the pair (Value, Steps)
+// (time observable); Section 3 of the paper studies both cases. Steps is
+// the number of boxes executed, including the start and halt boxes.
+type Result struct {
+	Value     int64
+	Steps     int64
+	Violation bool
+	Notice    string
+}
+
+// String renders a result; violation notices print as the paper's Λ.
+func (r Result) String() string {
+	if r.Violation {
+		if r.Notice == "" {
+			return fmt.Sprintf("Λ (steps=%d)", r.Steps)
+		}
+		return fmt.Sprintf("Λ[%s] (steps=%d)", r.Notice, r.Steps)
+	}
+	return fmt.Sprintf("%d (steps=%d)", r.Value, r.Steps)
+}
+
+// ErrStepLimit is returned when execution exceeds the step budget. The
+// paper assumes programs are total functions; the budget turns a violation
+// of that assumption into an error distinct from any violation notice.
+var ErrStepLimit = errors.New("flowchart: step limit exceeded (program may not be total)")
+
+// ErrArity is returned when the input vector length does not match the
+// program's arity.
+var ErrArity = errors.New("flowchart: input arity mismatch")
+
+// DefaultMaxSteps is the step budget used by Run.
+const DefaultMaxSteps = 1 << 20
+
+// Tracer receives a callback before each box executes. Env must not be
+// mutated by the tracer.
+type Tracer func(id NodeID, n *Node, env Env)
+
+// Run executes the program on the given inputs with the default step
+// budget.
+func (p *Program) Run(inputs []int64) (Result, error) {
+	return p.RunBudget(inputs, DefaultMaxSteps, nil)
+}
+
+// RunBudget executes the program with an explicit step budget and an
+// optional tracer.
+//
+// Execution begins at the start box with every program and output variable
+// initialised to 0 and input variable xi initialised to inputs[i-1],
+// exactly as in Section 3. At a decision box the branch corresponding to
+// the predicate's truth value is taken. Execution ends at a halt box; the
+// result carries the output variable's value (or a violation notice) and
+// the number of boxes executed.
+func (p *Program) RunBudget(inputs []int64, maxSteps int64, trace Tracer) (Result, error) {
+	if len(inputs) != len(p.Inputs) {
+		return Result{}, fmt.Errorf("%w: got %d inputs, program %q wants %d",
+			ErrArity, len(inputs), p.Name, len(p.Inputs))
+	}
+	env := make(Env, len(p.Inputs)+8)
+	for i, name := range p.Inputs {
+		env[name] = inputs[i]
+	}
+	var steps int64
+	id := p.Start
+	for {
+		if steps >= maxSteps {
+			return Result{Steps: steps}, fmt.Errorf("%w: budget %d, program %q", ErrStepLimit, maxSteps, p.Name)
+		}
+		if id < 0 || int(id) >= len(p.Nodes) {
+			return Result{Steps: steps}, fmt.Errorf("flowchart %q: control reached invalid node %d", p.Name, id)
+		}
+		n := &p.Nodes[id]
+		if trace != nil {
+			trace(id, n, env)
+		}
+		steps++
+		switch n.Kind {
+		case KindStart:
+			id = n.Next
+		case KindAssign:
+			env[n.Target] = n.Expr.Eval(env)
+			id = n.Next
+		case KindDecision:
+			if n.Cond.Eval(env) {
+				id = n.True
+			} else {
+				id = n.False
+			}
+		case KindHalt:
+			if n.Violation {
+				return Result{Steps: steps, Violation: true, Notice: n.Notice}, nil
+			}
+			return Result{Value: env.Get(p.OutputVar()), Steps: steps}, nil
+		default:
+			return Result{Steps: steps}, fmt.Errorf("flowchart %q: node %d has unknown kind %d", p.Name, id, n.Kind)
+		}
+	}
+}
+
+// RunEnv executes the program and additionally returns the final
+// environment. It is used by tests and by mechanisms that inspect shadow
+// variables after a run.
+func (p *Program) RunEnv(inputs []int64, maxSteps int64) (Result, Env, error) {
+	if len(inputs) != len(p.Inputs) {
+		return Result{}, nil, fmt.Errorf("%w: got %d inputs, program %q wants %d",
+			ErrArity, len(inputs), p.Name, len(p.Inputs))
+	}
+	env := make(Env, len(p.Inputs)+8)
+	for i, name := range p.Inputs {
+		env[name] = inputs[i]
+	}
+	var steps int64
+	id := p.Start
+	for {
+		if steps >= maxSteps {
+			return Result{Steps: steps}, env, fmt.Errorf("%w: budget %d, program %q", ErrStepLimit, maxSteps, p.Name)
+		}
+		n := &p.Nodes[id]
+		steps++
+		switch n.Kind {
+		case KindStart:
+			id = n.Next
+		case KindAssign:
+			env[n.Target] = n.Expr.Eval(env)
+			id = n.Next
+		case KindDecision:
+			if n.Cond.Eval(env) {
+				id = n.True
+			} else {
+				id = n.False
+			}
+		case KindHalt:
+			if n.Violation {
+				return Result{Steps: steps, Violation: true, Notice: n.Notice}, env, nil
+			}
+			return Result{Value: env.Get(p.OutputVar()), Steps: steps}, env, nil
+		default:
+			return Result{Steps: steps}, env, fmt.Errorf("flowchart %q: node %d has unknown kind %d", p.Name, id, n.Kind)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package flowchart
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// tokKind classifies DSL tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokNewline
+	tokIdent
+	tokNumber
+	tokString
+	tokAssignOp // :=
+	tokColon    // :
+	tokComma    // ,
+	tokLParen   // (
+	tokRParen   // )
+	tokOp       // arithmetic / comparison / boolean operator
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokNewline:
+		return "end of line"
+	case tokNumber:
+		return fmt.Sprintf("number %d", t.num)
+	case tokString:
+		return fmt.Sprintf("string %q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lexError is a scan error with a line number.
+type lexError struct {
+	line int
+	msg  string
+}
+
+func (e *lexError) Error() string { return fmt.Sprintf("line %d: %s", e.line, e.msg) }
+
+// lex scans DSL source into tokens. Comments run from "//" to end of line.
+// Newlines are significant (they terminate statements) and are emitted as
+// tokens; consecutive newlines collapse to one.
+func lex(src string, allowShadows bool) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	emit := func(t token) { toks = append(toks, t) }
+	lastWasNewline := true // swallow leading blank lines
+	emitNewline := func() {
+		if !lastWasNewline {
+			emit(token{kind: tokNewline, line: line})
+			lastWasNewline = true
+		}
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			emitNewline()
+			line++
+			i++
+			continue
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+			continue
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+			continue
+		}
+		lastWasNewline = false
+		switch {
+		case isIdentStart(c):
+			start := i
+			for i < n && (isIdentStart(src[i]) || isDigit(src[i]) || (allowShadows && src[i] == byte(ReservedMarker))) {
+				i++
+			}
+			emit(token{kind: tokIdent, text: src[start:i], line: line})
+		case isDigit(c):
+			start := i
+			for i < n && isDigit(src[i]) {
+				i++
+			}
+			v, err := strconv.ParseInt(src[start:i], 10, 64)
+			if err != nil {
+				return nil, &lexError{line, fmt.Sprintf("bad number %q: %v", src[start:i], err)}
+			}
+			emit(token{kind: tokNumber, num: v, line: line})
+		case c == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < n && src[j] != '"' {
+				if src[j] == '\n' {
+					return nil, &lexError{line, "unterminated string"}
+				}
+				if src[j] == '\\' && j+1 < n {
+					j++
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if j >= n {
+				return nil, &lexError{line, "unterminated string"}
+			}
+			emit(token{kind: tokString, text: sb.String(), line: line})
+			i = j + 1
+		case c == ':':
+			if i+1 < n && src[i+1] == '=' {
+				emit(token{kind: tokAssignOp, text: ":=", line: line})
+				i += 2
+			} else {
+				emit(token{kind: tokColon, text: ":", line: line})
+				i++
+			}
+		case c == ',':
+			emit(token{kind: tokComma, text: ",", line: line})
+			i++
+		case c == '(':
+			emit(token{kind: tokLParen, text: "(", line: line})
+			i++
+		case c == ')':
+			emit(token{kind: tokRParen, text: ")", line: line})
+			i++
+		default:
+			op, width := scanOp(src[i:])
+			if op == "" {
+				return nil, &lexError{line, fmt.Sprintf("unexpected character %q", c)}
+			}
+			emit(token{kind: tokOp, text: op, line: line})
+			i += width
+		}
+	}
+	emitNewline()
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}
+
+// scanOp greedily matches the longest operator at the front of s.
+func scanOp(s string) (string, int) {
+	two := []string{"==", "!=", "<=", ">=", "&&", "||", "&^"}
+	if len(s) >= 2 {
+		for _, op := range two {
+			if s[:2] == op {
+				return op, 2
+			}
+		}
+	}
+	switch s[0] {
+	case '+', '-', '*', '/', '%', '&', '|', '^', '<', '>', '!':
+		return s[:1], 1
+	}
+	return "", 0
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

@@ -1,0 +1,724 @@
+package flowchart
+
+import (
+	"fmt"
+)
+
+// ParseOptions controls DSL parsing.
+type ParseOptions struct {
+	// AllowShadows permits instrumentation-generated identifiers (those
+	// containing the reserved marker '#'), so that printed instrumented
+	// programs can be re-parsed. User programs must leave this false.
+	AllowShadows bool
+	// Funcs is an optional function table made available to call
+	// expressions in the parsed program.
+	Funcs []*Func
+}
+
+// Parse parses a program in the flowchart DSL. The syntax, line oriented
+// with // comments:
+//
+//	program NAME            // optional
+//	inputs x1 x2 ...        // zero or more input variables
+//	output y                // optional, default "y"
+//
+//	L1: r := x1 + 2         // assignment, fallthrough to next line
+//	    if x2 == 0 goto L2 else L3
+//	L2: halt                // halt with the output variable's value
+//	L3: violation "denied"  // halt with a violation notice
+//	    goto L1             // explicit transfer
+//
+// A label may also stand on a line of its own and attaches to the next
+// statement. The paper's flowcharts translate line by line.
+func Parse(src string) (*Program, error) {
+	return ParseWithOptions(src, ParseOptions{})
+}
+
+// MustParse is Parse but panics on error; for program literals in tests,
+// examples, and experiment definitions.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParseWithOptions parses with explicit options.
+func ParseWithOptions(src string, opts ParseOptions) (*Program, error) {
+	toks, err := lex(src, opts.AllowShadows)
+	if err != nil {
+		return nil, err
+	}
+	pr := &parser{toks: toks, opts: opts}
+	prog, err := pr.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range opts.Funcs {
+		prog.InstallFunc(f)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// stmtKind classifies parsed statements before lowering to nodes.
+type stmtKind uint8
+
+const (
+	stmtAssign stmtKind = iota
+	stmtIf
+	stmtGoto
+	stmtHalt
+	stmtViolation
+)
+
+type stmt struct {
+	kind   stmtKind
+	labels []string
+	line   int
+
+	target  string // assign
+	expr    Expr   // assign
+	cond    Pred   // if
+	onTrue  string // if
+	onFalse string // if
+	dest    string // goto
+	notice  string // violation
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	opts ParseOptions
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) errf(t token, format string, args ...interface{}) error {
+	return fmt.Errorf("line %d: %s", t.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipNewlines() {
+	for p.peek().kind == tokNewline {
+		p.next()
+	}
+}
+
+func (p *parser) expectIdent(what string) (token, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return t, p.errf(t, "expected %s, got %s", what, t)
+	}
+	return t, nil
+}
+
+func (p *parser) expectOp(op string) error {
+	t := p.next()
+	if t.kind != tokOp || t.text != op {
+		return p.errf(t, "expected %q, got %s", op, t)
+	}
+	return nil
+}
+
+func (p *parser) endOfStatement() error {
+	t := p.next()
+	if t.kind != tokNewline && t.kind != tokEOF {
+		return p.errf(t, "unexpected %s at end of statement", t)
+	}
+	return nil
+}
+
+func isKeyword(s string) bool {
+	switch s {
+	case "program", "inputs", "output", "if", "goto", "else", "halt",
+		"violation", "true", "false", "ite":
+		return true
+	}
+	return false
+}
+
+func (p *parser) checkIdent(t token, what string) error {
+	if isKeyword(t.text) {
+		return p.errf(t, "keyword %q cannot be used as %s", t.text, what)
+	}
+	if !p.opts.AllowShadows && !ValidUserIdent(t.text) {
+		return p.errf(t, "invalid %s %q", what, t.text)
+	}
+	return nil
+}
+
+// parseProgram handles headers and the statement list, then lowers to a
+// node graph.
+func (p *parser) parseProgram() (*Program, error) {
+	prog := &Program{Name: "main"}
+	p.skipNewlines()
+	// Headers.
+	for p.peek().kind == tokIdent {
+		switch p.peek().text {
+		case "program":
+			p.next()
+			t, err := p.expectIdent("program name")
+			if err != nil {
+				return nil, err
+			}
+			prog.Name = t.text
+			if err := p.endOfStatement(); err != nil {
+				return nil, err
+			}
+		case "inputs":
+			p.next()
+			for p.peek().kind == tokIdent {
+				t := p.next()
+				if err := p.checkIdent(t, "input name"); err != nil {
+					return nil, err
+				}
+				prog.Inputs = append(prog.Inputs, t.text)
+			}
+			if err := p.endOfStatement(); err != nil {
+				return nil, err
+			}
+		case "output":
+			p.next()
+			t, err := p.expectIdent("output variable")
+			if err != nil {
+				return nil, err
+			}
+			if err := p.checkIdent(t, "output variable"); err != nil {
+				return nil, err
+			}
+			prog.Output = t.text
+			if err := p.endOfStatement(); err != nil {
+				return nil, err
+			}
+		default:
+			goto body
+		}
+		p.skipNewlines()
+	}
+body:
+	stmts, err := p.parseStatements()
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) == 0 {
+		return nil, fmt.Errorf("program %q has no statements", prog.Name)
+	}
+	if err := lower(prog, stmts); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func (p *parser) parseStatements() ([]stmt, error) {
+	var stmts []stmt
+	var pendingLabels []string
+	for {
+		p.skipNewlines()
+		t := p.peek()
+		if t.kind == tokEOF {
+			if len(pendingLabels) > 0 {
+				return nil, p.errf(t, "label %q attached to no statement", pendingLabels[0])
+			}
+			return stmts, nil
+		}
+		if t.kind != tokIdent {
+			return nil, p.errf(t, "expected statement, got %s", t)
+		}
+		// Label? IDENT ':' not followed by '=' (that is tokAssignOp already).
+		if p.toks[p.pos+1].kind == tokColon {
+			lab := p.next()
+			p.next() // colon
+			if err := p.checkIdent(lab, "label"); err != nil {
+				return nil, err
+			}
+			pendingLabels = append(pendingLabels, lab.text)
+			continue // label may precede a newline; loop
+		}
+		s, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		s.labels = pendingLabels
+		pendingLabels = nil
+		stmts = append(stmts, s)
+	}
+}
+
+func (p *parser) parseStatement() (stmt, error) {
+	t := p.peek()
+	switch t.text {
+	case "if":
+		p.next()
+		cond, err := p.parsePred()
+		if err != nil {
+			return stmt{}, err
+		}
+		kw := p.next()
+		if kw.kind != tokIdent || kw.text != "goto" {
+			return stmt{}, p.errf(kw, "expected 'goto' after if predicate, got %s", kw)
+		}
+		lt, err := p.expectIdent("label")
+		if err != nil {
+			return stmt{}, err
+		}
+		kw = p.next()
+		if kw.kind != tokIdent || kw.text != "else" {
+			return stmt{}, p.errf(kw, "expected 'else', got %s", kw)
+		}
+		lf, err := p.expectIdent("label")
+		if err != nil {
+			return stmt{}, err
+		}
+		if err := p.endOfStatement(); err != nil {
+			return stmt{}, err
+		}
+		return stmt{kind: stmtIf, line: t.line, cond: cond, onTrue: lt.text, onFalse: lf.text}, nil
+	case "goto":
+		p.next()
+		lt, err := p.expectIdent("label")
+		if err != nil {
+			return stmt{}, err
+		}
+		if err := p.endOfStatement(); err != nil {
+			return stmt{}, err
+		}
+		return stmt{kind: stmtGoto, line: t.line, dest: lt.text}, nil
+	case "halt":
+		p.next()
+		if err := p.endOfStatement(); err != nil {
+			return stmt{}, err
+		}
+		return stmt{kind: stmtHalt, line: t.line}, nil
+	case "violation":
+		p.next()
+		s := stmt{kind: stmtViolation, line: t.line}
+		if p.peek().kind == tokString {
+			s.notice = p.next().text
+		}
+		if err := p.endOfStatement(); err != nil {
+			return stmt{}, err
+		}
+		return s, nil
+	default:
+		// Assignment: IDENT := expr
+		id := p.next()
+		if err := p.checkIdent(id, "variable"); err != nil {
+			return stmt{}, err
+		}
+		at := p.next()
+		if at.kind != tokAssignOp {
+			return stmt{}, p.errf(at, "expected ':=' after %q, got %s", id.text, at)
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return stmt{}, err
+		}
+		if err := p.endOfStatement(); err != nil {
+			return stmt{}, err
+		}
+		return stmt{kind: stmtAssign, line: t.line, target: id.text, expr: e}, nil
+	}
+}
+
+// ------------------------------------------------------------- expressions
+//
+// Precedence (binding tighter downward), mirroring Go:
+//
+//	orPred   := andPred { "||" andPred }
+//	andPred  := relPred { "&&" relPred }
+//	relPred  := "!" relPred | "true" | "false" | "(" orPred ")" | expr cmp expr
+//	expr     := term { ("+"|"-"|"|"|"^") term }
+//	term     := unary { ("*"|"/"|"%"|"&"|"&^") unary }
+//	unary    := ("-"|"^") unary | atom
+//	atom     := NUMBER | IDENT | IDENT "(" args ")" | "ite" "(" pred "," e "," e ")" | "(" expr ")"
+
+func (p *parser) parseExpr() (Expr, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOp {
+		var op BinOp
+		switch p.peek().text {
+		case "+":
+			op = OpAdd
+		case "-":
+			op = OpSub
+		case "|":
+			op = OpOr
+		case "^":
+			op = OpXor
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		l = &Bin{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOp {
+		var op BinOp
+		switch p.peek().text {
+		case "*":
+			op = OpMul
+		case "/":
+			op = OpDiv
+		case "%":
+			op = OpMod
+		case "&":
+			op = OpAnd
+		case "&^":
+			op = OpAndNot
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Bin{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.peek().kind == tokOp {
+		switch p.peek().text {
+		case "-":
+			p.next()
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			if c, ok := x.(Const); ok {
+				return Const(-int64(c)), nil
+			}
+			return &Neg{X: x}, nil
+		case "^":
+			p.next()
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &BitNot{X: x}, nil
+		}
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() (Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		return Const(t.num), nil
+	case tokLParen:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if c := p.next(); c.kind != tokRParen {
+			return nil, p.errf(c, "expected ')', got %s", c)
+		}
+		return e, nil
+	case tokIdent:
+		if t.text == "ite" {
+			if c := p.next(); c.kind != tokLParen {
+				return nil, p.errf(c, "expected '(' after ite, got %s", c)
+			}
+			cond, err := p.parsePred()
+			if err != nil {
+				return nil, err
+			}
+			if c := p.next(); c.kind != tokComma {
+				return nil, p.errf(c, "expected ',' in ite, got %s", c)
+			}
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if c := p.next(); c.kind != tokComma {
+				return nil, p.errf(c, "expected ',' in ite, got %s", c)
+			}
+			b, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if c := p.next(); c.kind != tokRParen {
+				return nil, p.errf(c, "expected ')' after ite, got %s", c)
+			}
+			return Ite(cond, a, b), nil
+		}
+		if isKeyword(t.text) {
+			return nil, p.errf(t, "keyword %q cannot appear in an expression", t.text)
+		}
+		if p.peek().kind == tokLParen {
+			p.next()
+			call := &Call{Name: t.text}
+			if p.peek().kind != tokRParen {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if p.peek().kind != tokComma {
+						break
+					}
+					p.next()
+				}
+			}
+			if c := p.next(); c.kind != tokRParen {
+				return nil, p.errf(c, "expected ')' after call arguments, got %s", c)
+			}
+			return call, nil
+		}
+		if err := p.checkIdent(t, "variable"); err != nil {
+			return nil, err
+		}
+		return Var(t.text), nil
+	default:
+		return nil, p.errf(t, "expected expression, got %s", t)
+	}
+}
+
+func (p *parser) parsePred() (Pred, error) {
+	l, err := p.parseAndPred()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOp && p.peek().text == "||" {
+		p.next()
+		r, err := p.parseAndPred()
+		if err != nil {
+			return nil, err
+		}
+		l = &OrP{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAndPred() (Pred, error) {
+	l, err := p.parseRelPred()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOp && p.peek().text == "&&" {
+		p.next()
+		r, err := p.parseRelPred()
+		if err != nil {
+			return nil, err
+		}
+		l = &AndP{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseRelPred() (Pred, error) {
+	t := p.peek()
+	if t.kind == tokOp && t.text == "!" {
+		p.next()
+		x, err := p.parseRelPred()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{X: x}, nil
+	}
+	if t.kind == tokIdent && (t.text == "true" || t.text == "false") {
+		p.next()
+		return BoolConst(t.text == "true"), nil
+	}
+	// "(" could open a parenthesised predicate or a parenthesised
+	// arithmetic sub-expression; try predicate first and backtrack.
+	if t.kind == tokLParen {
+		save := p.pos
+		p.next()
+		inner, err := p.parsePred()
+		if err == nil {
+			if c := p.peek(); c.kind == tokRParen {
+				// Only accept if what follows is not a comparison
+				// operator (which would mean the parens were an
+				// arithmetic grouping like (a+b) == c).
+				after := p.toks[p.pos+1]
+				if !(after.kind == tokOp && isCmpText(after.text)) &&
+					!(after.kind == tokOp && isArithText(after.text)) {
+					p.next() // consume ')'
+					return inner, nil
+				}
+			}
+		}
+		p.pos = save
+	}
+	l, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	op := p.next()
+	if op.kind != tokOp || !isCmpText(op.text) {
+		return nil, p.errf(op, "expected comparison operator, got %s", op)
+	}
+	r, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Cmp{Op: cmpFromText(op.text), L: l, R: r}, nil
+}
+
+func isCmpText(s string) bool {
+	switch s {
+	case "==", "!=", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+func isArithText(s string) bool {
+	switch s {
+	case "+", "-", "*", "/", "%", "&", "|", "^", "&^":
+		return true
+	}
+	return false
+}
+
+func cmpFromText(s string) CmpOp {
+	switch s {
+	case "==":
+		return CmpEq
+	case "!=":
+		return CmpNe
+	case "<":
+		return CmpLt
+	case "<=":
+		return CmpLe
+	case ">":
+		return CmpGt
+	default:
+		return CmpGe
+	}
+}
+
+// ---------------------------------------------------------------- lowering
+
+// lower converts the statement list to the node graph, resolving labels and
+// goto chains.
+func lower(prog *Program, stmts []stmt) error {
+	labels := make(map[string]int) // label -> statement index
+	for i, s := range stmts {
+		for _, lab := range s.labels {
+			if prev, dup := labels[lab]; dup {
+				return fmt.Errorf("line %d: label %q already defined at statement %d", s.line, lab, prev)
+			}
+			labels[lab] = i
+		}
+	}
+	// entry(i) = node that begins execution of statement i, following goto
+	// chains. -1 in memo means "unresolved", -2 means "in progress" (cycle
+	// detection).
+	nodeOf := make([]NodeID, len(stmts))
+	for i, s := range stmts {
+		switch s.kind {
+		case stmtAssign:
+			nodeOf[i] = prog.AddNode(Node{Kind: KindAssign, Target: s.target, Expr: s.expr, Next: NoNode, Label: firstLabel(s)})
+		case stmtIf:
+			nodeOf[i] = prog.AddNode(Node{Kind: KindDecision, Cond: s.cond, True: NoNode, False: NoNode, Label: firstLabel(s)})
+		case stmtHalt:
+			nodeOf[i] = prog.AddNode(Node{Kind: KindHalt, Label: firstLabel(s)})
+		case stmtViolation:
+			nodeOf[i] = prog.AddNode(Node{Kind: KindHalt, Violation: true, Notice: s.notice, Label: firstLabel(s)})
+		case stmtGoto:
+			nodeOf[i] = NoNode // resolved by entry()
+		}
+	}
+	state := make([]int8, len(stmts)) // 0 fresh, 1 in progress, 2 done
+	entryMemo := make([]NodeID, len(stmts))
+	var entry func(i int) (NodeID, error)
+	entry = func(i int) (NodeID, error) {
+		if i >= len(stmts) {
+			return NoNode, fmt.Errorf("control falls off the end of the program (add halt or goto)")
+		}
+		if state[i] == 2 {
+			return entryMemo[i], nil
+		}
+		if state[i] == 1 {
+			return NoNode, fmt.Errorf("line %d: goto cycle with no intervening statement", stmts[i].line)
+		}
+		state[i] = 1
+		var id NodeID
+		var err error
+		if stmts[i].kind == stmtGoto {
+			j, ok := labels[stmts[i].dest]
+			if !ok {
+				return NoNode, fmt.Errorf("line %d: undefined label %q", stmts[i].line, stmts[i].dest)
+			}
+			id, err = entry(j)
+			if err != nil {
+				return NoNode, err
+			}
+		} else {
+			id = nodeOf[i]
+		}
+		state[i] = 2
+		entryMemo[i] = id
+		return id, nil
+	}
+	resolveLabel := func(line int, lab string) (NodeID, error) {
+		j, ok := labels[lab]
+		if !ok {
+			return NoNode, fmt.Errorf("line %d: undefined label %q", line, lab)
+		}
+		return entry(j)
+	}
+	// Wire edges.
+	for i, s := range stmts {
+		switch s.kind {
+		case stmtAssign:
+			next, err := entry(i + 1)
+			if err != nil {
+				return fmt.Errorf("line %d: %v", s.line, err)
+			}
+			prog.Node(nodeOf[i]).Next = next
+		case stmtIf:
+			tID, err := resolveLabel(s.line, s.onTrue)
+			if err != nil {
+				return err
+			}
+			fID, err := resolveLabel(s.line, s.onFalse)
+			if err != nil {
+				return err
+			}
+			n := prog.Node(nodeOf[i])
+			n.True = tID
+			n.False = fID
+		case stmtGoto:
+			if _, err := entry(i); err != nil {
+				return err
+			}
+		}
+	}
+	first, err := entry(0)
+	if err != nil {
+		return err
+	}
+	prog.Start = prog.AddNode(Node{Kind: KindStart, Next: first})
+	return nil
+}
+
+func firstLabel(s stmt) string {
+	if len(s.labels) > 0 {
+		return s.labels[0]
+	}
+	return ""
+}

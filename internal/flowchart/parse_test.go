@@ -1,0 +1,511 @@
+package flowchart
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// progE3 is the Section 4 program used to separate surveillance from
+// high-water mark (paper p. 48).
+const progE3 = `
+program forgetful
+inputs x1 x2
+
+    r := x1
+    r := 0
+    if x2 == 0 goto Zero else NonZero
+Zero:    y := r
+         halt
+NonZero: y := x1
+         halt
+`
+
+func TestParseAndRun(t *testing.T) {
+	p, err := Parse(progE3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "forgetful" || p.Arity() != 2 {
+		t.Fatalf("header parse: name=%q arity=%d", p.Name, p.Arity())
+	}
+	res, err := p.Run([]int64{7, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 0 || res.Violation {
+		t.Errorf("Run(7,0) = %v, want 0", res)
+	}
+	res, err = p.Run([]int64{7, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 7 {
+		t.Errorf("Run(7,5) = %v, want 7", res)
+	}
+}
+
+func TestStepCounting(t *testing.T) {
+	p := MustParse(`
+inputs x
+Loop: if x == 0 goto Done else Body
+Body: x := x - 1
+      goto Loop
+Done: y := 1
+      halt
+`)
+	r0, err := p.Run([]int64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := p.Run([]int64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each loop iteration adds one decision plus one assignment.
+	if r3.Steps-r0.Steps != 6 {
+		t.Errorf("steps(3)-steps(0) = %d, want 6", r3.Steps-r0.Steps)
+	}
+	if r0.Value != 1 || r3.Value != 1 {
+		t.Error("constant function should output 1")
+	}
+	// This is the paper's Section 2 timing program: the value is constant
+	// but the running time encodes x, so (value, steps) violates allow().
+	if r0.Steps == r3.Steps {
+		t.Error("running time should depend on x — that is the point of the example")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	p := MustParse(`
+inputs x
+Loop: x := x + 1
+      if x == x + 1 goto Done else Loop
+Done: halt
+`)
+	_, err := p.RunBudget([]int64{0}, 100, nil)
+	if !errors.Is(err, ErrStepLimit) {
+		t.Errorf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestArityMismatch(t *testing.T) {
+	p := MustParse("inputs x1 x2\n y := x1\n halt\n")
+	if _, err := p.Run([]int64{1}); !errors.Is(err, ErrArity) {
+		t.Errorf("err = %v, want ErrArity", err)
+	}
+}
+
+func TestViolationStatement(t *testing.T) {
+	p := MustParse(`
+inputs x
+    if x == 0 goto OK else Bad
+OK:  y := 1
+     halt
+Bad: violation "denied"
+`)
+	r, err := p.Run([]int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Violation || r.Notice != "denied" {
+		t.Errorf("Run(1) = %v, want violation 'denied'", r)
+	}
+	if !strings.Contains(r.String(), "Λ") {
+		t.Errorf("violation String() = %q, want Λ", r.String())
+	}
+}
+
+func TestOutputHeader(t *testing.T) {
+	p := MustParse(`
+inputs x
+output result
+    result := x * 2
+    halt
+`)
+	r, err := p.Run([]int64{21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value != 42 {
+		t.Errorf("Run = %v, want 42", r)
+	}
+}
+
+func TestZeroInputProgram(t *testing.T) {
+	p := MustParse("inputs\n y := 7\n halt\n")
+	r, err := p.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value != 7 {
+		t.Errorf("Run = %v", r)
+	}
+}
+
+func TestIteExpression(t *testing.T) {
+	p := MustParse(`
+inputs x1
+    y := ite(x1 == 1, 1, 2)
+    halt
+`)
+	r1, _ := p.Run([]int64{1})
+	r2, _ := p.Run([]int64{9})
+	if r1.Value != 1 || r2.Value != 2 {
+		t.Errorf("ite program: f(1)=%d f(9)=%d", r1.Value, r2.Value)
+	}
+	// Constant-time: both inputs take the same number of steps.
+	if r1.Steps != r2.Steps {
+		t.Errorf("ite should be constant time: %d vs %d steps", r1.Steps, r2.Steps)
+	}
+}
+
+func TestGotoChains(t *testing.T) {
+	p := MustParse(`
+inputs x
+    goto A
+B:  y := 2
+    halt
+A:  goto C
+C:  y := 1
+    halt
+`)
+	r, err := p.Run([]int64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value != 1 {
+		t.Errorf("goto chain result = %v, want 1", r)
+	}
+}
+
+func TestCallInProgram(t *testing.T) {
+	sq := &Func{Name: "sq", Arity: 1, Fn: func(a []int64) int64 { return a[0] * a[0] }}
+	p, err := ParseWithOptions("inputs x\n y := sq(x) + 1\n halt\n", ParseOptions{Funcs: []*Func{sq}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := p.Run([]int64{6})
+	if r.Value != 37 {
+		t.Errorf("sq(6)+1 = %d", r.Value)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of the error
+	}{
+		{"empty", "", "no statements"},
+		{"fall off end", "inputs x\n y := x\n", "falls off the end"},
+		{"undefined label", "inputs x\n goto Nowhere\n", "undefined label"},
+		{"goto cycle", "inputs x\nA: goto B\nB: goto A\n", "goto cycle"},
+		{"dup label", "inputs x\nA: halt\nA: halt\n", "already defined"},
+		{"dangling label", "inputs x\n halt\nEnd:\n", "attached to no statement"},
+		{"keyword var", "inputs x\n else := 3\n halt\n", "keyword"},
+		{"shadow ident", "inputs x\n y := x1#\n halt\n", "unexpected character"},
+		{"bad op seq", "inputs x\n y := x +\n halt\n", "expected expression"},
+		{"missing else", "inputs x\n if x == 0 goto A\nA: halt\n", "expected 'else'"},
+		{"bad predicate", "inputs x\n if x goto A else A\nA: halt\n", "comparison"},
+		{"unterminated string", "inputs x\n violation \"oops\n halt\n", "unterminated"},
+		{"unknown func", "inputs x\n y := f(x)\n halt\n", "unknown function"},
+		{"stray token", "inputs x\n halt extra\n", "unexpected"},
+		{"dup input", "inputs x x\n halt\n", "duplicate input"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("Parse succeeded, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestFuncArityChecked(t *testing.T) {
+	f := &Func{Name: "f", Arity: 2, Fn: func(a []int64) int64 { return a[0] }}
+	_, err := ParseWithOptions("inputs x\n y := f(x)\n halt\n", ParseOptions{Funcs: []*Func{f}})
+	if err == nil || !strings.Contains(err.Error(), "want 2") {
+		t.Errorf("arity mismatch not reported: %v", err)
+	}
+}
+
+func TestParenthesisedPredicates(t *testing.T) {
+	p := MustParse(`
+inputs a b
+    if (a == 0) && (b == 0 || a > b) goto T else F
+T:  y := 1
+    halt
+F:  y := 0
+    halt
+`)
+	r, _ := p.Run([]int64{0, 0})
+	if r.Value != 1 {
+		t.Errorf("(0,0) = %d, want 1", r.Value)
+	}
+	r, _ = p.Run([]int64{1, 0})
+	if r.Value != 0 {
+		t.Errorf("(1,0) = %d, want 0", r.Value)
+	}
+}
+
+func TestParenthesisedArithInPredicate(t *testing.T) {
+	p := MustParse(`
+inputs a b
+    if (a + b) * 2 == 6 goto T else F
+T:  y := 1
+    halt
+F:  y := 0
+    halt
+`)
+	r, _ := p.Run([]int64{1, 2})
+	if r.Value != 1 {
+		t.Errorf("(1+2)*2==6 should hold, got %d", r.Value)
+	}
+}
+
+func TestNegativeLiterals(t *testing.T) {
+	p := MustParse("inputs x\n y := -3 + x\n halt\n")
+	r, _ := p.Run([]int64{5})
+	if r.Value != 2 {
+		t.Errorf("-3+5 = %d", r.Value)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on bad source did not panic")
+		}
+	}()
+	MustParse("inputs x\n")
+}
+
+func TestPrintRoundTrip(t *testing.T) {
+	sources := []string{
+		progE3,
+		"inputs x\nLoop: if x == 0 goto Done else Body\nBody: x := x - 1\n goto Loop\nDone: y := 1\n halt\n",
+		"inputs a b c\n y := ite(a == b, c, a &^ b)\n halt\n",
+		"inputs x\n if x < 0 goto N else P\nN: violation \"negative\"\nP: y := x % 7\n halt\n",
+	}
+	for _, src := range sources {
+		p1 := MustParse(src)
+		text1 := Print(p1)
+		p2, err := ParseWithOptions(text1, ParseOptions{AllowShadows: true})
+		if err != nil {
+			t.Fatalf("re-parse of printed program failed: %v\n%s", err, text1)
+		}
+		text2 := Print(p2)
+		if text1 != text2 {
+			t.Errorf("Print not stable after one round trip:\n--- first ---\n%s--- second ---\n%s", text1, text2)
+		}
+		// Behavioural agreement on a small input grid.
+		for v1 := int64(-2); v1 <= 2; v1++ {
+			for v2 := int64(-2); v2 <= 2; v2++ {
+				in := make([]int64, p1.Arity())
+				if len(in) > 0 {
+					in[0] = v1
+				}
+				if len(in) > 1 {
+					in[1] = v2
+				}
+				r1, err1 := p1.Run(in)
+				r2, err2 := p2.Run(in)
+				if (err1 == nil) != (err2 == nil) || r1 != r2 {
+					t.Fatalf("behaviour diverged on %v: %v/%v vs %v/%v", in, r1, err1, r2, err2)
+				}
+			}
+		}
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	p := MustParse(progE3)
+	dot := Dot(p)
+	for _, want := range []string{"digraph", "diamond", "START", "HALT"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("Dot output missing %q", want)
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	// Hand-built malformed programs.
+	t.Run("no nodes", func(t *testing.T) {
+		p := &Program{Name: "x"}
+		if err := p.Validate(); err == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("bad start kind", func(t *testing.T) {
+		p := &Program{Name: "x"}
+		p.Start = p.AddNode(Node{Kind: KindHalt})
+		if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "start node has kind") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("successor out of range", func(t *testing.T) {
+		p := &Program{Name: "x"}
+		p.Start = p.AddNode(Node{Kind: KindStart, Next: 99})
+		p.AddNode(Node{Kind: KindHalt})
+		if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "out of range") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("jump to start", func(t *testing.T) {
+		p := &Program{Name: "x"}
+		p.Start = p.AddNode(Node{Kind: KindStart, Next: 0})
+		p.AddNode(Node{Kind: KindHalt})
+		if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "start box") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("assign without expr", func(t *testing.T) {
+		p := &Program{Name: "x"}
+		p.Start = p.AddNode(Node{Kind: KindStart, Next: 1})
+		p.AddNode(Node{Kind: KindAssign, Target: "y", Next: 2})
+		p.AddNode(Node{Kind: KindHalt})
+		if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "no expression") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("no halt", func(t *testing.T) {
+		p := &Program{Name: "x"}
+		d := p.AddNode(Node{Kind: KindDecision, Cond: BoolConst(true), True: 0, False: 0})
+		p.Start = p.AddNode(Node{Kind: KindStart, Next: d})
+		if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "no halt") {
+			t.Errorf("err = %v", err)
+		}
+	})
+}
+
+func TestBuilder(t *testing.T) {
+	b := NewBuilder("built", "x1")
+	a := b.Assign("y", Add(V("x1"), C(1)))
+	h := b.Halt()
+	b.SetNext(b.StartID(), a)
+	b.Seq(a, h)
+	p := b.Program()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.Run([]int64{41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value != 42 {
+		t.Errorf("built program = %v", r)
+	}
+}
+
+func TestBuilderBranch(t *testing.T) {
+	b := NewBuilder("built2", "x")
+	d := b.Decision(Eq(V("x"), C(0)))
+	t1 := b.Assign("y", C(1))
+	t2 := b.Assign("y", C(2))
+	h := b.Halt()
+	b.SetNext(b.StartID(), d)
+	b.SetBranch(d, t1, t2)
+	b.SetNext(t1, h)
+	b.SetNext(t2, h)
+	p := b.Program()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r0, _ := p.Run([]int64{0})
+	r1, _ := p.Run([]int64{1})
+	if r0.Value != 1 || r1.Value != 2 {
+		t.Errorf("branch program: %d/%d", r0.Value, r1.Value)
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	b := NewBuilder("p", "x")
+	h := b.Halt()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("SetNext on halt did not panic")
+			}
+		}()
+		b.SetNext(h, h)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("SetBranch on halt did not panic")
+			}
+		}()
+		b.SetBranch(h, h, h)
+	}()
+}
+
+func TestCloneIsolation(t *testing.T) {
+	p := MustParse(progE3)
+	q := p.Clone()
+	q.Nodes[1] = Node{Kind: KindHalt}
+	q.Inputs[0] = "zz"
+	if p.Nodes[1].Kind == KindHalt || p.Inputs[0] == "zz" {
+		t.Error("Clone shares mutable state")
+	}
+}
+
+func TestTracer(t *testing.T) {
+	p := MustParse("inputs x\n y := x\n halt\n")
+	var visited []Kind
+	_, err := p.RunBudget([]int64{1}, 100, func(id NodeID, n *Node, env Env) {
+		visited = append(visited, n.Kind)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KindStart, KindAssign, KindHalt}
+	if len(visited) != len(want) {
+		t.Fatalf("trace = %v", visited)
+	}
+	for i := range want {
+		if visited[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", visited, want)
+		}
+	}
+}
+
+func TestVariables(t *testing.T) {
+	p := MustParse(progE3)
+	vars := p.Variables()
+	want := map[string]bool{"r": true, "x1": true, "x2": true, "y": true}
+	if len(vars) != len(want) {
+		t.Fatalf("Variables() = %v", vars)
+	}
+	for _, v := range vars {
+		if !want[v] {
+			t.Errorf("unexpected variable %q", v)
+		}
+	}
+}
+
+func TestShadowHelpers(t *testing.T) {
+	if ShadowVar("x1") != "x1#" {
+		t.Error("ShadowVar")
+	}
+	if !IsShadowVar("x1#") || IsShadowVar("x1") {
+		t.Error("IsShadowVar")
+	}
+	if ValidUserIdent("x1#") {
+		t.Error("shadow should not be a valid user ident")
+	}
+	if !ValidUserIdent("abc_2") || ValidUserIdent("2abc") || ValidUserIdent("") {
+		t.Error("ValidUserIdent basic cases")
+	}
+}
+
+func TestInputIndex(t *testing.T) {
+	p := MustParse(progE3)
+	if p.InputIndex("x1") != 1 || p.InputIndex("x2") != 2 || p.InputIndex("r") != 0 {
+		t.Error("InputIndex wrong")
+	}
+}

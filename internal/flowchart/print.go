@@ -1,0 +1,203 @@
+package flowchart
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the program in DSL syntax. The output re-parses (with
+// ParseOptions.AllowShadows set when the program contains instrumentation
+// variables) to a behaviourally identical program; reachable nodes are
+// emitted in depth-first order from the start box, unreachable nodes after
+// them.
+func Print(p *Program) string {
+	var b strings.Builder
+	if p.Name != "" {
+		fmt.Fprintf(&b, "program %s\n", p.Name)
+	}
+	fmt.Fprintf(&b, "inputs %s\n", strings.Join(p.Inputs, " "))
+	if p.Output != "" && p.Output != DefaultOutput {
+		fmt.Fprintf(&b, "output %s\n", p.Output)
+	}
+	b.WriteString("\n")
+
+	order, reachable := printOrder(p)
+	// A node needs a label if any edge other than the immediately preceding
+	// fallthrough targets it.
+	needLabel := make([]bool, len(p.Nodes))
+	posInOrder := make([]int, len(p.Nodes))
+	for i := range posInOrder {
+		posInOrder[i] = -1
+	}
+	for pos, id := range order {
+		posInOrder[id] = pos
+	}
+	fallsTo := func(pos int, target NodeID) bool {
+		return posInOrder[target] == pos+1
+	}
+	for pos, id := range order {
+		n := &p.Nodes[id]
+		switch n.Kind {
+		case KindStart, KindAssign:
+			if !fallsTo(pos, n.Next) {
+				needLabel[n.Next] = true
+			}
+		case KindDecision:
+			needLabel[n.True] = true
+			needLabel[n.False] = true
+		}
+	}
+	labelOf := makeLabels(p, order, needLabel)
+
+	emitted := 0
+	for pos, id := range order {
+		n := &p.Nodes[id]
+		if n.Kind == KindStart {
+			// The start box is implicit in the DSL; if it does not fall
+			// through to the next emitted node, emit an explicit goto.
+			if !fallsTo(pos, n.Next) {
+				fmt.Fprintf(&b, "    goto %s\n", labelOf[n.Next])
+			}
+			continue
+		}
+		prefix := "    "
+		if needLabel[id] {
+			prefix = fmt.Sprintf("%s: ", labelOf[id])
+		}
+		switch n.Kind {
+		case KindAssign:
+			fmt.Fprintf(&b, "%s%s := %s\n", prefix, n.Target, n.Expr)
+			if !fallsTo(pos, n.Next) {
+				fmt.Fprintf(&b, "    goto %s\n", labelOf[n.Next])
+			}
+		case KindDecision:
+			fmt.Fprintf(&b, "%sif %s goto %s else %s\n", prefix, n.Cond, labelOf[n.True], labelOf[n.False])
+		case KindHalt:
+			if n.Violation {
+				if n.Notice != "" {
+					fmt.Fprintf(&b, "%sviolation %q\n", prefix, n.Notice)
+				} else {
+					fmt.Fprintf(&b, "%sviolation\n", prefix)
+				}
+			} else {
+				fmt.Fprintf(&b, "%shalt\n", prefix)
+			}
+		}
+		emitted++
+	}
+	_ = reachable
+	return b.String()
+}
+
+// printOrder returns node IDs in emission order: depth-first from the start
+// (false branch explored before returning to true-branch continuation so
+// that fallthrough chains stay contiguous), followed by unreachable nodes.
+func printOrder(p *Program) (order []NodeID, reachable []bool) {
+	reachable = make([]bool, len(p.Nodes))
+	var visit func(id NodeID)
+	visit = func(id NodeID) {
+		for id != NoNode && int(id) < len(p.Nodes) && !reachable[id] {
+			reachable[id] = true
+			order = append(order, id)
+			n := &p.Nodes[id]
+			switch n.Kind {
+			case KindStart, KindAssign:
+				id = n.Next
+			case KindDecision:
+				// Emit the true arm as the fallthrough chain, then the
+				// false arm; labels make the order immaterial.
+				visit(n.True)
+				id = n.False
+			default:
+				return
+			}
+		}
+	}
+	visit(p.Start)
+	for i := range p.Nodes {
+		if !reachable[i] {
+			order = append(order, NodeID(i))
+		}
+	}
+	return order, reachable
+}
+
+// makeLabels assigns a printable label to every node that needs one,
+// preferring the node's own Label when it is unique.
+func makeLabels(p *Program, order []NodeID, need []bool) map[NodeID]string {
+	used := make(map[string]bool)
+	labels := make(map[NodeID]string, len(p.Nodes))
+	for _, id := range order {
+		if !need[id] {
+			continue
+		}
+		lab := p.Nodes[id].Label
+		if lab == "" || used[lab] {
+			lab = ""
+		}
+		if lab != "" {
+			labels[id] = lab
+			used[lab] = true
+		}
+	}
+	seq := 0
+	for _, id := range order {
+		if !need[id] || labels[id] != "" {
+			continue
+		}
+		for {
+			cand := fmt.Sprintf("L%d", seq)
+			seq++
+			if !used[cand] {
+				labels[id] = cand
+				used[cand] = true
+				break
+			}
+		}
+	}
+	return labels
+}
+
+// Dot renders the flowchart in Graphviz dot syntax, with the box shapes of
+// the paper's figures: ovals for start/halt, rectangles for assignments,
+// diamonds for decisions.
+func Dot(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", p.Name)
+	b.WriteString("  node [fontname=\"monospace\"];\n")
+	for i := range p.Nodes {
+		n := &p.Nodes[i]
+		var shape, label string
+		switch n.Kind {
+		case KindStart:
+			shape, label = "oval", "START"
+		case KindAssign:
+			shape, label = "box", fmt.Sprintf("%s := %s", n.Target, n.Expr)
+		case KindDecision:
+			shape, label = "diamond", n.Cond.String()
+		case KindHalt:
+			shape = "oval"
+			if n.Violation {
+				label = "Λ"
+				if n.Notice != "" {
+					label = "Λ: " + n.Notice
+				}
+			} else {
+				label = "HALT"
+			}
+		}
+		fmt.Fprintf(&b, "  n%d [shape=%s, label=%q];\n", i, shape, label)
+	}
+	for i := range p.Nodes {
+		n := &p.Nodes[i]
+		switch n.Kind {
+		case KindStart, KindAssign:
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", i, n.Next)
+		case KindDecision:
+			fmt.Fprintf(&b, "  n%d -> n%d [label=\"T\"];\n", i, n.True)
+			fmt.Fprintf(&b, "  n%d -> n%d [label=\"F\"];\n", i, n.False)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,38 @@
+// Package highwater implements the high-water-mark protection mechanism
+// that Section 4 of Jones & Lipton compares against surveillance (the
+// mechanism family of Weissman's ADEPT-50, the paper's reference [16]).
+//
+// High-water marking differs from surveillance in exactly one way: a
+// variable's security class only ever rises. When a tainted variable is
+// overwritten with clean data, surveillance forgets the old class but the
+// high-water mark does not. The paper's p. 48 flowchart (package
+// surveillance's progForgetful test program) exploits this: M_s > M_h,
+// strictly.
+//
+// The implementation reuses the surveillance instrumentation engine with
+// the Monotone update discipline; the resulting mechanism, like
+// surveillance, is itself a flowchart program.
+package highwater
+
+import (
+	"spm/internal/core"
+	"spm/internal/flowchart"
+	"spm/internal/lattice"
+	"spm/internal/surveillance"
+)
+
+// Instrument builds the high-water-mark protection mechanism for program q
+// and policy allow(J) as a new flowchart program.
+func Instrument(q *flowchart.Program, allowed lattice.IndexSet) (*flowchart.Program, error) {
+	return surveillance.Instrument(q, allowed, surveillance.Monotone)
+}
+
+// Mechanism instruments q and wraps the result as a core.Mechanism.
+func Mechanism(q *flowchart.Program, allowed lattice.IndexSet) (core.Mechanism, error) {
+	return surveillance.Mechanism(q, allowed, surveillance.Monotone)
+}
+
+// MustMechanism is Mechanism but panics on error.
+func MustMechanism(q *flowchart.Program, allowed lattice.IndexSet) core.Mechanism {
+	return surveillance.MustMechanism(q, allowed, surveillance.Monotone)
+}

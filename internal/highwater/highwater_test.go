@@ -1,0 +1,85 @@
+package highwater
+
+import (
+	"testing"
+
+	"spm/internal/core"
+	"spm/internal/flowchart"
+	"spm/internal/lattice"
+)
+
+const progForgetful = `
+program forgetful
+inputs x1 x2
+    r := x1
+    r := 0
+    if x2 == 0 goto Zero else NonZero
+Zero:    y := r
+         halt
+NonZero: y := x1
+         halt
+`
+
+func TestHighWaterSoundAndMonotone(t *testing.T) {
+	q := flowchart.MustParse(progForgetful)
+	dom := core.Grid(2, 0, 1, 2)
+	for _, J := range lattice.Subsets(2) {
+		m := MustMechanism(q, J)
+		pol := core.NewAllowSet(2, J)
+		rep, err := core.CheckSoundness(m, pol, dom, core.ObserveValue)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Sound {
+			t.Errorf("high-water unsound for %s: %s", pol.Name(), rep)
+		}
+	}
+}
+
+func TestHighWaterStickyClass(t *testing.T) {
+	// Overwriting r with the constant 0 does not lower r's class, so
+	// every run under allow(2) is a violation.
+	q := flowchart.MustParse(progForgetful)
+	m := MustMechanism(q, lattice.NewIndexSet(2))
+	err := core.Grid(2, 0, 1, 2).Enumerate(func(in []int64) error {
+		o, err := m.Run(in)
+		if err != nil {
+			return err
+		}
+		if !o.Violation {
+			t.Errorf("M_h%v = %v, want Λ (high water never recedes)", in, o)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHighWaterPassesCleanPrograms(t *testing.T) {
+	// A program that never touches disallowed data passes.
+	q := flowchart.MustParse(`
+inputs x1 x2
+    y := x2 + 1
+    halt
+`)
+	m := MustMechanism(q, lattice.NewIndexSet(2))
+	o, err := m.Run([]int64{9, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Violation || o.Value != 5 {
+		t.Errorf("clean program blocked: %v", o)
+	}
+}
+
+func TestInstrumentNames(t *testing.T) {
+	q := flowchart.MustParse(progForgetful)
+	p, err := Instrument(q, lattice.EmptySet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name == q.Name {
+		t.Error("instrumented program should carry a distinct name")
+	}
+}

@@ -1,0 +1,294 @@
+package lattice
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Class is a security class in a finite lattice of classes, identified by a
+// small integer handle issued by its Lattice.
+type Class int
+
+// Lattice is a finite lattice of named security classes with an explicit
+// flow relation, after Denning's lattice model (the paper's reference [2]).
+// It supports the two-point {null ≤ priv} lattice of Fenton's machine, the
+// linear Unclassified ≤ ... ≤ TopSecret chains of military policy, and
+// arbitrary finite lattices built from an explicit cover relation.
+//
+// The zero value is not usable; construct with NewLattice or a helper.
+type Lattice struct {
+	names []string
+	index map[string]Class
+	// leq[a][b] reports a ≤ b (information may flow from a to b).
+	leq [][]bool
+	// join[a][b] is the least upper bound of a and b.
+	join [][]Class
+	// meet[a][b] is the greatest lower bound of a and b.
+	meet [][]Class
+	bot  Class
+	top  Class
+}
+
+// NewLattice builds a lattice from class names and a cover relation given as
+// pairs (lo, hi) meaning lo ≤ hi. The reflexive-transitive closure is taken
+// automatically. NewLattice verifies the result is a lattice: a partial
+// order in which every pair of classes has a unique least upper bound and a
+// unique greatest lower bound, with global bottom and top.
+func NewLattice(names []string, covers [][2]string) (*Lattice, error) {
+	n := len(names)
+	if n == 0 {
+		return nil, fmt.Errorf("lattice: no classes")
+	}
+	l := &Lattice{names: append([]string(nil), names...), index: make(map[string]Class, n)}
+	for i, name := range names {
+		if name == "" {
+			return nil, fmt.Errorf("lattice: empty class name at position %d", i)
+		}
+		if _, dup := l.index[name]; dup {
+			return nil, fmt.Errorf("lattice: duplicate class name %q", name)
+		}
+		l.index[name] = Class(i)
+	}
+	l.leq = make([][]bool, n)
+	for i := range l.leq {
+		l.leq[i] = make([]bool, n)
+		l.leq[i][i] = true
+	}
+	for _, c := range covers {
+		lo, ok := l.index[c[0]]
+		if !ok {
+			return nil, fmt.Errorf("lattice: unknown class %q in cover relation", c[0])
+		}
+		hi, ok := l.index[c[1]]
+		if !ok {
+			return nil, fmt.Errorf("lattice: unknown class %q in cover relation", c[1])
+		}
+		l.leq[lo][hi] = true
+	}
+	// Transitive closure (Warshall).
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !l.leq[i][k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if l.leq[k][j] {
+					l.leq[i][j] = true
+				}
+			}
+		}
+	}
+	// Antisymmetry.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && l.leq[i][j] && l.leq[j][i] {
+				return nil, fmt.Errorf("lattice: cycle between %q and %q", names[i], names[j])
+			}
+		}
+	}
+	if err := l.computeBounds(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func (l *Lattice) computeBounds() error {
+	n := len(l.names)
+	l.join = make([][]Class, n)
+	l.meet = make([][]Class, n)
+	for i := range l.join {
+		l.join[i] = make([]Class, n)
+		l.meet[i] = make([]Class, n)
+	}
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			j, err := l.uniqueBound(Class(a), Class(b), true)
+			if err != nil {
+				return err
+			}
+			l.join[a][b] = j
+			m, err := l.uniqueBound(Class(a), Class(b), false)
+			if err != nil {
+				return err
+			}
+			l.meet[a][b] = m
+		}
+	}
+	// Bottom: the unique class below all others; top: above all others.
+	bot, top := -1, -1
+	for c := 0; c < n; c++ {
+		isBot, isTop := true, true
+		for d := 0; d < n; d++ {
+			if !l.leq[c][d] {
+				isBot = false
+			}
+			if !l.leq[d][c] {
+				isTop = false
+			}
+		}
+		if isBot {
+			bot = c
+		}
+		if isTop {
+			top = c
+		}
+	}
+	if bot < 0 || top < 0 {
+		return fmt.Errorf("lattice: missing global bottom or top")
+	}
+	l.bot, l.top = Class(bot), Class(top)
+	return nil
+}
+
+// uniqueBound finds the least upper bound (upper=true) or greatest lower
+// bound (upper=false) of a and b, erroring if it does not exist or is not
+// unique.
+func (l *Lattice) uniqueBound(a, b Class, upper bool) (Class, error) {
+	n := len(l.names)
+	var candidates []Class
+	for c := 0; c < n; c++ {
+		ok := false
+		if upper {
+			ok = l.leq[a][c] && l.leq[b][c]
+		} else {
+			ok = l.leq[c][a] && l.leq[c][b]
+		}
+		if ok {
+			candidates = append(candidates, Class(c))
+		}
+	}
+	if len(candidates) == 0 {
+		return 0, fmt.Errorf("lattice: classes %q and %q have no common bound", l.names[a], l.names[b])
+	}
+	// The extremal candidate must dominate (or be dominated by) all others.
+	for _, c := range candidates {
+		extremal := true
+		for _, d := range candidates {
+			if upper && !l.leq[c][d] {
+				extremal = false
+				break
+			}
+			if !upper && !l.leq[d][c] {
+				extremal = false
+				break
+			}
+		}
+		if extremal {
+			return c, nil
+		}
+	}
+	kind := "least upper"
+	if !upper {
+		kind = "greatest lower"
+	}
+	return 0, fmt.Errorf("lattice: classes %q and %q have no unique %s bound", l.names[a], l.names[b], kind)
+}
+
+// TwoPoint returns the lattice {lo ≤ hi}; Fenton's machine uses
+// TwoPoint("null", "priv").
+func TwoPoint(lo, hi string) *Lattice {
+	l, err := NewLattice([]string{lo, hi}, [][2]string{{lo, hi}})
+	if err != nil {
+		panic(err) // cannot happen for a two-point chain
+	}
+	return l
+}
+
+// Chain returns a linear lattice with the given names ordered from bottom to
+// top, e.g. Chain("U", "C", "S", "TS").
+func Chain(names ...string) (*Lattice, error) {
+	covers := make([][2]string, 0, len(names))
+	for i := 0; i+1 < len(names); i++ {
+		covers = append(covers, [2]string{names[i], names[i+1]})
+	}
+	return NewLattice(names, covers)
+}
+
+// Class returns the handle for a named class.
+func (l *Lattice) Class(name string) (Class, bool) {
+	c, ok := l.index[name]
+	return c, ok
+}
+
+// MustClass is Class but panics on unknown names; for literals in tests and
+// examples.
+func (l *Lattice) MustClass(name string) Class {
+	c, ok := l.index[name]
+	if !ok {
+		panic(fmt.Sprintf("lattice: unknown class %q", name))
+	}
+	return c
+}
+
+// Name returns the name of a class handle.
+func (l *Lattice) Name(c Class) string {
+	if int(c) < 0 || int(c) >= len(l.names) {
+		return fmt.Sprintf("<invalid class %d>", int(c))
+	}
+	return l.names[c]
+}
+
+// Size returns the number of classes.
+func (l *Lattice) Size() int { return len(l.names) }
+
+// Bottom returns the global bottom class (public information).
+func (l *Lattice) Bottom() Class { return l.bot }
+
+// Top returns the global top class.
+func (l *Lattice) Top() Class { return l.top }
+
+// CanFlow reports whether information may flow from class a to class b,
+// i.e. a ≤ b in the lattice.
+func (l *Lattice) CanFlow(a, b Class) bool { return l.leq[a][b] }
+
+// Join returns a ⊔ b, the class of information derived from both a and b.
+func (l *Lattice) Join(a, b Class) Class { return l.join[a][b] }
+
+// Meet returns a ⊓ b.
+func (l *Lattice) Meet(a, b Class) Class { return l.meet[a][b] }
+
+// JoinAll folds Join over a non-empty list, or returns Bottom for an empty
+// one (the identity of join).
+func (l *Lattice) JoinAll(cs ...Class) Class {
+	acc := l.bot
+	for _, c := range cs {
+		acc = l.Join(acc, c)
+	}
+	return acc
+}
+
+// Classes returns all class handles in issue order.
+func (l *Lattice) Classes() []Class {
+	out := make([]Class, l.Size())
+	for i := range out {
+		out[i] = Class(i)
+	}
+	return out
+}
+
+// String renders the lattice as its Hasse-style cover list.
+func (l *Lattice) String() string {
+	var pairs []string
+	n := len(l.names)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b || !l.leq[a][b] {
+				continue
+			}
+			// Report only covers: no c strictly between a and b.
+			cover := true
+			for c := 0; c < n; c++ {
+				if c != a && c != b && l.leq[a][c] && l.leq[c][b] {
+					cover = false
+					break
+				}
+			}
+			if cover {
+				pairs = append(pairs, l.names[a]+"<"+l.names[b])
+			}
+		}
+	}
+	sort.Strings(pairs)
+	return "lattice(" + strings.Join(pairs, ", ") + ")"
+}

@@ -1,0 +1,157 @@
+package lattice
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTwoPoint(t *testing.T) {
+	l := TwoPoint("null", "priv")
+	null := l.MustClass("null")
+	priv := l.MustClass("priv")
+	if l.Bottom() != null || l.Top() != priv {
+		t.Fatalf("bottom/top = %s/%s", l.Name(l.Bottom()), l.Name(l.Top()))
+	}
+	if !l.CanFlow(null, priv) {
+		t.Error("null → priv should be allowed")
+	}
+	if l.CanFlow(priv, null) {
+		t.Error("priv → null should be forbidden")
+	}
+	if l.Join(null, priv) != priv {
+		t.Error("null ⊔ priv ≠ priv")
+	}
+	if l.Meet(null, priv) != null {
+		t.Error("null ⊓ priv ≠ null")
+	}
+}
+
+func TestChain(t *testing.T) {
+	l, err := Chain("U", "C", "S", "TS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, c, s, ts := l.MustClass("U"), l.MustClass("C"), l.MustClass("S"), l.MustClass("TS")
+	if !l.CanFlow(u, ts) || !l.CanFlow(c, s) {
+		t.Error("chain flow up should hold")
+	}
+	if l.CanFlow(ts, u) || l.CanFlow(s, c) {
+		t.Error("chain flow down should fail")
+	}
+	if l.Join(c, s) != s || l.Meet(c, s) != c {
+		t.Error("chain join/meet wrong")
+	}
+	if l.Size() != 4 {
+		t.Errorf("Size() = %d", l.Size())
+	}
+}
+
+func TestDiamondLattice(t *testing.T) {
+	l, err := NewLattice(
+		[]string{"bot", "left", "right", "top"},
+		[][2]string{{"bot", "left"}, {"bot", "right"}, {"left", "top"}, {"right", "top"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left, right := l.MustClass("left"), l.MustClass("right")
+	if l.CanFlow(left, right) || l.CanFlow(right, left) {
+		t.Error("left and right should be incomparable")
+	}
+	if got := l.Join(left, right); l.Name(got) != "top" {
+		t.Errorf("left ⊔ right = %s, want top", l.Name(got))
+	}
+	if got := l.Meet(left, right); l.Name(got) != "bot" {
+		t.Errorf("left ⊓ right = %s, want bot", l.Name(got))
+	}
+	if got := l.JoinAll(left, right, l.Bottom()); l.Name(got) != "top" {
+		t.Errorf("JoinAll = %s", l.Name(got))
+	}
+	if got := l.JoinAll(); got != l.Bottom() {
+		t.Errorf("JoinAll() = %s, want bottom", l.Name(got))
+	}
+}
+
+func TestNewLatticeErrors(t *testing.T) {
+	if _, err := NewLattice(nil, nil); err == nil {
+		t.Error("empty lattice accepted")
+	}
+	if _, err := NewLattice([]string{"a", "a"}, nil); err == nil {
+		t.Error("duplicate names accepted")
+	}
+	if _, err := NewLattice([]string{"a", ""}, nil); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewLattice([]string{"a", "b"}, [][2]string{{"a", "c"}}); err == nil {
+		t.Error("unknown cover class accepted")
+	}
+	if _, err := NewLattice([]string{"a", "b"}, [][2]string{{"a", "b"}, {"b", "a"}}); err == nil {
+		t.Error("cyclic order accepted")
+	}
+	// Two incomparable elements without top/bottom: not a lattice.
+	if _, err := NewLattice([]string{"a", "b"}, nil); err == nil {
+		t.Error("orderless two-point set accepted as lattice")
+	}
+	// M-shaped poset: a,b below both c,d — join of a,b not unique.
+	_, err := NewLattice(
+		[]string{"a", "b", "c", "d", "bot", "top"},
+		[][2]string{
+			{"bot", "a"}, {"bot", "b"},
+			{"a", "c"}, {"a", "d"}, {"b", "c"}, {"b", "d"},
+			{"c", "top"}, {"d", "top"},
+		},
+	)
+	if err == nil {
+		t.Error("poset with non-unique bounds accepted as lattice")
+	}
+}
+
+func TestClassLookup(t *testing.T) {
+	l := TwoPoint("null", "priv")
+	if _, ok := l.Class("nothere"); ok {
+		t.Error("Class on unknown name should report !ok")
+	}
+	if c, ok := l.Class("priv"); !ok || l.Name(c) != "priv" {
+		t.Error("Class round trip failed")
+	}
+	if got := l.Name(Class(99)); !strings.Contains(got, "invalid") {
+		t.Errorf("Name of bad handle = %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustClass on unknown name did not panic")
+		}
+	}()
+	l.MustClass("nothere")
+}
+
+func TestLatticeString(t *testing.T) {
+	l := TwoPoint("null", "priv")
+	got := l.String()
+	if !strings.Contains(got, "null<priv") {
+		t.Errorf("String() = %q, want cover null<priv", got)
+	}
+}
+
+func TestClasses(t *testing.T) {
+	l, err := Chain("a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := l.Classes()
+	if len(cs) != 3 {
+		t.Fatalf("Classes() returned %d handles", len(cs))
+	}
+	// Join/meet are total over all pairs and respect order.
+	for _, a := range cs {
+		for _, b := range cs {
+			j, m := l.Join(a, b), l.Meet(a, b)
+			if !l.CanFlow(a, j) || !l.CanFlow(b, j) {
+				t.Errorf("join %s⊔%s not above operands", l.Name(a), l.Name(b))
+			}
+			if !l.CanFlow(m, a) || !l.CanFlow(m, b) {
+				t.Errorf("meet %s⊓%s not below operands", l.Name(a), l.Name(b))
+			}
+		}
+	}
+}

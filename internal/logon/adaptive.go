@@ -1,0 +1,51 @@
+package logon
+
+import (
+	"fmt"
+
+	"spm/internal/core"
+)
+
+// AdaptiveExtraction quantifies Example 5's observation from the other
+// side: the logon program's one-bit-per-query leak is "small", but an
+// attacker who may query adaptively accumulates it into full disclosure.
+// Extract recovers user u's password digit from the logon mechanism alone,
+// counting queries; the worst case is maxDigit+1 queries (try every
+// digit), i.e. the work factor n of a one-character password — the k = 1
+// base case of the Section 2 work-factor discussion.
+type AdaptiveExtraction struct {
+	// Queries is the number of logon invocations used.
+	Queries int
+	// Digit is the recovered password digit, or -1 on failure.
+	Digit int64
+}
+
+// Extract recovers user u's digit from table via the mechanism q (which
+// must behave like Program()): it tries candidate passwords 0..maxDigit
+// in order.
+func Extract(q core.Mechanism, u, table, maxDigit int64) (AdaptiveExtraction, error) {
+	res := AdaptiveExtraction{Digit: -1}
+	for p := int64(0); p <= maxDigit; p++ {
+		o, err := q.Run([]int64{u, table, p})
+		if err != nil {
+			return res, err
+		}
+		res.Queries++
+		if o.Violation {
+			return res, fmt.Errorf("logon: mechanism refused the query — nothing to extract")
+		}
+		if o.Value == 1 {
+			res.Digit = p
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// ExpectedQueries returns the mean number of queries Extract needs over
+// uniformly random digits 0..maxDigit: (n+1)/2 for n = maxDigit+1
+// candidates, since the hit ends the scan.
+func ExpectedQueries(maxDigit int64) float64 {
+	n := float64(maxDigit + 1)
+	return (n + 1) / 2
+}

@@ -1,0 +1,83 @@
+package logon
+
+import (
+	"testing"
+
+	"spm/internal/core"
+)
+
+func TestAdaptiveExtraction(t *testing.T) {
+	q := Program()
+	// Table 73: user 0's digit is 3, user 1's is 7.
+	res, err := Extract(q, 0, 73, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Digit != 3 {
+		t.Errorf("extracted %d, want 3", res.Digit)
+	}
+	if res.Queries != 4 { // tries 0,1,2,3
+		t.Errorf("queries = %d, want 4", res.Queries)
+	}
+	res, err = Extract(q, 1, 73, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Digit != 7 || res.Queries != 8 {
+		t.Errorf("user 1: %+v", res)
+	}
+}
+
+func TestAdaptiveExtractionWorstCase(t *testing.T) {
+	q := Program()
+	// Digit 9 forces the full scan of n = 10 candidates.
+	res, err := Extract(q, 0, 9, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Digit != 9 || res.Queries != 10 {
+		t.Errorf("worst case: %+v", res)
+	}
+}
+
+func TestAdaptiveExtractionAverage(t *testing.T) {
+	q := Program()
+	const maxDigit = 9
+	total := 0
+	for d := int64(0); d <= maxDigit; d++ {
+		res, err := Extract(q, 0, d, maxDigit) // table = d: user 0's digit is d
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Digit != d {
+			t.Fatalf("digit %d extracted as %d", d, res.Digit)
+		}
+		total += res.Queries
+	}
+	mean := float64(total) / float64(maxDigit+1)
+	want := ExpectedQueries(maxDigit)
+	if mean != want {
+		t.Errorf("mean queries = %v, want %v", mean, want)
+	}
+}
+
+func TestExtractAgainstNullMechanismFails(t *testing.T) {
+	// A sound mechanism (the null one) yields nothing to extract: the
+	// adaptive attack is exactly what soundness forecloses.
+	null := core.NewNull(3)
+	if _, err := Extract(null, 0, 73, 9); err == nil {
+		t.Error("extraction against the null mechanism should fail")
+	}
+}
+
+func TestExtractMissingDigitUnrecovered(t *testing.T) {
+	q := Program()
+	// Restrict the candidate range below the true digit: not found.
+	res, err := Extract(q, 1, 73, 5) // digit is 7, we only try 0..5
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Digit != -1 || res.Queries != 6 {
+		t.Errorf("restricted scan: %+v", res)
+	}
+}

@@ -1,0 +1,152 @@
+package logon
+
+import (
+	"fmt"
+
+	"spm/internal/paging"
+)
+
+// Checker is the victim: a password check whose guess buffer lives in
+// paged memory. It reads the guess character by character through the
+// memory (faulting pages in) and compares against the stored password,
+// returning at the first mismatch — the early exit that, combined with
+// observable page movement, gives the attack its foothold.
+type Checker struct {
+	Mem      *paging.Memory
+	Stored   []byte
+	GuessAt  int // base address of the guess buffer
+	Attempts int // number of Check invocations (the work-factor counter)
+}
+
+// NewChecker builds a checker for the given stored password. The memory
+// must be large enough for the guess buffer placements the attack uses
+// (two pages suffice).
+func NewChecker(mem *paging.Memory, stored []byte, guessAt int) (*Checker, error) {
+	if len(stored) == 0 {
+		return nil, fmt.Errorf("logon: empty stored password")
+	}
+	if guessAt < 0 {
+		return nil, fmt.Errorf("logon: negative guess address")
+	}
+	return &Checker{Mem: mem, Stored: stored, GuessAt: guessAt}, nil
+}
+
+// Check reads the guess from memory and compares it with the stored
+// password, early-exiting on the first mismatch. Only the characters the
+// comparison actually needs are read — which is what leaks.
+func (c *Checker) Check(guess []byte, at int) (bool, error) {
+	c.Attempts++
+	if len(guess) != len(c.Stored) {
+		return false, nil
+	}
+	if err := c.Mem.WriteString(at, guess); err != nil {
+		return false, err
+	}
+	for i := range c.Stored {
+		b, err := c.Mem.Read(at + i)
+		if err != nil {
+			return false, err
+		}
+		if b != c.Stored[i] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// PageBoundaryAttack recovers the stored password using the fault trace:
+// for each position j, the guess buffer is placed so that characters
+// 0..j sit at the end of one page and character j+1 begins the next page.
+// After evicting everything, a check that faults the second page must
+// have compared — and matched — every character on the first page. Each
+// position costs at most n probes, so the total is at most n·k + k.
+//
+// It returns the recovered password and the total number of check
+// invocations (the reduced work factor).
+func PageBoundaryAttack(c *Checker, n int) (WorkFactor, error) {
+	k := len(c.Stored)
+	wf := WorkFactor{Alphabet: n, Length: k}
+	ps := c.Mem.PageSize()
+	if c.Mem.Pages() < 2 {
+		return wf, fmt.Errorf("logon: attack needs at least two pages")
+	}
+	known := make([]byte, 0, k)
+	pad := byte('a') // arbitrary filler for positions not yet probed
+
+	for j := 0; j < k; j++ {
+		if j == k-1 {
+			// The last character has no page to its right; finish with a
+			// straight scan using full checks (at most n probes).
+			found := false
+			guess := make([]byte, k)
+			copy(guess, known)
+			for ci := 0; ci < n; ci++ {
+				guess[k-1] = alphabetChar(ci)
+				c.Mem.EvictAll()
+				ok, err := c.Check(guess, 0)
+				if err != nil {
+					return wf, err
+				}
+				if ok {
+					known = append(known, alphabetChar(ci))
+					found = true
+					break
+				}
+			}
+			if !found {
+				wf.Guesses = c.Attempts
+				return wf, fmt.Errorf("logon: position %d not recovered", j)
+			}
+			continue
+		}
+		// Place the guess so the page boundary falls between j and j+1:
+		// guess starts at boundary - (j+1).
+		at := ps - (j + 1)
+		secondPage := c.Mem.PageOf(at + j + 1)
+		found := false
+		for ci := 0; ci < n; ci++ {
+			guess := make([]byte, k)
+			copy(guess, known)
+			guess[j] = alphabetChar(ci)
+			for t := j + 1; t < k; t++ {
+				guess[t] = pad
+			}
+			c.Mem.EvictAll()
+			if _, err := c.Check(guess, at); err != nil {
+				return wf, err
+			}
+			if c.Mem.Faulted(secondPage) {
+				// The comparison crossed the boundary: characters 0..j
+				// all matched.
+				known = append(known, alphabetChar(ci))
+				found = true
+				break
+			}
+		}
+		if !found {
+			wf.Guesses = c.Attempts
+			return wf, fmt.Errorf("logon: position %d not recovered", j)
+		}
+	}
+	wf.Guesses = c.Attempts
+	wf.Found = true
+	wf.Recovered = known
+	return wf, nil
+}
+
+// BruteForceAgainst runs the brute-force baseline against the same
+// checker, for an apples-to-apples work-factor comparison.
+func BruteForceAgainst(c *Checker, n int) (WorkFactor, error) {
+	k := len(c.Stored)
+	var runErr error
+	wf := BruteForce(n, k, func(guess []byte) bool {
+		c.Mem.EvictAll()
+		ok, err := c.Check(guess, 0)
+		if err != nil && runErr == nil {
+			runErr = err
+		}
+		return ok
+	})
+	wf.Guesses = c.Attempts
+	return wf, runErr
+}

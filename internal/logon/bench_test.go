@@ -1,0 +1,46 @@
+package logon
+
+import (
+	"testing"
+
+	"spm/internal/paging"
+)
+
+func BenchmarkCheck(b *testing.B) {
+	mem := paging.MustNew(64, 16)
+	c, err := NewChecker(mem, []byte("hfcb"), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	guess := []byte("hfca")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mem.EvictAll()
+		if _, err := c.Check(guess, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPageBoundaryAttack(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mem := paging.MustNew(64, 16)
+		c, err := NewChecker(mem, []byte("hfcb"), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := PageBoundaryAttack(c, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdaptiveExtract(b *testing.B) {
+	q := Program()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Extract(q, 0, 73, 9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package logon implements Example 5 of Jones & Lipton — the logon
+// program Q(userid, table, password) — together with the Section 2
+// password-guessing work-factor study: brute force needs on the order of
+// n^k attempts against a k-character password over an n-character
+// alphabet, but observing page movement during the check reduces the work
+// to n·k (the classic attack the paper recounts).
+package logon
+
+import (
+	"fmt"
+
+	"spm/internal/core"
+)
+
+// TableUsers is the number of users in the toy password table. The table
+// is encoded as a single integer input so the logon program fits the
+// model's Z^k → E shape: user u's one-digit password is the u-th decimal
+// digit.
+const TableUsers = 2
+
+// tableDigit extracts user u's password digit from the encoded table.
+func tableDigit(table int64, u int64) int64 {
+	if table < 0 {
+		table = -table
+	}
+	d := table
+	for i := int64(0); i < u; i++ {
+		d /= 10
+	}
+	return d % 10
+}
+
+// Program returns the logon program Q : userid × table × password →
+// {true=1, false=0} as a mechanism (Example 3: a program is its own —
+// here unsound — protection mechanism).
+func Program() core.Mechanism {
+	return core.NewFunc("logon", 3, func(in []int64) core.Outcome {
+		u, table, p := in[0], in[1], in[2]
+		if u < 0 || u >= TableUsers {
+			return core.Outcome{Value: 0, Steps: 1}
+		}
+		if tableDigit(table, u) == p {
+			return core.Outcome{Value: 1, Steps: 1}
+		}
+		return core.Outcome{Value: 0, Steps: 1}
+	})
+}
+
+// Policy returns allow(1,3): the user may know the userid and the
+// password they typed, but nothing from the password table.
+func Policy() core.Policy {
+	return core.NewAllow(3, 1, 3)
+}
+
+// Domain returns an exhaustive test domain: both userids, all two-digit
+// tables over digits 0..maxDigit, and passwords 0..maxDigit.
+func Domain(maxDigit int64) core.Domain {
+	users := []int64{0, 1}
+	var tables []int64
+	for d0 := int64(0); d0 <= maxDigit; d0++ {
+		for d1 := int64(0); d1 <= maxDigit; d1++ {
+			tables = append(tables, d0+10*d1)
+		}
+	}
+	pws := make([]int64, 0, maxDigit+1)
+	for p := int64(0); p <= maxDigit; p++ {
+		pws = append(pws, p)
+	}
+	return core.Domain{users, tables, pws}
+}
+
+// WorkFactor summarises a guessing campaign.
+type WorkFactor struct {
+	Alphabet int // n
+	Length   int // k
+	// Guesses is the number of password-check invocations performed.
+	Guesses int
+	// Found reports whether the password was recovered.
+	Found bool
+	// Recovered is the recovered password.
+	Recovered []byte
+}
+
+// String renders the work factor for experiment tables.
+func (w WorkFactor) String() string {
+	return fmt.Sprintf("n=%d k=%d guesses=%d found=%v", w.Alphabet, w.Length, w.Guesses, w.Found)
+}
+
+// BruteForce attempts every password in lexicographic order against check
+// until it accepts, returning the guess count. check is the system's
+// password test (guess → accepted).
+func BruteForce(n, k int, check func(guess []byte) bool) WorkFactor {
+	wf := WorkFactor{Alphabet: n, Length: k}
+	guess := make([]byte, k)
+	var rec func(pos int) bool
+	rec = func(pos int) bool {
+		if pos == k {
+			wf.Guesses++
+			if check(guess) {
+				wf.Recovered = append([]byte(nil), guess...)
+				return true
+			}
+			return false
+		}
+		for c := 0; c < n; c++ {
+			guess[pos] = alphabetChar(c)
+			if rec(pos + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	wf.Found = rec(0)
+	return wf
+}
+
+// alphabetChar maps 0..n-1 to printable characters.
+func alphabetChar(c int) byte { return byte('a' + c) }

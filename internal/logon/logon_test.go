@@ -1,0 +1,213 @@
+package logon
+
+import (
+	"strings"
+	"testing"
+
+	"spm/internal/core"
+	"spm/internal/paging"
+)
+
+func TestLogonProgram(t *testing.T) {
+	q := Program()
+	// Table 73: user 0's password is 3, user 1's is 7.
+	cases := []struct {
+		in   []int64
+		want int64
+	}{
+		{[]int64{0, 73, 3}, 1},
+		{[]int64{0, 73, 7}, 0},
+		{[]int64{1, 73, 7}, 1},
+		{[]int64{1, 73, 3}, 0},
+		{[]int64{5, 73, 3}, 0}, // unknown user
+	}
+	for _, tc := range cases {
+		o, err := q.Run(tc.in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Value != tc.want {
+			t.Errorf("Q%v = %d, want %d", tc.in, o.Value, tc.want)
+		}
+	}
+}
+
+func TestLogonUnsoundButSmallLeak(t *testing.T) {
+	// Example 5: Q as its own mechanism is unsound for allow(1,3)...
+	q := Program()
+	pol := Policy()
+	dom := Domain(3)
+	rep, err := core.CheckSoundness(q, pol, dom, core.ObserveValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sound {
+		t.Error("logon must be unsound for allow(1,3)")
+	}
+	// ...but workable in practice because the leak is small: exactly one
+	// bit per query.
+	leak, err := core.MeasureLeak(q, pol, dom, core.ObserveValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leak.MaxOutcomes != 2 || leak.Bits != 1 {
+		t.Errorf("leak = %+v, want exactly 1 bit", leak)
+	}
+}
+
+func TestBruteForceWorkFactor(t *testing.T) {
+	stored := []byte("cab") // n=3, k=3
+	wf := BruteForce(3, 3, func(g []byte) bool { return string(g) == string(stored) })
+	if !wf.Found || string(wf.Recovered) != "cab" {
+		t.Fatalf("brute force failed: %+v", wf)
+	}
+	// Lexicographic enumeration: "cab" is candidate 2·9 + 0·3 + 1 = 19
+	// zero-based, so the 20th guess.
+	if wf.Guesses != 20 {
+		t.Errorf("guesses = %d, want 20", wf.Guesses)
+	}
+	// Worst case is n^k.
+	worst := BruteForce(3, 3, func(g []byte) bool { return string(g) == "ccc" })
+	if worst.Guesses != 27 {
+		t.Errorf("worst case = %d, want 27", worst.Guesses)
+	}
+}
+
+func TestCheckerEarlyExit(t *testing.T) {
+	mem := paging.MustNew(64, 16)
+	c, err := NewChecker(mem, []byte("abcd"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Place the guess across the boundary after position 1 (addr 14..17):
+	// a first-character mismatch must not touch page 1.
+	mem.EvictAll()
+	ok, err := c.Check([]byte("zaaa"), 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("wrong guess accepted")
+	}
+	if mem.Faulted(1) {
+		t.Error("early exit must not fault the second page")
+	}
+	// A correct prefix crossing the boundary does fault page 1.
+	mem.EvictAll()
+	if _, err := c.Check([]byte("abzz"), 14); err != nil {
+		t.Fatal(err)
+	}
+	if !mem.Faulted(1) {
+		t.Error("matching prefix must fault the second page")
+	}
+}
+
+func TestCheckerLengthMismatch(t *testing.T) {
+	mem := paging.MustNew(64, 16)
+	c, err := NewChecker(mem, []byte("abc"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.Check([]byte("ab"), 0)
+	if err != nil || ok {
+		t.Errorf("length mismatch: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestNewCheckerValidation(t *testing.T) {
+	mem := paging.MustNew(64, 16)
+	if _, err := NewChecker(mem, nil, 0); err == nil {
+		t.Error("empty password accepted")
+	}
+	if _, err := NewChecker(mem, []byte("x"), -1); err == nil {
+		t.Error("negative address accepted")
+	}
+}
+
+func TestPageBoundaryAttack(t *testing.T) {
+	for _, tc := range []struct {
+		n      int
+		stored string
+	}{
+		{4, "cab"},
+		{6, "fade"},
+		{3, "a"},
+		{5, "edcba"},
+	} {
+		mem := paging.MustNew(64, 16)
+		c, err := NewChecker(mem, []byte(tc.stored), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wf, err := PageBoundaryAttack(c, tc.n)
+		if err != nil {
+			t.Fatalf("attack(%q): %v", tc.stored, err)
+		}
+		if !wf.Found || string(wf.Recovered) != tc.stored {
+			t.Errorf("attack(%q) recovered %q", tc.stored, wf.Recovered)
+		}
+		k := len(tc.stored)
+		if wf.Guesses > tc.n*k {
+			t.Errorf("attack(%q) used %d guesses, want ≤ n·k = %d", tc.stored, wf.Guesses, tc.n*k)
+		}
+	}
+}
+
+func TestAttackBeatsBruteForce(t *testing.T) {
+	const n, stored = 6, "fcbda"
+	memA := paging.MustNew(64, 16)
+	cA, err := NewChecker(memA, []byte(stored), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attack, err := PageBoundaryAttack(cA, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memB := paging.MustNew(64, 16)
+	cB, err := NewChecker(memB, []byte(stored), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute, err := BruteForceAgainst(cB, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !brute.Found || string(brute.Recovered) != stored {
+		t.Fatalf("brute force failed: %+v", brute)
+	}
+	if attack.Guesses*10 > brute.Guesses {
+		t.Errorf("attack %d vs brute %d: want at least 10x reduction here",
+			attack.Guesses, brute.Guesses)
+	}
+}
+
+func TestAttackFailsWhenCharOutsideAlphabet(t *testing.T) {
+	mem := paging.MustNew(64, 16)
+	c, err := NewChecker(mem, []byte("z"), 0) // 'z' not within n=3 alphabet
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PageBoundaryAttack(c, 3); err == nil {
+		t.Error("attack should report failure when the alphabet is wrong")
+	}
+}
+
+func TestAttackNeedsTwoPages(t *testing.T) {
+	mem := paging.MustNew(16, 16)
+	c, err := NewChecker(mem, []byte("ab"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PageBoundaryAttack(c, 3); err == nil {
+		t.Error("single-page memory accepted")
+	}
+}
+
+func TestWorkFactorString(t *testing.T) {
+	wf := WorkFactor{Alphabet: 4, Length: 3, Guesses: 10, Found: true}
+	s := wf.String()
+	if !strings.Contains(s, "n=4") || !strings.Contains(s, "guesses=10") {
+		t.Errorf("String = %q", s)
+	}
+}

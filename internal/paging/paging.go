@@ -1,0 +1,115 @@
+// Package paging is a toy demand-paged memory with an observable
+// page-fault trace. It exists to reproduce the "now classic" attack of
+// Section 2 of Jones & Lipton: password checking is not a protection
+// mechanism, and when the *page movement* caused by the check is
+// observable — an observable the system designer forgot — the work factor
+// of guessing a k-character password over an n-character alphabet drops
+// from n^k to n·k.
+//
+// The memory is deliberately minimal: a flat byte array divided into
+// fixed-size pages, a residency set, and a fault log. Reading a byte on a
+// non-resident page records a fault and makes the page resident. The
+// fault log is the attacker's observable, standing in for the drum/core
+// traffic of a 1970s time-sharing system.
+package paging
+
+import (
+	"fmt"
+)
+
+// Memory is a paged byte memory with fault accounting.
+type Memory struct {
+	pageSize int
+	data     []byte
+	resident []bool
+	faults   []int // page numbers, in fault order
+}
+
+// New builds a memory of the given total size and page size.
+func New(size, pageSize int) (*Memory, error) {
+	if size <= 0 || pageSize <= 0 {
+		return nil, fmt.Errorf("paging: size %d and pageSize %d must be positive", size, pageSize)
+	}
+	pages := (size + pageSize - 1) / pageSize
+	return &Memory{
+		pageSize: pageSize,
+		data:     make([]byte, size),
+		resident: make([]bool, pages),
+	}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(size, pageSize int) *Memory {
+	m, err := New(size, pageSize)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// PageSize returns the page size in bytes.
+func (m *Memory) PageSize() int { return m.pageSize }
+
+// Pages returns the number of pages.
+func (m *Memory) Pages() int { return len(m.resident) }
+
+// PageOf returns the page number containing addr.
+func (m *Memory) PageOf(addr int) int { return addr / m.pageSize }
+
+// Write stores a byte without touching residency or faults (the attacker
+// prepares buffers "for free"; only the victim's reads are observable).
+func (m *Memory) Write(addr int, b byte) error {
+	if addr < 0 || addr >= len(m.data) {
+		return fmt.Errorf("paging: write at %d out of range [0,%d)", addr, len(m.data))
+	}
+	m.data[addr] = b
+	return nil
+}
+
+// WriteString stores a byte string starting at addr.
+func (m *Memory) WriteString(addr int, s []byte) error {
+	for i, b := range s {
+		if err := m.Write(addr+i, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read loads a byte, recording a page fault if the page is not resident
+// and making it resident.
+func (m *Memory) Read(addr int) (byte, error) {
+	if addr < 0 || addr >= len(m.data) {
+		return 0, fmt.Errorf("paging: read at %d out of range [0,%d)", addr, len(m.data))
+	}
+	page := m.PageOf(addr)
+	if !m.resident[page] {
+		m.resident[page] = true
+		m.faults = append(m.faults, page)
+	}
+	return m.data[addr], nil
+}
+
+// Faults returns the fault trace since the last EvictAll.
+func (m *Memory) Faults() []int {
+	return append([]int(nil), m.faults...)
+}
+
+// Faulted reports whether the given page appears in the fault trace.
+func (m *Memory) Faulted(page int) bool {
+	for _, p := range m.faults {
+		if p == page {
+			return true
+		}
+	}
+	return false
+}
+
+// EvictAll pages everything out and clears the fault trace; the attacker
+// does this between probes (e.g. by thrashing the machine).
+func (m *Memory) EvictAll() {
+	for i := range m.resident {
+		m.resident[i] = false
+	}
+	m.faults = m.faults[:0]
+}

@@ -1,0 +1,111 @@
+package paging
+
+import "testing"
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 16); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := New(64, 0); err == nil {
+		t.Error("zero page size accepted")
+	}
+	m, err := New(33, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Pages() != 3 {
+		t.Errorf("Pages = %d, want 3 (rounded up)", m.Pages())
+	}
+	if m.PageSize() != 16 {
+		t.Errorf("PageSize = %d", m.PageSize())
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(0,0) did not panic")
+		}
+	}()
+	MustNew(0, 0)
+}
+
+func TestFaultRecording(t *testing.T) {
+	m := MustNew(64, 16)
+	if _, err := m.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Read(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Read(20); err != nil {
+		t.Fatal(err)
+	}
+	faults := m.Faults()
+	if len(faults) != 2 || faults[0] != 0 || faults[1] != 1 {
+		t.Errorf("faults = %v, want [0 1]", faults)
+	}
+	if !m.Faulted(0) || !m.Faulted(1) || m.Faulted(2) {
+		t.Error("Faulted queries wrong")
+	}
+}
+
+func TestEvictAllResets(t *testing.T) {
+	m := MustNew(64, 16)
+	if _, err := m.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	m.EvictAll()
+	if len(m.Faults()) != 0 {
+		t.Error("fault trace not cleared")
+	}
+	if _, err := m.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Faults()) != 1 {
+		t.Error("page should fault again after eviction")
+	}
+}
+
+func TestWritesDoNotFault(t *testing.T) {
+	m := MustNew(64, 16)
+	if err := m.Write(40, 'x'); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteString(0, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Faults()) != 0 {
+		t.Error("writes must not fault")
+	}
+	b, err := m.Read(40)
+	if err != nil || b != 'x' {
+		t.Errorf("Read(40) = %c, %v", b, err)
+	}
+}
+
+func TestBoundsChecks(t *testing.T) {
+	m := MustNew(16, 16)
+	if _, err := m.Read(-1); err == nil {
+		t.Error("negative read accepted")
+	}
+	if _, err := m.Read(16); err == nil {
+		t.Error("out-of-range read accepted")
+	}
+	if err := m.Write(16, 0); err == nil {
+		t.Error("out-of-range write accepted")
+	}
+	if err := m.WriteString(14, []byte("long")); err == nil {
+		t.Error("overflowing WriteString accepted")
+	}
+}
+
+func TestPageOf(t *testing.T) {
+	m := MustNew(64, 16)
+	cases := map[int]int{0: 0, 15: 0, 16: 1, 47: 2, 48: 3}
+	for addr, want := range cases {
+		if got := m.PageOf(addr); got != want {
+			t.Errorf("PageOf(%d) = %d, want %d", addr, got, want)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// Package progen generates random flowchart programs that are total by
+// construction (all loops are counter-bounded), for property-based testing
+// of the paper's theorems: Theorem 3 and 3′ (surveillance soundness) and
+// the soundness of static certification are checked over thousands of
+// generated program × policy × domain combinations.
+//
+// Programs are produced as DSL text and parsed, so the generator also
+// exercises the parser and printer continuously.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"spm/internal/flowchart"
+)
+
+// Config bounds the generated programs.
+type Config struct {
+	// Arity is the number of inputs x1..xk (k ≥ 0).
+	Arity int
+	// MaxDepth bounds if/loop nesting.
+	MaxDepth int
+	// MaxStmts bounds statements per block.
+	MaxStmts int
+	// MaxConst bounds integer literals (inclusive; literals are drawn
+	// from [-MaxConst, MaxConst]).
+	MaxConst int64
+	// Loops enables counter-bounded loops.
+	Loops bool
+	// MaxLoopTrips bounds each loop's trip count (1..MaxLoopTrips).
+	MaxLoopTrips int
+}
+
+// DefaultConfig returns a config producing small, varied programs.
+func DefaultConfig(arity int) Config {
+	return Config{
+		Arity:        arity,
+		MaxDepth:     3,
+		MaxStmts:     4,
+		MaxConst:     3,
+		Loops:        true,
+		MaxLoopTrips: 3,
+	}
+}
+
+// generator carries the emission state.
+type generator struct {
+	r      *rand.Rand
+	cfg    Config
+	lines  []string
+	labels int
+	loops  int
+	vars   []string // assignable variables
+	reads  []string // readable variables (assignables + inputs)
+}
+
+// Generate produces a random total program. The same seed yields the same
+// program.
+func Generate(r *rand.Rand, cfg Config) *flowchart.Program {
+	if cfg.MaxStmts < 1 {
+		cfg.MaxStmts = 1
+	}
+	if cfg.MaxLoopTrips < 1 {
+		cfg.MaxLoopTrips = 1
+	}
+	g := &generator{r: r, cfg: cfg}
+	inputs := make([]string, cfg.Arity)
+	for i := range inputs {
+		inputs[i] = fmt.Sprintf("x%d", i+1)
+	}
+	g.vars = []string{"y", "r0", "r1", "r2"}
+	g.reads = append(append([]string(nil), g.vars...), inputs...)
+
+	g.emitf("program gen")
+	g.emitf("inputs %s", strings.Join(inputs, " "))
+	g.block(cfg.MaxDepth)
+	// Ensure the output is touched at least once so programs are not all
+	// constantly zero.
+	g.emitf("y := %s", g.expr(1))
+	g.emitf("halt")
+
+	src := strings.Join(g.lines, "\n") + "\n"
+	p, err := flowchart.Parse(src)
+	if err != nil {
+		// Generation is closed over the DSL grammar; a parse failure is a
+		// bug in this package, not an input condition.
+		panic(fmt.Sprintf("progen: generated invalid program: %v\n%s", err, src))
+	}
+	return p
+}
+
+func (g *generator) emitf(format string, args ...interface{}) {
+	g.lines = append(g.lines, fmt.Sprintf(format, args...))
+}
+
+func (g *generator) label(prefix string) string {
+	g.labels++
+	return fmt.Sprintf("%s%d", prefix, g.labels)
+}
+
+// block emits 1..MaxStmts statements.
+func (g *generator) block(depth int) {
+	n := 1 + g.r.Intn(g.cfg.MaxStmts)
+	for i := 0; i < n; i++ {
+		g.stmt(depth)
+	}
+}
+
+func (g *generator) stmt(depth int) {
+	roll := g.r.Intn(10)
+	switch {
+	case depth > 0 && roll >= 8 && g.cfg.Loops:
+		g.loop(depth - 1)
+	case depth > 0 && roll >= 5:
+		g.ifElse(depth - 1)
+	default:
+		g.assign()
+	}
+}
+
+func (g *generator) assign() {
+	v := g.vars[g.r.Intn(len(g.vars))]
+	g.emitf("%s := %s", v, g.expr(2))
+}
+
+func (g *generator) ifElse(depth int) {
+	t, f, j := g.label("T"), g.label("F"), g.label("J")
+	g.emitf("if %s goto %s else %s", g.pred(), t, f)
+	g.emitf("%s:", t)
+	g.block(depth)
+	g.emitf("goto %s", j)
+	g.emitf("%s:", f)
+	g.block(depth)
+	g.emitf("goto %s", j)
+	g.emitf("%s:", j)
+}
+
+// loop emits a counter-bounded loop: total by construction regardless of
+// what the body does, because the counter is fresh and only the loop
+// header touches it.
+func (g *generator) loop(depth int) {
+	g.loops++
+	counter := fmt.Sprintf("lc%d", g.loops)
+	head, body, done := g.label("L"), g.label("B"), g.label("D")
+	trips := 1 + g.r.Intn(g.cfg.MaxLoopTrips)
+	g.emitf("%s := %d", counter, trips)
+	g.emitf("%s:", head)
+	g.emitf("if %s > 0 goto %s else %s", counter, body, done)
+	g.emitf("%s:", body)
+	g.block(depth)
+	g.emitf("%s := %s - 1", counter, counter)
+	g.emitf("goto %s", head)
+	g.emitf("%s:", done)
+}
+
+// expr emits a random integer expression of bounded depth.
+func (g *generator) expr(depth int) string {
+	if depth == 0 || g.r.Intn(3) == 0 {
+		if g.r.Intn(2) == 0 && len(g.reads) > 0 {
+			return g.reads[g.r.Intn(len(g.reads))]
+		}
+		return fmt.Sprintf("%d", g.r.Int63n(2*g.cfg.MaxConst+1)-g.cfg.MaxConst)
+	}
+	switch g.r.Intn(5) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", g.expr(depth-1), g.expr(depth-1))
+	case 1:
+		return fmt.Sprintf("(%s - %s)", g.expr(depth-1), g.expr(depth-1))
+	case 2:
+		return fmt.Sprintf("(%s * %s)", g.expr(depth-1), g.expr(depth-1))
+	case 3:
+		return fmt.Sprintf("ite(%s, %s, %s)", g.pred(), g.expr(depth-1), g.expr(depth-1))
+	default:
+		return fmt.Sprintf("(%s %% 4)", g.expr(depth-1))
+	}
+}
+
+// pred emits a random comparison.
+func (g *generator) pred() string {
+	ops := []string{"==", "!=", "<", "<=", ">", ">="}
+	return fmt.Sprintf("%s %s %s", g.expr(1), ops[g.r.Intn(len(ops))], g.expr(1))
+}

@@ -1,0 +1,426 @@
+package progen
+
+import (
+	"math/rand"
+	"testing"
+
+	"spm/internal/core"
+	"spm/internal/flowchart"
+	"spm/internal/lattice"
+	"spm/internal/static"
+	"spm/internal/surveillance"
+	"spm/internal/transform"
+)
+
+func TestGeneratedProgramsAreTotal(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	cfg := DefaultConfig(2)
+	dom := core.Grid(2, -1, 0, 2)
+	for trial := 0; trial < 50; trial++ {
+		p := Generate(r, cfg)
+		err := dom.Enumerate(func(in []int64) error {
+			_, err := p.RunBudget(in, 1<<16, nil)
+			return err
+		})
+		if err != nil {
+			t.Fatalf("trial %d: generated program not total: %v\n%s", trial, err, flowchart.Print(p))
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(rand.New(rand.NewSource(7)), DefaultConfig(2))
+	b := Generate(rand.New(rand.NewSource(7)), DefaultConfig(2))
+	if flowchart.Print(a) != flowchart.Print(b) {
+		t.Error("same seed must yield the same program")
+	}
+}
+
+func TestGeneratedProgramsVary(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	seen := make(map[string]bool)
+	for i := 0; i < 20; i++ {
+		seen[flowchart.Print(Generate(r, DefaultConfig(2)))] = true
+	}
+	if len(seen) < 15 {
+		t.Errorf("only %d distinct programs in 20 draws", len(seen))
+	}
+}
+
+func TestGenerateZeroArity(t *testing.T) {
+	p := Generate(rand.New(rand.NewSource(3)), DefaultConfig(0))
+	if p.Arity() != 0 {
+		t.Fatalf("arity = %d", p.Arity())
+	}
+	if _, err := p.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTheorem3PropertySweep is the E7 property check: for every generated
+// program and every allow(J) policy, the untimed surveillance mechanism is
+// sound under the value observation and the timed variant is sound under
+// the value+time observation.
+func TestTheorem3PropertySweep(t *testing.T) {
+	r := rand.New(rand.NewSource(1975))
+	cfg := DefaultConfig(2)
+	dom := core.Grid(2, 0, 1, 2)
+	subsets := lattice.Subsets(2)
+	trials := 40
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		q := Generate(r, cfg)
+		for _, J := range subsets {
+			pol := core.NewAllowSet(2, J)
+
+			ms, err := surveillance.Mechanism(q, J, surveillance.Untimed)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			rep, err := core.CheckSoundness(ms, pol, dom, core.ObserveValue)
+			if err != nil {
+				t.Fatalf("trial %d: %v\n%s", trial, err, flowchart.Print(q))
+			}
+			if !rep.Sound {
+				t.Fatalf("trial %d: Theorem 3 violated for %s:\n%s\n%s",
+					trial, pol.Name(), rep, flowchart.Print(q))
+			}
+
+			mp, err := surveillance.Mechanism(q, J, surveillance.Timed)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			rep, err = core.CheckSoundness(mp, pol, dom, core.ObserveValueAndTime)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if !rep.Sound {
+				t.Fatalf("trial %d: Theorem 3' violated for %s:\n%s\n%s",
+					trial, pol.Name(), rep, flowchart.Print(q))
+			}
+		}
+	}
+}
+
+// TestHighWaterSoundnessProperty extends the sweep to the high-water-mark
+// discipline.
+func TestHighWaterSoundnessProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(48))
+	cfg := DefaultConfig(2)
+	dom := core.Grid(2, 0, 1, 2)
+	trials := 20
+	if testing.Short() {
+		trials = 5
+	}
+	for trial := 0; trial < trials; trial++ {
+		q := Generate(r, cfg)
+		for _, J := range lattice.Subsets(2) {
+			mh, err := surveillance.Mechanism(q, J, surveillance.Monotone)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := core.CheckSoundness(mh, core.NewAllowSet(2, J), dom, core.ObserveValue)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Sound {
+				t.Fatalf("trial %d: high-water unsound for allow%v:\n%s\n%s",
+					trial, J, rep, flowchart.Print(q))
+			}
+		}
+	}
+}
+
+// TestSurveillanceAtLeastAsCompleteAsHighWater checks M_s ≥ M_h on random
+// programs (Section 4's comparison, generalised).
+func TestSurveillanceAtLeastAsCompleteAsHighWater(t *testing.T) {
+	r := rand.New(rand.NewSource(4848))
+	cfg := DefaultConfig(2)
+	dom := core.Grid(2, 0, 1, 2)
+	trials := 20
+	if testing.Short() {
+		trials = 5
+	}
+	for trial := 0; trial < trials; trial++ {
+		q := Generate(r, cfg)
+		for _, J := range lattice.Subsets(2) {
+			ms, err := surveillance.Mechanism(q, J, surveillance.Untimed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mh, err := surveillance.Mechanism(q, J, surveillance.Monotone)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := core.Compare(ms, mh, dom)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Relation == core.LessComplete || rep.Relation == core.Incomparable {
+				t.Fatalf("trial %d allow%v: M_s %s M_h\n%s",
+					trial, J, rep.Relation, flowchart.Print(q))
+			}
+		}
+	}
+}
+
+// TestStaticCertificationSoundProperty: whenever static certification
+// accepts (q, allow(J)), the bare program must be sound for allow(J) —
+// the semantic guarantee behind Section 5's zero-overhead enforcement.
+func TestStaticCertificationSoundProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	cfg := DefaultConfig(2)
+	dom := core.Grid(2, 0, 1, 2)
+	trials := 40
+	if testing.Short() {
+		trials = 8
+	}
+	certified := 0
+	for trial := 0; trial < trials; trial++ {
+		q := Generate(r, cfg)
+		for _, J := range lattice.Subsets(2) {
+			rep, err := static.Certify(q, J)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.OK {
+				continue
+			}
+			certified++
+			sr, err := core.CheckSoundness(core.FromProgram(q), core.NewAllowSet(2, J), dom, core.ObserveValue)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sr.Sound {
+				t.Fatalf("trial %d: certified but unsound for allow%v:\n%s\n%s",
+					trial, J, sr, flowchart.Print(q))
+			}
+		}
+	}
+	if certified == 0 {
+		t.Error("sweep never certified anything; generator or analysis too conservative to test the property")
+	}
+}
+
+// TestUnionTheoremProperty: the union of the three sound mechanisms for
+// the same (Q, I) is sound and at least as complete as each member.
+func TestUnionTheoremProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	cfg := DefaultConfig(2)
+	dom := core.Grid(2, 0, 1, 2)
+	trials := 15
+	if testing.Short() {
+		trials = 4
+	}
+	for trial := 0; trial < trials; trial++ {
+		q := Generate(r, cfg)
+		for _, J := range lattice.Subsets(2) {
+			pol := core.NewAllowSet(2, J)
+			ms, err := surveillance.Mechanism(q, J, surveillance.Untimed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mh, err := surveillance.Mechanism(q, J, surveillance.Monotone)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stat, _, err := static.Mechanism(q, J)
+			if err != nil {
+				t.Fatal(err)
+			}
+			u := core.MustUnion("union", ms, mh, stat)
+			rep, err := core.CheckSoundness(u, pol, dom, core.CoarseNotices(core.ObserveValue))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Sound {
+				t.Fatalf("trial %d: union unsound for allow%v:\n%s\n%s",
+					trial, J, rep, flowchart.Print(q))
+			}
+			for _, m := range []core.Mechanism{ms, mh, stat} {
+				cr, err := core.Compare(u, m, dom)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cr.Relation == core.LessComplete || cr.Relation == core.Incomparable {
+					t.Fatalf("trial %d: union %s %s", trial, cr.Relation, m.Name())
+				}
+			}
+		}
+	}
+}
+
+// TestMaximalDominatesEverythingProperty: the tabulated Theorem 2 maximal
+// mechanism is sound and at least as complete as surveillance, high-water,
+// and static certification on random programs.
+func TestMaximalDominatesEverythingProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1976))
+	cfg := DefaultConfig(2)
+	dom := core.Grid(2, 0, 1, 2)
+	trials := 15
+	if testing.Short() {
+		trials = 4
+	}
+	for trial := 0; trial < trials; trial++ {
+		q := Generate(r, cfg)
+		qm := core.FromProgram(q)
+		for _, J := range lattice.Subsets(2) {
+			pol := core.NewAllowSet(2, J)
+			max, err := core.Maximal(qm, pol, dom, core.ObserveValue)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := core.CheckSoundness(max, pol, dom, core.ObserveValue)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Sound {
+				t.Fatalf("trial %d: maximal unsound for allow%v:\n%s", trial, J, flowchart.Print(q))
+			}
+			ms, err := surveillance.Mechanism(q, J, surveillance.Untimed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mh, err := surveillance.Mechanism(q, J, surveillance.Monotone)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stat, _, err := static.Mechanism(q, J)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range []core.Mechanism{ms, mh, stat} {
+				cr, err := core.Compare(max, m, dom)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cr.Relation == core.LessComplete || cr.Relation == core.Incomparable {
+					t.Fatalf("trial %d allow%v: maximal %s %s\n%s",
+						trial, J, cr.Relation, m.Name(), flowchart.Print(q))
+				}
+			}
+		}
+	}
+}
+
+// TestIfThenElseTransformSoundnessProperty: on random programs, wherever a
+// diamond exists, the transformed program is functionally equivalent and
+// surveillance on it stays sound for every policy.
+func TestIfThenElseTransformSoundnessProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	cfg := DefaultConfig(2)
+	dom := core.Grid(2, 0, 1, 2)
+	trials := 30
+	if testing.Short() {
+		trials = 8
+	}
+	transformed := 0
+	for trial := 0; trial < trials; trial++ {
+		q := Generate(r, cfg)
+		qt, n, err := transform.IfThenElseAll(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			continue
+		}
+		transformed++
+		ok, w, err := transform.Equivalent(q, qt, dom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("trial %d: transform changed the function at %v\nbefore:\n%s\nafter:\n%s",
+				trial, w, flowchart.Print(q), flowchart.Print(qt))
+		}
+		for _, J := range lattice.Subsets(2) {
+			m, err := surveillance.Mechanism(qt, J, surveillance.Untimed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := core.CheckSoundness(m, core.NewAllowSet(2, J), dom, core.ObserveValue)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Sound {
+				t.Fatalf("trial %d: transformed program unsound for allow%v:\n%s",
+					trial, J, flowchart.Print(qt))
+			}
+		}
+	}
+	if transformed == 0 {
+		t.Error("sweep never found a diamond; generator shape too restrictive to test the property")
+	}
+}
+
+// TestSpecializationSoundnessProperty: the Example 9 specialised mechanism
+// is sound for every allow(J) on random programs.
+func TestSpecializationSoundnessProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	cfg := DefaultConfig(2)
+	dom := core.Grid(2, 0, 1, 2)
+	trials := 20
+	if testing.Short() {
+		trials = 5
+	}
+	for trial := 0; trial < trials; trial++ {
+		q := Generate(r, cfg)
+		for _, J := range lattice.Subsets(2) {
+			gm, err := static.Specialize(q, J, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := core.CheckSoundness(gm, core.NewAllowSet(2, J), dom, core.CoarseNotices(core.ObserveValue))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Sound {
+				t.Fatalf("trial %d: specialised mechanism unsound for allow%v:\n%s",
+					trial, J, flowchart.Print(q))
+			}
+		}
+	}
+}
+
+// TestCompiledEquivalenceProperty: the slot-compiled executor agrees with
+// the tree-walking interpreter — value, steps, and violations — on random
+// programs and their surveillance instrumentations.
+func TestCompiledEquivalenceProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	cfg := DefaultConfig(2)
+	dom := core.Grid(2, -1, 0, 3)
+	trials := 30
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		q := Generate(r, cfg)
+		inst, err := surveillance.Instrument(q, lattice.NewIndexSet(1), surveillance.Untimed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []*flowchart.Program{q, inst} {
+			c, err := p.Compile()
+			if err != nil {
+				t.Fatalf("trial %d: compile: %v", trial, err)
+			}
+			err = dom.Enumerate(func(in []int64) error {
+				ri, erri := p.RunBudget(in, 1<<16, nil)
+				rc, errc := c.Run(in, 1<<16)
+				if (erri == nil) != (errc == nil) {
+					t.Fatalf("trial %d: error divergence on %v: %v vs %v", trial, in, erri, errc)
+				}
+				if erri == nil && ri != rc {
+					t.Fatalf("trial %d: divergence on %v: %+v vs %+v\n%s",
+						trial, in, ri, rc, flowchart.Print(p))
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}

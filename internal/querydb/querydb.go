@@ -1,0 +1,210 @@
+// Package querydb implements the history-dependent policy that Section 2
+// of Jones & Lipton mentions in passing: "policies (such as might be found
+// in a data base system) where what a user is permitted to view is
+// dependent upon a history of the user's previous queries."
+//
+// The model is a small statistical database of k confidential values. A
+// user may ask for the sum over any subset of records; individual values
+// are to stay secret. A stateless size check (|S| ≥ minSize) is not
+// enough: the classic tracker attack asks two large overlapping queries
+// whose difference isolates one record. The history-dependent gatekeeper
+// additionally refuses any query whose answer, combined with previously
+// answered queries, would determine a single record — checked exactly, by
+// Gaussian elimination over the query subspace.
+package querydb
+
+import (
+	"fmt"
+)
+
+// DB is a statistical database of confidential values.
+type DB struct {
+	values []int64
+}
+
+// NewDB builds a database.
+func NewDB(values []int64) (*DB, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("querydb: empty database")
+	}
+	return &DB{values: append([]int64(nil), values...)}, nil
+}
+
+// Size returns the number of records.
+func (d *DB) Size() int { return len(d.values) }
+
+// sum computes the sum over the subset, ignoring out-of-range indices.
+func (d *DB) sum(set []int) int64 {
+	var s int64
+	for _, i := range set {
+		if i >= 0 && i < len(d.values) {
+			s += d.values[i]
+		}
+	}
+	return s
+}
+
+// GuardMode selects the gatekeeper's policy.
+type GuardMode uint8
+
+// Guard modes.
+const (
+	// SizeOnly enforces only the minimum query-set size: the stateless
+	// policy that the tracker attack defeats.
+	SizeOnly GuardMode = iota
+	// HistoryAware additionally refuses queries that, together with the
+	// answered history, would determine any single record.
+	HistoryAware
+)
+
+// String names the mode.
+func (m GuardMode) String() string {
+	if m == HistoryAware {
+		return "history-aware"
+	}
+	return "size-only"
+}
+
+// Session is a stateful query session against a database: the mechanism
+// whose policy depends on the history of previous queries.
+type Session struct {
+	db      *DB
+	mode    GuardMode
+	minSize int
+	// answered holds the characteristic vectors of answered queries.
+	answered [][]float64
+}
+
+// NewSession opens a session with the given guard mode and minimum query
+// size.
+func NewSession(db *DB, mode GuardMode, minSize int) *Session {
+	return &Session{db: db, mode: mode, minSize: minSize}
+}
+
+// QueryResult is a session query's outcome.
+type QueryResult struct {
+	Sum       int64
+	Violation bool
+	Notice    string
+}
+
+// Query asks for the sum over the given record indices. A refusal does
+// not change the history (refusals reveal only allowed information: the
+// query itself and the history, both known to the user — this keeps the
+// violation notices information-free in the paper's sense).
+func (s *Session) Query(set []int) QueryResult {
+	uniq := make(map[int]bool)
+	for _, i := range set {
+		if i < 0 || i >= s.db.Size() {
+			return QueryResult{Violation: true, Notice: fmt.Sprintf("record %d out of range", i)}
+		}
+		uniq[i] = true
+	}
+	if len(uniq) < s.minSize {
+		return QueryResult{Violation: true, Notice: fmt.Sprintf("query set smaller than %d", s.minSize)}
+	}
+	vec := make([]float64, s.db.Size())
+	for i := range uniq {
+		vec[i] = 1
+	}
+	if s.mode == HistoryAware && s.wouldIsolate(vec) {
+		return QueryResult{Violation: true, Notice: "query would determine an individual record"}
+	}
+	s.answered = append(s.answered, vec)
+	return QueryResult{Sum: s.db.sum(setFromMap(uniq))}
+}
+
+// Answered returns the number of answered queries.
+func (s *Session) Answered() int { return len(s.answered) }
+
+func setFromMap(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for i := range m {
+		out = append(out, i)
+	}
+	return out
+}
+
+// wouldIsolate reports whether adding vec to the answered query space
+// makes some unit vector e_i expressible as a linear combination — i.e.
+// whether record i's exact value would become computable from the
+// answers.
+func (s *Session) wouldIsolate(vec []float64) bool {
+	n := s.db.Size()
+	rows := make([][]float64, 0, len(s.answered)+1)
+	for _, r := range s.answered {
+		rows = append(rows, append([]float64(nil), r...))
+	}
+	rows = append(rows, append([]float64(nil), vec...))
+	basis := rowReduce(rows, n)
+	for i := 0; i < n; i++ {
+		unit := make([]float64, n)
+		unit[i] = 1
+		if inSpan(basis, unit) {
+			return true
+		}
+	}
+	return false
+}
+
+const eps = 1e-9
+
+// rowReduce Gaussian-eliminates the rows, returning a reduced basis of
+// the row space.
+func rowReduce(rows [][]float64, n int) [][]float64 {
+	var basis [][]float64
+	for _, r := range rows {
+		r = reduceAgainst(basis, r, n)
+		if lead(r, n) >= 0 {
+			basis = append(basis, normalize(r, n))
+		}
+	}
+	return basis
+}
+
+func lead(r []float64, n int) int {
+	for i := 0; i < n; i++ {
+		if r[i] > eps || r[i] < -eps {
+			return i
+		}
+	}
+	return -1
+}
+
+func normalize(r []float64, n int) []float64 {
+	l := lead(r, n)
+	if l < 0 {
+		return r
+	}
+	p := r[l]
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r[i] / p
+	}
+	return out
+}
+
+func reduceAgainst(basis [][]float64, r []float64, n int) []float64 {
+	out := append([]float64(nil), r...)
+	for _, b := range basis {
+		l := lead(b, n)
+		if l < 0 {
+			continue
+		}
+		f := out[l] / b[l]
+		if f == 0 {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			out[i] -= f * b[i]
+		}
+	}
+	return out
+}
+
+// inSpan reports whether v lies in the span of the (reduced) basis.
+func inSpan(basis [][]float64, v []float64) bool {
+	n := len(v)
+	r := reduceAgainst(basis, v, n)
+	return lead(r, n) < 0
+}

@@ -1,0 +1,140 @@
+package querydb
+
+import (
+	"strings"
+	"testing"
+)
+
+func db(t *testing.T) *DB {
+	t.Helper()
+	d, err := NewDB([]int64{30, 50, 20, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewDBValidation(t *testing.T) {
+	if _, err := NewDB(nil); err == nil {
+		t.Error("empty database accepted")
+	}
+}
+
+func TestSizeGuard(t *testing.T) {
+	s := NewSession(db(t), SizeOnly, 2)
+	r := s.Query([]int{0})
+	if !r.Violation || !strings.Contains(r.Notice, "smaller") {
+		t.Errorf("singleton query = %+v, want size violation", r)
+	}
+	r = s.Query([]int{0, 1})
+	if r.Violation || r.Sum != 80 {
+		t.Errorf("sum(0,1) = %+v, want 80", r)
+	}
+	// Duplicates collapse before the size check.
+	r = s.Query([]int{0, 0})
+	if !r.Violation {
+		t.Errorf("duplicated singleton accepted: %+v", r)
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	s := NewSession(db(t), SizeOnly, 2)
+	r := s.Query([]int{0, 9})
+	if !r.Violation || !strings.Contains(r.Notice, "out of range") {
+		t.Errorf("out of range = %+v", r)
+	}
+}
+
+func TestTrackerAttackDefeatsSizeOnly(t *testing.T) {
+	// The tracker: sum{0,1,2} - sum{1,2} isolates record 0, despite every
+	// individual query having size ≥ 2.
+	s := NewSession(db(t), SizeOnly, 2)
+	a := s.Query([]int{0, 1, 2})
+	b := s.Query([]int{1, 2})
+	if a.Violation || b.Violation {
+		t.Fatalf("size-only guard refused legal-size queries: %+v %+v", a, b)
+	}
+	if got := a.Sum - b.Sum; got != 30 {
+		t.Errorf("tracker recovered %d, want record 0 = 30", got)
+	}
+}
+
+func TestHistoryAwareBlocksTracker(t *testing.T) {
+	s := NewSession(db(t), HistoryAware, 2)
+	a := s.Query([]int{0, 1, 2})
+	if a.Violation {
+		t.Fatalf("first query refused: %+v", a)
+	}
+	b := s.Query([]int{1, 2})
+	if !b.Violation || !strings.Contains(b.Notice, "individual") {
+		t.Errorf("tracker's second query should be refused: %+v", b)
+	}
+	// A non-isolating follow-up is still answered.
+	c := s.Query([]int{1, 2, 3})
+	if c.Violation {
+		t.Errorf("harmless query refused: %+v", c)
+	}
+	if s.Answered() != 2 {
+		t.Errorf("answered = %d, want 2", s.Answered())
+	}
+}
+
+func TestHistoryAwareBlocksMultiStepIsolation(t *testing.T) {
+	// Isolation via three queries: {0,1} + {0,2} - {1,2} = 2·record0.
+	// The guard must refuse the last one.
+	s := NewSession(db(t), HistoryAware, 2)
+	if r := s.Query([]int{0, 1}); r.Violation {
+		t.Fatalf("q1 refused: %+v", r)
+	}
+	if r := s.Query([]int{0, 2}); r.Violation {
+		t.Fatalf("q2 refused: %+v", r)
+	}
+	r := s.Query([]int{1, 2})
+	if !r.Violation {
+		t.Errorf("three-query isolation not blocked: %+v", r)
+	}
+}
+
+func TestRefusalsDoNotPoisonHistory(t *testing.T) {
+	s := NewSession(db(t), HistoryAware, 2)
+	if r := s.Query([]int{0, 1, 2}); r.Violation {
+		t.Fatal(r.Notice)
+	}
+	// Refused query...
+	if r := s.Query([]int{1, 2}); !r.Violation {
+		t.Fatal("expected refusal")
+	}
+	// ...does not block a query that would have been fine anyway.
+	if r := s.Query([]int{0, 3}); r.Violation {
+		t.Errorf("query after refusal wrongly blocked: %+v", r)
+	}
+}
+
+func TestRepeatQueryAllowed(t *testing.T) {
+	// Re-asking an answered query adds no information and stays allowed.
+	s := NewSession(db(t), HistoryAware, 2)
+	if r := s.Query([]int{0, 1}); r.Violation {
+		t.Fatal(r.Notice)
+	}
+	if r := s.Query([]int{0, 1}); r.Violation {
+		t.Errorf("repeat query refused: %+v", r)
+	}
+}
+
+func TestWholeTableThenComplementBlocked(t *testing.T) {
+	// sum(all) answered; sum(all but one) must be refused: the difference
+	// is an individual.
+	s := NewSession(db(t), HistoryAware, 2)
+	if r := s.Query([]int{0, 1, 2, 3}); r.Violation {
+		t.Fatal(r.Notice)
+	}
+	if r := s.Query([]int{0, 1, 2}); !r.Violation {
+		t.Errorf("complement query not blocked: %+v", r)
+	}
+}
+
+func TestGuardModeString(t *testing.T) {
+	if SizeOnly.String() != "size-only" || HistoryAware.String() != "history-aware" {
+		t.Error("mode names")
+	}
+}

@@ -1,0 +1,200 @@
+package static
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"spm/internal/flowchart"
+	"spm/internal/lattice"
+	"spm/internal/transform"
+)
+
+// LatticeReport is the result of certification against an arbitrary finite
+// security-class lattice (Denning's model, the paper's reference [2]),
+// generalising the allow(J) certification: instead of sets of input
+// indices, variables carry classes from any lattice — two-point null/priv
+// (Fenton), military chains, or incomparable compartments — and the
+// program is certified against a clearance class.
+type LatticeReport struct {
+	Program   string
+	Clearance string
+	OK        bool
+	// OutputClass is the join of the output's classes over all halts,
+	// including program-counter classes.
+	OutputClass string
+	// VarClasses maps each variable to its final class name.
+	VarClasses map[string]string
+	// Violations names the halts whose release exceeds the clearance.
+	Violations []flowchart.NodeID
+}
+
+// String summarises the report.
+func (r LatticeReport) String() string {
+	if r.OK {
+		return fmt.Sprintf("program %q certified for clearance %s: output class %s",
+			r.Program, r.Clearance, r.OutputClass)
+	}
+	ids := make([]string, len(r.Violations))
+	for i, v := range r.Violations {
+		ids[i] = fmt.Sprintf("%d", v)
+	}
+	return fmt.Sprintf("program %q NOT certifiable for clearance %s: output class %s exceeds it (halts %s)",
+		r.Program, r.Clearance, r.OutputClass, strings.Join(ids, ","))
+}
+
+// CertifyLattice runs the information-flow certification of q over an
+// arbitrary class lattice. classOf assigns initial classes to variables
+// (typically the inputs); unassigned variables start at the lattice
+// bottom. The program is certified when every normal halt releases an
+// output whose class (joined with the program-counter class at the halt)
+// can flow to clearance.
+func CertifyLattice(q *flowchart.Program, l *lattice.Lattice, classOf map[string]lattice.Class, clearance lattice.Class) (LatticeReport, error) {
+	rep := LatticeReport{Program: q.Name, Clearance: l.Name(clearance), VarClasses: make(map[string]string)}
+	g, err := transform.Analyze(q)
+	if err != nil {
+		return rep, err
+	}
+	for v, c := range classOf {
+		if int(c) < 0 || int(c) >= l.Size() {
+			return rep, fmt.Errorf("static: variable %q assigned invalid class %d", v, int(c))
+		}
+	}
+
+	memberOf := make([][]flowchart.NodeID, len(q.Nodes))
+	for _, d := range g.Decisions() {
+		region, err := g.Region(d)
+		if err != nil {
+			return rep, err
+		}
+		for _, n := range region {
+			memberOf[n] = append(memberOf[n], d)
+		}
+	}
+
+	bot := l.Bottom()
+	in := make([]map[string]lattice.Class, len(q.Nodes))
+	for i := range in {
+		in[i] = make(map[string]lattice.Class)
+	}
+	for v, c := range classOf {
+		in[q.Start][v] = c
+	}
+
+	classAt := func(env map[string]lattice.Class, v string) lattice.Class {
+		if c, ok := env[v]; ok {
+			return c
+		}
+		return bot
+	}
+	exprClass := func(env map[string]lattice.Class, node interface{ AddVars(map[string]bool) }) lattice.Class {
+		cls := bot
+		for _, v := range flowchart.Vars(node) {
+			cls = l.Join(cls, classAt(env, v))
+		}
+		return cls
+	}
+	pcClass := func(n flowchart.NodeID) lattice.Class {
+		cls := bot
+		for _, d := range memberOf[n] {
+			cls = l.Join(cls, exprClass(in[d], q.Nodes[d].Cond))
+		}
+		return cls
+	}
+	joinInto := func(dst flowchart.NodeID, src map[string]lattice.Class) bool {
+		changed := false
+		tgt := in[dst]
+		for v, c := range src {
+			merged := l.Join(classAt(tgt, v), c)
+			if merged != classAt(tgt, v) {
+				tgt[v] = merged
+				changed = true
+			}
+		}
+		return changed
+	}
+
+	work := []flowchart.NodeID{q.Start}
+	queued := make([]bool, len(q.Nodes))
+	queued[q.Start] = true
+	push := func(id flowchart.NodeID) {
+		if !queued[id] {
+			queued[id] = true
+			work = append(work, id)
+		}
+	}
+	succEdges := func(n *flowchart.Node) []flowchart.NodeID {
+		if n.Kind == flowchart.KindDecision {
+			if bc, ok := n.Cond.(flowchart.BoolConst); ok {
+				if bool(bc) {
+					return []flowchart.NodeID{n.True}
+				}
+				return []flowchart.NodeID{n.False}
+			}
+		}
+		return n.Succs()
+	}
+	for iter := 0; len(work) > 0; iter++ {
+		if iter > 1_000_000 {
+			return rep, fmt.Errorf("static: lattice fixpoint did not converge (program %q)", q.Name)
+		}
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
+		queued[id] = false
+		n := &q.Nodes[id]
+		var out map[string]lattice.Class
+		switch n.Kind {
+		case flowchart.KindAssign:
+			out = make(map[string]lattice.Class, len(in[id])+1)
+			for v, c := range in[id] {
+				out[v] = c
+			}
+			out[n.Target] = l.Join(exprClass(in[id], n.Expr), pcClass(id))
+		default:
+			out = in[id]
+		}
+		for _, s := range succEdges(n) {
+			if joinInto(s, out) {
+				push(s)
+				if q.Nodes[s].Kind == flowchart.KindDecision {
+					region, err := g.Region(s)
+					if err != nil {
+						return rep, err
+					}
+					for _, m := range region {
+						push(m)
+					}
+				}
+			}
+		}
+	}
+
+	outVar := q.OutputVar()
+	outClass := bot
+	for i := range q.Nodes {
+		n := &q.Nodes[i]
+		if n.Kind != flowchart.KindHalt || n.Violation || !g.Reachable[i] {
+			continue
+		}
+		id := flowchart.NodeID(i)
+		cls := l.Join(classAt(in[id], outVar), pcClass(id))
+		outClass = l.Join(outClass, cls)
+		for v, c := range in[id] {
+			prev, ok := rep.VarClasses[v]
+			if !ok {
+				rep.VarClasses[v] = l.Name(c)
+				continue
+			}
+			// Join with the previously recorded class name.
+			pc, _ := l.Class(prev)
+			rep.VarClasses[v] = l.Name(l.Join(pc, c))
+		}
+		if !l.CanFlow(cls, clearance) {
+			rep.Violations = append(rep.Violations, id)
+		}
+	}
+	sort.Slice(rep.Violations, func(a, b int) bool { return rep.Violations[a] < rep.Violations[b] })
+	rep.OutputClass = l.Name(outClass)
+	rep.OK = len(rep.Violations) == 0
+	return rep, nil
+}

@@ -1,0 +1,218 @@
+package static
+
+import (
+	"strings"
+	"testing"
+
+	"spm/internal/flowchart"
+	"spm/internal/lattice"
+)
+
+func military(t *testing.T) *lattice.Lattice {
+	t.Helper()
+	l, err := lattice.Chain("U", "C", "S", "TS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestLatticeCertifyChain(t *testing.T) {
+	l := military(t)
+	q := flowchart.MustParse(`
+program mix
+inputs pub conf sec
+    y := pub + conf
+    halt
+`)
+	classOf := map[string]lattice.Class{
+		"pub":  l.MustClass("U"),
+		"conf": l.MustClass("C"),
+		"sec":  l.MustClass("S"),
+	}
+	// Output class is U ⊔ C = C.
+	rep, err := CertifyLattice(q, l, classOf, l.MustClass("C"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK || rep.OutputClass != "C" {
+		t.Errorf("clearance C: %s", rep)
+	}
+	// A U-cleared user must be refused.
+	rep, err = CertifyLattice(q, l, classOf, l.MustClass("U"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Errorf("clearance U should fail: %s", rep)
+	}
+	if !strings.Contains(rep.String(), "NOT certifiable") {
+		t.Errorf("report: %s", rep)
+	}
+	// TS clearance dominates everything.
+	rep, err = CertifyLattice(q, l, classOf, l.MustClass("TS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Errorf("clearance TS: %s", rep)
+	}
+}
+
+func TestLatticeCertifyImplicitFlow(t *testing.T) {
+	l := military(t)
+	// y is assigned under a branch on secret data: implicit flow raises
+	// the output to S even though only constants are assigned.
+	q := flowchart.MustParse(`
+program implicit
+inputs sec
+    if sec == 0 goto A else B
+A:  y := 1
+    goto J
+B:  y := 2
+    goto J
+J:  halt
+`)
+	classOf := map[string]lattice.Class{"sec": l.MustClass("S")}
+	rep, err := CertifyLattice(q, l, classOf, l.MustClass("C"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK || rep.OutputClass != "S" {
+		t.Errorf("implicit flow missed: %s", rep)
+	}
+}
+
+func TestLatticeCertifyForgetting(t *testing.T) {
+	l := military(t)
+	q := flowchart.MustParse(`
+program forget
+inputs sec pub
+    r := sec
+    r := 0
+    y := r + pub
+    halt
+`)
+	classOf := map[string]lattice.Class{"sec": l.MustClass("S"), "pub": l.MustClass("U")}
+	rep, err := CertifyLattice(q, l, classOf, l.MustClass("U"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Errorf("overwritten class should recede statically: %s", rep)
+	}
+}
+
+func TestLatticeCertifyIncomparableCompartments(t *testing.T) {
+	// Diamond: crypto and nuclear are incomparable; their join is top.
+	l, err := lattice.NewLattice(
+		[]string{"pub", "crypto", "nuclear", "both"},
+		[][2]string{{"pub", "crypto"}, {"pub", "nuclear"}, {"crypto", "both"}, {"nuclear", "both"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := flowchart.MustParse(`
+program compartments
+inputs c n
+    y := c + n
+    halt
+`)
+	classOf := map[string]lattice.Class{"c": l.MustClass("crypto"), "n": l.MustClass("nuclear")}
+	// Neither single compartment suffices.
+	for _, clr := range []string{"crypto", "nuclear"} {
+		rep, err := CertifyLattice(q, l, classOf, l.MustClass(clr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.OK {
+			t.Errorf("clearance %s should fail: %s", clr, rep)
+		}
+	}
+	rep, err := CertifyLattice(q, l, classOf, l.MustClass("both"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK || rep.OutputClass != "both" {
+		t.Errorf("clearance both: %s", rep)
+	}
+}
+
+func TestLatticeCertifyTwoPointMatchesAllow(t *testing.T) {
+	// On the two-point lattice with disallowed inputs priv, lattice
+	// certification agrees with Certify's allow(J) verdict on the
+	// Example 9 program.
+	l := lattice.TwoPoint("null", "priv")
+	q := flowchart.MustParse(progEx9)
+	classOf := map[string]lattice.Class{
+		"x1": l.MustClass("null"),
+		"x2": l.MustClass("priv"),
+	}
+	rep, err := CertifyLattice(q, l, classOf, l.MustClass("null"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowRep, err := Certify(q, lattice.NewIndexSet(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != allowRep.OK {
+		t.Errorf("two-point lattice disagrees with allow(1): %v vs %v", rep.OK, allowRep.OK)
+	}
+}
+
+func TestLatticeCertifyLoop(t *testing.T) {
+	l := military(t)
+	q := flowchart.MustParse(`
+program loop
+inputs sec pub
+    r := sec
+Loop: if r > 0 goto Body else Done
+Body: r := r - 1
+      s := s + pub
+      goto Loop
+Done: y := s
+      halt
+`)
+	classOf := map[string]lattice.Class{"sec": l.MustClass("S"), "pub": l.MustClass("U")}
+	// s absorbs the loop's implicit S class.
+	rep, err := CertifyLattice(q, l, classOf, l.MustClass("C"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK || rep.OutputClass != "S" {
+		t.Errorf("loop-carried class wrong: %s", rep)
+	}
+	rep, err = CertifyLattice(q, l, classOf, l.MustClass("S"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Errorf("clearance S should pass: %s", rep)
+	}
+}
+
+func TestLatticeCertifyBadClass(t *testing.T) {
+	l := military(t)
+	q := flowchart.MustParse("inputs x\n y := x\n halt\n")
+	if _, err := CertifyLattice(q, l, map[string]lattice.Class{"x": lattice.Class(99)}, l.Bottom()); err == nil {
+		t.Error("invalid class accepted")
+	}
+	bad := &flowchart.Program{Name: "bad"}
+	if _, err := CertifyLattice(bad, l, nil, l.Bottom()); err == nil {
+		t.Error("invalid program accepted")
+	}
+}
+
+func TestLatticeCertifyUnassignedDefaultsBottom(t *testing.T) {
+	l := military(t)
+	q := flowchart.MustParse("inputs a b\n y := a + b\n halt\n")
+	// Only a is classified; b defaults to U (bottom).
+	rep, err := CertifyLattice(q, l, map[string]lattice.Class{"a": l.MustClass("C")}, l.MustClass("C"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK || rep.OutputClass != "C" {
+		t.Errorf("default-bottom handling: %s", rep)
+	}
+}

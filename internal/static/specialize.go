@@ -1,0 +1,248 @@
+package static
+
+import (
+	"fmt"
+	"strings"
+
+	"spm/internal/core"
+	"spm/internal/flowchart"
+	"spm/internal/lattice"
+	"spm/internal/transform"
+)
+
+// Guarded is the specialised compile-time mechanism of Example 9: a
+// decision tree over predicates of *allowed input variables*, whose leaves
+// are either a certified residual program (run unmodified) or an immediate
+// violation notice. It generalises the paper's "if x1 ≠ 0 then Λ else run"
+// mechanism.
+type Guarded struct {
+	MechName string
+	K        int
+	Root     *guardNode
+	MaxSteps int64
+}
+
+type guardNode struct {
+	// Leaf cases: exactly one of prog / deny is set.
+	prog *flowchart.Program
+	deny bool
+	// Interior case: evaluate pred on the inputs and descend.
+	pred        flowchart.Pred
+	yes, no     *guardNode
+	inputsByVar map[string]int // input name -> 0-based position
+}
+
+// Name implements core.Mechanism.
+func (gm *Guarded) Name() string { return gm.MechName }
+
+// Arity implements core.Mechanism.
+func (gm *Guarded) Arity() int { return gm.K }
+
+// Run implements core.Mechanism.
+func (gm *Guarded) Run(input []int64) (core.Outcome, error) {
+	if len(input) != gm.K {
+		return core.Outcome{}, fmt.Errorf("static: mechanism %q: got %d inputs, want %d", gm.MechName, len(input), gm.K)
+	}
+	node := gm.Root
+	var guardSteps int64
+	for node.pred != nil {
+		env := make(flowchart.Env, len(node.inputsByVar))
+		for name, pos := range node.inputsByVar {
+			env[name] = input[pos]
+		}
+		guardSteps++
+		if node.pred.Eval(env) {
+			node = node.yes
+		} else {
+			node = node.no
+		}
+	}
+	if node.deny {
+		return core.Outcome{Violation: true, Notice: "statically rejected residual", Steps: guardSteps}, nil
+	}
+	res, err := node.prog.RunBudget(input, gm.MaxSteps, nil)
+	if err != nil {
+		return core.Outcome{}, err
+	}
+	return core.Outcome{Value: res.Value, Steps: guardSteps + res.Steps, Violation: res.Violation, Notice: res.Notice}, nil
+}
+
+// Leaves returns (accepting, denying) leaf counts, for reports.
+func (gm *Guarded) Leaves() (accept, deny int) {
+	var walk func(n *guardNode)
+	walk = func(n *guardNode) {
+		if n.pred != nil {
+			walk(n.yes)
+			walk(n.no)
+			return
+		}
+		if n.deny {
+			deny++
+		} else {
+			accept++
+		}
+	}
+	walk(gm.Root)
+	return accept, deny
+}
+
+// Describe renders the decision tree, e.g. "if x1 == 0 then run else Λ".
+func (gm *Guarded) Describe() string {
+	var b strings.Builder
+	var walk func(n *guardNode, indent string)
+	walk = func(n *guardNode, indent string) {
+		if n.pred == nil {
+			if n.deny {
+				b.WriteString(indent + "Λ\n")
+			} else {
+				b.WriteString(indent + "run " + n.prog.Name + "\n")
+			}
+			return
+		}
+		b.WriteString(indent + "if " + n.pred.String() + ":\n")
+		walk(n.yes, indent+"  ")
+		b.WriteString(indent + "else:\n")
+		walk(n.no, indent+"  ")
+	}
+	walk(gm.Root, "")
+	return b.String()
+}
+
+// DefaultSpecializeDepth bounds the specialisation recursion.
+const DefaultSpecializeDepth = 8
+
+// Specialize builds the duplication-transform mechanism of Example 9 for q
+// and allow(J). It certifies q; on failure it looks for a reachable
+// decision whose predicate mentions only *allowed input variables* (so the
+// gatekeeper can evaluate it before running anything), pins the decision
+// both ways, and recurses on the residual programs up to maxDepth splits.
+// Residuals that certify run unmodified; the rest become violation
+// notices.
+//
+// The result is always sound for allow(J): the guards test only allowed
+// inputs, each accepted residual is certified, and each residual is
+// functionally equal to q on the inputs routed to it.
+func Specialize(q *flowchart.Program, allowed lattice.IndexSet, maxDepth int) (*Guarded, error) {
+	if maxDepth < 0 {
+		maxDepth = DefaultSpecializeDepth
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	inputsByVar := make(map[string]int, q.Arity())
+	for i, name := range q.Inputs {
+		inputsByVar[name] = i
+	}
+	root, err := specialize(q, allowed, maxDepth, inputsByVar)
+	if err != nil {
+		return nil, err
+	}
+	return &Guarded{
+		MechName: fmt.Sprintf("%s_specialized", q.Name),
+		K:        q.Arity(),
+		Root:     root,
+		MaxSteps: flowchart.DefaultMaxSteps,
+	}, nil
+}
+
+func specialize(q *flowchart.Program, allowed lattice.IndexSet, depth int, inputsByVar map[string]int) (*guardNode, error) {
+	rep, err := Certify(q, allowed)
+	if err != nil {
+		return nil, err
+	}
+	if rep.OK {
+		return &guardNode{prog: q}, nil
+	}
+	if depth == 0 {
+		return &guardNode{deny: true}, nil
+	}
+	d := findGateableDecision(q, allowed, inputsByVar)
+	if d == flowchart.NoNode {
+		return &guardNode{deny: true}, nil
+	}
+	cond := q.Nodes[d].Cond
+	yesProg, err := pin(q, d, true)
+	if err != nil {
+		return nil, err
+	}
+	noProg, err := pin(q, d, false)
+	if err != nil {
+		return nil, err
+	}
+	yes, err := specialize(yesProg, allowed, depth-1, inputsByVar)
+	if err != nil {
+		return nil, err
+	}
+	no, err := specialize(noProg, allowed, depth-1, inputsByVar)
+	if err != nil {
+		return nil, err
+	}
+	return &guardNode{pred: cond, yes: yes, no: no, inputsByVar: inputsByVar}, nil
+}
+
+// findGateableDecision returns a reachable decision whose predicate reads
+// only allowed input variables (and is not already constant), or NoNode.
+func findGateableDecision(q *flowchart.Program, allowed lattice.IndexSet, inputsByVar map[string]int) flowchart.NodeID {
+	g, err := transform.Analyze(q)
+	if err != nil {
+		return flowchart.NoNode
+	}
+	for _, d := range g.Decisions() {
+		cond := q.Nodes[d].Cond
+		if _, isConst := cond.(flowchart.BoolConst); isConst {
+			continue
+		}
+		ok := true
+		for _, v := range flowchart.Vars(cond) {
+			pos, isInput := inputsByVar[v]
+			if !isInput || !allowed.Contains(pos+1) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return d
+		}
+	}
+	return flowchart.NoNode
+}
+
+// pin returns a clone of q in which decision d is replaced by a direct
+// edge to the chosen arm (a no-op assignment to a fresh dead variable, so
+// incoming edges stay valid and the untaken subtree becomes unreachable).
+func pin(q *flowchart.Program, d flowchart.NodeID, branch bool) (*flowchart.Program, error) {
+	c := q.Clone()
+	n := &c.Nodes[d]
+	if n.Kind != flowchart.KindDecision {
+		return nil, fmt.Errorf("static: pin target %d is %s", d, n.Kind)
+	}
+	target := n.False
+	if branch {
+		target = n.True
+	}
+	dead := freshPinVar(c)
+	*n = flowchart.Node{
+		Kind:   flowchart.KindAssign,
+		Target: dead,
+		Expr:   flowchart.C(0),
+		Next:   target,
+		Label:  n.Label,
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func freshPinVar(p *flowchart.Program) string {
+	used := make(map[string]bool)
+	for _, v := range p.Variables() {
+		used[v] = true
+	}
+	for i := 0; ; i++ {
+		cand := fmt.Sprintf("pin_%d", i)
+		if !used[cand] {
+			return cand
+		}
+	}
+}

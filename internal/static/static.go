@@ -1,0 +1,237 @@
+// Package static implements the compile-time enforcement of Section 5 of
+// Jones & Lipton: static information-flow certification in the style of
+// Denning & Denning (the paper's reference [3], sketched by Moore [8]),
+// plus the duplication/specialisation transform of Example 9 that makes
+// compile-time mechanisms more complete.
+//
+// Certification runs a fixpoint taint analysis over the flowchart: each
+// variable's security class (a set of input indices) is propagated through
+// assignments, joined at control-flow merges, and — crucially — every
+// assignment and halt inside the region of a decision (the nodes between
+// the decision and its immediate postdominator) absorbs the decision
+// predicate's classes. This captures flow "through the program counter",
+// avoiding the negative-inference leaks of Section 2, because it is an
+// all-paths analysis: unlike a run-time monitor, it taints a variable even
+// on executions that skip the assignment.
+//
+// A certified program runs with zero enforcement overhead: the mechanism
+// is the program itself. An uncertified program is replaced outright by
+// the null mechanism — unless specialisation (Example 9) can split it on
+// decisions over allowed inputs and certify some residuals.
+package static
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"spm/internal/core"
+	"spm/internal/flowchart"
+	"spm/internal/lattice"
+	"spm/internal/transform"
+)
+
+// Report is the result of certification.
+type Report struct {
+	Program string
+	Allowed lattice.IndexSet
+	// OK means every normal halt releases only allowed classes.
+	OK bool
+	// OutputClasses is the join of the output variable's classes (plus
+	// program-counter classes) over all normal halt boxes.
+	OutputClasses lattice.IndexSet
+	// VarClasses is the final class of every variable, joined over halts.
+	VarClasses map[string]lattice.IndexSet
+	// Violations lists, per offending halt node, the disallowed classes.
+	Violations []Violation
+}
+
+// Violation identifies a halt whose release would carry disallowed
+// classes.
+type Violation struct {
+	Halt    flowchart.NodeID
+	Classes lattice.IndexSet // the full class set at the halt
+	Excess  lattice.IndexSet // Classes \ J
+}
+
+// String summarises the report.
+func (r Report) String() string {
+	if r.OK {
+		return fmt.Sprintf("program %q certified for allow%v: output classes %v",
+			r.Program, r.Allowed, r.OutputClasses)
+	}
+	parts := make([]string, len(r.Violations))
+	for i, v := range r.Violations {
+		parts[i] = fmt.Sprintf("halt@%d carries %v (disallowed %v)", v.Halt, v.Classes, v.Excess)
+	}
+	return fmt.Sprintf("program %q NOT certifiable for allow%v: %s",
+		r.Program, r.Allowed, strings.Join(parts, "; "))
+}
+
+// Certify runs the static information-flow analysis of q against
+// allow(J).
+func Certify(q *flowchart.Program, allowed lattice.IndexSet) (Report, error) {
+	rep := Report{Program: q.Name, Allowed: allowed, VarClasses: make(map[string]lattice.IndexSet)}
+	g, err := transform.Analyze(q)
+	if err != nil {
+		return rep, err
+	}
+	k := q.Arity()
+	if k > lattice.MaxIndex {
+		return rep, fmt.Errorf("static: arity %d exceeds %d", k, lattice.MaxIndex)
+	}
+	if !allowed.SubsetOf(lattice.AllInputs(k)) {
+		return rep, fmt.Errorf("static: allow%v names inputs beyond arity %d", allowed, k)
+	}
+
+	// memberOf[n] = decisions whose region contains n.
+	memberOf := make([][]flowchart.NodeID, len(q.Nodes))
+	for _, d := range g.Decisions() {
+		region, err := g.Region(d)
+		if err != nil {
+			return rep, err
+		}
+		for _, n := range region {
+			memberOf[n] = append(memberOf[n], d)
+		}
+	}
+
+	// in[n]: variable classes on entry to n.
+	in := make([]map[string]lattice.IndexSet, len(q.Nodes))
+	for i := range in {
+		in[i] = make(map[string]lattice.IndexSet)
+	}
+	for i, name := range q.Inputs {
+		in[q.Start][name] = lattice.NewIndexSet(i + 1)
+	}
+
+	exprClasses := func(env map[string]lattice.IndexSet, node interface{ AddVars(map[string]bool) }) lattice.IndexSet {
+		cls := lattice.EmptySet
+		for _, v := range flowchart.Vars(node) {
+			cls = cls.Union(env[v])
+		}
+		return cls
+	}
+	pcClasses := func(n flowchart.NodeID) lattice.IndexSet {
+		cls := lattice.EmptySet
+		for _, d := range memberOf[n] {
+			cls = cls.Union(exprClasses(in[d], q.Nodes[d].Cond))
+		}
+		return cls
+	}
+
+	// joinInto merges src into in[dst]; reports change.
+	joinInto := func(dst flowchart.NodeID, src map[string]lattice.IndexSet) bool {
+		changed := false
+		tgt := in[dst]
+		for v, c := range src {
+			if merged := tgt[v].Union(c); merged != tgt[v] {
+				tgt[v] = merged
+				changed = true
+			}
+		}
+		return changed
+	}
+
+	// Worklist fixpoint. When a decision's in-state changes, its whole
+	// region is re-queued because the region's pc classes changed.
+	work := []flowchart.NodeID{q.Start}
+	queued := make([]bool, len(q.Nodes))
+	queued[q.Start] = true
+	push := func(id flowchart.NodeID) {
+		if !queued[id] {
+			queued[id] = true
+			work = append(work, id)
+		}
+	}
+	// succEdges honours constant predicates: a decision on the constant
+	// true/false has a single live successor. Specialisation relies on
+	// this to prune pinned branches.
+	succEdges := func(n *flowchart.Node) []flowchart.NodeID {
+		if n.Kind == flowchart.KindDecision {
+			if bc, ok := n.Cond.(flowchart.BoolConst); ok {
+				if bool(bc) {
+					return []flowchart.NodeID{n.True}
+				}
+				return []flowchart.NodeID{n.False}
+			}
+		}
+		return n.Succs()
+	}
+	for iter := 0; len(work) > 0; iter++ {
+		if iter > 1_000_000 {
+			return rep, fmt.Errorf("static: fixpoint did not converge (program %q)", q.Name)
+		}
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
+		queued[id] = false
+		n := &q.Nodes[id]
+		// Compute out-state.
+		var out map[string]lattice.IndexSet
+		switch n.Kind {
+		case flowchart.KindAssign:
+			out = make(map[string]lattice.IndexSet, len(in[id])+1)
+			for v, c := range in[id] {
+				out[v] = c
+			}
+			out[n.Target] = exprClasses(in[id], n.Expr).Union(pcClasses(id))
+		default:
+			out = in[id]
+		}
+		for _, s := range succEdges(n) {
+			if joinInto(s, out) {
+				push(s)
+				if q.Nodes[s].Kind == flowchart.KindDecision {
+					region, err := g.Region(s)
+					if err != nil {
+						return rep, err
+					}
+					for _, m := range region {
+						push(m)
+					}
+				}
+			}
+		}
+	}
+
+	// Collect per-halt output classes.
+	outVar := q.OutputVar()
+	for i := range q.Nodes {
+		n := &q.Nodes[i]
+		if n.Kind != flowchart.KindHalt || n.Violation || !g.Reachable[i] {
+			continue
+		}
+		id := flowchart.NodeID(i)
+		cls := in[id][outVar].Union(pcClasses(id))
+		rep.OutputClasses = rep.OutputClasses.Union(cls)
+		for v, c := range in[id] {
+			rep.VarClasses[v] = rep.VarClasses[v].Union(c)
+		}
+		if !cls.SubsetOf(allowed) {
+			rep.Violations = append(rep.Violations, Violation{
+				Halt:    id,
+				Classes: cls,
+				Excess:  cls.Minus(allowed),
+			})
+		}
+	}
+	sort.Slice(rep.Violations, func(a, b int) bool { return rep.Violations[a].Halt < rep.Violations[b].Halt })
+	rep.OK = len(rep.Violations) == 0
+	return rep, nil
+}
+
+// Mechanism returns the compile-time protection mechanism for q and
+// allow(J): the program itself when certification succeeds (zero run-time
+// overhead), or the null mechanism when it fails. This is the
+// all-or-nothing compile-time enforcement of Section 5; see Specialize for
+// the more complete variant.
+func Mechanism(q *flowchart.Program, allowed lattice.IndexSet) (core.Mechanism, Report, error) {
+	rep, err := Certify(q, allowed)
+	if err != nil {
+		return nil, rep, err
+	}
+	if rep.OK {
+		return core.FromProgram(q), rep, nil
+	}
+	return core.NewNull(q.Arity()), rep, nil
+}

@@ -1,0 +1,394 @@
+package static
+
+import (
+	"strings"
+	"testing"
+
+	"spm/internal/core"
+	"spm/internal/flowchart"
+	"spm/internal/lattice"
+)
+
+// progEx9 is the paper's Example 9: branch on the allowed x1, one arm
+// clean, the other reading the disallowed x2.
+const progEx9 = `
+program ex9
+inputs x1 x2
+    if x1 == 0 goto A else B
+A:  y := 1
+    goto J
+B:  y := x2
+    goto J
+J:  halt
+`
+
+func dom2() core.Domain { return core.Grid(2, 0, 1, 2) }
+
+func TestCertifyStraightLine(t *testing.T) {
+	q := flowchart.MustParse(`
+inputs x1 x2
+    y := x2 + 1
+    halt
+`)
+	rep, err := Certify(q, lattice.NewIndexSet(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Errorf("clean program rejected: %s", rep)
+	}
+	if rep.OutputClasses != lattice.NewIndexSet(2) {
+		t.Errorf("output classes = %v, want {2}", rep.OutputClasses)
+	}
+	if !strings.Contains(rep.String(), "certified") {
+		t.Errorf("report: %s", rep)
+	}
+}
+
+func TestCertifyDirectFlowRejected(t *testing.T) {
+	q := flowchart.MustParse("inputs x1 x2\n y := x1\n halt\n")
+	rep, err := Certify(q, lattice.NewIndexSet(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Error("direct disallowed flow certified")
+	}
+	if len(rep.Violations) != 1 || !rep.Violations[0].Excess.Contains(1) {
+		t.Errorf("violations = %+v", rep.Violations)
+	}
+	if !strings.Contains(rep.String(), "NOT certifiable") {
+		t.Errorf("report: %s", rep)
+	}
+}
+
+func TestCertifyImplicitFlowRejected(t *testing.T) {
+	// One-armed if: y is assigned only when x1 == 1. The all-paths
+	// analysis must taint y with {1} — this is the negative-inference
+	// case a run-time monitor cannot reject on the silent path.
+	q := flowchart.MustParse(`
+inputs x1
+    if x1 == 1 goto A else B
+A:  y := 1
+    goto B2
+B:  goto B2
+B2: halt
+`)
+	rep, err := Certify(q, lattice.EmptySet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Error("implicit flow through one-armed if certified for allow()")
+	}
+}
+
+func TestCertifyHaltInRegionRejected(t *testing.T) {
+	// Halting position itself depends on the disallowed test: the halts
+	// are inside the decision's region, so the pc classes flag them even
+	// though y is never assigned.
+	q := flowchart.MustParse(`
+inputs x1
+    if x1 == 0 goto A else B
+A:  y := 1
+    halt
+B:  y := 2
+    halt
+`)
+	rep, err := Certify(q, lattice.EmptySet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Error("pc-dependent halt certified for allow()")
+	}
+}
+
+func TestCertifyLoopConverges(t *testing.T) {
+	q := flowchart.MustParse(`
+inputs x1 x2
+    r := x1
+Loop: if r > 0 goto Body else Done
+Body: r := r - 1
+      s := s + x2
+      goto Loop
+Done: y := s
+      halt
+`)
+	// y accumulates x2 under a loop tested on x1-derived data: classes
+	// {1,2}.
+	rep, err := Certify(q, lattice.AllInputs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Errorf("allow(1,2) should certify: %s", rep)
+	}
+	if rep.OutputClasses != lattice.NewIndexSet(1, 2) {
+		t.Errorf("output classes = %v, want {1,2}", rep.OutputClasses)
+	}
+	rep, err = Certify(q, lattice.NewIndexSet(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Error("loop-carried implicit flow certified for allow(2)")
+	}
+}
+
+func TestCertifyForgettingIsStatic(t *testing.T) {
+	// Static analysis, unlike high-water, does track strong updates along
+	// straight lines: r := x1; r := 0 leaves r clean.
+	q := flowchart.MustParse(`
+inputs x1 x2
+    r := x1
+    r := 0
+    y := r + x2
+    halt
+`)
+	rep, err := Certify(q, lattice.NewIndexSet(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Errorf("overwritten class should be forgotten: %s", rep)
+	}
+}
+
+func TestStaticMechanismZeroOverhead(t *testing.T) {
+	q := flowchart.MustParse("inputs x1 x2\n y := x2\n halt\n")
+	m, rep, err := Mechanism(q, lattice.NewIndexSet(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("expected certification: %s", rep)
+	}
+	// The mechanism runs the program unchanged: identical steps.
+	qr, _ := q.Run([]int64{5, 9})
+	mo, err := m.Run([]int64{5, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mo.Value != 9 || mo.Steps != qr.Steps {
+		t.Errorf("certified mechanism altered behaviour: %v vs %v", mo, qr)
+	}
+	// Rejected program becomes the null mechanism.
+	q2 := flowchart.MustParse("inputs x1 x2\n y := x1\n halt\n")
+	m2, rep2, err := Mechanism(q2, lattice.NewIndexSet(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.OK {
+		t.Fatal("expected rejection")
+	}
+	o, err := m2.Run([]int64{5, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Violation {
+		t.Errorf("null mechanism should violate: %v", o)
+	}
+}
+
+func TestExample9Specialization(t *testing.T) {
+	q := flowchart.MustParse(progEx9)
+	allow1 := lattice.NewIndexSet(1)
+
+	// Whole-program certification fails...
+	rep, err := Certify(q, allow1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Fatal("Example 9 program should not certify whole")
+	}
+
+	// ...but specialisation produces the paper's mechanism: violation
+	// only in case x1 ≠ 0.
+	gm, err := Specialize(q, allow1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accept, deny := gm.Leaves()
+	if accept != 1 || deny != 1 {
+		t.Errorf("leaves = %d accept / %d deny, want 1/1\n%s", accept, deny, gm.Describe())
+	}
+	err = dom2().Enumerate(func(in []int64) error {
+		o, err := gm.Run(in)
+		if err != nil {
+			return err
+		}
+		if in[0] == 0 {
+			if o.Violation || o.Value != 1 {
+				t.Errorf("specialized%v = %v, want 1", in, o)
+			}
+		} else if !o.Violation {
+			t.Errorf("specialized%v = %v, want Λ", in, o)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sound for allow(1), and strictly more complete than the
+	// all-or-nothing static mechanism (which is null here).
+	pol := core.NewAllowSet(2, allow1)
+	sr, err := core.CheckSoundness(gm, pol, dom2(), core.ObserveValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Sound {
+		t.Errorf("specialized mechanism unsound: %s", sr)
+	}
+	whole, _, err := Mechanism(q, allow1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := core.Compare(gm, whole, dom2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Relation != core.MoreComplete {
+		t.Errorf("specialized vs whole: %s, want more complete", cmp)
+	}
+	if !strings.Contains(gm.Describe(), "if x1 == 0") {
+		t.Errorf("Describe:\n%s", gm.Describe())
+	}
+}
+
+func TestSpecializeCertifiedProgramIsSingleLeaf(t *testing.T) {
+	q := flowchart.MustParse("inputs x1 x2\n y := x2\n halt\n")
+	gm, err := Specialize(q, lattice.NewIndexSet(2), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accept, deny := gm.Leaves()
+	if accept != 1 || deny != 0 {
+		t.Errorf("leaves = %d/%d", accept, deny)
+	}
+	o, err := gm.Run([]int64{3, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Violation || o.Value != 8 {
+		t.Errorf("Run = %v", o)
+	}
+}
+
+func TestSpecializeNoGateableDecision(t *testing.T) {
+	// The only decision tests a *disallowed* input, so specialisation
+	// cannot split and must deny everything.
+	q := flowchart.MustParse(`
+inputs x1 x2
+    if x2 == 0 goto A else B
+A:  y := x2
+    goto J
+B:  y := 0
+    goto J
+J:  halt
+`)
+	gm, err := Specialize(q, lattice.NewIndexSet(1), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accept, deny := gm.Leaves()
+	if accept != 0 || deny != 1 {
+		t.Errorf("leaves = %d/%d, want 0/1", accept, deny)
+	}
+	// Still sound (it is null).
+	sr, err := core.CheckSoundness(gm, core.NewAllow(2, 1), dom2(), core.ObserveValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Sound {
+		t.Errorf("%s", sr)
+	}
+}
+
+func TestSpecializeDepthZero(t *testing.T) {
+	q := flowchart.MustParse(progEx9)
+	gm, err := Specialize(q, lattice.NewIndexSet(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accept, deny := gm.Leaves()
+	if accept != 0 || deny != 1 {
+		t.Errorf("depth-0 leaves = %d/%d, want 0/1", accept, deny)
+	}
+}
+
+func TestSpecializeNestedDecisions(t *testing.T) {
+	// Two allowed tests gate three residuals; only the doubly-guarded
+	// clean one accepts plus one more.
+	q := flowchart.MustParse(`
+program nested
+inputs x1 x2 x3
+    if x1 == 0 goto L else R
+L:  if x2 == 0 goto LL else LR
+LL: y := 1
+    halt
+LR: y := x3
+    halt
+R:  y := x3 + 1
+    halt
+`)
+	allowed := lattice.NewIndexSet(1, 2)
+	gm, err := Specialize(q, allowed, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := core.Grid(3, 0, 1)
+	pol := core.NewAllowSet(3, allowed)
+	sr, err := core.CheckSoundness(gm, pol, dom, core.ObserveValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Sound {
+		t.Errorf("nested specialization unsound: %s", sr)
+	}
+	// Exactly the x1==0 && x2==0 inputs pass.
+	err = dom.Enumerate(func(in []int64) error {
+		o, err := gm.Run(in)
+		if err != nil {
+			return err
+		}
+		wantPass := in[0] == 0 && in[1] == 0
+		if wantPass != !o.Violation {
+			t.Errorf("nested%v = %v", in, o)
+		}
+		if wantPass && o.Value != 1 {
+			t.Errorf("nested%v value = %d", in, o.Value)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCertifyErrors(t *testing.T) {
+	q := flowchart.MustParse("inputs x\n y := x\n halt\n")
+	if _, err := Certify(q, lattice.NewIndexSet(3)); err == nil {
+		t.Error("allow(3) on arity-1 accepted")
+	}
+	bad := &flowchart.Program{Name: "bad"}
+	if _, err := Certify(bad, lattice.EmptySet); err == nil {
+		t.Error("invalid program accepted")
+	}
+	if _, err := Specialize(bad, lattice.EmptySet, -1); err == nil {
+		t.Error("Specialize of invalid program accepted")
+	}
+}
+
+func TestGuardedArityChecked(t *testing.T) {
+	q := flowchart.MustParse(progEx9)
+	gm, err := Specialize(q, lattice.NewIndexSet(1), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gm.Run([]int64{1}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}

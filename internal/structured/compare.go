@@ -1,0 +1,64 @@
+package structured
+
+import (
+	"fmt"
+
+	"spm/internal/core"
+	"spm/internal/lattice"
+	"spm/internal/surveillance"
+	"spm/internal/transform"
+)
+
+// Comparison reports how the two lowerings of a structured program fare
+// under surveillance for a given policy: which is more complete, per the
+// Section 4 discussion that applying a transform "is not necessarily a
+// clearcut decision".
+type Comparison struct {
+	Plain       core.Mechanism
+	Transformed core.Mechanism
+	// Relation is Transformed vs Plain.
+	Relation core.Relation
+	// PassPlain and PassTransformed count non-violation outputs.
+	PassPlain, PassTransformed int
+}
+
+// CompareLowerings lowers p both ways, verifies the lowerings compute the
+// same function over dom, instruments both with untimed surveillance for
+// allow(J), and compares completeness. It is the programmatic form of the
+// E5/E6 experiments for arbitrary structured programs.
+func CompareLowerings(p *Program, allowed lattice.IndexSet, dom core.Domain) (*Comparison, error) {
+	plain, err := p.Lower(Plain)
+	if err != nil {
+		return nil, err
+	}
+	trans, err := p.Lower(Transformed)
+	if err != nil {
+		return nil, err
+	}
+	ok, witness, err := transform.Equivalent(plain, trans, dom)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("structured: lowerings disagree at %v (check While.MaxTrips)", witness)
+	}
+	mp, err := surveillance.Mechanism(plain, allowed, surveillance.Untimed)
+	if err != nil {
+		return nil, err
+	}
+	mt, err := surveillance.Mechanism(trans, allowed, surveillance.Untimed)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := core.Compare(mt, mp, dom)
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{
+		Plain:           mp,
+		Transformed:     mt,
+		Relation:        rep.Relation,
+		PassPlain:       rep.PassM2,
+		PassTransformed: rep.PassM1,
+	}, nil
+}

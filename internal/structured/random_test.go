@@ -1,0 +1,177 @@
+package structured
+
+import (
+	"math/rand"
+	"testing"
+
+	"spm/internal/core"
+	"spm/internal/flowchart"
+	"spm/internal/lattice"
+	"spm/internal/surveillance"
+	"spm/internal/transform"
+)
+
+// randProgram draws a random structured program whose loops are bounded by
+// construction: every While condition is `counter > 0` over a fresh
+// counter initialised to ≤ maxTrips and decremented in the body, so
+// MaxTrips is an honest bound and the two lowerings must agree exactly.
+type randGen struct {
+	r       *rand.Rand
+	counter int
+}
+
+func (g *randGen) expr(depth int, vars []string) flowchart.Expr {
+	if depth == 0 || g.r.Intn(3) == 0 {
+		if g.r.Intn(2) == 0 {
+			return flowchart.V(vars[g.r.Intn(len(vars))])
+		}
+		return flowchart.C(int64(g.r.Intn(7) - 3))
+	}
+	l := g.expr(depth-1, vars)
+	rr := g.expr(depth-1, vars)
+	switch g.r.Intn(4) {
+	case 0:
+		return flowchart.Add(l, rr)
+	case 1:
+		return flowchart.Sub(l, rr)
+	case 2:
+		return flowchart.Mul(l, rr)
+	default:
+		return flowchart.Ite(g.pred(vars), l, rr)
+	}
+}
+
+func (g *randGen) pred(vars []string) flowchart.Pred {
+	ops := []func(a, b flowchart.Expr) *flowchart.Cmp{
+		flowchart.Eq, flowchart.Ne, flowchart.Lt, flowchart.Le, flowchart.Gt, flowchart.Ge,
+	}
+	return ops[g.r.Intn(len(ops))](g.expr(1, vars), g.expr(1, vars))
+}
+
+func (g *randGen) block(depth, maxStmts int, vars []string) []Stmt {
+	n := 1 + g.r.Intn(maxStmts)
+	out := make([]Stmt, 0, n)
+	assignables := []string{"y", "r0", "r1"}
+	for i := 0; i < n; i++ {
+		roll := g.r.Intn(10)
+		switch {
+		case depth > 0 && roll >= 8:
+			g.counter++
+			cv := "lc" + itoa(g.counter)
+			trips := 1 + g.r.Intn(2)
+			out = append(out,
+				&Assign{Target: cv, Expr: flowchart.C(int64(trips))},
+				&While{
+					Cond:     flowchart.Gt(flowchart.V(cv), flowchart.C(0)),
+					MaxTrips: trips,
+					Body: append(g.block(depth-1, maxStmts, vars),
+						&Assign{Target: cv, Expr: flowchart.Sub(flowchart.V(cv), flowchart.C(1))}),
+				})
+		case depth > 0 && roll >= 5:
+			out = append(out, &If{
+				Cond: g.pred(vars),
+				Then: g.block(depth-1, maxStmts, vars),
+				Else: g.block(depth-1, maxStmts, vars),
+			})
+		default:
+			out = append(out, &Assign{
+				Target: assignables[g.r.Intn(len(assignables))],
+				Expr:   g.expr(2, vars),
+			})
+		}
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func randomStructured(r *rand.Rand) *Program {
+	g := &randGen{r: r}
+	vars := []string{"x1", "x2", "y", "r0", "r1"}
+	return &Program{
+		Name:   "rand",
+		Inputs: []string{"x1", "x2"},
+		Body:   g.block(2, 3, vars),
+	}
+}
+
+// TestLoweringsEquivalentProperty: on random structured programs, plain
+// and transformed lowering compute the same function.
+func TestLoweringsEquivalentProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	dom := core.Grid(2, -1, 0, 2)
+	trials := 60
+	if testing.Short() {
+		trials = 15
+	}
+	for trial := 0; trial < trials; trial++ {
+		sp := randomStructured(r)
+		plain, err := sp.Lower(Plain)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		trans, err := sp.Lower(Transformed)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ok, w, err := transform.Equivalent(plain, trans, dom)
+		if err != nil {
+			t.Fatalf("trial %d: %v\nplain:\n%s", trial, err, flowchart.Print(plain))
+		}
+		if !ok {
+			t.Fatalf("trial %d: lowerings disagree at %v\nplain:\n%s\ntrans:\n%s",
+				trial, w, flowchart.Print(plain), flowchart.Print(trans))
+		}
+	}
+}
+
+// TestTransformedLoweringBranchFreeProperty: transformed lowering never
+// emits a decision box, so surveillance on it never taints the counter —
+// and it is still sound (Theorem 3 on the equivalent program).
+func TestTransformedLoweringBranchFreeProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	dom := core.Grid(2, 0, 1, 2)
+	trials := 25
+	if testing.Short() {
+		trials = 6
+	}
+	for trial := 0; trial < trials; trial++ {
+		sp := randomStructured(r)
+		trans, err := sp.Lower(Transformed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range trans.Nodes {
+			if trans.Nodes[i].Kind == flowchart.KindDecision {
+				t.Fatalf("trial %d: decision box in transformed lowering:\n%s",
+					trial, flowchart.Print(trans))
+			}
+		}
+		for _, J := range lattice.Subsets(2) {
+			m, err := surveillance.Mechanism(trans, J, surveillance.Untimed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := core.CheckSoundness(m, core.NewAllowSet(2, J), dom, core.ObserveValue)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Sound {
+				t.Fatalf("trial %d: transformed lowering unsound for allow%v:\n%s",
+					trial, J, flowchart.Print(trans))
+			}
+		}
+	}
+}

@@ -1,0 +1,318 @@
+// Package structured provides a structured programming layer — sequences,
+// if/else, and bounded while loops — that lowers to the flowchart language
+// of Section 3. It exists for the augmentation Section 4 describes:
+// "the surveillance mechanism can be augmented to recognize higher level
+// language constructs", and "transforms can be created for all
+// single-entry and single-exit structures".
+//
+// Lowering has two modes. Plain lowering emits ordinary decision boxes;
+// surveillance on the result taints the program counter at every test.
+// Transform lowering emits the functionally equivalent branch-free forms —
+// the if-then-else transform for If (both arms become guarded conditional
+// selects) and bounded unrolling for While — so the resulting program has
+// no data-dependent control flow at all and surveillance never taints the
+// counter. Example 7 vs Example 8 says neither mode dominates: the caller
+// chooses per program, and CompareLowerings reports which is more complete
+// for a given policy and domain.
+package structured
+
+import (
+	"fmt"
+
+	"spm/internal/flowchart"
+)
+
+// Stmt is a structured statement.
+type Stmt interface {
+	// lower emits the statement into the emitter.
+	lower(e *emitter, mode Mode) error
+	// assignedVars adds every variable the statement may assign to set.
+	assignedVars(set map[string]bool)
+}
+
+// Assign is v := expr.
+type Assign struct {
+	Target string
+	Expr   flowchart.Expr
+}
+
+// If is if Cond { Then } else { Else }; either arm may be empty.
+type If struct {
+	Cond flowchart.Pred
+	Then []Stmt
+	Else []Stmt
+}
+
+// While is while Cond { Body }, with MaxTrips bounding the trip count for
+// transform lowering (and the step budget standing guard in plain mode).
+type While struct {
+	Cond     flowchart.Pred
+	Body     []Stmt
+	MaxTrips int
+}
+
+// Program is a structured program: inputs, a body, and an expression-free
+// contract that the output variable is "y" (the flowchart default).
+type Program struct {
+	Name   string
+	Inputs []string
+	Body   []Stmt
+}
+
+// Mode selects the lowering strategy.
+type Mode uint8
+
+// Lowering modes.
+const (
+	// Plain emits decision boxes: ordinary control flow.
+	Plain Mode = iota
+	// Transformed emits the branch-free equivalents: guarded selects for
+	// If, bounded unrolling for While.
+	Transformed
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Transformed {
+		return "transformed"
+	}
+	return "plain"
+}
+
+type emitter struct {
+	b       *flowchart.Builder
+	tail    flowchart.NodeID // node whose Next awaits the following stmt
+	tmpSeq  int
+	program *Program
+}
+
+func (e *emitter) fresh(prefix string) string {
+	e.tmpSeq++
+	return fmt.Sprintf("%s_%d", prefix, e.tmpSeq)
+}
+
+// link appends a node after the current tail.
+func (e *emitter) link(id flowchart.NodeID) {
+	e.b.SetNext(e.tail, id)
+	e.tail = id
+}
+
+// Lower compiles the structured program to a flowchart.
+func (p *Program) Lower(mode Mode) (*flowchart.Program, error) {
+	for _, in := range p.Inputs {
+		if !flowchart.ValidUserIdent(in) {
+			return nil, fmt.Errorf("structured: invalid input name %q", in)
+		}
+	}
+	name := p.Name
+	if name == "" {
+		name = "structured"
+	}
+	b := flowchart.NewBuilder(name+"_"+mode.String(), p.Inputs...)
+	e := &emitter{b: b, tail: b.StartID(), program: p}
+	if err := lowerBlock(e, p.Body, mode); err != nil {
+		return nil, err
+	}
+	e.link(b.Halt())
+	prog := b.Program()
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("structured: lowering produced invalid flowchart: %w", err)
+	}
+	return prog, nil
+}
+
+func lowerBlock(e *emitter, body []Stmt, mode Mode) error {
+	for _, s := range body {
+		if err := s.lower(e, mode); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ------------------------------------------------------------------ Assign
+
+func (a *Assign) lower(e *emitter, mode Mode) error {
+	if !flowchart.ValidUserIdent(a.Target) {
+		return fmt.Errorf("structured: invalid assignment target %q", a.Target)
+	}
+	if a.Expr == nil {
+		return fmt.Errorf("structured: assignment to %q has no expression", a.Target)
+	}
+	e.link(e.b.Assign(a.Target, a.Expr))
+	return nil
+}
+
+func (a *Assign) assignedVars(set map[string]bool) { set[a.Target] = true }
+
+// ---------------------------------------------------------------------- If
+
+func (s *If) lower(e *emitter, mode Mode) error {
+	if s.Cond == nil {
+		return fmt.Errorf("structured: if with no condition")
+	}
+	if mode == Transformed {
+		return s.lowerTransformed(e)
+	}
+	d := e.b.Decision(s.Cond)
+	e.b.SetNext(e.tail, d)
+
+	// Then arm.
+	thenEntry, thenExit, err := lowerArm(e, s.Then, mode)
+	if err != nil {
+		return err
+	}
+	// Else arm.
+	elseEntry, elseExit, err := lowerArm(e, s.Else, mode)
+	if err != nil {
+		return err
+	}
+	// Join node: a no-op is unnecessary — wire both exits to whatever
+	// comes next by making the join the new tail via a fresh dead assign.
+	join := e.b.Assign(e.fresh("join"), flowchart.C(0))
+	wireArm := func(entry, exit flowchart.NodeID, taken bool) {
+		target := entry
+		if target == flowchart.NoNode { // empty arm: decision goes to join
+			target = join
+		}
+		prog := e.b.Program()
+		if taken {
+			prog.Node(d).True = target
+		} else {
+			prog.Node(d).False = target
+		}
+		if entry != flowchart.NoNode {
+			e.b.SetNext(exit, join)
+		}
+	}
+	wireArm(thenEntry, thenExit, true)
+	wireArm(elseEntry, elseExit, false)
+	e.tail = join
+	return nil
+}
+
+// lowerTransformed applies the if-then-else transform at lowering time:
+// t := ite(B,1,0); every then-assignment guarded by t == 1; every
+// else-assignment guarded by t == 0. Nested Ifs/Whiles inside arms are
+// rejected unless they contain only assignments after their own
+// transformation — we handle this by recursively lowering arms in
+// Transformed mode into a sub-list of guarded assignments.
+func (s *If) lowerTransformed(e *emitter) error {
+	t := e.fresh("t_if")
+	e.link(e.b.Assign(t, flowchart.Ite(s.Cond, flowchart.C(1), flowchart.C(0))))
+	if err := emitGuarded(e, s.Then, flowchart.Eq(flowchart.V(t), flowchart.C(1))); err != nil {
+		return err
+	}
+	return emitGuarded(e, s.Else, flowchart.Eq(flowchart.V(t), flowchart.C(0)))
+}
+
+func (s *If) assignedVars(set map[string]bool) {
+	for _, st := range s.Then {
+		st.assignedVars(set)
+	}
+	for _, st := range s.Else {
+		st.assignedVars(set)
+	}
+}
+
+// lowerArm lowers a block off to the side, returning its entry and exit
+// nodes (NoNode for an empty arm). The emitter's tail is preserved.
+func lowerArm(e *emitter, body []Stmt, mode Mode) (entry, exit flowchart.NodeID, err error) {
+	if len(body) == 0 {
+		return flowchart.NoNode, flowchart.NoNode, nil
+	}
+	// Anchor: temporary node to collect the arm chain.
+	anchor := e.b.Assign(e.fresh("arm"), flowchart.C(0))
+	savedTail := e.tail
+	e.tail = anchor
+	if err := lowerBlock(e, body, mode); err != nil {
+		return flowchart.NoNode, flowchart.NoNode, err
+	}
+	armExit := e.tail
+	e.tail = savedTail
+	return anchor, armExit, nil
+}
+
+// emitGuarded lowers body as straight-line guarded assignments: each
+// assignment v := E becomes v := ite(guard && ..., E, v). Nested control
+// flow is flattened recursively with conjoined guards.
+func emitGuarded(e *emitter, body []Stmt, guard flowchart.Pred) error {
+	for _, st := range body {
+		switch s := st.(type) {
+		case *Assign:
+			if !flowchart.ValidUserIdent(s.Target) {
+				return fmt.Errorf("structured: invalid assignment target %q", s.Target)
+			}
+			e.link(e.b.Assign(s.Target,
+				flowchart.Ite(guard, s.Expr, flowchart.V(s.Target))))
+		case *If:
+			t := e.fresh("t_if")
+			// t records whether this nested test held AND the outer
+			// guard held; untaken regions must not update t's influence.
+			e.link(e.b.Assign(t, flowchart.Ite(&flowchart.AndP{L: guard, R: s.Cond}, flowchart.C(1), flowchart.C(0))))
+			inner := flowchart.Eq(flowchart.V(t), flowchart.C(1))
+			if err := emitGuarded(e, s.Then, inner); err != nil {
+				return err
+			}
+			// Else arm: taken iff the outer guard held and the recorded
+			// test t is 0. Deriving it from t (captured before the then
+			// arm ran) keeps the decision stable even if the then arm
+			// mutated the condition's variables.
+			te := e.fresh("t_else")
+			e.link(e.b.Assign(te, flowchart.Ite(&flowchart.AndP{L: guard, R: flowchart.Eq(flowchart.V(t), flowchart.C(0))}, flowchart.C(1), flowchart.C(0))))
+			if err := emitGuarded(e, s.Else, flowchart.Eq(flowchart.V(te), flowchart.C(1))); err != nil {
+				return err
+			}
+		case *While:
+			if s.MaxTrips < 1 {
+				return fmt.Errorf("structured: while needs MaxTrips ≥ 1 for transformed lowering")
+			}
+			for i := 0; i < s.MaxTrips; i++ {
+				t := e.fresh("t_while")
+				e.link(e.b.Assign(t, flowchart.Ite(&flowchart.AndP{L: guard, R: s.Cond}, flowchart.C(1), flowchart.C(0))))
+				if err := emitGuarded(e, s.Body, flowchart.Eq(flowchart.V(t), flowchart.C(1))); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("structured: unknown statement type %T", st)
+		}
+	}
+	return nil
+}
+
+// ------------------------------------------------------------------- While
+
+func (s *While) lower(e *emitter, mode Mode) error {
+	if s.Cond == nil {
+		return fmt.Errorf("structured: while with no condition")
+	}
+	if mode == Transformed {
+		if s.MaxTrips < 1 {
+			return fmt.Errorf("structured: while needs MaxTrips ≥ 1 for transformed lowering")
+		}
+		return emitGuarded(e, []Stmt{s}, flowchart.BoolConst(true))
+	}
+	d := e.b.Decision(s.Cond)
+	e.b.SetNext(e.tail, d)
+	entry, exit, err := lowerArm(e, s.Body, mode)
+	if err != nil {
+		return err
+	}
+	after := e.b.Assign(e.fresh("endwhile"), flowchart.C(0))
+	if entry == flowchart.NoNode {
+		// Empty body: a while over an invariant condition; to stay total
+		// we reject it (it either never runs or never ends).
+		return fmt.Errorf("structured: while with empty body cannot terminate")
+	}
+	e.b.SetBranch(d, entry, after)
+	e.b.SetNext(exit, d)
+	e.tail = after
+	return nil
+}
+
+func (s *While) assignedVars(set map[string]bool) {
+	for _, st := range s.Body {
+		st.assignedVars(set)
+	}
+}

@@ -1,0 +1,325 @@
+package structured
+
+import (
+	"testing"
+
+	"spm/internal/core"
+	"spm/internal/flowchart"
+	"spm/internal/lattice"
+	"spm/internal/surveillance"
+	"spm/internal/transform"
+)
+
+// ex7 is Example 7 as a structured program: the branch outcome is dead.
+func ex7() *Program {
+	return &Program{
+		Name:   "ex7",
+		Inputs: []string{"x1", "x2"},
+		Body: []Stmt{
+			&If{
+				Cond: flowchart.Eq(flowchart.V("x1"), flowchart.C(1)),
+				Then: []Stmt{&Assign{Target: "r", Expr: flowchart.C(1)}},
+				Else: []Stmt{&Assign{Target: "r", Expr: flowchart.C(2)}},
+			},
+			&Assign{Target: "y", Expr: flowchart.C(1)},
+		},
+	}
+}
+
+// ex8 is Example 8: the transform hurts.
+func ex8() *Program {
+	return &Program{
+		Name:   "ex8",
+		Inputs: []string{"x1", "x2"},
+		Body: []Stmt{
+			&If{
+				Cond: flowchart.Eq(flowchart.V("x2"), flowchart.C(1)),
+				Then: []Stmt{&Assign{Target: "y", Expr: flowchart.C(1)}},
+				Else: []Stmt{&Assign{Target: "y", Expr: flowchart.V("x1")}},
+			},
+		},
+	}
+}
+
+func dom2() core.Domain { return core.Grid(2, 0, 1, 2) }
+
+func TestPlainLoweringRuns(t *testing.T) {
+	p, err := ex8().Lower(Plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.Run([]int64{7, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value != 1 {
+		t.Errorf("ex8(7,1) = %v, want 1", r)
+	}
+	r, err = p.Run([]int64{7, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value != 7 {
+		t.Errorf("ex8(7,0) = %v, want 7", r)
+	}
+}
+
+func TestLoweringsAgree(t *testing.T) {
+	for _, mk := range []func() *Program{ex7, ex8} {
+		sp := mk()
+		plain, err := sp.Lower(Plain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trans, err := sp.Lower(Transformed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, w, err := transform.Equivalent(plain, trans, dom2())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("%s: lowerings disagree at %v", sp.Name, w)
+		}
+	}
+}
+
+func TestCompareLoweringsExample7(t *testing.T) {
+	cmp, err := CompareLowerings(ex7(), lattice.NewIndexSet(2), dom2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Relation != core.MoreComplete {
+		t.Errorf("ex7: transformed should win: %v (pass %d vs %d)",
+			cmp.Relation, cmp.PassTransformed, cmp.PassPlain)
+	}
+	if cmp.PassTransformed != dom2().Size() {
+		t.Errorf("ex7 transformed should be maximal: %d/%d", cmp.PassTransformed, dom2().Size())
+	}
+}
+
+func TestCompareLoweringsExample8(t *testing.T) {
+	cmp, err := CompareLowerings(ex8(), lattice.NewIndexSet(2), dom2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Relation != core.LessComplete {
+		t.Errorf("ex8: transformed should lose: %v (pass %d vs %d)",
+			cmp.Relation, cmp.PassTransformed, cmp.PassPlain)
+	}
+}
+
+func TestWhileLowering(t *testing.T) {
+	// y = 2 * x1 via a loop; both lowerings agree when MaxTrips covers
+	// the domain.
+	sp := &Program{
+		Name:   "doubler",
+		Inputs: []string{"x1"},
+		Body: []Stmt{
+			&Assign{Target: "r", Expr: flowchart.V("x1")},
+			&While{
+				Cond:     flowchart.Gt(flowchart.V("r"), flowchart.C(0)),
+				MaxTrips: 3,
+				Body: []Stmt{
+					&Assign{Target: "y", Expr: flowchart.Add(flowchart.V("y"), flowchart.C(2))},
+					&Assign{Target: "r", Expr: flowchart.Sub(flowchart.V("r"), flowchart.C(1))},
+				},
+			},
+		},
+	}
+	plain, err := sp.Lower(Plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := int64(0); x <= 3; x++ {
+		r, err := plain.Run([]int64{x})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Value != 2*x {
+			t.Errorf("plain doubler(%d) = %v", x, r)
+		}
+	}
+	trans, err := sp.Lower(Transformed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, w, err := transform.Equivalent(plain, trans, core.Grid(1, 0, 1, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("lowerings disagree at %v\n%s", w, flowchart.Print(trans))
+	}
+	// The transformed lowering has no decision boxes at all.
+	for i := range trans.Nodes {
+		if trans.Nodes[i].Kind == flowchart.KindDecision {
+			t.Fatal("transformed lowering must be branch-free")
+		}
+	}
+}
+
+func TestWhileTransformedSurveillanceGain(t *testing.T) {
+	// Loop over x1, output x2: plain surveillance always violates under
+	// allow(2), transformed never does (the E16 scenario, structured).
+	sp := &Program{
+		Name:   "loopy",
+		Inputs: []string{"x1", "x2"},
+		Body: []Stmt{
+			&Assign{Target: "r", Expr: flowchart.V("x1")},
+			&While{
+				Cond:     flowchart.Gt(flowchart.V("r"), flowchart.C(0)),
+				MaxTrips: 2,
+				Body:     []Stmt{&Assign{Target: "r", Expr: flowchart.Sub(flowchart.V("r"), flowchart.C(1))}},
+			},
+			&Assign{Target: "y", Expr: flowchart.V("x2")},
+		},
+	}
+	cmp, err := CompareLowerings(sp, lattice.NewIndexSet(2), dom2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.PassPlain != 0 || cmp.PassTransformed != dom2().Size() {
+		t.Errorf("pass plain=%d transformed=%d", cmp.PassPlain, cmp.PassTransformed)
+	}
+}
+
+func TestNestedIfTransformed(t *testing.T) {
+	// Nested ifs flatten with conjoined guards and stay equivalent.
+	sp := &Program{
+		Name:   "nested",
+		Inputs: []string{"a", "b"},
+		Body: []Stmt{
+			&If{
+				Cond: flowchart.Eq(flowchart.V("a"), flowchart.C(0)),
+				Then: []Stmt{
+					&If{
+						Cond: flowchart.Eq(flowchart.V("b"), flowchart.C(0)),
+						Then: []Stmt{&Assign{Target: "y", Expr: flowchart.C(1)}},
+						Else: []Stmt{&Assign{Target: "y", Expr: flowchart.C(2)}},
+					},
+				},
+				Else: []Stmt{&Assign{Target: "y", Expr: flowchart.C(3)}},
+			},
+		},
+	}
+	plain, err := sp.Lower(Plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trans, err := sp.Lower(Transformed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, w, err := transform.Equivalent(plain, trans, dom2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("nested lowerings disagree at %v\nplain:\n%s\ntrans:\n%s",
+			w, flowchart.Print(plain), flowchart.Print(trans))
+	}
+}
+
+func TestThenArmMutatesConditionVariable(t *testing.T) {
+	// The then arm changes the condition's variable; the else decision
+	// must still be based on the condition's value at entry.
+	sp := &Program{
+		Name:   "mutate",
+		Inputs: []string{"a"},
+		Body: []Stmt{
+			&If{
+				Cond: flowchart.Eq(flowchart.V("a"), flowchart.C(0)),
+				Then: []Stmt{&Assign{Target: "a", Expr: flowchart.C(5)}},
+				Else: []Stmt{&Assign{Target: "y", Expr: flowchart.C(9)}},
+			},
+			&Assign{Target: "y", Expr: flowchart.Add(flowchart.V("y"), flowchart.V("a"))},
+		},
+	}
+	plain, err := sp.Lower(Plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trans, err := sp.Lower(Transformed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, w, err := transform.Equivalent(plain, trans, core.Grid(1, 0, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("lowerings disagree at %v", w)
+	}
+}
+
+func TestSoundnessOfBothLowerings(t *testing.T) {
+	// Theorem 3 applies to whatever flowchart we produce, in both modes.
+	for _, mk := range []func() *Program{ex7, ex8} {
+		for _, mode := range []Mode{Plain, Transformed} {
+			p, err := mk().Lower(mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, J := range lattice.Subsets(2) {
+				m, err := surveillance.Mechanism(p, J, surveillance.Untimed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := core.CheckSoundness(m, core.NewAllowSet(2, J), dom2(), core.ObserveValue)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !rep.Sound {
+					t.Errorf("%s/%s allow%v: %s", mk().Name, mode, J, rep)
+				}
+			}
+		}
+	}
+}
+
+func TestLoweringErrors(t *testing.T) {
+	cases := []*Program{
+		{Name: "badinput", Inputs: []string{"x#"}, Body: []Stmt{&Assign{Target: "y", Expr: flowchart.C(1)}}},
+		{Name: "badtarget", Inputs: []string{"x"}, Body: []Stmt{&Assign{Target: "y#", Expr: flowchart.C(1)}}},
+		{Name: "noexpr", Inputs: []string{"x"}, Body: []Stmt{&Assign{Target: "y"}}},
+		{Name: "nocond", Inputs: []string{"x"}, Body: []Stmt{&If{}}},
+		{Name: "emptywhile", Inputs: []string{"x"}, Body: []Stmt{&While{Cond: flowchart.BoolConst(false)}}},
+	}
+	for _, sp := range cases {
+		if _, err := sp.Lower(Plain); err == nil {
+			t.Errorf("%s: Lower(Plain) succeeded, want error", sp.Name)
+		}
+	}
+	// Transformed while without MaxTrips.
+	sp := &Program{Name: "nobound", Inputs: []string{"x"}, Body: []Stmt{
+		&While{Cond: flowchart.Gt(flowchart.V("x"), flowchart.C(0)),
+			Body: []Stmt{&Assign{Target: "x", Expr: flowchart.Sub(flowchart.V("x"), flowchart.C(1))}}},
+	}}
+	if _, err := sp.Lower(Transformed); err == nil {
+		t.Error("transformed while without MaxTrips accepted")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Plain.String() != "plain" || Transformed.String() != "transformed" {
+		t.Error("mode names")
+	}
+}
+
+func TestAssignedVars(t *testing.T) {
+	set := map[string]bool{}
+	sp := ex7()
+	for _, s := range sp.Body {
+		s.assignedVars(set)
+	}
+	if !set["r"] || !set["y"] || len(set) != 2 {
+		t.Errorf("assignedVars = %v", set)
+	}
+	wset := map[string]bool{}
+	(&While{Body: []Stmt{&Assign{Target: "q"}}}).assignedVars(wset)
+	if !wset["q"] {
+		t.Errorf("while assignedVars = %v", wset)
+	}
+}

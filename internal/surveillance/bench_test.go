@@ -1,0 +1,55 @@
+package surveillance
+
+import (
+	"testing"
+
+	"spm/internal/flowchart"
+	"spm/internal/lattice"
+)
+
+func benchProgram(b *testing.B) *flowchart.Program {
+	b.Helper()
+	return flowchart.MustParse(progForgetful)
+}
+
+func BenchmarkInstrument(b *testing.B) {
+	q := benchProgram(b)
+	J := lattice.NewIndexSet(2)
+	for _, v := range []Variant{Untimed, Timed, Monotone} {
+		v := v
+		b.Run(v.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Instrument(q, J, v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkInstrumentedRun(b *testing.B) {
+	q := benchProgram(b)
+	J := lattice.NewIndexSet(2)
+	in := []int64{7, 0}
+	b.Run("bare", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := q.Run(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, v := range []Variant{Untimed, Timed, Monotone} {
+		v := v
+		b.Run(v.String(), func(b *testing.B) {
+			m, err := Instrument(q, J, v)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Run(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

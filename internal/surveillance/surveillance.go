@@ -1,0 +1,319 @@
+// Package surveillance implements the surveillance protection mechanism of
+// Section 3 of Jones & Lipton, as a flowchart-to-flowchart transformation:
+// the instrumented mechanism is itself an ordinary flowchart program over
+// integers, exactly as in the paper's construction.
+//
+// Every variable v of the subject program gets a surveillance variable v̄
+// (spelled "v#" here) holding the set of input indices that may have
+// affected v's current value, encoded as a bitmask so that set union is the
+// language's | operator. The program counter's class is tracked in the
+// dedicated shadow C#.
+//
+// Two variants are provided, matching Theorems 3 and 3′:
+//
+//   - Untimed (the paper's M): decision boxes accumulate their test's
+//     classes into C#; the halt box releases the output only when
+//     ȳ ∪ C̄ ⊆ J. Sound provided running time is not observable.
+//   - Timed (the paper's M′): execution halts with a violation notice the
+//     moment a disallowed variable is about to be tested, so the branch
+//     structure — and hence the running time — never depends on disallowed
+//     data. Sound even when running time is observable.
+//
+// A third update discipline, Monotone, implements the high-water-mark
+// mechanism used for comparison in Section 4 (see package highwater):
+// shadows only ever grow, so the mechanism cannot "forget".
+package surveillance
+
+import (
+	"fmt"
+
+	"spm/internal/core"
+	"spm/internal/flowchart"
+	"spm/internal/lattice"
+)
+
+// Variant selects the instrumentation discipline.
+type Variant int
+
+// Instrumentation variants.
+const (
+	// Untimed is the paper's surveillance mechanism M (Theorem 3): checks
+	// happen at halt boxes; sound when running time is unobservable.
+	Untimed Variant = iota
+	// Timed is the paper's M′ (Theorem 3′): a disallowed test halts
+	// execution immediately, keeping running time independent of
+	// disallowed data.
+	Timed
+	// Monotone is the high-water-mark discipline: like Untimed, but
+	// shadow variables join with their previous value on assignment, so
+	// classes are never forgotten.
+	Monotone
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case Untimed:
+		return "surveillance"
+	case Timed:
+		return "surveillance-timed"
+	case Monotone:
+		return "high-water"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Notices issued by instrumented programs.
+const (
+	// NoticeOutput is issued when ȳ ∪ C̄ ⊈ J at a halt box.
+	NoticeOutput = "disallowed information would reach the output"
+	// NoticeTest is issued by the timed variant when a disallowed
+	// variable is about to be tested.
+	NoticeTest = "disallowed variable about to be tested"
+)
+
+// Instrument builds the surveillance protection mechanism for program q
+// and security policy allow(J), returning a new flowchart program. The
+// subject program is not modified. It returns an error if q does not
+// validate, if q's arity exceeds the index-set capacity, or if q already
+// contains instrumentation variables.
+func Instrument(q *flowchart.Program, allowed lattice.IndexSet, variant Variant) (*flowchart.Program, error) {
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("surveillance: subject program invalid: %w", err)
+	}
+	k := q.Arity()
+	if k > lattice.MaxIndex {
+		return nil, fmt.Errorf("surveillance: arity %d exceeds %d", k, lattice.MaxIndex)
+	}
+	if !allowed.SubsetOf(lattice.AllInputs(k)) {
+		return nil, fmt.Errorf("surveillance: allow%v names inputs beyond arity %d", allowed, k)
+	}
+	for _, v := range q.Variables() {
+		if flowchart.IsShadowVar(v) {
+			return nil, fmt.Errorf("surveillance: program already instrumented (variable %q)", v)
+		}
+	}
+
+	m := &flowchart.Program{
+		Name:   identName(q.Name + "_" + variant.String()),
+		Inputs: append([]string(nil), q.Inputs...),
+		Output: q.Output,
+		Funcs:  q.Funcs,
+	}
+	jmask := flowchart.C(allowed.Mask())
+
+	// Shared violation halts.
+	violOutput := m.AddNode(flowchart.Node{Kind: flowchart.KindHalt, Violation: true, Notice: NoticeOutput})
+	violTest := flowchart.NoNode
+	if variant == Timed {
+		violTest = m.AddNode(flowchart.Node{Kind: flowchart.KindHalt, Violation: true, Notice: NoticeTest})
+	}
+
+	// Pass 1: translate each subject node into a chain; successor fields
+	// temporarily hold subject-node IDs and are patched in pass 2.
+	entry := make([]flowchart.NodeID, len(q.Nodes))
+	type patch struct {
+		at    flowchart.NodeID // node in m to fix up
+		field int              // 0 Next, 1 True, 2 False
+		to    flowchart.NodeID // subject-node ID the field should reach
+	}
+	var patches []patch
+	addPatch := func(at flowchart.NodeID, field int, to flowchart.NodeID) {
+		patches = append(patches, patch{at, field, to})
+	}
+
+	for i := range q.Nodes {
+		src := &q.Nodes[i]
+		switch src.Kind {
+		case flowchart.KindStart:
+			// START, then x̄i := {i} for each input. Program-variable
+			// shadows start at 0 (= ∅) by the language's initialisation
+			// rule, so no explicit clearing is needed.
+			start := m.AddNode(flowchart.Node{Kind: flowchart.KindStart, Next: flowchart.NoNode})
+			m.Start = start
+			prev := start
+			for idx, in := range q.Inputs {
+				a := m.AddNode(flowchart.Node{
+					Kind:   flowchart.KindAssign,
+					Target: flowchart.ShadowVar(in),
+					Expr:   flowchart.C(lattice.NewIndexSet(idx + 1).Mask()),
+					Next:   flowchart.NoNode,
+				})
+				m.Node(prev).Next = a
+				prev = a
+			}
+			addPatch(prev, 0, src.Next)
+			entry[i] = start
+
+		case flowchart.KindAssign:
+			shadow := shadowUnion(src.Expr, true)
+			if variant == Monotone {
+				// High-water: the target's class can only rise.
+				shadow = flowchart.Or(flowchart.V(flowchart.ShadowVar(src.Target)), shadow)
+			}
+			s := m.AddNode(flowchart.Node{
+				Kind:   flowchart.KindAssign,
+				Target: flowchart.ShadowVar(src.Target),
+				Expr:   shadow,
+				Next:   flowchart.NoNode,
+				Label:  src.Label,
+			})
+			a := m.AddNode(flowchart.Node{
+				Kind:   flowchart.KindAssign,
+				Target: src.Target,
+				Expr:   src.Expr,
+				Next:   flowchart.NoNode,
+			})
+			m.Node(s).Next = a
+			addPatch(a, 0, src.Next)
+			entry[i] = s
+
+		case flowchart.KindDecision:
+			testClasses := shadowUnion(src.Cond, true) // C̄ ∪ w̄1 ∪ ... ∪ w̄p
+			first := flowchart.NoNode
+			var beforeDecision flowchart.NodeID = flowchart.NoNode
+			if variant == Timed {
+				// if (C̄ ∪ w̄s) ⊈ J then halt with a violation — now.
+				chk := m.AddNode(flowchart.Node{
+					Kind:  flowchart.KindDecision,
+					Cond:  flowchart.Ne(flowchart.B(flowchart.OpAndNot, testClasses, jmask), flowchart.C(0)),
+					True:  violTest,
+					False: flowchart.NoNode,
+					Label: src.Label,
+				})
+				first = chk
+				beforeDecision = chk
+			}
+			upd := m.AddNode(flowchart.Node{
+				Kind:   flowchart.KindAssign,
+				Target: flowchart.CounterShadow,
+				Expr:   testClasses,
+				Next:   flowchart.NoNode,
+			})
+			if first == flowchart.NoNode {
+				first = upd
+				m.Node(upd).Label = src.Label
+			} else {
+				m.Node(beforeDecision).False = upd
+			}
+			d := m.AddNode(flowchart.Node{
+				Kind:  flowchart.KindDecision,
+				Cond:  src.Cond,
+				True:  flowchart.NoNode,
+				False: flowchart.NoNode,
+			})
+			m.Node(upd).Next = d
+			addPatch(d, 1, src.True)
+			addPatch(d, 2, src.False)
+			entry[i] = first
+
+		case flowchart.KindHalt:
+			if src.Violation {
+				// A violation halt already suppresses the output; keep it.
+				entry[i] = m.AddNode(*src)
+				continue
+			}
+			// if (ȳ ∪ C̄) ⊆ J then halt y else Λ.
+			outClasses := flowchart.Or(
+				flowchart.V(flowchart.ShadowVar(q.OutputVar())),
+				flowchart.V(flowchart.CounterShadow),
+			)
+			chk := m.AddNode(flowchart.Node{
+				Kind:  flowchart.KindDecision,
+				Cond:  flowchart.Eq(flowchart.B(flowchart.OpAndNot, outClasses, jmask), flowchart.C(0)),
+				True:  flowchart.NoNode,
+				False: violOutput,
+				Label: src.Label,
+			})
+			h := m.AddNode(flowchart.Node{Kind: flowchart.KindHalt})
+			m.Node(chk).True = h
+			entry[i] = chk
+		}
+	}
+
+	// Pass 2: patch successor fields to chain entries.
+	for _, pt := range patches {
+		n := m.Node(pt.at)
+		switch pt.field {
+		case 0:
+			n.Next = entry[pt.to]
+		case 1:
+			n.True = entry[pt.to]
+		case 2:
+			n.False = entry[pt.to]
+		}
+	}
+
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("surveillance: instrumented program invalid: %w", err)
+	}
+	return m, nil
+}
+
+// identName rewrites a display name into a legal DSL identifier so that
+// printed instrumented programs re-parse.
+func identName(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+			out = append(out, c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				out = append(out, '_')
+			}
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, '_')
+	}
+	return string(out)
+}
+
+// shadowUnion builds w̄1 | w̄2 | ... | w̄p over the variables mentioned by
+// the expression or predicate, optionally joined with C̄. An expression
+// with no variables yields C̄ alone (or the constant 0 = ∅).
+func shadowUnion(node interface{ AddVars(map[string]bool) }, withCounter bool) flowchart.Expr {
+	vars := flowchart.Vars(node)
+	var e flowchart.Expr
+	if withCounter {
+		e = flowchart.V(flowchart.CounterShadow)
+	}
+	for _, v := range vars {
+		sv := flowchart.V(flowchart.ShadowVar(v))
+		if e == nil {
+			e = sv
+		} else {
+			e = flowchart.Or(e, sv)
+		}
+	}
+	if e == nil {
+		e = flowchart.C(0)
+	}
+	return e
+}
+
+// Mechanism instruments q for allow(J) under the given variant and wraps
+// the result as a core.Mechanism.
+func Mechanism(q *flowchart.Program, allowed lattice.IndexSet, variant Variant) (core.Mechanism, error) {
+	m, err := Instrument(q, allowed, variant)
+	if err != nil {
+		return nil, err
+	}
+	return core.FromProgram(m), nil
+}
+
+// MustMechanism is Mechanism but panics on error; for experiment tables
+// whose programs are compile-time constants.
+func MustMechanism(q *flowchart.Program, allowed lattice.IndexSet, variant Variant) core.Mechanism {
+	m, err := Mechanism(q, allowed, variant)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

@@ -1,0 +1,428 @@
+package surveillance
+
+import (
+	"strings"
+	"testing"
+
+	"spm/internal/core"
+	"spm/internal/flowchart"
+	"spm/internal/lattice"
+)
+
+// progForgetful is the paper's Section 4 program (p. 48) separating
+// surveillance from high-water mark: the class of r is forgotten when r is
+// overwritten with a constant.
+const progForgetful = `
+program forgetful
+inputs x1 x2
+
+    r := x1
+    r := 0
+    if x2 == 0 goto Zero else NonZero
+Zero:    y := r
+         halt
+NonZero: y := x1
+         halt
+`
+
+// progBothArms is the paper's p. 49 program showing surveillance is not
+// maximal: both arms assign y := x2, so Q itself is sound for allow(2),
+// yet surveillance always reports a violation.
+const progBothArms = `
+program botharms
+inputs x1 x2
+
+    if x1 == 0 goto A else B
+A:  y := x2
+    halt
+B:  y := x2
+    halt
+`
+
+// progOneArm assigns y only on one branch of a disallowed test — the
+// classic case where the program-counter class C̄ is essential.
+const progOneArm = `
+program onearm
+inputs x1
+    if x1 == 1 goto A else B
+A:  y := 1
+    halt
+B:  halt
+`
+
+// progTiming is the Section 2 timing program: constant value, running time
+// proportional to x1.
+const progTiming = `
+program timing
+inputs x1
+Loop: if x1 == 0 goto Done else Body
+Body: x1 := x1 - 1
+      goto Loop
+Done: y := 1
+      halt
+`
+
+func dom2() core.Domain { return core.Grid(2, 0, 1, 2) }
+
+func TestForgetfulSurveillancePasses(t *testing.T) {
+	q := flowchart.MustParse(progForgetful)
+	allow2 := lattice.NewIndexSet(2)
+	ms := MustMechanism(q, allow2, Untimed)
+
+	// x2 = 0 path: r's class was forgotten, output should flow.
+	o, err := ms.Run([]int64{7, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Violation {
+		t.Errorf("M_s(7,0) = %v, want real output (surveillance forgets)", o)
+	}
+	if o.Value != 0 {
+		t.Errorf("M_s(7,0) value = %d, want 0", o.Value)
+	}
+	// x2 ≠ 0 path: y := x1 is disallowed.
+	o, err = ms.Run([]int64{7, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Violation {
+		t.Errorf("M_s(7,5) = %v, want Λ", o)
+	}
+	if o.Notice != NoticeOutput {
+		t.Errorf("notice = %q", o.Notice)
+	}
+}
+
+func TestHighWaterNeverForgets(t *testing.T) {
+	q := flowchart.MustParse(progForgetful)
+	allow2 := lattice.NewIndexSet(2)
+	mh := MustMechanism(q, allow2, Monotone)
+	// M_h always outputs Λ on this program: r's class {1} is sticky.
+	err := dom2().Enumerate(func(in []int64) error {
+		o, err := mh.Run(in)
+		if err != nil {
+			return err
+		}
+		if !o.Violation {
+			t.Errorf("M_h%v = %v, want Λ", in, o)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSurveillanceMoreCompleteThanHighWater(t *testing.T) {
+	q := flowchart.MustParse(progForgetful)
+	allow2 := lattice.NewIndexSet(2)
+	ms := MustMechanism(q, allow2, Untimed)
+	mh := MustMechanism(q, allow2, Monotone)
+	rep, err := core.Compare(ms, mh, dom2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Relation != core.MoreComplete {
+		t.Errorf("M_s vs M_h: %s, want more complete", rep)
+	}
+	// Both remain sound.
+	pol := core.NewAllowSet(2, allow2)
+	for _, m := range []core.Mechanism{ms, mh} {
+		sr, err := core.CheckSoundness(m, pol, dom2(), core.ObserveValue)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sr.Sound {
+			t.Errorf("%s unsound: %s", m.Name(), sr)
+		}
+	}
+}
+
+func TestSurveillanceNotMaximal(t *testing.T) {
+	q := flowchart.MustParse(progBothArms)
+	allow2 := lattice.NewIndexSet(2)
+	ms := MustMechanism(q, allow2, Untimed)
+	// Surveillance always outputs Λ: the branch on x1 taints C̄.
+	err := dom2().Enumerate(func(in []int64) error {
+		o, err := ms.Run(in)
+		if err != nil {
+			return err
+		}
+		if !o.Violation {
+			t.Errorf("M_s%v = %v, want Λ", in, o)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// But Q itself is sound for allow(2): M_max = Q here.
+	pol := core.NewAllowSet(2, allow2)
+	qm := core.FromProgram(q)
+	sr, err := core.CheckSoundness(qm, pol, dom2(), core.ObserveValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Sound {
+		t.Errorf("Q should be sound for allow(2): %s", sr)
+	}
+	rep, err := core.Compare(qm, ms, dom2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Relation != core.MoreComplete {
+		t.Errorf("Q vs M_s: %s, want Q more complete", rep)
+	}
+}
+
+func TestCounterClassEssential(t *testing.T) {
+	// progOneArm under allow(): the output value differs between the two
+	// paths only via the branch. Without C̄ tracking the mechanism would
+	// leak x1 by negative inference; with it, both paths report Λ.
+	q := flowchart.MustParse(progOneArm)
+	ms := MustMechanism(q, lattice.EmptySet, Untimed)
+	pol := core.NewAllow(1)
+	dom := core.Grid(1, 0, 1, 2)
+	sr, err := core.CheckSoundness(ms, pol, dom, core.ObserveValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Sound {
+		t.Errorf("surveillance must be sound on one-armed if: %s", sr)
+	}
+	// And it is Λ everywhere, on both paths.
+	for _, x := range []int64{0, 1} {
+		o, err := ms.Run([]int64{x})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !o.Violation {
+			t.Errorf("M_s(%d) = %v, want Λ", x, o)
+		}
+	}
+}
+
+func TestTheorem3Soundness(t *testing.T) {
+	// Untimed surveillance is sound (value observation) for every allow
+	// policy on these programs.
+	progs := []string{progForgetful, progBothArms, progTiming, progOneArm}
+	for _, src := range progs {
+		q := flowchart.MustParse(src)
+		k := q.Arity()
+		dom := core.Grid(k, 0, 1, 2)
+		for _, J := range lattice.Subsets(k) {
+			ms := MustMechanism(q, J, Untimed)
+			pol := core.NewAllowSet(k, J)
+			sr, err := core.CheckSoundness(ms, pol, dom, core.ObserveValue)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sr.Sound {
+				t.Errorf("program %s, policy %s: %s", q.Name, pol.Name(), sr)
+			}
+		}
+	}
+}
+
+func TestTheorem3PrimeTimedSoundness(t *testing.T) {
+	// The timed variant M′ is sound even under the value+time observation.
+	progs := []string{progForgetful, progBothArms, progTiming, progOneArm}
+	for _, src := range progs {
+		q := flowchart.MustParse(src)
+		k := q.Arity()
+		dom := core.Grid(k, 0, 1, 2)
+		for _, J := range lattice.Subsets(k) {
+			mp := MustMechanism(q, J, Timed)
+			pol := core.NewAllowSet(k, J)
+			sr, err := core.CheckSoundness(mp, pol, dom, core.ObserveValueAndTime)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sr.Sound {
+				t.Errorf("program %s, policy %s: %s", q.Name, pol.Name(), sr)
+			}
+		}
+	}
+}
+
+func TestUntimedUnsoundUnderTimeObservation(t *testing.T) {
+	// The paper: "it is easy to see that M is unsound when running time is
+	// observable." The timing program's loop length leaks x1 through the
+	// untimed mechanism's running time.
+	q := flowchart.MustParse(progTiming)
+	ms := MustMechanism(q, lattice.EmptySet, Untimed)
+	pol := core.NewAllow(1)
+	dom := core.Grid(1, 0, 1, 2, 3)
+	sr, err := core.CheckSoundness(ms, pol, dom, core.ObserveValueAndTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Sound {
+		t.Error("untimed surveillance should be unsound when time is observable")
+	}
+	// The timed variant halts at the first disallowed test, in constant
+	// time, and is sound.
+	mp := MustMechanism(q, lattice.EmptySet, Timed)
+	srp, err := core.CheckSoundness(mp, pol, dom, core.ObserveValueAndTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !srp.Sound {
+		t.Errorf("timed surveillance should close the timing channel: %s", srp)
+	}
+	o, err := mp.Run([]int64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Violation || o.Notice != NoticeTest {
+		t.Errorf("M'(3) = %v, want immediate test violation", o)
+	}
+}
+
+func TestTimedAllowsPermittedLoops(t *testing.T) {
+	// When the loop variable is allowed, M′ lets the loop run and the
+	// output through.
+	q := flowchart.MustParse(progTiming)
+	mp := MustMechanism(q, lattice.NewIndexSet(1), Timed)
+	o, err := mp.Run([]int64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Violation || o.Value != 1 {
+		t.Errorf("M'(3) with allow(1) = %v, want 1", o)
+	}
+}
+
+func TestMechanismProperty(t *testing.T) {
+	// Instrumented programs satisfy the mechanism property: when they
+	// pass, the value equals Q's value.
+	for _, src := range []string{progForgetful, progBothArms} {
+		q := flowchart.MustParse(src)
+		qm := core.FromProgram(q)
+		for _, variant := range []Variant{Untimed, Timed, Monotone} {
+			for _, J := range lattice.Subsets(q.Arity()) {
+				m := MustMechanism(q, J, variant)
+				ok, w, err := core.VerifyMechanism(m, qm, dom2())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					t.Errorf("%s violates mechanism property at %v", m.Name(), w)
+				}
+			}
+		}
+	}
+}
+
+func TestFullAllowPassesEverything(t *testing.T) {
+	q := flowchart.MustParse(progForgetful)
+	all := lattice.AllInputs(2)
+	for _, variant := range []Variant{Untimed, Timed, Monotone} {
+		m := MustMechanism(q, all, variant)
+		err := dom2().Enumerate(func(in []int64) error {
+			o, err := m.Run(in)
+			if err != nil {
+				return err
+			}
+			if o.Violation {
+				t.Errorf("%s%v = %v, want pass under allow(1,2)", variant, in, o)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestInstrumentErrors(t *testing.T) {
+	q := flowchart.MustParse(progOneArm)
+	// Re-instrumenting an instrumented program is rejected.
+	m1, err := Instrument(q, lattice.EmptySet, Untimed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Instrument(m1, lattice.EmptySet, Untimed); err == nil {
+		t.Error("double instrumentation accepted")
+	}
+	// Policy naming inputs beyond arity is rejected.
+	if _, err := Instrument(q, lattice.NewIndexSet(5), Untimed); err == nil {
+		t.Error("allow(5) on arity-1 program accepted")
+	}
+	// Invalid subject program is rejected.
+	bad := &flowchart.Program{Name: "bad"}
+	if _, err := Instrument(bad, lattice.EmptySet, Untimed); err == nil {
+		t.Error("invalid subject accepted")
+	}
+}
+
+func TestInstrumentedProgramPrints(t *testing.T) {
+	// The instrumented mechanism is itself a flowchart program; it prints
+	// and re-parses in shadow-allowing mode.
+	q := flowchart.MustParse(progForgetful)
+	m, err := Instrument(q, lattice.NewIndexSet(2), Timed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := flowchart.Print(m)
+	if !strings.Contains(text, "x1#") || !strings.Contains(text, "C#") {
+		t.Errorf("printed instrumentation lacks shadows:\n%s", text)
+	}
+	m2, err := flowchart.ParseWithOptions(text, flowchart.ParseOptions{AllowShadows: true})
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, text)
+	}
+	// Behavioural agreement.
+	err = dom2().Enumerate(func(in []int64) error {
+		r1, err1 := m.Run(in)
+		r2, err2 := m2.Run(in)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%v %v", err1, err2)
+		}
+		if r1 != r2 {
+			t.Errorf("reparsed instrumented program diverges on %v: %v vs %v", in, r1, r2)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if Untimed.String() != "surveillance" || Timed.String() != "surveillance-timed" || Monotone.String() != "high-water" {
+		t.Error("variant names")
+	}
+	if !strings.Contains(Variant(9).String(), "9") {
+		t.Error("unknown variant name")
+	}
+}
+
+func TestMustMechanismPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustMechanism on bad input did not panic")
+		}
+	}()
+	MustMechanism(&flowchart.Program{Name: "bad"}, lattice.EmptySet, Untimed)
+}
+
+func TestViolationHaltsPreserved(t *testing.T) {
+	// Subject programs may already contain violation halts; they pass
+	// through instrumentation unchanged.
+	q := flowchart.MustParse(`
+inputs x1
+    if x1 < 0 goto Bad else OK
+Bad: violation "negative input"
+OK:  y := 1
+     halt
+`)
+	m := MustMechanism(q, lattice.AllInputs(1), Untimed)
+	o, err := m.Run([]int64{-1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Violation || o.Notice != "negative input" {
+		t.Errorf("original violation halt lost: %v", o)
+	}
+}

@@ -1,0 +1,184 @@
+// Package tape implements the one-way read-only input tape machine of
+// Section 2 of Jones & Lipton: inputs are blocks of characters laid out
+// left to right, the head starts at the leftmost character, and reading or
+// skipping a character costs one step.
+//
+// The paper's observation: under the policy allow(2) — only block 2's
+// contents may be revealed — no program that walks to block 2 can be
+// sound when running time is observable, because crossing block 1 encodes
+// block 1's *length* into the running time. The repair is a tab(i)
+// operation that jumps the head to block i; but tab must itself run in
+// constant time, or the problem reappears. The package provides both tab
+// cost models so the experiment can show the repair and its failure mode.
+package tape
+
+import (
+	"fmt"
+
+	"spm/internal/core"
+)
+
+// TabCost selects how the tab(i) operation is charged.
+type TabCost uint8
+
+// Tab cost models.
+const (
+	// TabConstant charges one step regardless of distance — the sound
+	// implementation the paper calls for.
+	TabConstant TabCost = iota
+	// TabLinear charges one step per character skipped — the broken
+	// implementation the paper warns about ("Perhaps tab(i) takes time
+	// dependent on the length of x1,...,xi−1?").
+	TabLinear
+)
+
+// String names the cost model.
+func (c TabCost) String() string {
+	if c == TabLinear {
+		return "tab-linear"
+	}
+	return "tab-constant"
+}
+
+// Tape is a one-way read-only input tape divided into blocks. Block
+// contents are the decimal digits of non-negative integers, so a block's
+// value determines its length — exactly the coupling the paper's example
+// needs.
+type Tape struct {
+	blocks [][]byte
+	block  int // current block index (0-based)
+	offset int // offset within the current block
+	steps  int64
+}
+
+// New builds a tape whose i-th block holds the decimal digits of
+// values[i] (negative values are clamped to 0).
+func New(values ...int64) *Tape {
+	t := &Tape{blocks: make([][]byte, len(values))}
+	for i, v := range values {
+		if v < 0 {
+			v = 0
+		}
+		t.blocks[i] = []byte(fmt.Sprintf("%d", v))
+	}
+	return t
+}
+
+// Steps returns the running time so far.
+func (t *Tape) Steps() int64 { return t.steps }
+
+// Blocks returns the number of blocks.
+func (t *Tape) Blocks() int { return len(t.blocks) }
+
+// AtEnd reports whether the head has passed the last character of the
+// current block.
+func (t *Tape) AtEnd() bool { return t.offset >= len(t.blocks[t.block]) }
+
+// Read returns the character under the head and advances one position,
+// costing one step. It reports false when the head is at the end of the
+// current block (the read itself still costs the step, as a real head
+// motion would).
+func (t *Tape) Read() (byte, bool) {
+	t.steps++
+	if t.block >= len(t.blocks) || t.AtEnd() {
+		return 0, false
+	}
+	c := t.blocks[t.block][t.offset]
+	t.offset++
+	return c, true
+}
+
+// NextBlock moves the head to the start of the next block by walking over
+// the remaining characters of the current one (one step each, plus one for
+// the block gap). The head cannot move backwards.
+func (t *Tape) NextBlock() error {
+	if t.block+1 >= len(t.blocks) {
+		return fmt.Errorf("tape: no block after %d", t.block)
+	}
+	remaining := len(t.blocks[t.block]) - t.offset
+	t.steps += int64(remaining) + 1
+	t.block++
+	t.offset = 0
+	return nil
+}
+
+// Tab jumps the head directly to the start of block i (1-based), under the
+// given cost model. The one-way restriction still applies: tabbing
+// backwards is an error.
+func (t *Tape) Tab(i int, cost TabCost) error {
+	bi := i - 1
+	if bi < 0 || bi >= len(t.blocks) {
+		return fmt.Errorf("tape: tab(%d) out of range", i)
+	}
+	if bi < t.block || (bi == t.block && t.offset > 0) {
+		return fmt.Errorf("tape: tab(%d) would move the one-way head backwards", i)
+	}
+	switch cost {
+	case TabConstant:
+		t.steps++
+	case TabLinear:
+		// Charge every character between the head and the target.
+		skipped := int64(len(t.blocks[t.block]) - t.offset)
+		for b := t.block + 1; b < bi; b++ {
+			skipped += int64(len(t.blocks[b]))
+		}
+		t.steps += skipped + 1
+	}
+	t.block = bi
+	t.offset = 0
+	return nil
+}
+
+// ReadBlockValue reads the rest of the current block as a decimal number,
+// one step per digit.
+func (t *Tape) ReadBlockValue() int64 {
+	var v int64
+	for {
+		c, ok := t.Read()
+		if !ok {
+			return v
+		}
+		v = v*10 + int64(c-'0')
+	}
+}
+
+// Reader is a core.Mechanism that reads block 2 of a two-block tape and
+// returns its value: the paper's program Q for the policy allow(2). The
+// strategy field selects how the head gets to block 2.
+type Reader struct {
+	// Strategy: "walk" crosses block 1 character by character; "tab"
+	// uses the tab(2) operation with the configured cost.
+	UseTab bool
+	Cost   TabCost
+}
+
+// Name implements core.Mechanism.
+func (r *Reader) Name() string {
+	if !r.UseTab {
+		return "tape-walk"
+	}
+	return "tape-" + r.Cost.String()
+}
+
+// Arity implements core.Mechanism.
+func (r *Reader) Arity() int { return 2 }
+
+// Run implements core.Mechanism: the output is block 2's value and the
+// observable running time is the tape's step count.
+func (r *Reader) Run(input []int64) (core.Outcome, error) {
+	if len(input) != 2 {
+		return core.Outcome{}, fmt.Errorf("tape: reader wants 2 blocks, got %d", len(input))
+	}
+	t := New(input[0], input[1])
+	if r.UseTab {
+		if err := t.Tab(2, r.Cost); err != nil {
+			return core.Outcome{}, err
+		}
+	} else {
+		if err := t.NextBlock(); err != nil {
+			return core.Outcome{}, err
+		}
+	}
+	v := t.ReadBlockValue()
+	return core.Outcome{Value: v, Steps: t.Steps()}, nil
+}

@@ -1,0 +1,161 @@
+package tape
+
+import (
+	"testing"
+
+	"spm/internal/core"
+)
+
+// blockDomain holds block values with different digit lengths, so block 1's
+// length varies: {5, 1234} have lengths 1 and 4.
+func blockDomain() core.Domain {
+	return core.Domain{{5, 1234}, {7, 42}}
+}
+
+func TestTapeBasics(t *testing.T) {
+	tp := New(12, 345)
+	if tp.Blocks() != 2 {
+		t.Fatalf("Blocks = %d", tp.Blocks())
+	}
+	c, ok := tp.Read()
+	if !ok || c != '1' {
+		t.Errorf("Read = %c %v", c, ok)
+	}
+	if err := tp.NextBlock(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tp.ReadBlockValue(); got != 345 {
+		t.Errorf("block 2 value = %d", got)
+	}
+}
+
+func TestReadPastEnd(t *testing.T) {
+	tp := New(7)
+	tp.ReadBlockValue()
+	if _, ok := tp.Read(); ok {
+		t.Error("Read past end should fail")
+	}
+	if err := tp.NextBlock(); err == nil {
+		t.Error("NextBlock past last block should fail")
+	}
+}
+
+func TestTabValidation(t *testing.T) {
+	tp := New(1, 2, 3)
+	if err := tp.Tab(0, TabConstant); err == nil {
+		t.Error("tab(0) accepted")
+	}
+	if err := tp.Tab(4, TabConstant); err == nil {
+		t.Error("tab past end accepted")
+	}
+	if err := tp.Tab(3, TabConstant); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Tab(1, TabConstant); err == nil {
+		t.Error("backwards tab accepted on a one-way tape")
+	}
+}
+
+func TestWalkTimeDependsOnBlock1Length(t *testing.T) {
+	short := New(5, 7)
+	if err := short.NextBlock(); err != nil {
+		t.Fatal(err)
+	}
+	long := New(123456, 7)
+	if err := long.NextBlock(); err != nil {
+		t.Fatal(err)
+	}
+	if short.Steps() >= long.Steps() {
+		t.Errorf("walking a longer block 1 must cost more: %d vs %d", short.Steps(), long.Steps())
+	}
+}
+
+func TestTabConstantTimeIndependent(t *testing.T) {
+	short := New(5, 7)
+	if err := short.Tab(2, TabConstant); err != nil {
+		t.Fatal(err)
+	}
+	long := New(123456, 7)
+	if err := long.Tab(2, TabConstant); err != nil {
+		t.Fatal(err)
+	}
+	if short.Steps() != long.Steps() {
+		t.Errorf("constant tab must not depend on block 1: %d vs %d", short.Steps(), long.Steps())
+	}
+}
+
+func TestReaderSoundnessMatrix(t *testing.T) {
+	// The paper's claim set for allow(2) with observable running time:
+	//   walk:          unsound (crossing z1 encodes its length)
+	//   tab, constant: sound
+	//   tab, linear:   unsound (the problem reappears)
+	// All three are sound when time is unobservable.
+	pol := core.NewAllow(2, 2)
+	dom := blockDomain()
+	cases := []struct {
+		m         core.Mechanism
+		wantTimed bool
+	}{
+		{&Reader{UseTab: false}, false},
+		{&Reader{UseTab: true, Cost: TabConstant}, true},
+		{&Reader{UseTab: true, Cost: TabLinear}, false},
+	}
+	for _, tc := range cases {
+		repV, err := core.CheckSoundness(tc.m, pol, dom, core.ObserveValue)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !repV.Sound {
+			t.Errorf("%s: value-only should be sound: %s", tc.m.Name(), repV)
+		}
+		repT, err := core.CheckSoundness(tc.m, pol, dom, core.ObserveValueAndTime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if repT.Sound != tc.wantTimed {
+			t.Errorf("%s under value+time: sound=%v, want %v", tc.m.Name(), repT.Sound, tc.wantTimed)
+		}
+	}
+}
+
+func TestReaderOutputsBlock2(t *testing.T) {
+	for _, m := range []core.Mechanism{
+		&Reader{UseTab: false},
+		&Reader{UseTab: true, Cost: TabConstant},
+		&Reader{UseTab: true, Cost: TabLinear},
+	} {
+		o, err := m.Run([]int64{99, 1234})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Value != 1234 || o.Violation {
+			t.Errorf("%s = %v, want 1234", m.Name(), o)
+		}
+	}
+}
+
+func TestReaderArity(t *testing.T) {
+	m := &Reader{}
+	if m.Arity() != 2 {
+		t.Error("arity")
+	}
+	if _, err := m.Run([]int64{1}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestNegativeBlockClamped(t *testing.T) {
+	tp := New(-5)
+	if got := tp.ReadBlockValue(); got != 0 {
+		t.Errorf("negative block value = %d, want 0", got)
+	}
+}
+
+func TestCostNames(t *testing.T) {
+	if TabConstant.String() != "tab-constant" || TabLinear.String() != "tab-linear" {
+		t.Error("cost names")
+	}
+	if (&Reader{UseTab: false}).Name() != "tape-walk" {
+		t.Error("reader name")
+	}
+}

@@ -1,0 +1,241 @@
+// Package transform implements the program transformations of Sections 4
+// and 5 of Jones & Lipton — the if-then-else transform, the while
+// (unrolling) transform, and the supporting control-flow analyses
+// (reachability, predecessors, postdominators, control dependence) that
+// the static certification of Section 5 also relies on.
+//
+// The transforms produce functionally equivalent programs; applying the
+// surveillance mechanism to the transformed program therefore yields a
+// sound mechanism for the original program (Theorem 3 plus functional
+// equivalence). As Example 8 shows, a transform may make the resulting
+// mechanism either more or less complete, which is why every transform
+// here returns a new program and leaves the choice to the caller.
+package transform
+
+import (
+	"fmt"
+
+	"spm/internal/flowchart"
+)
+
+// CFG holds derived control-flow facts about a program. Node IDs are the
+// program's own; the virtual exit used for postdominance is VirtualExit.
+type CFG struct {
+	P *flowchart.Program
+	// Preds lists the predecessors of each node.
+	Preds [][]flowchart.NodeID
+	// Reachable marks nodes reachable from the start box.
+	Reachable []bool
+	// pdom[n] is the set of nodes that postdominate n (every path from n
+	// to any halt passes through them), encoded as a bitset over node IDs
+	// plus the virtual exit.
+	pdom []bitset
+	// ipdom[n] is the immediate postdominator of n, or VirtualExit when
+	// the closest postdominator is the virtual exit (e.g. for halt boxes),
+	// or NoNode for unreachable nodes.
+	ipdom []flowchart.NodeID
+}
+
+// VirtualExit is the pseudo-node that every halt box flows to, giving the
+// CFG a unique exit for postdominance.
+const VirtualExit flowchart.NodeID = -2
+
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << uint(i%64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<uint(i%64)) != 0 }
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+// intersectWith sets b = b ∩ o and reports whether b changed.
+func (b bitset) intersectWith(o bitset) bool {
+	changed := false
+	for i := range b {
+		nv := b[i] & o[i]
+		if nv != b[i] {
+			b[i] = nv
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Analyze computes the CFG facts for p. The program must validate.
+func Analyze(p *flowchart.Program) (*CFG, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.Nodes)
+	g := &CFG{
+		P:         p,
+		Preds:     make([][]flowchart.NodeID, n),
+		Reachable: make([]bool, n),
+		ipdom:     make([]flowchart.NodeID, n),
+	}
+	// Reachability and predecessors.
+	stack := []flowchart.NodeID{p.Start}
+	g.Reachable[p.Start] = true
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range p.Nodes[id].Succs() {
+			g.Preds[s] = append(g.Preds[s], id)
+			if !g.Reachable[s] {
+				g.Reachable[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	g.computePostdominators()
+	return g, nil
+}
+
+// computePostdominators runs the standard iterative dataflow over the
+// reverse CFG with a virtual exit at index n (so bitsets have n+1 slots).
+func (g *CFG) computePostdominators() {
+	p := g.P
+	n := len(p.Nodes)
+	exitIdx := n // virtual exit position in bitsets
+	full := newBitset(n + 1)
+	for i := 0; i <= n; i++ {
+		full.set(i)
+	}
+	g.pdom = make([]bitset, n)
+	for i := 0; i < n; i++ {
+		if !g.Reachable[i] {
+			g.pdom[i] = newBitset(n + 1) // empty; unreachable nodes excluded
+			continue
+		}
+		if p.Nodes[i].Kind == flowchart.KindHalt {
+			b := newBitset(n + 1)
+			b.set(i)
+			b.set(exitIdx)
+			g.pdom[i] = b
+		} else {
+			g.pdom[i] = full.clone()
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i < n; i++ {
+			if !g.Reachable[i] || p.Nodes[i].Kind == flowchart.KindHalt {
+				continue
+			}
+			succs := p.Nodes[i].Succs()
+			if len(succs) == 0 {
+				continue
+			}
+			acc := g.pdom[succs[0]].clone()
+			for _, s := range succs[1:] {
+				acc.intersectWith(g.pdom[s])
+			}
+			acc.set(i)
+			if g.pdom[i].intersectWith(acc) {
+				changed = true
+			}
+			// intersectWith computes pdom ∩ acc; since pdom starts full
+			// and acc already includes i, this is the standard update.
+		}
+	}
+	// Immediate postdominators: among the strict postdominators of i, the
+	// one closest to i is the one postdominated by all the others —
+	// equivalently, the one with the largest pdom set.
+	for i := 0; i < n; i++ {
+		g.ipdom[i] = flowchart.NoNode
+		if !g.Reachable[i] {
+			continue
+		}
+		best := flowchart.NodeID(VirtualExit)
+		bestCount := -1
+		for j := 0; j < n; j++ {
+			if j == i || !g.pdom[i].has(j) {
+				continue
+			}
+			if c := g.pdom[j].count(); c > bestCount {
+				bestCount = c
+				best = flowchart.NodeID(j)
+			}
+		}
+		g.ipdom[i] = best
+	}
+}
+
+// PostDominates reports whether a postdominates b: every path from b to a
+// halt passes through a.
+func (g *CFG) PostDominates(a, b flowchart.NodeID) bool {
+	if !g.Reachable[b] {
+		return false
+	}
+	return g.pdom[b].has(int(a))
+}
+
+// ImmediatePostDominator returns the immediate postdominator of id:
+// the first node every path from id must eventually reach. For halt boxes
+// (and decisions whose arms never rejoin before halting) it returns
+// VirtualExit; for unreachable nodes, NoNode.
+func (g *CFG) ImmediatePostDominator(id flowchart.NodeID) flowchart.NodeID {
+	return g.ipdom[id]
+}
+
+// Region returns the set of nodes control-dependent on the decision d in
+// the region sense of Denning & Denning: nodes reachable from a successor
+// of d without passing through d's immediate postdominator (the join). The
+// join itself is excluded; d is excluded. These are exactly the nodes whose
+// execution is conditioned on d's predicate, so static certification adds
+// d's test taint to every assignment among them.
+func (g *CFG) Region(d flowchart.NodeID) ([]flowchart.NodeID, error) {
+	node := &g.P.Nodes[d]
+	if node.Kind != flowchart.KindDecision {
+		return nil, fmt.Errorf("transform: node %d is %s, not a decision", d, node.Kind)
+	}
+	join := g.ipdom[d]
+	seen := make(map[flowchart.NodeID]bool)
+	var out []flowchart.NodeID
+	var stack []flowchart.NodeID
+	push := func(id flowchart.NodeID) {
+		if id == join || seen[id] {
+			return
+		}
+		seen[id] = true
+		stack = append(stack, id)
+	}
+	push(node.True)
+	push(node.False)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, id)
+		for _, s := range g.P.Nodes[id].Succs() {
+			push(s)
+		}
+	}
+	return out, nil
+}
+
+// Decisions returns the reachable decision nodes in ID order.
+func (g *CFG) Decisions() []flowchart.NodeID {
+	var out []flowchart.NodeID
+	for i := range g.P.Nodes {
+		if g.Reachable[i] && g.P.Nodes[i].Kind == flowchart.KindDecision {
+			out = append(out, flowchart.NodeID(i))
+		}
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package transform
+
+import (
+	"fmt"
+	"strings"
+
+	"spm/internal/flowchart"
+)
+
+// Diamond describes an if-then-else occurrence in the sense of Section 4:
+// a decision box whose two arms are straight-line chains of assignment
+// boxes converging at a common join box.
+type Diamond struct {
+	Decision flowchart.NodeID
+	TrueArm  []flowchart.NodeID
+	FalseArm []flowchart.NodeID
+	Join     flowchart.NodeID
+}
+
+// FindDiamonds returns the if-then-else occurrences of p, in decision-ID
+// order. Arms must consist solely of assignment boxes, each with a single
+// predecessor, so that the region is single-entry single-exit.
+func FindDiamonds(p *flowchart.Program) ([]Diamond, error) {
+	g, err := Analyze(p)
+	if err != nil {
+		return nil, err
+	}
+	var out []Diamond
+	for _, d := range g.Decisions() {
+		n := &p.Nodes[d]
+		tArm, tEnd, ok := linearArm(p, g, n.True)
+		if !ok {
+			continue
+		}
+		fArm, fEnd, ok := linearArm(p, g, n.False)
+		if !ok {
+			continue
+		}
+		if tEnd != fEnd || tEnd == d {
+			continue
+		}
+		out = append(out, Diamond{Decision: d, TrueArm: tArm, FalseArm: fArm, Join: tEnd})
+	}
+	return out, nil
+}
+
+// linearArm walks a chain of single-predecessor assignment boxes starting
+// at id, returning the chain and the first node after it (the candidate
+// join).
+func linearArm(p *flowchart.Program, g *CFG, id flowchart.NodeID) (arm []flowchart.NodeID, end flowchart.NodeID, ok bool) {
+	const armLimit = 1024 // defensive: arms are finite chains
+	for range make([]struct{}, armLimit) {
+		n := &p.Nodes[id]
+		if n.Kind != flowchart.KindAssign {
+			return arm, id, true
+		}
+		if len(g.Preds[id]) != 1 {
+			return arm, id, true
+		}
+		arm = append(arm, id)
+		id = n.Next
+	}
+	return nil, flowchart.NoNode, false
+}
+
+// IfThenElse applies the paper's if-then-else transform to the diamond d
+// in p, returning a new, functionally equivalent program in which the
+// branch has been replaced by straight-line conditional-select
+// assignments:
+//
+//	t      := ite(B, 1, 0)
+//	v      := ite(t == 1, E, v)   for each true-arm assignment
+//	w      := ite(t == 0, F, w)   for each false-arm assignment
+//
+// Both arms' assignments become unconditional (the untaken arm's become
+// identity assignments), which is exactly what makes surveillance on the
+// transformed program sound — and also exactly why the transform can make
+// the mechanism less complete (Example 8): every target now carries the
+// test's classes.
+func IfThenElse(p *flowchart.Program, d Diamond) (*flowchart.Program, error) {
+	q := p.Clone()
+	if !strings.HasSuffix(q.Name, "_ite") {
+		q.Name += "_ite"
+	}
+	dec := &q.Nodes[d.Decision]
+	if dec.Kind != flowchart.KindDecision {
+		return nil, fmt.Errorf("transform: node %d is %s, not a decision", d.Decision, dec.Kind)
+	}
+	cond := dec.Cond
+	tmp := freshVar(q, "t_ite")
+
+	// The decision node itself becomes the guard assignment, so all edges
+	// into the diamond remain valid.
+	*dec = flowchart.Node{
+		Kind:   flowchart.KindAssign,
+		Target: tmp,
+		Expr:   flowchart.Ite(cond, flowchart.C(1), flowchart.C(0)),
+		Next:   flowchart.NoNode,
+		Label:  dec.Label,
+	}
+	prev := d.Decision
+	appendGuarded := func(armIDs []flowchart.NodeID, takenWhen int64) error {
+		for _, id := range armIDs {
+			a := &p.Nodes[id]
+			if a.Kind != flowchart.KindAssign {
+				return fmt.Errorf("transform: arm node %d is %s, not an assignment", id, a.Kind)
+			}
+			guard := flowchart.Eq(flowchart.V(tmp), flowchart.C(takenWhen))
+			node := q.AddNode(flowchart.Node{
+				Kind:   flowchart.KindAssign,
+				Target: a.Target,
+				Expr:   flowchart.Ite(guard, a.Expr, flowchart.V(a.Target)),
+				Next:   flowchart.NoNode,
+			})
+			q.Nodes[prev].Next = node
+			prev = node
+		}
+		return nil
+	}
+	if err := appendGuarded(d.TrueArm, 1); err != nil {
+		return nil, err
+	}
+	if err := appendGuarded(d.FalseArm, 0); err != nil {
+		return nil, err
+	}
+	q.Nodes[prev].Next = d.Join
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("transform: result invalid: %w", err)
+	}
+	return q, nil
+}
+
+// IfThenElseAll repeatedly applies the if-then-else transform until no
+// diamond remains, returning the final program and the number of diamonds
+// eliminated. Whether applying it is *advisable* is a different question —
+// Example 8 — which is why the untransformed program is left intact.
+func IfThenElseAll(p *flowchart.Program) (*flowchart.Program, int, error) {
+	cur := p
+	applied := 0
+	for {
+		ds, err := FindDiamonds(cur)
+		if err != nil {
+			return nil, applied, err
+		}
+		if len(ds) == 0 {
+			return cur, applied, nil
+		}
+		next, err := IfThenElse(cur, ds[0])
+		if err != nil {
+			return nil, applied, err
+		}
+		cur = next
+		applied++
+	}
+}
+
+// freshVar returns a variable name with the given prefix not already used
+// by the program.
+func freshVar(p *flowchart.Program, prefix string) string {
+	used := make(map[string]bool)
+	for _, v := range p.Variables() {
+		used[v] = true
+	}
+	for i := 0; ; i++ {
+		cand := fmt.Sprintf("%s%d", prefix, i)
+		if !used[cand] {
+			return cand
+		}
+	}
+}

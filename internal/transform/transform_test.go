@@ -1,0 +1,510 @@
+package transform
+
+import (
+	"testing"
+
+	"spm/internal/core"
+	"spm/internal/flowchart"
+	"spm/internal/lattice"
+	"spm/internal/surveillance"
+)
+
+// progEx7 is the paper's Example 7: the branch outcome is dead — y is 1 on
+// both paths — so the if-then-else transform yields a maximal mechanism.
+const progEx7 = `
+program ex7
+inputs x1 x2
+    if x1 == 1 goto A else B
+A:  r := 1
+    goto J
+B:  r := 2
+    goto J
+J:  y := 1
+    halt
+`
+
+// progEx8 is the paper's Example 8: applying the transform makes the
+// mechanism strictly less complete.
+const progEx8 = `
+program ex8
+inputs x1 x2
+    if x2 == 1 goto A else B
+A:  y := 1
+    goto J
+B:  y := x1
+    goto J
+J:  halt
+`
+
+// progWhile runs a loop governed by x1 and then outputs x2.
+const progWhile = `
+program whileloop
+inputs x1 x2
+    r := x1
+Loop: if r > 0 goto Body else Done
+Body: r := r - 1
+      goto Loop
+Done: y := x2
+      halt
+`
+
+func dom2() core.Domain { return core.Grid(2, 0, 1, 2) }
+
+func TestAnalyzeBasics(t *testing.T) {
+	p := flowchart.MustParse(progEx7)
+	g, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Nodes {
+		if !g.Reachable[i] {
+			t.Errorf("node %d unreachable", i)
+		}
+	}
+	ds := g.Decisions()
+	if len(ds) != 1 {
+		t.Fatalf("decisions = %v", ds)
+	}
+	d := ds[0]
+	n := &p.Nodes[d]
+	// The join (y := 1) postdominates the decision and both arms.
+	join := g.ImmediatePostDominator(d)
+	if join == VirtualExit || p.Nodes[join].Kind != flowchart.KindAssign {
+		t.Fatalf("ipdom of decision = %v", join)
+	}
+	if !g.PostDominates(join, d) || !g.PostDominates(join, n.True) || !g.PostDominates(join, n.False) {
+		t.Error("join must postdominate the decision and both arms")
+	}
+	if g.PostDominates(n.True, d) {
+		t.Error("an arm must not postdominate the decision")
+	}
+	// Region = the two arm assignments.
+	region, err := g.Region(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(region) != 2 {
+		t.Errorf("region = %v, want the two arm assignments", region)
+	}
+	for _, id := range region {
+		if p.Nodes[id].Kind != flowchart.KindAssign {
+			t.Errorf("region node %d is %s", id, p.Nodes[id].Kind)
+		}
+	}
+}
+
+func TestRegionOfHaltingArms(t *testing.T) {
+	// When both arms halt separately the decision's region extends to the
+	// halts and the ipdom is the virtual exit.
+	p := flowchart.MustParse(`
+inputs x1
+    if x1 == 0 goto A else B
+A:  y := 1
+    halt
+B:  y := 2
+    halt
+`)
+	g, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := g.Decisions()[0]
+	if got := g.ImmediatePostDominator(d); got != VirtualExit {
+		t.Errorf("ipdom = %v, want VirtualExit", got)
+	}
+	region, err := g.Region(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(region) != 4 {
+		t.Errorf("region size = %d, want 4 (two assigns + two halts)", len(region))
+	}
+}
+
+func TestRegionErrorsOnNonDecision(t *testing.T) {
+	p := flowchart.MustParse("inputs x\n y := x\n halt\n")
+	g, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Region(p.Start); err == nil {
+		t.Error("Region on non-decision accepted")
+	}
+}
+
+func TestLoopPostdominators(t *testing.T) {
+	p := flowchart.MustParse(progWhile)
+	g, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := g.Decisions()[0]
+	// The loop exit (y := x2) is the decision's immediate postdominator.
+	join := g.ImmediatePostDominator(d)
+	if join == VirtualExit {
+		t.Fatal("loop decision should have a real ipdom (the exit)")
+	}
+	if n := &p.Nodes[join]; n.Kind != flowchart.KindAssign || n.Target != "y" {
+		t.Errorf("ipdom is %s %q", n.Kind, n.Target)
+	}
+}
+
+func TestFindDiamonds(t *testing.T) {
+	p := flowchart.MustParse(progEx7)
+	ds, err := FindDiamonds(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 {
+		t.Fatalf("diamonds = %+v", ds)
+	}
+	d := ds[0]
+	if len(d.TrueArm) != 1 || len(d.FalseArm) != 1 {
+		t.Errorf("arms = %v / %v", d.TrueArm, d.FalseArm)
+	}
+	// A loop is not a diamond.
+	loopy := flowchart.MustParse(progWhile)
+	ds, err = FindDiamonds(loopy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 0 {
+		t.Errorf("loop misdetected as diamond: %+v", ds)
+	}
+}
+
+func TestExample7TransformMakesMaximal(t *testing.T) {
+	q := flowchart.MustParse(progEx7)
+	allow2 := lattice.NewIndexSet(2)
+
+	// Plain surveillance: always Λ.
+	ms := surveillance.MustMechanism(q, allow2, surveillance.Untimed)
+	err := dom2().Enumerate(func(in []int64) error {
+		o, err := ms.Run(in)
+		if err != nil {
+			return err
+		}
+		if !o.Violation {
+			t.Errorf("M_s%v should be Λ before the transform", in)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Transform, then surveillance: always outputs 1 — maximal.
+	qt, n, err := IfThenElseAll(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("applied %d transforms, want 1", n)
+	}
+	if ok, w, err := Equivalent(q, qt, dom2()); err != nil || !ok {
+		t.Fatalf("transform not equivalent (witness %v, err %v)", w, err)
+	}
+	mt := surveillance.MustMechanism(qt, allow2, surveillance.Untimed)
+	err = dom2().Enumerate(func(in []int64) error {
+		o, err := mt.Run(in)
+		if err != nil {
+			return err
+		}
+		if o.Violation || o.Value != 1 {
+			t.Errorf("transformed M%v = %v, want 1", in, o)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Soundness is preserved, and the transformed mechanism is strictly
+	// more complete.
+	pol := core.NewAllowSet(2, allow2)
+	sr, err := core.CheckSoundness(mt, pol, dom2(), core.ObserveValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Sound {
+		t.Errorf("transformed mechanism unsound: %s", sr)
+	}
+	rep, err := core.Compare(mt, ms, dom2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Relation != core.MoreComplete {
+		t.Errorf("transformed vs plain: %s, want more complete", rep)
+	}
+}
+
+func TestExample8TransformHurts(t *testing.T) {
+	q := flowchart.MustParse(progEx8)
+	allow2 := lattice.NewIndexSet(2)
+	ms := surveillance.MustMechanism(q, allow2, surveillance.Untimed)
+
+	// Plain surveillance passes exactly when x2 == 1.
+	err := dom2().Enumerate(func(in []int64) error {
+		o, err := ms.Run(in)
+		if err != nil {
+			return err
+		}
+		if (in[1] == 1) == o.Violation {
+			t.Errorf("M_s%v = %v", in, o)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	qt, _, err := IfThenElseAll(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, w, err := Equivalent(q, qt, dom2()); err != nil || !ok {
+		t.Fatalf("transform not equivalent (witness %v, err %v)", w, err)
+	}
+	mt := surveillance.MustMechanism(qt, allow2, surveillance.Untimed)
+	// Transformed: always Λ (x1's class reaches y on every run).
+	err = dom2().Enumerate(func(in []int64) error {
+		o, err := mt.Run(in)
+		if err != nil {
+			return err
+		}
+		if !o.Violation {
+			t.Errorf("transformed M%v = %v, want Λ", in, o)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := core.Compare(ms, mt, dom2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Relation != core.MoreComplete {
+		t.Errorf("M vs transformed M': %s, want M more complete", rep)
+	}
+	// Both sound nonetheless.
+	pol := core.NewAllowSet(2, allow2)
+	for _, m := range []core.Mechanism{ms, mt} {
+		sr, err := core.CheckSoundness(m, pol, dom2(), core.ObserveValue)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sr.Sound {
+			t.Errorf("%s unsound: %s", m.Name(), sr)
+		}
+	}
+}
+
+func TestFindLoops(t *testing.T) {
+	p := flowchart.MustParse(progWhile)
+	ls, err := FindLoops(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls) != 1 {
+		t.Fatalf("loops = %+v", ls)
+	}
+	l := ls[0]
+	if !l.BodyOnTrue || len(l.Body) != 1 {
+		t.Errorf("loop shape: %+v", l)
+	}
+	// A diamond is not a loop.
+	ds, err := FindLoops(flowchart.MustParse(progEx7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 0 {
+		t.Errorf("diamond misdetected as loop: %+v", ds)
+	}
+}
+
+func TestWhileUnrollTransform(t *testing.T) {
+	q := flowchart.MustParse(progWhile)
+	allow2 := lattice.NewIndexSet(2)
+
+	// Plain surveillance: always Λ under allow(2) — the loop test taints
+	// the program counter with x1's class.
+	ms := surveillance.MustMechanism(q, allow2, surveillance.Untimed)
+	err := dom2().Enumerate(func(in []int64) error {
+		o, err := ms.Run(in)
+		if err != nil {
+			return err
+		}
+		if !o.Violation {
+			t.Errorf("M_s%v = %v, want Λ", in, o)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ls, err := FindLoops(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qt, err := Unroll(q, ls[0], 2) // domain values are ≤ 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, w, err := Equivalent(q, qt, dom2()); err != nil || !ok {
+		t.Fatalf("unroll not equivalent on domain (witness %v, err %v)", w, err)
+	}
+	// Unrolled: no branches at all — surveillance passes everywhere and
+	// outputs x2, so the mechanism is maximal for this program.
+	mt := surveillance.MustMechanism(qt, allow2, surveillance.Untimed)
+	err = dom2().Enumerate(func(in []int64) error {
+		o, err := mt.Run(in)
+		if err != nil {
+			return err
+		}
+		if o.Violation || o.Value != in[1] {
+			t.Errorf("unrolled M%v = %v, want %d", in, o, in[1])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := core.NewAllowSet(2, allow2)
+	sr, err := core.CheckSoundness(mt, pol, dom2(), core.ObserveValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Sound {
+		t.Errorf("unrolled mechanism unsound: %s", sr)
+	}
+}
+
+// progDoubler computes y = 2*x1 with a loop, so an insufficient unroll
+// bound is observable in the output.
+const progDoubler = `
+program doubler
+inputs x1
+    r := x1
+Loop: if r > 0 goto Body else Done
+Body: s := s + 2
+      r := r - 1
+      goto Loop
+Done: y := s
+      halt
+`
+
+func TestUnrollSufficientBound(t *testing.T) {
+	q := flowchart.MustParse(progDoubler)
+	ls, err := FindLoops(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls) != 1 || len(ls[0].Body) != 2 {
+		t.Fatalf("loops = %+v", ls)
+	}
+	dom := core.Grid(1, 0, 1, 2, 3)
+	qt, err := Unroll(q, ls[0], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, w, err := Equivalent(q, qt, dom); err != nil || !ok {
+		t.Fatalf("unroll(3) should be equivalent on x1 ≤ 3 (witness %v, err %v)", w, err)
+	}
+	r, err := qt.Run([]int64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value != 6 {
+		t.Errorf("unrolled doubler(3) = %v, want 6", r)
+	}
+}
+
+func TestUnrollInsufficientBoundDetected(t *testing.T) {
+	q := flowchart.MustParse(progDoubler)
+	ls, _ := FindLoops(q)
+	qt, err := Unroll(q, ls[0], 1) // too few iterations for x1 ≥ 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, w, err := Equivalent(q, qt, core.Grid(1, 0, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("Equivalent should detect the insufficient unroll bound")
+	}
+	if w == nil {
+		t.Error("want a counterexample witness")
+	}
+}
+
+func TestUnrollErrors(t *testing.T) {
+	q := flowchart.MustParse(progWhile)
+	ls, _ := FindLoops(q)
+	if _, err := Unroll(q, ls[0], 0); err == nil {
+		t.Error("maxIter 0 accepted")
+	}
+	bad := ls[0]
+	bad.Decision = q.Start
+	if _, err := Unroll(q, bad, 1); err == nil {
+		t.Error("non-decision accepted")
+	}
+}
+
+func TestIfThenElseErrors(t *testing.T) {
+	q := flowchart.MustParse(progEx7)
+	ds, _ := FindDiamonds(q)
+	bad := ds[0]
+	bad.Decision = q.Start
+	if _, err := IfThenElse(q, bad); err == nil {
+		t.Error("non-decision accepted")
+	}
+}
+
+func TestEquivalentArityMismatch(t *testing.T) {
+	p := flowchart.MustParse("inputs x\n y := x\n halt\n")
+	q := flowchart.MustParse("inputs a b\n y := a\n halt\n")
+	if _, _, err := Equivalent(p, q, core.Grid(1, 0)); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestEmptyArmDiamond(t *testing.T) {
+	// One-armed if: true arm assigns, false arm goes straight to the join.
+	q := flowchart.MustParse(`
+inputs x1 x2
+    if x1 == 0 goto A else J
+A:  y := x2
+    goto J
+J:  halt
+`)
+	ds, err := FindDiamonds(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 || len(ds[0].FalseArm) != 0 {
+		t.Fatalf("diamonds = %+v", ds)
+	}
+	qt, err := IfThenElse(q, ds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, w, err := Equivalent(q, qt, dom2()); err != nil || !ok {
+		t.Fatalf("one-armed transform not equivalent (witness %v, err %v)", w, err)
+	}
+	// The transformed program keeps soundness under surveillance for all
+	// policies.
+	for _, J := range lattice.Subsets(2) {
+		m := surveillance.MustMechanism(qt, J, surveillance.Untimed)
+		pol := core.NewAllowSet(2, J)
+		sr, err := core.CheckSoundness(m, pol, dom2(), core.ObserveValue)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sr.Sound {
+			t.Errorf("policy %s: %s", pol.Name(), sr)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package transform
+
+import (
+	"fmt"
+
+	"spm/internal/core"
+	"spm/internal/flowchart"
+)
+
+// Loop describes a while occurrence: a decision box one of whose arms is a
+// straight-line chain of assignment boxes leading back to the decision,
+// the other arm being the loop exit.
+type Loop struct {
+	Decision flowchart.NodeID
+	// Body is the chain of assignment boxes executed when the loop
+	// continues.
+	Body []flowchart.NodeID
+	// Exit is the node control reaches when the loop ends.
+	Exit flowchart.NodeID
+	// BodyOnTrue reports whether the body is the decision's true arm.
+	BodyOnTrue bool
+}
+
+// FindLoops returns the while occurrences of p in decision-ID order.
+func FindLoops(p *flowchart.Program) ([]Loop, error) {
+	g, err := Analyze(p)
+	if err != nil {
+		return nil, err
+	}
+	var out []Loop
+	for _, d := range g.Decisions() {
+		n := &p.Nodes[d]
+		if arm, end, ok := linearArm(p, g, n.True); ok && end == d {
+			out = append(out, Loop{Decision: d, Body: arm, Exit: n.False, BodyOnTrue: true})
+			continue
+		}
+		if arm, end, ok := linearArm(p, g, n.False); ok && end == d {
+			out = append(out, Loop{Decision: d, Body: arm, Exit: n.True, BodyOnTrue: false})
+		}
+	}
+	return out, nil
+}
+
+// Unroll applies the while transform of Section 4 to the loop l, replacing
+// it by maxIter unconditional, guarded copies of the body:
+//
+//	t := ite(B, 1, 0); v := ite(t == 1, E, v); ...   (maxIter times)
+//
+// Once the guard evaluates false the remaining copies are identity
+// assignments, so the result is functionally equivalent to the loop
+// *provided* the loop never runs more than maxIter iterations on the
+// inputs of interest — the caller's obligation, checkable with Equivalent.
+// The transformed program has no backward edge and no data-dependent
+// branch, so surveillance on it never taints the program counter with the
+// loop test's classes.
+func Unroll(p *flowchart.Program, l Loop, maxIter int) (*flowchart.Program, error) {
+	if maxIter < 1 {
+		return nil, fmt.Errorf("transform: maxIter %d < 1", maxIter)
+	}
+	q := p.Clone()
+	q.Name += "_unrolled"
+	dec := &q.Nodes[l.Decision]
+	if dec.Kind != flowchart.KindDecision {
+		return nil, fmt.Errorf("transform: node %d is %s, not a decision", l.Decision, dec.Kind)
+	}
+	cond := dec.Cond
+	if !l.BodyOnTrue {
+		cond = &flowchart.Not{X: cond}
+	}
+
+	// The decision node becomes the first iteration's guard assignment,
+	// keeping edges into the loop valid.
+	tmp := freshVar(q, "t_while")
+	*dec = flowchart.Node{
+		Kind:   flowchart.KindAssign,
+		Target: tmp,
+		Expr:   flowchart.Ite(cond, flowchart.C(1), flowchart.C(0)),
+		Next:   flowchart.NoNode,
+		Label:  dec.Label,
+	}
+	prev := l.Decision
+	link := func(id flowchart.NodeID) {
+		q.Nodes[prev].Next = id
+		prev = id
+	}
+	emitBody := func() error {
+		for _, id := range l.Body {
+			a := &p.Nodes[id]
+			if a.Kind != flowchart.KindAssign {
+				return fmt.Errorf("transform: body node %d is %s, not an assignment", id, a.Kind)
+			}
+			guard := flowchart.Eq(flowchart.V(tmp), flowchart.C(1))
+			link(q.AddNode(flowchart.Node{
+				Kind:   flowchart.KindAssign,
+				Target: a.Target,
+				Expr:   flowchart.Ite(guard, a.Expr, flowchart.V(a.Target)),
+				Next:   flowchart.NoNode,
+			}))
+		}
+		return nil
+	}
+	if err := emitBody(); err != nil {
+		return nil, err
+	}
+	for i := 1; i < maxIter; i++ {
+		link(q.AddNode(flowchart.Node{
+			Kind:   flowchart.KindAssign,
+			Target: tmp,
+			Expr:   flowchart.Ite(cond, flowchart.C(1), flowchart.C(0)),
+			Next:   flowchart.NoNode,
+		}))
+		if err := emitBody(); err != nil {
+			return nil, err
+		}
+	}
+	q.Nodes[prev].Next = l.Exit
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("transform: result invalid: %w", err)
+	}
+	return q, nil
+}
+
+// Equivalent checks that two programs compute the same function (output
+// value; running times may differ) over a finite domain. It returns a
+// counterexample input when they disagree. Transforms are only useful when
+// the transformed program is functionally equivalent — this is the check
+// that discharges Unroll's iteration-bound obligation on a test domain.
+func Equivalent(p, q *flowchart.Program, dom core.Domain) (ok bool, witness []int64, err error) {
+	if p.Arity() != q.Arity() || len(dom) != p.Arity() {
+		return false, nil, fmt.Errorf("transform: arity mismatch: %d vs %d vs domain %d",
+			p.Arity(), q.Arity(), len(dom))
+	}
+	ok = true
+	err = dom.Enumerate(func(in []int64) error {
+		rp, err := p.Run(in)
+		if err != nil {
+			return err
+		}
+		rq, err := q.Run(in)
+		if err != nil {
+			return err
+		}
+		same := rp.Violation == rq.Violation && (rp.Violation || rp.Value == rq.Value)
+		if !same && ok {
+			ok = false
+			witness = append([]int64(nil), in...)
+		}
+		return nil
+	})
+	return ok, witness, err
+}
