@@ -1,0 +1,28 @@
+# Same gates CI runs (.github/workflows/ci.yml), for humans.
+
+GO ?= go
+
+.PHONY: all build test bench lint fmt
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark: a smoke run proving they still execute.
+# For real measurements: go test -bench <pattern> -benchtime 5s .
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+lint:
+	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .

@@ -1,5 +1,6 @@
-// Benchmarks: one per experiment in DESIGN.md's index (E1–E20), plus
-// ablations for the design choices the core library makes. The benchmarks
+// Benchmarks: one per experiment in the registry (E1–E20, see
+// internal/experiments), plus ablations for the design choices the core
+// library makes. The benchmarks
 // measure the cost of the artifact each experiment regenerates — a
 // mechanism run, a soundness sweep, a transform, an attack — so the
 // relative shapes (surveillance overhead vs raw execution, attack vs
@@ -7,6 +8,7 @@
 package spm_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -23,6 +25,7 @@ import (
 	"spm/internal/querydb"
 	"spm/internal/static"
 	"spm/internal/surveillance"
+	"spm/internal/sweep"
 	"spm/internal/tape"
 	"spm/internal/transform"
 )
@@ -487,8 +490,8 @@ func BenchmarkE17HistoryPolicy(b *testing.B) {
 	})
 }
 
-// BenchmarkAblationInstrumentationOverhead quantifies the DESIGN.md
-// decision to express mechanisms as instrumented flowcharts: the factor
+// BenchmarkAblationInstrumentationOverhead quantifies the design decision
+// to express mechanisms as instrumented flowcharts: the factor
 // between raw interpretation and each instrumented variant on a
 // loop-heavy program.
 func BenchmarkAblationInstrumentationOverhead(b *testing.B) {
@@ -574,6 +577,78 @@ func BenchmarkAblationCompiledVsInterpreted(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := c.Run(in, flowchart.DefaultMaxSteps); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+const benchSweep = `
+program sweepdemo
+inputs x1 x2
+    i := x1 & 127
+Loop: if i == 0 goto Done else Body
+Body: i := i - 1
+      goto Loop
+Done: y := x2
+      halt
+`
+
+// BenchmarkAblationSweepEngine is the sequential-vs-engine ablation for the
+// shared sweep engine: the same soundness verdict over a ≥10⁵-tuple domain,
+// computed by the sequential tree-walking checker and by the chunked
+// work-stealing engine at increasing worker counts. The engine rows include
+// the compiled fast path (the mechanism wraps a flowchart program), which
+// is where most of the single-core factor comes from; extra workers then
+// scale it across CPUs.
+func BenchmarkAblationSweepEngine(b *testing.B) {
+	q := flowchart.MustParse(benchSweep)
+	m := core.FromProgram(q)
+	pol := core.NewAllow(2, 2)
+	dom := core.Grid(2, core.Range(0, 399)...) // 400² = 160,000 tuples
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportMetric(float64(dom.Size()), "inputs/check")
+		for i := 0; i < b.N; i++ {
+			rep, err := core.CheckSoundness(m, pol, dom, core.ObserveValue)
+			if err != nil || !rep.Sound {
+				b.Fatalf("rep=%v err=%v", rep, err)
+			}
+		}
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("engine-%dw", workers), func(b *testing.B) {
+			b.ReportMetric(float64(dom.Size()), "inputs/check")
+			for i := 0; i < b.N; i++ {
+				rep, err := core.CheckSoundnessSweep(m, pol, dom, core.ObserveValue, sweep.Config{Workers: workers})
+				if err != nil || !rep.Sound {
+					b.Fatalf("rep=%v err=%v", rep, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSweepMaximality measures the two-pass parallel
+// maximality checker against its sequential counterpart on the same
+// flowchart-backed mechanism.
+func BenchmarkAblationSweepMaximality(b *testing.B) {
+	q := flowchart.MustParse(benchSweep)
+	m := core.FromProgram(q)
+	pol := core.NewAllow(2, 2)
+	dom := core.Grid(2, core.Range(0, 63)...)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rep, err := core.CheckMaximality(m, m, pol, dom, core.ObserveValue)
+			if err != nil || !rep.Maximal {
+				b.Fatalf("rep=%v err=%v", rep, err)
+			}
+		}
+	})
+	b.Run("engine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rep, err := core.CheckMaximalityParallel(m, m, pol, dom, core.ObserveValue, 8)
+			if err != nil || !rep.Maximal {
+				b.Fatalf("rep=%v err=%v", rep, err)
 			}
 		}
 	})

@@ -1,6 +1,6 @@
 // Command spm-experiments regenerates the paper's evaluation artifacts
-// (experiments E1–E20, see DESIGN.md for the index). With no arguments it
-// runs everything; with experiment IDs it runs just those.
+// (experiments E1–E20; `spm-experiments -list` prints the index). With no
+// arguments it runs everything; with experiment IDs it runs just those.
 //
 //	spm-experiments            # all experiments
 //	spm-experiments E3 E10     # selected experiments

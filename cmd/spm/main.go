@@ -10,6 +10,7 @@
 //	spm certify   [-policy {i,j}] file.fc
 //	spm specialize [-policy {i,j}] file.fc
 //	spm check     [-policy {i,j}] [-variant ...] [-domain 0,1,2] [-time] file.fc
+//	spm sweep     [-policy {i,j}] [-variant ...] [-domain 0,1,2] [-workers N] [-chunk N] [-time] [-maximal] [-raw] file.fc
 //	spm dot       file.fc
 //
 // Programs use the flowchart DSL (see package spm/internal/flowchart):
@@ -28,12 +29,14 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"spm/internal/core"
 	"spm/internal/flowchart"
 	"spm/internal/lattice"
 	"spm/internal/static"
 	"spm/internal/surveillance"
+	"spm/internal/sweep"
 )
 
 func main() {
@@ -58,6 +61,8 @@ func run(args []string) error {
 		return cmdSpecialize(args[1:])
 	case "check":
 		return cmdCheck(args[1:])
+	case "sweep":
+		return cmdSweep(args[1:])
 	case "dot":
 		return cmdDot(args[1:])
 	case "help", "-h", "--help":
@@ -74,6 +79,7 @@ func usage() error {
   spm certify    [-policy {i,j}] file.fc
   spm specialize [-policy {i,j}] file.fc
   spm check      [-policy {i,j}] [-variant ...] [-domain 0,1,2] [-time] file.fc
+  spm sweep      [-policy {i,j}] [-variant ...] [-domain 0,1,2] [-workers N] [-chunk N] [-time] [-maximal] [-raw] file.fc
   spm dot        file.fc`)
 	return nil
 }
@@ -96,6 +102,18 @@ func parsePolicy(spec string, arity int) (lattice.IndexSet, error) {
 	return lattice.ParseIndexSet(spec)
 }
 
+func parseDomain(spec string) ([]int64, error) {
+	var values []int64
+	for _, part := range strings.Split(spec, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad domain value %q", part)
+		}
+		values = append(values, v)
+	}
+	return values, nil
+}
+
 func parseVariant(spec string) (surveillance.Variant, error) {
 	switch spec {
 	case "", "untimed":
@@ -107,6 +125,57 @@ func parseVariant(spec string) (surveillance.Variant, error) {
 	default:
 		return 0, fmt.Errorf("unknown variant %q (want untimed, timed, or highwater)", spec)
 	}
+}
+
+// checkSetup is everything a soundness check needs, assembled from the
+// flags shared by the check and sweep subcommands.
+type checkSetup struct {
+	prog *flowchart.Program
+	m    core.Mechanism
+	pol  core.Policy
+	dom  core.Domain
+	obs  core.Observation
+}
+
+// buildCheck loads the program and constructs the mechanism (instrumented
+// or raw), policy, domain, and observation from the common flag values.
+func buildCheck(file, policy, variant, domain string, timed, raw bool) (*checkSetup, error) {
+	p, err := loadProgram(file)
+	if err != nil {
+		return nil, err
+	}
+	allowed, err := parsePolicy(policy, p.Arity())
+	if err != nil {
+		return nil, err
+	}
+	values, err := parseDomain(domain)
+	if err != nil {
+		return nil, err
+	}
+	var m core.Mechanism
+	if raw {
+		m = core.FromProgram(p)
+	} else {
+		v, err := parseVariant(variant)
+		if err != nil {
+			return nil, err
+		}
+		m, err = surveillance.Mechanism(p, allowed, v)
+		if err != nil {
+			return nil, err
+		}
+	}
+	obs := core.ObserveValue
+	if timed {
+		obs = core.ObserveValueAndTime
+	}
+	return &checkSetup{
+		prog: p,
+		m:    m,
+		pol:  core.NewAllowSet(p.Arity(), allowed),
+		dom:  core.Grid(p.Arity(), values...),
+		obs:  obs,
+	}, nil
 }
 
 func cmdRun(args []string) error {
@@ -246,45 +315,63 @@ func cmdCheck(args []string) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("check: need exactly one program file")
 	}
-	p, err := loadProgram(fs.Arg(0))
+	s, err := buildCheck(fs.Arg(0), *policy, *variant, *domain, *timed, *raw)
 	if err != nil {
-		return err
+		return fmt.Errorf("check: %w", err)
 	}
-	allowed, err := parsePolicy(*policy, p.Arity())
-	if err != nil {
-		return err
-	}
-	var values []int64
-	for _, part := range strings.Split(*domain, ",") {
-		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
-		if err != nil {
-			return fmt.Errorf("check: bad domain value %q", part)
-		}
-		values = append(values, v)
-	}
-	var m core.Mechanism
-	if *raw {
-		m = core.FromProgram(p)
-	} else {
-		v, err := parseVariant(*variant)
-		if err != nil {
-			return err
-		}
-		m, err = surveillance.Mechanism(p, allowed, v)
-		if err != nil {
-			return err
-		}
-	}
-	obs := core.ObserveValue
-	if *timed {
-		obs = core.ObserveValueAndTime
-	}
-	pol := core.NewAllowSet(p.Arity(), allowed)
-	rep, err := core.CheckSoundness(m, pol, core.Grid(p.Arity(), values...), obs)
+	rep, err := core.CheckSoundness(s.m, s.pol, s.dom, s.obs)
 	if err != nil {
 		return err
 	}
 	fmt.Println(rep)
+	return nil
+}
+
+// cmdSweep is cmdCheck on the parallel sweep engine: it instruments the
+// program (or takes it raw), runs the chunked work-stealing soundness check
+// — compiled fast path included, since the mechanism wraps a flowchart —
+// and reports the verdict with throughput. With -maximal it additionally
+// checks whether the mechanism is the Theorem 2 maximal sound mechanism
+// for the bare program.
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	policy := fs.String("policy", "{}", "allowed input indices, e.g. {1,3} or all")
+	variant := fs.String("variant", "untimed", "untimed, timed, or highwater")
+	domain := fs.String("domain", "0,1,2", "comma-separated values every input ranges over")
+	workers := fs.Int("workers", 0, "sweep workers (0 = all CPUs)")
+	chunk := fs.Int("chunk", 0, "tuples claimed per cursor advance (0 = auto)")
+	timed := fs.Bool("time", false, "observe running time as well as the value")
+	raw := fs.Bool("raw", false, "check the bare program instead of instrumenting")
+	maximal := fs.Bool("maximal", false, "also check maximality against the bare program")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("sweep: need exactly one program file")
+	}
+	s, err := buildCheck(fs.Arg(0), *policy, *variant, *domain, *timed, *raw)
+	if err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	cfg := sweep.Config{Workers: *workers, Chunk: *chunk}
+
+	start := time.Now()
+	rep, err := core.CheckSoundnessSweep(s.m, s.pol, s.dom, s.obs, cfg)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Println(rep)
+	rate := float64(rep.Checked) / elapsed.Seconds()
+	fmt.Printf("swept %d inputs in %v (%.0f inputs/s)\n", rep.Checked, elapsed.Round(time.Microsecond), rate)
+
+	if *maximal {
+		mrep, err := core.CheckMaximalitySweep(s.m, core.FromProgram(s.prog), s.pol, s.dom, s.obs, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(mrep)
+	}
 	return nil
 }
 

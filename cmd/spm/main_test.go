@@ -201,3 +201,64 @@ func TestUsage(t *testing.T) {
 		t.Errorf("help: %v", err)
 	}
 }
+
+func TestCmdSweep(t *testing.T) {
+	path := writeProg(t, testProg)
+	out, err := capture(t, func() error {
+		return run([]string{"sweep", "-policy", "{2}", "-workers", "4", "-chunk", "2", path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "SOUND") || !strings.Contains(out, "swept") {
+		t.Errorf("sweep output = %q", out)
+	}
+}
+
+func TestCmdSweepMaximalRaw(t *testing.T) {
+	path := writeProg(t, testProg)
+	// The bare program is its own maximal mechanism for allow(all).
+	out, err := capture(t, func() error {
+		return run([]string{"sweep", "-raw", "-policy", "all", "-domain", "0,1", "-maximal", path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "MAXIMAL") {
+		t.Errorf("sweep -maximal output = %q", out)
+	}
+	// On the p. 49 both-arms program surveillance is sound for allow(2)
+	// but always reports Λ, so it must not check as maximal.
+	path = writeProg(t, `
+program botharms
+inputs x1 x2
+    if x1 == 0 goto A else B
+A:  y := x2
+    halt
+B:  y := x2
+    halt
+`)
+	out, err = capture(t, func() error {
+		return run([]string{"sweep", "-policy", "{2}", "-maximal", path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "NOT maximal") {
+		t.Errorf("sweep -maximal (surveillance) output = %q", out)
+	}
+}
+
+func TestCmdSweepErrors(t *testing.T) {
+	path := writeProg(t, testProg)
+	for _, args := range [][]string{
+		{"sweep"},
+		{"sweep", "-domain", "x", path},
+		{"sweep", "-policy", "bogus", path},
+		{"sweep", "-variant", "bogus", path},
+	} {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -10,8 +10,10 @@
 // memory behind the password attack, the logon program, the file system,
 // and the history-dependent statistical database.
 //
-// See DESIGN.md for the system inventory and the experiment index, and
-// EXPERIMENTS.md for the reproduced results. The benchmarks in
-// bench_test.go regenerate one measurement per experiment; the
-// cmd/spm-experiments binary prints the full tables.
+// See README.md for the quickstart and the package map. The experiment
+// registry in internal/experiments maps each ID (E1–E20) to the paper
+// artifact it reproduces; the benchmarks in bench_test.go regenerate one
+// measurement per experiment, and the cmd/spm-experiments binary prints
+// the full tables. Exhaustive checks run on the parallel sweep engine in
+// internal/sweep (see `spm sweep`).
 package spm

@@ -1,0 +1,3 @@
+module spm
+
+go 1.24

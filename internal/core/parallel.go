@@ -2,103 +2,116 @@ package core
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
+
+	"spm/internal/sweep"
 )
 
-// CheckSoundnessParallel is CheckSoundness with the domain enumeration
-// sharded across workers goroutines (runtime.NumCPU() when workers ≤ 0).
-// Mechanisms must be safe for concurrent Run calls — every mechanism in
-// this library is, because Run never mutates receiver state. The verdict
-// is deterministic; when multiple counterexamples exist, the reported
-// witness pair may differ from the sequential checker's.
+// RunFunc evaluates a mechanism on one input. It is the unit the sweep
+// engine schedules; see RunnerFactory.
+type RunFunc func(input []int64) (Outcome, error)
+
+// RunnerFactory returns a factory producing one RunFunc per sweep worker.
+// When m wraps a flowchart program (directly, via Program) the program is
+// lowered once with flowchart.Compile and every worker executes the
+// slot-indexed form against a private register file — the compiled fast
+// path that lets surveillance and high-water sweeps skip the interpreter's
+// per-step map lookups. Any other mechanism falls back to m.Run, which is
+// safe for concurrent use everywhere in this library (Run never mutates
+// receiver state).
+func RunnerFactory(m Mechanism) func() RunFunc {
+	if pm, ok := m.(*Program); ok {
+		if c, err := pm.P.Compile(); err == nil {
+			maxSteps := pm.MaxSteps
+			return func() RunFunc {
+				regs := make([]int64, c.Slots())
+				return func(input []int64) (Outcome, error) {
+					res, err := c.RunReuse(regs, input, maxSteps)
+					if err != nil {
+						return Outcome{}, err
+					}
+					return Outcome{Value: res.Value, Steps: res.Steps, Violation: res.Violation, Notice: res.Notice}, nil
+				}
+			}
+		}
+	}
+	return func() RunFunc { return m.Run }
+}
+
+// viewEntry is one policy class's first-seen observation and witness input.
+type viewEntry struct {
+	obs   string
+	input []int64
+}
+
+// CheckSoundnessParallel is CheckSoundness with the domain enumeration run
+// on the sweep engine: workers goroutines (runtime.NumCPU() when ≤ 0)
+// pulling chunks from a shared cursor, per-worker view tables merged at the
+// end. The verdict is deterministic; when multiple counterexamples exist,
+// the reported witness pair may differ from the sequential checker's.
 func CheckSoundnessParallel(m Mechanism, pol Policy, dom Domain, obs Observation, workers int) (SoundnessReport, error) {
+	return CheckSoundnessSweep(m, pol, dom, obs, sweep.Config{Workers: workers})
+}
+
+// CheckSoundnessSweep is CheckSoundnessParallel with full engine control
+// (worker count and chunk size).
+func CheckSoundnessSweep(m Mechanism, pol Policy, dom Domain, obs Observation, cfg sweep.Config) (SoundnessReport, error) {
 	rep := SoundnessReport{Mechanism: m.Name(), Policy: pol.Name(), Observation: obs.ObsName, Sound: true}
 	if m.Arity() != pol.Arity() || len(dom) != m.Arity() {
 		return rep, fmt.Errorf("core: arity mismatch: mechanism %d, policy %d, domain %d",
 			m.Arity(), pol.Arity(), len(dom))
 	}
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers == 1 || len(dom) == 0 || dom.Size() < 2*workers {
-		return CheckSoundness(m, pol, dom, obs)
-	}
 
-	// Shard on the first input position: each worker takes a round-robin
-	// slice of its values and enumerates the rest of the product locally,
-	// building a view → observation table and noting the first in-shard
-	// conflict. A sequential merge then catches cross-shard conflicts
-	// (views span shards whenever input 1 is disallowed by the policy).
-	type entry struct {
-		obs   string
-		input []int64
-	}
-	type shardResult struct {
-		views     map[string]entry
-		conflictA *entry
-		conflictB *entry
+	// Each worker builds a view → observation table and notes the first
+	// conflict it sees; the merge then catches conflicts whose two inputs
+	// were visited by different workers (views span chunks whenever the
+	// policy ignores part of the input).
+	type shard struct {
+		run       RunFunc
+		views     map[string]viewEntry
+		conflictA *viewEntry
+		conflictB *viewEntry
 		checked   int
-		err       error
 	}
-	results := make([]shardResult, workers)
-
-	var wg sync.WaitGroup
-	first := dom[0]
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			res := &results[w]
-			res.views = make(map[string]entry)
-			var mine []int64
-			for i := w; i < len(first); i += workers {
-				mine = append(mine, first[i])
-			}
-			if len(mine) == 0 {
-				return
-			}
-			sub := make(Domain, len(dom))
-			copy(sub, dom)
-			sub[0] = mine
-			res.err = sub.Enumerate(func(input []int64) error {
-				o, err := m.Run(input)
-				if err != nil {
-					return err
-				}
-				res.checked++
-				view := pol.View(input)
-				rendered := obs.Render(o)
-				prev, ok := res.views[view]
-				if !ok {
-					res.views[view] = entry{obs: rendered, input: append([]int64(nil), input...)}
-					return nil
-				}
-				if prev.obs != rendered && res.conflictA == nil {
-					a, b := prev, entry{obs: rendered, input: append([]int64(nil), input...)}
-					res.conflictA, res.conflictB = &a, &b
-				}
-				return nil
-			})
-		}(w)
+	workers := cfg.ResolvedWorkers(sweep.Size(dom))
+	factory := RunnerFactory(m)
+	shards := make([]shard, workers)
+	for w := range shards {
+		shards[w] = shard{run: factory(), views: make(map[string]viewEntry)}
 	}
-	wg.Wait()
-
-	merged := make(map[string]entry)
-	for w := range results {
-		res := &results[w]
-		if res.err != nil {
-			return rep, res.err
+	err := sweep.Run(dom, cfg, func(w int, input []int64) error {
+		s := &shards[w]
+		o, err := s.run(input)
+		if err != nil {
+			return err
 		}
-		rep.Checked += res.checked
-		if res.conflictA != nil && rep.Sound {
+		s.checked++
+		view := pol.View(input)
+		rendered := obs.Render(o)
+		prev, ok := s.views[view]
+		if !ok {
+			s.views[view] = viewEntry{obs: rendered, input: append([]int64(nil), input...)}
+			return nil
+		}
+		if prev.obs != rendered && s.conflictA == nil {
+			b := viewEntry{obs: rendered, input: append([]int64(nil), input...)}
+			s.conflictA, s.conflictB = &prev, &b
+		}
+		return nil
+	})
+	if err != nil {
+		return rep, err
+	}
+
+	merged := make(map[string]viewEntry)
+	for w := range shards {
+		s := &shards[w]
+		rep.Checked += s.checked
+		if s.conflictA != nil && rep.Sound {
 			rep.Sound = false
-			rep.WitnessA = res.conflictA.input
-			rep.WitnessB = res.conflictB.input
-			rep.ObsA = res.conflictA.obs
-			rep.ObsB = res.conflictB.obs
+			rep.WitnessA, rep.WitnessB = s.conflictA.input, s.conflictB.input
+			rep.ObsA, rep.ObsB = s.conflictA.obs, s.conflictB.obs
 		}
-		for view, e := range res.views {
+		for view, e := range s.views {
 			prev, ok := merged[view]
 			if !ok {
 				merged[view] = e
@@ -106,12 +119,49 @@ func CheckSoundnessParallel(m Mechanism, pol Policy, dom Domain, obs Observation
 			}
 			if prev.obs != e.obs && rep.Sound {
 				rep.Sound = false
-				rep.WitnessA = prev.input
-				rep.WitnessB = e.input
-				rep.ObsA = prev.obs
-				rep.ObsB = e.obs
+				rep.WitnessA, rep.WitnessB = prev.input, e.input
+				rep.ObsA, rep.ObsB = prev.obs, e.obs
 			}
 		}
 	}
 	return rep, nil
+}
+
+// PassCountParallel counts the inputs in dom on which m returns real output
+// (no violation notice) — the utility column of the experiment tables —
+// using the sweep engine and the compiled fast path.
+func PassCountParallel(m Mechanism, dom Domain, workers int) (int, error) {
+	return PassCountSweep(m, dom, sweep.Config{Workers: workers})
+}
+
+// PassCountSweep is PassCountParallel with full engine control.
+func PassCountSweep(m Mechanism, dom Domain, cfg sweep.Config) (int, error) {
+	if len(dom) != m.Arity() {
+		return 0, fmt.Errorf("core: arity mismatch: mechanism %d, domain %d", m.Arity(), len(dom))
+	}
+	workers := cfg.ResolvedWorkers(sweep.Size(dom))
+	factory := RunnerFactory(m)
+	runs := make([]RunFunc, workers)
+	counts := make([]int, workers)
+	for w := range runs {
+		runs[w] = factory()
+	}
+	err := sweep.Run(dom, cfg, func(w int, input []int64) error {
+		o, err := runs[w](input)
+		if err != nil {
+			return err
+		}
+		if !o.Violation {
+			counts[w]++
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"spm/internal/lattice"
@@ -59,15 +60,24 @@ func (a *Allow) Name() string {
 // Arity implements Policy.
 func (a *Allow) Arity() int { return a.K }
 
-// View implements Policy: the projection (d_{i1}, ..., d_{im}).
-func (a *Allow) View(input []int64) string {
-	var b strings.Builder
-	for _, i := range a.Allowed.Indices() {
-		if i <= len(input) {
-			fmt.Fprintf(&b, "%d|", input[i-1])
+// renderView canonically encodes the projection of input onto the indices
+// in set. This is the hottest string in every sweep — one call per
+// enumerated tuple — so it walks the index bitmask directly instead of
+// materialising the index slice and formatting through fmt.
+func renderView(set lattice.IndexSet, input []int64) string {
+	buf := make([]byte, 0, 4*len(input))
+	for i := 1; i <= len(input); i++ {
+		if set.Contains(i) {
+			buf = strconv.AppendInt(buf, input[i-1], 10)
+			buf = append(buf, '|')
 		}
 	}
-	return b.String()
+	return string(buf)
+}
+
+// View implements Policy: the projection (d_{i1}, ..., d_{im}).
+func (a *Allow) View(input []int64) string {
+	return renderView(a.Allowed, input)
 }
 
 // Content is a content-dependent policy defined by an arbitrary view
@@ -128,13 +138,7 @@ func (p *Integrity) Arity() int { return p.K }
 
 // View implements Policy.
 func (p *Integrity) View(input []int64) string {
-	var b strings.Builder
-	for _, i := range p.Trusted.Indices() {
-		if i <= len(input) {
-			fmt.Fprintf(&b, "%d|", input[i-1])
-		}
-	}
-	return b.String()
+	return renderView(p.Trusted, input)
 }
 
 // Observation selects what the user can see of an outcome — the formal
@@ -148,14 +152,15 @@ type Observation struct {
 }
 
 // ObserveValue sees the output value (or the violation notice) but not the
-// running time: the paper's first flowchart case, range Z.
+// running time: the paper's first flowchart case, range Z. Render is on
+// every sweep's per-tuple path, hence strconv rather than fmt.
 var ObserveValue = Observation{
 	ObsName: "value",
 	Render: func(o Outcome) string {
 		if o.Violation {
 			return "Λ[" + o.Notice + "]"
 		}
-		return fmt.Sprintf("v=%d", o.Value)
+		return "v=" + strconv.FormatInt(o.Value, 10)
 	},
 }
 
@@ -165,9 +170,9 @@ var ObserveValueAndTime = Observation{
 	ObsName: "value+time",
 	Render: func(o Outcome) string {
 		if o.Violation {
-			return fmt.Sprintf("Λ[%s]@%d", o.Notice, o.Steps)
+			return "Λ[" + o.Notice + "]@" + strconv.FormatInt(o.Steps, 10)
 		}
-		return fmt.Sprintf("v=%d@%d", o.Value, o.Steps)
+		return "v=" + strconv.FormatInt(o.Value, 10) + "@" + strconv.FormatInt(o.Steps, 10)
 	},
 }
 

@@ -36,7 +36,7 @@ func runE19(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		rep, err := core.CheckSoundness(m, m.Policy(), dom, core.ObserveValue)
+		rep, err := core.CheckSoundnessParallel(m, m.Policy(), dom, core.ObserveValue, 0)
 		if err != nil {
 			return err
 		}

@@ -1,10 +1,9 @@
 // Package experiments regenerates every evaluation artifact of Jones &
 // Lipton's paper as a text table: the worked examples (Ex. 1–9), the
 // flowchart comparisons of Section 4, the theorems' demonstrations, and
-// the Section 2 side-channel studies. DESIGN.md carries the experiment
-// index mapping each ID to the paper artifact and the implementing
-// modules; EXPERIMENTS.md records the emitted tables next to the paper's
-// claims.
+// the Section 2 side-channel studies. Each registered Experiment names the
+// paper artifact it reproduces; cmd/spm-experiments prints the full tables
+// and the top-level bench_test.go measures one unit of work per experiment.
 package experiments
 
 import (
@@ -12,6 +11,8 @@ import (
 	"io"
 	"sort"
 	"text/tabwriter"
+
+	"spm/internal/core"
 )
 
 // Experiment is one reproducible paper artifact.
@@ -80,4 +81,11 @@ func mark(b bool) string {
 		return "yes"
 	}
 	return "no"
+}
+
+// passes counts the inputs on which m returns real output, on the shared
+// sweep engine (parallel workers, compiled fast path for flowchart-backed
+// mechanisms). Every pass-count column in the tables goes through here.
+func passes(m core.Mechanism, dom core.Domain) (int, error) {
+	return core.PassCountParallel(m, dom, 0)
 }

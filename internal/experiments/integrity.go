@@ -44,24 +44,15 @@ Dirty: y := x1 + x2
 	tw := table(w)
 	fmt.Fprintln(tw, "mechanism\tsound for integrity(1)\tpasses")
 	for _, mm := range []core.Mechanism{qm, m} {
-		rep, err := core.CheckSoundness(mm, pol, dom, core.ObserveValue)
+		rep, err := core.CheckSoundnessParallel(mm, pol, dom, core.ObserveValue, 0)
 		if err != nil {
 			return err
 		}
-		passes := 0
-		if err := dom.Enumerate(func(in []int64) error {
-			o, err := mm.Run(in)
-			if err != nil {
-				return err
-			}
-			if !o.Violation {
-				passes++
-			}
-			return nil
-		}); err != nil {
+		pass, err := passes(mm, dom)
+		if err != nil {
 			return err
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%d/%d\n", mm.Name(), mark(rep.Sound), passes, dom.Size())
+		fmt.Fprintf(tw, "%s\t%s\t%d/%d\n", mm.Name(), mark(rep.Sound), pass, dom.Size())
 	}
 	if err := tw.Flush(); err != nil {
 		return err

@@ -66,24 +66,15 @@ func runE1(w io.Writer) error {
 	tw := table(w)
 	fmt.Fprintln(tw, "mechanism\tpolicy\tsound\tpasses")
 	for _, tc := range cases {
-		rep, err := core.CheckSoundness(tc.m, tc.pol, dom, core.ObserveValue)
+		rep, err := core.CheckSoundnessParallel(tc.m, tc.pol, dom, core.ObserveValue, 0)
 		if err != nil {
 			return err
 		}
-		passes := 0
-		if err := dom.Enumerate(func(in []int64) error {
-			o, err := tc.m.Run(in)
-			if err != nil {
-				return err
-			}
-			if !o.Violation {
-				passes++
-			}
-			return nil
-		}); err != nil {
+		pass, err := passes(tc.m, dom)
+		if err != nil {
 			return err
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%d/%d\n", tc.m.Name(), tc.pol.Name(), mark(rep.Sound), passes, dom.Size())
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d/%d\n", tc.m.Name(), tc.pol.Name(), mark(rep.Sound), pass, dom.Size())
 	}
 	return tw.Flush()
 }
@@ -92,7 +83,7 @@ func runE2(w io.Writer) error {
 	q := logon.Program()
 	pol := logon.Policy()
 	dom := logon.Domain(3)
-	rep, err := core.CheckSoundness(q, pol, dom, core.ObserveValue)
+	rep, err := core.CheckSoundnessParallel(q, pol, dom, core.ObserveValue, 0)
 	if err != nil {
 		return err
 	}
@@ -128,21 +119,12 @@ func runE12(w io.Writer) error {
 	tw := table(w)
 	fmt.Fprintln(tw, "mechanism\tsound\tpasses\tunion vs member")
 	for _, m := range []core.Mechanism{ms, mh, null, u} {
-		rep, err := core.CheckSoundness(m, pol, dom, core.CoarseNotices(core.ObserveValue))
+		rep, err := core.CheckSoundnessParallel(m, pol, dom, core.CoarseNotices(core.ObserveValue), 0)
 		if err != nil {
 			return err
 		}
-		passes := 0
-		if err := dom.Enumerate(func(in []int64) error {
-			o, err := m.Run(in)
-			if err != nil {
-				return err
-			}
-			if !o.Violation {
-				passes++
-			}
-			return nil
-		}); err != nil {
+		pass, err := passes(m, dom)
+		if err != nil {
 			return err
 		}
 		rel := "-"
@@ -153,7 +135,7 @@ func runE12(w io.Writer) error {
 			}
 			rel = "union " + relSym(cr.Relation) + " member"
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%d/%d\t%s\n", m.Name(), mark(rep.Sound), passes, dom.Size(), rel)
+		fmt.Fprintf(tw, "%s\t%s\t%d/%d\t%s\n", m.Name(), mark(rep.Sound), pass, dom.Size(), rel)
 	}
 	return tw.Flush()
 }
@@ -200,7 +182,7 @@ func runE14(w io.Writer) error {
 			}
 			return core.Outcome{Value: a[x], Steps: 1}
 		})
-		rep, err := core.CheckSoundness(q, pol, dom, core.ObserveValue)
+		rep, err := core.CheckSoundnessParallel(q, pol, dom, core.ObserveValue, 0)
 		if err != nil {
 			return err
 		}
@@ -236,7 +218,7 @@ func runE15(w io.Writer) error {
 	tw := table(w)
 	fmt.Fprintln(tw, "mechanism\tsound\tmechanism-property vs Q")
 	for _, m := range []core.Mechanism{s.Gatekeeper(), s.Program()} {
-		rep, err := core.CheckSoundness(m, pol, dom, core.ObserveValue)
+		rep, err := core.CheckSoundnessParallel(m, pol, dom, core.ObserveValue, 0)
 		if err != nil {
 			return err
 		}

@@ -93,24 +93,15 @@ func runE4(w io.Writer) error {
 	ms := surveillance.MustMechanism(q, J, surveillance.Untimed)
 	qm := core.FromProgram(q)
 
-	msPass, qSound := 0, false
-	if err := dom.Enumerate(func(in []int64) error {
-		o, err := ms.Run(in)
-		if err != nil {
-			return err
-		}
-		if !o.Violation {
-			msPass++
-		}
-		return nil
-	}); err != nil {
-		return err
-	}
-	rep, err := core.CheckSoundness(qm, pol, dom, core.ObserveValue)
+	msPass, err := passes(ms, dom)
 	if err != nil {
 		return err
 	}
-	qSound = rep.Sound
+	rep, err := core.CheckSoundnessParallel(qm, pol, dom, core.ObserveValue, 0)
+	if err != nil {
+		return err
+	}
+	qSound := rep.Sound
 	cr, err := core.Compare(qm, ms, dom)
 	if err != nil {
 		return err
@@ -126,11 +117,20 @@ func runE4(w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// The direct maximality verdicts: Q checks as maximal, M_s does not.
+	qMax, err := core.CheckMaximalityParallel(qm, qm, pol, dom, core.ObserveValue, 0)
+	if err != nil {
+		return err
+	}
+	msMax, err := core.CheckMaximalityParallel(ms, qm, pol, dom, core.ObserveValue, 0)
+	if err != nil {
+		return err
+	}
 	tw := table(w)
-	fmt.Fprintln(tw, "mechanism\tsound for allow(2)\tpasses")
-	fmt.Fprintf(tw, "M_s\tyes (Thm 3)\t%d/%d\n", msPass, dom.Size())
-	fmt.Fprintf(tw, "Q\t%s\t%d/%d\n", mark(qSound), dom.Size(), dom.Size())
-	fmt.Fprintf(tw, "M_max (Thm 2 tabulation)\tyes\t%d/%d\n", maxPass, maxTotal)
+	fmt.Fprintln(tw, "mechanism\tsound for allow(2)\tmaximal\tpasses")
+	fmt.Fprintf(tw, "M_s\tyes (Thm 3)\t%s\t%d/%d\n", mark(msMax.Maximal), msPass, dom.Size())
+	fmt.Fprintf(tw, "Q\t%s\t%s\t%d/%d\n", mark(qSound), mark(qMax.Maximal), dom.Size(), dom.Size())
+	fmt.Fprintf(tw, "M_max (Thm 2 tabulation)\tyes\tyes\t%d/%d\n", maxPass, maxTotal)
 	if err := tw.Flush(); err != nil {
 		return err
 	}
@@ -165,7 +165,7 @@ func runE7(w io.Writer) error {
 				if err != nil {
 					return err
 				}
-				rep, err := core.CheckSoundness(m, pol, dom, rows[i].obs)
+				rep, err := core.CheckSoundnessParallel(m, pol, dom, rows[i].obs, 0)
 				if err != nil {
 					return err
 				}
@@ -226,7 +226,7 @@ func runE8(w io.Writer) error {
 		{"M (untimed) under value+time", ms, core.ObserveValueAndTime},
 		{"M' (timed) under value+time", mp, core.ObserveValueAndTime},
 	} {
-		rep, err := core.CheckSoundness(tc.m, pol, dom, tc.obs)
+		rep, err := core.CheckSoundnessParallel(tc.m, pol, dom, tc.obs, 0)
 		if err != nil {
 			return err
 		}

@@ -57,24 +57,15 @@ func transformComparison(w io.Writer, src string, J lattice.IndexSet, dom core.D
 	tw := table(w)
 	fmt.Fprintln(tw, "mechanism\tsound\tpasses")
 	for _, m := range []core.Mechanism{ms, mt} {
-		rep, err := core.CheckSoundness(m, pol, dom, core.ObserveValue)
+		rep, err := core.CheckSoundnessParallel(m, pol, dom, core.ObserveValue, 0)
 		if err != nil {
 			return err
 		}
-		passes := 0
-		if err := dom.Enumerate(func(in []int64) error {
-			o, err := m.Run(in)
-			if err != nil {
-				return err
-			}
-			if !o.Violation {
-				passes++
-			}
-			return nil
-		}); err != nil {
+		pass, err := passes(m, dom)
+		if err != nil {
 			return err
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%d/%d\n", m.Name(), mark(rep.Sound), passes, dom.Size())
+		fmt.Fprintf(tw, "%s\t%s\t%d/%d\n", m.Name(), mark(rep.Sound), pass, dom.Size())
 	}
 	if err := tw.Flush(); err != nil {
 		return err
@@ -120,24 +111,15 @@ func runE9(w io.Writer) error {
 	tw := table(w)
 	fmt.Fprintln(tw, "mechanism\tsound\tpasses")
 	for _, m := range []core.Mechanism{whole, ifte, ms, spec} {
-		sr, err := core.CheckSoundness(m, pol, dom, core.CoarseNotices(core.ObserveValue))
+		sr, err := core.CheckSoundnessParallel(m, pol, dom, core.CoarseNotices(core.ObserveValue), 0)
 		if err != nil {
 			return err
 		}
-		passes := 0
-		if err := dom.Enumerate(func(in []int64) error {
-			o, err := m.Run(in)
-			if err != nil {
-				return err
-			}
-			if !o.Violation {
-				passes++
-			}
-			return nil
-		}); err != nil {
+		pass, err := passes(m, dom)
+		if err != nil {
 			return err
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%d/%d\n", m.Name(), mark(sr.Sound), passes, dom.Size())
+		fmt.Fprintf(tw, "%s\t%s\t%d/%d\n", m.Name(), mark(sr.Sound), pass, dom.Size())
 	}
 	if err := tw.Flush(); err != nil {
 		return err
@@ -171,24 +153,15 @@ func runE16(w io.Writer) error {
 	tw := table(w)
 	fmt.Fprintln(tw, "mechanism\tsound\tpasses")
 	for _, m := range []core.Mechanism{ms, mt} {
-		rep, err := core.CheckSoundness(m, pol, dom, core.ObserveValue)
+		rep, err := core.CheckSoundnessParallel(m, pol, dom, core.ObserveValue, 0)
 		if err != nil {
 			return err
 		}
-		passes := 0
-		if err := dom.Enumerate(func(in []int64) error {
-			o, err := m.Run(in)
-			if err != nil {
-				return err
-			}
-			if !o.Violation {
-				passes++
-			}
-			return nil
-		}); err != nil {
+		pass, err := passes(m, dom)
+		if err != nil {
 			return err
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%d/%d\n", m.Name(), mark(rep.Sound), passes, dom.Size())
+		fmt.Fprintf(tw, "%s\t%s\t%d/%d\n", m.Name(), mark(rep.Sound), pass, dom.Size())
 	}
 	if err := tw.Flush(); err != nil {
 		return err

@@ -87,11 +87,26 @@ func (c *Compiled) Slots() int { return len(c.slotOf) }
 // Run executes the compiled program; semantics identical to
 // Program.RunBudget.
 func (c *Compiled) Run(inputs []int64, maxSteps int64) (Result, error) {
+	return c.RunReuse(make([]int64, len(c.slotOf)), inputs, maxSteps)
+}
+
+// RunReuse is Run with a caller-owned register file, so enumeration loops
+// (the sweep engine's compiled fast path) pay no per-tuple allocation. regs
+// must hold at least Slots() entries and is reinitialised here; the caller
+// must not share it between concurrent runs.
+func (c *Compiled) RunReuse(regs []int64, inputs []int64, maxSteps int64) (Result, error) {
 	if len(inputs) != len(c.inputSlots) {
 		return Result{}, fmt.Errorf("%w: got %d inputs, program %q wants %d",
 			ErrArity, len(inputs), c.Source.Name, len(c.inputSlots))
 	}
-	regs := make([]int64, len(c.slotOf))
+	if len(regs) < len(c.slotOf) {
+		return Result{}, fmt.Errorf("flowchart %q: register file has %d slots, need %d",
+			c.Source.Name, len(regs), len(c.slotOf))
+	}
+	regs = regs[:len(c.slotOf)]
+	for i := range regs {
+		regs[i] = 0
+	}
 	for i, s := range c.inputSlots {
 		regs[s] = inputs[i]
 	}
@@ -149,6 +164,9 @@ func compileExpr(e Expr, slot func(string) int) (func([]int64) int64, error) {
 		}
 		return func(regs []int64) int64 { return ^sub(regs) }, nil
 	case *Bin:
+		if f := compileBinFast(x, slot); f != nil {
+			return f, nil
+		}
 		l, err := compileExpr(x.L, slot)
 		if err != nil {
 			return nil, err
@@ -243,6 +261,100 @@ func compileExpr(e Expr, slot func(string) int) (func([]int64) int64, error) {
 	}
 }
 
+// compileBinFast specialises the overwhelmingly common var⊕const and
+// var⊕var binary shapes into a single closure, so the compiled hot loop
+// pays one indirect call per assignment instead of three. Returns nil when
+// the shape or operator is not covered; the generic lowering handles it.
+func compileBinFast(x *Bin, slot func(string) int) func([]int64) int64 {
+	switch l := x.L.(type) {
+	case Var:
+		s := slot(string(l))
+		switch r := x.R.(type) {
+		case Const:
+			c := int64(r)
+			switch x.Op {
+			case OpAdd:
+				return func(regs []int64) int64 { return regs[s] + c }
+			case OpSub:
+				return func(regs []int64) int64 { return regs[s] - c }
+			case OpMul:
+				return func(regs []int64) int64 { return regs[s] * c }
+			case OpAnd:
+				return func(regs []int64) int64 { return regs[s] & c }
+			case OpOr:
+				return func(regs []int64) int64 { return regs[s] | c }
+			case OpXor:
+				return func(regs []int64) int64 { return regs[s] ^ c }
+			case OpAndNot:
+				return func(regs []int64) int64 { return regs[s] &^ c }
+			}
+		case Var:
+			t := slot(string(r))
+			switch x.Op {
+			case OpAdd:
+				return func(regs []int64) int64 { return regs[s] + regs[t] }
+			case OpSub:
+				return func(regs []int64) int64 { return regs[s] - regs[t] }
+			case OpMul:
+				return func(regs []int64) int64 { return regs[s] * regs[t] }
+			case OpAnd:
+				return func(regs []int64) int64 { return regs[s] & regs[t] }
+			case OpOr:
+				return func(regs []int64) int64 { return regs[s] | regs[t] }
+			case OpXor:
+				return func(regs []int64) int64 { return regs[s] ^ regs[t] }
+			case OpAndNot:
+				return func(regs []int64) int64 { return regs[s] &^ regs[t] }
+			}
+		}
+	}
+	return nil
+}
+
+// compileCmpFast is compileBinFast for comparisons.
+func compileCmpFast(x *Cmp, slot func(string) int) func([]int64) bool {
+	l, ok := x.L.(Var)
+	if !ok {
+		return nil
+	}
+	s := slot(string(l))
+	switch r := x.R.(type) {
+	case Const:
+		c := int64(r)
+		switch x.Op {
+		case CmpEq:
+			return func(regs []int64) bool { return regs[s] == c }
+		case CmpNe:
+			return func(regs []int64) bool { return regs[s] != c }
+		case CmpLt:
+			return func(regs []int64) bool { return regs[s] < c }
+		case CmpLe:
+			return func(regs []int64) bool { return regs[s] <= c }
+		case CmpGt:
+			return func(regs []int64) bool { return regs[s] > c }
+		case CmpGe:
+			return func(regs []int64) bool { return regs[s] >= c }
+		}
+	case Var:
+		t := slot(string(r))
+		switch x.Op {
+		case CmpEq:
+			return func(regs []int64) bool { return regs[s] == regs[t] }
+		case CmpNe:
+			return func(regs []int64) bool { return regs[s] != regs[t] }
+		case CmpLt:
+			return func(regs []int64) bool { return regs[s] < regs[t] }
+		case CmpLe:
+			return func(regs []int64) bool { return regs[s] <= regs[t] }
+		case CmpGt:
+			return func(regs []int64) bool { return regs[s] > regs[t] }
+		case CmpGe:
+			return func(regs []int64) bool { return regs[s] >= regs[t] }
+		}
+	}
+	return nil
+}
+
 // compilePred lowers a predicate tree.
 func compilePred(q Pred, slot func(string) int) (func([]int64) bool, error) {
 	switch x := q.(type) {
@@ -282,6 +394,9 @@ func compilePred(q Pred, slot func(string) int) (func([]int64) bool, error) {
 			return lv || rv
 		}, nil
 	case *Cmp:
+		if f := compileCmpFast(x, slot); f != nil {
+			return f, nil
+		}
 		l, err := compileExpr(x.L, slot)
 		if err != nil {
 			return nil, err

@@ -122,3 +122,28 @@ func TestCompiledSlots(t *testing.T) {
 		t.Errorf("Slots = %d, want 4", c.Slots())
 	}
 }
+
+func TestRunReuseMatchesRun(t *testing.T) {
+	p := MustParse(progE3)
+	c, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := make([]int64, c.Slots())
+	for v1 := int64(-2); v1 <= 2; v1++ {
+		for v2 := int64(-2); v2 <= 2; v2++ {
+			in := []int64{v1, v2}
+			fresh, err1 := c.Run(in, 4096)
+			reused, err2 := c.RunReuse(regs, in, 4096)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("run errors: %v, %v", err1, err2)
+			}
+			if fresh != reused {
+				t.Fatalf("RunReuse diverged on %v: %+v vs %+v", in, fresh, reused)
+			}
+		}
+	}
+	if _, err := c.RunReuse(make([]int64, c.Slots()-1), []int64{0, 0}, 100); err == nil {
+		t.Error("undersized register file accepted")
+	}
+}

@@ -1,0 +1,185 @@
+// Package sweep is the shared parallel domain-enumeration engine behind
+// every exhaustive verdict the library produces: soundness, maximality,
+// completeness, and the pass-count columns of the experiment tables all
+// reduce to "visit every tuple of a finite cartesian product and fold the
+// observations".
+//
+// The engine indexes the product 0..Size-1 in mixed radix (last position
+// fastest, matching core.Domain.Enumerate) and hands out fixed-size chunks
+// of that index space from a single atomic cursor. Workers that finish a
+// chunk immediately claim the next one, so load balances dynamically even
+// when per-tuple cost is skewed — the work-stealing counterpart of the
+// join-the-shortest-queue results motivating the design. Within a chunk a
+// worker advances an odometer rather than re-dividing, so the per-tuple
+// scheduling cost is a few array writes.
+//
+// The callback receives the worker index so callers can keep per-worker
+// state (view tables, counters) without locks and merge it after Run
+// returns. The input buffer is reused per worker; callbacks must copy it if
+// they retain it.
+package sweep
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrTooLarge is returned by Run when the cartesian product has more tuples
+// than fit in an int, which would otherwise wrap the index space and
+// silently skip (or repeat) tuples.
+var ErrTooLarge = errors.New("sweep: domain product overflows int")
+
+// DefaultChunk is the chunk size used when Config.Chunk is unset. It is
+// large enough that cursor contention is negligible and small enough that
+// a skewed tail still balances across workers.
+const DefaultChunk = 1024
+
+// Config tunes the engine. The zero value means "pick sensible defaults".
+type Config struct {
+	// Workers is the number of goroutines; ≤ 0 means runtime.NumCPU().
+	Workers int
+	// Chunk is the number of tuples claimed per cursor advance; ≤ 0 picks
+	// a size that gives every worker several chunks.
+	Chunk int
+}
+
+func (c Config) normalized(size int) Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.Workers > size && size > 0 {
+		c.Workers = size
+	}
+	if c.Chunk <= 0 {
+		c.Chunk = size / (c.Workers * 8)
+		if c.Chunk < 1 {
+			c.Chunk = 1
+		}
+		if c.Chunk > DefaultChunk {
+			c.Chunk = DefaultChunk
+		}
+	}
+	return c
+}
+
+// Size returns the number of tuples in the cartesian product of values,
+// saturating at math.MaxInt when the product overflows. The empty product
+// (no positions) has size 1: the single empty tuple.
+func Size(values [][]int64) int {
+	n, err := size(values)
+	if err != nil {
+		return math.MaxInt
+	}
+	return n
+}
+
+func size(values [][]int64) (int, error) {
+	n := 1
+	for _, vs := range values {
+		if len(vs) == 0 {
+			return 0, nil
+		}
+		if n > math.MaxInt/len(vs) {
+			return 0, ErrTooLarge
+		}
+		n *= len(vs)
+	}
+	return n, nil
+}
+
+// ResolvedWorkers returns the worker count Run will actually use for a
+// product of the given size, so callers can size per-worker state once and
+// agree with the engine.
+func (c Config) ResolvedWorkers(size int) int {
+	return c.normalized(size).Workers
+}
+
+// Run enumerates the cartesian product of values, calling fn once for every
+// tuple. fn is invoked concurrently from cfg.Workers goroutines; the worker
+// argument (0 ≤ worker < cfg.Workers) lets the callback address per-worker
+// state without locking. The input slice is owned by the worker and reused
+// between calls — copy it to retain it. Enumeration visits every tuple
+// exactly once; the first error returned by fn stops all workers (tuples
+// already in flight may still be visited) and is returned.
+func Run(values [][]int64, cfg Config, fn func(worker int, input []int64) error) error {
+	size, err := size(values)
+	if err != nil {
+		return err
+	}
+	if size == 0 {
+		return nil
+	}
+	if len(values) == 0 {
+		return fn(0, nil)
+	}
+	cfg = cfg.normalized(size)
+	if cfg.Workers == 1 {
+		return runChunk(values, 0, size, 0, fn)
+	}
+
+	var cursor atomic.Int64
+	var stop atomic.Bool
+	errs := make([]error, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for !stop.Load() {
+				start := cursor.Add(int64(cfg.Chunk)) - int64(cfg.Chunk)
+				if start >= int64(size) {
+					return
+				}
+				end := start + int64(cfg.Chunk)
+				if end > int64(size) {
+					end = int64(size)
+				}
+				if err := runChunk(values, int(start), int(end), w, fn); err != nil {
+					errs[w] = err
+					stop.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runChunk visits product indices [start, end): one mixed-radix decode of
+// start, then odometer increments.
+func runChunk(values [][]int64, start, end, worker int, fn func(worker int, input []int64) error) error {
+	k := len(values)
+	idx := make([]int, k)
+	buf := make([]int64, k)
+	rem := start
+	for i := k - 1; i >= 0; i-- {
+		n := len(values[i])
+		idx[i] = rem % n
+		buf[i] = values[i][idx[i]]
+		rem /= n
+	}
+	for pos := start; pos < end; pos++ {
+		if err := fn(worker, buf); err != nil {
+			return err
+		}
+		for i := k - 1; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(values[i]) {
+				buf[i] = values[i][idx[i]]
+				break
+			}
+			idx[i] = 0
+			buf[i] = values[i][0]
+		}
+	}
+	return nil
+}
