@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench lint fmt
+.PHONY: all build test bench bench-json lint fmt serve loadgen
 
 all: build lint test
 
@@ -16,6 +16,22 @@ test:
 # For real measurements: go test -bench <pattern> -benchtime 5s .
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# The same artifact CI's bench job uploads: Sweep/Compile/Service
+# benchmarks, 3 runs each, averaged into BENCH_sweep.json. Two steps, not
+# a pipe, so a failing benchmark run fails the target.
+bench-json:
+	$(GO) test -bench 'Sweep|Compile|Service' -benchmem -count 3 -run '^$$' ./... > bench.txt
+	$(GO) run ./cmd/benchjson < bench.txt > BENCH_sweep.json
+	@echo wrote BENCH_sweep.json
+
+# Run the policy-checking service locally (see README for the curl
+# quickstart) and fire the closed-loop load generator at it.
+serve:
+	$(GO) run ./cmd/spm serve -addr :8135
+
+loadgen:
+	$(GO) run ./cmd/spm loadgen -addr http://127.0.0.1:8135
 
 lint:
 	$(GO) vet ./...

@@ -1,0 +1,146 @@
+// Command benchjson converts `go test -bench` output on stdin to the
+// JSON benchmark-trajectory artifact CI uploads on every run
+// (BENCH_sweep.json): benchmark name → ns/op, B/op, allocs/op. Multiple
+// runs of the same benchmark (-count N) are averaged and the run count
+// recorded, so the artifact is stable enough to diff across commits.
+//
+// Usage:
+//
+//	go test -bench 'Sweep|Compile|Service' -benchmem -count 3 -run '^$' ./... | benchjson > BENCH_sweep.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one benchmark's aggregated row.
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Runs        int     `json:"runs"`
+}
+
+// Output is the artifact schema.
+type Output struct {
+	Go         string             `json:"go,omitempty"`
+	Pkg        []string           `json:"packages,omitempty"`
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+}
+
+func main() {
+	out, err := convert(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// accum sums one benchmark's runs before averaging.
+type accum struct {
+	ns, b, allocs float64
+	runs          int
+}
+
+func convert(r io.Reader) (*Output, error) {
+	out := &Output{Benchmarks: make(map[string]Metrics)}
+	acc := make(map[string]*accum)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	curPkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:") || strings.HasPrefix(line, "goarch:") || strings.HasPrefix(line, "cpu:"):
+			continue
+		case strings.HasPrefix(line, "go: ") || strings.HasPrefix(line, "go version"):
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			curPkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			out.Pkg = append(out.Pkg, curPkg)
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		name, m, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		// Qualify by package so same-named benchmarks in different
+		// packages never get averaged into one row.
+		if curPkg != "" {
+			name = curPkg + "." + name
+		}
+		a := acc[name]
+		if a == nil {
+			a = &accum{}
+			acc[name] = a
+		}
+		a.ns += m.NsPerOp
+		a.b += m.BPerOp
+		a.allocs += m.AllocsPerOp
+		a.runs++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for name, a := range acc {
+		n := float64(a.runs)
+		out.Benchmarks[name] = Metrics{
+			NsPerOp:     a.ns / n,
+			BPerOp:      a.b / n,
+			AllocsPerOp: a.allocs / n,
+			Runs:        a.runs,
+		}
+	}
+	sort.Strings(out.Pkg)
+	return out, nil
+}
+
+// parseBenchLine parses one result line, e.g.
+//
+//	BenchmarkSweep/workers=8-16   100   12345 ns/op   120 B/op   3 allocs/op
+//
+// The -P GOMAXPROCS suffix is kept in the name (it is part of the
+// configuration being measured). B/op and allocs/op are present only with
+// -benchmem; they default to 0.
+func parseBenchLine(line string) (string, Metrics, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", Metrics{}, false
+	}
+	var m Metrics
+	seenNs := false
+	for i := 2; i+1 < len(fields); i++ {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			m.NsPerOp = v
+			seenNs = true
+		case "B/op":
+			m.BPerOp = v
+		case "allocs/op":
+			m.AllocsPerOp = v
+		}
+	}
+	if !seenNs {
+		return "", Metrics{}, false
+	}
+	return fields[0], m, true
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: spm/internal/sweep
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSweep/workers=1-16         	     100	    50000 ns/op	     128 B/op	       4 allocs/op
+BenchmarkSweep/workers=1-16         	     100	    70000 ns/op	     128 B/op	       4 allocs/op
+BenchmarkSweep/workers=1-16         	     100	    60000 ns/op	     128 B/op	       4 allocs/op
+BenchmarkCompile-16                 	    5000	     2000 ns/op	     512 B/op	      12 allocs/op
+PASS
+ok  	spm/internal/sweep	1.234s
+pkg: spm/internal/service
+BenchmarkServiceSubmitWarm-16       	      10	   100000 ns/op
+no test files
+--- BENCH: some stray line
+`
+
+func TestConvertAveragesRuns(t *testing.T) {
+	out, err := convert(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(out.Benchmarks), out.Benchmarks)
+	}
+	sweep, ok := out.Benchmarks["spm/internal/sweep.BenchmarkSweep/workers=1-16"]
+	if !ok {
+		t.Fatal("spm/internal/sweep.BenchmarkSweep/workers=1-16 missing")
+	}
+	if sweep.Runs != 3 {
+		t.Errorf("runs = %d, want 3", sweep.Runs)
+	}
+	if math.Abs(sweep.NsPerOp-60000) > 1e-9 {
+		t.Errorf("ns/op = %v, want mean 60000", sweep.NsPerOp)
+	}
+	if sweep.BPerOp != 128 || sweep.AllocsPerOp != 4 {
+		t.Errorf("mem metrics = %v B/op %v allocs/op, want 128/4", sweep.BPerOp, sweep.AllocsPerOp)
+	}
+}
+
+func TestConvertWithoutBenchmem(t *testing.T) {
+	out, err := convert(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := out.Benchmarks["spm/internal/service.BenchmarkServiceSubmitWarm-16"]
+	if svc.Runs != 1 || svc.NsPerOp != 100000 {
+		t.Errorf("service row = %+v, want 1 run at 100000 ns/op", svc)
+	}
+	if svc.BPerOp != 0 || svc.AllocsPerOp != 0 {
+		t.Errorf("missing -benchmem columns should default to 0, got %+v", svc)
+	}
+}
+
+func TestConvertRecordsPackages(t *testing.T) {
+	out, err := convert(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"spm/internal/service", "spm/internal/sweep"}
+	if len(out.Pkg) != len(want) {
+		t.Fatalf("packages = %v, want %v", out.Pkg, want)
+	}
+	for i := range want {
+		if out.Pkg[i] != want[i] {
+			t.Fatalf("packages = %v, want %v", out.Pkg, want)
+		}
+	}
+}
+
+func TestConvertEmptyInput(t *testing.T) {
+	out, err := convert(strings.NewReader("PASS\nok \tspm\t0.01s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Benchmarks) != 0 {
+		t.Errorf("benchmarks = %v, want none", out.Benchmarks)
+	}
+}

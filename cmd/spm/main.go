@@ -11,6 +11,8 @@
 //	spm specialize [-policy {i,j}] file.fc
 //	spm check     [-policy {i,j}] [-variant ...] [-domain 0,1,2] [-time] file.fc
 //	spm sweep     [-policy {i,j}] [-variant ...] [-domain 0,1,2] [-workers N] [-chunk N] [-time] [-maximal] [-raw] file.fc
+//	spm serve     [-addr :8135] [-pools N] [-queue N] [-sweep-workers N] [-cache N]
+//	spm loadgen   [-addr URL] [-n N] [-c N] [-maximal-every K] [-program file.fc]
 //	spm dot       file.fc
 //
 // Programs use the flowchart DSL (see package spm/internal/flowchart):
@@ -33,7 +35,7 @@ import (
 
 	"spm/internal/core"
 	"spm/internal/flowchart"
-	"spm/internal/lattice"
+	"spm/internal/service"
 	"spm/internal/static"
 	"spm/internal/surveillance"
 	"spm/internal/sweep"
@@ -63,6 +65,10 @@ func run(args []string) error {
 		return cmdCheck(args[1:])
 	case "sweep":
 		return cmdSweep(args[1:])
+	case "serve":
+		return cmdServe(args[1:])
+	case "loadgen":
+		return cmdLoadgen(args[1:])
 	case "dot":
 		return cmdDot(args[1:])
 	case "help", "-h", "--help":
@@ -80,6 +86,8 @@ func usage() error {
   spm specialize [-policy {i,j}] file.fc
   spm check      [-policy {i,j}] [-variant ...] [-domain 0,1,2] [-time] file.fc
   spm sweep      [-policy {i,j}] [-variant ...] [-domain 0,1,2] [-workers N] [-chunk N] [-time] [-maximal] [-raw] file.fc
+  spm serve      [-addr :8135] [-pools N] [-queue N] [-sweep-workers N] [-cache N]
+  spm loadgen    [-addr URL] [-n N] [-c N] [-maximal-every K] [-program file.fc] [-policy ...] [-domain ...]
   spm dot        file.fc`)
 	return nil
 }
@@ -92,16 +100,6 @@ func loadProgram(path string) (*flowchart.Program, error) {
 	return flowchart.Parse(string(data))
 }
 
-func parsePolicy(spec string, arity int) (lattice.IndexSet, error) {
-	if spec == "" {
-		return lattice.EmptySet, nil
-	}
-	if spec == "all" {
-		return lattice.AllInputs(arity), nil
-	}
-	return lattice.ParseIndexSet(spec)
-}
-
 func parseDomain(spec string) ([]int64, error) {
 	var values []int64
 	for _, part := range strings.Split(spec, ",") {
@@ -112,19 +110,6 @@ func parseDomain(spec string) ([]int64, error) {
 		values = append(values, v)
 	}
 	return values, nil
-}
-
-func parseVariant(spec string) (surveillance.Variant, error) {
-	switch spec {
-	case "", "untimed":
-		return surveillance.Untimed, nil
-	case "timed":
-		return surveillance.Timed, nil
-	case "highwater", "high-water":
-		return surveillance.Monotone, nil
-	default:
-		return 0, fmt.Errorf("unknown variant %q (want untimed, timed, or highwater)", spec)
-	}
 }
 
 // checkSetup is everything a soundness check needs, assembled from the
@@ -144,7 +129,7 @@ func buildCheck(file, policy, variant, domain string, timed, raw bool) (*checkSe
 	if err != nil {
 		return nil, err
 	}
-	allowed, err := parsePolicy(policy, p.Arity())
+	allowed, err := service.ParsePolicy(policy, p.Arity())
 	if err != nil {
 		return nil, err
 	}
@@ -156,7 +141,7 @@ func buildCheck(file, policy, variant, domain string, timed, raw bool) (*checkSe
 	if raw {
 		m = core.FromProgram(p)
 	} else {
-		v, err := parseVariant(variant)
+		v, err := service.ParseVariant(variant)
 		if err != nil {
 			return nil, err
 		}
@@ -235,11 +220,11 @@ func cmdInstrument(args []string) error {
 	if err != nil {
 		return err
 	}
-	allowed, err := parsePolicy(*policy, p.Arity())
+	allowed, err := service.ParsePolicy(*policy, p.Arity())
 	if err != nil {
 		return err
 	}
-	v, err := parseVariant(*variant)
+	v, err := service.ParseVariant(*variant)
 	if err != nil {
 		return err
 	}
@@ -264,7 +249,7 @@ func cmdCertify(args []string) error {
 	if err != nil {
 		return err
 	}
-	allowed, err := parsePolicy(*policy, p.Arity())
+	allowed, err := service.ParsePolicy(*policy, p.Arity())
 	if err != nil {
 		return err
 	}
@@ -289,7 +274,7 @@ func cmdSpecialize(args []string) error {
 	if err != nil {
 		return err
 	}
-	allowed, err := parsePolicy(*policy, p.Arity())
+	allowed, err := service.ParsePolicy(*policy, p.Arity())
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"spm/internal/service"
+)
+
+// defaultLoadgenProg is the program loadgen submits when no -program file
+// is given: sound under allow(2) once instrumented, unsound raw.
+const defaultLoadgenProg = `program loadgen
+inputs x1 x2
+    r := x1
+    r := 0
+    if x2 == 0 goto Zero else NonZero
+Zero:    y := r
+         halt
+NonZero: y := x1
+         halt
+`
+
+// cmdServe runs the policy-checking service: a JSQ-scheduled worker fleet
+// with a content-addressed compile cache behind a JSON API.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8135", "listen address")
+	pools := fs.Int("pools", 0, "worker pools (0 = default)")
+	queue := fs.Int("queue", 0, "per-pool queue bound (0 = default)")
+	sweepWorkers := fs.Int("sweep-workers", 0, "sweep parallelism per job (0 = CPUs/pools)")
+	cacheCap := fs.Int("cache", 0, "compile-cache entries (0 = default)")
+	maxTuples := fs.Int64("max-tuples", 0, "reject domains larger than this (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("serve: unexpected arguments %v", fs.Args())
+	}
+	svc := service.New(service.Config{
+		Pools:        *pools,
+		QueueCap:     *queue,
+		SweepWorkers: *sweepWorkers,
+		CacheCap:     *cacheCap,
+		MaxTuples:    *maxTuples,
+	})
+	defer svc.Close()
+	cfg := svc.Config()
+	fmt.Fprintf(os.Stderr, "spm serve: listening on %s (%d pools × queue %d, %d sweep workers/job)\n",
+		*addr, cfg.Pools, cfg.QueueCap, cfg.SweepWorkers)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return srv.ListenAndServe()
+}
+
+// cmdLoadgen fires a closed-loop stream of check jobs at a running
+// `spm serve` and reports latency percentiles; CI uses it as the service
+// smoke test.
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8135", "server base URL")
+	jobs := fs.Int("n", 256, "total jobs")
+	concurrency := fs.Int("c", 64, "concurrent closed-loop clients")
+	maximalEvery := fs.Int("maximal-every", 4, "every k-th job also checks maximality (0 = never)")
+	program := fs.String("program", "", "flowchart file to submit (default: built-in demo)")
+	policy := fs.String("policy", "{2}", "allowed input indices, e.g. {1,3} or all")
+	variant := fs.String("variant", "untimed", "untimed, timed, or highwater")
+	domain := fs.String("domain", "0,1,2,3,4,5,6,7", "comma-separated values every input ranges over")
+	timed := fs.Bool("time", false, "observe running time as well as the value")
+	raw := fs.Bool("raw", false, "check the bare program instead of instrumenting")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("loadgen: unexpected arguments %v", fs.Args())
+	}
+	src := defaultLoadgenProg
+	if *program != "" {
+		data, err := os.ReadFile(*program)
+		if err != nil {
+			return err
+		}
+		src = string(data)
+	}
+	values, err := parseDomain(*domain)
+	if err != nil {
+		return err
+	}
+	rep, err := service.Loadgen(service.LoadgenConfig{
+		BaseURL:      *addr,
+		Jobs:         *jobs,
+		Concurrency:  *concurrency,
+		MaximalEvery: *maximalEvery,
+		Request: service.CheckRequest{
+			Program: src,
+			Policy:  *policy,
+			Variant: *variant,
+			Domain:  values,
+			Timed:   *timed,
+			Raw:     *raw,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	if rep.Failed > 0 {
+		return fmt.Errorf("loadgen: %d of %d jobs failed", rep.Failed, rep.Jobs)
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+
+	"spm/internal/flowchart"
+)
+
+// RunnerProvider lets a mechanism supply its own per-worker runner factory.
+// RunnerFactory consults it before falling back to compile-on-demand, so a
+// mechanism that already holds a compiled form (a compile-cache entry in
+// internal/service) makes every sweep skip the parse/instrument/Compile
+// phases and go straight to the compiled fast path.
+type RunnerProvider interface {
+	Mechanism
+	// Runners returns a factory producing one RunFunc per sweep worker.
+	// Each returned RunFunc owns its mutable state (register file) and
+	// must not be shared between concurrent workers.
+	Runners() func() RunFunc
+}
+
+// CompiledMechanism is a flowchart-backed Mechanism bound to its compiled
+// form: Compile runs exactly once, at construction, and both Run and the
+// sweep engine's per-worker runners execute the slot-indexed code. It is
+// the unit the content-addressed compile cache stores.
+type CompiledMechanism struct {
+	pm   *Program
+	code *flowchart.Compiled
+}
+
+// CompileMechanism lowers the flowchart behind pm once and binds the result.
+func CompileMechanism(pm *Program) (*CompiledMechanism, error) {
+	code, err := pm.P.Compile()
+	if err != nil {
+		return nil, fmt.Errorf("core: compiling %q: %w", pm.P.Name, err)
+	}
+	return &CompiledMechanism{pm: pm, code: code}, nil
+}
+
+// Source returns the wrapped program mechanism.
+func (c *CompiledMechanism) Source() *Program { return c.pm }
+
+// Name implements Mechanism.
+func (c *CompiledMechanism) Name() string { return c.pm.Name() }
+
+// Arity implements Mechanism.
+func (c *CompiledMechanism) Arity() int { return c.pm.Arity() }
+
+// Run implements Mechanism on the compiled form. It allocates a register
+// file per call; enumeration loops should go through Runners instead.
+func (c *CompiledMechanism) Run(input []int64) (Outcome, error) {
+	res, err := c.code.Run(input, c.pm.MaxSteps)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{Value: res.Value, Steps: res.Steps, Violation: res.Violation, Notice: res.Notice}, nil
+}
+
+// Runners implements RunnerProvider: each worker gets a private register
+// file over the shared compiled code.
+func (c *CompiledMechanism) Runners() func() RunFunc {
+	return func() RunFunc {
+		regs := make([]int64, c.code.Slots())
+		return func(input []int64) (Outcome, error) {
+			res, err := c.code.RunReuse(regs, input, c.pm.MaxSteps)
+			if err != nil {
+				return Outcome{}, err
+			}
+			return Outcome{Value: res.Value, Steps: res.Steps, Violation: res.Violation, Notice: res.Notice}, nil
+		}
+	}
+}

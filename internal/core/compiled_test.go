@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"spm/internal/flowchart"
+	"spm/internal/sweep"
+)
+
+const compiledTestProg = `
+program ctp
+inputs x1 x2
+    r := x1 * 2
+    if x2 == 0 goto A else B
+A:  y := r
+    halt
+B:  y := x2 + 1
+    halt
+`
+
+func TestCompiledMechanismMatchesInterpreter(t *testing.T) {
+	p := flowchart.MustParse(compiledTestProg)
+	pm := FromProgram(p)
+	cm, err := CompileMechanism(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Name() != pm.Name() || cm.Arity() != pm.Arity() {
+		t.Fatalf("identity mismatch: %q/%d vs %q/%d", cm.Name(), cm.Arity(), pm.Name(), pm.Arity())
+	}
+	dom := Grid(2, -2, -1, 0, 1, 2, 3)
+	if err := dom.Enumerate(func(input []int64) error {
+		want, err := pm.Run(input)
+		if err != nil {
+			return err
+		}
+		got, err := cm.Run(input)
+		if err != nil {
+			return err
+		}
+		if got != want {
+			t.Errorf("Run(%v) = %v, want %v", input, got, want)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompiledMechanismSweepVerdict checks that the sweep checkers accept a
+// pre-compiled mechanism through the RunnerProvider hook and produce the
+// same verdict as the interpreted path.
+func TestCompiledMechanismSweepVerdict(t *testing.T) {
+	p := flowchart.MustParse(compiledTestProg)
+	pm := FromProgram(p)
+	cm, err := CompileMechanism(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := NewAllow(2, 2)
+	dom := Grid(2, 0, 1, 2)
+	want, err := CheckSoundness(pm, pol, dom, ObserveValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CheckSoundnessSweep(cm, pol, dom, ObserveValue, sweep.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sound != want.Sound || got.Checked != want.Checked {
+		t.Errorf("compiled sweep verdict (sound=%v checked=%d) != interpreted (sound=%v checked=%d)",
+			got.Sound, got.Checked, want.Sound, want.Checked)
+	}
+}
+
+// TestRunnerFactoryPrefersProvider proves the factory routes through
+// Runners() rather than recompiling: a provider with an instrumented
+// counter sees one factory call per worker.
+type countingProvider struct {
+	*CompiledMechanism
+	factories int
+}
+
+func (c *countingProvider) Runners() func() RunFunc {
+	inner := c.CompiledMechanism.Runners()
+	return func() RunFunc {
+		c.factories++
+		return inner()
+	}
+}
+
+func TestRunnerFactoryPrefersProvider(t *testing.T) {
+	p := flowchart.MustParse(compiledTestProg)
+	cm, err := CompileMechanism(FromProgram(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := &countingProvider{CompiledMechanism: cm}
+	factory := RunnerFactory(cp)
+	for w := 0; w < 3; w++ {
+		run := factory()
+		if _, err := run([]int64{1, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cp.factories != 3 {
+		t.Errorf("provider factory called %d times, want 3", cp.factories)
+	}
+}

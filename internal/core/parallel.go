@@ -11,14 +11,19 @@ import (
 type RunFunc func(input []int64) (Outcome, error)
 
 // RunnerFactory returns a factory producing one RunFunc per sweep worker.
-// When m wraps a flowchart program (directly, via Program) the program is
-// lowered once with flowchart.Compile and every worker executes the
-// slot-indexed form against a private register file — the compiled fast
-// path that lets surveillance and high-water sweeps skip the interpreter's
-// per-step map lookups. Any other mechanism falls back to m.Run, which is
-// safe for concurrent use everywhere in this library (Run never mutates
-// receiver state).
+// A RunnerProvider (a CompiledMechanism out of the service's compile cache)
+// supplies its own pre-compiled runners. Otherwise, when m wraps a
+// flowchart program (directly, via Program) the program is lowered once
+// with flowchart.Compile and every worker executes the slot-indexed form
+// against a private register file — the compiled fast path that lets
+// surveillance and high-water sweeps skip the interpreter's per-step map
+// lookups. Any other mechanism falls back to m.Run, which is safe for
+// concurrent use everywhere in this library (Run never mutates receiver
+// state).
 func RunnerFactory(m Mechanism) func() RunFunc {
+	if rp, ok := m.(RunnerProvider); ok {
+		return rp.Runners()
+	}
 	if pm, ok := m.(*Program); ok {
 		if c, err := pm.P.Compile(); err == nil {
 			maxSteps := pm.MaxSteps

@@ -1,0 +1,18 @@
+package flowchart
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Fingerprint returns a stable content hash of the program: the SHA-256 of
+// its canonical Print rendering, hex-encoded. Print emits reachable nodes
+// in depth-first order from the start box with normalised labels and
+// spacing, so two sources that differ only in layout, comments, or label
+// spelling-preserving formatting hash equal, while any behavioural edit
+// (node, edge, expression, input list) changes the hash. The
+// content-addressed compile cache in internal/service keys on it.
+func Fingerprint(p *Program) string {
+	sum := sha256.Sum256([]byte(Print(p)))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,70 @@
+package flowchart
+
+import "testing"
+
+const fpBase = `
+program demo
+inputs x1 x2
+    r := x1
+    if x2 == 0 goto A else B
+A:  y := r
+    halt
+B:  y := x1
+    halt
+`
+
+// Same flowchart, different layout: extra blank lines, tabs vs spaces,
+// and a different (but consistent) label spelling position.
+const fpReformatted = `program demo
+
+inputs x1 x2
+
+	r := x1
+	if x2 == 0 goto A else B
+
+A:	y := r
+	halt
+B:	y := x1
+	halt
+`
+
+const fpDifferent = `
+program demo
+inputs x1 x2
+    r := x1
+    if x2 == 1 goto A else B
+A:  y := r
+    halt
+B:  y := x1
+    halt
+`
+
+func TestFingerprintStableAcrossFormatting(t *testing.T) {
+	a := MustParse(fpBase)
+	b := MustParse(fpReformatted)
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Errorf("reformatted source changed the fingerprint:\n%q\nvs\n%q",
+			Fingerprint(a), Fingerprint(b))
+	}
+}
+
+func TestFingerprintSensitiveToBehaviour(t *testing.T) {
+	a := MustParse(fpBase)
+	c := MustParse(fpDifferent)
+	if Fingerprint(a) == Fingerprint(c) {
+		t.Error("behaviourally different programs share a fingerprint")
+	}
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	p := MustParse(fpBase)
+	first := Fingerprint(p)
+	for i := 0; i < 3; i++ {
+		if got := Fingerprint(p); got != first {
+			t.Fatalf("fingerprint not deterministic: %q vs %q", first, got)
+		}
+	}
+	if len(first) != 64 {
+		t.Errorf("fingerprint length = %d, want 64 hex chars", len(first))
+	}
+}

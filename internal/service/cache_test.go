@@ -1,0 +1,122 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// progN builds a family of distinct single-input programs.
+func progN(n int) string {
+	return fmt.Sprintf("program p%d\ninputs x1\n    y := x1 + %d\n    halt\n", n, n)
+}
+
+func TestCacheHitAndMissCounters(t *testing.T) {
+	c := NewCompileCache(8)
+	req := CheckRequest{Program: progN(1), Policy: "{1}"}
+	if _, hit, err := c.GetOrCompile(req); err != nil || hit {
+		t.Fatalf("first lookup: hit=%v err=%v, want miss", hit, err)
+	}
+	if _, hit, err := c.GetOrCompile(req); err != nil || !hit {
+		t.Fatalf("second lookup: hit=%v err=%v, want hit", hit, err)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+	if st.HitRate != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", st.HitRate)
+	}
+}
+
+func TestCacheEvictsLRUBeyondCap(t *testing.T) {
+	const cap = 4
+	c := NewCompileCache(cap)
+	for i := 0; i < 3*cap; i++ {
+		if _, _, err := c.GetOrCompile(CheckRequest{Program: progN(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Stats().Entries; got != cap {
+		t.Errorf("entries = %d, want cap %d", got, cap)
+	}
+	// The secondary indexes must shrink with the LRU list, not leak.
+	c.mu.Lock()
+	nText, nCanon := len(c.byText), len(c.byCanon)
+	c.mu.Unlock()
+	if nCanon != cap || nText != cap {
+		t.Errorf("index sizes text=%d canon=%d, want %d each", nText, nCanon, cap)
+	}
+	// Oldest entry was evicted: looking it up again is a miss.
+	if _, hit, err := c.GetOrCompile(CheckRequest{Program: progN(0)}); err != nil || hit {
+		t.Errorf("evicted entry: hit=%v err=%v, want recompile miss", hit, err)
+	}
+	// Most recent entry survived.
+	if _, hit, err := c.GetOrCompile(CheckRequest{Program: progN(3*cap - 1)}); err != nil || !hit {
+		t.Errorf("recent entry: hit=%v err=%v, want hit", hit, err)
+	}
+}
+
+func TestCacheKeySeparatesConfig(t *testing.T) {
+	c := NewCompileCache(16)
+	base := CheckRequest{Program: testProg, Policy: "{2}"}
+	if _, _, err := c.GetOrCompile(base); err != nil {
+		t.Fatal(err)
+	}
+	variants := []CheckRequest{
+		{Program: testProg, Policy: "{1}"},
+		{Program: testProg, Policy: "{2}", Variant: "timed"},
+		{Program: testProg, Policy: "{2}", Raw: true},
+	}
+	for i, req := range variants {
+		if _, hit, err := c.GetOrCompile(req); err != nil {
+			t.Fatal(err)
+		} else if hit {
+			t.Errorf("variant %d shares a cache entry with a different mechanism config", i)
+		}
+	}
+	if got := c.Stats().Entries; got != 4 {
+		t.Errorf("entries = %d, want 4 distinct configs", got)
+	}
+}
+
+func TestCacheCanonicalisesVariantSpelling(t *testing.T) {
+	c := NewCompileCache(16)
+	if _, _, err := c.GetOrCompile(CheckRequest{Program: testProg, Policy: "{2}", Variant: "highwater"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, err := c.GetOrCompile(CheckRequest{Program: testProg, Policy: "{2}", Variant: "high-water"}); err != nil {
+		t.Fatal(err)
+	} else if !hit {
+		t.Error(`"high-water" did not share the "highwater" compiled entry`)
+	}
+	if _, hit, err := c.GetOrCompile(CheckRequest{Program: testProg, Policy: "{2}", Variant: "untimed"}); err != nil {
+		t.Fatal(err)
+	} else if hit {
+		t.Error("untimed wrongly shared the highwater entry")
+	}
+}
+
+func TestCacheBoundsTextAliases(t *testing.T) {
+	c := NewCompileCache(4)
+	// One program, many formatting variants: each trailing-blank-line copy
+	// is a distinct source text but the same canonical flowchart.
+	base := progN(7)
+	for i := 0; i < 3*maxTextAliases; i++ {
+		src := base + strings.Repeat("\n", i)
+		if _, hit, err := c.GetOrCompile(CheckRequest{Program: src}); err != nil {
+			t.Fatal(err)
+		} else if i > 0 && !hit {
+			t.Fatalf("variant %d missed the canonical level", i)
+		}
+	}
+	c.mu.Lock()
+	nText := len(c.byText)
+	c.mu.Unlock()
+	if nText > maxTextAliases {
+		t.Errorf("byText holds %d aliases, bound is %d", nText, maxTextAliases)
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Errorf("entries = %d, want 1", st.Entries)
+	}
+}

@@ -1,0 +1,99 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+)
+
+// maxBodyBytes bounds a submission body; programs are small DSL texts.
+const maxBodyBytes = 1 << 20
+
+// SubmitResponse is the wire form of POST /v1/check.
+type SubmitResponse struct {
+	ID string `json:"id"`
+	// Cached reports a compile-cache hit: the parse/instrument/Compile
+	// phases were skipped and the job runs the cached compiled form.
+	Cached bool  `json:"cached"`
+	Pool   int   `json:"pool"`
+	Total  int64 `json:"total"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/check     submit a program+policy+domain; 202 with the job ID
+//	GET  /v1/jobs/{id} poll lifecycle state, progress, and verdict
+//	GET  /v1/stats     per-queue depths, cache hit rate, job tallies
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/check", s.handleCheck)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+func (s *Service) handleCheck(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	if len(body) > maxBodyBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds 1 MiB")
+		return
+	}
+	var req CheckRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	j, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	case errors.Is(err, ErrBusy):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, SubmitResponse{
+		ID:     j.ID,
+		Cached: j.CacheHit,
+		Pool:   j.Pool(),
+		Total:  j.Total,
+	})
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}

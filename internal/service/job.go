@@ -1,0 +1,169 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is a job's position in the queued → running → done/failed
+// lifecycle.
+type State string
+
+// Job states.
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Result is the verdict of a finished check job.
+type Result struct {
+	Sound   bool `json:"sound"`
+	Checked int  `json:"checked"`
+	// On an unsound verdict, two inputs sharing a policy view with
+	// different observations.
+	WitnessA []int64 `json:"witness_a,omitempty"`
+	WitnessB []int64 `json:"witness_b,omitempty"`
+	ObsA     string  `json:"obs_a,omitempty"`
+	ObsB     string  `json:"obs_b,omitempty"`
+
+	// Maximality verdict, present only when the job requested it.
+	Maximal        *bool   `json:"maximal,omitempty"`
+	MaximalWitness []int64 `json:"maximal_witness,omitempty"`
+	MaximalReason  string  `json:"maximal_reason,omitempty"`
+
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	InputsPerSec   float64 `json:"inputs_per_sec"`
+}
+
+// Job is one submitted check: request, placement, progress, and verdict.
+// The progress counter is the sweep engine's chunk cursor (see
+// sweep.Config.Progress); Total counts every tuple the job will visit
+// across all enumeration passes, so done/total is a true fraction.
+type Job struct {
+	ID       string
+	Req      CheckRequest
+	CacheHit bool
+	Total    int64
+
+	// entry is the compile-cache value resolved at submission, so the
+	// worker never re-hashes or re-looks-up the program.
+	entry *compiled
+
+	progress atomic.Int64
+	created  time.Time
+
+	mu       sync.Mutex
+	pool     int
+	state    State
+	started  time.Time
+	finished time.Time
+	result   *Result
+	errMsg   string
+
+	done chan struct{}
+}
+
+func newJob(id string, req CheckRequest, entry *compiled, cacheHit bool, total int64) *Job {
+	return &Job{
+		ID:       id,
+		Req:      req,
+		CacheHit: cacheHit,
+		Total:    total,
+		entry:    entry,
+		created:  time.Now(),
+		state:    StateQueued,
+		done:     make(chan struct{}),
+	}
+}
+
+// Pool returns the worker pool the job was dispatched to.
+func (j *Job) Pool() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.pool
+}
+
+func (j *Job) setPool(pool int) {
+	j.mu.Lock()
+	j.pool = pool
+	j.mu.Unlock()
+}
+
+// Progress returns the number of tuples visited so far.
+func (j *Job) Progress() int64 { return j.progress.Load() }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+}
+
+func (j *Job) finish(res *Result, err error) {
+	j.mu.Lock()
+	j.finished = time.Now()
+	if err != nil {
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	} else {
+		j.state = StateDone
+		j.result = res
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// JobStatus is the wire form of GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID             string       `json:"id"`
+	State          State        `json:"state"`
+	Cached         bool         `json:"cached"`
+	Pool           int          `json:"pool"`
+	Progress       ProgressInfo `json:"progress"`
+	ElapsedSeconds float64      `json:"elapsed_seconds"`
+	Result         *Result      `json:"result,omitempty"`
+	Error          string       `json:"error,omitempty"`
+}
+
+// ProgressInfo is the done/total pair inside JobStatus.
+type ProgressInfo struct {
+	Done  int64 `json:"done"`
+	Total int64 `json:"total"`
+}
+
+// Status snapshots the job for the API.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:       j.ID,
+		State:    j.state,
+		Cached:   j.CacheHit,
+		Pool:     j.pool,
+		Progress: ProgressInfo{Done: j.progress.Load(), Total: j.Total},
+		Result:   j.result,
+		Error:    j.errMsg,
+	}
+	switch j.state {
+	case StateQueued:
+		st.ElapsedSeconds = time.Since(j.created).Seconds()
+	case StateRunning:
+		st.ElapsedSeconds = time.Since(j.started).Seconds()
+	default:
+		st.ElapsedSeconds = j.finished.Sub(j.started).Seconds()
+	}
+	return st
+}
+
+// stateNow reads the job's current lifecycle state.
+func (j *Job) stateNow() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}

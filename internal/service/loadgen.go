@@ -1,0 +1,247 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadgenConfig drives Loadgen: a closed-loop generator where Concurrency
+// clients each submit a job, poll it to completion, and immediately submit
+// the next, until Jobs jobs have finished. MaximalEvery mixes maximality
+// checks into the stream (every k-th job, 0 = never), exercising the
+// service's heavier three-pass path alongside plain soundness checks.
+type LoadgenConfig struct {
+	BaseURL      string
+	Jobs         int
+	Concurrency  int
+	MaximalEvery int
+	Request      CheckRequest
+	// PollInterval between job-status polls; default 2ms.
+	PollInterval time.Duration
+	// JobTimeout bounds one job end to end (submit retries, polling);
+	// default 60s. Without it a server that keeps answering 503, or a
+	// non-spm endpoint answering 200 with an alien body, would make the
+	// closed loop spin forever.
+	JobTimeout time.Duration
+	// Client overrides the HTTP client (tests pass the httptest client).
+	Client *http.Client
+}
+
+// LoadgenReport summarises one loadgen run: end-to-end job latency
+// percentiles (submit to terminal state, polling included — the latency a
+// real client observes) and the cache-hit count across submissions.
+type LoadgenReport struct {
+	Jobs        int           `json:"jobs"`
+	Failed      int           `json:"failed"`
+	Busy        int           `json:"busy_retries"`
+	CacheHits   int           `json:"cache_hits"`
+	Concurrency int           `json:"concurrency"`
+	Elapsed     time.Duration `json:"elapsed_ns"`
+	JobsPerSec  float64       `json:"jobs_per_sec"`
+	P50         time.Duration `json:"p50_ns"`
+	P90         time.Duration `json:"p90_ns"`
+	P99         time.Duration `json:"p99_ns"`
+	Max         time.Duration `json:"max_ns"`
+}
+
+// String renders the report for the CLI.
+func (r *LoadgenReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loadgen: %d jobs × %d clients in %v (%.0f jobs/s)\n",
+		r.Jobs, r.Concurrency, r.Elapsed.Round(time.Millisecond), r.JobsPerSec)
+	fmt.Fprintf(&b, "  latency p50 %v  p90 %v  p99 %v  max %v\n",
+		r.P50.Round(time.Microsecond), r.P90.Round(time.Microsecond),
+		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  cache hits %d/%d, failed %d, busy retries %d",
+		r.CacheHits, r.Jobs, r.Failed, r.Busy)
+	return b.String()
+}
+
+// Loadgen fires cfg.Jobs check jobs at a running server and reports
+// latency percentiles. It is the engine of `spm loadgen` and of the CI
+// smoke test.
+func Loadgen(cfg LoadgenConfig) (*LoadgenReport, error) {
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = 64
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.Concurrency > cfg.Jobs {
+		cfg.Concurrency = cfg.Jobs
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 2 * time.Millisecond
+	}
+	if cfg.JobTimeout <= 0 {
+		cfg.JobTimeout = 60 * time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	base := strings.TrimRight(cfg.BaseURL, "/")
+
+	var (
+		next      atomic.Int64
+		cacheHits atomic.Int64
+		failed    atomic.Int64
+		busy      atomic.Int64
+		mu        sync.Mutex
+		latencies []time.Duration
+		firstErr  error
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(cfg.Jobs) {
+					return
+				}
+				req := cfg.Request
+				if cfg.MaximalEvery > 0 && i%int64(cfg.MaximalEvery) == 0 {
+					req.Maximal = true
+				}
+				t0 := time.Now()
+				ok, err := runOne(client, base, req, cfg.PollInterval, t0.Add(cfg.JobTimeout), &busy)
+				lat := time.Since(t0)
+				mu.Lock()
+				latencies = append(latencies, lat)
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				if err != nil || !ok.succeeded {
+					failed.Add(1)
+				}
+				if ok.cached {
+					cacheHits.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	rep := &LoadgenReport{
+		Jobs:        cfg.Jobs,
+		Failed:      int(failed.Load()),
+		Busy:        int(busy.Load()),
+		CacheHits:   int(cacheHits.Load()),
+		Concurrency: cfg.Concurrency,
+		Elapsed:     elapsed,
+		P50:         percentile(latencies, 50),
+		P90:         percentile(latencies, 90),
+		P99:         percentile(latencies, 99),
+		Max:         percentile(latencies, 100),
+	}
+	if elapsed > 0 {
+		rep.JobsPerSec = float64(cfg.Jobs) / elapsed.Seconds()
+	}
+	return rep, nil
+}
+
+type oneResult struct {
+	cached    bool
+	succeeded bool
+}
+
+// runOne submits a single job and polls it to a terminal state, retrying
+// submission with backoff while the server reports every queue full. The
+// deadline bounds the whole attempt.
+func runOne(client *http.Client, base string, req CheckRequest, poll time.Duration, deadline time.Time, busy *atomic.Int64) (oneResult, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return oneResult{}, err
+	}
+	var sub SubmitResponse
+	for {
+		resp, err := client.Post(base+"/v1/check", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return oneResult{}, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return oneResult{}, err
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if time.Now().After(deadline) {
+				return oneResult{}, fmt.Errorf("loadgen: submit: server still busy at job deadline")
+			}
+			busy.Add(1)
+			time.Sleep(poll)
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return oneResult{}, fmt.Errorf("loadgen: submit: %s: %s", resp.Status, strings.TrimSpace(string(data)))
+		}
+		if err := json.Unmarshal(data, &sub); err != nil {
+			return oneResult{}, fmt.Errorf("loadgen: submit response: %v", err)
+		}
+		break
+	}
+	out := oneResult{cached: sub.Cached}
+	for {
+		resp, err := client.Get(base + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			return out, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return out, fmt.Errorf("loadgen: poll: %v", err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			// A 404 here means the job was history-evicted (or the server
+			// is not spm); polling further would spin forever.
+			return out, fmt.Errorf("loadgen: poll %s: %s: %s", sub.ID, resp.Status, strings.TrimSpace(string(data)))
+		}
+		var st JobStatus
+		if err := json.Unmarshal(data, &st); err != nil {
+			return out, fmt.Errorf("loadgen: poll: %v", err)
+		}
+		switch st.State {
+		case StateDone:
+			out.succeeded = true
+			return out, nil
+		case StateFailed:
+			return out, nil
+		}
+		if time.Now().After(deadline) {
+			return out, fmt.Errorf("loadgen: job %s not terminal at deadline (state %q)", sub.ID, st.State)
+		}
+		time.Sleep(poll)
+	}
+}
+
+// percentile returns the p-th percentile of sorted latencies (nearest-rank).
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

@@ -1,0 +1,191 @@
+package service
+
+import (
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// gatedScheduler builds a scheduler whose workers block until release is
+// closed, so tests control queue occupancy deterministically. Every job
+// start is signalled on started.
+func gatedScheduler(pools, cap int) (s *Scheduler, release chan struct{}, started chan struct{}) {
+	release = make(chan struct{})
+	started = make(chan struct{}, pools*(cap+1))
+	s = NewScheduler(pools, cap, func(pool int, j *Job) {
+		started <- struct{}{}
+		<-release
+	})
+	return s, release, started
+}
+
+// waitStarts drains n start signals.
+func waitStarts(t *testing.T, started chan struct{}, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		select {
+		case <-started:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("only %d of %d jobs started", i, n)
+		}
+	}
+}
+
+func TestSubmitPrefersShortestQueue(t *testing.T) {
+	const pools, cap = 4, 8
+	s, release, started := gatedScheduler(pools, cap)
+	defer func() { close(release); s.Close() }()
+
+	// The first `pools` jobs occupy the workers (queue depths stay 0);
+	// wait for them so subsequent submissions purely fill queues.
+	for i := 0; i < pools; i++ {
+		if _, err := s.Submit(&Job{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitStarts(t, started, pools)
+
+	// The next 4*pools jobs must spread evenly: JSQ never lets any queue
+	// get 2 deeper than another.
+	for i := 0; i < 4*pools; i++ {
+		if _, err := s.Submit(&Job{}); err != nil {
+			t.Fatal(err)
+		}
+		depths := make([]int, pools)
+		min, max := cap, 0
+		for p := 0; p < pools; p++ {
+			depths[p] = len(s.queues[p])
+			if depths[p] < min {
+				min = depths[p]
+			}
+			if depths[p] > max {
+				max = depths[p]
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("after %d submissions queue depths %v skew by more than 1", i+1, depths)
+		}
+	}
+}
+
+func TestSubmitBusyWhenAllQueuesFull(t *testing.T) {
+	const pools, cap = 2, 2
+	s, release, started := gatedScheduler(pools, cap)
+	defer func() { close(release); s.Close() }()
+
+	// Occupy every worker first so queue occupancy is deterministic, then
+	// fill every queue slot: pools running + pools*cap queued is the
+	// system's exact capacity.
+	for i := 0; i < pools; i++ {
+		if _, err := s.Submit(&Job{}); err != nil {
+			t.Fatalf("submission %d: %v", i, err)
+		}
+	}
+	waitStarts(t, started, pools)
+	for i := 0; i < pools*cap; i++ {
+		if _, err := s.Submit(&Job{}); err != nil {
+			t.Fatalf("fill submission %d: %v", i, err)
+		}
+	}
+	if _, err := s.Submit(&Job{}); !errors.Is(err, ErrBusy) {
+		t.Fatalf("err = %v, want ErrBusy", err)
+	}
+}
+
+func TestSchedulerStatsCounters(t *testing.T) {
+	const pools = 3
+	s, release, _ := gatedScheduler(pools, 8)
+	const jobs = 12
+	for i := 0; i < jobs; i++ {
+		if _, err := s.Submit(&Job{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(release)
+	s.Close()
+	var dispatched, completed int64
+	for _, p := range s.Stats() {
+		dispatched += p.Dispatched
+		completed += p.Completed
+	}
+	if dispatched != jobs || completed != jobs {
+		t.Errorf("dispatched=%d completed=%d, want %d each", dispatched, completed, jobs)
+	}
+}
+
+// TestJSQSkewUnderConcurrentLoad is the acceptance check: loadgen drives
+// ≥ 64 concurrent mixed check/maximality jobs through a served instance
+// and JSQ must keep the per-pool load skew within 2× the mean — measured
+// both on dispatched-job counts (the time-integral of queue depth) and on
+// peak queue depths when the queues actually built up.
+func TestJSQSkewUnderConcurrentLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test")
+	}
+	const (
+		pools       = 4
+		concurrency = 64
+		jobs        = 256
+	)
+	svc := New(Config{Pools: pools, QueueCap: concurrency, SweepWorkers: 1})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	// A domain big enough (16k tuples/pass) that jobs outlast the submit
+	// path, so the queues genuinely build and JSQ has something to balance.
+	values := make([]int64, 128)
+	for i := range values {
+		values[i] = int64(i)
+	}
+	rep, err := Loadgen(LoadgenConfig{
+		BaseURL:      srv.URL,
+		Jobs:         jobs,
+		Concurrency:  concurrency,
+		MaximalEvery: 4,
+		Request: CheckRequest{
+			Program: testProg,
+			Policy:  "{2}",
+			Domain:  values,
+		},
+		Client: srv.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("%d/%d jobs failed", rep.Failed, rep.Jobs)
+	}
+	if rep.CacheHits < jobs-2 {
+		t.Errorf("cache hits = %d, want ≥ %d (identical submissions)", rep.CacheHits, jobs-2)
+	}
+
+	stats := svc.Stats()
+	var totalDispatched, totalPeak, maxDispatched, maxPeak int64
+	for _, p := range stats.Pools {
+		totalDispatched += p.Dispatched
+		totalPeak += p.Peak
+		if p.Dispatched > maxDispatched {
+			maxDispatched = p.Dispatched
+		}
+		if p.Peak > maxPeak {
+			maxPeak = p.Peak
+		}
+	}
+	if totalDispatched != jobs {
+		t.Fatalf("dispatched %d jobs, want %d", totalDispatched, jobs)
+	}
+	meanDispatched := float64(totalDispatched) / pools
+	if float64(maxDispatched) > 2*meanDispatched {
+		t.Errorf("dispatch skew: max pool got %d jobs, mean %.1f (> 2× mean)", maxDispatched, meanDispatched)
+	}
+	// Peak-depth skew is only meaningful if queues built up at all; with
+	// 64 closed-loop clients over 4 single-worker pools they always do.
+	meanPeak := float64(totalPeak) / pools
+	if meanPeak >= 1 && float64(maxPeak) > 2*meanPeak {
+		t.Errorf("queue-depth skew: max peak %d, mean peak %.1f (> 2× mean)", maxPeak, meanPeak)
+	}
+	t.Logf("loadgen: %s", rep)
+	t.Logf("pools: %+v", stats.Pools)
+}

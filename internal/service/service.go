@@ -1,0 +1,305 @@
+// Package service wraps the sweep engine in a long-running policy-checking
+// system: a fixed fleet of worker pools with bounded queues and
+// join-the-shortest-queue dispatch, a content-addressed compile cache so
+// repeated submissions skip parse+instrument+Compile and go straight to
+// the compiled fast path, and a queued → running → done/failed job
+// lifecycle whose progress counter is the sweep engine's chunk cursor.
+// `spm serve` exposes it over HTTP (POST /v1/check, GET /v1/jobs/{id},
+// GET /v1/stats) and `spm loadgen` drives it closed-loop for benchmarks
+// and CI smoke.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spm/internal/core"
+	"spm/internal/sweep"
+)
+
+// ErrBadRequest wraps every submission-validation failure (malformed
+// program, bad policy or variant, oversized domain). HTTP maps it to 400.
+var ErrBadRequest = errors.New("service: bad request")
+
+// ErrUnknownJob is returned by Job lookups for IDs the service never
+// issued (or already evicted). HTTP maps it to 404.
+var ErrUnknownJob = errors.New("service: unknown job")
+
+// CheckRequest is one policy-check submission. Domain is the value list
+// every input position ranges over (the CLI's -domain flag); it defaults
+// to {0,1,2}.
+type CheckRequest struct {
+	Program string  `json:"program"`
+	Policy  string  `json:"policy,omitempty"`
+	Variant string  `json:"variant,omitempty"`
+	Domain  []int64 `json:"domain,omitempty"`
+	Timed   bool    `json:"timed,omitempty"`
+	Raw     bool    `json:"raw,omitempty"`
+	Maximal bool    `json:"maximal,omitempty"`
+}
+
+// Config tunes the service. The zero value picks production-ish defaults.
+type Config struct {
+	// Pools is the worker-fleet size; ≤ 0 means DefaultPools.
+	Pools int
+	// QueueCap bounds each pool's queue; ≤ 0 means DefaultQueueCap.
+	QueueCap int
+	// SweepWorkers is the sweep parallelism of each job; ≤ 0 divides the
+	// CPUs evenly across pools (at least 1 each).
+	SweepWorkers int
+	// CacheCap bounds the compile cache; ≤ 0 means DefaultCacheCap.
+	CacheCap int
+	// MaxTuples rejects domains whose cartesian product exceeds it;
+	// ≤ 0 means DefaultMaxTuples.
+	MaxTuples int64
+	// MaxJobs bounds the finished-job history; ≤ 0 means DefaultMaxJobs.
+	MaxJobs int
+}
+
+// Service defaults.
+const (
+	DefaultPools     = 4
+	DefaultQueueCap  = 64
+	DefaultMaxTuples = 8 << 20
+	DefaultMaxJobs   = 4096
+)
+
+func (c Config) normalized() Config {
+	if c.Pools <= 0 {
+		c.Pools = DefaultPools
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = DefaultQueueCap
+	}
+	if c.SweepWorkers <= 0 {
+		c.SweepWorkers = runtime.NumCPU() / c.Pools
+		if c.SweepWorkers < 1 {
+			c.SweepWorkers = 1
+		}
+	}
+	if c.MaxTuples <= 0 {
+		c.MaxTuples = DefaultMaxTuples
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = DefaultMaxJobs
+	}
+	return c
+}
+
+// Service is the policy-checking system: cache + scheduler + job store.
+type Service struct {
+	cfg   Config
+	cache *CompileCache
+	sched *Scheduler
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string // insertion order, for history eviction
+	seq   atomic.Uint64
+
+	// Lifecycle tallies for /v1/stats: queued and running are current
+	// occupancy, done and failed are lifetime-cumulative. Kept as atomics
+	// so Stats never scans the job history under the submission mutex.
+	nQueued, nRunning, nDone, nFailed atomic.Int64
+}
+
+// New starts a service with cfg's fleet.
+func New(cfg Config) *Service {
+	cfg = cfg.normalized()
+	s := &Service{
+		cfg:   cfg,
+		cache: NewCompileCache(cfg.CacheCap),
+		jobs:  make(map[string]*Job),
+	}
+	s.sched = NewScheduler(cfg.Pools, cfg.QueueCap, s.runJob)
+	return s
+}
+
+// Close drains the queues and stops the pools. Submit must not be called
+// after Close.
+func (s *Service) Close() { s.sched.Close() }
+
+// Config returns the normalized configuration in effect.
+func (s *Service) Config() Config { return s.cfg }
+
+// Submit validates the request, resolves it against the compile cache, and
+// dispatches a job join-the-shortest-queue. It returns the queued job;
+// errors wrap ErrBadRequest (invalid submission) or ErrBusy (every queue
+// full).
+func (s *Service) Submit(req CheckRequest) (*Job, error) {
+	entry, hit, err := s.cache.GetOrCompile(req)
+	if err != nil {
+		return nil, err
+	}
+	values := req.Domain
+	if len(values) == 0 {
+		values = []int64{0, 1, 2}
+	}
+	dom := core.Grid(entry.prog.Arity(), values...)
+	size := sweep.Size(dom)
+	if int64(size) > s.cfg.MaxTuples {
+		return nil, fmt.Errorf("%w: domain has %d tuples, limit %d", ErrBadRequest, size, s.cfg.MaxTuples)
+	}
+	// Soundness is one pass over the domain; maximality adds two more
+	// (class tabulation, then verdicts).
+	passes := int64(1)
+	if req.Maximal {
+		passes += 2
+	}
+	if int64(size) > math.MaxInt64/passes {
+		return nil, fmt.Errorf("%w: domain too large", ErrBadRequest)
+	}
+
+	req.Domain = values
+	j := newJob(fmt.Sprintf("job-%d", s.seq.Add(1)), req, entry, hit, passes*int64(size))
+
+	s.mu.Lock()
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.evictLocked()
+	s.mu.Unlock()
+
+	s.nQueued.Add(1)
+	if _, err := s.sched.Submit(j); err != nil {
+		s.nQueued.Add(-1)
+		s.mu.Lock()
+		delete(s.jobs, j.ID)
+		// Remove j.ID by value — a concurrent Submit may have appended
+		// after us, so blind truncation could drop someone else's job.
+		for i := len(s.order) - 1; i >= 0; i-- {
+			if s.order[i] == j.ID {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		return nil, err
+	}
+	return j, nil
+}
+
+// evictLocked trims finished jobs beyond the history bound, oldest first,
+// stopping at the first job that is still queued or running — amortized
+// O(1) per submission rather than a full history scan.
+func (s *Service) evictLocked() {
+	for len(s.order) > s.cfg.MaxJobs {
+		id := s.order[0]
+		if j := s.jobs[id]; j != nil {
+			switch j.stateNow() {
+			case StateDone, StateFailed:
+				delete(s.jobs, id)
+			default:
+				// Oldest job still active; history is transiently over
+				// budget by at most the fleet's queue capacity.
+				return
+			}
+		}
+		s.order = s.order[1:]
+	}
+}
+
+// Job returns a submitted job by ID.
+func (s *Service) Job(id string) (*Job, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// Stats is the wire form of GET /v1/stats.
+type Stats struct {
+	Pools []PoolStats `json:"pools"`
+	Cache CacheStats  `json:"cache"`
+	Jobs  JobCounts   `json:"jobs"`
+}
+
+// JobCounts tallies jobs by lifecycle state: Queued and Running are
+// current occupancy, Done and Failed are lifetime totals (they survive
+// history eviction).
+type JobCounts struct {
+	Queued  int64 `json:"queued"`
+	Running int64 `json:"running"`
+	Done    int64 `json:"done"`
+	Failed  int64 `json:"failed"`
+}
+
+// Stats snapshots queue depths, cache counters, and job tallies.
+func (s *Service) Stats() Stats {
+	return Stats{
+		Pools: s.sched.Stats(),
+		Cache: s.cache.Stats(),
+		Jobs: JobCounts{
+			Queued:  s.nQueued.Load(),
+			Running: s.nRunning.Load(),
+			Done:    s.nDone.Load(),
+			Failed:  s.nFailed.Load(),
+		},
+	}
+}
+
+// runJob executes one dispatched job on its pool: sweep soundness on the
+// compile-cache entry resolved at submission, then maximality if
+// requested. The job's progress counter is handed to the sweep engine as
+// its chunk cursor.
+func (s *Service) runJob(pool int, j *Job) {
+	s.nQueued.Add(-1)
+	s.nRunning.Add(1)
+	j.setRunning()
+	res, err := s.check(j)
+	j.finish(res, err)
+	s.nRunning.Add(-1)
+	if err != nil {
+		s.nFailed.Add(1)
+	} else {
+		s.nDone.Add(1)
+	}
+}
+
+func (s *Service) check(j *Job) (*Result, error) {
+	entry := j.entry
+	pol := core.NewAllowSet(entry.prog.Arity(), entry.allowed)
+	dom := core.Grid(entry.prog.Arity(), j.Req.Domain...)
+	obs := core.ObserveValue
+	if j.Req.Timed {
+		obs = core.ObserveValueAndTime
+	}
+	cfg := sweep.Config{Workers: s.cfg.SweepWorkers, Progress: &j.progress}
+
+	start := time.Now()
+	rep, err := core.CheckSoundnessSweep(entry.mech, pol, dom, obs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Sound:    rep.Sound,
+		Checked:  rep.Checked,
+		WitnessA: rep.WitnessA,
+		WitnessB: rep.WitnessB,
+		ObsA:     rep.ObsA,
+		ObsB:     rep.ObsB,
+	}
+	if j.Req.Maximal {
+		mrep, err := core.CheckMaximalitySweep(entry.mech, entry.bare, pol, dom, obs, cfg)
+		if err != nil {
+			return nil, err
+		}
+		maximal := mrep.Maximal
+		res.Maximal = &maximal
+		res.MaximalWitness = mrep.Witness
+		res.MaximalReason = mrep.Reason
+	}
+	elapsed := time.Since(start)
+	res.ElapsedSeconds = elapsed.Seconds()
+	if elapsed > 0 {
+		res.InputsPerSec = float64(j.Progress()) / elapsed.Seconds()
+	}
+	return res, nil
+}

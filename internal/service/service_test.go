@@ -1,0 +1,233 @@
+package service
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"spm/internal/core"
+	"spm/internal/flowchart"
+	"spm/internal/lattice"
+	"spm/internal/surveillance"
+)
+
+// testProg leaks x1 into the output on the x2 != 0 path, so under
+// allow(2) the bare program is unsound and the instrumented one sound.
+const testProg = `
+program demo
+inputs x1 x2
+    r := x1
+    r := 0
+    if x2 == 0 goto Zero else NonZero
+Zero:    y := r
+         halt
+NonZero: y := x1
+         halt
+`
+
+func waitJob(t *testing.T, j *Job) JobStatus {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("job %s did not finish", j.ID)
+	}
+	return j.Status()
+}
+
+func newTestService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	s := New(cfg)
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestSubmitVerdictMatchesDirectCheck(t *testing.T) {
+	s := newTestService(t, Config{Pools: 2, SweepWorkers: 2})
+	j, err := s.Submit(CheckRequest{Program: testProg, Policy: "{2}", Domain: []int64{0, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitJob(t, j)
+	if st.State != StateDone {
+		t.Fatalf("state = %s (error %q), want done", st.State, st.Error)
+	}
+
+	// Reference: the sequential checker on the same setup.
+	prog := flowchart.MustParse(testProg)
+	mech, err := surveillance.Mechanism(prog, mustPolicy(t, "{2}"), surveillance.Untimed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.CheckSoundness(mech, core.NewAllow(2, 2), core.Grid(2, 0, 1, 2), core.ObserveValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Result.Sound != want.Sound || st.Result.Checked != want.Checked {
+		t.Errorf("service verdict (sound=%v checked=%d) != direct (sound=%v checked=%d)",
+			st.Result.Sound, st.Result.Checked, want.Sound, want.Checked)
+	}
+	if !st.Result.Sound {
+		t.Error("instrumented program should be sound under allow(2)")
+	}
+	if st.Progress.Done != st.Progress.Total {
+		t.Errorf("progress %d/%d after completion", st.Progress.Done, st.Progress.Total)
+	}
+}
+
+func TestSubmitRawUnsoundWithWitness(t *testing.T) {
+	s := newTestService(t, Config{Pools: 1})
+	j, err := s.Submit(CheckRequest{Program: testProg, Policy: "{2}", Raw: true, Domain: []int64{0, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitJob(t, j)
+	if st.State != StateDone {
+		t.Fatalf("state = %s, want done", st.State)
+	}
+	if st.Result.Sound {
+		t.Fatal("bare program should be unsound under allow(2)")
+	}
+	if st.Result.WitnessA == nil || st.Result.WitnessB == nil {
+		t.Error("unsound verdict carries no witness pair")
+	}
+}
+
+func TestSubmitMaximalProgressCountsAllPasses(t *testing.T) {
+	s := newTestService(t, Config{Pools: 1})
+	j, err := s.Submit(CheckRequest{Program: testProg, Policy: "{2}", Maximal: true, Domain: []int64{0, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(3 * 9); j.Total != want {
+		t.Errorf("maximal job total = %d, want %d (three passes)", j.Total, want)
+	}
+	st := waitJob(t, j)
+	if st.State != StateDone {
+		t.Fatalf("state = %s, want done", st.State)
+	}
+	if st.Result.Maximal == nil {
+		t.Fatal("maximal verdict missing")
+	}
+	if st.Progress.Done != j.Total {
+		t.Errorf("progress %d, want %d", st.Progress.Done, j.Total)
+	}
+}
+
+func TestSecondIdenticalSubmissionHitsCache(t *testing.T) {
+	s := newTestService(t, Config{Pools: 1})
+	req := CheckRequest{Program: testProg, Policy: "{2}", Domain: []int64{0, 1}}
+	first, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Error("first submission reported a cache hit")
+	}
+	fst := waitJob(t, first)
+
+	second, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Error("second identical submission missed the compile cache")
+	}
+	sst := waitJob(t, second)
+	if fst.Result.Sound != sst.Result.Sound || fst.Result.Checked != sst.Result.Checked {
+		t.Errorf("cached verdict differs: %+v vs %+v", fst.Result, sst.Result)
+	}
+	// The second submission compiled nothing: exactly one miss (the first
+	// submit) and one hit (the second) — workers run off the entry stored
+	// on the job, never re-resolving the cache.
+	if st := s.cache.Stats(); st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("cache stats = %+v, want exactly 1 miss and 1 hit", st)
+	}
+}
+
+func TestReformattedSourceSharesCompiledEntry(t *testing.T) {
+	s := newTestService(t, Config{Pools: 1})
+	if _, err := s.Submit(CheckRequest{Program: testProg, Policy: "{2}"}); err != nil {
+		t.Fatal(err)
+	}
+	// Same flowchart, different whitespace: canonical-level hit.
+	reformatted := "\n\nprogram demo\ninputs x1 x2\n\tr := x1\n\tr := 0\n\tif x2 == 0 goto Zero else NonZero\nZero:\ty := r\n\thalt\nNonZero:\ty := x1\n\thalt\n"
+	j, err := s.Submit(CheckRequest{Program: reformatted, Policy: "{2}"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.CacheHit {
+		t.Error("reformatted source missed the canonical cache level")
+	}
+	if misses := s.cache.Stats().Misses; misses != 1 {
+		t.Errorf("cache misses = %d, want 1", misses)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := newTestService(t, Config{Pools: 1, MaxTuples: 100})
+	cases := []struct {
+		name string
+		req  CheckRequest
+	}{
+		{"malformed program", CheckRequest{Program: "program broken\ninputs x1\n    y := \n"}},
+		{"bad policy", CheckRequest{Program: testProg, Policy: "{nope}"}},
+		{"policy exceeds arity", CheckRequest{Program: testProg, Policy: "{7}"}},
+		{"bad variant", CheckRequest{Program: testProg, Variant: "warp"}},
+		{"domain too large", CheckRequest{Program: testProg, Domain: []int64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := s.Submit(tc.req)
+			if !errors.Is(err, ErrBadRequest) {
+				t.Errorf("err = %v, want ErrBadRequest", err)
+			}
+		})
+	}
+}
+
+func TestUnknownJob(t *testing.T) {
+	s := newTestService(t, Config{Pools: 1})
+	if _, err := s.Job("job-999"); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("err = %v, want ErrUnknownJob", err)
+	}
+}
+
+func TestStatsTallies(t *testing.T) {
+	s := newTestService(t, Config{Pools: 2})
+	req := CheckRequest{Program: testProg, Policy: "{2}", Domain: []int64{0, 1, 2}}
+	var jobs []*Job
+	for i := 0; i < 6; i++ {
+		j, err := s.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	for _, j := range jobs {
+		waitJob(t, j)
+	}
+	st := s.Stats()
+	if st.Jobs.Done != 6 || st.Jobs.Failed != 0 {
+		t.Errorf("job tallies = %+v, want 6 done", st.Jobs)
+	}
+	var dispatched int64
+	for _, p := range st.Pools {
+		dispatched += p.Dispatched
+	}
+	if dispatched != 6 {
+		t.Errorf("dispatched across pools = %d, want 6", dispatched)
+	}
+	if st.Cache.Hits < 5 || st.Cache.Misses != 1 {
+		t.Errorf("cache stats = %+v, want ≥5 hits and exactly 1 miss", st.Cache)
+	}
+}
+
+func mustPolicy(t *testing.T, spec string) lattice.IndexSet {
+	t.Helper()
+	s, err := ParsePolicy(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

@@ -44,6 +44,11 @@ type Config struct {
 	// Chunk is the number of tuples claimed per cursor advance; ≤ 0 picks
 	// a size that gives every worker several chunks.
 	Chunk int
+	// Progress, when non-nil, is atomically advanced by the number of
+	// tuples visited as each chunk completes. Long-running sweeps (the
+	// policy-checking service's job lifecycle) read it to report progress
+	// without adding per-tuple overhead; granularity is one chunk.
+	Progress *atomic.Int64
 }
 
 func (c Config) normalized(size int) Config {
@@ -113,11 +118,27 @@ func Run(values [][]int64, cfg Config, fn func(worker int, input []int64) error)
 		return nil
 	}
 	if len(values) == 0 {
-		return fn(0, nil)
+		err := fn(0, nil)
+		if err == nil && cfg.Progress != nil {
+			cfg.Progress.Add(1)
+		}
+		return err
 	}
 	cfg = cfg.normalized(size)
 	if cfg.Workers == 1 {
-		return runChunk(values, 0, size, 0, fn)
+		for start := 0; start < size; start += cfg.Chunk {
+			end := start + cfg.Chunk
+			if end > size {
+				end = size
+			}
+			if err := runChunk(values, start, end, 0, fn); err != nil {
+				return err
+			}
+			if cfg.Progress != nil {
+				cfg.Progress.Add(int64(end - start))
+			}
+		}
+		return nil
 	}
 
 	var cursor atomic.Int64
@@ -141,6 +162,9 @@ func Run(values [][]int64, cfg Config, fn func(worker int, input []int64) error)
 					errs[w] = err
 					stop.Store(true)
 					return
+				}
+				if cfg.Progress != nil {
+					cfg.Progress.Add(end - start)
 				}
 			}
 		}(w)

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -230,5 +231,52 @@ func TestResolvedWorkers(t *testing.T) {
 	}
 	if got := (Config{}).ResolvedWorkers(100); got < 1 {
 		t.Errorf("default workers: got %d, want >= 1", got)
+	}
+}
+
+func TestRunProgressReachesSize(t *testing.T) {
+	values := [][]int64{{0, 1, 2, 3}, {0, 1, 2}, {0, 1, 2, 3, 4}}
+	want := int64(4 * 3 * 5)
+	for _, workers := range []int{1, 3, 8} {
+		var progress atomic.Int64
+		cfg := Config{Workers: workers, Chunk: 7, Progress: &progress}
+		if err := Run(values, cfg, func(int, []int64) error { return nil }); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := progress.Load(); got != want {
+			t.Errorf("workers=%d: progress = %d, want %d", workers, got, want)
+		}
+	}
+}
+
+func TestRunProgressMonotoneDuringSweep(t *testing.T) {
+	values := [][]int64{{0, 1, 2, 3, 4, 5, 6, 7}, {0, 1, 2, 3, 4, 5, 6, 7}}
+	var progress atomic.Int64
+	var sawPartial atomic.Bool
+	cfg := Config{Workers: 4, Chunk: 4, Progress: &progress}
+	err := Run(values, cfg, func(int, []int64) error {
+		if p := progress.Load(); p > 0 && p < 64 {
+			sawPartial.Store(true)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawPartial.Load() {
+		t.Log("no partial progress observed (fast machine); counter still correct")
+	}
+	if got := progress.Load(); got != 64 {
+		t.Errorf("final progress = %d, want 64", got)
+	}
+}
+
+func TestRunNullaryProgress(t *testing.T) {
+	var progress atomic.Int64
+	if err := Run(nil, Config{Progress: &progress}, func(int, []int64) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := progress.Load(); got != 1 {
+		t.Errorf("nullary progress = %d, want 1", got)
 	}
 }
