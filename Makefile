@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json lint fmt serve loadgen
+.PHONY: all build test bench bench-json lint fmt serve loadgen api-golden
 
 all: build lint test
 
@@ -39,6 +39,13 @@ lint:
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
 	fi
+	$(GO) doc -all ./internal/check | diff -u internal/check/api.golden -
+
+# Regenerate the committed API surface of the unified check package after
+# an intentional signature change; CI diffs the live `go doc` output
+# against this golden and fails on drift.
+api-golden:
+	$(GO) doc -all ./internal/check > internal/check/api.golden
 
 fmt:
 	gofmt -w .

@@ -12,7 +12,7 @@
 //	spm check     [-policy {i,j}] [-variant ...] [-domain 0,1,2] [-time] file.fc
 //	spm sweep     [-policy {i,j}] [-variant ...] [-domain 0,1,2] [-workers N] [-chunk N] [-time] [-maximal] [-raw] file.fc
 //	spm serve     [-addr :8135] [-pools N] [-queue N] [-sweep-workers N] [-cache N]
-//	spm loadgen   [-addr URL] [-n N] [-c N] [-maximal-every K] [-program file.fc]
+//	spm loadgen   [-addr URL] [-n N] [-c N] [-maximal-every K] [-job-timeout D] [-program file.fc]
 //	spm dot       file.fc
 //
 // Programs use the flowchart DSL (see package spm/internal/flowchart):
@@ -26,19 +26,21 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
 
+	"spm/internal/check"
 	"spm/internal/core"
 	"spm/internal/flowchart"
 	"spm/internal/service"
 	"spm/internal/static"
 	"spm/internal/surveillance"
-	"spm/internal/sweep"
 )
 
 func main() {
@@ -87,7 +89,7 @@ func usage() error {
   spm check      [-policy {i,j}] [-variant ...] [-domain 0,1,2] [-time] file.fc
   spm sweep      [-policy {i,j}] [-variant ...] [-domain 0,1,2] [-workers N] [-chunk N] [-time] [-maximal] [-raw] file.fc
   spm serve      [-addr :8135] [-pools N] [-queue N] [-sweep-workers N] [-cache N]
-  spm loadgen    [-addr URL] [-n N] [-c N] [-maximal-every K] [-program file.fc] [-policy ...] [-domain ...]
+  spm loadgen    [-addr URL] [-n N] [-c N] [-maximal-every K] [-job-timeout D] [-program file.fc] [-policy ...] [-domain ...]
   spm dot        file.fc`)
 	return nil
 }
@@ -304,12 +306,33 @@ func cmdCheck(args []string) error {
 	if err != nil {
 		return fmt.Errorf("check: %w", err)
 	}
-	rep, err := core.CheckSoundness(s.m, s.pol, s.dom, s.obs)
+	// One interpreted worker preserves the sequential reference checker's
+	// semantics: enumeration order (and therefore the reported witness
+	// pair) matches core.CheckSoundness, and every tuple runs through the
+	// interpreter rather than the compiled fast path — keeping `spm check`
+	// an independent oracle against `spm sweep`'s compiled verdicts.
+	v, err := check.Run(interruptContext(), check.Spec{
+		Kind:        check.Soundness,
+		Mechanism:   s.m,
+		Policy:      s.pol,
+		Domain:      s.dom,
+		Observation: s.obs,
+	}, check.WithWorkers(1), check.WithCompiled(false))
 	if err != nil {
 		return err
 	}
-	fmt.Println(rep)
+	fmt.Println(v)
 	return nil
+}
+
+// interruptContext is the CLI's check context: ^C cancels the sweep, which
+// stops within one chunk instead of grinding out the rest of the domain.
+// Once the context is done the handler is released, so a second ^C gets
+// the default behaviour and can still kill a chunk that grinds too long.
+func interruptContext() context.Context {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	context.AfterFunc(ctx, stop)
+	return ctx
 }
 
 // cmdSweep is cmdCheck on the parallel sweep engine: it instruments the
@@ -338,24 +361,38 @@ func cmdSweep(args []string) error {
 	if err != nil {
 		return fmt.Errorf("sweep: %w", err)
 	}
-	cfg := sweep.Config{Workers: *workers, Chunk: *chunk}
+	ctx := interruptContext()
+	opts := []check.Option{check.WithWorkers(*workers), check.WithChunk(*chunk)}
 
 	start := time.Now()
-	rep, err := core.CheckSoundnessSweep(s.m, s.pol, s.dom, s.obs, cfg)
+	v, err := check.Run(ctx, check.Spec{
+		Kind:        check.Soundness,
+		Mechanism:   s.m,
+		Policy:      s.pol,
+		Domain:      s.dom,
+		Observation: s.obs,
+	}, opts...)
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
-	fmt.Println(rep)
-	rate := float64(rep.Checked) / elapsed.Seconds()
-	fmt.Printf("swept %d inputs in %v (%.0f inputs/s)\n", rep.Checked, elapsed.Round(time.Microsecond), rate)
+	fmt.Println(v)
+	rate := float64(v.Checked) / elapsed.Seconds()
+	fmt.Printf("swept %d inputs in %v (%.0f inputs/s)\n", v.Checked, elapsed.Round(time.Microsecond), rate)
 
 	if *maximal {
-		mrep, err := core.CheckMaximalitySweep(s.m, core.FromProgram(s.prog), s.pol, s.dom, s.obs, cfg)
+		mv, err := check.Run(ctx, check.Spec{
+			Kind:        check.Maximality,
+			Mechanism:   s.m,
+			Program:     core.FromProgram(s.prog),
+			Policy:      s.pol,
+			Domain:      s.dom,
+			Observation: s.obs,
+		}, opts...)
 		if err != nil {
 			return err
 		}
-		fmt.Println(mrep)
+		fmt.Println(mv)
 	}
 	return nil
 }

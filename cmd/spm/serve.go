@@ -67,6 +67,7 @@ func cmdLoadgen(args []string) error {
 	jobs := fs.Int("n", 256, "total jobs")
 	concurrency := fs.Int("c", 64, "concurrent closed-loop clients")
 	maximalEvery := fs.Int("maximal-every", 4, "every k-th job also checks maximality (0 = never)")
+	jobTimeout := fs.Duration("job-timeout", 0, "per-job deadline; late jobs are cancelled server-side (0 = default 60s)")
 	program := fs.String("program", "", "flowchart file to submit (default: built-in demo)")
 	policy := fs.String("policy", "{2}", "allowed input indices, e.g. {1,3} or all")
 	variant := fs.String("variant", "untimed", "untimed, timed, or highwater")
@@ -96,6 +97,7 @@ func cmdLoadgen(args []string) error {
 		Jobs:         *jobs,
 		Concurrency:  *concurrency,
 		MaximalEvery: *maximalEvery,
+		JobTimeout:   *jobTimeout,
 		Request: service.CheckRequest{
 			Program: src,
 			Policy:  *policy,

@@ -10,10 +10,28 @@
 // memory behind the password attack, the logon program, the file system,
 // and the history-dependent statistical database.
 //
-// See README.md for the quickstart and the package map. The experiment
-// registry in internal/experiments maps each ID (E1–E20) to the paper
-// artifact it reproduces; the benchmarks in bench_test.go regenerate one
-// measurement per experiment, and the cmd/spm-experiments binary prints
-// the full tables. Exhaustive checks run on the parallel sweep engine in
-// internal/sweep (see `spm sweep`).
+// Every exhaustive verdict goes through one entry point, internal/check:
+//
+//	v, err := check.Run(ctx, check.Spec{
+//	    Kind:        check.Soundness, // or Maximality, PassCount
+//	    Mechanism:   m,
+//	    Policy:      pol,
+//	    Domain:      core.Grid(2, 0, 1, 2),
+//	    Observation: core.ObserveValue,
+//	}, check.WithWorkers(8))
+//
+// check.Run sweeps the domain on the parallel work-stealing engine in
+// internal/sweep (compiled fast path included) and honours ctx: cancelling
+// it stops the enumeration within one chunk. The CLI (`spm check`,
+// `spm sweep`), the policy-checking service (`spm serve`, v1 and v2 HTTP
+// APIs in internal/service), and the experiment tables all route through
+// it; the older core.CheckSoundnessParallel/CheckMaximalitySweep families
+// remain as deprecated wrappers over the same engine.
+//
+// See README.md for the quickstart, the package map, and the v2 service
+// endpoints (batch submit, job cancellation, progress streaming). The
+// experiment registry in internal/experiments maps each ID (E1–E20) to the
+// paper artifact it reproduces; the benchmarks in bench_test.go regenerate
+// one measurement per experiment, and the cmd/spm-experiments binary
+// prints the full tables.
 package spm

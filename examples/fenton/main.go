@@ -6,9 +6,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"spm/internal/check"
 	"spm/internal/core"
 	"spm/internal/fenton"
 	"spm/internal/lattice"
@@ -37,7 +39,12 @@ JOIN: halt           // the join: counter mark discharged here
 			}
 			fmt.Printf("  x=%d → %s\n", x, o)
 		}
-		rep, err := core.CheckSoundness(m, core.NewAllow(1), core.Grid(1, 0, 1, 2), core.ObserveValue)
+		rep, err := check.Run(context.Background(), check.Spec{
+			Kind:      check.Soundness,
+			Mechanism: m,
+			Policy:    core.NewAllow(1),
+			Domain:    core.Grid(1, 0, 1, 2),
+		})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,9 +5,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"spm/internal/check"
 	"spm/internal/core"
 	"spm/internal/filesys"
 )
@@ -41,7 +43,13 @@ func main() {
 	pol := fs.Policy()
 	dom := fs.Domain([]int64{0, 1, 2}, false)
 	for _, m := range []core.Mechanism{gate, raw} {
-		rep, err := core.CheckSoundness(m, pol, dom, core.ObserveValue)
+		rep, err := check.Run(context.Background(), check.Spec{
+			Kind:        check.Soundness,
+			Mechanism:   m,
+			Policy:      pol,
+			Domain:      dom,
+			Observation: core.ObserveValue,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -4,9 +4,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"spm/internal/check"
 	"spm/internal/core"
 	"spm/internal/flowchart"
 	"spm/internal/lattice"
@@ -42,10 +44,15 @@ NonZero: y := x1
 		fmt.Printf("  M%v = %s\n", in, o)
 	}
 
-	// Soundness, checked extensionally: the mechanism's observable output
-	// must factor through the policy view.
-	pol := core.NewAllowSet(2, allowed)
-	rep, err := core.CheckSoundness(m, pol, core.Grid(2, 0, 1, 2, 3), core.ObserveValue)
+	// Soundness, checked extensionally through the unified check API: the
+	// mechanism's observable output must factor through the policy view.
+	rep, err := check.Run(context.Background(), check.Spec{
+		Kind:        check.Soundness,
+		Mechanism:   m,
+		Policy:      core.NewAllowSet(2, allowed),
+		Domain:      core.Grid(2, 0, 1, 2, 3),
+		Observation: core.ObserveValue,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,14 +5,27 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"spm/internal/check"
 	"spm/internal/core"
 	"spm/internal/flowchart"
 	"spm/internal/lattice"
 	"spm/internal/surveillance"
 )
+
+// sound decides soundness through the unified check API.
+func sound(m core.Mechanism, pol core.Policy, dom core.Domain, obs core.Observation) check.Verdict {
+	v, err := check.Run(context.Background(), check.Spec{
+		Kind: check.Soundness, Mechanism: m, Policy: pol, Domain: dom, Observation: obs,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
 
 func main() {
 	// Q(x) = 1 for every x — but the loop runs x times.
@@ -38,14 +51,8 @@ Done: y := 1
 	pol := core.NewAllow(1) // allow(): reveal nothing about x
 	dom := core.Grid(1, 0, 1, 2, 3, 4, 5, 6)
 
-	repV, err := core.CheckSoundness(qm, pol, dom, core.ObserveValue)
-	if err != nil {
-		log.Fatal(err)
-	}
-	repT, err := core.CheckSoundness(qm, pol, dom, core.ObserveValueAndTime)
-	if err != nil {
-		log.Fatal(err)
-	}
+	repV := sound(qm, pol, dom, core.ObserveValue)
+	repT := sound(qm, pol, dom, core.ObserveValueAndTime)
 	fmt.Println("\nQ as its own mechanism:")
 	fmt.Println("  value only:  ", repV.Sound, "(constant output)")
 	fmt.Println("  value + time:", repT.Sound, "(steps encode x — the forgotten observable)")
@@ -60,9 +67,5 @@ Done: y := 1
 		}
 		fmt.Printf("  M′(%d) = %s in %d steps\n", x, o, o.Steps)
 	}
-	repMp, err := core.CheckSoundness(mp, pol, dom, core.ObserveValueAndTime)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("\n" + repMp.String())
+	fmt.Println("\n" + sound(mp, pol, dom, core.ObserveValueAndTime).String())
 }

@@ -1,0 +1,202 @@
+// Package check is the single entry point for every exhaustive verdict the
+// library produces. A Spec names what to decide — soundness of a mechanism
+// for a policy, maximality against a reference program, or the pass count
+// behind the experiment tables' utility columns — and Run decides it over
+// the Spec's finite domain on the shared parallel sweep engine, honouring
+// the caller's context: cancelling ctx stops the enumeration within one
+// chunk of tuples.
+//
+//	verdict, err := check.Run(ctx, check.Spec{
+//	    Kind:        check.Soundness,
+//	    Mechanism:   m,
+//	    Policy:      pol,
+//	    Domain:      core.Grid(2, 0, 1, 2),
+//	    Observation: core.ObserveValue,
+//	}, check.WithWorkers(8))
+//
+// Functional options replace the positional knobs of the deprecated
+// CheckSoundnessParallel/CheckMaximalitySweep families: WithWorkers and
+// WithChunk tune the engine, WithProgress exposes the chunk cursor to
+// long-running callers (the policy-checking service's job lifecycle), and
+// WithCompiled(false) forces the interpreter for ablations.
+package check
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"spm/internal/core"
+	"spm/internal/sweep"
+)
+
+// ErrBadSpec wraps every Spec-validation failure: a missing mechanism or
+// policy, a maximality check without its reference program, or an unknown
+// kind.
+var ErrBadSpec = errors.New("check: bad spec")
+
+// Kind selects which verdict Run decides.
+type Kind int
+
+// The verdict kinds.
+const (
+	// Soundness decides whether the observation of the mechanism's output
+	// is constant on every policy class of the domain.
+	Soundness Kind = iota
+	// Maximality decides whether the mechanism is the Theorem 2 maximal
+	// sound mechanism for Spec.Program and Spec.Policy over the domain.
+	Maximality
+	// PassCount counts the domain inputs on which the mechanism returns
+	// real output (no violation notice) — utility in the paper's sense.
+	PassCount
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Soundness:
+		return "soundness"
+	case Maximality:
+		return "maximality"
+	case PassCount:
+		return "passcount"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Passes returns how many enumeration passes over the domain the kind
+// costs: soundness and pass counting visit every tuple once; maximality
+// tabulates Q-constant classes and then verifies, visiting twice. Callers
+// sizing progress totals (the service's done/total fraction) multiply the
+// domain size by this.
+func (k Kind) Passes() int64 {
+	if k == Maximality {
+		return 2
+	}
+	return 1
+}
+
+// Spec names one verdict: what kind, about which mechanism, against which
+// policy, over which finite domain, under which observation.
+type Spec struct {
+	// Kind selects the verdict; the zero value is Soundness.
+	Kind Kind
+	// Mechanism is the mechanism under test. Required.
+	Mechanism core.Mechanism
+	// Program is the maximality reference Q — the bare program the
+	// mechanism protects. Required for Maximality, ignored otherwise.
+	Program core.Mechanism
+	// Policy is the information filter. Required for Soundness and
+	// Maximality, ignored by PassCount.
+	Policy core.Policy
+	// Domain is the finite test domain whose cartesian product is swept.
+	Domain core.Domain
+	// Observation selects what the user can see of an outcome; the zero
+	// value means core.ObserveValue.
+	Observation core.Observation
+}
+
+// Options collects the resolved functional options.
+type Options struct {
+	// Workers is the sweep parallelism; ≤ 0 means runtime.NumCPU().
+	Workers int
+	// Chunk is the tuples claimed per cursor advance; ≤ 0 picks a default.
+	Chunk int
+	// Progress, when non-nil, is advanced by the sweep engine as chunks
+	// complete — the cursor behind job progress reporting.
+	Progress *atomic.Int64
+	// Compiled enables the compiled fast path for flowchart-backed
+	// mechanisms; Run defaults it to true.
+	Compiled bool
+}
+
+// Option tunes one Run call.
+type Option func(*Options)
+
+// WithWorkers sets the sweep parallelism (≤ 0 means all CPUs).
+func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
+
+// WithChunk sets the tuples claimed per cursor advance (≤ 0 means auto).
+// The chunk also bounds cancellation latency: a cancelled sweep stops
+// after at most one chunk per worker.
+func WithChunk(n int) Option { return func(o *Options) { o.Chunk = n } }
+
+// WithProgress installs the atomic cursor the sweep engine advances as
+// chunks complete, so long-running checks can report done/total without
+// per-tuple overhead.
+func WithProgress(p *atomic.Int64) Option { return func(o *Options) { o.Progress = p } }
+
+// WithCompiled toggles the compiled fast path for flowchart-backed
+// mechanisms (default true). WithCompiled(false) forces every tuple
+// through Mechanism.Run — the interpreter ablation.
+func WithCompiled(on bool) Option { return func(o *Options) { o.Compiled = on } }
+
+// Run decides the Spec's verdict over its domain, sweeping in parallel and
+// honouring ctx: cancellation stops every worker within one chunk and
+// returns ctx's error. Run is the only code path in the repository that
+// executes verdicts — the deprecated core.Check*Parallel/Sweep functions,
+// the spm CLI, the v1 and v2 HTTP services, and the experiment tables all
+// reduce to it.
+func Run(ctx context.Context, spec Spec, opts ...Option) (Verdict, error) {
+	o := Options{Compiled: true}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if spec.Mechanism == nil {
+		return Verdict{Kind: spec.Kind}, fmt.Errorf("%w: nil Mechanism", ErrBadSpec)
+	}
+	if spec.Observation.Render == nil {
+		spec.Observation = core.ObserveValue
+	}
+	cc := core.CheckConfig{
+		Config:      sweep.Config{Workers: o.Workers, Chunk: o.Chunk, Progress: o.Progress},
+		Interpreted: !o.Compiled,
+	}
+	v := Verdict{Kind: spec.Kind, Mechanism: spec.Mechanism.Name(), Observation: spec.Observation.ObsName}
+	switch spec.Kind {
+	case Soundness:
+		if spec.Policy == nil {
+			return v, fmt.Errorf("%w: soundness needs a Policy", ErrBadSpec)
+		}
+		rep, err := core.CheckSoundnessContext(ctx, spec.Mechanism, spec.Policy, spec.Domain, spec.Observation, cc)
+		if err != nil {
+			return v, err
+		}
+		v.Policy = rep.Policy
+		v.Checked = rep.Checked
+		v.Sound = rep.Sound
+		v.WitnessA, v.WitnessB = rep.WitnessA, rep.WitnessB
+		v.ObsA, v.ObsB = rep.ObsA, rep.ObsB
+		return v, nil
+	case Maximality:
+		if spec.Policy == nil {
+			return v, fmt.Errorf("%w: maximality needs a Policy", ErrBadSpec)
+		}
+		if spec.Program == nil {
+			return v, fmt.Errorf("%w: maximality needs the reference Program", ErrBadSpec)
+		}
+		rep, err := core.CheckMaximalityContext(ctx, spec.Mechanism, spec.Program, spec.Policy, spec.Domain, spec.Observation, cc)
+		if err != nil {
+			return v, err
+		}
+		v.Program = rep.Program
+		v.Policy = rep.Policy
+		v.Checked = rep.Checked
+		v.Maximal = rep.Maximal
+		v.Witness = rep.Witness
+		v.Reason = rep.Reason
+		return v, nil
+	case PassCount:
+		n, err := core.PassCountContext(ctx, spec.Mechanism, spec.Domain, cc)
+		if err != nil {
+			return v, err
+		}
+		v.Checked = sweep.Size(spec.Domain)
+		v.Passes = n
+		return v, nil
+	default:
+		return v, fmt.Errorf("%w: unknown kind %v", ErrBadSpec, spec.Kind)
+	}
+}

@@ -1,0 +1,78 @@
+package check
+
+import (
+	"fmt"
+
+	"spm/internal/core"
+)
+
+// Verdict is the common result of Run: the fields relevant to the Spec's
+// kind are populated, the rest stay zero. It flattens the three legacy
+// report types so callers (the service's wire format, the CLI) handle one
+// shape.
+type Verdict struct {
+	Kind Kind
+	// Names, as reported by the checked artifacts.
+	Mechanism   string
+	Program     string // Maximality only: the reference Q
+	Policy      string
+	Observation string
+	// Checked counts the tuples visited by the verdict pass.
+	Checked int
+
+	// Soundness: whether the observation factors through the policy view;
+	// on failure, two inputs sharing a view with different observations.
+	Sound              bool
+	WitnessA, WitnessB []int64
+	ObsA, ObsB         string
+
+	// Maximality: whether the mechanism is the Theorem 2 maximal sound
+	// mechanism; on failure, the deviating input and how it deviated.
+	Maximal bool
+	Witness []int64
+	Reason  string
+
+	// PassCount: inputs on which the mechanism returned real output.
+	Passes int
+}
+
+// SoundnessReport rebuilds the legacy report for a Soundness verdict.
+func (v Verdict) SoundnessReport() core.SoundnessReport {
+	return core.SoundnessReport{
+		Mechanism:   v.Mechanism,
+		Policy:      v.Policy,
+		Observation: v.Observation,
+		Sound:       v.Sound,
+		Checked:     v.Checked,
+		WitnessA:    v.WitnessA,
+		WitnessB:    v.WitnessB,
+		ObsA:        v.ObsA,
+		ObsB:        v.ObsB,
+	}
+}
+
+// MaximalityReport rebuilds the legacy report for a Maximality verdict.
+func (v Verdict) MaximalityReport() core.MaximalityReport {
+	return core.MaximalityReport{
+		Mechanism:   v.Mechanism,
+		Program:     v.Program,
+		Policy:      v.Policy,
+		Observation: v.Observation,
+		Maximal:     v.Maximal,
+		Checked:     v.Checked,
+		Witness:     v.Witness,
+		Reason:      v.Reason,
+	}
+}
+
+// String renders the verdict in the same style as the legacy reports.
+func (v Verdict) String() string {
+	switch v.Kind {
+	case Maximality:
+		return v.MaximalityReport().String()
+	case PassCount:
+		return fmt.Sprintf("%s passes on %d of %d inputs", v.Mechanism, v.Passes, v.Checked)
+	default:
+		return v.SoundnessReport().String()
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"spm/internal/sweep"
@@ -155,27 +156,43 @@ func CheckMaximality(m, q Mechanism, pol Policy, dom Domain, obs Observation) (M
 // CheckMaximalityParallel is CheckMaximality with both enumeration passes
 // run on the sweep engine: per-worker class tables merged between passes
 // (so constancy is judged across chunks), then a sharded verdict pass.
+//
+// Deprecated: use spm/internal/check.Run with check.Maximality and
+// check.WithWorkers; it adds cancellation and a unified verdict.
 func CheckMaximalityParallel(m, q Mechanism, pol Policy, dom Domain, obs Observation, workers int) (MaximalityReport, error) {
-	return CheckMaximalitySweep(m, q, pol, dom, obs, sweep.Config{Workers: workers})
+	return CheckMaximalityContext(context.Background(), m, q, pol, dom, obs,
+		CheckConfig{Config: sweep.Config{Workers: workers}})
 }
 
 // CheckMaximalitySweep is CheckMaximalityParallel with full engine control.
+//
+// Deprecated: use spm/internal/check.Run with check.Maximality; it adds
+// cancellation and a unified verdict.
 func CheckMaximalitySweep(m, q Mechanism, pol Policy, dom Domain, obs Observation, cfg sweep.Config) (MaximalityReport, error) {
+	return CheckMaximalityContext(context.Background(), m, q, pol, dom, obs, CheckConfig{Config: cfg})
+}
+
+// CheckMaximalityContext is the engine behind every parallel maximality
+// verdict — check.Run dispatches here, and the deprecated Parallel/Sweep
+// wrappers shim onto it with a background context. Cancelling ctx stops
+// whichever enumeration pass is running within one chunk and returns ctx's
+// error with a partial report.
+func CheckMaximalityContext(ctx context.Context, m, q Mechanism, pol Policy, dom Domain, obs Observation, cc CheckConfig) (MaximalityReport, error) {
 	rep, err := maximalityPreflight(m, q, pol, dom, obs)
 	if err != nil {
 		return rep, err
 	}
-	workers := cfg.ResolvedWorkers(sweep.Size(dom))
+	workers := cc.ResolvedWorkers(sweep.Size(dom))
 
 	// Pass 1: per-worker class tables over Q, merged into one.
-	qFactory := RunnerFactory(q)
+	qFactory := cc.factory(q)
 	qRuns := make([]RunFunc, workers)
 	tables := make([]classTable, workers)
 	for w := 0; w < workers; w++ {
 		qRuns[w] = qFactory()
 		tables[w] = make(classTable)
 	}
-	if err := sweep.Run(dom, cfg, func(w int, input []int64) error {
+	if err := sweep.RunContext(ctx, dom, cc.Config, func(w int, input []int64) error {
 		qo, err := qRuns[w](input)
 		if err != nil {
 			return err
@@ -197,12 +214,12 @@ func CheckMaximalitySweep(m, q Mechanism, pol Policy, dom Domain, obs Observatio
 		witness    []int64
 		reason     string
 	}
-	mFactory := RunnerFactory(m)
+	mFactory := cc.factory(m)
 	shards := make([]shard, workers)
 	for w := range shards {
 		shards[w] = shard{runQ: qFactory(), runM: mFactory()}
 	}
-	if err := sweep.Run(dom, cfg, func(w int, input []int64) error {
+	if err := sweep.RunContext(ctx, dom, cc.Config, func(w int, input []int64) error {
 		s := &shards[w]
 		qo, err := s.runQ(input)
 		if err != nil {

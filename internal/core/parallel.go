@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"spm/internal/sweep"
@@ -42,6 +43,23 @@ func RunnerFactory(m Mechanism) func() RunFunc {
 	return func() RunFunc { return m.Run }
 }
 
+// CheckConfig tunes the context-aware checkers: the embedded sweep.Config
+// controls parallelism, chunking, and the progress cursor; Interpreted
+// disables the compiled fast path so every tuple runs through Mechanism.Run
+// (the ablation knob behind check.WithCompiled(false)).
+type CheckConfig struct {
+	sweep.Config
+	Interpreted bool
+}
+
+// factory resolves the per-worker runner factory for m under the config.
+func (cc CheckConfig) factory(m Mechanism) func() RunFunc {
+	if cc.Interpreted {
+		return func() RunFunc { return m.Run }
+	}
+	return RunnerFactory(m)
+}
+
 // viewEntry is one policy class's first-seen observation and witness input.
 type viewEntry struct {
 	obs   string
@@ -53,13 +71,28 @@ type viewEntry struct {
 // pulling chunks from a shared cursor, per-worker view tables merged at the
 // end. The verdict is deterministic; when multiple counterexamples exist,
 // the reported witness pair may differ from the sequential checker's.
+//
+// Deprecated: use spm/internal/check.Run with check.Soundness and
+// check.WithWorkers; it adds cancellation and a unified verdict.
 func CheckSoundnessParallel(m Mechanism, pol Policy, dom Domain, obs Observation, workers int) (SoundnessReport, error) {
-	return CheckSoundnessSweep(m, pol, dom, obs, sweep.Config{Workers: workers})
+	return CheckSoundnessContext(context.Background(), m, pol, dom, obs,
+		CheckConfig{Config: sweep.Config{Workers: workers}})
 }
 
 // CheckSoundnessSweep is CheckSoundnessParallel with full engine control
 // (worker count and chunk size).
+//
+// Deprecated: use spm/internal/check.Run with check.Soundness; it adds
+// cancellation and a unified verdict.
 func CheckSoundnessSweep(m Mechanism, pol Policy, dom Domain, obs Observation, cfg sweep.Config) (SoundnessReport, error) {
+	return CheckSoundnessContext(context.Background(), m, pol, dom, obs, CheckConfig{Config: cfg})
+}
+
+// CheckSoundnessContext is the engine behind every parallel soundness
+// verdict — check.Run dispatches here, and the deprecated Parallel/Sweep
+// wrappers shim onto it with a background context. Cancelling ctx stops the
+// sweep within one chunk and returns ctx's error with a partial report.
+func CheckSoundnessContext(ctx context.Context, m Mechanism, pol Policy, dom Domain, obs Observation, cc CheckConfig) (SoundnessReport, error) {
 	rep := SoundnessReport{Mechanism: m.Name(), Policy: pol.Name(), Observation: obs.ObsName, Sound: true}
 	if m.Arity() != pol.Arity() || len(dom) != m.Arity() {
 		return rep, fmt.Errorf("core: arity mismatch: mechanism %d, policy %d, domain %d",
@@ -77,13 +110,13 @@ func CheckSoundnessSweep(m Mechanism, pol Policy, dom Domain, obs Observation, c
 		conflictB *viewEntry
 		checked   int
 	}
-	workers := cfg.ResolvedWorkers(sweep.Size(dom))
-	factory := RunnerFactory(m)
+	workers := cc.ResolvedWorkers(sweep.Size(dom))
+	factory := cc.factory(m)
 	shards := make([]shard, workers)
 	for w := range shards {
 		shards[w] = shard{run: factory(), views: make(map[string]viewEntry)}
 	}
-	err := sweep.Run(dom, cfg, func(w int, input []int64) error {
+	err := sweep.RunContext(ctx, dom, cc.Config, func(w int, input []int64) error {
 		s := &shards[w]
 		o, err := s.run(input)
 		if err != nil {
@@ -135,23 +168,37 @@ func CheckSoundnessSweep(m Mechanism, pol Policy, dom Domain, obs Observation, c
 // PassCountParallel counts the inputs in dom on which m returns real output
 // (no violation notice) — the utility column of the experiment tables —
 // using the sweep engine and the compiled fast path.
+//
+// Deprecated: use spm/internal/check.Run with check.PassCount; it adds
+// cancellation and a unified verdict.
 func PassCountParallel(m Mechanism, dom Domain, workers int) (int, error) {
-	return PassCountSweep(m, dom, sweep.Config{Workers: workers})
+	return PassCountContext(context.Background(), m, dom,
+		CheckConfig{Config: sweep.Config{Workers: workers}})
 }
 
 // PassCountSweep is PassCountParallel with full engine control.
+//
+// Deprecated: use spm/internal/check.Run with check.PassCount; it adds
+// cancellation and a unified verdict.
 func PassCountSweep(m Mechanism, dom Domain, cfg sweep.Config) (int, error) {
+	return PassCountContext(context.Background(), m, dom, CheckConfig{Config: cfg})
+}
+
+// PassCountContext is the engine behind every pass count — check.Run
+// dispatches here. Cancelling ctx stops the sweep within one chunk and
+// returns ctx's error.
+func PassCountContext(ctx context.Context, m Mechanism, dom Domain, cc CheckConfig) (int, error) {
 	if len(dom) != m.Arity() {
 		return 0, fmt.Errorf("core: arity mismatch: mechanism %d, domain %d", m.Arity(), len(dom))
 	}
-	workers := cfg.ResolvedWorkers(sweep.Size(dom))
-	factory := RunnerFactory(m)
+	workers := cc.ResolvedWorkers(sweep.Size(dom))
+	factory := cc.factory(m)
 	runs := make([]RunFunc, workers)
 	counts := make([]int, workers)
 	for w := range runs {
 		runs[w] = factory()
 	}
-	err := sweep.Run(dom, cfg, func(w int, input []int64) error {
+	err := sweep.RunContext(ctx, dom, cc.Config, func(w int, input []int64) error {
 		o, err := runs[w](input)
 		if err != nil {
 			return err

@@ -36,7 +36,7 @@ func runE19(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		rep, err := core.CheckSoundnessParallel(m, m.Policy(), dom, core.ObserveValue, 0)
+		rep, err := soundness(m, m.Policy(), dom, core.ObserveValue)
 		if err != nil {
 			return err
 		}

@@ -7,11 +7,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"text/tabwriter"
 
+	"spm/internal/check"
 	"spm/internal/core"
 )
 
@@ -83,9 +85,45 @@ func mark(b bool) string {
 	return "no"
 }
 
-// passes counts the inputs on which m returns real output, on the shared
-// sweep engine (parallel workers, compiled fast path for flowchart-backed
-// mechanisms). Every pass-count column in the tables goes through here.
+// Every verdict in the tables goes through the unified check.Run entry
+// point (parallel workers, compiled fast path for flowchart-backed
+// mechanisms); the helpers below adapt it to the call shapes the
+// experiments use. Experiments run to completion, so the context is
+// Background.
+
+// passes counts the inputs on which m returns real output. Every
+// pass-count column in the tables goes through here.
 func passes(m core.Mechanism, dom core.Domain) (int, error) {
-	return core.PassCountParallel(m, dom, 0)
+	v, err := check.Run(context.Background(), check.Spec{
+		Kind:      check.PassCount,
+		Mechanism: m,
+		Domain:    dom,
+	})
+	return v.Passes, err
+}
+
+// soundness decides whether m is sound for pol under obs over dom.
+func soundness(m core.Mechanism, pol core.Policy, dom core.Domain, obs core.Observation) (core.SoundnessReport, error) {
+	v, err := check.Run(context.Background(), check.Spec{
+		Kind:        check.Soundness,
+		Mechanism:   m,
+		Policy:      pol,
+		Domain:      dom,
+		Observation: obs,
+	})
+	return v.SoundnessReport(), err
+}
+
+// maximality decides whether m is the Theorem 2 maximal sound mechanism
+// for q and pol under obs over dom.
+func maximality(m, q core.Mechanism, pol core.Policy, dom core.Domain, obs core.Observation) (core.MaximalityReport, error) {
+	v, err := check.Run(context.Background(), check.Spec{
+		Kind:        check.Maximality,
+		Mechanism:   m,
+		Program:     q,
+		Policy:      pol,
+		Domain:      dom,
+		Observation: obs,
+	})
+	return v.MaximalityReport(), err
 }

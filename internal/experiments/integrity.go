@@ -44,7 +44,7 @@ Dirty: y := x1 + x2
 	tw := table(w)
 	fmt.Fprintln(tw, "mechanism\tsound for integrity(1)\tpasses")
 	for _, mm := range []core.Mechanism{qm, m} {
-		rep, err := core.CheckSoundnessParallel(mm, pol, dom, core.ObserveValue, 0)
+		rep, err := soundness(mm, pol, dom, core.ObserveValue)
 		if err != nil {
 			return err
 		}

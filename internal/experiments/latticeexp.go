@@ -43,7 +43,7 @@ func runE20(w io.Writer) error {
 	tw := table(w)
 	fmt.Fprintln(tw, "mechanism\tsound\tpasses")
 	for _, m := range []core.Mechanism{a, b, join, meet} {
-		rep, err := core.CheckSoundnessParallel(m, pol, dom, core.CoarseNotices(core.ObserveValue), 0)
+		rep, err := soundness(m, pol, dom, core.CoarseNotices(core.ObserveValue))
 		if err != nil {
 			return err
 		}

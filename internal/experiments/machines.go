@@ -102,7 +102,7 @@ JOIN: halt
 		if err != nil {
 			return err
 		}
-		rep, err := core.CheckSoundnessParallel(m, pol, dom, core.ObserveValue, 0)
+		rep, err := soundness(m, pol, dom, core.ObserveValue)
 		if err != nil {
 			return err
 		}
@@ -125,11 +125,11 @@ func runE13(w io.Writer) error {
 		&tape.Reader{UseTab: true, Cost: tape.TabLinear},
 		&tape.Reader{UseTab: true, Cost: tape.TabConstant},
 	} {
-		rv, err := core.CheckSoundnessParallel(m, pol, dom, core.ObserveValue, 0)
+		rv, err := soundness(m, pol, dom, core.ObserveValue)
 		if err != nil {
 			return err
 		}
-		rt, err := core.CheckSoundnessParallel(m, pol, dom, core.ObserveValueAndTime, 0)
+		rt, err := soundness(m, pol, dom, core.ObserveValueAndTime)
 		if err != nil {
 			return err
 		}

@@ -66,7 +66,7 @@ func runE1(w io.Writer) error {
 	tw := table(w)
 	fmt.Fprintln(tw, "mechanism\tpolicy\tsound\tpasses")
 	for _, tc := range cases {
-		rep, err := core.CheckSoundnessParallel(tc.m, tc.pol, dom, core.ObserveValue, 0)
+		rep, err := soundness(tc.m, tc.pol, dom, core.ObserveValue)
 		if err != nil {
 			return err
 		}
@@ -83,7 +83,7 @@ func runE2(w io.Writer) error {
 	q := logon.Program()
 	pol := logon.Policy()
 	dom := logon.Domain(3)
-	rep, err := core.CheckSoundnessParallel(q, pol, dom, core.ObserveValue, 0)
+	rep, err := soundness(q, pol, dom, core.ObserveValue)
 	if err != nil {
 		return err
 	}
@@ -119,7 +119,7 @@ func runE12(w io.Writer) error {
 	tw := table(w)
 	fmt.Fprintln(tw, "mechanism\tsound\tpasses\tunion vs member")
 	for _, m := range []core.Mechanism{ms, mh, null, u} {
-		rep, err := core.CheckSoundnessParallel(m, pol, dom, core.CoarseNotices(core.ObserveValue), 0)
+		rep, err := soundness(m, pol, dom, core.CoarseNotices(core.ObserveValue))
 		if err != nil {
 			return err
 		}
@@ -182,7 +182,7 @@ func runE14(w io.Writer) error {
 			}
 			return core.Outcome{Value: a[x], Steps: 1}
 		})
-		rep, err := core.CheckSoundnessParallel(q, pol, dom, core.ObserveValue, 0)
+		rep, err := soundness(q, pol, dom, core.ObserveValue)
 		if err != nil {
 			return err
 		}
@@ -218,7 +218,7 @@ func runE15(w io.Writer) error {
 	tw := table(w)
 	fmt.Fprintln(tw, "mechanism\tsound\tmechanism-property vs Q")
 	for _, m := range []core.Mechanism{s.Gatekeeper(), s.Program()} {
-		rep, err := core.CheckSoundnessParallel(m, pol, dom, core.ObserveValue, 0)
+		rep, err := soundness(m, pol, dom, core.ObserveValue)
 		if err != nil {
 			return err
 		}

@@ -97,7 +97,7 @@ func runE4(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	rep, err := core.CheckSoundnessParallel(qm, pol, dom, core.ObserveValue, 0)
+	rep, err := soundness(qm, pol, dom, core.ObserveValue)
 	if err != nil {
 		return err
 	}
@@ -118,11 +118,11 @@ func runE4(w io.Writer) error {
 		return err
 	}
 	// The direct maximality verdicts: Q checks as maximal, M_s does not.
-	qMax, err := core.CheckMaximalityParallel(qm, qm, pol, dom, core.ObserveValue, 0)
+	qMax, err := maximality(qm, qm, pol, dom, core.ObserveValue)
 	if err != nil {
 		return err
 	}
-	msMax, err := core.CheckMaximalityParallel(ms, qm, pol, dom, core.ObserveValue, 0)
+	msMax, err := maximality(ms, qm, pol, dom, core.ObserveValue)
 	if err != nil {
 		return err
 	}
@@ -165,7 +165,7 @@ func runE7(w io.Writer) error {
 				if err != nil {
 					return err
 				}
-				rep, err := core.CheckSoundnessParallel(m, pol, dom, rows[i].obs, 0)
+				rep, err := soundness(m, pol, dom, rows[i].obs)
 				if err != nil {
 					return err
 				}
@@ -226,7 +226,7 @@ func runE8(w io.Writer) error {
 		{"M (untimed) under value+time", ms, core.ObserveValueAndTime},
 		{"M' (timed) under value+time", mp, core.ObserveValueAndTime},
 	} {
-		rep, err := core.CheckSoundnessParallel(tc.m, pol, dom, tc.obs, 0)
+		rep, err := soundness(tc.m, pol, dom, tc.obs)
 		if err != nil {
 			return err
 		}

@@ -57,7 +57,7 @@ func transformComparison(w io.Writer, src string, J lattice.IndexSet, dom core.D
 	tw := table(w)
 	fmt.Fprintln(tw, "mechanism\tsound\tpasses")
 	for _, m := range []core.Mechanism{ms, mt} {
-		rep, err := core.CheckSoundnessParallel(m, pol, dom, core.ObserveValue, 0)
+		rep, err := soundness(m, pol, dom, core.ObserveValue)
 		if err != nil {
 			return err
 		}
@@ -111,7 +111,7 @@ func runE9(w io.Writer) error {
 	tw := table(w)
 	fmt.Fprintln(tw, "mechanism\tsound\tpasses")
 	for _, m := range []core.Mechanism{whole, ifte, ms, spec} {
-		sr, err := core.CheckSoundnessParallel(m, pol, dom, core.CoarseNotices(core.ObserveValue), 0)
+		sr, err := soundness(m, pol, dom, core.CoarseNotices(core.ObserveValue))
 		if err != nil {
 			return err
 		}
@@ -153,7 +153,7 @@ func runE16(w io.Writer) error {
 	tw := table(w)
 	fmt.Fprintln(tw, "mechanism\tsound\tpasses")
 	for _, m := range []core.Mechanism{ms, mt} {
-		rep, err := core.CheckSoundnessParallel(m, pol, dom, core.ObserveValue, 0)
+		rep, err := soundness(m, pol, dom, core.ObserveValue)
 		if err != nil {
 			return err
 		}

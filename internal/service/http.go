@@ -24,53 +24,67 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// Handler returns the service's HTTP API:
+// Handler returns the service's HTTP API.
+//
+// v1 (submit and poll):
 //
 //	POST /v1/check     submit a program+policy+domain; 202 with the job ID
 //	GET  /v1/jobs/{id} poll lifecycle state, progress, and verdict
 //	GET  /v1/stats     per-queue depths, cache hit rate, job tallies
+//
+// v2 (adds batching, cancellation, and progress streaming):
+//
+//	POST   /v2/check           submit one spec (JSON object) or a batch
+//	                           (JSON array); 202 with job ID(s)
+//	GET    /v2/jobs/{id}        poll, same shape as v1
+//	DELETE /v2/jobs/{id}        cancel a queued or running job
+//	GET    /v2/jobs/{id}/events stream progress as server-sent events
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/check", s.handleCheck)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v2/check", s.handleCheckV2)
+	mux.HandleFunc("GET /v2/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v2/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v2/jobs/{id}/events", s.handleEvents)
 	return mux
 }
 
-func (s *Service) handleCheck(w http.ResponseWriter, r *http.Request) {
+// readBody reads a bounded request body, writing the error response itself
+// when the body is unreadable or oversized.
+func (s *Service) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
-		return
+		return nil, false
 	}
 	if len(body) > maxBodyBytes {
 		writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds 1 MiB")
-		return
+		return nil, false
 	}
-	var req CheckRequest
-	if err := json.Unmarshal(body, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
-		return
+	return body, true
+}
+
+// handleCheck is POST /v1/check: one spec per request. The decode-and-
+// submit path is shared with v2's single-object form.
+func (s *Service) handleCheck(w http.ResponseWriter, r *http.Request) {
+	if body, ok := s.readBody(w, r); ok {
+		s.handleCheckBody(w, body)
 	}
-	j, err := s.Submit(req)
+}
+
+// writeSubmitError maps a Submit error to its status code.
+func writeSubmitError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrBadRequest):
 		writeError(w, http.StatusBadRequest, err.Error())
-		return
 	case errors.Is(err, ErrBusy):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err.Error())
-		return
-	case err != nil:
+	default:
 		writeError(w, http.StatusInternalServerError, err.Error())
-		return
 	}
-	writeJSON(w, http.StatusAccepted, SubmitResponse{
-		ID:     j.ID,
-		Cached: j.CacheHit,
-		Pool:   j.Pool(),
-		Total:  j.Total,
-	})
 }
 
 func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,187 @@
+package service
+
+import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestV2SingleSubmitAndPoll(t *testing.T) {
+	_, srv := newTestServer(t, Config{Pools: 1})
+	var sub SubmitResponse
+	resp := doJSON(t, srv, http.MethodPost, "/v2/check",
+		marshalReq(t, CheckRequest{Program: testProg, Policy: "{2}", Domain: []int64{0, 1, 2}}), &sub)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v2/check: status %d, want 202", resp.StatusCode)
+	}
+	// The same job is visible through both API versions.
+	for _, path := range []string{"/v1/jobs/", "/v2/jobs/"} {
+		var st JobStatus
+		if resp := doJSON(t, srv, http.MethodGet, path+sub.ID, "", &st); resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s%s: status %d", path, sub.ID, resp.StatusCode)
+		}
+	}
+	if st := pollDone(t, srv, sub.ID); st.State != StateDone {
+		t.Fatalf("state %q, want done", st.State)
+	}
+}
+
+func TestV2BatchSubmit(t *testing.T) {
+	_, srv := newTestServer(t, Config{Pools: 2})
+	good := marshalReq(t, CheckRequest{Program: testProg, Policy: "{2}", Domain: []int64{0, 1, 2}})
+	bad := marshalReq(t, CheckRequest{Program: "program broken\ninputs x1\n    y := \n"})
+	var batch BatchResponse
+	resp := doJSON(t, srv, http.MethodPost, "/v2/check", "["+good+","+bad+","+good+"]", &batch)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("batch status %d, want 202", resp.StatusCode)
+	}
+	if batch.Accepted != 2 || len(batch.Jobs) != 3 {
+		t.Fatalf("batch = %+v, want 2 of 3 accepted", batch)
+	}
+	if batch.Jobs[0].ID == "" || batch.Jobs[2].ID == "" {
+		t.Error("accepted batch items missing job IDs")
+	}
+	if batch.Jobs[1].Error == "" || batch.Jobs[1].ID != "" {
+		t.Errorf("rejected item = %+v, want an error and no ID", batch.Jobs[1])
+	}
+	for _, it := range []BatchItem{batch.Jobs[0], batch.Jobs[2]} {
+		if st := pollDone(t, srv, it.ID); st.State != StateDone {
+			t.Errorf("batch job %s ended %q", it.ID, st.State)
+		}
+	}
+}
+
+func TestV2BatchAllRejected(t *testing.T) {
+	_, srv := newTestServer(t, Config{Pools: 1})
+	bad := marshalReq(t, CheckRequest{Program: "nonsense"})
+	var batch BatchResponse
+	if resp := doJSON(t, srv, http.MethodPost, "/v2/check", "["+bad+"]", &batch); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("all-rejected batch status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestV2CancelOverHTTP(t *testing.T) {
+	_, srv := newTestServer(t, Config{Pools: 1, SweepWorkers: 1})
+	var sub SubmitResponse
+	if resp := doJSON(t, srv, http.MethodPost, "/v2/check", marshalReq(t, slowRequest()), &sub); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	var cr CancelResponse
+	if resp := doJSON(t, srv, http.MethodDelete, "/v2/jobs/"+sub.ID, "", &cr); resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE status %d, want 200", resp.StatusCode)
+	}
+	// Cancellation is asynchronous for running jobs: poll both API
+	// versions until the terminal cancelled state is visible.
+	deadline := time.Now().Add(10 * time.Second)
+	for _, path := range []string{"/v1/jobs/", "/v2/jobs/"} {
+		for {
+			var st JobStatus
+			doJSON(t, srv, http.MethodGet, path+sub.ID, "", &st)
+			if st.State == StateCancelled {
+				break
+			}
+			if st.State.Terminal() {
+				t.Fatalf("GET %s%s: terminal state %q, want cancelled", path, sub.ID, st.State)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("GET %s%s: still %q at deadline", path, sub.ID, st.State)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestV2CancelErrors(t *testing.T) {
+	_, srv := newTestServer(t, Config{Pools: 1})
+	if resp := doJSON(t, srv, http.MethodDelete, "/v2/jobs/job-404", "", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("DELETE unknown: status %d, want 404", resp.StatusCode)
+	}
+	var sub SubmitResponse
+	doJSON(t, srv, http.MethodPost, "/v2/check",
+		marshalReq(t, CheckRequest{Program: testProg, Policy: "{2}", Domain: []int64{0, 1}}), &sub)
+	pollDone(t, srv, sub.ID)
+	if resp := doJSON(t, srv, http.MethodDelete, "/v2/jobs/"+sub.ID, "", nil); resp.StatusCode != http.StatusConflict {
+		t.Errorf("DELETE finished: status %d, want 409", resp.StatusCode)
+	}
+}
+
+// readEvents consumes an SSE stream until an event named terminal arrives
+// (or the deadline), returning the event names seen in order.
+func readEvents(t *testing.T, srv *httptest.Server, path, terminal string) []string {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, srv.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := srv.Client()
+	client.Timeout = 30 * time.Second
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("GET %s: content type %q", path, ct)
+	}
+	var events []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if name, ok := strings.CutPrefix(line, "event: "); ok {
+			events = append(events, name)
+			if name == terminal {
+				return events
+			}
+		} else if !strings.HasPrefix(line, "data: ") && line != "" {
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+	}
+	t.Fatalf("stream ended without a %q event (saw %v; scan err %v)", terminal, events, sc.Err())
+	return nil
+}
+
+func TestV2EventsStreamProgressAndDone(t *testing.T) {
+	_, srv := newTestServer(t, Config{Pools: 1, SweepWorkers: 1})
+	var sub SubmitResponse
+	doJSON(t, srv, http.MethodPost, "/v2/check", marshalReq(t, slowRequest()), &sub)
+	events := readEvents(t, srv, "/v2/jobs/"+sub.ID+"/events?interval_ms=10", "done")
+	if events[0] != "progress" {
+		t.Errorf("first event %q, want progress", events[0])
+	}
+	if events[len(events)-1] != "done" {
+		t.Errorf("last event %q, want done", events[len(events)-1])
+	}
+}
+
+func TestV2EventsOnFinishedJob(t *testing.T) {
+	_, srv := newTestServer(t, Config{Pools: 1})
+	var sub SubmitResponse
+	doJSON(t, srv, http.MethodPost, "/v2/check",
+		marshalReq(t, CheckRequest{Program: testProg, Policy: "{2}", Domain: []int64{0, 1}}), &sub)
+	pollDone(t, srv, sub.ID)
+	// A stream opened after completion still delivers the initial
+	// progress snapshot and the terminal done event, then closes.
+	events := readEvents(t, srv, "/v2/jobs/"+sub.ID+"/events", "done")
+	if len(events) < 2 {
+		t.Errorf("events = %v, want at least progress then done", events)
+	}
+}
+
+func TestV2EventsBadInterval(t *testing.T) {
+	_, srv := newTestServer(t, Config{Pools: 1})
+	var sub SubmitResponse
+	doJSON(t, srv, http.MethodPost, "/v2/check",
+		marshalReq(t, CheckRequest{Program: testProg, Policy: "{2}", Domain: []int64{0, 1}}), &sub)
+	if resp := doJSON(t, srv, http.MethodGet, "/v2/jobs/"+sub.ID+"/events?interval_ms=nope", "", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad interval: status %d, want 400", resp.StatusCode)
+	}
+	if resp := doJSON(t, srv, http.MethodGet, "/v2/jobs/job-404/events", "", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job events: status %d, want 404", resp.StatusCode)
+	}
+}

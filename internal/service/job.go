@@ -1,22 +1,34 @@
 package service
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// State is a job's position in the queued → running → done/failed
+// State is a job's position in the queued → running → done/failed/cancelled
 // lifecycle.
 type State string
 
-// Job states.
+// Job states. Done, Failed, and Cancelled are terminal.
 const (
-	StateQueued  State = "queued"
-	StateRunning State = "running"
-	StateDone    State = "done"
-	StateFailed  State = "failed"
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
 )
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	switch s {
+	case StateDone, StateFailed, StateCancelled:
+		return true
+	}
+	return false
+}
 
 // Result is the verdict of a finished check job.
 type Result struct {
@@ -41,7 +53,10 @@ type Result struct {
 // Job is one submitted check: request, placement, progress, and verdict.
 // The progress counter is the sweep engine's chunk cursor (see
 // sweep.Config.Progress); Total counts every tuple the job will visit
-// across all enumeration passes, so done/total is a true fraction.
+// across all enumeration passes, so done/total is a true fraction. Every
+// job carries its own context: cancelling it (Service.Cancel, the v2
+// DELETE endpoint) stops a running sweep within one chunk and marks a
+// still-queued job cancelled without ever occupying its pool.
 type Job struct {
 	ID       string
 	Req      CheckRequest
@@ -51,6 +66,11 @@ type Job struct {
 	// entry is the compile-cache value resolved at submission, so the
 	// worker never re-hashes or re-looks-up the program.
 	entry *compiled
+
+	// ctx is cancelled by Service.Cancel; the sweep engine observes it
+	// between chunks.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	progress atomic.Int64
 	created  time.Time
@@ -67,12 +87,15 @@ type Job struct {
 }
 
 func newJob(id string, req CheckRequest, entry *compiled, cacheHit bool, total int64) *Job {
+	ctx, cancel := context.WithCancel(context.Background())
 	return &Job{
 		ID:       id,
 		Req:      req,
 		CacheHit: cacheHit,
 		Total:    total,
 		entry:    entry,
+		ctx:      ctx,
+		cancel:   cancel,
 		created:  time.Now(),
 		state:    StateQueued,
 		done:     make(chan struct{}),
@@ -98,28 +121,72 @@ func (j *Job) Progress() int64 { return j.progress.Load() }
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
-func (j *Job) setRunning() {
+// tryStart moves a queued job to running. It returns false when the job is
+// no longer queued — cancelled while waiting in its pool queue — in which
+// case the worker must skip it.
+func (j *Job) tryStart() bool {
 	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
 	j.state = StateRunning
 	j.started = time.Now()
-	j.mu.Unlock()
+	return true
 }
 
+// cancelRequest asks the job to stop. A queued job transitions straight to
+// cancelled (the pool will skip it); a running job has its context
+// cancelled and reaches the cancelled state once the sweep notices, within
+// one chunk. The return values are the state observed at the moment of the
+// request and whether the request had any effect (false for jobs already
+// terminal).
+func (j *Job) cancelRequest() (State, bool) {
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCancelled
+		j.errMsg = context.Canceled.Error()
+		j.finished = time.Now()
+		j.mu.Unlock()
+		j.cancel()
+		close(j.done)
+		return StateQueued, true
+	case StateRunning:
+		j.mu.Unlock()
+		j.cancel()
+		return StateRunning, true
+	default:
+		st := j.state
+		j.mu.Unlock()
+		return st, false
+	}
+}
+
+// finish records the terminal state of a job that ran: done on success,
+// cancelled when the error is the job context's cancellation, failed
+// otherwise.
 func (j *Job) finish(res *Result, err error) {
 	j.mu.Lock()
 	j.finished = time.Now()
-	if err != nil {
-		j.state = StateFailed
-		j.errMsg = err.Error()
-	} else {
+	switch {
+	case err == nil:
 		j.state = StateDone
 		j.result = res
+	case errors.Is(err, context.Canceled):
+		j.state = StateCancelled
+		j.errMsg = err.Error()
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
 	}
 	j.mu.Unlock()
+	j.cancel()
 	close(j.done)
 }
 
-// JobStatus is the wire form of GET /v1/jobs/{id}.
+// JobStatus is the wire form of GET /v1/jobs/{id} and /v2/jobs/{id}, and
+// the payload of every /v2/jobs/{id}/events event.
 type JobStatus struct {
 	ID             string       `json:"id"`
 	State          State        `json:"state"`
@@ -156,7 +223,13 @@ func (j *Job) Status() JobStatus {
 	case StateRunning:
 		st.ElapsedSeconds = time.Since(j.started).Seconds()
 	default:
-		st.ElapsedSeconds = j.finished.Sub(j.started).Seconds()
+		// Jobs cancelled before starting never ran; measure from
+		// submission for them.
+		from := j.started
+		if from.IsZero() {
+			from = j.created
+		}
+		st.ElapsedSeconds = j.finished.Sub(from).Seconds()
 	}
 	return st
 }

@@ -26,10 +26,13 @@ type LoadgenConfig struct {
 	Request      CheckRequest
 	// PollInterval between job-status polls; default 2ms.
 	PollInterval time.Duration
-	// JobTimeout bounds one job end to end (submit retries, polling);
-	// default 60s. Without it a server that keeps answering 503, or a
-	// non-spm endpoint answering 200 with an alien body, would make the
-	// closed loop spin forever.
+	// JobTimeout is the per-job deadline, bounding one job end to end
+	// (submit retries, polling); default 60s. A submitted job that misses
+	// it is cancelled server-side via DELETE /v2/jobs/{id} — freeing its
+	// pool slot rather than abandoning it to grind on — and reported in
+	// the cancelled column. Without the deadline a server that keeps
+	// answering 503, or a non-spm endpoint answering 200 with an alien
+	// body, would make the closed loop spin forever.
 	JobTimeout time.Duration
 	// Client overrides the HTTP client (tests pass the httptest client).
 	Client *http.Client
@@ -37,10 +40,15 @@ type LoadgenConfig struct {
 
 // LoadgenReport summarises one loadgen run: end-to-end job latency
 // percentiles (submit to terminal state, polling included — the latency a
-// real client observes) and the cache-hit count across submissions.
+// real client observes), the cache-hit count across submissions, and the
+// jobs cancelled server-side at their deadline. Cancelled jobs are tallied
+// separately from failures — deadline abandonment is a client decision,
+// not a server fault — and their latencies are excluded from the
+// percentiles so a slow tail does not masquerade as service time.
 type LoadgenReport struct {
 	Jobs        int           `json:"jobs"`
 	Failed      int           `json:"failed"`
+	Cancelled   int           `json:"cancelled"`
 	Busy        int           `json:"busy_retries"`
 	CacheHits   int           `json:"cache_hits"`
 	Concurrency int           `json:"concurrency"`
@@ -60,8 +68,8 @@ func (r *LoadgenReport) String() string {
 	fmt.Fprintf(&b, "  latency p50 %v  p90 %v  p99 %v  max %v\n",
 		r.P50.Round(time.Microsecond), r.P90.Round(time.Microsecond),
 		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond))
-	fmt.Fprintf(&b, "  cache hits %d/%d, failed %d, busy retries %d",
-		r.CacheHits, r.Jobs, r.Failed, r.Busy)
+	fmt.Fprintf(&b, "  cache hits %d/%d, failed %d, cancelled at deadline %d, busy retries %d",
+		r.CacheHits, r.Jobs, r.Failed, r.Cancelled, r.Busy)
 	return b.String()
 }
 
@@ -94,6 +102,7 @@ func Loadgen(cfg LoadgenConfig) (*LoadgenReport, error) {
 		next      atomic.Int64
 		cacheHits atomic.Int64
 		failed    atomic.Int64
+		cancelled atomic.Int64
 		busy      atomic.Int64
 		mu        sync.Mutex
 		latencies []time.Duration
@@ -118,12 +127,17 @@ func Loadgen(cfg LoadgenConfig) (*LoadgenReport, error) {
 				ok, err := runOne(client, base, req, cfg.PollInterval, t0.Add(cfg.JobTimeout), &busy)
 				lat := time.Since(t0)
 				mu.Lock()
-				latencies = append(latencies, lat)
+				if !ok.cancelled {
+					latencies = append(latencies, lat)
+				}
 				if err != nil && firstErr == nil {
 					firstErr = err
 				}
 				mu.Unlock()
-				if err != nil || !ok.succeeded {
+				switch {
+				case ok.cancelled:
+					cancelled.Add(1)
+				case err != nil || !ok.succeeded:
 					failed.Add(1)
 				}
 				if ok.cached {
@@ -142,6 +156,7 @@ func Loadgen(cfg LoadgenConfig) (*LoadgenReport, error) {
 	rep := &LoadgenReport{
 		Jobs:        cfg.Jobs,
 		Failed:      int(failed.Load()),
+		Cancelled:   int(cancelled.Load()),
 		Busy:        int(busy.Load()),
 		CacheHits:   int(cacheHits.Load()),
 		Concurrency: cfg.Concurrency,
@@ -160,11 +175,34 @@ func Loadgen(cfg LoadgenConfig) (*LoadgenReport, error) {
 type oneResult struct {
 	cached    bool
 	succeeded bool
+	cancelled bool
+}
+
+// cancelJob asks the server to stop a job the client no longer wants,
+// best-effort: 200 (cancelled), 409 (won the race and finished), and 404
+// (already evicted) all mean the pool slot is not stuck on our behalf.
+func cancelJob(client *http.Client, base, id string) error {
+	req, err := http.NewRequest(http.MethodDelete, base+"/v2/jobs/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusConflict, http.StatusNotFound:
+		return nil
+	}
+	return fmt.Errorf("loadgen: cancel %s: %s", id, resp.Status)
 }
 
 // runOne submits a single job and polls it to a terminal state, retrying
 // submission with backoff while the server reports every queue full. The
-// deadline bounds the whole attempt.
+// deadline bounds the whole attempt; a submitted job that misses it is
+// cancelled server-side rather than abandoned.
 func runOne(client *http.Client, base string, req CheckRequest, poll time.Duration, deadline time.Time, busy *atomic.Int64) (oneResult, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -198,6 +236,7 @@ func runOne(client *http.Client, base string, req CheckRequest, poll time.Durati
 		break
 	}
 	out := oneResult{cached: sub.Cached}
+	cancelSent := false
 	for {
 		resp, err := client.Get(base + "/v1/jobs/" + sub.ID)
 		if err != nil {
@@ -219,17 +258,41 @@ func runOne(client *http.Client, base string, req CheckRequest, poll time.Durati
 		}
 		switch st.State {
 		case StateDone:
+			// Includes jobs whose deadline DELETE lost the race with
+			// completion: the verdict landed, so it counts as a success,
+			// keeping the client's tallies consistent with the server's.
 			out.succeeded = true
 			return out, nil
 		case StateFailed:
 			return out, nil
+		case StateCancelled:
+			out.cancelled = true
+			return out, nil
 		}
 		if time.Now().After(deadline) {
-			return out, fmt.Errorf("loadgen: job %s not terminal at deadline (state %q)", sub.ID, st.State)
+			if cancelSent {
+				return out, fmt.Errorf("loadgen: job %s not terminal %v after cancel (state %q)",
+					sub.ID, cancelGrace, st.State)
+			}
+			// Deadline: cancel the server-side job so its pool slot frees,
+			// instead of abandoning the wait and leaving it to grind. The
+			// cancel is asynchronous (and may race completion), so keep
+			// polling and classify by the terminal state the job actually
+			// reaches.
+			if err := cancelJob(client, base, sub.ID); err != nil {
+				return out, err
+			}
+			cancelSent = true
+			deadline = time.Now().Add(cancelGrace)
 		}
 		time.Sleep(poll)
 	}
 }
+
+// cancelGrace bounds how long runOne waits for a deadline-cancelled job to
+// reach a terminal state. The server promises cancellation within one sweep
+// chunk; a job still not terminal after this long is a real fault.
+const cancelGrace = 30 * time.Second
 
 // percentile returns the p-th percentile of sorted latencies (nearest-rank).
 func percentile(sorted []time.Duration, p int) time.Duration {

@@ -10,6 +10,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -18,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"spm/internal/check"
 	"spm/internal/core"
 	"spm/internal/sweep"
 )
@@ -29,6 +31,10 @@ var ErrBadRequest = errors.New("service: bad request")
 // ErrUnknownJob is returned by Job lookups for IDs the service never
 // issued (or already evicted). HTTP maps it to 404.
 var ErrUnknownJob = errors.New("service: unknown job")
+
+// ErrJobTerminal is returned by Cancel for jobs that already finished
+// (done or failed) and so cannot be cancelled. HTTP maps it to 409.
+var ErrJobTerminal = errors.New("service: job already finished")
 
 // CheckRequest is one policy-check submission. Domain is the value list
 // every input position ranges over (the CLI's -domain flag); it defaults
@@ -103,9 +109,10 @@ type Service struct {
 	seq   atomic.Uint64
 
 	// Lifecycle tallies for /v1/stats: queued and running are current
-	// occupancy, done and failed are lifetime-cumulative. Kept as atomics
-	// so Stats never scans the job history under the submission mutex.
-	nQueued, nRunning, nDone, nFailed atomic.Int64
+	// occupancy; done, failed, and cancelled are lifetime-cumulative. Kept
+	// as atomics so Stats never scans the job history under the submission
+	// mutex.
+	nQueued, nRunning, nDone, nFailed, nCancelled atomic.Int64
 }
 
 // New starts a service with cfg's fleet.
@@ -147,9 +154,9 @@ func (s *Service) Submit(req CheckRequest) (*Job, error) {
 	}
 	// Soundness is one pass over the domain; maximality adds two more
 	// (class tabulation, then verdicts).
-	passes := int64(1)
+	passes := check.Soundness.Passes()
 	if req.Maximal {
-		passes += 2
+		passes += check.Maximality.Passes()
 	}
 	if int64(size) > math.MaxInt64/passes {
 		return nil, fmt.Errorf("%w: domain too large", ErrBadRequest)
@@ -190,14 +197,12 @@ func (s *Service) evictLocked() {
 	for len(s.order) > s.cfg.MaxJobs {
 		id := s.order[0]
 		if j := s.jobs[id]; j != nil {
-			switch j.stateNow() {
-			case StateDone, StateFailed:
-				delete(s.jobs, id)
-			default:
+			if !j.stateNow().Terminal() {
 				// Oldest job still active; history is transiently over
 				// budget by at most the fleet's queue capacity.
 				return
 			}
+			delete(s.jobs, id)
 		}
 		s.order = s.order[1:]
 	}
@@ -214,6 +219,34 @@ func (s *Service) Job(id string) (*Job, error) {
 	return j, nil
 }
 
+// Cancel stops a job. A still-queued job transitions straight to cancelled
+// and its pool will skip it; a running job's context is cancelled, the
+// sweep stops within one chunk, and the pool slot frees for the next job.
+// Cancelling an already-cancelled job is an idempotent success; a job that
+// finished (done or failed) returns ErrJobTerminal; an unknown ID returns
+// ErrUnknownJob.
+func (s *Service) Cancel(id string) (*Job, error) {
+	j, err := s.Job(id)
+	if err != nil {
+		return nil, err
+	}
+	was, acted := j.cancelRequest()
+	if acted {
+		if was == StateQueued {
+			// The job will never reach runJob's accounting: settle its
+			// tallies here. The scheduler's dispatched/completed pair still
+			// balances when the pool later dequeues and skips it.
+			s.nQueued.Add(-1)
+			s.nCancelled.Add(1)
+		}
+		return j, nil
+	}
+	if was == StateCancelled {
+		return j, nil // idempotent
+	}
+	return j, fmt.Errorf("%w: %s is %s", ErrJobTerminal, id, was)
+}
+
 // Stats is the wire form of GET /v1/stats.
 type Stats struct {
 	Pools []PoolStats `json:"pools"`
@@ -222,13 +255,14 @@ type Stats struct {
 }
 
 // JobCounts tallies jobs by lifecycle state: Queued and Running are
-// current occupancy, Done and Failed are lifetime totals (they survive
-// history eviction).
+// current occupancy; Done, Failed, and Cancelled are lifetime totals (they
+// survive history eviction).
 type JobCounts struct {
-	Queued  int64 `json:"queued"`
-	Running int64 `json:"running"`
-	Done    int64 `json:"done"`
-	Failed  int64 `json:"failed"`
+	Queued    int64 `json:"queued"`
+	Running   int64 `json:"running"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
 }
 
 // Stats snapshots queue depths, cache counters, and job tallies.
@@ -237,10 +271,11 @@ func (s *Service) Stats() Stats {
 		Pools: s.sched.Stats(),
 		Cache: s.cache.Stats(),
 		Jobs: JobCounts{
-			Queued:  s.nQueued.Load(),
-			Running: s.nRunning.Load(),
-			Done:    s.nDone.Load(),
-			Failed:  s.nFailed.Load(),
+			Queued:    s.nQueued.Load(),
+			Running:   s.nRunning.Load(),
+			Done:      s.nDone.Load(),
+			Failed:    s.nFailed.Load(),
+			Cancelled: s.nCancelled.Load(),
 		},
 	}
 }
@@ -248,22 +283,31 @@ func (s *Service) Stats() Stats {
 // runJob executes one dispatched job on its pool: sweep soundness on the
 // compile-cache entry resolved at submission, then maximality if
 // requested. The job's progress counter is handed to the sweep engine as
-// its chunk cursor.
+// its chunk cursor, and its context to the engine's cancellation check —
+// a cancelled job stops within one chunk and the pool moves on to its next
+// queued job. Jobs cancelled while still queued are skipped outright.
 func (s *Service) runJob(pool int, j *Job) {
+	if !j.tryStart() {
+		return // cancelled while queued; Cancel settled the tallies
+	}
 	s.nQueued.Add(-1)
 	s.nRunning.Add(1)
-	j.setRunning()
-	res, err := s.check(j)
+	res, err := s.check(j.ctx, j)
 	j.finish(res, err)
 	s.nRunning.Add(-1)
-	if err != nil {
-		s.nFailed.Add(1)
-	} else {
+	switch {
+	case err == nil:
 		s.nDone.Add(1)
+	case errors.Is(err, context.Canceled):
+		s.nCancelled.Add(1)
+	default:
+		s.nFailed.Add(1)
 	}
 }
 
-func (s *Service) check(j *Job) (*Result, error) {
+// check runs the job's verdicts through check.Run — the single verdict
+// path shared with the CLI and the experiment tables.
+func (s *Service) check(ctx context.Context, j *Job) (*Result, error) {
 	entry := j.entry
 	pol := core.NewAllowSet(entry.prog.Arity(), entry.allowed)
 	dom := core.Grid(entry.prog.Arity(), j.Req.Domain...)
@@ -271,30 +315,46 @@ func (s *Service) check(j *Job) (*Result, error) {
 	if j.Req.Timed {
 		obs = core.ObserveValueAndTime
 	}
-	cfg := sweep.Config{Workers: s.cfg.SweepWorkers, Progress: &j.progress}
+	opts := []check.Option{
+		check.WithWorkers(s.cfg.SweepWorkers),
+		check.WithProgress(&j.progress),
+	}
 
 	start := time.Now()
-	rep, err := core.CheckSoundnessSweep(entry.mech, pol, dom, obs, cfg)
+	v, err := check.Run(ctx, check.Spec{
+		Kind:        check.Soundness,
+		Mechanism:   entry.mech,
+		Policy:      pol,
+		Domain:      dom,
+		Observation: obs,
+	}, opts...)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{
-		Sound:    rep.Sound,
-		Checked:  rep.Checked,
-		WitnessA: rep.WitnessA,
-		WitnessB: rep.WitnessB,
-		ObsA:     rep.ObsA,
-		ObsB:     rep.ObsB,
+		Sound:    v.Sound,
+		Checked:  v.Checked,
+		WitnessA: v.WitnessA,
+		WitnessB: v.WitnessB,
+		ObsA:     v.ObsA,
+		ObsB:     v.ObsB,
 	}
 	if j.Req.Maximal {
-		mrep, err := core.CheckMaximalitySweep(entry.mech, entry.bare, pol, dom, obs, cfg)
+		mv, err := check.Run(ctx, check.Spec{
+			Kind:        check.Maximality,
+			Mechanism:   entry.mech,
+			Program:     entry.bare,
+			Policy:      pol,
+			Domain:      dom,
+			Observation: obs,
+		}, opts...)
 		if err != nil {
 			return nil, err
 		}
-		maximal := mrep.Maximal
+		maximal := mv.Maximal
 		res.Maximal = &maximal
-		res.MaximalWitness = mrep.Witness
-		res.MaximalReason = mrep.Reason
+		res.MaximalWitness = mv.Witness
+		res.MaximalReason = mv.Reason
 	}
 	elapsed := time.Since(start)
 	res.ElapsedSeconds = elapsed.Seconds()

@@ -20,6 +20,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"math"
 	"runtime"
@@ -110,12 +111,36 @@ func (c Config) ResolvedWorkers(size int) int {
 // exactly once; the first error returned by fn stops all workers (tuples
 // already in flight may still be visited) and is returned.
 func Run(values [][]int64, cfg Config, fn func(worker int, input []int64) error) error {
+	return RunContext(context.Background(), values, cfg, fn)
+}
+
+// RunContext is Run with cancellation: workers observe ctx between chunks,
+// so after ctx is cancelled every worker stops within one chunk of tuples
+// and RunContext returns ctx's error. A cancelled sweep has visited a
+// prefix-plus-in-flight-chunks subset of the product; cfg.Progress reflects
+// exactly the tuples whose chunks completed. fn errors take precedence over
+// cancellation, and a cancellation that loses the race with the final
+// chunks — every tuple visited — reports success rather than discarding a
+// complete enumeration.
+func RunContext(ctx context.Context, values [][]int64, cfg Config, fn func(worker int, input []int64) error) error {
 	size, err := size(values)
 	if err != nil {
 		return err
 	}
 	if size == 0 {
 		return nil
+	}
+	done := ctx.Done()
+	cancelled := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+	if cancelled() {
+		return ctx.Err()
 	}
 	if len(values) == 0 {
 		err := fn(0, nil)
@@ -127,6 +152,9 @@ func Run(values [][]int64, cfg Config, fn func(worker int, input []int64) error)
 	cfg = cfg.normalized(size)
 	if cfg.Workers == 1 {
 		for start := 0; start < size; start += cfg.Chunk {
+			if cancelled() {
+				return ctx.Err()
+			}
 			end := start + cfg.Chunk
 			if end > size {
 				end = size
@@ -143,6 +171,7 @@ func Run(values [][]int64, cfg Config, fn func(worker int, input []int64) error)
 
 	var cursor atomic.Int64
 	var stop atomic.Bool
+	var visited atomic.Int64
 	errs := make([]error, cfg.Workers)
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
@@ -150,6 +179,9 @@ func Run(values [][]int64, cfg Config, fn func(worker int, input []int64) error)
 		go func(w int) {
 			defer wg.Done()
 			for !stop.Load() {
+				if cancelled() {
+					return
+				}
 				start := cursor.Add(int64(cfg.Chunk)) - int64(cfg.Chunk)
 				if start >= int64(size) {
 					return
@@ -163,6 +195,7 @@ func Run(values [][]int64, cfg Config, fn func(worker int, input []int64) error)
 					stop.Store(true)
 					return
 				}
+				visited.Add(end - start)
 				if cfg.Progress != nil {
 					cfg.Progress.Add(end - start)
 				}
@@ -175,7 +208,14 @@ func Run(values [][]int64, cfg Config, fn func(worker int, input []int64) error)
 			return err
 		}
 	}
-	return nil
+	// A cancellation that lands while the last chunks are in flight may
+	// lose the race with completion: if every tuple was visited anyway,
+	// the verdict is whole, so report success — matching the one-worker
+	// path, which returns nil once its final chunk ran.
+	if visited.Load() == int64(size) {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // runChunk visits product indices [start, end): one mixed-radix decode of

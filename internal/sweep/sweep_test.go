@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -278,5 +280,90 @@ func TestRunNullaryProgress(t *testing.T) {
 	}
 	if got := progress.Load(); got != 1 {
 		t.Errorf("nullary progress = %d, want 1", got)
+	}
+}
+
+// TestRunContextCancelBoundedByChunk cancels mid-sweep and asserts every
+// worker stops within one chunk: with the cancel fired from inside the
+// callback, each of the W workers may finish the chunk it is on but must
+// not claim another, so the visited count is bounded by visited-so-far
+// plus W chunks.
+func TestRunContextCancelBoundedByChunk(t *testing.T) {
+	values := [][]int64{make([]int64, 100), make([]int64, 100)} // 10k tuples
+	for i := range values[0] {
+		values[0][i] = int64(i)
+		values[1][i] = int64(i)
+	}
+	const workers, chunk = 4, 16
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var visited atomic.Int64
+	var atCancel atomic.Int64
+	err := RunContext(ctx, values, Config{Workers: workers, Chunk: chunk}, func(int, []int64) error {
+		if visited.Add(1) == 5*chunk {
+			atCancel.Store(visited.Load())
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	bound := atCancel.Load() + int64(workers*chunk)
+	if got := visited.Load(); got > bound {
+		t.Errorf("visited %d tuples after cancel at %d; bound is %d (one chunk per worker)",
+			got, atCancel.Load(), bound)
+	}
+	if got := visited.Load(); got >= 10000 {
+		t.Errorf("sweep ran to completion (%d tuples) despite cancellation", got)
+	}
+}
+
+// TestRunContextCancelSingleWorker exercises the sequential path's
+// per-chunk cancellation check.
+func TestRunContextCancelSingleWorker(t *testing.T) {
+	values := [][]int64{{0, 1, 2, 3}, {0, 1, 2, 3}, {0, 1, 2, 3}} // 64 tuples
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var visited int
+	err := RunContext(ctx, values, Config{Workers: 1, Chunk: 8}, func(int, []int64) error {
+		visited++
+		if visited == 8 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if visited != 8 {
+		t.Errorf("visited %d tuples, want exactly the chunk in flight (8)", visited)
+	}
+}
+
+// TestRunContextPreCancelled never calls the callback.
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := RunContext(ctx, [][]int64{{0, 1}}, Config{}, func(int, []int64) error {
+		t.Error("callback ran under a cancelled context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunContextCallbackErrorBeatsCancel: fn errors take precedence.
+func TestRunContextCallbackErrorBeatsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := fmt.Errorf("boom")
+	err := RunContext(ctx, [][]int64{{0, 1, 2, 3}}, Config{Workers: 2, Chunk: 1}, func(_ int, in []int64) error {
+		cancel()
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the callback error", err)
 	}
 }
