@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json lint fmt serve loadgen api-golden
+.PHONY: all build test bench bench-json bench-cluster-json lint fmt serve loadgen api-golden
 
 all: build lint test
 
@@ -24,6 +24,13 @@ bench-json:
 	$(GO) test -bench 'Sweep|Compile|Service' -benchmem -count 3 -run '^$$' ./... > bench.txt
 	$(GO) run ./cmd/benchjson < bench.txt > BENCH_sweep.json
 	@echo wrote BENCH_sweep.json
+
+# The cluster perf-trajectory artifact: 1-node vs 2-node in-process fleet
+# over a 160k-tuple sweep, averaged like bench-json.
+bench-cluster-json:
+	$(GO) test -bench 'Cluster' -benchmem -count 3 -run '^$$' ./internal/cluster/ > bench_cluster.txt
+	$(GO) run ./cmd/benchjson < bench_cluster.txt > BENCH_cluster.json
+	@echo wrote BENCH_cluster.json
 
 # Run the policy-checking service locally (see README for the curl
 # quickstart) and fire the closed-loop load generator at it.

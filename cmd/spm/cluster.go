@@ -1,0 +1,85 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"spm/internal/cluster"
+	"spm/internal/service"
+)
+
+// cmdCluster distributes one check across a fleet of running `spm serve`
+// nodes: the coordinator shards the domain's index space, dispatches the
+// shards over the v2 API with retry/reassignment on node failure, and
+// prints the merged verdict in exactly the format `spm check` uses —
+// followed by one line of cluster accounting.
+func cmdCluster(args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ContinueOnError)
+	nodes := fs.String("nodes", "", "comma-separated worker base URLs, e.g. 127.0.0.1:8135,127.0.0.1:8136 (required)")
+	shards := fs.Int("shards", 0, "contiguous index-space shards (0 = 4 per node)")
+	retries := fs.Int("retries", 0, "per-shard re-dispatch budget after node failures (0 = default)")
+	policy := fs.String("policy", "{}", "allowed input indices, e.g. {1,3} or all")
+	variant := fs.String("variant", "untimed", "untimed, timed, or highwater")
+	domain := fs.String("domain", "0,1,2", "comma-separated values every input ranges over")
+	timed := fs.Bool("time", false, "observe running time as well as the value")
+	raw := fs.Bool("raw", false, "check the bare program instead of instrumenting")
+	maximal := fs.Bool("maximal", false, "also check maximality against the bare program")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("cluster: need exactly one program file")
+	}
+	if *nodes == "" {
+		return fmt.Errorf("cluster: -nodes is required")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	values, err := parseDomain(*domain)
+	if err != nil {
+		return err
+	}
+	coord, err := cluster.New(cluster.Config{
+		Nodes:   parseNodes(*nodes),
+		Shards:  *shards,
+		Retries: *retries,
+	})
+	if err != nil {
+		return err
+	}
+	rep, err := coord.Check(interruptContext(), service.CheckRequest{
+		Program: string(src),
+		Policy:  *policy,
+		Variant: *variant,
+		Domain:  values,
+		Timed:   *timed,
+		Raw:     *raw,
+		Maximal: *maximal,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	return nil
+}
+
+// parseNodes splits the -nodes list, defaulting bare host:port entries to
+// http.
+func parseNodes(spec string) []string {
+	var out []string
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if !strings.Contains(part, "://") {
+			part = "http://" + part
+		}
+		out = append(out, strings.TrimRight(part, "/"))
+	}
+	return out
+}

@@ -28,10 +28,27 @@
 // it; the older core.CheckSoundnessParallel/CheckMaximalitySweep families
 // remain as deprecated wrappers over the same engine.
 //
-// See README.md for the quickstart, the package map, and the v2 service
-// endpoints (batch submit, job cancellation, progress streaming). The
-// experiment registry in internal/experiments maps each ID (E1–E20) to the
-// paper artifact it reproduces; the benchmarks in bench_test.go regenerate
-// one measurement per experiment, and the cmd/spm-experiments binary
-// prints the full tables.
+// The same verdict scales out in three layers of the one sharding idea.
+// Inside one process, internal/sweep hands contiguous chunks of the
+// domain's mixed-radix index space [0, Size) to worker goroutines, and the
+// checkers merge per-worker view tables. Inside one node, internal/service
+// wraps that in a JSQ-scheduled job fleet with a content-addressed compile
+// cache. Across nodes, internal/cluster — the coordinator behind
+// `spm cluster` — splits the same index space into contiguous shards
+// (Spec.Shard, wire fields offset/count), dispatches them to `spm serve`
+// workers over the v2 API, and folds the partial verdicts with
+// check.Merge: each shard's result carries per-class evidence tables, so a
+// conflict between inputs that landed on different nodes is caught exactly
+// as a conflict between two workers' tables is. Failed or refused shards
+// are re-dispatched to surviving nodes (the verdict stays exact), and a
+// definitive counterexample cancels the outstanding shards via
+// DELETE /v2/jobs/{id}.
+//
+// See README.md for the quickstart, the package map, the v2 service
+// endpoints (batch submit, job cancellation, progress streaming), and the
+// cluster-mode two-terminal walkthrough. The experiment registry in
+// internal/experiments maps each ID (E1–E20) to the paper artifact it
+// reproduces; the benchmarks in bench_test.go regenerate one measurement
+// per experiment, and the cmd/spm-experiments binary prints the full
+// tables.
 package spm

@@ -25,6 +25,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync/atomic"
 
 	"spm/internal/core"
@@ -70,13 +71,34 @@ func (k Kind) String() string {
 // costs: soundness and pass counting visit every tuple once; maximality
 // tabulates Q-constant classes and then verifies, visiting twice. Callers
 // sizing progress totals (the service's done/total fraction) multiply the
-// domain size by this.
+// domain size by this. A sharded maximality run (Spec.Shard non-zero) is
+// the exception: it gathers evidence in a single pass, so sharded callers
+// count 1 regardless of kind.
 func (k Kind) Passes() int64 {
 	if k == Maximality {
 		return 2
 	}
 	return 1
 }
+
+// Shard restricts a Run to the contiguous slice [Offset, Offset+Count) of
+// the domain's mixed-radix index space — the unit the cluster coordinator
+// dispatches to one node. The zero value means the whole domain; Count 0
+// with a non-zero Offset means "from Offset through the end". Bounds are
+// clamped to the domain size; negative values are ErrBadSpec.
+//
+// A sharded verdict is partial evidence, not a final answer: Run populates
+// Verdict.Views (soundness) or Verdict.Classes (maximality) so that Merge
+// over every shard of a partition reproduces exactly the whole-domain
+// verdict, including conflicts between inputs that landed in different
+// shards.
+type Shard struct {
+	Offset int64 `json:"offset"`
+	Count  int64 `json:"count,omitempty"`
+}
+
+// IsZero reports whether the shard denotes the whole domain.
+func (s Shard) IsZero() bool { return s == Shard{} }
 
 // Spec names one verdict: what kind, about which mechanism, against which
 // policy, over which finite domain, under which observation.
@@ -96,6 +118,10 @@ type Spec struct {
 	// Observation selects what the user can see of an outcome; the zero
 	// value means core.ObserveValue.
 	Observation core.Observation
+	// Shard restricts the run to a contiguous slice of the index space;
+	// the zero value sweeps the whole domain. Sharded verdicts carry the
+	// cross-shard evidence Merge needs.
+	Shard Shard
 }
 
 // Options collects the resolved functional options.
@@ -147,14 +173,28 @@ func Run(ctx context.Context, spec Spec, opts ...Option) (Verdict, error) {
 	if spec.Mechanism == nil {
 		return Verdict{Kind: spec.Kind}, fmt.Errorf("%w: nil Mechanism", ErrBadSpec)
 	}
+	if spec.Shard.Offset < 0 || spec.Shard.Count < 0 {
+		return Verdict{Kind: spec.Kind}, fmt.Errorf("%w: negative shard offset or count", ErrBadSpec)
+	}
+	if spec.Shard.Offset > math.MaxInt || spec.Shard.Count > math.MaxInt {
+		return Verdict{Kind: spec.Kind}, fmt.Errorf("%w: shard bounds overflow int", ErrBadSpec)
+	}
 	if spec.Observation.Render == nil {
 		spec.Observation = core.ObserveValue
 	}
+	sharded := !spec.Shard.IsZero()
 	cc := core.CheckConfig{
-		Config:      sweep.Config{Workers: o.Workers, Chunk: o.Chunk, Progress: o.Progress},
-		Interpreted: !o.Compiled,
+		Config: sweep.Config{
+			Workers:  o.Workers,
+			Chunk:    o.Chunk,
+			Offset:   int(spec.Shard.Offset),
+			Count:    int(spec.Shard.Count),
+			Progress: o.Progress,
+		},
+		Interpreted:  !o.Compiled,
+		CollectViews: sharded,
 	}
-	v := Verdict{Kind: spec.Kind, Mechanism: spec.Mechanism.Name(), Observation: spec.Observation.ObsName}
+	v := Verdict{Kind: spec.Kind, Mechanism: spec.Mechanism.Name(), Observation: spec.Observation.ObsName, Shard: spec.Shard}
 	switch spec.Kind {
 	case Soundness:
 		if spec.Policy == nil {
@@ -169,6 +209,7 @@ func Run(ctx context.Context, spec Spec, opts ...Option) (Verdict, error) {
 		v.Sound = rep.Sound
 		v.WitnessA, v.WitnessB = rep.WitnessA, rep.WitnessB
 		v.ObsA, v.ObsB = rep.ObsA, rep.ObsB
+		v.Views = rep.Views
 		return v, nil
 	case Maximality:
 		if spec.Policy == nil {
@@ -177,7 +218,15 @@ func Run(ctx context.Context, spec Spec, opts ...Option) (Verdict, error) {
 		if spec.Program == nil {
 			return v, fmt.Errorf("%w: maximality needs the reference Program", ErrBadSpec)
 		}
-		rep, err := core.CheckMaximalityContext(ctx, spec.Mechanism, spec.Program, spec.Policy, spec.Domain, spec.Observation, cc)
+		var rep core.MaximalityReport
+		var err error
+		if sharded {
+			// One evidence-gathering pass; the verdict is rendered by
+			// Merge once every shard's Classes table is in.
+			rep, err = core.CheckMaximalityShard(ctx, spec.Mechanism, spec.Program, spec.Policy, spec.Domain, spec.Observation, cc)
+		} else {
+			rep, err = core.CheckMaximalityContext(ctx, spec.Mechanism, spec.Program, spec.Policy, spec.Domain, spec.Observation, cc)
+		}
 		if err != nil {
 			return v, err
 		}
@@ -187,13 +236,18 @@ func Run(ctx context.Context, spec Spec, opts ...Option) (Verdict, error) {
 		v.Maximal = rep.Maximal
 		v.Witness = rep.Witness
 		v.Reason = rep.Reason
+		v.Classes = rep.Classes
 		return v, nil
 	case PassCount:
 		n, err := core.PassCountContext(ctx, spec.Mechanism, spec.Domain, cc)
 		if err != nil {
 			return v, err
 		}
-		v.Checked = sweep.Size(spec.Domain)
+		lo, hi, err := cc.Bounds(sweep.Size(spec.Domain))
+		if err != nil {
+			return v, err
+		}
+		v.Checked = hi - lo
 		v.Passes = n
 		return v, nil
 	default:

@@ -1,0 +1,179 @@
+package check
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"spm/internal/core"
+)
+
+// ErrBadMerge wraps every Merge-validation failure: no parts, mixed kinds,
+// or parts naming different mechanisms, programs, policies, or
+// observations.
+var ErrBadMerge = errors.New("check: cannot merge verdicts")
+
+// Merge folds the partial verdicts of a sharded run into the whole-domain
+// verdict, using the same cross-shard semantics the in-process parallel
+// checkers apply between workers (internal/core/parallel.go): per-worker
+// tables there, per-node tables here.
+//
+// All parts must have the same Kind and name the same mechanism, program,
+// policy, and observation. Checked totals and pass counts sum, so when the
+// parts partition the index space the merged Checked equals the
+// whole-domain count; overlapping parts (a shard retried on two nodes with
+// both results kept) stay sound — duplicate evidence is idempotent — but
+// inflate Checked, which is why the cluster coordinator keeps exactly one
+// result per shard.
+//
+// Soundness: the merged verdict is unsound if any part is, or if two parts
+// observed the same policy view differently — the conflict no single shard
+// can see. Maximality: the parts' Classes tables are folded into the global
+// class table (constancy = constant in every shard with one agreed
+// observation) and the Theorem 2 conditions are applied per class; a part
+// carrying a locally-definitive failure is honoured first. Witness choice
+// prefers the lowest-offset shard and is deterministic for a given set of
+// parts, but — exactly as with the in-process parallel checkers — may
+// differ from the sequential checker's witness when several exist.
+//
+// The merged verdict is a whole-domain one: Shard is zero and the evidence
+// tables are dropped.
+func Merge(parts ...Verdict) (Verdict, error) {
+	if len(parts) == 0 {
+		return Verdict{}, fmt.Errorf("%w: no parts", ErrBadMerge)
+	}
+	sorted := make([]Verdict, len(parts))
+	copy(sorted, parts)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Shard.Offset < sorted[j].Shard.Offset })
+
+	out := Verdict{
+		Kind:        sorted[0].Kind,
+		Mechanism:   sorted[0].Mechanism,
+		Program:     sorted[0].Program,
+		Policy:      sorted[0].Policy,
+		Observation: sorted[0].Observation,
+	}
+	for _, p := range sorted {
+		if p.Kind != out.Kind {
+			return out, fmt.Errorf("%w: mixed kinds %v and %v", ErrBadMerge, out.Kind, p.Kind)
+		}
+		if p.Mechanism != out.Mechanism || p.Program != out.Program ||
+			p.Policy != out.Policy || p.Observation != out.Observation {
+			return out, fmt.Errorf("%w: parts describe different checks (%s/%s/%s/%s vs %s/%s/%s/%s)",
+				ErrBadMerge, out.Mechanism, out.Program, out.Policy, out.Observation,
+				p.Mechanism, p.Program, p.Policy, p.Observation)
+		}
+		out.Checked += p.Checked
+	}
+
+	switch out.Kind {
+	case Soundness:
+		mergeSoundness(&out, sorted)
+	case Maximality:
+		mergeMaximality(&out, sorted)
+	case PassCount:
+		for _, p := range sorted {
+			out.Passes += p.Passes
+		}
+	default:
+		return out, fmt.Errorf("%w: unknown kind %v", ErrBadMerge, out.Kind)
+	}
+	return out, nil
+}
+
+// mergeSoundness folds shard soundness verdicts: any locally-unsound part
+// decides the verdict; otherwise the per-shard view tables are merged and
+// the first cross-shard disagreement on a class does.
+func mergeSoundness(out *Verdict, parts []Verdict) {
+	out.Sound = true
+	for _, p := range parts {
+		if !p.Sound && out.Sound {
+			out.Sound = false
+			out.WitnessA, out.WitnessB = p.WitnessA, p.WitnessB
+			out.ObsA, out.ObsB = p.ObsA, p.ObsB
+		}
+	}
+	merged := make(map[string]core.ViewObs)
+	for _, p := range parts {
+		for _, view := range sortedKeys(p.Views) {
+			e := p.Views[view]
+			prev, ok := merged[view]
+			if !ok {
+				merged[view] = e
+				continue
+			}
+			if prev.Obs != e.Obs && out.Sound {
+				out.Sound = false
+				out.WitnessA, out.WitnessB = prev.Witness, e.Witness
+				out.ObsA, out.ObsB = prev.Obs, e.Obs
+			}
+		}
+	}
+}
+
+// mergeMaximality folds shard evidence tables into the global class table
+// and applies the Theorem 2 conditions: on a globally varying class m must
+// withhold (a pass leaks); on a globally constant violating class m must
+// violate (a pass alters); on a globally constant passing class m must
+// reproduce Q's observation everywhere (withholding or altering fails).
+func mergeMaximality(out *Verdict, parts []Verdict) {
+	out.Maximal = true
+	for _, p := range parts {
+		if !p.Maximal && out.Maximal {
+			out.Maximal = false
+			out.Witness = p.Witness
+			out.Reason = p.Reason
+		}
+	}
+	global := make(map[string]core.ClassSummary)
+	for _, p := range parts {
+		for view, cs := range p.Classes {
+			if prev, ok := global[view]; ok {
+				global[view] = core.MergeClassSummaries(prev, cs)
+			} else {
+				global[view] = cs
+			}
+		}
+	}
+	for _, view := range sortedKeys(global) {
+		if !out.Maximal {
+			return
+		}
+		cs := global[view]
+		switch {
+		case !cs.QConstant:
+			if cs.PassWitness != nil {
+				out.Maximal = false
+				out.Witness = cs.PassWitness
+				out.Reason = core.ReasonLeaks
+			}
+		case cs.QViolates:
+			if cs.AlterWitness != nil {
+				out.Maximal = false
+				out.Witness = cs.AlterWitness
+				out.Reason = core.ReasonAlters
+			}
+		default:
+			if cs.WithholdWitness != nil {
+				out.Maximal = false
+				out.Witness = cs.WithholdWitness
+				out.Reason = core.ReasonWithholds
+			} else if cs.AlterWitness != nil {
+				out.Maximal = false
+				out.Witness = cs.AlterWitness
+				out.Reason = core.ReasonAlters
+			}
+		}
+	}
+}
+
+// sortedKeys returns m's keys in sorted order, so merge results are
+// deterministic for a given set of parts.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

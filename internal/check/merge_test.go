@@ -1,0 +1,223 @@
+package check
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"spm/internal/core"
+)
+
+// sv builds a shard soundness verdict with the shared fixture names.
+func sv(shard Shard, checked int, views map[string]core.ViewObs) Verdict {
+	return Verdict{
+		Kind: Soundness, Mechanism: "m", Policy: "allow(2)", Observation: "value",
+		Sound: true, Checked: checked, Shard: shard, Views: views,
+	}
+}
+
+func TestMergeEmptyShard(t *testing.T) {
+	// A shard clamped to nothing (offset at the end of the index space)
+	// checks zero tuples and carries no views; merging it in must change
+	// nothing.
+	full := sv(Shard{Offset: 0, Count: 6}, 6, map[string]core.ViewObs{
+		"0|": {Obs: "v=1", Witness: []int64{0, 0}},
+		"1|": {Obs: "v=2", Witness: []int64{0, 1}},
+	})
+	empty := sv(Shard{Offset: 6}, 0, map[string]core.ViewObs{})
+	merged, err := Merge(full, empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !merged.Sound || merged.Checked != 6 {
+		t.Fatalf("merge with empty shard: %+v", merged)
+	}
+	alone, err := Merge(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !alone.Sound || alone.Checked != 0 {
+		t.Fatalf("empty shard alone: %+v", alone)
+	}
+}
+
+func TestMergeAllShardsPass(t *testing.T) {
+	parts := []Verdict{
+		sv(Shard{Offset: 0, Count: 3}, 3, map[string]core.ViewObs{"a": {Obs: "v=1", Witness: []int64{0}}}),
+		sv(Shard{Offset: 3, Count: 3}, 3, map[string]core.ViewObs{"b": {Obs: "v=2", Witness: []int64{3}}}),
+		sv(Shard{Offset: 6, Count: 3}, 3, map[string]core.ViewObs{"a": {Obs: "v=1", Witness: []int64{6}}}),
+	}
+	merged, err := Merge(parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !merged.Sound || merged.Checked != 9 {
+		t.Fatalf("all-pass merge: %+v", merged)
+	}
+	if merged.Views != nil || !merged.Shard.IsZero() {
+		t.Fatalf("merged verdict should be whole-domain shaped: %+v", merged)
+	}
+}
+
+func TestMergeWitnessInFirstVsLastShard(t *testing.T) {
+	unsound := sv(Shard{}, 3, map[string]core.ViewObs{"a": {Obs: "v=1", Witness: []int64{9}}})
+	unsound.Sound = false
+	unsound.WitnessA, unsound.WitnessB = []int64{1, 0}, []int64{1, 1}
+	unsound.ObsA, unsound.ObsB = "v=1", "v=2"
+
+	clean := func(shard Shard) Verdict {
+		return sv(shard, 3, map[string]core.ViewObs{"b": {Obs: "v=0", Witness: []int64{5}}})
+	}
+	for _, tc := range []struct {
+		name  string
+		parts []Verdict
+	}{
+		{"first", func() []Verdict {
+			u := unsound
+			u.Shard = Shard{Offset: 0, Count: 3}
+			return []Verdict{u, clean(Shard{Offset: 3, Count: 3}), clean(Shard{Offset: 6, Count: 3})}
+		}()},
+		{"last", func() []Verdict {
+			u := unsound
+			u.Shard = Shard{Offset: 6, Count: 3}
+			return []Verdict{clean(Shard{Offset: 0, Count: 3}), clean(Shard{Offset: 3, Count: 3}), u}
+		}()},
+	} {
+		merged, err := Merge(tc.parts...)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if merged.Sound {
+			t.Fatalf("%s: unsound shard lost in merge: %+v", tc.name, merged)
+		}
+		if !reflect.DeepEqual(merged.WitnessA, []int64{1, 0}) || !reflect.DeepEqual(merged.WitnessB, []int64{1, 1}) {
+			t.Fatalf("%s: witness pair not preserved: %+v", tc.name, merged)
+		}
+		if merged.Checked != 9 {
+			t.Fatalf("%s: checked = %d, want 9", tc.name, merged.Checked)
+		}
+	}
+}
+
+func TestMergeCrossShardViewConflict(t *testing.T) {
+	a := sv(Shard{Offset: 0, Count: 3}, 3, map[string]core.ViewObs{"shared": {Obs: "v=1", Witness: []int64{0, 0}}})
+	b := sv(Shard{Offset: 3, Count: 3}, 3, map[string]core.ViewObs{"shared": {Obs: "v=2", Witness: []int64{1, 0}}})
+	merged, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Sound {
+		t.Fatalf("cross-shard conflict missed: %+v", merged)
+	}
+	if !reflect.DeepEqual(merged.WitnessA, []int64{0, 0}) || !reflect.DeepEqual(merged.WitnessB, []int64{1, 0}) {
+		t.Fatalf("conflict witnesses wrong: %+v", merged)
+	}
+	if merged.ObsA != "v=1" || merged.ObsB != "v=2" {
+		t.Fatalf("conflict observations wrong: %+v", merged)
+	}
+}
+
+func TestMergeDuplicateWitnessesAcrossOverlappingRetries(t *testing.T) {
+	// The same shard executed twice (a retry whose first result was kept
+	// anyway) must not fabricate a cross-shard conflict out of identical
+	// evidence, and an unsound duplicate must stay a single witness pair.
+	dup := sv(Shard{Offset: 0, Count: 4}, 4, map[string]core.ViewObs{
+		"a": {Obs: "v=1", Witness: []int64{0, 0}},
+		"b": {Obs: "v=2", Witness: []int64{0, 1}},
+	})
+	merged, err := Merge(dup, dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !merged.Sound {
+		t.Fatalf("duplicate evidence fabricated a conflict: %+v", merged)
+	}
+	if merged.Checked != 8 {
+		t.Fatalf("checked = %d, want 8 (overlap inflates Checked by design)", merged.Checked)
+	}
+
+	bad := dup
+	bad.Sound = false
+	bad.WitnessA, bad.WitnessB = []int64{0, 0}, []int64{0, 1}
+	bad.ObsA, bad.ObsB = "v=1", "v=2"
+	merged, err = Merge(bad, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Sound || !reflect.DeepEqual(merged.WitnessA, []int64{0, 0}) || !reflect.DeepEqual(merged.WitnessB, []int64{0, 1}) {
+		t.Fatalf("duplicate unsound shards merged wrong: %+v", merged)
+	}
+}
+
+func TestMergeMaximalityClasses(t *testing.T) {
+	mv := func(shard Shard, checked int, classes map[string]core.ClassSummary) Verdict {
+		return Verdict{
+			Kind: Maximality, Mechanism: "m", Program: "q", Policy: "allow(2)", Observation: "value",
+			Maximal: true, Checked: checked, Shard: shard, Classes: classes,
+		}
+	}
+	// Class "c" looks constant inside each shard but with different Q
+	// observations — globally varying — and m passed on it in the second
+	// shard: the merge must call it a leak.
+	a := mv(Shard{Offset: 0, Count: 3}, 3, map[string]core.ClassSummary{
+		"c": {QObs: "v=1", QConstant: true},
+	})
+	b := mv(Shard{Offset: 3, Count: 3}, 3, map[string]core.ClassSummary{
+		"c": {QObs: "v=2", QConstant: true, PassWitness: []int64{1, 1}},
+	})
+	merged, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Maximal || merged.Reason != core.ReasonLeaks || !reflect.DeepEqual(merged.Witness, []int64{1, 1}) {
+		t.Fatalf("cross-shard leak missed: %+v", merged)
+	}
+
+	// Same split, but m withheld instead: the class stays globally
+	// varying, withholding there is correct, so the merge is maximal.
+	b2 := mv(Shard{Offset: 3, Count: 3}, 3, map[string]core.ClassSummary{
+		"c": {QObs: "v=2", QConstant: true, WithholdWitness: []int64{1, 0}},
+	})
+	a2 := mv(Shard{Offset: 0, Count: 3}, 3, map[string]core.ClassSummary{
+		"c": {QObs: "v=1", QConstant: true, WithholdWitness: []int64{0, 0}},
+	})
+	merged, err = Merge(a2, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !merged.Maximal {
+		t.Fatalf("withholding on a varying class wrongly failed: %+v", merged)
+	}
+
+	// Globally constant class where one shard withheld: not maximal.
+	c1 := mv(Shard{Offset: 0, Count: 3}, 3, map[string]core.ClassSummary{
+		"c": {QObs: "v=1", QConstant: true},
+	})
+	c2 := mv(Shard{Offset: 3, Count: 3}, 3, map[string]core.ClassSummary{
+		"c": {QObs: "v=1", QConstant: true, WithholdWitness: []int64{1, 2}},
+	})
+	merged, err = Merge(c1, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Maximal || merged.Reason != core.ReasonWithholds || !reflect.DeepEqual(merged.Witness, []int64{1, 2}) {
+		t.Fatalf("cross-shard withhold missed: %+v", merged)
+	}
+}
+
+func TestMergeValidation(t *testing.T) {
+	if _, err := Merge(); !errors.Is(err, ErrBadMerge) {
+		t.Fatalf("no parts: err = %v, want ErrBadMerge", err)
+	}
+	a := sv(Shard{Offset: 0, Count: 3}, 3, nil)
+	kindMismatch := a
+	kindMismatch.Kind = PassCount
+	if _, err := Merge(a, kindMismatch); !errors.Is(err, ErrBadMerge) {
+		t.Fatalf("mixed kinds: err = %v, want ErrBadMerge", err)
+	}
+	nameMismatch := a
+	nameMismatch.Mechanism = "other"
+	if _, err := Merge(a, nameMismatch); !errors.Is(err, ErrBadMerge) {
+		t.Fatalf("mixed names: err = %v, want ErrBadMerge", err)
+	}
+}

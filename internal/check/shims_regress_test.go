@@ -1,0 +1,111 @@
+package check
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"spm/internal/core"
+	"spm/internal/lattice"
+	"spm/internal/progen"
+	"spm/internal/surveillance"
+	"spm/internal/sweep"
+)
+
+// TestDeprecatedShimsMatchRun pins the deprecated
+// core.CheckSoundnessParallel/Sweep, core.CheckMaximalityParallel/Sweep,
+// and core.PassCountParallel/Sweep wrappers to check.Run on randomized
+// programs, so a later PR can delete the shims knowing every caller that
+// migrates to check.Run gets verdicts identical to what it had.
+//
+// With one worker the engine is fully deterministic (sequential chunk
+// order), so the reports must match field for field, witnesses included.
+// A multi-worker spot check then confirms verdict agreement where witness
+// choice is legitimately scheduling-dependent.
+func TestDeprecatedShimsMatchRun(t *testing.T) {
+	r := rand.New(rand.NewSource(1975))
+	cfg := progen.DefaultConfig(2)
+	dom := core.Grid(2, 0, 1, 2)
+	obs := core.ObserveValue
+	det := sweep.Config{Workers: 1, Chunk: 4}
+
+	for i := 0; i < 25; i++ {
+		q := progen.Generate(r, cfg)
+		allowed := lattice.NewIndexSet()
+		if r.Intn(2) == 1 {
+			allowed = lattice.NewIndexSet(2)
+		}
+		pol := core.NewAllowSet(2, allowed)
+		bare := core.FromProgram(q)
+		instr, err := surveillance.Mechanism(q, allowed, surveillance.Untimed)
+		if err != nil {
+			t.Fatalf("program %d: instrument: %v", i, err)
+		}
+
+		for name, m := range map[string]core.Mechanism{"bare": bare, "instrumented": instr} {
+			// Soundness: the one-worker shim must equal check.Run exactly.
+			shim, err := core.CheckSoundnessSweep(m, pol, dom, obs, det)
+			if err != nil {
+				t.Fatalf("program %d %s: shim: %v", i, name, err)
+			}
+			v, err := Run(context.Background(), Spec{Kind: Soundness, Mechanism: m, Policy: pol, Domain: dom},
+				WithWorkers(det.Workers), WithChunk(det.Chunk))
+			if err != nil {
+				t.Fatalf("program %d %s: run: %v", i, name, err)
+			}
+			if !reflect.DeepEqual(shim, v.SoundnessReport()) {
+				t.Errorf("program %d %s: CheckSoundnessSweep diverged from check.Run:\n  %+v\nvs\n  %+v",
+					i, name, shim, v.SoundnessReport())
+			}
+			// Multi-worker shim: verdict and count must agree (witness
+			// choice is scheduling-dependent by documented contract).
+			par, err := core.CheckSoundnessParallel(m, pol, dom, obs, 4)
+			if err != nil {
+				t.Fatalf("program %d %s: parallel shim: %v", i, name, err)
+			}
+			if par.Sound != v.Sound || par.Checked != v.Checked {
+				t.Errorf("program %d %s: CheckSoundnessParallel verdict (sound=%v checked=%d) != check.Run (sound=%v checked=%d)",
+					i, name, par.Sound, par.Checked, v.Sound, v.Checked)
+			}
+
+			// PassCount.
+			n, err := core.PassCountSweep(m, dom, det)
+			if err != nil {
+				t.Fatalf("program %d %s: passcount shim: %v", i, name, err)
+			}
+			pv, err := Run(context.Background(), Spec{Kind: PassCount, Mechanism: m, Domain: dom},
+				WithWorkers(det.Workers), WithChunk(det.Chunk))
+			if err != nil {
+				t.Fatalf("program %d %s: passcount run: %v", i, name, err)
+			}
+			if n != pv.Passes {
+				t.Errorf("program %d %s: PassCountSweep %d != check.Run %d", i, name, n, pv.Passes)
+			}
+		}
+
+		// Maximality of the instrumented mechanism against the bare
+		// program.
+		shim, err := core.CheckMaximalitySweep(instr, bare, pol, dom, obs, det)
+		if err != nil {
+			t.Fatalf("program %d: maximality shim: %v", i, err)
+		}
+		mv, err := Run(context.Background(), Spec{Kind: Maximality, Mechanism: instr, Program: bare, Policy: pol, Domain: dom},
+			WithWorkers(det.Workers), WithChunk(det.Chunk))
+		if err != nil {
+			t.Fatalf("program %d: maximality run: %v", i, err)
+		}
+		if !reflect.DeepEqual(shim, mv.MaximalityReport()) {
+			t.Errorf("program %d: CheckMaximalitySweep diverged from check.Run:\n  %+v\nvs\n  %+v",
+				i, shim, mv.MaximalityReport())
+		}
+		par, err := core.CheckMaximalityParallel(instr, bare, pol, dom, obs, 4)
+		if err != nil {
+			t.Fatalf("program %d: maximality parallel shim: %v", i, err)
+		}
+		if par.Maximal != mv.Maximal || par.Checked != mv.Checked {
+			t.Errorf("program %d: CheckMaximalityParallel verdict (maximal=%v checked=%d) != check.Run (maximal=%v checked=%d)",
+				i, par.Maximal, par.Checked, mv.Maximal, mv.Checked)
+		}
+	}
+}

@@ -34,6 +34,24 @@ type Verdict struct {
 
 	// PassCount: inputs on which the mechanism returned real output.
 	Passes int
+
+	// Shard echoes Spec.Shard: zero for whole-domain verdicts, the index
+	// range for partial ones. Merge folds partial verdicts back into a
+	// whole one.
+	Shard Shard
+
+	// Views is the soundness evidence of a sharded run: per policy class,
+	// the first observation and a witness input. Two shards each
+	// internally sound can still disagree on a class spanning them; Merge
+	// needs these tables to catch that. Nil on whole-domain verdicts.
+	Views map[string]core.ViewObs
+
+	// Classes is the maximality evidence of a sharded run: per policy
+	// class, Q's behaviour and m's deviations within the shard. Maximality
+	// hinges on whole-domain class constancy, so a sharded run returns
+	// evidence (plus any locally-definitive leak) and Merge renders the
+	// verdict. Nil on whole-domain verdicts.
+	Classes map[string]core.ClassSummary
 }
 
 // SoundnessReport rebuilds the legacy report for a Soundness verdict.

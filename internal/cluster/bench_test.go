@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"spm/internal/service"
+)
+
+// benchDomain is 400 values per axis × arity 2 = 160,000 tuples — the
+// ≥160k sweep the cluster perf trajectory (BENCH_cluster.json) tracks
+// across commits, 1-node vs 2-node.
+const benchTuples = 160_000
+
+func benchmarkCluster(b *testing.B, nNodes int) {
+	nodes := make([]string, nNodes)
+	for i := range nodes {
+		svc := service.New(service.Config{Pools: 2})
+		srv := httptest.NewServer(svc.Handler())
+		b.Cleanup(func() {
+			srv.Close()
+			svc.Close()
+		})
+		nodes[i] = srv.URL
+	}
+	dom := make([]int64, 400)
+	for i := range dom {
+		dom[i] = int64(i)
+	}
+	req := service.CheckRequest{Program: soundProg, Policy: "{2}", Domain: dom}
+	coord, err := New(Config{Nodes: nodes, Shards: 4 * nNodes, Poll: 2 * time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := coord.Check(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Soundness.Sound || rep.Soundness.Checked != benchTuples {
+			b.Fatalf("bad verdict: %+v", rep.Soundness)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(benchTuples)*float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// BenchmarkClusterCheck measures one whole distributed verdict — shard
+// split, HTTP dispatch, remote sweeps, merge — over a 160k-tuple domain.
+// The 1-node row isolates the coordination overhead against the in-process
+// Sweep benchmarks; the 2-node row is the scaling trajectory (in CI both
+// nodes share one machine, so the interesting signal is coordination cost,
+// not speedup).
+func BenchmarkClusterCheck(b *testing.B) {
+	for _, nodes := range []int{1, 2} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			benchmarkCluster(b, nodes)
+		})
+	}
+}

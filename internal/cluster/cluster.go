@@ -1,0 +1,773 @@
+// Package cluster distributes one exhaustive check across a fleet of
+// `spm serve` nodes: the coordinator splits the domain's mixed-radix index
+// space [0, Size) into contiguous shards, dispatches each shard to a node
+// over the v2 HTTP surface (POST /v2/check with the shard's offset/count),
+// and folds the partial results back into the exact whole-domain verdict
+// with check.Merge — the per-node generalisation of the per-worker merge
+// the in-process parallel checkers already do.
+//
+// The loop is closed against failure: a node that refuses a shard (503),
+// dies mid-sweep, or fails the job has the shard re-dispatched to another
+// node (bounded by Config.Retries per shard), and because every shard's
+// result carries its cross-shard evidence tables the re-run verdict is
+// still exact. A shard that comes back with a definitive counterexample —
+// unsound, or a locally-decidable maximality leak — short-circuits the
+// rest: outstanding jobs are cancelled via DELETE /v2/jobs/{id} (the
+// service stops them within one sweep chunk) and pending shards are never
+// dispatched.
+//
+// Work placement is join-the-shortest-queue in the degenerate per-node
+// form: each node runs one shard at a time and pulls the next pending
+// shard the moment it finishes, so faster nodes sweep more of the index
+// space — the same dynamic balance the JSQ scheduler gives jobs inside one
+// node.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"spm/internal/check"
+	"spm/internal/core"
+	"spm/internal/flowchart"
+	"spm/internal/service"
+	"spm/internal/sweep"
+)
+
+// Defaults for Config's zero values.
+const (
+	// DefaultShardsPerNode is the shard fan-out per node when
+	// Config.Shards is unset: more shards than nodes, so a dead node
+	// forfeits only its in-flight shard and the survivors absorb the rest
+	// one shard at a time.
+	DefaultShardsPerNode = 4
+	// DefaultRetries bounds how many times one shard may be re-dispatched
+	// after failures before the whole check fails.
+	DefaultRetries = 3
+	// DefaultPoll is the job-status poll cadence.
+	DefaultPoll = 50 * time.Millisecond
+)
+
+// maxPollFailures is how many consecutive status-poll failures mark a node
+// dead mid-job.
+const maxPollFailures = 5
+
+// busySubmitRetries bounds the in-place backoff against a node answering
+// 503 before the shard is handed back to the pool (which counts one retry
+// against its budget).
+const busySubmitRetries = 8
+
+// Config tunes a Coordinator.
+type Config struct {
+	// Nodes lists the worker base URLs, e.g. "http://127.0.0.1:8135".
+	// Required.
+	Nodes []string
+	// Shards is the number of contiguous index-space shards; ≤ 0 means
+	// DefaultShardsPerNode × len(Nodes), clamped to the domain size.
+	Shards int
+	// Retries is the per-shard re-dispatch budget after node failures;
+	// ≤ 0 means DefaultRetries.
+	Retries int
+	// Poll is the job-status poll cadence; ≤ 0 means DefaultPoll.
+	Poll time.Duration
+	// Client is the HTTP client; nil means a client with a 30s timeout.
+	Client *http.Client
+}
+
+// Coordinator fans one check out over a fleet of spm serve nodes.
+type Coordinator struct {
+	cfg    Config
+	client *http.Client
+}
+
+// New validates cfg and builds a Coordinator. Duplicate node URLs are
+// collapsed: the runner's per-node accounting (live-node count, failure
+// tallies) keys on the URL, so one physical node must appear once.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("cluster: no nodes")
+	}
+	seen := make(map[string]bool, len(cfg.Nodes))
+	deduped := make([]string, 0, len(cfg.Nodes))
+	for _, n := range cfg.Nodes {
+		if n == "" {
+			return nil, errors.New("cluster: empty node URL")
+		}
+		if !seen[n] {
+			seen[n] = true
+			deduped = append(deduped, n)
+		}
+	}
+	cfg.Nodes = deduped
+	if cfg.Retries <= 0 {
+		cfg.Retries = DefaultRetries
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = DefaultPoll
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Coordinator{cfg: cfg, client: client}, nil
+}
+
+// NodeReport is one node's row in a Report.
+type NodeReport struct {
+	URL string `json:"url"`
+	// Shards counts shards this node completed; Failures counts submit,
+	// poll, and job failures observed against it.
+	Shards   int `json:"shards"`
+	Failures int `json:"failures"`
+	// Dead marks a node the coordinator stopped using mid-run.
+	Dead bool `json:"dead,omitempty"`
+}
+
+// Report is the outcome of one distributed check.
+type Report struct {
+	// Soundness is the merged whole-domain soundness verdict. When the
+	// run short-circuited it covers exactly the shards that completed
+	// (Complete false, Checked partial) — still exact for every tuple it
+	// counts.
+	Soundness check.Verdict
+	// Maximality is the merged maximality verdict, when requested. After
+	// a short-circuited run it is present only when the seen shards are
+	// definitive (a leak or alter deviation); affirmative and withhold
+	// verdicts need every shard's class table, so incomplete ones are
+	// withheld as nil.
+	Maximality *check.Verdict
+	// Complete reports that every shard finished: Checked totals equal
+	// the whole index space. A definitive counterexample short-circuits
+	// the run, leaving Complete false with the counterexample in hand.
+	Complete bool
+	// Shards is the fan-out; Completed how many finished; Retries how
+	// many re-dispatches failures forced; Cancelled how many in-flight
+	// jobs the short-circuit cancelled on their nodes.
+	Shards    int
+	Completed int
+	Retries   int
+	Cancelled int
+	Nodes     []NodeReport
+	Elapsed   time.Duration
+}
+
+// String summarises the distributed run: the merged verdict(s) first —
+// rendered exactly as a single-node verdict renders — then one line of
+// cluster accounting.
+func (r *Report) String() string {
+	var b strings.Builder
+	b.WriteString(r.Soundness.String())
+	if r.Maximality != nil {
+		b.WriteString("\n")
+		b.WriteString(r.Maximality.String())
+	}
+	fmt.Fprintf(&b, "\ncluster: %d/%d shards on %d nodes (%d retries, %d cancelled) in %v",
+		r.Completed, r.Shards, len(r.Nodes), r.Retries, r.Cancelled, r.Elapsed.Round(time.Millisecond))
+	return b.String()
+}
+
+// errStopped marks a shard run abandoned because the coordinator
+// short-circuited; errNodeDown marks the node unusable.
+var (
+	errStopped  = errors.New("cluster: run stopped")
+	errNodeDown = errors.New("cluster: node down")
+	errBusy     = errors.New("cluster: node busy")
+)
+
+// fatalError wraps a node response that retrying elsewhere cannot fix —
+// the service rejected the submission as invalid.
+type fatalError struct{ msg string }
+
+func (e *fatalError) Error() string { return e.msg }
+
+// Check runs req — a whole-domain submission in the service's wire format
+// — across the fleet and returns the merged report. The request must not
+// itself be sharded; the coordinator owns the split. Cancelling ctx
+// cancels every in-flight job and returns ctx's error.
+func (c *Coordinator) Check(ctx context.Context, req service.CheckRequest) (*Report, error) {
+	if req.Sharded() {
+		return nil, errors.New("cluster: request already sharded; the coordinator owns the split")
+	}
+	prog, err := flowchart.Parse(req.Program)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: program: %w", err)
+	}
+	values := req.Domain
+	if len(values) == 0 {
+		values = []int64{0, 1, 2}
+	}
+	req.Domain = values
+	size := sweep.Size(core.Grid(prog.Arity(), values...))
+	if size == math.MaxInt {
+		return nil, errors.New("cluster: domain product overflows the index space")
+	}
+	shards := splitIndexSpace(size, c.shardCount(size))
+
+	start := time.Now()
+	r := newRunner(ctx, c, req, shards)
+	var wg sync.WaitGroup
+	for _, node := range c.cfg.Nodes {
+		wg.Add(1)
+		go func(node string) {
+			defer wg.Done()
+			r.nodeLoop(node)
+		}(node)
+	}
+	wg.Wait()
+	r.stop() // release the stop context in every exit path
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if r.fatal != nil && !r.definitive {
+		return nil, r.fatal
+	}
+	rep, err := r.report(c.cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// shardCount resolves the fan-out for a domain of the given size.
+func (c *Coordinator) shardCount(size int) int {
+	n := c.cfg.Shards
+	if n <= 0 {
+		n = DefaultShardsPerNode * len(c.cfg.Nodes)
+	}
+	if size > 0 && n > size {
+		n = size
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// splitIndexSpace cuts [0, size) into n contiguous near-equal shards.
+func splitIndexSpace(size, n int) []check.Shard {
+	shards := make([]check.Shard, 0, n)
+	base, rem := size/n, size%n
+	offset := int64(0)
+	for i := 0; i < n; i++ {
+		count := int64(base)
+		if i < rem {
+			count++
+		}
+		shards = append(shards, check.Shard{Offset: offset, Count: count})
+		offset += count
+	}
+	return shards
+}
+
+// runner is the state of one distributed check: a pool of pending shards,
+// the per-shard retry ledger, and the completed results. Node goroutines
+// pull shards from it; any definitive counterexample or fatal error stops
+// the pool.
+type runner struct {
+	c   *Coordinator
+	req service.CheckRequest
+
+	ctx     context.Context
+	stopCtx context.Context
+	stop    context.CancelFunc
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	pending     []check.Shard
+	outstanding int // shards not yet completed
+	attempts    map[int64]int
+	results     map[int64]*service.Result
+	nodes       map[string]*NodeReport
+	live        int
+	retries     int
+	cancelled   int
+	fatal       error
+	definitive  bool
+	stopped     bool
+}
+
+func newRunner(ctx context.Context, c *Coordinator, req service.CheckRequest, shards []check.Shard) *runner {
+	stopCtx, stop := context.WithCancel(ctx)
+	r := &runner{
+		c:           c,
+		req:         req,
+		ctx:         ctx,
+		stopCtx:     stopCtx,
+		stop:        stop,
+		pending:     append([]check.Shard(nil), shards...),
+		outstanding: len(shards),
+		attempts:    make(map[int64]int),
+		results:     make(map[int64]*service.Result),
+		nodes:       make(map[string]*NodeReport),
+		live:        len(c.cfg.Nodes),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	for _, n := range c.cfg.Nodes {
+		r.nodes[n] = &NodeReport{URL: n}
+	}
+	// Wake waiters when the caller's context dies so node loops never
+	// block past cancellation.
+	context.AfterFunc(stopCtx, func() {
+		r.mu.Lock()
+		r.stopped = true
+		r.mu.Unlock()
+		r.cond.Broadcast()
+	})
+	return r
+}
+
+// next blocks until a shard is available, every shard has completed, or
+// the run stopped. The second return is false when the node should exit.
+func (r *runner) next() (check.Shard, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if r.stopped || r.outstanding == 0 {
+			return check.Shard{}, false
+		}
+		if len(r.pending) > 0 {
+			sh := r.pending[0]
+			r.pending = r.pending[1:]
+			return sh, true
+		}
+		// Shards are all in flight on other nodes; one may yet fail and
+		// come back to the pool.
+		r.cond.Wait()
+	}
+}
+
+// complete records a finished shard and short-circuits the pool when its
+// result is a definitive counterexample.
+func (r *runner) complete(node string, sh check.Shard, res *service.Result) {
+	r.mu.Lock()
+	r.results[sh.Offset] = res
+	r.outstanding--
+	r.nodes[node].Shards++
+	definitive := !res.Sound || (res.Maximal != nil && !*res.Maximal)
+	if definitive {
+		r.definitive = true
+		r.stopped = true
+	}
+	done := r.outstanding == 0
+	r.mu.Unlock()
+	if definitive {
+		r.stop()
+	}
+	if definitive || done {
+		r.cond.Broadcast()
+	} else {
+		r.cond.Signal()
+	}
+}
+
+// requeue hands a failed shard back to the pool. A genuine failure
+// charges the shard's retry budget — exhausting it is fatal for the whole
+// check — while a busy refusal (charge false) does not: the node is
+// healthy, its queues are just full, and bouncing the shard back to the
+// pool after the submit backoff must not convert sustained load into a
+// permanent failure. The caller's context bounds how long a perpetually
+// busy fleet can spin.
+func (r *runner) requeue(node string, sh check.Shard, cause error, charge bool) {
+	r.mu.Lock()
+	defer func() {
+		r.mu.Unlock()
+		r.cond.Broadcast()
+	}()
+	r.nodes[node].Failures++
+	if r.stopped {
+		return
+	}
+	if charge {
+		r.attempts[sh.Offset]++
+		if r.attempts[sh.Offset] > r.c.cfg.Retries {
+			r.failLocked(fmt.Errorf("cluster: shard [%d,+%d) failed %d times, last on %s: %w",
+				sh.Offset, sh.Count, r.attempts[sh.Offset], node, cause))
+			return
+		}
+	}
+	r.retries++
+	r.pending = append(r.pending, sh)
+}
+
+// nodeDead retires a node; with no live nodes left the check fails.
+func (r *runner) nodeDead(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.nodes[node].Dead {
+		return
+	}
+	r.nodes[node].Dead = true
+	r.live--
+	if r.live == 0 && !r.stopped {
+		r.failLocked(errors.New("cluster: every node failed"))
+	}
+}
+
+// failLocked records a fatal error and stops the pool. Callers hold r.mu;
+// stop is safe here because context.AfterFunc runs its callback (which
+// re-acquires the mutex) in its own goroutine.
+func (r *runner) failLocked(err error) {
+	if r.fatal == nil {
+		r.fatal = err
+	}
+	r.stopped = true
+	r.stop()
+}
+
+// noteCancelled counts an in-flight job the short-circuit cancelled.
+func (r *runner) noteCancelled() {
+	r.mu.Lock()
+	r.cancelled++
+	r.mu.Unlock()
+}
+
+// nodeLoop pulls shards and runs them on one node until the pool drains,
+// the run stops, or the node dies.
+func (r *runner) nodeLoop(node string) {
+	for {
+		sh, ok := r.next()
+		if !ok {
+			return
+		}
+		res, err := r.runShard(node, sh)
+		switch {
+		case err == nil:
+			r.complete(node, sh, res)
+		case errors.Is(err, errStopped):
+			// The pool stopped while this shard was in flight; it is
+			// deliberately not completed and not requeued.
+			return
+		case errors.Is(err, errNodeDown):
+			r.requeue(node, sh, err, true)
+			r.nodeDead(node)
+			return
+		case errors.Is(err, errBusy):
+			r.requeue(node, sh, err, false)
+		default:
+			var fe *fatalError
+			if errors.As(err, &fe) {
+				r.mu.Lock()
+				r.failLocked(fmt.Errorf("cluster: node %s rejected shard [%d,+%d): %s", node, sh.Offset, sh.Count, fe.msg))
+				r.mu.Unlock()
+				r.cond.Broadcast()
+				return
+			}
+			r.requeue(node, sh, err, true)
+		}
+	}
+}
+
+// runShard executes one shard on one node: submit, poll to a terminal
+// state, and return the result. On coordinator stop the in-flight job is
+// cancelled server-side (DELETE /v2/jobs/{id}) before returning.
+func (r *runner) runShard(node string, sh check.Shard) (*service.Result, error) {
+	req := r.req
+	req.Offset = sh.Offset
+	req.Count = sh.Count
+	// Every shard of the run submits the same program text, so after the
+	// first shard the node's content-addressed compile cache answers and
+	// the job goes straight to the sweep.
+	id, err := r.submit(node, req)
+	if err != nil {
+		return nil, err
+	}
+	return r.poll(node, id)
+}
+
+// submit POSTs the shard to the node, absorbing transient 503s with a
+// short backoff before giving the shard back to the pool.
+func (r *runner) submit(node string, req service.CheckRequest) (string, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return "", &fatalError{msg: err.Error()}
+	}
+	backoff := 50 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		if r.stopCtx.Err() != nil {
+			return "", errStopped
+		}
+		httpReq, err := http.NewRequestWithContext(r.stopCtx, http.MethodPost, node+"/v2/check", bytes.NewReader(body))
+		if err != nil {
+			return "", &fatalError{msg: err.Error()}
+		}
+		httpReq.Header.Set("Content-Type", "application/json")
+		resp, err := r.c.client.Do(httpReq)
+		if err != nil {
+			if r.stopCtx.Err() != nil {
+				return "", errStopped
+			}
+			return "", fmt.Errorf("%w: %s: %v", errNodeDown, node, err)
+		}
+		payload, status, err := readBody(resp)
+		if errors.Is(err, errResponseTooLarge) {
+			return "", &fatalError{msg: err.Error()}
+		}
+		if err != nil {
+			return "", fmt.Errorf("%w: %s: %v", errNodeDown, node, err)
+		}
+		switch {
+		case status == http.StatusAccepted:
+			var sub service.SubmitResponse
+			if err := json.Unmarshal(payload, &sub); err != nil || sub.ID == "" {
+				return "", fmt.Errorf("%w: %s: bad submit response", errNodeDown, node)
+			}
+			return sub.ID, nil
+		case status == http.StatusServiceUnavailable:
+			if attempt >= busySubmitRetries {
+				return "", fmt.Errorf("%w: %s", errBusy, node)
+			}
+			select {
+			case <-r.stopCtx.Done():
+				return "", errStopped
+			case <-time.After(backoff):
+			}
+			if backoff < time.Second {
+				backoff *= 2
+			}
+		case status == http.StatusBadRequest || status == http.StatusRequestEntityTooLarge:
+			return "", &fatalError{msg: fmt.Sprintf("%d: %s", status, errorMessage(payload))}
+		default:
+			return "", fmt.Errorf("%w: %s: unexpected status %d", errNodeDown, node, status)
+		}
+	}
+}
+
+// poll watches the job until it reaches a terminal state, checking
+// immediately (small shards on a warm compile cache finish faster than a
+// poll interval) and then once per interval. A coordinator stop cancels
+// the job server-side; repeated poll failures mark the node dead.
+func (r *runner) poll(node, id string) (*service.Result, error) {
+	failures := 0
+	for {
+		st, err := r.jobStatus(node, id)
+		switch {
+		case errors.Is(err, errResponseTooLarge):
+			// Any node would produce the same oversized result for this
+			// shard; retrying elsewhere cannot fix it.
+			return nil, &fatalError{msg: err.Error()}
+		case err != nil && r.stopCtx.Err() != nil:
+			r.cancelJob(node, id)
+			return nil, errStopped
+		case err != nil:
+			failures++
+			if failures >= maxPollFailures {
+				return nil, fmt.Errorf("%w: %s: %v", errNodeDown, node, err)
+			}
+		default:
+			failures = 0
+			switch st.State {
+			case service.StateDone:
+				if st.Result == nil {
+					return nil, fmt.Errorf("cluster: %s: job %s done without result", node, id)
+				}
+				return st.Result, nil
+			case service.StateFailed:
+				return nil, fmt.Errorf("cluster: %s: job %s failed: %s", node, id, st.Error)
+			case service.StateCancelled:
+				if r.stopCtx.Err() != nil {
+					return nil, errStopped
+				}
+				return nil, fmt.Errorf("cluster: %s: job %s cancelled externally", node, id)
+			}
+		}
+		select {
+		case <-r.stopCtx.Done():
+			r.cancelJob(node, id)
+			return nil, errStopped
+		case <-time.After(r.c.cfg.Poll):
+		}
+	}
+}
+
+// jobStatus GETs one status snapshot. The request rides the stop context
+// so a short-circuit aborts even a poll blocked on an unresponsive node;
+// the poll loop's stop branch then cancels the job and exits.
+func (r *runner) jobStatus(node, id string) (*service.JobStatus, error) {
+	httpReq, err := http.NewRequestWithContext(r.stopCtx, http.MethodGet, node+"/v2/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.c.client.Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	payload, status, err := readBody(resp)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", status, errorMessage(payload))
+	}
+	var st service.JobStatus
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// cancelJob best-effort cancels an in-flight job after a short-circuit.
+// The request deliberately uses a fresh context: the stop context that
+// triggered the cancel is already done.
+func (r *runner) cancelJob(node, id string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodDelete, node+"/v2/jobs/"+id, nil)
+	if err != nil {
+		return
+	}
+	resp, err := r.c.client.Do(httpReq)
+	if err != nil {
+		return
+	}
+	_, status, _ := readBody(resp)
+	if status == http.StatusOK {
+		r.noteCancelled()
+	}
+}
+
+// report merges the completed shard results into the final verdicts.
+func (r *runner) report(nodeOrder []string) (*Report, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.results) == 0 {
+		if r.fatal != nil {
+			return nil, r.fatal
+		}
+		return nil, errors.New("cluster: no shard completed")
+	}
+	offsets := make([]int64, 0, len(r.results))
+	for off := range r.results {
+		offsets = append(offsets, off)
+	}
+	sort.Slice(offsets, func(i, j int) bool { return offsets[i] < offsets[j] })
+
+	soundParts := make([]check.Verdict, 0, len(offsets))
+	var maxParts []check.Verdict
+	for _, off := range offsets {
+		res := r.results[off]
+		soundParts = append(soundParts, soundnessVerdict(res))
+		if res.Maximal != nil {
+			maxParts = append(maxParts, maximalityVerdict(res))
+		}
+	}
+	rep := &Report{
+		Complete:  r.outstanding == 0,
+		Shards:    r.outstanding + len(r.results),
+		Completed: len(r.results),
+		Retries:   r.retries,
+		Cancelled: r.cancelled,
+	}
+	merged, err := check.Merge(soundParts...)
+	if err != nil {
+		return nil, err
+	}
+	rep.Soundness = merged
+	if len(maxParts) > 0 {
+		mv, err := check.Merge(maxParts...)
+		if err != nil {
+			return nil, err
+		}
+		// On full coverage the merged verdict is exact. On partial
+		// coverage (a soundness short-circuit) only some negatives are
+		// definitive: a leak (Q varied within seen data; passing is wrong
+		// either way) or an alter (m passed disagreeing with Q at the same
+		// input — a leak instead if the class turns out varying, non-
+		// maximal either way). An affirmative, or a withhold verdict —
+		// withholding is *correct* if a missing shard flips the class to
+		// varying — cannot be settled without every shard, so those are
+		// dropped rather than rendered as whole-domain claims.
+		if rep.Complete || (!mv.Maximal && mv.Reason != core.ReasonWithholds) {
+			rep.Maximality = &mv
+		}
+	}
+	for _, n := range nodeOrder {
+		rep.Nodes = append(rep.Nodes, *r.nodes[n])
+	}
+	return rep, nil
+}
+
+// soundnessVerdict reconstructs the shard's partial soundness verdict from
+// the wire result.
+func soundnessVerdict(res *service.Result) check.Verdict {
+	return check.Verdict{
+		Kind:        check.Soundness,
+		Mechanism:   res.Mechanism,
+		Policy:      res.Policy,
+		Observation: res.Observation,
+		Checked:     res.Checked,
+		Sound:       res.Sound,
+		WitnessA:    res.WitnessA,
+		WitnessB:    res.WitnessB,
+		ObsA:        res.ObsA,
+		ObsB:        res.ObsB,
+		Shard:       check.Shard{Offset: res.Offset, Count: res.Count},
+		Views:       res.Views,
+	}
+}
+
+// maximalityVerdict reconstructs the shard's partial maximality verdict.
+// The shard sweeps the same index range for both kinds, so its Checked
+// count carries over.
+func maximalityVerdict(res *service.Result) check.Verdict {
+	return check.Verdict{
+		Kind:        check.Maximality,
+		Mechanism:   res.Mechanism,
+		Program:     res.Program,
+		Policy:      res.Policy,
+		Observation: res.Observation,
+		Checked:     res.Checked,
+		Maximal:     *res.Maximal,
+		Witness:     res.MaximalWitness,
+		Reason:      res.MaximalReason,
+		Shard:       check.Shard{Offset: res.Offset, Count: res.Count},
+		Classes:     res.Classes,
+	}
+}
+
+// maxResponseBytes bounds one node response. Evidence tables scale with
+// the class count, which a permissive policy makes the shard span, so the
+// bound is generous — and overflowing it is reported as its own error
+// (the shard is misconfigured, not the node dead).
+const maxResponseBytes = 64 << 20
+
+// errResponseTooLarge marks a node response over maxResponseBytes:
+// retrying it (on this node or another) would produce the same payload,
+// so it is escalated as fatal rather than counted as node death.
+var errResponseTooLarge = errors.New("cluster: node response exceeds 64MiB (shard evidence too large; use more shards or a narrower policy)")
+
+// readBody drains and closes an HTTP response, bounding the read.
+func readBody(resp *http.Response) ([]byte, int, error) {
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes+1))
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(payload) > maxResponseBytes {
+		return nil, resp.StatusCode, errResponseTooLarge
+	}
+	return payload, resp.StatusCode, nil
+}
+
+// errorMessage extracts the service's error field, falling back to the
+// raw payload.
+func errorMessage(payload []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(payload, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(payload))
+}

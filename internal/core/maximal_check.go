@@ -21,6 +21,11 @@ type MaximalityReport struct {
 	// which of the three ways it deviated.
 	Witness []int64
 	Reason  string
+	// Classes is the per-class evidence table of a sharded run
+	// (CheckMaximalityShard): maximality over a shard cannot be decided
+	// locally because class constancy is a whole-domain property, so the
+	// shard exports what it saw and check.Merge renders the verdict.
+	Classes map[string]ClassSummary
 }
 
 // Reasons a mechanism can fail the maximality check.

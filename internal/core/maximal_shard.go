@@ -1,0 +1,157 @@
+package core
+
+import (
+	"context"
+	"sort"
+
+	"spm/internal/sweep"
+)
+
+// ClassSummary is one policy class's maximality evidence over a shard of
+// the index space. The Theorem 2 maximal mechanism passes exactly on the
+// classes where Q's observation is constant — a whole-domain property no
+// shard can decide alone — so a sharded maximality run records, per class,
+// what Q looked like and where m passed, altered, or withheld, and
+// check.Merge folds the tables into the global verdict.
+//
+// The witness fields capture each way m can deviate, with the first input
+// (in the shard's enumeration order) exhibiting it:
+//
+//   - PassWitness: m returned real output. Fatal on a globally varying
+//     class (ReasonLeaks).
+//   - AlterWitness: m returned real output that disagreed with Q at the
+//     same input (different rendering, or Q violated there). Fatal on a
+//     globally constant class (ReasonAlters).
+//   - WithholdWitness: m issued Λ where Q passed. Fatal on a globally
+//     constant non-violating class (ReasonWithholds).
+type ClassSummary struct {
+	// QObs is Q's first-seen rendered observation in the shard's slice of
+	// the class; QConstant reports whether it stayed constant within the
+	// shard; QViolates whether Q issued a violation notice at that first
+	// input. Merging requires observations that render violations
+	// distinguishably, which every Observation in this library does.
+	QObs      string `json:"q_obs"`
+	QConstant bool   `json:"q_constant"`
+	QViolates bool   `json:"q_violates,omitempty"`
+
+	PassWitness     []int64 `json:"pass_witness,omitempty"`
+	AlterWitness    []int64 `json:"alter_witness,omitempty"`
+	WithholdWitness []int64 `json:"withhold_witness,omitempty"`
+}
+
+// MergeClassSummaries folds b into a (both describing the same class), with
+// a's shard ordered before b's: Q is constant only if both halves are
+// constant and agree, and each witness keeps the earliest occurrence. It is
+// both the in-process per-worker fold of CheckMaximalityShard and the
+// cross-node fold of check.Merge.
+func MergeClassSummaries(a, b ClassSummary) ClassSummary {
+	if !b.QConstant || a.QObs != b.QObs {
+		a.QConstant = false
+	}
+	if a.PassWitness == nil {
+		a.PassWitness = b.PassWitness
+	}
+	if a.AlterWitness == nil {
+		a.AlterWitness = b.AlterWitness
+	}
+	if a.WithholdWitness == nil {
+		a.WithholdWitness = b.WithholdWitness
+	}
+	return a
+}
+
+// CheckMaximalityShard is the sharded counterpart of
+// CheckMaximalityContext: a single enumeration pass over cc's shard range
+// that runs both Q and m per tuple and tabulates per-class evidence
+// (Classes) instead of deciding the verdict — maximality needs the global
+// class table, which only check.Merge over every shard's report has.
+//
+// One deviation is decidable locally and short-circuits the cluster's
+// remaining shards when it appears: m passing on a class whose Q
+// observation already varies within this shard leaks regardless of what
+// other shards hold, so the report comes back Maximal=false with
+// ReasonLeaks. Every other deviation is left to the merge. Checked counts
+// the shard's tuples once, so sharded Checked totals sum to the domain
+// size — the same accounting as the unsharded verdict pass.
+func CheckMaximalityShard(ctx context.Context, m, q Mechanism, pol Policy, dom Domain, obs Observation, cc CheckConfig) (MaximalityReport, error) {
+	rep, err := maximalityPreflight(m, q, pol, dom, obs)
+	if err != nil {
+		return rep, err
+	}
+	workers := cc.ResolvedWorkers(sweep.Size(dom))
+
+	type shard struct {
+		runQ, runM RunFunc
+		classes    map[string]*ClassSummary
+		checked    int
+	}
+	qFactory := cc.factory(q)
+	mFactory := cc.factory(m)
+	shards := make([]shard, workers)
+	for w := range shards {
+		shards[w] = shard{runQ: qFactory(), runM: mFactory(), classes: make(map[string]*ClassSummary)}
+	}
+	if err := sweep.RunContext(ctx, dom, cc.Config, func(w int, input []int64) error {
+		s := &shards[w]
+		qo, err := s.runQ(input)
+		if err != nil {
+			return err
+		}
+		mo, err := s.runM(input)
+		if err != nil {
+			return err
+		}
+		s.checked++
+		view := pol.View(input)
+		rq := obs.Render(qo)
+		cs := s.classes[view]
+		if cs == nil {
+			cs = &ClassSummary{QObs: rq, QConstant: true, QViolates: qo.Violation}
+			s.classes[view] = cs
+		} else if cs.QObs != rq {
+			cs.QConstant = false
+		}
+		if !mo.Violation {
+			if cs.PassWitness == nil {
+				cs.PassWitness = append([]int64(nil), input...)
+			}
+			if cs.AlterWitness == nil && (qo.Violation || obs.Render(mo) != rq) {
+				cs.AlterWitness = append([]int64(nil), input...)
+			}
+		} else if cs.WithholdWitness == nil && !qo.Violation {
+			cs.WithholdWitness = append([]int64(nil), input...)
+		}
+		return nil
+	}); err != nil {
+		return rep, err
+	}
+
+	merged := make(map[string]ClassSummary)
+	for w := range shards {
+		s := &shards[w]
+		rep.Checked += s.checked
+		for view, cs := range s.classes {
+			if prev, ok := merged[view]; ok {
+				merged[view] = MergeClassSummaries(prev, *cs)
+			} else {
+				merged[view] = *cs
+			}
+		}
+	}
+	rep.Classes = merged
+	views := make([]string, 0, len(merged))
+	for view := range merged {
+		views = append(views, view)
+	}
+	sort.Strings(views) // deterministic witness choice among leaking classes
+	for _, view := range views {
+		cs := merged[view]
+		if !cs.QConstant && cs.PassWitness != nil {
+			rep.Maximal = false
+			rep.Witness = cs.PassWitness
+			rep.Reason = ReasonLeaks
+			break
+		}
+	}
+	return rep, nil
+}

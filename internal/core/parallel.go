@@ -44,12 +44,16 @@ func RunnerFactory(m Mechanism) func() RunFunc {
 }
 
 // CheckConfig tunes the context-aware checkers: the embedded sweep.Config
-// controls parallelism, chunking, and the progress cursor; Interpreted
-// disables the compiled fast path so every tuple runs through Mechanism.Run
-// (the ablation knob behind check.WithCompiled(false)).
+// controls parallelism, chunking, the shard range, and the progress
+// cursor; Interpreted disables the compiled fast path so every tuple runs
+// through Mechanism.Run (the ablation knob behind
+// check.WithCompiled(false)); CollectViews asks CheckSoundnessContext to
+// export its merged per-class observation table so a shard verdict can be
+// folded with its siblings by check.Merge.
 type CheckConfig struct {
 	sweep.Config
-	Interpreted bool
+	Interpreted  bool
+	CollectViews bool
 }
 
 // factory resolves the per-worker runner factory for m under the config.
@@ -160,6 +164,12 @@ func CheckSoundnessContext(ctx context.Context, m Mechanism, pol Policy, dom Dom
 				rep.WitnessA, rep.WitnessB = prev.input, e.input
 				rep.ObsA, rep.ObsB = prev.obs, e.obs
 			}
+		}
+	}
+	if cc.CollectViews {
+		rep.Views = make(map[string]ViewObs, len(merged))
+		for view, e := range merged {
+			rep.Views[view] = ViewObs{Obs: e.obs, Witness: e.input}
 		}
 	}
 	return rep, nil

@@ -90,6 +90,22 @@ type SoundnessReport struct {
 	// observable outcomes — a counterexample to M = M′ ∘ I.
 	WitnessA, WitnessB []int64
 	ObsA, ObsB         string
+	// Views is the per-class observation table, populated only when
+	// CheckConfig.CollectViews asked for it: one entry per policy view
+	// seen, carrying the first observation and a witness input. A verdict
+	// over a shard of the index space is exact only together with this
+	// table — two shards each internally sound can still conflict on a
+	// class that spans them, which is what check.Merge detects.
+	Views map[string]ViewObs
+}
+
+// ViewObs is one policy class's first-seen observation and a witness input
+// that produced it: the unit of the cross-shard soundness merge. It is the
+// exported form of the per-worker view tables the parallel checker already
+// merges in-process.
+type ViewObs struct {
+	Obs     string  `json:"obs"`
+	Witness []int64 `json:"witness"`
 }
 
 // String summarises the report.

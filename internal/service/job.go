@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"spm/internal/core"
 )
 
 // State is a job's position in the queued → running → done/failed/cancelled
@@ -30,8 +32,22 @@ func (s State) Terminal() bool {
 	return false
 }
 
-// Result is the verdict of a finished check job.
+// Result is the verdict of a finished check job. For sharded jobs
+// (CheckRequest.Offset/Count) it is partial evidence rather than a final
+// answer: Sound and Maximal report only what the shard could decide
+// locally, and the Views/Classes tables carry what a coordinator needs to
+// fold every shard of a partition into the exact whole-domain verdict with
+// check.Merge.
 type Result struct {
+	// Names of the checked artifacts, as the verdict engine reports them —
+	// what check.Merge validates across shards.
+	Mechanism   string `json:"mechanism,omitempty"`
+	Policy      string `json:"policy,omitempty"`
+	Observation string `json:"observation,omitempty"`
+	// Program is the maximality reference Q's name, set when the job
+	// checked maximality.
+	Program string `json:"program,omitempty"`
+
 	Sound   bool `json:"sound"`
 	Checked int  `json:"checked"`
 	// On an unsound verdict, two inputs sharing a policy view with
@@ -41,10 +57,20 @@ type Result struct {
 	ObsA     string  `json:"obs_a,omitempty"`
 	ObsB     string  `json:"obs_b,omitempty"`
 
-	// Maximality verdict, present only when the job requested it.
+	// Maximality verdict, present only when the job requested it. On a
+	// sharded job, true means "no locally-definitive deviation" — the
+	// global answer is whatever check.Merge renders from every shard's
+	// Classes.
 	Maximal        *bool   `json:"maximal,omitempty"`
 	MaximalWitness []int64 `json:"maximal_witness,omitempty"`
 	MaximalReason  string  `json:"maximal_reason,omitempty"`
+
+	// Shard echo and cross-shard evidence of a sharded job; zero/nil on
+	// whole-domain jobs.
+	Offset  int64                        `json:"offset,omitempty"`
+	Count   int64                        `json:"count,omitempty"`
+	Views   map[string]core.ViewObs      `json:"views,omitempty"`
+	Classes map[string]core.ClassSummary `json:"classes,omitempty"`
 
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 	InputsPerSec   float64 `json:"inputs_per_sec"`

@@ -39,6 +39,14 @@ var ErrJobTerminal = errors.New("service: job already finished")
 // CheckRequest is one policy-check submission. Domain is the value list
 // every input position ranges over (the CLI's -domain flag); it defaults
 // to {0,1,2}.
+//
+// Offset and Count restrict the job to the contiguous shard
+// [Offset, Offset+Count) of the domain's mixed-radix index space — the
+// wire form of check.Shard, set by the cluster coordinator when it splits
+// one logical check across nodes. Count 0 with a non-zero Offset means
+// "through the end"; both zero means the whole domain. Sharded results
+// carry the cross-shard evidence (Result.Views, Result.Classes) that
+// check.Merge folds into the exact whole-domain verdict.
 type CheckRequest struct {
 	Program string  `json:"program"`
 	Policy  string  `json:"policy,omitempty"`
@@ -47,7 +55,13 @@ type CheckRequest struct {
 	Timed   bool    `json:"timed,omitempty"`
 	Raw     bool    `json:"raw,omitempty"`
 	Maximal bool    `json:"maximal,omitempty"`
+	Offset  int64   `json:"offset,omitempty"`
+	Count   int64   `json:"count,omitempty"`
 }
+
+// Sharded reports whether the request restricts the sweep to a shard of
+// the index space.
+func (r CheckRequest) Sharded() bool { return r.Offset != 0 || r.Count != 0 }
 
 // Config tunes the service. The zero value picks production-ish defaults.
 type Config struct {
@@ -147,23 +161,58 @@ func (s *Service) Submit(req CheckRequest) (*Job, error) {
 	if len(values) == 0 {
 		values = []int64{0, 1, 2}
 	}
+	if req.Offset < 0 || req.Count < 0 {
+		return nil, fmt.Errorf("%w: negative shard offset or count", ErrBadRequest)
+	}
 	dom := core.Grid(entry.prog.Arity(), values...)
 	size := sweep.Size(dom)
-	if int64(size) > s.cfg.MaxTuples {
-		return nil, fmt.Errorf("%w: domain has %d tuples, limit %d", ErrBadRequest, size, s.cfg.MaxTuples)
+	if req.Sharded() && size == math.MaxInt {
+		return nil, fmt.Errorf("%w: domain product overflows the index space", ErrBadRequest)
 	}
-	// Soundness is one pass over the domain; maximality adds two more
-	// (class tabulation, then verdicts).
+	// The node only sweeps its shard, so the admission bound applies to
+	// the shard span, not the whole product — sharding is exactly how a
+	// cluster takes on domains no single node would admit. The span comes
+	// from the same Bounds clamp the engine applies, so the job's
+	// progress denominator always agrees with the tuples actually swept.
+	span := int64(size)
+	if req.Sharded() {
+		off, cnt := req.Offset, req.Count
+		if off > int64(size) {
+			off = int64(size)
+		}
+		if cnt > int64(size) {
+			cnt = int64(size)
+		}
+		lo, hi, err := (sweep.Config{Offset: int(off), Count: int(cnt)}).Bounds(size)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		span = int64(hi - lo)
+	}
+	if span > s.cfg.MaxTuples {
+		noun := "domain"
+		if req.Sharded() {
+			noun = "shard"
+		}
+		return nil, fmt.Errorf("%w: %s has %d tuples, limit %d", ErrBadRequest, noun, span, s.cfg.MaxTuples)
+	}
+	// Soundness is one pass over the shard; whole-domain maximality adds
+	// two more (class tabulation, then verdicts), while sharded maximality
+	// is a single evidence pass (see check.Kind.Passes).
 	passes := check.Soundness.Passes()
 	if req.Maximal {
-		passes += check.Maximality.Passes()
+		if req.Sharded() {
+			passes++
+		} else {
+			passes += check.Maximality.Passes()
+		}
 	}
-	if int64(size) > math.MaxInt64/passes {
+	if span > 0 && span > math.MaxInt64/passes {
 		return nil, fmt.Errorf("%w: domain too large", ErrBadRequest)
 	}
 
 	req.Domain = values
-	j := newJob(fmt.Sprintf("job-%d", s.seq.Add(1)), req, entry, hit, passes*int64(size))
+	j := newJob(fmt.Sprintf("job-%d", s.seq.Add(1)), req, entry, hit, passes*span)
 
 	s.mu.Lock()
 	s.jobs[j.ID] = j
@@ -320,6 +369,8 @@ func (s *Service) check(ctx context.Context, j *Job) (*Result, error) {
 		check.WithProgress(&j.progress),
 	}
 
+	shard := check.Shard{Offset: j.Req.Offset, Count: j.Req.Count}
+
 	start := time.Now()
 	v, err := check.Run(ctx, check.Spec{
 		Kind:        check.Soundness,
@@ -327,17 +378,24 @@ func (s *Service) check(ctx context.Context, j *Job) (*Result, error) {
 		Policy:      pol,
 		Domain:      dom,
 		Observation: obs,
+		Shard:       shard,
 	}, opts...)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{
-		Sound:    v.Sound,
-		Checked:  v.Checked,
-		WitnessA: v.WitnessA,
-		WitnessB: v.WitnessB,
-		ObsA:     v.ObsA,
-		ObsB:     v.ObsB,
+		Mechanism:   v.Mechanism,
+		Policy:      v.Policy,
+		Observation: v.Observation,
+		Sound:       v.Sound,
+		Checked:     v.Checked,
+		WitnessA:    v.WitnessA,
+		WitnessB:    v.WitnessB,
+		ObsA:        v.ObsA,
+		ObsB:        v.ObsB,
+		Offset:      j.Req.Offset,
+		Count:       j.Req.Count,
+		Views:       v.Views,
 	}
 	if j.Req.Maximal {
 		mv, err := check.Run(ctx, check.Spec{
@@ -347,14 +405,17 @@ func (s *Service) check(ctx context.Context, j *Job) (*Result, error) {
 			Policy:      pol,
 			Domain:      dom,
 			Observation: obs,
+			Shard:       shard,
 		}, opts...)
 		if err != nil {
 			return nil, err
 		}
 		maximal := mv.Maximal
+		res.Program = mv.Program
 		res.Maximal = &maximal
 		res.MaximalWitness = mv.Witness
 		res.MaximalReason = mv.Reason
+		res.Classes = mv.Classes
 	}
 	elapsed := time.Since(start)
 	res.ElapsedSeconds = elapsed.Seconds()

@@ -1,0 +1,131 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// rangeValues is a 4×4×4 product: big enough that shards cross odometer
+// carries, small enough to enumerate by hand.
+var rangeValues = [][]int64{{0, 1, 2, 3}, {0, 1, 2, 3}, {0, 1, 2, 3}}
+
+// collectRange runs the engine over cfg's range and returns the visited
+// tuples as a multiset.
+func collectRange(t *testing.T, values [][]int64, cfg Config) map[string]int {
+	t.Helper()
+	var mu sync.Mutex
+	got := make(map[string]int)
+	if err := Run(values, cfg, func(w int, in []int64) error {
+		mu.Lock()
+		got[key(in)]++
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return got
+}
+
+func TestRunRangeVisitsExactSlice(t *testing.T) {
+	ref := sequential(rangeValues)
+	size := len(ref)
+	cases := []struct {
+		name           string
+		offset, count  int
+		wantLo, wantHi int
+	}{
+		{"whole", 0, 0, 0, size},
+		{"prefix", 0, 10, 0, 10},
+		{"middle", 17, 13, 17, 30},
+		{"suffix-by-zero-count", 50, 0, 50, size},
+		{"suffix-clamped", 60, 100, 60, size},
+		{"offset-at-end", size, 5, size, size},
+		{"offset-past-end", size + 7, 0, size, size},
+		{"single", 33, 1, 33, 34},
+	}
+	for _, tc := range cases {
+		for _, workers := range []int{1, 4} {
+			got := collectRange(t, rangeValues, Config{Workers: workers, Chunk: 3, Offset: tc.offset, Count: tc.count})
+			want := ref[tc.wantLo:tc.wantHi]
+			if len(got) != len(want) {
+				t.Fatalf("%s workers=%d: visited %d distinct tuples, want %d", tc.name, workers, len(got), len(want))
+			}
+			for _, k := range want {
+				if got[k] != 1 {
+					t.Fatalf("%s workers=%d: tuple %s visited %d times, want 1", tc.name, workers, k, got[k])
+				}
+			}
+		}
+	}
+}
+
+func TestRunRangeShardsPartition(t *testing.T) {
+	ref := sequential(rangeValues)
+	size := len(ref)
+	for _, nShards := range []int{1, 2, 3, 7, size} {
+		union := make(map[string]int)
+		base, rem := size/nShards, size%nShards
+		offset := 0
+		for i := 0; i < nShards; i++ {
+			count := base
+			if i < rem {
+				count++
+			}
+			for k, n := range collectRange(t, rangeValues, Config{Workers: 2, Chunk: 2, Offset: offset, Count: count}) {
+				union[k] += n
+			}
+			offset += count
+		}
+		if len(union) != size {
+			t.Fatalf("%d shards: union has %d tuples, want %d", nShards, len(union), size)
+		}
+		for k, n := range union {
+			if n != 1 {
+				t.Fatalf("%d shards: tuple %s visited %d times across shards, want 1", nShards, k, n)
+			}
+		}
+	}
+}
+
+func TestRunRangeProgressCountsSpan(t *testing.T) {
+	var progress atomic.Int64
+	got := collectRange(t, rangeValues, Config{Workers: 3, Chunk: 4, Offset: 5, Count: 21, Progress: &progress})
+	if len(got) != 21 {
+		t.Fatalf("visited %d tuples, want 21", len(got))
+	}
+	if progress.Load() != 21 {
+		t.Fatalf("progress = %d, want 21", progress.Load())
+	}
+}
+
+func TestRunRangeNegativeBounds(t *testing.T) {
+	for _, cfg := range []Config{{Offset: -1}, {Count: -1}} {
+		err := RunContext(context.Background(), rangeValues, cfg, func(int, []int64) error { return nil })
+		if !errors.Is(err, ErrBadRange) {
+			t.Fatalf("cfg %+v: err = %v, want ErrBadRange", cfg, err)
+		}
+	}
+}
+
+func TestBoundsClamp(t *testing.T) {
+	cases := []struct {
+		offset, count, size int
+		lo, hi              int
+	}{
+		{0, 0, 64, 0, 64},
+		{10, 20, 64, 10, 30},
+		{60, 20, 64, 60, 64},
+		{100, 5, 64, 64, 64},
+		{10, 0, 64, 10, 64},
+	}
+	for _, tc := range cases {
+		lo, hi, err := (Config{Offset: tc.offset, Count: tc.count}).Bounds(tc.size)
+		if err != nil || lo != tc.lo || hi != tc.hi {
+			t.Errorf("Bounds(%d) with offset=%d count=%d = (%d, %d, %v), want (%d, %d, nil)",
+				tc.size, tc.offset, tc.count, lo, hi, err, tc.lo, tc.hi)
+		}
+	}
+}

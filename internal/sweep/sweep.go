@@ -33,6 +33,10 @@ import (
 // silently skip (or repeat) tuples.
 var ErrTooLarge = errors.New("sweep: domain product overflows int")
 
+// ErrBadRange is returned by Run when Config.Offset or Config.Count is
+// negative.
+var ErrBadRange = errors.New("sweep: negative shard offset or count")
+
 // DefaultChunk is the chunk size used when Config.Chunk is unset. It is
 // large enough that cursor contention is negligible and small enough that
 // a skewed tail still balances across workers.
@@ -45,6 +49,15 @@ type Config struct {
 	// Chunk is the number of tuples claimed per cursor advance; ≤ 0 picks
 	// a size that gives every worker several chunks.
 	Chunk int
+	// Offset restricts the run to the suffix of the mixed-radix index
+	// space starting at this product index — the shard primitive behind
+	// distributed checking. 0 starts at the beginning; negative is an
+	// error.
+	Offset int
+	// Count bounds how many product indices the run visits from Offset:
+	// the run covers [Offset, Offset+Count), clamped to the product size.
+	// 0 means "through the end"; negative is an error.
+	Count int
 	// Progress, when non-nil, is atomically advanced by the number of
 	// tuples visited as each chunk completes. Long-running sweeps (the
 	// policy-checking service's job lifecycle) read it to report progress
@@ -100,16 +113,41 @@ func size(values [][]int64) (int, error) {
 // product of the given size, so callers can size per-worker state once and
 // agree with the engine.
 func (c Config) ResolvedWorkers(size int) int {
-	return c.normalized(size).Workers
+	lo, hi, err := c.Bounds(size)
+	if err != nil {
+		return c.normalized(size).Workers
+	}
+	return c.normalized(hi - lo).Workers
+}
+
+// Bounds resolves Offset/Count against a product of the given size: the
+// run visits product indices [lo, hi). Callers that must agree with the
+// engine on how many tuples a shard covers (verdict Checked totals, job
+// progress denominators) use this rather than re-deriving the clamp.
+func (c Config) Bounds(size int) (lo, hi int, err error) {
+	if c.Offset < 0 || c.Count < 0 {
+		return 0, 0, ErrBadRange
+	}
+	lo = c.Offset
+	if lo > size {
+		lo = size
+	}
+	hi = size
+	if c.Count > 0 && c.Count < hi-lo {
+		hi = lo + c.Count
+	}
+	return lo, hi, nil
 }
 
 // Run enumerates the cartesian product of values, calling fn once for every
 // tuple. fn is invoked concurrently from cfg.Workers goroutines; the worker
 // argument (0 ≤ worker < cfg.Workers) lets the callback address per-worker
 // state without locking. The input slice is owned by the worker and reused
-// between calls — copy it to retain it. Enumeration visits every tuple
-// exactly once; the first error returned by fn stops all workers (tuples
-// already in flight may still be visited) and is returned.
+// between calls — copy it to retain it. Enumeration visits every tuple of
+// the configured range exactly once (the whole product by default; the
+// contiguous shard [Offset, Offset+Count) when cfg restricts it); the
+// first error returned by fn stops all workers (tuples already in flight
+// may still be visited) and is returned.
 func Run(values [][]int64, cfg Config, fn func(worker int, input []int64) error) error {
 	return RunContext(context.Background(), values, cfg, fn)
 }
@@ -127,7 +165,12 @@ func RunContext(ctx context.Context, values [][]int64, cfg Config, fn func(worke
 	if err != nil {
 		return err
 	}
-	if size == 0 {
+	lo, hi, err := cfg.Bounds(size)
+	if err != nil {
+		return err
+	}
+	span := hi - lo
+	if span == 0 {
 		return nil
 	}
 	done := ctx.Done()
@@ -149,15 +192,15 @@ func RunContext(ctx context.Context, values [][]int64, cfg Config, fn func(worke
 		}
 		return err
 	}
-	cfg = cfg.normalized(size)
+	cfg = cfg.normalized(span)
 	if cfg.Workers == 1 {
-		for start := 0; start < size; start += cfg.Chunk {
+		for start := lo; start < hi; start += cfg.Chunk {
 			if cancelled() {
 				return ctx.Err()
 			}
 			end := start + cfg.Chunk
-			if end > size {
-				end = size
+			if end > hi {
+				end = hi
 			}
 			if err := runChunk(values, start, end, 0, fn); err != nil {
 				return err
@@ -182,13 +225,13 @@ func RunContext(ctx context.Context, values [][]int64, cfg Config, fn func(worke
 				if cancelled() {
 					return
 				}
-				start := cursor.Add(int64(cfg.Chunk)) - int64(cfg.Chunk)
-				if start >= int64(size) {
+				start := int64(lo) + cursor.Add(int64(cfg.Chunk)) - int64(cfg.Chunk)
+				if start >= int64(hi) {
 					return
 				}
 				end := start + int64(cfg.Chunk)
-				if end > int64(size) {
-					end = int64(size)
+				if end > int64(hi) {
+					end = int64(hi)
 				}
 				if err := runChunk(values, int(start), int(end), w, fn); err != nil {
 					errs[w] = err
@@ -212,7 +255,7 @@ func RunContext(ctx context.Context, values [][]int64, cfg Config, fn func(worke
 	// lose the race with completion: if every tuple was visited anyway,
 	// the verdict is whole, so report success — matching the one-worker
 	// path, which returns nil once its final chunk ran.
-	if visited.Load() == int64(size) {
+	if visited.Load() == int64(span) {
 		return nil
 	}
 	return ctx.Err()
