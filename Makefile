@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json bench-cluster-json lint fmt serve loadgen api-golden
+.PHONY: all build test bench bench-json bench-prefix-json bench-cluster-json lint fmt serve loadgen api-golden docs-check
 
 all: build lint test
 
@@ -25,6 +25,14 @@ bench-json:
 	$(GO) run ./cmd/benchjson < bench.txt > BENCH_sweep.json
 	@echo wrote BENCH_sweep.json
 
+# The prefix-memoization perf-trajectory artifact: plain compiled RunReuse
+# vs the snapshot-memoized innermost axis over the 160k-tuple sweep,
+# averaged like bench-json.
+bench-prefix-json:
+	$(GO) test -bench 'PrefixMemoSweep' -benchmem -count 3 -run '^$$' . > bench_prefix.txt
+	$(GO) run ./cmd/benchjson < bench_prefix.txt > BENCH_prefix.json
+	@echo wrote BENCH_prefix.json
+
 # The cluster perf-trajectory artifact: 1-node vs 2-node in-process fleet
 # over a 160k-tuple sweep, averaged like bench-json.
 bench-cluster-json:
@@ -46,7 +54,17 @@ lint:
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
 	fi
-	$(GO) doc -all ./internal/check | diff -u internal/check/api.golden -
+	@if ! $(GO) doc -all ./internal/check | diff -u internal/check/api.golden -; then \
+		echo "internal/check API surface drifted from api.golden — run 'make api-golden' and commit the result" >&2; \
+		exit 1; \
+	fi
+
+# The same docs gate CI's docs job runs: internal links in
+# README.md/DESIGN.md/doc.go must resolve, and the godoc Example
+# functions must run.
+docs-check:
+	$(GO) run ./cmd/linkcheck README.md DESIGN.md doc.go
+	$(GO) test -run 'Example' ./internal/check ./internal/flowchart ./internal/service
 
 # Regenerate the committed API surface of the unified check package after
 # an intentional signature change; CI diffs the live `go doc` output

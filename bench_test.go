@@ -8,11 +8,13 @@
 package spm_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
 
 	"spm/internal/accesscontrol"
+	"spm/internal/check"
 	"spm/internal/core"
 	"spm/internal/experiments"
 	"spm/internal/fenton"
@@ -625,6 +627,40 @@ func BenchmarkAblationSweepEngine(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkPrefixMemoSweep is the prefix-memoization ablation on the same
+// 160,000-tuple domain as BenchmarkAblationSweepEngine: the sweep walks
+// each chunk in odometer order, and benchSweep's loop depends only on the
+// outer input, so the memoized path records one execution snapshot per
+// row of 400 innermost values and replays just the tail (`y := x2`; halt)
+// for the other 399 — versus the plain compiled path re-running the loop
+// on every tuple. CI's bench job runs this with -count 3 and uploads the
+// result as the BENCH_prefix.json trajectory artifact.
+func BenchmarkPrefixMemoSweep(b *testing.B) {
+	q := flowchart.MustParse(benchSweep)
+	m := core.FromProgram(q)
+	pol := core.NewAllow(2, 2)
+	dom := core.Grid(2, core.Range(0, 399)...) // 400² = 160,000 tuples
+	for _, workers := range []int{1, 8} {
+		for _, memo := range []bool{false, true} {
+			name := fmt.Sprintf("reuse-%dw", workers)
+			if memo {
+				name = fmt.Sprintf("memo-%dw", workers)
+			}
+			b.Run(name, func(b *testing.B) {
+				b.ReportMetric(float64(dom.Size()), "inputs/check")
+				for i := 0; i < b.N; i++ {
+					v, err := check.Run(context.Background(), check.Spec{
+						Kind: check.Soundness, Mechanism: m, Policy: pol, Domain: dom,
+					}, check.WithWorkers(workers), check.WithMemo(memo))
+					if err != nil || !v.Sound {
+						b.Fatalf("v=%+v err=%v", v, err)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -1,0 +1,147 @@
+// Command linkcheck verifies the repository's documentation references:
+// markdown links in .md files (relative targets must exist; #anchors must
+// match a heading in the target) and file references in .go doc comments
+// (tokens like README.md or bench_test.go must exist). External http(s)
+// links are not fetched — CI stays hermetic — and links that resolve
+// outside the repository (GitHub-web relative links like
+// ../../actions/...) are skipped.
+//
+// Usage: go run ./cmd/linkcheck [files...]; with no arguments it checks
+// README.md, DESIGN.md, and doc.go. Exits non-zero listing every broken
+// reference, which is what CI's docs job gates on.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+var (
+	// [text](target) — target up to the first closing paren or space.
+	mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+	// A file-looking token in prose: path characters ending in a source
+	// or markdown extension.
+	fileToken = regexp.MustCompile(`[A-Za-z0-9_\-./]*[A-Za-z0-9_\-]\.(?:md|go)\b`)
+	// Markdown headings, for anchor checking.
+	heading = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*$`)
+)
+
+func main() {
+	files := os.Args[1:]
+	if len(files) == 0 {
+		files = []string{"README.md", "DESIGN.md", "doc.go"}
+	}
+	var problems []string
+	checked := 0
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", f, err))
+			continue
+		}
+		var probs []string
+		var n int
+		if strings.HasSuffix(f, ".md") {
+			probs, n = checkMarkdown(f, string(data))
+		} else {
+			probs, n = checkProse(f, string(data))
+		}
+		problems = append(problems, probs...)
+		checked += n
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "linkcheck:", p)
+		}
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken reference(s) in %d checked\n", len(problems), checked)
+		os.Exit(1)
+	}
+	fmt.Printf("linkcheck: %d reference(s) OK across %d file(s)\n", checked, len(files))
+}
+
+// checkMarkdown verifies every [text](target) link in a markdown file.
+func checkMarkdown(file, content string) (problems []string, checked int) {
+	for _, m := range mdLink.FindAllStringSubmatch(content, -1) {
+		target := m[1]
+		if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+			continue // external; not fetched
+		}
+		checked++
+		path, anchor, _ := strings.Cut(target, "#")
+		resolved := file
+		if path != "" {
+			resolved = filepath.Join(filepath.Dir(file), path)
+			if strings.HasPrefix(filepath.Clean(resolved), "..") {
+				continue // GitHub-web relative link outside the repo
+			}
+			if _, err := os.Stat(resolved); err != nil {
+				problems = append(problems, fmt.Sprintf("%s: link %q: %s does not exist", file, target, resolved))
+				continue
+			}
+		}
+		if anchor != "" && strings.HasSuffix(resolved, ".md") {
+			if !anchorExists(resolved, anchor) {
+				problems = append(problems, fmt.Sprintf("%s: link %q: no heading for anchor #%s in %s", file, target, anchor, resolved))
+			}
+		}
+	}
+	return problems, checked
+}
+
+// checkProse verifies file-looking tokens in a Go doc comment (or any
+// prose file): each must exist relative to the repo root or to the
+// containing file.
+func checkProse(file, content string) (problems []string, checked int) {
+	seen := map[string]bool{}
+	for _, tok := range fileToken.FindAllString(content, -1) {
+		if seen[tok] {
+			continue
+		}
+		seen[tok] = true
+		checked++
+		if _, err := os.Stat(tok); err == nil {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(filepath.Dir(file), tok)); err == nil {
+			continue
+		}
+		problems = append(problems, fmt.Sprintf("%s: reference %q does not exist", file, tok))
+	}
+	return problems, checked
+}
+
+// anchorExists reports whether the markdown file has a heading whose
+// GitHub-style slug matches the anchor.
+func anchorExists(file, anchor string) bool {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return false
+	}
+	for _, h := range heading.FindAllStringSubmatch(string(data), -1) {
+		if slug(h[1]) == strings.ToLower(anchor) {
+			return true
+		}
+	}
+	return false
+}
+
+// slug approximates GitHub's heading-to-anchor rule: lower-case, drop
+// everything but letters, digits, spaces, and hyphens, then turn spaces
+// into hyphens.
+func slug(h string) string {
+	// Strip inline code markers down to their text first.
+	h = strings.NewReplacer("`", "", "*", "").Replace(h)
+	var b strings.Builder
+	for _, r := range strings.ToLower(h) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '_' || r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}

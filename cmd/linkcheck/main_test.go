@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSlug(t *testing.T) {
+	cases := map[string]string{
+		"Performance":                                    "performance",
+		"The policy-checking service":                    "the-policy-checking-service",
+		"v2: batching, cancellation, progress streaming": "v2-batching-cancellation-progress-streaming",
+		"Where to add things":                            "where-to-add-things",
+		"`spm serve` quickstart":                         "spm-serve-quickstart",
+	}
+	for in, want := range cases {
+		if got := slug(in); got != want {
+			t.Errorf("slug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCheckMarkdown(t *testing.T) {
+	// The tool runs from the repo root with repo-relative paths; that is
+	// what makes "resolves outside the repo" detectable as a leading "..".
+	t.Chdir(t.TempDir())
+	write := func(name, content string) string {
+		t.Helper()
+		if err := os.WriteFile(name, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return name
+	}
+	write("TARGET.md", "# Title\n\n## Real Heading\n")
+	doc := write("doc.md", "[ok](TARGET.md) [anchored](TARGET.md#real-heading) "+
+		"[ext](https://example.com/x) [out](../../outside/thing.yml) "+
+		"[missing](NOPE.md) [badanchor](TARGET.md#gone)\n")
+	data, _ := os.ReadFile(doc)
+	problems, checked := checkMarkdown(doc, string(data))
+	// External link skipped entirely; out-of-repo counted but tolerated.
+	if checked != 5 {
+		t.Fatalf("checked = %d, want 5", checked)
+	}
+	if len(problems) != 2 {
+		t.Fatalf("problems = %v, want 2 (missing file, bad anchor)", problems)
+	}
+}
+
+func TestCheckProse(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "doc.go")
+	if err := os.WriteFile(p, []byte("// See SIBLING.md and ALSO_GONE.md.\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "SIBLING.md"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	problems, checked := checkProse(p, "// See SIBLING.md and ALSO_GONE.md.\n")
+	if checked != 2 {
+		t.Fatalf("checked = %d, want 2", checked)
+	}
+	if len(problems) != 1 {
+		t.Fatalf("problems = %v, want exactly the missing reference", problems)
+	}
+}

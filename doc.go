@@ -28,6 +28,17 @@
 // it; the older core.CheckSoundnessParallel/CheckMaximalitySweep families
 // remain as deprecated wrappers over the same engine.
 //
+// The sweep walks each chunk in odometer order (innermost input fastest)
+// and memoizes the shared execution prefix across that axis: a compiled
+// program (flowchart.Compile) records a Snapshot — register file, program
+// counter, step count — at the first instruction that touches the
+// innermost input (flowchart.Compiled.RunSnapshot), and every further
+// tuple of the row replays only the program tail
+// (flowchart.Compiled.RunFromSnapshot), falling back to full runs
+// whenever no valid snapshot exists. Verdicts are byte-identical with
+// memoization on or off; check.WithMemo(false) and check.WithCompiled(false)
+// are the ablation knobs.
+//
 // The same verdict scales out in three layers of the one sharding idea.
 // Inside one process, internal/sweep hands contiguous chunks of the
 // domain's mixed-radix index space [0, Size) to worker goroutines, and the
@@ -44,9 +55,14 @@
 // definitive counterexample cancels the outstanding shards via
 // DELETE /v2/jobs/{id}.
 //
-// See README.md for the quickstart, the package map, the v2 service
-// endpoints (batch submit, job cancellation, progress streaming), and the
-// cluster-mode two-terminal walkthrough. The experiment registry in
+// See README.md for the quickstart, the package map, the endpoint table
+// of the v1/v2 service APIs (batch submit, job cancellation, progress
+// streaming, offset/count sharding), the measured performance trajectory,
+// and the cluster-mode two-terminal walkthrough. DESIGN.md holds the
+// architecture: the four layers, the mixed-radix index space they share,
+// the snapshot-validity rules behind prefix memoization, and the guide
+// for adding a new machine, policy, or verdict kind. The experiment
+// registry in
 // internal/experiments maps each ID (E1–E20) to the paper artifact it
 // reproduces; the benchmarks in bench_test.go regenerate one measurement
 // per experiment, and the cmd/spm-experiments binary prints the full

@@ -18,7 +18,8 @@
 // CheckSoundnessParallel/CheckMaximalitySweep families: WithWorkers and
 // WithChunk tune the engine, WithProgress exposes the chunk cursor to
 // long-running callers (the policy-checking service's job lifecycle), and
-// WithCompiled(false) forces the interpreter for ablations.
+// WithCompiled(false)/WithMemo(false) force the interpreter and disable
+// prefix memoization for ablations.
 package check
 
 import (
@@ -136,6 +137,9 @@ type Options struct {
 	// Compiled enables the compiled fast path for flowchart-backed
 	// mechanisms; Run defaults it to true.
 	Compiled bool
+	// Memo enables prefix memoization on the compiled fast path; Run
+	// defaults it to true.
+	Memo bool
 }
 
 // Option tunes one Run call.
@@ -159,6 +163,16 @@ func WithProgress(p *atomic.Int64) Option { return func(o *Options) { o.Progress
 // through Mechanism.Run — the interpreter ablation.
 func WithCompiled(on bool) Option { return func(o *Options) { o.Compiled = on } }
 
+// WithMemo toggles prefix memoization on the compiled fast path (default
+// true): the sweep walks each chunk in odometer order, and when only the
+// innermost input changed since the previous tuple the compiled runner
+// resumes from an execution snapshot — replaying just the instructions
+// after the first read of that input — instead of starting at instruction
+// zero. The verdict is identical either way (differential tests pin
+// this); WithMemo(false) is the ablation baseline the prefix benchmarks
+// compare against. It has no effect under WithCompiled(false).
+func WithMemo(on bool) Option { return func(o *Options) { o.Memo = on } }
+
 // Run decides the Spec's verdict over its domain, sweeping in parallel and
 // honouring ctx: cancellation stops every worker within one chunk and
 // returns ctx's error. Run is the only code path in the repository that
@@ -166,7 +180,7 @@ func WithCompiled(on bool) Option { return func(o *Options) { o.Compiled = on } 
 // the spm CLI, the v1 and v2 HTTP services, and the experiment tables all
 // reduce to it.
 func Run(ctx context.Context, spec Spec, opts ...Option) (Verdict, error) {
-	o := Options{Compiled: true}
+	o := Options{Compiled: true, Memo: true}
 	for _, opt := range opts {
 		opt(&o)
 	}
@@ -192,6 +206,7 @@ func Run(ctx context.Context, spec Spec, opts ...Option) (Verdict, error) {
 			Progress: o.Progress,
 		},
 		Interpreted:  !o.Compiled,
+		NoMemo:       !o.Memo,
 		CollectViews: sharded,
 	}
 	v := Verdict{Kind: spec.Kind, Mechanism: spec.Mechanism.Name(), Observation: spec.Observation.ObsName, Shard: spec.Shard}

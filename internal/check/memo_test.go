@@ -1,0 +1,224 @@
+package check_test
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"spm/internal/check"
+	"spm/internal/core"
+	"spm/internal/fenton"
+	"spm/internal/filesys"
+	"spm/internal/lattice"
+	"spm/internal/logon"
+	"spm/internal/paging"
+	"spm/internal/progen"
+	"spm/internal/querydb"
+	"spm/internal/tape"
+)
+
+// verdictJSON renders a Verdict for byte-identical comparison.
+func verdictJSON(t *testing.T, v check.Verdict) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal verdict: %v", err)
+	}
+	return string(b)
+}
+
+// runPaths decides spec under the three execution paths that must be
+// extensionally identical — prefix-memoized (the default), compiled
+// without memoization, and the tree-walking interpreter — at one worker,
+// where enumeration order (and therefore witness choice) is
+// deterministic, and requires byte-identical verdicts.
+func runPaths(t *testing.T, tag string, spec check.Spec, opts ...check.Option) check.Verdict {
+	t.Helper()
+	base := append([]check.Option{check.WithWorkers(1), check.WithChunk(7)}, opts...)
+	memo, err := check.Run(context.Background(), spec, base...)
+	if err != nil {
+		t.Fatalf("%s: memoized Run: %v", tag, err)
+	}
+	plain, err := check.Run(context.Background(), spec, append(base, check.WithMemo(false))...)
+	if err != nil {
+		t.Fatalf("%s: WithMemo(false) Run: %v", tag, err)
+	}
+	interp, err := check.Run(context.Background(), spec, append(base, check.WithCompiled(false))...)
+	if err != nil {
+		t.Fatalf("%s: WithCompiled(false) Run: %v", tag, err)
+	}
+	if got, want := verdictJSON(t, memo), verdictJSON(t, plain); got != want {
+		t.Fatalf("%s: memoized verdict differs from non-memoized:\n memo: %s\nplain: %s", tag, got, want)
+	}
+	if got, want := verdictJSON(t, memo), verdictJSON(t, interp); got != want {
+		t.Fatalf("%s: memoized verdict differs from interpreter:\n  memo: %s\ninterp: %s", tag, got, want)
+	}
+	return memo
+}
+
+// TestMemoDifferentialProgen is the tentpole's correctness gate: on ≥ 25
+// randomized total programs, the prefix-memoized sweep must produce
+// byte-identical verdicts — soundness, maximality, and pass count — to
+// the non-memoized compiled path and to the interpreter, whole-domain and
+// sharded, merged and per-part.
+func TestMemoDifferentialProgen(t *testing.T) {
+	axis := []int64{-2, -1, 0, 1, 2, 3}
+	for seed := int64(0); seed < 30; seed++ {
+		r := rand.New(rand.NewSource(1000 + seed))
+		arity := 2 + int(seed)%2
+		p := progen.Generate(r, progen.DefaultConfig(arity))
+		m := core.FromProgram(p)
+		pol := core.NewAllow(arity, arity) // allow only the innermost input
+		if seed%3 == 0 {
+			pol = core.NewAllow(arity, 1)
+		}
+		dom := make(core.Domain, arity)
+		for i := range dom {
+			dom[i] = axis
+		}
+		for _, kind := range []check.Kind{check.Soundness, check.Maximality, check.PassCount} {
+			spec := check.Spec{Kind: kind, Mechanism: m, Program: m, Policy: pol, Domain: dom}
+			tag := p.Name + "/" + kind.String()
+			runPaths(t, tag, spec)
+
+			// Sharded halves: the evidence tables (Views/Classes) and the
+			// merged whole-domain verdict must also be path-independent.
+			size := 1
+			for i := range dom {
+				size *= len(dom[i])
+			}
+			half := int64(size / 2)
+			var memoParts, plainParts []check.Verdict
+			for _, shard := range []check.Shard{{Offset: 0, Count: half}, {Offset: half}} {
+				s := spec
+				s.Shard = shard
+				memoParts = append(memoParts, runPaths(t, tag+"/sharded", s))
+				plain, err := check.Run(context.Background(), s,
+					check.WithWorkers(1), check.WithChunk(7), check.WithMemo(false))
+				if err != nil {
+					t.Fatalf("%s: sharded plain Run: %v", tag, err)
+				}
+				plainParts = append(plainParts, plain)
+			}
+			mergedMemo, err := check.Merge(memoParts...)
+			if err != nil {
+				t.Fatalf("%s: Merge memo parts: %v", tag, err)
+			}
+			mergedPlain, err := check.Merge(plainParts...)
+			if err != nil {
+				t.Fatalf("%s: Merge plain parts: %v", tag, err)
+			}
+			if got, want := verdictJSON(t, mergedMemo), verdictJSON(t, mergedPlain); got != want {
+				t.Fatalf("%s: merged memoized verdict differs:\n memo: %s\nplain: %s", tag, got, want)
+			}
+		}
+	}
+}
+
+// TestMemoDifferentialParallel covers the multi-worker engine, where
+// witness choice is scheduling-dependent: the decision fields (sound,
+// maximal, checked, passes) must still agree between the memoized and
+// non-memoized paths.
+func TestMemoDifferentialParallel(t *testing.T) {
+	axis := []int64{-2, -1, 0, 1, 2, 3, 4, 5}
+	for seed := int64(0); seed < 8; seed++ {
+		r := rand.New(rand.NewSource(2000 + seed))
+		p := progen.Generate(r, progen.DefaultConfig(2))
+		m := core.FromProgram(p)
+		pol := core.NewAllow(2, 2)
+		dom := core.Domain{axis, axis}
+		for _, kind := range []check.Kind{check.Soundness, check.Maximality, check.PassCount} {
+			spec := check.Spec{Kind: kind, Mechanism: m, Program: m, Policy: pol, Domain: dom}
+			memo, err := check.Run(context.Background(), spec, check.WithWorkers(4), check.WithChunk(5))
+			if err != nil {
+				t.Fatalf("%s/%v: memo Run: %v", p.Name, kind, err)
+			}
+			plain, err := check.Run(context.Background(), spec, check.WithWorkers(4), check.WithChunk(5), check.WithMemo(false))
+			if err != nil {
+				t.Fatalf("%s/%v: plain Run: %v", p.Name, kind, err)
+			}
+			if memo.Sound != plain.Sound || memo.Maximal != plain.Maximal ||
+				memo.Checked != plain.Checked || memo.Passes != plain.Passes {
+				t.Fatalf("%s/%v: parallel verdicts disagree:\n memo: %+v\nplain: %+v", p.Name, kind, memo, plain)
+			}
+		}
+	}
+}
+
+// TestMemoDifferentialMachines sweeps the paper's six worked-example
+// machines through the same three execution paths. The machines are not
+// flowchart-backed, so the memoized path must degrade to plain runs
+// without disturbing enumeration order, view tables, or verdicts.
+func TestMemoDifferentialMachines(t *testing.T) {
+	fs, err := filesys.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := querydb.NewDB([]int64{30, 50, 20, 40, 10, 60, 70, 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The statistical database as a mechanism: two queries derived from
+	// the input tuple against a fresh history-aware session, so each Run
+	// is a pure function of its input.
+	queryMech := core.NewFunc("querydb", 2, func(in []int64) core.Outcome {
+		s := querydb.NewSession(db, querydb.HistoryAware, 2)
+		first := s.Query([]int{int(in[0] % 8), int((in[0] + 1) % 8)})
+		second := s.Query([]int{int(in[0] % 8), int(in[1] % 8)})
+		if second.Violation {
+			return core.Outcome{Violation: true, Notice: second.Notice}
+		}
+		return core.Outcome{Value: first.Sum + second.Sum}
+	})
+	// The paged-memory password checker: a fresh two-page memory per run,
+	// guess digits taken from the input.
+	pagingMech := core.NewFunc("paging-check", 2, func(in []int64) core.Outcome {
+		mem := paging.MustNew(64, 16)
+		c, err := logon.NewChecker(mem, []byte{byte('0' + in[0]%10)}, 0)
+		if err != nil {
+			return core.Outcome{Violation: true, Notice: err.Error()}
+		}
+		ok, err := c.Check([]byte{byte('0' + in[1]%10)}, 15)
+		if err != nil {
+			return core.Outcome{Violation: true, Notice: err.Error()}
+		}
+		if ok {
+			return core.Outcome{Value: 1}
+		}
+		return core.Outcome{Value: 0}
+	})
+	leak := fenton.MustAssemble("leak", `
+    brz r1 ZERO
+    jmp JOIN
+ZERO: halt
+JOIN: halt
+`)
+	fentonMech, err := fenton.NewMechanism(leak, 1, lattice.EmptySet, fenton.HaltAsError)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	machines := []struct {
+		name string
+		spec check.Spec
+	}{
+		{"fenton", check.Spec{Mechanism: fentonMech, Policy: core.NewAllow(1), Domain: core.Grid(1, 0, 1, 2)}},
+		{"tape", check.Spec{Mechanism: &tape.Reader{UseTab: true, Cost: tape.TabConstant},
+			Policy: core.NewAllow(2, 2), Domain: core.Domain{{5, 1234}, {7, 42}},
+			Observation: core.ObserveValueAndTime}},
+		{"logon", check.Spec{Mechanism: logon.Program(), Policy: logon.Policy(), Domain: logon.Domain(2)}},
+		{"filesys", check.Spec{Mechanism: fs.Gatekeeper(), Policy: fs.Policy(),
+			Domain: fs.Domain([]int64{0, 1}, false)}},
+		{"querydb", check.Spec{Mechanism: queryMech, Policy: core.NewAllow(2, 1), Domain: core.Grid(2, 0, 1, 2, 3)}},
+		{"paging", check.Spec{Mechanism: pagingMech, Policy: core.NewAllow(2, 2), Domain: core.Grid(2, 0, 1, 2)}},
+	}
+	for _, mc := range machines {
+		for _, kind := range []check.Kind{check.Soundness, check.Maximality, check.PassCount} {
+			spec := mc.spec
+			spec.Kind = kind
+			spec.Program = spec.Mechanism
+			runPaths(t, mc.name+"/"+kind.String(), spec)
+		}
+	}
+}

@@ -208,7 +208,7 @@ func TestClusterUnsoundCrossShard(t *testing.T) {
 const slowSoundProg = `
 program slowsound
 inputs x1 x2
-    r := 5000
+    r := 5000 + (x2 & 1)
 Loop: if r == 0 goto Done else Body
 Body: r := r - 1
       goto Loop
@@ -279,7 +279,7 @@ inputs x1 x2
     if x1 == 0 goto Fast else Slow
 Fast: y := x2
       halt
-Slow: r := 300000
+Slow: r := 300000 + (x2 & 1)
 Loop: if r == 0 goto Done else Body
 Body: r := r - 1
       goto Loop

@@ -19,6 +19,20 @@ type RunnerProvider interface {
 	Runners() func() RunFunc
 }
 
+// HintRunnerProvider lets a mechanism supply per-worker runners that
+// understand the sweep engine's innermost-axis hint (HintRunFunc). The
+// engines consult it before HintRunnerProvider-unaware fallbacks, so a
+// compile-cache entry serves the prefix-memoized fast path directly:
+// every odometer row records one execution snapshot and replays only the
+// program tail for the row's remaining tuples.
+type HintRunnerProvider interface {
+	Mechanism
+	// HintRunners returns a factory producing one HintRunFunc per sweep
+	// worker. Each returned runner owns its mutable state (register file
+	// and snapshot) and must not be shared between concurrent workers.
+	HintRunners() func() HintRunFunc
+}
+
 // CompiledMechanism is a flowchart-backed Mechanism bound to its compiled
 // form: Compile runs exactly once, at construction, and both Run and the
 // sweep engine's per-worker runners execute the slot-indexed code. It is
@@ -54,6 +68,14 @@ func (c *CompiledMechanism) Run(input []int64) (Outcome, error) {
 		return Outcome{}, err
 	}
 	return Outcome{Value: res.Value, Steps: res.Steps, Violation: res.Violation, Notice: res.Notice}, nil
+}
+
+// HintRunners implements HintRunnerProvider: each worker gets a private
+// register file and execution snapshot over the shared compiled code, so
+// sweeps in odometer order replay only the instructions after the first
+// read of the innermost input.
+func (c *CompiledMechanism) HintRunners() func() HintRunFunc {
+	return func() HintRunFunc { return snapshotRunner(c.code, c.pm.MaxSteps) }
 }
 
 // Runners implements RunnerProvider: each worker gets a private register

@@ -190,15 +190,15 @@ func CheckMaximalityContext(ctx context.Context, m, q Mechanism, pol Policy, dom
 	workers := cc.ResolvedWorkers(sweep.Size(dom))
 
 	// Pass 1: per-worker class tables over Q, merged into one.
-	qFactory := cc.factory(q)
-	qRuns := make([]RunFunc, workers)
+	qFactory := cc.hintFactory(q)
+	qRuns := make([]HintRunFunc, workers)
 	tables := make([]classTable, workers)
 	for w := 0; w < workers; w++ {
 		qRuns[w] = qFactory()
 		tables[w] = make(classTable)
 	}
-	if err := sweep.RunContext(ctx, dom, cc.Config, func(w int, input []int64) error {
-		qo, err := qRuns[w](input)
+	if err := sweep.RunHintContext(ctx, dom, cc.Config, func(w int, input []int64, innerOnly bool) error {
+		qo, err := qRuns[w](input, innerOnly)
 		if err != nil {
 			return err
 		}
@@ -214,23 +214,23 @@ func CheckMaximalityContext(ctx context.Context, m, q Mechanism, pol Policy, dom
 
 	// Pass 2: sharded verdicts against the merged table (read-only now).
 	type shard struct {
-		runQ, runM RunFunc
+		runQ, runM HintRunFunc
 		checked    int
 		witness    []int64
 		reason     string
 	}
-	mFactory := cc.factory(m)
+	mFactory := cc.hintFactory(m)
 	shards := make([]shard, workers)
 	for w := range shards {
 		shards[w] = shard{runQ: qFactory(), runM: mFactory()}
 	}
-	if err := sweep.RunContext(ctx, dom, cc.Config, func(w int, input []int64) error {
+	if err := sweep.RunHintContext(ctx, dom, cc.Config, func(w int, input []int64, innerOnly bool) error {
 		s := &shards[w]
-		qo, err := s.runQ(input)
+		qo, err := s.runQ(input, innerOnly)
 		if err != nil {
 			return err
 		}
-		mo, err := s.runM(input)
+		mo, err := s.runM(input, innerOnly)
 		if err != nil {
 			return err
 		}

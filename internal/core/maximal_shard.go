@@ -81,23 +81,23 @@ func CheckMaximalityShard(ctx context.Context, m, q Mechanism, pol Policy, dom D
 	workers := cc.ResolvedWorkers(sweep.Size(dom))
 
 	type shard struct {
-		runQ, runM RunFunc
+		runQ, runM HintRunFunc
 		classes    map[string]*ClassSummary
 		checked    int
 	}
-	qFactory := cc.factory(q)
-	mFactory := cc.factory(m)
+	qFactory := cc.hintFactory(q)
+	mFactory := cc.hintFactory(m)
 	shards := make([]shard, workers)
 	for w := range shards {
 		shards[w] = shard{runQ: qFactory(), runM: mFactory(), classes: make(map[string]*ClassSummary)}
 	}
-	if err := sweep.RunContext(ctx, dom, cc.Config, func(w int, input []int64) error {
+	if err := sweep.RunHintContext(ctx, dom, cc.Config, func(w int, input []int64, innerOnly bool) error {
 		s := &shards[w]
-		qo, err := s.runQ(input)
+		qo, err := s.runQ(input, innerOnly)
 		if err != nil {
 			return err
 		}
-		mo, err := s.runM(input)
+		mo, err := s.runM(input, innerOnly)
 		if err != nil {
 			return err
 		}

@@ -2,14 +2,60 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
+	"spm/internal/flowchart"
 	"spm/internal/sweep"
 )
 
 // RunFunc evaluates a mechanism on one input. It is the unit the sweep
 // engine schedules; see RunnerFactory.
 type RunFunc func(input []int64) (Outcome, error)
+
+// HintRunFunc is RunFunc with the sweep engine's innermost-axis hint:
+// innerOnly is true exactly when only the last input coordinate changed
+// since the previous call on this worker (sweep.HintFunc). Compiled
+// runners use the hint to resume from an execution snapshot —
+// flowchart.RunFromSnapshot replays only the instructions after the first
+// read of the innermost input — instead of re-running the shared prefix
+// on every tuple of an odometer row.
+type HintRunFunc func(input []int64, innerOnly bool) (Outcome, error)
+
+// ignoreHint adapts a plain runner for mechanisms with no prefix to
+// memoize.
+func ignoreHint(run RunFunc) HintRunFunc {
+	return func(input []int64, _ bool) (Outcome, error) { return run(input) }
+}
+
+// snapshotRunner returns the prefix-memoized per-worker runner over
+// compiled code: a fresh row (innerOnly false, or no usable snapshot)
+// runs in full while recording a snapshot at the first instruction that
+// touches the innermost input; every further tuple of the row replays
+// only the program tail from that snapshot. Whenever the snapshot is
+// unusable — the recording run exhausted its step budget or failed before
+// the capture point — the runner falls back to full runs, so the outcome
+// of every tuple is exactly RunReuse's.
+func snapshotRunner(c *flowchart.Compiled, maxSteps int64) HintRunFunc {
+	regs := make([]int64, c.Slots())
+	snap := c.NewSnapshot()
+	return func(input []int64, innerOnly bool) (Outcome, error) {
+		var res flowchart.Result
+		var err error
+		if innerOnly && snap.Valid() && len(input) > 0 {
+			res, err = c.RunFromSnapshot(regs, snap, input[len(input)-1], maxSteps)
+			if errors.Is(err, flowchart.ErrNoSnapshot) {
+				res, err = c.RunSnapshot(regs, input, maxSteps, snap)
+			}
+		} else {
+			res, err = c.RunSnapshot(regs, input, maxSteps, snap)
+		}
+		if err != nil {
+			return Outcome{}, err
+		}
+		return Outcome{Value: res.Value, Steps: res.Steps, Violation: res.Violation, Notice: res.Notice}, nil
+	}
+}
 
 // RunnerFactory returns a factory producing one RunFunc per sweep worker.
 // A RunnerProvider (a CompiledMechanism out of the service's compile cache)
@@ -47,21 +93,41 @@ func RunnerFactory(m Mechanism) func() RunFunc {
 // controls parallelism, chunking, the shard range, and the progress
 // cursor; Interpreted disables the compiled fast path so every tuple runs
 // through Mechanism.Run (the ablation knob behind
-// check.WithCompiled(false)); CollectViews asks CheckSoundnessContext to
-// export its merged per-class observation table so a shard verdict can be
-// folded with its siblings by check.Merge.
+// check.WithCompiled(false)); NoMemo keeps the compiled fast path but
+// disables prefix memoization, so every tuple replays from instruction
+// zero (the ablation knob behind check.WithMemo(false), and the baseline
+// the prefix benchmarks compare against); CollectViews asks
+// CheckSoundnessContext to export its merged per-class observation table
+// so a shard verdict can be folded with its siblings by check.Merge.
 type CheckConfig struct {
 	sweep.Config
 	Interpreted  bool
+	NoMemo       bool
 	CollectViews bool
 }
 
-// factory resolves the per-worker runner factory for m under the config.
-func (cc CheckConfig) factory(m Mechanism) func() RunFunc {
+// hintFactory resolves the per-worker hinted runner factory for m under
+// the config: the snapshot-memoized compiled path when m is
+// flowchart-backed (or supplies its own hinted runners), plain runners
+// otherwise — the hint is simply ignored by mechanisms with no prefix to
+// reuse.
+func (cc CheckConfig) hintFactory(m Mechanism) func() HintRunFunc {
 	if cc.Interpreted {
-		return func() RunFunc { return m.Run }
+		return func() HintRunFunc { return ignoreHint(m.Run) }
 	}
-	return RunnerFactory(m)
+	if !cc.NoMemo {
+		if hp, ok := m.(HintRunnerProvider); ok {
+			return hp.HintRunners()
+		}
+		if pm, ok := m.(*Program); ok {
+			if c, err := pm.P.Compile(); err == nil {
+				maxSteps := pm.MaxSteps
+				return func() HintRunFunc { return snapshotRunner(c, maxSteps) }
+			}
+		}
+	}
+	base := RunnerFactory(m)
+	return func() HintRunFunc { return ignoreHint(base()) }
 }
 
 // viewEntry is one policy class's first-seen observation and witness input.
@@ -108,21 +174,21 @@ func CheckSoundnessContext(ctx context.Context, m Mechanism, pol Policy, dom Dom
 	// were visited by different workers (views span chunks whenever the
 	// policy ignores part of the input).
 	type shard struct {
-		run       RunFunc
+		run       HintRunFunc
 		views     map[string]viewEntry
 		conflictA *viewEntry
 		conflictB *viewEntry
 		checked   int
 	}
 	workers := cc.ResolvedWorkers(sweep.Size(dom))
-	factory := cc.factory(m)
+	factory := cc.hintFactory(m)
 	shards := make([]shard, workers)
 	for w := range shards {
 		shards[w] = shard{run: factory(), views: make(map[string]viewEntry)}
 	}
-	err := sweep.RunContext(ctx, dom, cc.Config, func(w int, input []int64) error {
+	err := sweep.RunHintContext(ctx, dom, cc.Config, func(w int, input []int64, innerOnly bool) error {
 		s := &shards[w]
-		o, err := s.run(input)
+		o, err := s.run(input, innerOnly)
 		if err != nil {
 			return err
 		}
@@ -202,14 +268,14 @@ func PassCountContext(ctx context.Context, m Mechanism, dom Domain, cc CheckConf
 		return 0, fmt.Errorf("core: arity mismatch: mechanism %d, domain %d", m.Arity(), len(dom))
 	}
 	workers := cc.ResolvedWorkers(sweep.Size(dom))
-	factory := cc.factory(m)
-	runs := make([]RunFunc, workers)
+	factory := cc.hintFactory(m)
+	runs := make([]HintRunFunc, workers)
 	counts := make([]int, workers)
 	for w := range runs {
 		runs[w] = factory()
 	}
-	err := sweep.RunContext(ctx, dom, cc.Config, func(w int, input []int64) error {
-		o, err := runs[w](input)
+	err := sweep.RunHintContext(ctx, dom, cc.Config, func(w int, input []int64, innerOnly bool) error {
+		o, err := runs[w](input, innerOnly)
 		if err != nil {
 			return err
 		}

@@ -23,6 +23,12 @@ type Compiled struct {
 	outputSlot int
 	code       []cnode
 	start      int32
+	// lastBit is the touch-mask bit of the innermost input (1 << (k-1)),
+	// or 0 when the program has no inputs or more than 64 of them — in
+	// which case RunSnapshot never captures and callers fall back to full
+	// runs. lastSlot is that input's register slot.
+	lastBit  uint64
+	lastSlot int
 }
 
 type cnode struct {
@@ -35,6 +41,14 @@ type cnode struct {
 	onFalse   int32
 	violation bool
 	notice    string
+	// touch is the static input trace of this instruction: bit i is set
+	// when executing the node may read or write input i's register. An
+	// assign touches the inputs its expression mentions plus its target; a
+	// decision touches its predicate's inputs; a non-violating halt reads
+	// the output variable, which may itself be an input. The snapshot fast
+	// path (RunSnapshot/RunFromSnapshot) captures execution state at the
+	// first instruction whose mask intersects the innermost input.
+	touch uint64
 }
 
 // Compile lowers the program. The program must validate.
@@ -55,6 +69,33 @@ func (p *Program) Compile() (*Compiled, error) {
 		c.inputSlots = append(c.inputSlots, slot(in))
 	}
 	c.outputSlot = slot(p.OutputVar())
+	c.lastSlot = -1
+	if k := len(p.Inputs); k > 0 && k <= 64 {
+		c.lastBit = 1 << (k - 1)
+		c.lastSlot = c.inputSlots[k-1]
+	}
+	// bitOf maps a variable name to its input-trace bit; non-input
+	// variables contribute nothing to a node's touch mask.
+	bitOf := make(map[string]uint64, len(p.Inputs))
+	if c.lastBit != 0 {
+		for i, in := range p.Inputs {
+			bitOf[in] = 1 << i
+		}
+	}
+	touchMask := func(n interface{ AddVars(map[string]bool) }, extra ...string) uint64 {
+		set := make(map[string]bool)
+		if n != nil {
+			n.AddVars(set)
+		}
+		for _, v := range extra {
+			set[v] = true
+		}
+		var mask uint64
+		for v := range set {
+			mask |= bitOf[v]
+		}
+		return mask
+	}
 	c.code = make([]cnode, len(p.Nodes))
 	for i := range p.Nodes {
 		n := &p.Nodes[i]
@@ -62,6 +103,7 @@ func (p *Program) Compile() (*Compiled, error) {
 			violation: n.Violation, notice: n.Notice}
 		switch n.Kind {
 		case KindAssign:
+			cn.touch = touchMask(n.Expr, n.Target)
 			cn.target = slot(n.Target)
 			e, err := compileExpr(n.Expr, slot)
 			if err != nil {
@@ -69,11 +111,16 @@ func (p *Program) Compile() (*Compiled, error) {
 			}
 			cn.expr = e
 		case KindDecision:
+			cn.touch = touchMask(n.Cond)
 			q, err := compilePred(n.Cond, slot)
 			if err != nil {
 				return nil, fmt.Errorf("flowchart %q: node %d: %w", p.Name, i, err)
 			}
 			cn.cond = q
+		case KindHalt:
+			if !n.Violation {
+				cn.touch = touchMask(nil, p.OutputVar())
+			}
 		}
 		c.code[i] = cn
 	}
@@ -110,8 +157,13 @@ func (c *Compiled) RunReuse(regs []int64, inputs []int64, maxSteps int64) (Resul
 	for i, s := range c.inputSlots {
 		regs[s] = inputs[i]
 	}
-	var steps int64
-	pc := c.start
+	return c.runLoop(regs, c.start, 0, maxSteps)
+}
+
+// runLoop is the execution core shared by RunReuse, RunSnapshot, and
+// RunFromSnapshot: it executes from an arbitrary (pc, steps) point against
+// an already-initialised register file.
+func (c *Compiled) runLoop(regs []int64, pc int32, steps, maxSteps int64) (Result, error) {
 	for {
 		if steps >= maxSteps {
 			return Result{Steps: steps}, fmt.Errorf("%w: budget %d, program %q", ErrStepLimit, maxSteps, c.Source.Name)

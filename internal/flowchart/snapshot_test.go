@@ -1,0 +1,352 @@
+package flowchart
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// diffSweep enumerates the cartesian product of values in odometer order
+// (last axis fastest) and checks that the snapshot fast path — one
+// RunSnapshot per row, RunFromSnapshot for every further value of the
+// innermost input — produces exactly the Result and error of a fresh
+// RunReuse, and of the tree-walking interpreter, at every tuple.
+func diffSweep(t *testing.T, p *Program, values [][]int64, maxSteps int64) {
+	t.Helper()
+	c, err := p.Compile()
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	k := len(values)
+	if k != p.Arity() {
+		t.Fatalf("domain arity %d, program arity %d", k, p.Arity())
+	}
+	regs := make([]int64, c.Slots())
+	fregs := make([]int64, c.Slots())
+	snap := c.NewSnapshot()
+	idx := make([]int, k)
+	in := make([]int64, k)
+	for i := range in {
+		if len(values[i]) == 0 {
+			return
+		}
+		in[i] = values[i][0]
+	}
+	innerOnly := false
+	for {
+		wantRes, wantErr := c.RunReuse(fregs, in, maxSteps)
+		var gotRes Result
+		var gotErr error
+		resumed := false
+		if innerOnly && snap.Valid() {
+			gotRes, gotErr = c.RunFromSnapshot(regs, snap, in[k-1], maxSteps)
+			resumed = true
+			if errors.Is(gotErr, ErrNoSnapshot) {
+				gotRes, gotErr = c.RunSnapshot(regs, in, maxSteps, snap)
+				resumed = false
+			}
+		} else {
+			gotRes, gotErr = c.RunSnapshot(regs, in, maxSteps, snap)
+		}
+		tag := fmt.Sprintf("%q at %v (resumed=%v)", p.Name, in, resumed)
+		if (gotErr == nil) != (wantErr == nil) ||
+			errors.Is(gotErr, ErrStepLimit) != errors.Is(wantErr, ErrStepLimit) {
+			t.Fatalf("%s: err = %v, fresh run err = %v", tag, gotErr, wantErr)
+		}
+		if gotRes != wantRes {
+			t.Fatalf("%s: result = %+v, fresh run = %+v", tag, gotRes, wantRes)
+		}
+		if iRes, iErr := p.RunBudget(in, maxSteps, nil); iErr == nil && wantErr == nil && gotRes != iRes {
+			t.Fatalf("%s: result = %+v, interpreter = %+v", tag, gotRes, iRes)
+		}
+		// Advance the odometer; innerOnly records whether only the
+		// innermost axis moved.
+		innerOnly = false
+		done := true
+		for i := k - 1; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(values[i]) {
+				in[i] = values[i][idx[i]]
+				innerOnly = i == k-1
+				done = false
+				break
+			}
+			idx[i] = 0
+			in[i] = values[i][0]
+		}
+		if done {
+			return
+		}
+	}
+}
+
+func grid2(lo, hi int64) [][]int64 {
+	var axis []int64
+	for v := lo; v <= hi; v++ {
+		axis = append(axis, v)
+	}
+	return [][]int64{axis, axis}
+}
+
+// The edge cases the snapshot-validity rules call out: late single read,
+// re-read inputs, reads under data-dependent branches, branching on the
+// innermost input itself, writing the innermost input before reading it,
+// never touching it, and the output variable being the innermost input.
+func TestSnapshotDifferentialEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"late-read", `
+program latereads
+inputs x1 x2
+    i := x1 & 7
+Loop: if i == 0 goto Done else Body
+Body: i := i - 1
+      goto Loop
+Done: y := x2
+      halt
+`},
+		{"reread", `
+program reread
+inputs x1 x2
+    a := x2 + 1
+    b := x2 * a
+    y := b + x1 + x2
+    halt
+`},
+		{"read-under-branch", `
+program branchread
+inputs x1 x2
+    if x1 == 0 goto Zero else NonZero
+Zero:    y := x2
+         halt
+NonZero: y := x1
+         halt
+`},
+		{"branch-on-innermost", `
+program branchinner
+inputs x1 x2
+    if x2 > 0 goto Pos else NonPos
+Pos:    y := x2 + x1
+        halt
+NonPos: y := x1 - x2
+        halt
+`},
+		{"write-before-read", `
+program deadinput
+inputs x1 x2
+    x2 := x1 + 1
+    y := x2 * 2
+    halt
+`},
+		{"never-touched", `
+program untouched
+inputs x1 x2
+    y := x1 * 3
+    halt
+`},
+		{"loop-on-innermost", `
+program loopinner
+inputs x1 x2
+    i := x2 & 3
+Loop: if i == 0 goto Done else Body
+Body: i := i - 1
+      goto Loop
+Done: y := x1
+      halt
+`},
+		{"output-is-innermost", `
+program outinput
+inputs x1 y
+    r := x1
+    halt
+`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diffSweep(t, MustParse(tc.src), grid2(-2, 3), DefaultMaxSteps)
+		})
+	}
+}
+
+// TestSnapshotStepLimit covers the maxSteps-exhaustion rules: a budget
+// that dies before the innermost input is ever touched leaves the
+// snapshot invalid (fallback), while a budget that dies after the capture
+// point replays to the identical ErrStepLimit at the identical step
+// count.
+func TestSnapshotStepLimit(t *testing.T) {
+	// The loop spins on x1 (prefix), then reads x2; budget 5 dies inside
+	// the prefix, budget 1000 dies never.
+	pre := MustParse(`
+program prefixspin
+inputs x1 x2
+    i := x1 & 63
+Loop: if i == 0 goto Done else Body
+Body: i := i - 1
+      goto Loop
+Done: y := x2
+      halt
+`)
+	t.Run("exhaust-before-capture", func(t *testing.T) {
+		c, err := pre.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		regs := make([]int64, c.Slots())
+		snap := c.NewSnapshot()
+		_, err = c.RunSnapshot(regs, []int64{63, 1}, 5, snap)
+		if !errors.Is(err, ErrStepLimit) {
+			t.Fatalf("err = %v, want ErrStepLimit", err)
+		}
+		if snap.Valid() {
+			t.Fatalf("snapshot valid after pre-capture exhaustion: %v", snap)
+		}
+		if _, err := c.RunFromSnapshot(regs, snap, 2, 5); !errors.Is(err, ErrNoSnapshot) {
+			t.Fatalf("RunFromSnapshot err = %v, want ErrNoSnapshot", err)
+		}
+	})
+	t.Run("exhaust-after-capture", func(t *testing.T) {
+		// The tail spins on x2, so a tight budget dies after the capture
+		// point; the replay must report the same error and step count as a
+		// fresh run.
+		post := MustParse(`
+program tailspin
+inputs x1 x2
+    a := x1 + 1
+    i := x2 & 63
+Loop: if i == 0 goto Done else Body
+Body: i := i - 1
+      goto Loop
+Done: y := a
+      halt
+`)
+		diffSweep(t, post, grid2(0, 5), 20)
+	})
+	t.Run("differential-under-budget", func(t *testing.T) {
+		diffSweep(t, pre, grid2(0, 5), 9)
+	})
+}
+
+// TestSnapshotArityZero: no innermost input exists, so the snapshot can
+// never become valid, but the recording run still behaves like RunReuse.
+func TestSnapshotArityZero(t *testing.T) {
+	p := MustParse(`
+program noinputs
+    y := 41 + 1
+    halt
+`)
+	c, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := make([]int64, c.Slots())
+	snap := c.NewSnapshot()
+	res, err := c.RunSnapshot(regs, nil, DefaultMaxSteps, snap)
+	if err != nil || res.Value != 42 {
+		t.Fatalf("res = %+v, err = %v", res, err)
+	}
+	if snap.Valid() {
+		t.Fatalf("snapshot valid for arity-0 program: %v", snap)
+	}
+}
+
+// TestSnapshotWrongProgram: snapshots stay bound to the Compiled that
+// created them.
+func TestSnapshotWrongProgram(t *testing.T) {
+	a, err := MustParse("program a\ninputs x1\n    y := x1\n    halt\n").Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MustParse("program b\ninputs x1\n    y := x1\n    halt\n").Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := make([]int64, a.Slots())
+	snap := b.NewSnapshot()
+	if _, err := a.RunSnapshot(regs, []int64{1}, DefaultMaxSteps, snap); err == nil {
+		t.Fatal("RunSnapshot accepted a snapshot from another program")
+	}
+	if _, err := a.RunFromSnapshot(regs, snap, 1, DefaultMaxSteps); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("RunFromSnapshot err = %v, want ErrNoSnapshot", err)
+	}
+}
+
+// TestSnapshotViolationConstant: a violation halt reached without touching
+// the innermost input is constant evidence — the replay returns the
+// recorded Λ without executing anything.
+func TestSnapshotViolationConstant(t *testing.T) {
+	p := MustParse(`
+program lam
+inputs x1 x2
+    if x1 == 0 goto Ok else Bad
+Ok:  y := x2
+     halt
+Bad: violation "leak"
+`)
+	c, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := make([]int64, c.Slots())
+	snap := c.NewSnapshot()
+	res, err := c.RunSnapshot(regs, []int64{1, 7}, DefaultMaxSteps, snap)
+	if err != nil || !res.Violation {
+		t.Fatalf("res = %+v, err = %v, want violation", res, err)
+	}
+	if !snap.Valid() {
+		t.Fatal("snapshot invalid after constant violation run")
+	}
+	got, err := c.RunFromSnapshot(regs, snap, -5, DefaultMaxSteps)
+	if err != nil || got != res {
+		t.Fatalf("replay = %+v, err = %v, want %+v", got, err, res)
+	}
+	// And the full differential, which mixes both branches per row.
+	diffSweep(t, p, grid2(-1, 2), DefaultMaxSteps)
+}
+
+// TestInputTrace pins the static trace on a program where it is easy to
+// read off: x1 is touched by the first assignment, x2 only by the last
+// one before the halt, and the non-violating halt reads the output
+// variable.
+func TestInputTrace(t *testing.T) {
+	p := MustParse(`
+program traced
+inputs x1 x2
+    a := x1 + 1
+    y := x2
+    halt
+`)
+	c, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := c.InputTrace()
+	if len(trace) != 2 {
+		t.Fatalf("trace has %d inputs, want 2", len(trace))
+	}
+	nodeOf := func(target string) int {
+		for i := range p.Nodes {
+			if p.Nodes[i].Kind == KindAssign && p.Nodes[i].Target == target {
+				return i
+			}
+		}
+		t.Fatalf("no assignment to %s", target)
+		return -1
+	}
+	find := func(nodes []int, want int) bool {
+		for _, n := range nodes {
+			if n == want {
+				return true
+			}
+		}
+		return false
+	}
+	aNode, yNode := nodeOf("a"), nodeOf("y")
+	if !find(trace[0], aNode) || find(trace[0], yNode) {
+		t.Fatalf("x1 trace = %v, want assign-a node %d only", trace[0], aNode)
+	}
+	if !find(trace[1], yNode) || find(trace[1], aNode) {
+		t.Fatalf("x2 trace = %v, want assign-y node %d, not %d", trace[1], yNode, aNode)
+	}
+}

@@ -1,0 +1,80 @@
+package flowchart_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"spm/internal/flowchart"
+	"spm/internal/progen"
+)
+
+// TestSnapshotDifferentialProgen sweeps randomized total programs over a
+// small grid in odometer order and checks that the prefix-memoized path —
+// RunSnapshot once per row, RunFromSnapshot for each further innermost
+// value — agrees tuple-for-tuple with a fresh RunReuse. progen programs
+// re-read inputs, read them under data-dependent branches, and shadow
+// them with assignments, so this is the adversarial half of the
+// snapshot-validity story; the handcrafted edge cases live in
+// snapshot_test.go.
+func TestSnapshotDifferentialProgen(t *testing.T) {
+	axis := []int64{-2, -1, 0, 1, 2}
+	for seed := int64(0); seed < 40; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		arity := 2 + int(seed)%2
+		p := progen.Generate(r, progen.DefaultConfig(arity))
+		c, err := p.Compile()
+		if err != nil {
+			t.Fatalf("seed %d: Compile: %v", seed, err)
+		}
+		values := make([][]int64, arity)
+		for i := range values {
+			values[i] = axis
+		}
+		regs := make([]int64, c.Slots())
+		fregs := make([]int64, c.Slots())
+		snap := c.NewSnapshot()
+		idx := make([]int, arity)
+		in := make([]int64, arity)
+		for i := range in {
+			in[i] = axis[0]
+		}
+		innerOnly := false
+		for {
+			wantRes, wantErr := c.RunReuse(fregs, in, flowchart.DefaultMaxSteps)
+			var gotRes flowchart.Result
+			var gotErr error
+			if innerOnly && snap.Valid() {
+				gotRes, gotErr = c.RunFromSnapshot(regs, snap, in[arity-1], flowchart.DefaultMaxSteps)
+				if errors.Is(gotErr, flowchart.ErrNoSnapshot) {
+					gotRes, gotErr = c.RunSnapshot(regs, in, flowchart.DefaultMaxSteps, snap)
+				}
+			} else {
+				gotRes, gotErr = c.RunSnapshot(regs, in, flowchart.DefaultMaxSteps, snap)
+			}
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("seed %d at %v: err = %v, fresh err = %v", seed, in, gotErr, wantErr)
+			}
+			if gotRes != wantRes {
+				t.Fatalf("seed %d at %v: result = %+v, fresh = %+v\nprogram:\n%s",
+					seed, in, gotRes, wantRes, flowchart.Print(p))
+			}
+			innerOnly = false
+			done := true
+			for i := arity - 1; i >= 0; i-- {
+				idx[i]++
+				if idx[i] < len(axis) {
+					in[i] = axis[idx[i]]
+					innerOnly = i == arity-1
+					done = false
+					break
+				}
+				idx[i] = 0
+				in[i] = axis[0]
+			}
+			if done {
+				break
+			}
+		}
+	}
+}

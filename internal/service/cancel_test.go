@@ -8,11 +8,13 @@ import (
 
 // slowProg spins a counted loop before producing output, making every
 // domain tuple expensive enough that a sweep over a few hundred tuples
-// stays observably "running" long enough to cancel.
+// stays observably "running" long enough to cancel. The trip count reads
+// x2 so the prefix-memoized fast path cannot hoist the loop out of the
+// innermost axis — every tuple must pay it.
 const slowProg = `
 program slow
 inputs x1 x2
-    r := 100000
+    r := 100000 + (x2 & 1)
 Loop: if r == 0 goto Done else Body
 Body: r := r - 1
       goto Loop

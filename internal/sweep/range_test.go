@@ -110,6 +110,108 @@ func TestRunRangeNegativeBounds(t *testing.T) {
 	}
 }
 
+// TestRunHintVisitsSameIndexSet is the odometer-vs-strided regression:
+// whatever chunking, sharding, and worker count the config picks, the
+// hinted iterator must visit exactly the index set the plain engine
+// visits — same tuples, same multiplicity.
+func TestRunHintVisitsSameIndexSet(t *testing.T) {
+	cfgs := []Config{
+		{Workers: 1, Chunk: 3},
+		{Workers: 1, Chunk: 4},
+		{Workers: 4, Chunk: 3},
+		{Workers: 4, Chunk: 5, Offset: 7, Count: 29},
+		{Workers: 2, Chunk: 1, Offset: 60, Count: 0},
+		{Workers: 3, Chunk: 1024},
+	}
+	for _, cfg := range cfgs {
+		plain := collectRange(t, rangeValues, cfg)
+		var mu sync.Mutex
+		hinted := make(map[string]int)
+		if err := RunHint(rangeValues, cfg, func(w int, in []int64, innerOnly bool) error {
+			mu.Lock()
+			hinted[key(in)]++
+			mu.Unlock()
+			return nil
+		}); err != nil {
+			t.Fatalf("cfg %+v: RunHint: %v", cfg, err)
+		}
+		if len(hinted) != len(plain) {
+			t.Fatalf("cfg %+v: hinted visited %d distinct tuples, plain %d", cfg, len(hinted), len(plain))
+		}
+		for k, n := range plain {
+			if hinted[k] != n {
+				t.Fatalf("cfg %+v: tuple %s visited %d times hinted, %d plain", cfg, k, hinted[k], n)
+			}
+		}
+	}
+}
+
+// TestRunHintInnerOnlyContract checks the hint's guarantee: whenever
+// innerOnly is reported, the worker's previous tuple differed only in the
+// last coordinate. Aligned single-worker chunking additionally pins the
+// exact number of hinted tuples.
+func TestRunHintInnerOnlyContract(t *testing.T) {
+	for _, cfg := range []Config{
+		{Workers: 1, Chunk: 4},
+		{Workers: 1, Chunk: 3},
+		{Workers: 4, Chunk: 5},
+		{Workers: 2, Chunk: 7, Offset: 11, Count: 40},
+	} {
+		var mu sync.Mutex
+		prev := make(map[int][]int64)
+		hintCount := 0
+		if err := RunHint(rangeValues, cfg, func(w int, in []int64, innerOnly bool) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if innerOnly {
+				hintCount++
+				p, ok := prev[w]
+				if !ok {
+					t.Errorf("cfg %+v: worker %d hinted on its first tuple %v", cfg, w, in)
+				} else {
+					for i := 0; i < len(in)-1; i++ {
+						if p[i] != in[i] {
+							t.Errorf("cfg %+v: hint with outer coordinate changed: %v -> %v", cfg, p, in)
+						}
+					}
+					if p[len(in)-1] == in[len(in)-1] {
+						t.Errorf("cfg %+v: hint with innermost unchanged: %v -> %v", cfg, p, in)
+					}
+				}
+			}
+			prev[w] = append(prev[w][:0], in...)
+			return nil
+		}); err != nil {
+			t.Fatalf("cfg %+v: RunHint: %v", cfg, err)
+		}
+		if cfg.Workers == 1 && cfg.Chunk == 4 && cfg.Offset == 0 {
+			// Chunks align with the 4-wide innermost axis: every row is one
+			// chunk, hinting 3 of its 4 tuples.
+			if want := 48; hintCount != want {
+				t.Fatalf("aligned chunking hinted %d tuples, want %d", hintCount, want)
+			}
+		}
+	}
+}
+
+// TestRunHintEmptyProduct: the zero-arity product is one empty tuple,
+// reported as a fresh row.
+func TestRunHintEmptyProduct(t *testing.T) {
+	calls := 0
+	if err := RunHint(nil, Config{}, func(w int, in []int64, innerOnly bool) error {
+		calls++
+		if innerOnly {
+			t.Error("empty product reported innerOnly")
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("RunHint: %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("empty product visited %d times, want 1", calls)
+	}
+}
+
 func TestBoundsClamp(t *testing.T) {
 	cases := []struct {
 		offset, count, size int

@@ -152,6 +152,36 @@ func Run(values [][]int64, cfg Config, fn func(worker int, input []int64) error)
 	return RunContext(context.Background(), values, cfg, fn)
 }
 
+// HintFunc is the callback of RunHint/RunHintContext: fn additionally
+// receives innerOnly, true exactly when the input differs from the
+// previous tuple this worker visited (within its current chunk) only in
+// the last — fastest-varying — coordinate. The first tuple of every chunk
+// and every tuple reached through an odometer carry report false.
+//
+// The hint is what the prefix-memoized compiled fast path keys on: a run
+// whose innermost input alone changed can resume from an execution
+// snapshot instead of starting at instruction zero
+// (flowchart.RunFromSnapshot), and the guarantee the callback needs — no
+// other coordinate moved since the last call on this worker — is exactly
+// what the odometer walk provides for free.
+type HintFunc func(worker int, input []int64, innerOnly bool) error
+
+// RunHint is Run with the innermost-axis hint; see HintFunc.
+func RunHint(values [][]int64, cfg Config, fn HintFunc) error {
+	return RunHintContext(context.Background(), values, cfg, fn)
+}
+
+// RunHintContext is RunContext with the innermost-axis hint: the same
+// chunked odometer-ordered enumeration, the same cancellation and shard
+// semantics, with fn told when only the last coordinate changed. Both
+// entry points share one engine, so they visit exactly the same index set
+// for a given Config.
+func RunHintContext(ctx context.Context, values [][]int64, cfg Config, fn HintFunc) error {
+	return runRange(ctx, values, cfg,
+		func(worker int) error { return fn(worker, nil, false) },
+		func(start, end, worker int) error { return runChunkHint(values, start, end, worker, fn) })
+}
+
 // RunContext is Run with cancellation: workers observe ctx between chunks,
 // so after ctx is cancelled every worker stops within one chunk of tuples
 // and RunContext returns ctx's error. A cancelled sweep has visited a
@@ -161,6 +191,16 @@ func Run(values [][]int64, cfg Config, fn func(worker int, input []int64) error)
 // chunks — every tuple visited — reports success rather than discarding a
 // complete enumeration.
 func RunContext(ctx context.Context, values [][]int64, cfg Config, fn func(worker int, input []int64) error) error {
+	return runRange(ctx, values, cfg,
+		func(worker int) error { return fn(worker, nil) },
+		func(start, end, worker int) error { return runChunk(values, start, end, worker, fn) })
+}
+
+// runRange is the engine shared by RunContext and RunHintContext: it
+// resolves the shard range, claims chunks from the cursor, and delegates
+// each [start, end) slice to chunk. empty handles the zero-arity product
+// (one empty tuple).
+func runRange(ctx context.Context, values [][]int64, cfg Config, empty func(worker int) error, chunk func(start, end, worker int) error) error {
 	size, err := size(values)
 	if err != nil {
 		return err
@@ -186,7 +226,7 @@ func RunContext(ctx context.Context, values [][]int64, cfg Config, fn func(worke
 		return ctx.Err()
 	}
 	if len(values) == 0 {
-		err := fn(0, nil)
+		err := empty(0)
 		if err == nil && cfg.Progress != nil {
 			cfg.Progress.Add(1)
 		}
@@ -202,7 +242,7 @@ func RunContext(ctx context.Context, values [][]int64, cfg Config, fn func(worke
 			if end > hi {
 				end = hi
 			}
-			if err := runChunk(values, start, end, 0, fn); err != nil {
+			if err := chunk(start, end, 0); err != nil {
 				return err
 			}
 			if cfg.Progress != nil {
@@ -233,7 +273,7 @@ func RunContext(ctx context.Context, values [][]int64, cfg Config, fn func(worke
 				if end > int64(hi) {
 					end = int64(hi)
 				}
-				if err := runChunk(values, int(start), int(end), w, fn); err != nil {
+				if err := chunk(int(start), int(end), w); err != nil {
 					errs[w] = err
 					stop.Store(true)
 					return
@@ -282,6 +322,43 @@ func runChunk(values [][]int64, start, end, worker int, fn func(worker int, inpu
 			idx[i]++
 			if idx[i] < len(values[i]) {
 				buf[i] = values[i][idx[i]]
+				break
+			}
+			idx[i] = 0
+			buf[i] = values[i][0]
+		}
+	}
+	return nil
+}
+
+// runChunkHint is runChunk with inner-axis tracking: the same mixed-radix
+// decode and odometer walk, additionally reporting whether the increment
+// that produced the current tuple stopped at the last digit — i.e. no
+// carry, only the innermost coordinate moved. The first tuple of the
+// chunk is always reported as a fresh row: the previous tuple (if any)
+// belonged to another worker's chunk.
+func runChunkHint(values [][]int64, start, end, worker int, fn HintFunc) error {
+	k := len(values)
+	idx := make([]int, k)
+	buf := make([]int64, k)
+	rem := start
+	for i := k - 1; i >= 0; i-- {
+		n := len(values[i])
+		idx[i] = rem % n
+		buf[i] = values[i][idx[i]]
+		rem /= n
+	}
+	innerOnly := false
+	for pos := start; pos < end; pos++ {
+		if err := fn(worker, buf, innerOnly); err != nil {
+			return err
+		}
+		innerOnly = false
+		for i := k - 1; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(values[i]) {
+				buf[i] = values[i][idx[i]]
+				innerOnly = i == k-1
 				break
 			}
 			idx[i] = 0
