@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json bench-prefix-json bench-cluster-json lint fmt serve loadgen api-golden docs-check
+.PHONY: all build test bench bench-json bench-prefix-json bench-cluster-json bench-store-json lint fmt serve loadgen api-golden docs-check
 
 all: build lint test
 
@@ -40,6 +40,15 @@ bench-cluster-json:
 	$(GO) run ./cmd/benchjson < bench_cluster.txt > BENCH_cluster.json
 	@echo wrote BENCH_cluster.json
 
+# The verdict-store perf-trajectory artifact: the same 160k-tuple
+# submission cold (full sweep), as a verdict-store hit (answered from
+# disk), and resumed from a mid-sweep checkpoint, averaged like
+# bench-json.
+bench-store-json:
+	$(GO) test -bench 'Store' -benchmem -count 3 -run '^$$' ./internal/service/ > bench_store.txt
+	$(GO) run ./cmd/benchjson < bench_store.txt > BENCH_store.json
+	@echo wrote BENCH_store.json
+
 # Run the policy-checking service locally (see README for the curl
 # quickstart) and fire the closed-loop load generator at it.
 serve:
@@ -58,6 +67,10 @@ lint:
 		echo "internal/check API surface drifted from api.golden — run 'make api-golden' and commit the result" >&2; \
 		exit 1; \
 	fi
+	@if ! $(GO) doc -all ./internal/store | diff -u internal/store/api.golden -; then \
+		echo "internal/store API surface drifted from api.golden — run 'make api-golden' and commit the result" >&2; \
+		exit 1; \
+	fi
 
 # The same docs gate CI's docs job runs: internal links in
 # README.md/DESIGN.md/doc.go must resolve, and the godoc Example
@@ -66,11 +79,12 @@ docs-check:
 	$(GO) run ./cmd/linkcheck README.md DESIGN.md doc.go
 	$(GO) test -run 'Example' ./internal/check ./internal/flowchart ./internal/service
 
-# Regenerate the committed API surface of the unified check package after
-# an intentional signature change; CI diffs the live `go doc` output
-# against this golden and fails on drift.
+# Regenerate the committed API surfaces (the unified check package and
+# the persistence layer) after an intentional signature change; CI diffs
+# the live `go doc` output against these goldens and fails on drift.
 api-golden:
 	$(GO) doc -all ./internal/check > internal/check/api.golden
+	$(GO) doc -all ./internal/store > internal/store/api.golden
 
 fmt:
 	gofmt -w .

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"spm/internal/service"
+	"spm/internal/store"
 )
 
 // defaultLoadgenProg is the program loadgen submits when no -program file
@@ -24,7 +25,9 @@ NonZero: y := x1
 `
 
 // cmdServe runs the policy-checking service: a JSQ-scheduled worker fleet
-// with a content-addressed compile cache behind a JSON API.
+// with a content-addressed compile cache behind a JSON API. With -store it
+// also persists verdicts and job checkpoints, so repeated submissions
+// answer from disk and jobs interrupted by a crash resume on restart.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8135", "listen address")
@@ -33,23 +36,48 @@ func cmdServe(args []string) error {
 	sweepWorkers := fs.Int("sweep-workers", 0, "sweep parallelism per job (0 = CPUs/pools)")
 	cacheCap := fs.Int("cache", 0, "compile-cache entries (0 = default)")
 	maxTuples := fs.Int64("max-tuples", 0, "reject domains larger than this (0 = default)")
+	storeDir := fs.String("store", "", "verdict-store directory; enables persistence and crash resume")
+	ckptEvery := fs.Int64("checkpoint-every", 0, "tuples between job checkpoints (0 = default; needs -store)")
+	tenantRate := fs.Float64("tenant-rate", 0, "per-tenant token refill, tuples/s (0 = default; needs -tenant-burst)")
+	tenantBurst := fs.Int64("tenant-burst", 0, "per-tenant bucket capacity in tuples; > 0 enables tenant quotas")
+	tenantQueue := fs.Int("tenant-queue", 0, "per-tenant dispatch backlog in jobs (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("serve: unexpected arguments %v", fs.Args())
 	}
-	svc := service.New(service.Config{
-		Pools:        *pools,
-		QueueCap:     *queue,
-		SweepWorkers: *sweepWorkers,
-		CacheCap:     *cacheCap,
-		MaxTuples:    *maxTuples,
-	})
+	cfg := service.Config{
+		Pools:           *pools,
+		QueueCap:        *queue,
+		SweepWorkers:    *sweepWorkers,
+		CacheCap:        *cacheCap,
+		MaxTuples:       *maxTuples,
+		CheckpointEvery: *ckptEvery,
+		Tenant: service.TenantConfig{
+			Rate:     *tenantRate,
+			Burst:    *tenantBurst,
+			QueueCap: *tenantQueue,
+		},
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			return fmt.Errorf("serve: opening store: %w", err)
+		}
+		defer st.Close()
+		cfg.Store = st
+	}
+	svc := service.New(cfg)
 	defer svc.Close()
-	cfg := svc.Config()
+	cfg = svc.Config()
 	fmt.Fprintf(os.Stderr, "spm serve: listening on %s (%d pools × queue %d, %d sweep workers/job)\n",
 		*addr, cfg.Pools, cfg.QueueCap, cfg.SweepWorkers)
+	if *storeDir != "" {
+		st := svc.Stats().Store
+		fmt.Fprintf(os.Stderr, "spm serve: store %s (%d verdicts, %d jobs resumed)\n",
+			*storeDir, st.Verdicts, st.ResumedJobs)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),
@@ -74,6 +102,7 @@ func cmdLoadgen(args []string) error {
 	domain := fs.String("domain", "0,1,2,3,4,5,6,7", "comma-separated values every input ranges over")
 	timed := fs.Bool("time", false, "observe running time as well as the value")
 	raw := fs.Bool("raw", false, "check the bare program instead of instrumenting")
+	tenant := fs.String("tenant", "", "X-SPM-Tenant header value; 429 rejections are retried after Retry-After")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -98,6 +127,7 @@ func cmdLoadgen(args []string) error {
 		Concurrency:  *concurrency,
 		MaximalEvery: *maximalEvery,
 		JobTimeout:   *jobTimeout,
+		Tenant:       *tenant,
 		Request: service.CheckRequest{
 			Program: src,
 			Policy:  *policy,

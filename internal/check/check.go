@@ -68,6 +68,32 @@ func (k Kind) String() string {
 	}
 }
 
+// MarshalText renders the kind by name, so persisted verdicts (the
+// verdict store's log records) stay readable and stable across reorderings
+// of the constants.
+func (k Kind) MarshalText() ([]byte, error) {
+	switch k {
+	case Soundness, Maximality, PassCount:
+		return []byte(k.String()), nil
+	}
+	return nil, fmt.Errorf("check: cannot marshal unknown kind %d", int(k))
+}
+
+// UnmarshalText parses a kind name written by MarshalText.
+func (k *Kind) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "soundness":
+		*k = Soundness
+	case "maximality":
+		*k = Maximality
+	case "passcount":
+		*k = PassCount
+	default:
+		return fmt.Errorf("check: unknown kind %q", text)
+	}
+	return nil
+}
+
 // Passes returns how many enumeration passes over the domain the kind
 // costs: soundness and pass counting visit every tuple once; maximality
 // tabulates Q-constant classes and then verifies, visiting twice. Callers
@@ -140,6 +166,10 @@ type Options struct {
 	// Memo enables prefix memoization on the compiled fast path; Run
 	// defaults it to true.
 	Memo bool
+	// Commit, when non-nil, receives the contiguous completed prefix of
+	// the run's range (in tuples, relative to the range start) as it
+	// grows — the resumable cursor behind crash-safe checkpointing.
+	Commit func(done int64)
 }
 
 // Option tunes one Run call.
@@ -162,6 +192,14 @@ func WithProgress(p *atomic.Int64) Option { return func(o *Options) { o.Progress
 // mechanisms (default true). WithCompiled(false) forces every tuple
 // through Mechanism.Run — the interpreter ablation.
 func WithCompiled(on bool) Option { return func(o *Options) { o.Compiled = on } }
+
+// WithCommit installs the sweep engine's contiguous-prefix hook: fn is
+// called (serialized, strictly monotone, chunk granularity) with the
+// number of leading tuples of the run's range that have all been visited.
+// Unlike WithProgress — whose counter advances as chunks complete in any
+// order — the committed prefix is a valid resumption point, which is what
+// the persistent verdict store records as a job's crash-resume cursor.
+func WithCommit(fn func(done int64)) Option { return func(o *Options) { o.Commit = fn } }
 
 // WithMemo toggles prefix memoization on the compiled fast path (default
 // true): the sweep walks each chunk in odometer order, and when only the
@@ -197,6 +235,11 @@ func Run(ctx context.Context, spec Spec, opts ...Option) (Verdict, error) {
 		spec.Observation = core.ObserveValue
 	}
 	sharded := !spec.Shard.IsZero()
+	var commit func(done int)
+	if o.Commit != nil {
+		fn := o.Commit
+		commit = func(done int) { fn(int64(done)) }
+	}
 	cc := core.CheckConfig{
 		Config: sweep.Config{
 			Workers:  o.Workers,
@@ -204,6 +247,7 @@ func Run(ctx context.Context, spec Spec, opts ...Option) (Verdict, error) {
 			Offset:   int(spec.Shard.Offset),
 			Count:    int(spec.Shard.Count),
 			Progress: o.Progress,
+			Commit:   commit,
 		},
 		Interpreted:  !o.Compiled,
 		NoMemo:       !o.Memo,
@@ -240,6 +284,10 @@ func Run(ctx context.Context, spec Spec, opts ...Option) (Verdict, error) {
 			// Merge once every shard's Classes table is in.
 			rep, err = core.CheckMaximalityShard(ctx, spec.Mechanism, spec.Program, spec.Policy, spec.Domain, spec.Observation, cc)
 		} else {
+			// Whole-domain maximality enumerates the domain twice, so a
+			// single monotone commit cursor cannot describe it; the hook
+			// applies only to single-sweep runs.
+			cc.Config.Commit = nil
 			rep, err = core.CheckMaximalityContext(ctx, spec.Mechanism, spec.Program, spec.Policy, spec.Domain, spec.Observation, cc)
 		}
 		if err != nil {

@@ -10,48 +10,55 @@ import (
 // kind are populated, the rest stay zero. It flattens the three legacy
 // report types so callers (the service's wire format, the CLI) handle one
 // shape.
+//
+// Verdict round-trips through encoding/json without loss — including the
+// Views/Classes evidence tables — which is what lets the persistent
+// verdict store checkpoint a partially-swept job's folded evidence and
+// resume it after a restart (see RunCheckpointed and internal/store).
 type Verdict struct {
-	Kind Kind
+	Kind Kind `json:"kind"`
 	// Names, as reported by the checked artifacts.
-	Mechanism   string
-	Program     string // Maximality only: the reference Q
-	Policy      string
-	Observation string
+	Mechanism   string `json:"mechanism,omitempty"`
+	Program     string `json:"program,omitempty"` // Maximality only: the reference Q
+	Policy      string `json:"policy,omitempty"`
+	Observation string `json:"observation,omitempty"`
 	// Checked counts the tuples visited by the verdict pass.
-	Checked int
+	Checked int `json:"checked"`
 
 	// Soundness: whether the observation factors through the policy view;
 	// on failure, two inputs sharing a view with different observations.
-	Sound              bool
-	WitnessA, WitnessB []int64
-	ObsA, ObsB         string
+	Sound    bool    `json:"sound,omitempty"`
+	WitnessA []int64 `json:"witness_a,omitempty"`
+	WitnessB []int64 `json:"witness_b,omitempty"`
+	ObsA     string  `json:"obs_a,omitempty"`
+	ObsB     string  `json:"obs_b,omitempty"`
 
 	// Maximality: whether the mechanism is the Theorem 2 maximal sound
 	// mechanism; on failure, the deviating input and how it deviated.
-	Maximal bool
-	Witness []int64
-	Reason  string
+	Maximal bool    `json:"maximal,omitempty"`
+	Witness []int64 `json:"witness,omitempty"`
+	Reason  string  `json:"reason,omitempty"`
 
 	// PassCount: inputs on which the mechanism returned real output.
-	Passes int
+	Passes int `json:"passes,omitempty"`
 
 	// Shard echoes Spec.Shard: zero for whole-domain verdicts, the index
 	// range for partial ones. Merge folds partial verdicts back into a
 	// whole one.
-	Shard Shard
+	Shard Shard `json:"shard,omitzero"`
 
 	// Views is the soundness evidence of a sharded run: per policy class,
 	// the first observation and a witness input. Two shards each
 	// internally sound can still disagree on a class spanning them; Merge
 	// needs these tables to catch that. Nil on whole-domain verdicts.
-	Views map[string]core.ViewObs
+	Views map[string]core.ViewObs `json:"views,omitempty"`
 
 	// Classes is the maximality evidence of a sharded run: per policy
 	// class, Q's behaviour and m's deviations within the shard. Maximality
 	// hinges on whole-domain class constancy, so a sharded run returns
 	// evidence (plus any locally-definitive leak) and Merge renders the
 	// verdict. Nil on whole-domain verdicts.
-	Classes map[string]core.ClassSummary
+	Classes map[string]core.ClassSummary `json:"classes,omitempty"`
 }
 
 // SoundnessReport rebuilds the legacy report for a Soundness verdict.

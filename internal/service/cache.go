@@ -25,6 +25,12 @@ type compiled struct {
 	// (formatting variants of the same flowchart share it).
 	textKeys map[string]bool
 
+	// fingerprint and variantName are the canonical coordinates the
+	// persistent verdict store keys on: the program's flowchart
+	// fingerprint and the normalized variant spelling.
+	fingerprint string
+	variantName string
+
 	prog    *flowchart.Program
 	allowed lattice.IndexSet
 	polName string
@@ -136,7 +142,8 @@ func (c *CompileCache) GetOrCompile(req CheckRequest) (*compiled, bool, error) {
 	// Print-based fingerprint, the policy through the index-set rendering,
 	// and the variant through its parsed value — so "highwater" and
 	// "high-water" (or "" and "untimed") share one compiled entry.
-	canonKey := hashKey("canon", flowchart.Fingerprint(prog), allowed.String(),
+	fingerprint := flowchart.Fingerprint(prog)
+	canonKey := hashKey("canon", fingerprint, allowed.String(),
 		fmt.Sprintf("v%d", variant), boolKey(req.Raw))
 
 	c.mu.Lock()
@@ -155,6 +162,8 @@ func (c *CompileCache) GetOrCompile(req CheckRequest) (*compiled, bool, error) {
 		return nil, false, err
 	}
 	e.canonKey = canonKey
+	e.fingerprint = fingerprint
+	e.variantName = variantString(variant)
 	e.textKeys = map[string]bool{textKey: true}
 
 	c.mu.Lock()
@@ -247,6 +256,19 @@ func ParsePolicy(spec string, arity int) (lattice.IndexSet, error) {
 		return 0, fmt.Errorf("policy %s exceeds program arity %d", s, arity)
 	}
 	return s, nil
+}
+
+// variantString renders a parsed variant in its canonical spelling —
+// the inverse of ParseVariant, used in the verdict store's key.
+func variantString(v surveillance.Variant) string {
+	switch v {
+	case surveillance.Timed:
+		return "timed"
+	case surveillance.Monotone:
+		return "highwater"
+	default:
+		return "untimed"
+	}
 }
 
 // ParseVariant maps a variant spelling to its surveillance.Variant.

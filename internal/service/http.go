@@ -4,41 +4,85 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"math"
 	"net/http"
+	"strconv"
 )
 
 // maxBodyBytes bounds a submission body; programs are small DSL texts.
 const maxBodyBytes = 1 << 20
 
-// SubmitResponse is the wire form of POST /v1/check.
+// TenantHeader attributes a submission to a tenant for quota and
+// fairness accounting (Config.Tenant). Absent means the anonymous
+// tenant "".
+const TenantHeader = "X-SPM-Tenant"
+
+// SubmitResponse is the wire form of POST /v2/check (and the deprecated
+// /v1/check).
 type SubmitResponse struct {
 	ID string `json:"id"`
+	// State is the job's state at response time: "queued" normally,
+	// "done" when the verdict came straight from the persistent store.
+	State State `json:"state"`
 	// Cached reports a compile-cache hit: the parse/instrument/Compile
 	// phases were skipped and the job runs the cached compiled form.
-	Cached bool  `json:"cached"`
-	Pool   int   `json:"pool"`
-	Total  int64 `json:"total"`
+	Cached bool `json:"cached"`
+	// CachedVerdict reports a verdict-store hit: the whole sweep was
+	// skipped, and GET /v2/jobs/{id} already has the result.
+	CachedVerdict bool  `json:"cached_verdict,omitempty"`
+	Pool          int   `json:"pool"`
+	Total         int64 `json:"total"`
+}
+
+// ErrorBody is the unified error envelope of every non-2xx response:
+//
+//	{"error": {"code": "busy", "message": "..."}}
+//
+// Code is a stable machine-readable discriminator; Message is for
+// humans and not part of the API contract.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
 }
 
 type errorResponse struct {
-	Error string `json:"error"`
+	Error ErrorBody `json:"error"`
 }
+
+// Stable error codes of the ErrorBody envelope.
+const (
+	CodeBadRequest = "bad_request" // 400: invalid program, policy, domain, or body
+	CodeTooLarge   = "too_large"   // 413: request body over the size bound
+	CodeNotFound   = "not_found"   // 404: unknown job ID
+	CodeConflict   = "conflict"    // 409: cancel of an already-finished job
+	CodeOverQuota  = "over_quota"  // 429: tenant token bucket exhausted; Retry-After set
+	CodeBusy       = "busy"        // 503: every queue full; Retry-After set
+	CodeInternal   = "internal"    // 500: unexpected failure
+)
 
 // Handler returns the service's HTTP API.
 //
-// v1 (submit and poll):
+// v2 (the consolidated surface — submit, batch, poll, cancel, stream,
+// stats; tenant-aware via the X-SPM-Tenant header):
 //
-//	POST /v1/check     submit a program+policy+domain; 202 with the job ID
-//	GET  /v1/jobs/{id} poll lifecycle state, progress, and verdict
-//	GET  /v1/stats     per-queue depths, cache hit rate, job tallies
-//
-// v2 (adds batching, cancellation, and progress streaming):
-//
-//	POST   /v2/check           submit one spec (JSON object) or a batch
-//	                           (JSON array); 202 with job ID(s)
-//	GET    /v2/jobs/{id}        poll, same shape as v1
+//	POST   /v2/check            submit one spec (JSON object) or a batch
+//	                            (JSON array); 202 with job ID(s), or 200
+//	                            with state "done" on a verdict-store hit
+//	GET    /v2/jobs/{id}        poll lifecycle state, progress, and verdict
 //	DELETE /v2/jobs/{id}        cancel a queued or running job
 //	GET    /v2/jobs/{id}/events stream progress as server-sent events
+//	GET    /v2/stats            queue depths, cache and verdict-store
+//	                            counters, per-tenant admission tallies
+//
+// v1 (frozen; thin aliases of the v2 handlers):
+//
+//	POST /v1/check      Deprecated: use POST /v2/check.
+//	GET  /v1/jobs/{id}  Deprecated: use GET /v2/jobs/{id}.
+//	GET  /v1/stats      Deprecated: use GET /v2/stats.
+//
+// Every non-2xx response carries the ErrorBody envelope. Submissions
+// rejected by a tenant quota are 429 with Retry-After; a saturated
+// fleet is 503 with Retry-After.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/check", s.handleCheck)
@@ -48,6 +92,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v2/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v2/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v2/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v2/stats", s.handleStats)
 	return mux
 }
 
@@ -56,11 +101,11 @@ func (s *Service) Handler() http.Handler {
 func (s *Service) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "reading body: "+err.Error())
 		return nil, false
 	}
 	if len(body) > maxBodyBytes {
-		writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds 1 MiB")
+		writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge, "request body exceeds 1 MiB")
 		return nil, false
 	}
 	return body, true
@@ -68,29 +113,46 @@ func (s *Service) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool
 
 // handleCheck is POST /v1/check: one spec per request. The decode-and-
 // submit path is shared with v2's single-object form.
+//
+// Deprecated: POST /v2/check accepts the same body and adds batching.
 func (s *Service) handleCheck(w http.ResponseWriter, r *http.Request) {
 	if body, ok := s.readBody(w, r); ok {
-		s.handleCheckBody(w, body)
+		s.handleCheckBody(w, body, r.Header.Get(TenantHeader))
 	}
 }
 
 // writeSubmitError maps a Submit error to its status code.
 func writeSubmitError(w http.ResponseWriter, err error) {
+	var qe *QuotaError
 	switch {
 	case errors.Is(err, ErrBadRequest):
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+	case errors.As(err, &qe):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(qe)))
+		writeError(w, http.StatusTooManyRequests, CodeOverQuota, err.Error())
 	case errors.Is(err, ErrBusy):
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, err.Error())
+		writeError(w, http.StatusServiceUnavailable, CodeBusy, err.Error())
 	default:
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 	}
+}
+
+// retryAfterSeconds renders a quota rejection's refill time as the
+// whole-second Retry-After header, rounded up so retrying on schedule
+// actually succeeds.
+func retryAfterSeconds(qe *QuotaError) int {
+	secs := int(math.Ceil(qe.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 	j, err := s.Job(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, err.Error())
+		writeError(w, http.StatusNotFound, CodeNotFound, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, j.Status())
@@ -108,6 +170,6 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, errorResponse{Error: msg})
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errorResponse{Error: ErrorBody{Code: code, Message: msg}})
 }

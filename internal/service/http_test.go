@@ -74,6 +74,7 @@ func TestHTTPSubmitErrors(t *testing.T) {
 		path       string
 		body       string
 		wantStatus int
+		wantCode   string
 		wantErrSub string
 	}{
 		{
@@ -81,6 +82,7 @@ func TestHTTPSubmitErrors(t *testing.T) {
 			method: http.MethodPost, path: "/v1/check",
 			body:       marshalReq(t, CheckRequest{Program: "program broken\ninputs x1\n    y := \n"}),
 			wantStatus: http.StatusBadRequest,
+			wantCode:   CodeBadRequest,
 			wantErrSub: "program",
 		},
 		{
@@ -88,6 +90,7 @@ func TestHTTPSubmitErrors(t *testing.T) {
 			method: http.MethodPost, path: "/v1/check",
 			body:       "{not json",
 			wantStatus: http.StatusBadRequest,
+			wantCode:   CodeBadRequest,
 			wantErrSub: "decoding",
 		},
 		{
@@ -95,6 +98,7 @@ func TestHTTPSubmitErrors(t *testing.T) {
 			method: http.MethodPost, path: "/v1/check",
 			body:       marshalReq(t, CheckRequest{Program: testProg, Policy: "{nope}"}),
 			wantStatus: http.StatusBadRequest,
+			wantCode:   CodeBadRequest,
 			wantErrSub: "policy",
 		},
 		{
@@ -102,6 +106,7 @@ func TestHTTPSubmitErrors(t *testing.T) {
 			method: http.MethodPost, path: "/v1/check",
 			body:       marshalReq(t, CheckRequest{Program: testProg, Variant: "warp"}),
 			wantStatus: http.StatusBadRequest,
+			wantCode:   CodeBadRequest,
 			wantErrSub: "variant",
 		},
 		{
@@ -110,13 +115,52 @@ func TestHTTPSubmitErrors(t *testing.T) {
 			body: marshalReq(t, CheckRequest{Program: testProg,
 				Domain: []int64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32}}),
 			wantStatus: http.StatusBadRequest,
+			wantCode:   CodeBadRequest,
 			wantErrSub: "tuples",
+		},
+		{
+			name:   "oversized body is 413",
+			method: http.MethodPost, path: "/v2/check",
+			body:       `{"program": "` + strings.Repeat("x", maxBodyBytes) + `"}`,
+			wantStatus: http.StatusRequestEntityTooLarge,
+			wantCode:   CodeTooLarge,
+			wantErrSub: "body",
 		},
 		{
 			name:   "unknown job is 404",
 			method: http.MethodGet, path: "/v1/jobs/job-424242",
 			wantStatus: http.StatusNotFound,
+			wantCode:   CodeNotFound,
 			wantErrSub: "unknown job",
+		},
+		{
+			name:   "unknown v2 job is 404",
+			method: http.MethodGet, path: "/v2/jobs/job-424242",
+			wantStatus: http.StatusNotFound,
+			wantCode:   CodeNotFound,
+			wantErrSub: "unknown job",
+		},
+		{
+			name:   "cancel of unknown job is 404",
+			method: http.MethodDelete, path: "/v2/jobs/job-424242",
+			wantStatus: http.StatusNotFound,
+			wantCode:   CodeNotFound,
+			wantErrSub: "unknown job",
+		},
+		{
+			name:   "events of unknown job is 404",
+			method: http.MethodGet, path: "/v2/jobs/job-424242/events",
+			wantStatus: http.StatusNotFound,
+			wantCode:   CodeNotFound,
+			wantErrSub: "unknown job",
+		},
+		{
+			name:   "empty batch is 400",
+			method: http.MethodPost, path: "/v2/check",
+			body:       "[]",
+			wantStatus: http.StatusBadRequest,
+			wantCode:   CodeBadRequest,
+			wantErrSub: "empty batch",
 		},
 		{
 			name:   "GET on check is method not allowed",
@@ -153,8 +197,11 @@ func TestHTTPSubmitErrors(t *testing.T) {
 				if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
 					t.Fatalf("decoding error body: %v", err)
 				}
-				if !strings.Contains(e.Error, tc.wantErrSub) {
-					t.Errorf("error %q does not mention %q", e.Error, tc.wantErrSub)
+				if e.Error.Code != tc.wantCode {
+					t.Errorf("error code = %q, want %q", e.Error.Code, tc.wantCode)
+				}
+				if !strings.Contains(e.Error.Message, tc.wantErrSub) {
+					t.Errorf("error %q does not mention %q", e.Error.Message, tc.wantErrSub)
 				}
 			}
 		})

@@ -24,11 +24,15 @@ const defaultEventInterval = 250 * time.Millisecond
 // same fields v1's SubmitResponse always reports), or the rejection for a
 // refused one (Error non-empty, the submit fields zero).
 type BatchItem struct {
-	ID     string `json:"id,omitempty"`
-	Cached bool   `json:"cached"`
-	Pool   int    `json:"pool"`
-	Total  int64  `json:"total"`
-	Error  string `json:"error,omitempty"`
+	ID            string `json:"id,omitempty"`
+	State         State  `json:"state,omitempty"`
+	Cached        bool   `json:"cached"`
+	CachedVerdict bool   `json:"cached_verdict,omitempty"`
+	Pool          int    `json:"pool"`
+	Total         int64  `json:"total"`
+	Error         string `json:"error,omitempty"`
+	// Code is the ErrorBody code of a refused spec ("" when accepted).
+	Code string `json:"code,omitempty"`
 	// Busy marks specs refused because every queue was full; the client
 	// should resubmit just those.
 	Busy bool `json:"busy,omitempty"`
@@ -59,58 +63,84 @@ func (s *Service) handleCheckV2(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if trimmed := bytes.TrimLeft(body, " \t\r\n"); len(trimmed) > 0 && trimmed[0] == '[' {
-		s.handleBatch(w, trimmed)
+		s.handleBatch(w, trimmed, r.Header.Get(TenantHeader))
 		return
 	}
-	s.handleCheckBody(w, body)
+	s.handleCheckBody(w, body, r.Header.Get(TenantHeader))
 }
 
-// handleCheckBody submits a single decoded spec, v1-style.
-func (s *Service) handleCheckBody(w http.ResponseWriter, body []byte) {
+// handleCheckBody submits a single decoded spec, v1-style. A submission
+// answered from the verdict store is 200 (not 202): the job is already
+// done and pollable.
+func (s *Service) handleCheckBody(w http.ResponseWriter, body []byte, tenant string) {
 	var req CheckRequest
 	if err := json.Unmarshal(body, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "decoding request: "+err.Error())
 		return
 	}
-	j, err := s.Submit(req)
+	j, err := s.SubmitTenant(req, tenant)
 	if err != nil {
 		writeSubmitError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, SubmitResponse{
-		ID:     j.ID,
-		Cached: j.CacheHit,
-		Pool:   j.Pool(),
-		Total:  j.Total,
+	status := http.StatusAccepted
+	if j.CachedVerdict {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, SubmitResponse{
+		ID:            j.ID,
+		State:         j.stateNow(),
+		Cached:        j.CacheHit,
+		CachedVerdict: j.CachedVerdict,
+		Pool:          j.Pool(),
+		Total:         j.Total,
 	})
 }
 
-func (s *Service) handleBatch(w http.ResponseWriter, body []byte) {
+// errorCode maps a Submit error to its stable ErrorBody code.
+func errorCode(err error) string {
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		return CodeBadRequest
+	case errors.Is(err, ErrOverQuota):
+		return CodeOverQuota
+	case errors.Is(err, ErrBusy):
+		return CodeBusy
+	default:
+		return CodeInternal
+	}
+}
+
+func (s *Service) handleBatch(w http.ResponseWriter, body []byte, tenant string) {
 	var reqs []CheckRequest
 	if err := json.Unmarshal(body, &reqs); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding batch: "+err.Error())
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "decoding batch: "+err.Error())
 		return
 	}
 	if len(reqs) == 0 {
-		writeError(w, http.StatusBadRequest, "empty batch")
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "empty batch")
 		return
 	}
 	if len(reqs) > maxBatchSpecs {
-		writeError(w, http.StatusBadRequest,
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
 			fmt.Sprintf("batch has %d specs, limit %d", len(reqs), maxBatchSpecs))
 		return
 	}
 	resp := BatchResponse{Jobs: make([]BatchItem, len(reqs))}
 	anyBusy := false
 	for i, req := range reqs {
-		j, err := s.Submit(req)
+		j, err := s.SubmitTenant(req, tenant)
 		if err != nil {
 			busy := errors.Is(err, ErrBusy)
 			anyBusy = anyBusy || busy
-			resp.Jobs[i] = BatchItem{Error: err.Error(), Busy: busy}
+			resp.Jobs[i] = BatchItem{Error: err.Error(), Code: errorCode(err), Busy: busy}
 			continue
 		}
-		resp.Jobs[i] = BatchItem{ID: j.ID, Cached: j.CacheHit, Pool: j.Pool(), Total: j.Total}
+		resp.Jobs[i] = BatchItem{
+			ID: j.ID, State: j.stateNow(),
+			Cached: j.CacheHit, CachedVerdict: j.CachedVerdict,
+			Pool: j.Pool(), Total: j.Total,
+		}
 		resp.Accepted++
 	}
 	status := http.StatusAccepted
@@ -134,13 +164,13 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j, err := s.Cancel(r.PathValue("id"))
 	switch {
 	case errors.Is(err, ErrUnknownJob):
-		writeError(w, http.StatusNotFound, err.Error())
+		writeError(w, http.StatusNotFound, CodeNotFound, err.Error())
 		return
 	case errors.Is(err, ErrJobTerminal):
-		writeError(w, http.StatusConflict, err.Error())
+		writeError(w, http.StatusConflict, CodeConflict, err.Error())
 		return
 	case err != nil:
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, CancelResponse{ID: j.ID, State: j.stateNow()})
@@ -155,21 +185,21 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j, err := s.Job(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, err.Error())
+		writeError(w, http.StatusNotFound, CodeNotFound, err.Error())
 		return
 	}
 	interval := defaultEventInterval
 	if ms := r.URL.Query().Get("interval_ms"); ms != "" {
 		n, err := strconv.Atoi(ms)
 		if err != nil || n < 10 || n > 60_000 {
-			writeError(w, http.StatusBadRequest, "interval_ms must be an integer in [10, 60000]")
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "interval_ms must be an integer in [10, 60000]")
 			return
 		}
 		interval = time.Duration(n) * time.Millisecond
 	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		writeError(w, http.StatusInternalServerError, CodeInternal, "streaming unsupported by this connection")
 		return
 	}
 	w.Header().Set("Content-Type", "text/event-stream")

@@ -2,8 +2,10 @@ package service
 
 import (
 	"bufio"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -171,6 +173,123 @@ func TestV2EventsOnFinishedJob(t *testing.T) {
 	if len(events) < 2 {
 		t.Errorf("events = %v, want at least progress then done", events)
 	}
+}
+
+// TestV2VerdictStoreHitOverHTTP pins the verdict-cache wire contract: a
+// repeat submission of a stored check answers 200 (not 202) with state
+// done and cached_verdict set, and GET /v2/stats reports the hit.
+func TestV2VerdictStoreHitOverHTTP(t *testing.T) {
+	st := openStore(t, t.TempDir())
+	t.Cleanup(func() { st.Close() })
+	_, srv := newTestServer(t, Config{Pools: 1, Store: st})
+	body := marshalReq(t, CheckRequest{Program: testProg, Policy: "{2}", Domain: []int64{0, 1, 2}})
+
+	var first SubmitResponse
+	if resp := doJSON(t, srv, http.MethodPost, "/v2/check", body, &first); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cold submit: status %d, want 202", resp.StatusCode)
+	}
+	pollDone(t, srv, first.ID)
+
+	var second SubmitResponse
+	resp := doJSON(t, srv, http.MethodPost, "/v2/check", body, &second)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verdict-hit submit: status %d, want 200", resp.StatusCode)
+	}
+	if !second.CachedVerdict || second.State != StateDone {
+		t.Fatalf("verdict-hit response = %+v, want state done with cached_verdict", second)
+	}
+	var jst JobStatus
+	doJSON(t, srv, http.MethodGet, "/v2/jobs/"+second.ID, "", &jst)
+	if !jst.CachedVerdict || jst.Result == nil {
+		t.Errorf("job status = %+v, want a stored result with cached_verdict", jst)
+	}
+
+	var stats Stats
+	if resp := doJSON(t, srv, http.MethodGet, "/v2/stats", "", &stats); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v2/stats: status %d", resp.StatusCode)
+	}
+	if stats.Store == nil || stats.Store.VerdictHits != 1 || stats.Store.Verdicts != 1 {
+		t.Errorf("stats.Store = %+v, want one verdict and one hit", stats.Store)
+	}
+	// The v1 alias serves the same document.
+	var v1 Stats
+	doJSON(t, srv, http.MethodGet, "/v1/stats", "", &v1)
+	if v1.Store == nil || v1.Store.Verdicts != stats.Store.Verdicts {
+		t.Errorf("/v1/stats disagrees with /v2/stats: %+v vs %+v", v1.Store, stats.Store)
+	}
+}
+
+// TestV2TenantQuotaOverHTTP pins the tenant wire contract: X-SPM-Tenant
+// attributes submissions, an exhausted bucket answers 429 with the
+// over_quota code and a whole-second Retry-After, and the tenant's
+// tallies surface in GET /v2/stats.
+func TestV2TenantQuotaOverHTTP(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	_, srv := newTestServer(t, Config{Pools: 1, Tenant: TenantConfig{Rate: 100, Burst: 10, Now: clk.Now}})
+	body := marshalReq(t, CheckRequest{Program: testProg, Policy: "{2}", Domain: []int64{0, 1, 2}})
+
+	post := func(tenant string) *http.Response {
+		req, err := http.NewRequest(http.MethodPost, srv.URL+"/v2/check", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-SPM-Tenant", tenant)
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	resp := post("acme")
+	var sub SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: status %d, want 202", resp.StatusCode)
+	}
+	pollDone(t, srv, sub.ID)
+
+	resp = post("acme")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit: status %d, want 429", resp.StatusCode)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("Retry-After = %q, want a positive whole-second value", resp.Header.Get("Retry-After"))
+	}
+	var e errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Error.Code != CodeOverQuota || !strings.Contains(e.Error.Message, "acme") {
+		t.Errorf("429 body = %+v, want code over_quota naming the tenant", e.Error)
+	}
+
+	var stats Stats
+	doJSON(t, srv, http.MethodGet, "/v2/stats", "", &stats)
+	if len(stats.Tenants) != 1 || stats.Tenants[0].Tenant != "acme" ||
+		stats.Tenants[0].Admitted != 1 || stats.Tenants[0].Rejected != 1 {
+		t.Errorf("stats.Tenants = %+v, want acme with 1 admitted / 1 rejected", stats.Tenants)
+	}
+}
+
+// TestV2BatchRejectionCodes pins per-item error codes in a mixed batch.
+func TestV2BatchRejectionCodes(t *testing.T) {
+	_, srv := newTestServer(t, Config{Pools: 1})
+	good := marshalReq(t, CheckRequest{Program: testProg, Policy: "{2}", Domain: []int64{0, 1}})
+	bad := marshalReq(t, CheckRequest{Program: "nonsense"})
+	var batch BatchResponse
+	doJSON(t, srv, http.MethodPost, "/v2/check", "["+good+","+bad+"]", &batch)
+	if batch.Jobs[0].Code != "" || batch.Jobs[0].State != StateQueued && batch.Jobs[0].State != StateRunning && batch.Jobs[0].State != StateDone {
+		t.Errorf("accepted item = %+v, want no code and a live state", batch.Jobs[0])
+	}
+	if batch.Jobs[1].Code != CodeBadRequest {
+		t.Errorf("rejected item code = %q, want %q", batch.Jobs[1].Code, CodeBadRequest)
+	}
+	pollDone(t, srv, batch.Jobs[0].ID)
 }
 
 func TestV2EventsBadInterval(t *testing.T) {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"spm/internal/core"
+	"spm/internal/store"
 )
 
 // State is a job's position in the queued → running → done/failed/cancelled
@@ -88,10 +89,25 @@ type Job struct {
 	Req      CheckRequest
 	CacheHit bool
 	Total    int64
+	// CachedVerdict marks a job answered straight from the persistent
+	// verdict store: it was born done, and no sweep ran.
+	CachedVerdict bool
 
 	// entry is the compile-cache value resolved at submission, so the
 	// worker never re-hashes or re-looks-up the program.
 	entry *compiled
+
+	// Persistence state, set when the service runs with a verdict store:
+	// the job's content address, its single-pass tuple span (the cursor
+	// space of a checkpoint phase), and — for crash-resumed jobs — the
+	// checkpoint to continue from.
+	storeKey store.Key
+	span     int64
+	resume   *jobCheckpoint
+
+	// tenant is the submitting tenant ("" when tenancy is off), for
+	// admission accounting and DRR dispatch.
+	tenant string
 
 	// ctx is cancelled by Service.Cancel; the sweep engine observes it
 	// between chunks.
@@ -214,9 +230,13 @@ func (j *Job) finish(res *Result, err error) {
 // JobStatus is the wire form of GET /v1/jobs/{id} and /v2/jobs/{id}, and
 // the payload of every /v2/jobs/{id}/events event.
 type JobStatus struct {
-	ID             string       `json:"id"`
-	State          State        `json:"state"`
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	// Cached reports a compile-cache hit (the parse+instrument+Compile
+	// phase was skipped); CachedVerdict reports a verdict-store hit (the
+	// whole sweep was skipped and the job was born done).
 	Cached         bool         `json:"cached"`
+	CachedVerdict  bool         `json:"cached_verdict,omitempty"`
 	Pool           int          `json:"pool"`
 	Progress       ProgressInfo `json:"progress"`
 	ElapsedSeconds float64      `json:"elapsed_seconds"`
@@ -235,13 +255,14 @@ func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := JobStatus{
-		ID:       j.ID,
-		State:    j.state,
-		Cached:   j.CacheHit,
-		Pool:     j.pool,
-		Progress: ProgressInfo{Done: j.progress.Load(), Total: j.Total},
-		Result:   j.result,
-		Error:    j.errMsg,
+		ID:            j.ID,
+		State:         j.state,
+		Cached:        j.CacheHit,
+		CachedVerdict: j.CachedVerdict,
+		Pool:          j.pool,
+		Progress:      ProgressInfo{Done: j.progress.Load(), Total: j.Total},
+		Result:        j.result,
+		Error:         j.errMsg,
 	}
 	switch j.state {
 	case StateQueued:

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -24,6 +25,11 @@ type LoadgenConfig struct {
 	Concurrency  int
 	MaximalEvery int
 	Request      CheckRequest
+	// Tenant is sent as the X-SPM-Tenant header on every submission;
+	// empty means anonymous. Submissions rejected 429 by a tenant quota
+	// are retried after the server's Retry-After, tallied in
+	// QuotaRetries.
+	Tenant string
 	// PollInterval between job-status polls; default 2ms.
 	PollInterval time.Duration
 	// JobTimeout is the per-job deadline, bounding one job end to end
@@ -46,18 +52,20 @@ type LoadgenConfig struct {
 // not a server fault — and their latencies are excluded from the
 // percentiles so a slow tail does not masquerade as service time.
 type LoadgenReport struct {
-	Jobs        int           `json:"jobs"`
-	Failed      int           `json:"failed"`
-	Cancelled   int           `json:"cancelled"`
-	Busy        int           `json:"busy_retries"`
-	CacheHits   int           `json:"cache_hits"`
-	Concurrency int           `json:"concurrency"`
-	Elapsed     time.Duration `json:"elapsed_ns"`
-	JobsPerSec  float64       `json:"jobs_per_sec"`
-	P50         time.Duration `json:"p50_ns"`
-	P90         time.Duration `json:"p90_ns"`
-	P99         time.Duration `json:"p99_ns"`
-	Max         time.Duration `json:"max_ns"`
+	Jobs         int           `json:"jobs"`
+	Failed       int           `json:"failed"`
+	Cancelled    int           `json:"cancelled"`
+	Busy         int           `json:"busy_retries"`
+	QuotaRetries int           `json:"quota_retries"`
+	CacheHits    int           `json:"cache_hits"`
+	VerdictHits  int           `json:"verdict_hits"`
+	Concurrency  int           `json:"concurrency"`
+	Elapsed      time.Duration `json:"elapsed_ns"`
+	JobsPerSec   float64       `json:"jobs_per_sec"`
+	P50          time.Duration `json:"p50_ns"`
+	P90          time.Duration `json:"p90_ns"`
+	P99          time.Duration `json:"p99_ns"`
+	Max          time.Duration `json:"max_ns"`
 }
 
 // String renders the report for the CLI.
@@ -68,8 +76,8 @@ func (r *LoadgenReport) String() string {
 	fmt.Fprintf(&b, "  latency p50 %v  p90 %v  p99 %v  max %v\n",
 		r.P50.Round(time.Microsecond), r.P90.Round(time.Microsecond),
 		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond))
-	fmt.Fprintf(&b, "  cache hits %d/%d, failed %d, cancelled at deadline %d, busy retries %d",
-		r.CacheHits, r.Jobs, r.Failed, r.Cancelled, r.Busy)
+	fmt.Fprintf(&b, "  cache hits %d/%d, verdict hits %d, failed %d, cancelled at deadline %d, busy retries %d, quota retries %d",
+		r.CacheHits, r.Jobs, r.VerdictHits, r.Failed, r.Cancelled, r.Busy, r.QuotaRetries)
 	return b.String()
 }
 
@@ -99,14 +107,16 @@ func Loadgen(cfg LoadgenConfig) (*LoadgenReport, error) {
 	base := strings.TrimRight(cfg.BaseURL, "/")
 
 	var (
-		next      atomic.Int64
-		cacheHits atomic.Int64
-		failed    atomic.Int64
-		cancelled atomic.Int64
-		busy      atomic.Int64
-		mu        sync.Mutex
-		latencies []time.Duration
-		firstErr  error
+		next        atomic.Int64
+		cacheHits   atomic.Int64
+		verdictHits atomic.Int64
+		failed      atomic.Int64
+		cancelled   atomic.Int64
+		busy        atomic.Int64
+		quota       atomic.Int64
+		mu          sync.Mutex
+		latencies   []time.Duration
+		firstErr    error
 	)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -124,7 +134,7 @@ func Loadgen(cfg LoadgenConfig) (*LoadgenReport, error) {
 					req.Maximal = true
 				}
 				t0 := time.Now()
-				ok, err := runOne(client, base, req, cfg.PollInterval, t0.Add(cfg.JobTimeout), &busy)
+				ok, err := runOne(client, base, req, cfg.Tenant, cfg.PollInterval, t0.Add(cfg.JobTimeout), &busy, &quota)
 				lat := time.Since(t0)
 				mu.Lock()
 				if !ok.cancelled {
@@ -143,6 +153,9 @@ func Loadgen(cfg LoadgenConfig) (*LoadgenReport, error) {
 				if ok.cached {
 					cacheHits.Add(1)
 				}
+				if ok.verdictHit {
+					verdictHits.Add(1)
+				}
 			}
 		}()
 	}
@@ -154,17 +167,19 @@ func Loadgen(cfg LoadgenConfig) (*LoadgenReport, error) {
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	rep := &LoadgenReport{
-		Jobs:        cfg.Jobs,
-		Failed:      int(failed.Load()),
-		Cancelled:   int(cancelled.Load()),
-		Busy:        int(busy.Load()),
-		CacheHits:   int(cacheHits.Load()),
-		Concurrency: cfg.Concurrency,
-		Elapsed:     elapsed,
-		P50:         percentile(latencies, 50),
-		P90:         percentile(latencies, 90),
-		P99:         percentile(latencies, 99),
-		Max:         percentile(latencies, 100),
+		Jobs:         cfg.Jobs,
+		Failed:       int(failed.Load()),
+		Cancelled:    int(cancelled.Load()),
+		Busy:         int(busy.Load()),
+		QuotaRetries: int(quota.Load()),
+		CacheHits:    int(cacheHits.Load()),
+		VerdictHits:  int(verdictHits.Load()),
+		Concurrency:  cfg.Concurrency,
+		Elapsed:      elapsed,
+		P50:          percentile(latencies, 50),
+		P90:          percentile(latencies, 90),
+		P99:          percentile(latencies, 99),
+		Max:          percentile(latencies, 100),
 	}
 	if elapsed > 0 {
 		rep.JobsPerSec = float64(cfg.Jobs) / elapsed.Seconds()
@@ -173,9 +188,10 @@ func Loadgen(cfg LoadgenConfig) (*LoadgenReport, error) {
 }
 
 type oneResult struct {
-	cached    bool
-	succeeded bool
-	cancelled bool
+	cached     bool
+	verdictHit bool
+	succeeded  bool
+	cancelled  bool
 }
 
 // cancelJob asks the server to stop a job the client no longer wants,
@@ -200,17 +216,26 @@ func cancelJob(client *http.Client, base, id string) error {
 }
 
 // runOne submits a single job and polls it to a terminal state, retrying
-// submission with backoff while the server reports every queue full. The
+// submission with backoff while the server reports every queue full (503)
+// or the tenant's quota drained (429, honouring Retry-After). The
 // deadline bounds the whole attempt; a submitted job that misses it is
 // cancelled server-side rather than abandoned.
-func runOne(client *http.Client, base string, req CheckRequest, poll time.Duration, deadline time.Time, busy *atomic.Int64) (oneResult, error) {
+func runOne(client *http.Client, base string, req CheckRequest, tenant string, poll time.Duration, deadline time.Time, busy, quota *atomic.Int64) (oneResult, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return oneResult{}, err
 	}
 	var sub SubmitResponse
 	for {
-		resp, err := client.Post(base+"/v1/check", "application/json", bytes.NewReader(body))
+		hreq, err := http.NewRequest(http.MethodPost, base+"/v1/check", bytes.NewReader(body))
+		if err != nil {
+			return oneResult{}, err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		if tenant != "" {
+			hreq.Header.Set(TenantHeader, tenant)
+		}
+		resp, err := client.Do(hreq)
 		if err != nil {
 			return oneResult{}, err
 		}
@@ -219,15 +244,24 @@ func runOne(client *http.Client, base string, req CheckRequest, poll time.Durati
 		if err != nil {
 			return oneResult{}, err
 		}
-		if resp.StatusCode == http.StatusServiceUnavailable {
+		switch resp.StatusCode {
+		case http.StatusServiceUnavailable:
 			if time.Now().After(deadline) {
 				return oneResult{}, fmt.Errorf("loadgen: submit: server still busy at job deadline")
 			}
 			busy.Add(1)
 			time.Sleep(poll)
 			continue
-		}
-		if resp.StatusCode != http.StatusAccepted {
+		case http.StatusTooManyRequests:
+			if time.Now().After(deadline) {
+				return oneResult{}, fmt.Errorf("loadgen: submit: tenant still over quota at job deadline")
+			}
+			quota.Add(1)
+			time.Sleep(retryAfterDelay(resp.Header.Get("Retry-After"), poll, deadline))
+			continue
+		case http.StatusAccepted, http.StatusOK:
+			// 202 queued a job; 200 answered it from the verdict store.
+		default:
 			return oneResult{}, fmt.Errorf("loadgen: submit: %s: %s", resp.Status, strings.TrimSpace(string(data)))
 		}
 		if err := json.Unmarshal(data, &sub); err != nil {
@@ -235,7 +269,7 @@ func runOne(client *http.Client, base string, req CheckRequest, poll time.Durati
 		}
 		break
 	}
-	out := oneResult{cached: sub.Cached}
+	out := oneResult{cached: sub.Cached, verdictHit: sub.CachedVerdict}
 	cancelSent := false
 	for {
 		resp, err := client.Get(base + "/v1/jobs/" + sub.ID)
@@ -293,6 +327,23 @@ func runOne(client *http.Client, base string, req CheckRequest, poll time.Durati
 // reach a terminal state. The server promises cancellation within one sweep
 // chunk; a job still not terminal after this long is a real fault.
 const cancelGrace = 30 * time.Second
+
+// retryAfterDelay turns a Retry-After header into a sleep, clamped so a
+// large hint never sleeps past the job deadline; fallback is the poll
+// interval.
+func retryAfterDelay(header string, fallback time.Duration, deadline time.Time) time.Duration {
+	d := fallback
+	if secs, err := strconv.Atoi(strings.TrimSpace(header)); err == nil && secs > 0 {
+		d = time.Duration(secs) * time.Second
+	}
+	if rem := time.Until(deadline); d > rem {
+		d = rem
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
 
 // percentile returns the p-th percentile of sorted latencies (nearest-rank).
 func percentile(sorted []time.Duration, p int) time.Duration {

@@ -11,6 +11,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -21,6 +22,7 @@ import (
 
 	"spm/internal/check"
 	"spm/internal/core"
+	"spm/internal/store"
 	"spm/internal/sweep"
 )
 
@@ -79,6 +81,19 @@ type Config struct {
 	MaxTuples int64
 	// MaxJobs bounds the finished-job history; ≤ 0 means DefaultMaxJobs.
 	MaxJobs int
+	// Store, when non-nil, persists verdicts and in-flight job
+	// checkpoints: repeated submissions of work the store has already
+	// decided are answered without a sweep (JobStatus.CachedVerdict), and
+	// jobs interrupted by a crash are re-enqueued from their last
+	// checkpoint when the service restarts on the same store directory.
+	Store *store.Store
+	// CheckpointEvery is the tuple interval between persisted sweep
+	// checkpoints for store-backed jobs; ≤ 0 means
+	// check.DefaultCheckpointEvery.
+	CheckpointEvery int64
+	// Tenant configures per-tenant admission control; the zero value
+	// disables it (every request shares one unlimited lane).
+	Tenant TenantConfig
 }
 
 // Service defaults.
@@ -108,14 +123,19 @@ func (c Config) normalized() Config {
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = DefaultMaxJobs
 	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = check.DefaultCheckpointEvery
+	}
 	return c
 }
 
 // Service is the policy-checking system: cache + scheduler + job store.
 type Service struct {
-	cfg   Config
-	cache *CompileCache
-	sched *Scheduler
+	cfg     Config
+	cache   *CompileCache
+	sched   *Scheduler
+	store   *store.Store
+	tenants *tenantGate
 
 	mu    sync.Mutex
 	jobs  map[string]*Job
@@ -127,23 +147,38 @@ type Service struct {
 	// as atomics so Stats never scans the job history under the submission
 	// mutex.
 	nQueued, nRunning, nDone, nFailed, nCancelled atomic.Int64
+
+	// Persistence tallies: submissions answered from the verdict store and
+	// jobs re-enqueued from a checkpoint at startup.
+	nVerdictHits, nResumed atomic.Int64
 }
 
-// New starts a service with cfg's fleet.
+// New starts a service with cfg's fleet. When cfg.Store is set, jobs the
+// store recorded as unfinished — admitted before a crash, never cleared —
+// are re-enqueued immediately, under their original IDs, resuming from
+// their last persisted checkpoint.
 func New(cfg Config) *Service {
 	cfg = cfg.normalized()
 	s := &Service{
 		cfg:   cfg,
 		cache: NewCompileCache(cfg.CacheCap),
+		store: cfg.Store,
 		jobs:  make(map[string]*Job),
 	}
 	s.sched = NewScheduler(cfg.Pools, cfg.QueueCap, s.runJob)
+	s.tenants = newTenantGate(cfg.Tenant, s)
+	if s.store != nil {
+		s.resumePending()
+	}
 	return s
 }
 
 // Close drains the queues and stops the pools. Submit must not be called
 // after Close.
-func (s *Service) Close() { s.sched.Close() }
+func (s *Service) Close() {
+	s.tenants.close()
+	s.sched.Close()
+}
 
 // Config returns the normalized configuration in effect.
 func (s *Service) Config() Config { return s.cfg }
@@ -153,6 +188,27 @@ func (s *Service) Config() Config { return s.cfg }
 // errors wrap ErrBadRequest (invalid submission) or ErrBusy (every queue
 // full).
 func (s *Service) Submit(req CheckRequest) (*Job, error) {
+	return s.SubmitTenant(req, "")
+}
+
+// SubmitTenant is Submit with the request attributed to a tenant (the
+// X-SPM-Tenant header). Under tenant admission control (Config.Tenant),
+// the tenant's token bucket is charged the job's tuple total — exceeding
+// it returns a QuotaError (HTTP 429 with Retry-After) — and dispatch
+// order across backlogged tenants is deficit-round-robin, so one noisy
+// tenant cannot starve the rest. Store verdict hits bypass the quota:
+// they cost no sweep. With tenancy disabled (the default), tenant is
+// recorded on the job and admission is unchanged.
+func (s *Service) SubmitTenant(req CheckRequest, tenant string) (*Job, error) {
+	return s.submit(req, "", nil, tenant)
+}
+
+// submit is the single admission path: fresh submissions (id == ""), and
+// crash-resumed jobs re-entering under their original id with the
+// checkpoint to continue from. Resumed jobs bypass the verdict-store
+// lookup (they are pending precisely because no verdict exists) and the
+// tenant quota (they were admitted before the restart).
+func (s *Service) submit(req CheckRequest, id string, resume *jobCheckpoint, tenant string) (*Job, error) {
 	entry, hit, err := s.cache.GetOrCompile(req)
 	if err != nil {
 		return nil, err
@@ -198,10 +254,12 @@ func (s *Service) Submit(req CheckRequest) (*Job, error) {
 	}
 	// Soundness is one pass over the shard; whole-domain maximality adds
 	// two more (class tabulation, then verdicts), while sharded maximality
-	// is a single evidence pass (see check.Kind.Passes).
+	// is a single evidence pass (see check.Kind.Passes). Store-backed jobs
+	// sweep whole-domain maximality as checkpointable evidence segments —
+	// one pass — and render the verdict from the fold (check.RunCheckpointed).
 	passes := check.Soundness.Passes()
 	if req.Maximal {
-		if req.Sharded() {
+		if req.Sharded() || s.store != nil {
 			passes++
 		} else {
 			passes += check.Maximality.Passes()
@@ -212,7 +270,38 @@ func (s *Service) Submit(req CheckRequest) (*Job, error) {
 	}
 
 	req.Domain = values
-	j := newJob(fmt.Sprintf("job-%d", s.seq.Add(1)), req, entry, hit, passes*span)
+	var key store.Key
+	if s.store != nil {
+		key = storeKey(entry, req)
+		if id == "" {
+			if raw, ok := s.store.Verdict(key); ok {
+				return s.cachedJob(req, entry, passes*span, raw)
+			}
+		}
+	}
+	if err := s.tenants.admit(tenant, id, passes*span); err != nil {
+		return nil, err
+	}
+
+	jid := id
+	if jid == "" {
+		jid = fmt.Sprintf("job-%d", s.seq.Add(1))
+	}
+	j := newJob(jid, req, entry, hit, passes*span)
+	j.span = span
+	j.storeKey = key
+	j.resume = resume
+	j.tenant = tenant
+	if resume != nil {
+		// The job's progress denominator includes the checkpointed prefix;
+		// seed the counter so done/total stays truthful before the sweep
+		// re-seeds it phase-accurately.
+		cur := resume.Cursor
+		if resume.Phase == "max" {
+			cur += span
+		}
+		j.progress.Store(cur)
+	}
 
 	s.mu.Lock()
 	s.jobs[j.ID] = j
@@ -220,23 +309,42 @@ func (s *Service) Submit(req CheckRequest) (*Job, error) {
 	s.evictLocked()
 	s.mu.Unlock()
 
-	s.nQueued.Add(1)
-	if _, err := s.sched.Submit(j); err != nil {
-		s.nQueued.Add(-1)
-		s.mu.Lock()
-		delete(s.jobs, j.ID)
-		// Remove j.ID by value — a concurrent Submit may have appended
-		// after us, so blind truncation could drop someone else's job.
-		for i := len(s.order) - 1; i >= 0; i-- {
-			if s.order[i] == j.ID {
-				s.order = append(s.order[:i], s.order[i+1:]...)
-				break
-			}
+	if s.store != nil && id == "" {
+		payload, merr := json.Marshal(req)
+		if merr == nil {
+			merr = s.store.PutPending(store.Pending{ID: j.ID, Key: key, Payload: payload})
 		}
-		s.mu.Unlock()
+		if merr != nil {
+			s.dropJob(j.ID)
+			return nil, fmt.Errorf("service: persist admission: %w", merr)
+		}
+	}
+
+	s.nQueued.Add(1)
+	if err := s.tenants.dispatch(j); err != nil {
+		s.nQueued.Add(-1)
+		s.dropJob(j.ID)
+		if s.store != nil && id == "" {
+			s.store.ClearPending(j.ID)
+		}
 		return nil, err
 	}
 	return j, nil
+}
+
+// dropJob removes a job that never dispatched from the history.
+func (s *Service) dropJob(id string) {
+	s.mu.Lock()
+	delete(s.jobs, id)
+	// Remove id by value — a concurrent Submit may have appended after
+	// us, so blind truncation could drop someone else's job.
+	for i := len(s.order) - 1; i >= 0; i-- {
+		if s.order[i] == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
 }
 
 // evictLocked trims finished jobs beyond the history bound, oldest first,
@@ -287,6 +395,10 @@ func (s *Service) Cancel(id string) (*Job, error) {
 			// balances when the pool later dequeues and skips it.
 			s.nQueued.Add(-1)
 			s.nCancelled.Add(1)
+			if s.store != nil {
+				s.store.ClearPending(j.ID)
+			}
+			s.tenants.wake()
 		}
 		return j, nil
 	}
@@ -296,11 +408,15 @@ func (s *Service) Cancel(id string) (*Job, error) {
 	return j, fmt.Errorf("%w: %s is %s", ErrJobTerminal, id, was)
 }
 
-// Stats is the wire form of GET /v1/stats.
+// Stats is the wire form of GET /v2/stats (and its deprecated /v1/stats
+// alias). Store and Tenants are present only when the corresponding
+// subsystem is enabled.
 type Stats struct {
-	Pools []PoolStats `json:"pools"`
-	Cache CacheStats  `json:"cache"`
-	Jobs  JobCounts   `json:"jobs"`
+	Pools   []PoolStats   `json:"pools"`
+	Cache   CacheStats    `json:"cache"`
+	Jobs    JobCounts     `json:"jobs"`
+	Store   *StoreStats   `json:"store,omitempty"`
+	Tenants []TenantStats `json:"tenants,omitempty"`
 }
 
 // JobCounts tallies jobs by lifecycle state: Queued and Running are
@@ -314,7 +430,8 @@ type JobCounts struct {
 	Cancelled int64 `json:"cancelled"`
 }
 
-// Stats snapshots queue depths, cache counters, and job tallies.
+// Stats snapshots queue depths, cache counters, job tallies, and — when
+// enabled — verdict-store and per-tenant admission counters.
 func (s *Service) Stats() Stats {
 	return Stats{
 		Pools: s.sched.Stats(),
@@ -326,6 +443,8 @@ func (s *Service) Stats() Stats {
 			Failed:    s.nFailed.Load(),
 			Cancelled: s.nCancelled.Load(),
 		},
+		Store:   s.storeStats(),
+		Tenants: s.tenants.stats(),
 	}
 }
 
@@ -341,7 +460,16 @@ func (s *Service) runJob(pool int, j *Job) {
 	}
 	s.nQueued.Add(-1)
 	s.nRunning.Add(1)
-	res, err := s.check(j.ctx, j)
+	var res *Result
+	var err error
+	if s.store != nil {
+		res, err = s.checkStore(j.ctx, j)
+	} else {
+		res, err = s.check(j.ctx, j)
+	}
+	if s.store != nil {
+		s.settleStore(j, res, err)
+	}
 	j.finish(res, err)
 	s.nRunning.Add(-1)
 	switch {
@@ -352,6 +480,7 @@ func (s *Service) runJob(pool int, j *Job) {
 	default:
 		s.nFailed.Add(1)
 	}
+	s.tenants.wake()
 }
 
 // check runs the job's verdicts through check.Run — the single verdict

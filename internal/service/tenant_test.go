@@ -1,0 +1,202 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable bucket clock.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestTenantQuotaRejectsAndRefills(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	s := newTestService(t, Config{Pools: 1, Tenant: TenantConfig{
+		Rate:  100, // tuples per second
+		Burst: 10,
+		Now:   clk.Now,
+	}})
+	// testProg has two inputs: domain {0,1,2} is a 9-tuple sweep.
+	req := CheckRequest{Program: testProg, Policy: "{2}", Domain: []int64{0, 1, 2}}
+
+	j, err := s.SubmitTenant(req, "acme")
+	if err != nil {
+		t.Fatalf("first submission within burst rejected: %v", err)
+	}
+	waitJob(t, j)
+
+	// 1 token left: the second submission must bounce with a retry hint.
+	_, err = s.SubmitTenant(req, "acme")
+	if !errors.Is(err, ErrOverQuota) {
+		t.Fatalf("over-burst submission: %v, want ErrOverQuota", err)
+	}
+	var qe *QuotaError
+	if !errors.As(err, &qe) {
+		t.Fatalf("error %v is not a QuotaError", err)
+	}
+	if qe.Tenant != "acme" || qe.RetryAfter <= 0 {
+		t.Errorf("QuotaError = %+v, want tenant acme with positive RetryAfter", qe)
+	}
+	// At 100 tuples/s the 8 missing tokens take 80ms.
+	if qe.RetryAfter > time.Second {
+		t.Errorf("RetryAfter = %s, want ≈80ms", qe.RetryAfter)
+	}
+
+	// Other tenants have their own bucket.
+	if j2, err := s.SubmitTenant(req, "globex"); err != nil {
+		t.Errorf("independent tenant rejected: %v", err)
+	} else {
+		waitJob(t, j2)
+	}
+
+	// After the bucket refills, the same tenant admits again.
+	clk.Advance(time.Second)
+	j3, err := s.SubmitTenant(req, "acme")
+	if err != nil {
+		t.Fatalf("post-refill submission rejected: %v", err)
+	}
+	waitJob(t, j3)
+
+	stats := s.Stats().Tenants
+	if len(stats) != 2 {
+		t.Fatalf("tenant stats = %+v, want two tenants", stats)
+	}
+	acme := stats[0]
+	if acme.Tenant != "acme" || acme.Admitted != 2 || acme.Rejected != 1 || acme.TuplesAdmitted != 18 {
+		t.Errorf("acme stats = %+v, want 2 admitted / 1 rejected / 18 tuples", acme)
+	}
+}
+
+// TestTenantJobLargerThanBurst pins the drain-don't-starve rule: a job
+// bigger than the bucket is admitted against a full bucket rather than
+// rejected forever.
+func TestTenantJobLargerThanBurst(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	s := newTestService(t, Config{Pools: 1, Tenant: TenantConfig{Rate: 1000, Burst: 5, Now: clk.Now}})
+	req := CheckRequest{Program: testProg, Policy: "{2}", Domain: []int64{0, 1, 2}} // 9 tuples > burst 5
+	j, err := s.SubmitTenant(req, "acme")
+	if err != nil {
+		t.Fatalf("over-burst-sized job rejected: %v", err)
+	}
+	waitJob(t, j)
+	// The full bucket was drained: an immediate follow-up bounces.
+	if _, err := s.SubmitTenant(req, "acme"); !errors.Is(err, ErrOverQuota) {
+		t.Errorf("follow-up after drain: %v, want ErrOverQuota", err)
+	}
+}
+
+// TestTenantDRRFairness pins the fairness property: a light tenant's job
+// submitted behind a heavy tenant's backlog completes before the heavy
+// tenant's backlog drains — deficit-round-robin interleaves them instead
+// of serving arrival order.
+func TestTenantDRRFairness(t *testing.T) {
+	s := newTestService(t, Config{
+		Pools: 1, QueueCap: 1, SweepWorkers: 1,
+		Tenant: TenantConfig{Rate: 1e9, Burst: 1 << 40, Quantum: 1 << 20},
+	})
+
+	var mu sync.Mutex
+	var order []string
+	watch := func(name string, j *Job) {
+		go func() {
+			<-j.Done()
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+		}()
+	}
+
+	// Heavy tenant floods first; its last job is the fairness probe's
+	// victim. All jobs are slow so completion order is dispatch order.
+	var heavy []*Job
+	for i := 0; i < 4; i++ {
+		j, err := s.SubmitTenant(slowRequest(), "heavy")
+		if err != nil {
+			t.Fatal(err)
+		}
+		watch("heavy", j)
+		heavy = append(heavy, j)
+	}
+	light, err := s.SubmitTenant(slowRequest(), "light")
+	if err != nil {
+		t.Fatal(err)
+	}
+	watch("light", light)
+
+	waitJob(t, heavy[len(heavy)-1])
+	waitJob(t, light)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(order)
+		mu.Unlock()
+		if n == 5 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 5 {
+		t.Fatalf("only %d of 5 completions observed: %v", len(order), order)
+	}
+	if order[len(order)-1] == "light" {
+		t.Errorf("light tenant's job finished dead last (%v): DRR did not interleave", order)
+	}
+}
+
+func TestTenantBacklogFull(t *testing.T) {
+	s := newTestService(t, Config{
+		Pools: 1, QueueCap: 1, SweepWorkers: 1,
+		Tenant: TenantConfig{Rate: 1e9, Burst: 1 << 40, QueueCap: 2},
+	})
+	// Capacity: 1 running + 1 scheduler-queued + 2 backlogged = 4; the
+	// rest of 7 submissions must bounce with ErrBusy.
+	var jobs []*Job
+	busy := 0
+	for i := 0; i < 7; i++ {
+		j, err := s.SubmitTenant(slowRequest(), "acme")
+		switch {
+		case err == nil:
+			jobs = append(jobs, j)
+		case errors.Is(err, ErrBusy):
+			busy++
+		default:
+			t.Fatalf("submission %d: %v", i, err)
+		}
+	}
+	if busy == 0 {
+		t.Error("no submission hit the backlog bound")
+	}
+	for _, j := range jobs {
+		s.Cancel(j.ID)
+	}
+}
+
+func TestTenantsDisabledByDefault(t *testing.T) {
+	s := newTestService(t, Config{Pools: 1})
+	j, err := s.SubmitTenant(CheckRequest{Program: testProg, Policy: "{2}", Domain: []int64{0, 1}}, "acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, j)
+	if stats := s.Stats(); stats.Tenants != nil {
+		t.Errorf("tenant stats present with tenancy disabled: %+v", stats.Tenants)
+	}
+}

@@ -63,6 +63,15 @@ type Config struct {
 	// policy-checking service's job lifecycle) read it to report progress
 	// without adding per-tuple overhead; granularity is one chunk.
 	Progress *atomic.Int64
+	// Commit, when non-nil, is called as the contiguous completed prefix
+	// of the run's range grows: once every chunk before index n (relative
+	// to the range start) has completed, Commit(n) fires. Unlike Progress
+	// — which counts completed chunks in any order — the committed prefix
+	// is a resumption point: every tuple below it has been visited, so a
+	// checkpointing caller (the persistent verdict store's crash-resume
+	// cursor) can durably record it. Calls are serialized and strictly
+	// monotone; granularity is one chunk.
+	Commit func(done int)
 }
 
 func (c Config) normalized(size int) Config {
@@ -227,8 +236,13 @@ func runRange(ctx context.Context, values [][]int64, cfg Config, empty func(work
 	}
 	if len(values) == 0 {
 		err := empty(0)
-		if err == nil && cfg.Progress != nil {
-			cfg.Progress.Add(1)
+		if err == nil {
+			if cfg.Progress != nil {
+				cfg.Progress.Add(1)
+			}
+			if cfg.Commit != nil {
+				cfg.Commit(1)
+			}
 		}
 		return err
 	}
@@ -248,6 +262,11 @@ func runRange(ctx context.Context, values [][]int64, cfg Config, empty func(work
 			if cfg.Progress != nil {
 				cfg.Progress.Add(int64(end - start))
 			}
+			if cfg.Commit != nil {
+				// One worker completes chunks in range order, so every
+				// chunk end is itself the contiguous prefix.
+				cfg.Commit(end - lo)
+			}
 		}
 		return nil
 	}
@@ -255,6 +274,10 @@ func runRange(ctx context.Context, values [][]int64, cfg Config, empty func(work
 	var cursor atomic.Int64
 	var stop atomic.Bool
 	var visited atomic.Int64
+	var commits *commitTracker
+	if cfg.Commit != nil {
+		commits = newCommitTracker(cfg.Commit)
+	}
 	errs := make([]error, cfg.Workers)
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
@@ -282,6 +305,9 @@ func runRange(ctx context.Context, values [][]int64, cfg Config, empty func(work
 				if cfg.Progress != nil {
 					cfg.Progress.Add(end - start)
 				}
+				if commits != nil {
+					commits.done(int(start)-lo, int(end)-lo)
+				}
 			}
 		}(w)
 	}
@@ -299,6 +325,39 @@ func runRange(ctx context.Context, values [][]int64, cfg Config, empty func(work
 		return nil
 	}
 	return ctx.Err()
+}
+
+// commitTracker turns out-of-order chunk completions into the monotone
+// contiguous-prefix commits of Config.Commit. Workers claim chunks from an
+// ordered cursor, so a completed chunk either extends the prefix directly
+// or parks (by its range-relative start) until every chunk before it lands.
+type commitTracker struct {
+	mu      sync.Mutex
+	next    int         // range-relative index the prefix has reached
+	pending map[int]int // completed chunks ahead of the prefix: start → end
+	fn      func(done int)
+}
+
+func newCommitTracker(fn func(done int)) *commitTracker {
+	return &commitTracker{pending: make(map[int]int), fn: fn}
+}
+
+// done records the completion of the range-relative chunk [start, end),
+// invoking fn (under the tracker's lock, so calls are serialized and
+// monotone) whenever the contiguous prefix advances.
+func (t *commitTracker) done(start, end int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if start != t.next {
+		t.pending[start] = end
+		return
+	}
+	t.next = end
+	for e, ok := t.pending[t.next]; ok; e, ok = t.pending[t.next] {
+		delete(t.pending, t.next)
+		t.next = e
+	}
+	t.fn(t.next)
 }
 
 // runChunk visits product indices [start, end): one mixed-radix decode of
