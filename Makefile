@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json bench-prefix-json bench-cluster-json bench-store-json lint fmt serve loadgen api-golden docs-check
+.PHONY: all build test bench bench-json bench-prefix-json bench-batch-json bench-cluster-json bench-store-json lint fmt serve loadgen api-golden docs-check
 
 all: build lint test
 
@@ -33,6 +33,14 @@ bench-prefix-json:
 	$(GO) run ./cmd/benchjson < bench_prefix.txt > BENCH_prefix.json
 	@echo wrote BENCH_prefix.json
 
+# The batch-tier perf-trajectory artifact: scalar memoized sweep vs the
+# SoA batch runner at widths 8 and 32, 1 and 8 workers, over the
+# 160k-tuple sweep, averaged like bench-json.
+bench-batch-json:
+	$(GO) test -bench 'BatchSweep' -benchmem -count 3 -run '^$$' . > bench_batch.txt
+	$(GO) run ./cmd/benchjson < bench_batch.txt > BENCH_batch.json
+	@echo wrote BENCH_batch.json
+
 # The cluster perf-trajectory artifact: 1-node vs 2-node in-process fleet
 # over a 160k-tuple sweep, averaged like bench-json.
 bench-cluster-json:
@@ -59,18 +67,16 @@ loadgen:
 
 lint:
 	$(GO) vet ./...
-	@unformatted=$$(gofmt -l .); \
+	@unformatted=$$(gofmt -s -l .); \
 	if [ -n "$$unformatted" ]; then \
-		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+		echo "gofmt -s needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
 	fi
-	@if ! $(GO) doc -all ./internal/check | diff -u internal/check/api.golden -; then \
-		echo "internal/check API surface drifted from api.golden — run 'make api-golden' and commit the result" >&2; \
-		exit 1; \
-	fi
-	@if ! $(GO) doc -all ./internal/store | diff -u internal/store/api.golden -; then \
-		echo "internal/store API surface drifted from api.golden — run 'make api-golden' and commit the result" >&2; \
-		exit 1; \
-	fi
+	@for pkg in check store; do \
+		if ! $(GO) doc -all ./internal/$$pkg | diff -u internal/$$pkg/api.golden -; then \
+			echo "internal/$$pkg API surface drifted from api.golden — run 'make api-golden' and commit the result" >&2; \
+			exit 1; \
+		fi; \
+	done
 
 # The same docs gate CI's docs job runs: internal links in
 # README.md/DESIGN.md/doc.go must resolve, and the godoc Example
@@ -87,4 +93,4 @@ api-golden:
 	$(GO) doc -all ./internal/store > internal/store/api.golden
 
 fmt:
-	gofmt -w .
+	gofmt -s -w .

@@ -664,6 +664,38 @@ func BenchmarkPrefixMemoSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchSweep is the batch/columnar-tier ablation on the same
+// 160,000-tuple domain as BenchmarkPrefixMemoSweep: batch1 is the scalar
+// prefix-memoized tier (WithBatch(1) keeps the scalar path), batch8 and
+// batch32 stride the innermost axis 8 and 32 lanes at a time over
+// structure-of-arrays columns — each row's snapshot capture feeding every
+// lane, instruction dispatch paid once per stride. The 1-worker rows
+// isolate per-tuple dispatch cost (where memo-1w ≈ memo-8w showed the
+// engine no longer worker-bound); the 8-worker rows show the tiers
+// compose. CI's bench job uploads this as BENCH_batch.json.
+func BenchmarkBatchSweep(b *testing.B) {
+	q := flowchart.MustParse(benchSweep)
+	m := core.FromProgram(q)
+	pol := core.NewAllow(2, 2)
+	dom := core.Grid(2, core.Range(0, 399)...) // 400² = 160,000 tuples
+	for _, workers := range []int{1, 8} {
+		for _, width := range []int{1, 8, 32} {
+			name := fmt.Sprintf("batch%d-%dw", width, workers)
+			b.Run(name, func(b *testing.B) {
+				b.ReportMetric(float64(dom.Size()), "inputs/check")
+				for i := 0; i < b.N; i++ {
+					v, err := check.Run(context.Background(), check.Spec{
+						Kind: check.Soundness, Mechanism: m, Policy: pol, Domain: dom,
+					}, check.WithWorkers(workers), check.WithBatch(width))
+					if err != nil || !v.Sound {
+						b.Fatalf("v=%+v err=%v", v, err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkAblationSweepMaximality measures the two-pass parallel
 // maximality checker against its sequential counterpart on the same
 // flowchart-backed mechanism.

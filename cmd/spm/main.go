@@ -352,6 +352,7 @@ func cmdSweep(args []string) error {
 	domain := fs.String("domain", "0,1,2", "comma-separated values every input ranges over")
 	workers := fs.Int("workers", 0, "sweep workers (0 = all CPUs)")
 	chunk := fs.Int("chunk", 0, "tuples claimed per cursor advance (0 = auto)")
+	batch := fs.Int("batch", 0, "batch/columnar execution width (0 or 1 = scalar)")
 	timed := fs.Bool("time", false, "observe running time as well as the value")
 	raw := fs.Bool("raw", false, "check the bare program instead of instrumenting")
 	maximal := fs.Bool("maximal", false, "also check maximality against the bare program")
@@ -366,7 +367,7 @@ func cmdSweep(args []string) error {
 		return fmt.Errorf("sweep: %w", err)
 	}
 	ctx := interruptContext()
-	opts := []check.Option{check.WithWorkers(*workers), check.WithChunk(*chunk)}
+	opts := []check.Option{check.WithWorkers(*workers), check.WithChunk(*chunk), check.WithBatch(*batch)}
 
 	start := time.Now()
 	v, err := check.Run(ctx, check.Spec{

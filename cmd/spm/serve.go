@@ -34,6 +34,7 @@ func cmdServe(args []string) error {
 	pools := fs.Int("pools", 0, "worker pools (0 = default)")
 	queue := fs.Int("queue", 0, "per-pool queue bound (0 = default)")
 	sweepWorkers := fs.Int("sweep-workers", 0, "sweep parallelism per job (0 = CPUs/pools)")
+	sweepBatch := fs.Int("sweep-batch", 0, "batch/columnar execution width per job (0 = default, 1 = scalar)")
 	cacheCap := fs.Int("cache", 0, "compile-cache entries (0 = default)")
 	maxTuples := fs.Int64("max-tuples", 0, "reject domains larger than this (0 = default)")
 	storeDir := fs.String("store", "", "verdict-store directory; enables persistence and crash resume")
@@ -51,6 +52,7 @@ func cmdServe(args []string) error {
 		Pools:           *pools,
 		QueueCap:        *queue,
 		SweepWorkers:    *sweepWorkers,
+		SweepBatch:      *sweepBatch,
 		CacheCap:        *cacheCap,
 		MaxTuples:       *maxTuples,
 		CheckpointEvery: *ckptEvery,

@@ -166,6 +166,9 @@ type Options struct {
 	// Memo enables prefix memoization on the compiled fast path; Run
 	// defaults it to true.
 	Memo bool
+	// Batch is the batch/columnar execution width; values ≤ 1 keep the
+	// scalar tiers.
+	Batch int
 	// Commit, when non-nil, receives the contiguous completed prefix of
 	// the run's range (in tuples, relative to the range start) as it
 	// grows — the resumable cursor behind crash-safe checkpointing.
@@ -211,6 +214,19 @@ func WithCommit(fn func(done int64)) Option { return func(o *Options) { o.Commit
 // compare against. It has no effect under WithCompiled(false).
 func WithMemo(on bool) Option { return func(o *Options) { o.Memo = on } }
 
+// WithBatch selects the batch/columnar execution tier: each sweep worker
+// executes strides of up to n innermost-axis tuples in lockstep over
+// structure-of-arrays register columns, amortizing instruction dispatch
+// across the stride and letting the hot var⊕const / var⊕var loops
+// auto-vectorize. Lanes that diverge at a branch, and strides whose
+// mechanism is not batch-compilable, fall back to the scalar tiers
+// transparently. Composes with WithMemo: one prefix snapshot per odometer
+// row feeds every lane of the row's strides. n ≤ 1 keeps the scalar tiers
+// (the default); the verdict is byte-identical at every width
+// (differential tests pin this). It has no effect under
+// WithCompiled(false).
+func WithBatch(n int) Option { return func(o *Options) { o.Batch = n } }
+
 // Run decides the Spec's verdict over its domain, sweeping in parallel and
 // honouring ctx: cancellation stops every worker within one chunk and
 // returns ctx's error. Run is the only code path in the repository that
@@ -252,6 +268,7 @@ func Run(ctx context.Context, spec Spec, opts ...Option) (Verdict, error) {
 		Interpreted:  !o.Compiled,
 		NoMemo:       !o.Memo,
 		CollectViews: sharded,
+		Batch:        o.Batch,
 	}
 	v := Verdict{Kind: spec.Kind, Mechanism: spec.Mechanism.Name(), Observation: spec.Observation.ObsName, Shard: spec.Shard}
 	switch spec.Kind {

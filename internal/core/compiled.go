@@ -78,6 +78,18 @@ func (c *CompiledMechanism) HintRunners() func() HintRunFunc {
 	return func() HintRunFunc { return snapshotRunner(c.code, c.pm.MaxSteps) }
 }
 
+// BatchRunners implements BatchRunnerProvider: each worker gets private
+// structure-of-arrays lanes (plus a register file and snapshot for the
+// scalar fallback) over the shared compiled code, so sweeps execute one
+// instruction across width tuples at a time. Returns nil if the program's
+// batch form cannot be built, sending the sweep down the scalar tiers.
+func (c *CompiledMechanism) BatchRunners(width int, memo bool) func() BatchRunFunc {
+	if _, err := c.code.NewLanes(width); err != nil {
+		return nil
+	}
+	return func() BatchRunFunc { return batchRunner(c.code, c.pm.MaxSteps, width, memo) }
+}
+
 // Runners implements RunnerProvider: each worker gets a private register
 // file over the shared compiled code.
 func (c *CompiledMechanism) Runners() func() RunFunc {

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"context"
+
+	"spm/internal/flowchart"
+	"spm/internal/sweep"
+)
+
+// BatchRunFunc evaluates a mechanism on one innermost-axis stride of the
+// sweep: input is the first tuple of the stride, last the innermost
+// coordinate of each of its len(last) lanes (last[0] equals input's last
+// element), and out receives one Outcome per lane. innerOnly carries the
+// sweep engine's row hint (sweep.BatchFunc): when true, only the innermost
+// coordinate has moved since the previous call on this worker, so a prefix
+// snapshot recorded then still applies and one capture feeds every lane.
+// The first error in lane order is returned — the same error a scalar
+// enumeration of the stride would have hit first.
+type BatchRunFunc func(input []int64, last []int64, innerOnly bool, out []Outcome) error
+
+// BatchRunnerProvider lets a mechanism supply per-worker batch runners —
+// the structure-of-arrays execution tier behind check.WithBatch. The
+// executor consults it before falling back to compile-on-demand, so a
+// compile-cache entry (internal/service) serves the batch tier directly.
+// BatchRunners returns nil when the mechanism cannot execute in batches
+// (the executor then falls back to the scalar tiers for every mechanism in
+// the sweep, keeping enumeration uniform).
+type BatchRunnerProvider interface {
+	Mechanism
+	// BatchRunners returns a factory producing one BatchRunFunc per sweep
+	// worker, each owning its lanes, register file, and snapshot. memo
+	// selects whether strides compose with prefix memoization (a snapshot
+	// captured on the row's first tuple feeds the remaining lanes) or run
+	// every batch from instruction zero — the check.WithMemo(false)
+	// ablation applied to the batch tier.
+	BatchRunners(width int, memo bool) func() BatchRunFunc
+}
+
+// batchRunner is the per-worker batch executor over compiled code, the
+// counterpart of snapshotRunner one tier up. With memo, a fresh row runs
+// its first lane on the scalar snapshot recorder — capturing execution
+// state at the first instruction that touches the innermost input — and
+// every remaining lane of the stride (and every further stride of the same
+// row) resumes from that capture in lockstep; without memo, each stride
+// runs whole from instruction zero, still amortizing instruction dispatch
+// across lanes. Outcomes are exactly RunReuse's for every tuple.
+func batchRunner(c *flowchart.Compiled, maxSteps int64, width int, memo bool) BatchRunFunc {
+	lanes, err := c.NewLanes(width)
+	if err != nil {
+		// Factories probe NewLanes before handing out runners; reaching
+		// here means the probe was skipped, so fail loudly per call.
+		return func([]int64, []int64, bool, []Outcome) error { return err }
+	}
+	results := make([]flowchart.Result, width)
+	var regs []int64
+	var snap *flowchart.Snapshot
+	if memo {
+		regs = make([]int64, c.Slots())
+		snap = c.NewSnapshot()
+	}
+	return func(input []int64, last []int64, innerOnly bool, out []Outcome) error {
+		n := len(last)
+		res := results[:n]
+		switch {
+		case memo && innerOnly && snap.Valid():
+			if err := c.RunBatchFromSnapshot(lanes, snap, last, maxSteps, res); err != nil {
+				return err
+			}
+		case memo:
+			// Fresh row: lane 0 records the snapshot the rest of the row
+			// replays from.
+			r0, err := c.RunSnapshot(regs, input, maxSteps, snap)
+			if err != nil {
+				return err
+			}
+			res[0] = r0
+			if n > 1 {
+				if snap.Valid() {
+					err = c.RunBatchFromSnapshot(lanes, snap, last[1:], maxSteps, res[1:])
+				} else {
+					err = c.RunBatch(lanes, input, last[1:], maxSteps, res[1:])
+				}
+				if err != nil {
+					return err
+				}
+			}
+		default:
+			if err := c.RunBatch(lanes, input, last, maxSteps, res); err != nil {
+				return err
+			}
+		}
+		for i := range res {
+			out[i] = Outcome{Value: res[i].Value, Steps: res[i].Steps, Violation: res[i].Violation, Notice: res[i].Notice}
+		}
+		return nil
+	}
+}
+
+// batchFactory resolves the per-worker batch runner factory for m at the
+// configured width, or nil when the batch tier does not apply: batching
+// disabled or width ≤ 1, the interpreter forced, or m not backed by
+// batch-compilable flowchart code.
+func (cc CheckConfig) batchFactory(m Mechanism, width int) func() BatchRunFunc {
+	if cc.Interpreted || width <= 1 {
+		return nil
+	}
+	memo := !cc.NoMemo
+	if bp, ok := m.(BatchRunnerProvider); ok {
+		return bp.BatchRunners(width, memo)
+	}
+	if pm, ok := m.(*Program); ok {
+		if c, err := pm.P.Compile(); err == nil {
+			if _, err := c.NewLanes(width); err == nil {
+				maxSteps := pm.MaxSteps
+				return func() BatchRunFunc { return batchRunner(c, maxSteps, width, memo) }
+			}
+		}
+	}
+	return nil
+}
+
+// visitFunc is the per-tuple fold the checkers hand to sweepOutcomes:
+// outs[i] is mechs[i]'s outcome on input. input is the engine's reused
+// buffer (copy to retain); outs is reused between calls.
+type visitFunc func(worker int, input []int64, outs []Outcome) error
+
+// sweepOutcomes is the execution seam every checker enumerates through: it
+// sweeps dom once, evaluates each mechanism in mechs on every tuple under
+// the config's execution tier — interpreter, compiled scalar, compiled with
+// prefix memoization, or the batch/columnar tier when cc.Batch asks for it
+// and every mechanism supports it — and hands the outcomes to visit in
+// exactly the order sweep.RunHintContext would deliver tuples. Tier choice
+// is invisible to the fold: the differential suites pin all four tiers to
+// byte-identical verdicts.
+func sweepOutcomes(ctx context.Context, dom Domain, cc CheckConfig, mechs []Mechanism, visit visitFunc) error {
+	workers := cc.ResolvedWorkers(sweep.Size(dom))
+	if width := cc.Batch; width > 1 && len(dom) > 0 {
+		factories := make([]func() BatchRunFunc, len(mechs))
+		eligible := true
+		for i, m := range mechs {
+			if factories[i] = cc.batchFactory(m, width); factories[i] == nil {
+				eligible = false
+				break
+			}
+		}
+		if eligible {
+			return sweepOutcomesBatch(ctx, dom, cc, workers, width, factories, visit)
+		}
+	}
+	factories := make([]func() HintRunFunc, len(mechs))
+	for i, m := range mechs {
+		factories[i] = cc.hintFactory(m)
+	}
+	type wstate struct {
+		runs []HintRunFunc
+		outs []Outcome
+	}
+	states := make([]wstate, workers)
+	for w := range states {
+		runs := make([]HintRunFunc, len(mechs))
+		for i := range factories {
+			runs[i] = factories[i]()
+		}
+		states[w] = wstate{runs: runs, outs: make([]Outcome, len(mechs))}
+	}
+	return sweep.RunHintContext(ctx, dom, cc.Config, func(w int, input []int64, innerOnly bool) error {
+		s := &states[w]
+		for i, run := range s.runs {
+			o, err := run(input, innerOnly)
+			if err != nil {
+				return err
+			}
+			s.outs[i] = o
+		}
+		return visit(w, input, s.outs)
+	})
+}
+
+// sweepOutcomesBatch drives the batch tier: each worker executes every
+// mechanism across the stride's lanes first (one instruction-dispatch
+// stream per mechanism), then replays the stride tuple by tuple through
+// visit, reconstructing each lane's full input by substituting its
+// innermost coordinate — the per-tuple fold never knows batching happened.
+func sweepOutcomesBatch(ctx context.Context, dom Domain, cc CheckConfig, workers, width int, factories []func() BatchRunFunc, visit visitFunc) error {
+	type wstate struct {
+		runs    []BatchRunFunc
+		outCols [][]Outcome
+		outs    []Outcome
+	}
+	states := make([]wstate, workers)
+	for w := range states {
+		runs := make([]BatchRunFunc, len(factories))
+		cols := make([][]Outcome, len(factories))
+		for i := range factories {
+			runs[i] = factories[i]()
+			cols[i] = make([]Outcome, width)
+		}
+		states[w] = wstate{runs: runs, outCols: cols, outs: make([]Outcome, len(factories))}
+	}
+	k := len(dom)
+	return sweep.RunBatchContext(ctx, dom, cc.Config, width, func(w int, input []int64, last []int64, innerOnly bool) error {
+		s := &states[w]
+		n := len(last)
+		for i, run := range s.runs {
+			if err := run(input, last, innerOnly, s.outCols[i][:n]); err != nil {
+				return err
+			}
+		}
+		for lane := 0; lane < n; lane++ {
+			input[k-1] = last[lane]
+			for i := range s.runs {
+				s.outs[i] = s.outCols[i][lane]
+			}
+			if err := visit(w, input, s.outs); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

@@ -190,19 +190,12 @@ func CheckMaximalityContext(ctx context.Context, m, q Mechanism, pol Policy, dom
 	workers := cc.ResolvedWorkers(sweep.Size(dom))
 
 	// Pass 1: per-worker class tables over Q, merged into one.
-	qFactory := cc.hintFactory(q)
-	qRuns := make([]HintRunFunc, workers)
 	tables := make([]classTable, workers)
 	for w := 0; w < workers; w++ {
-		qRuns[w] = qFactory()
 		tables[w] = make(classTable)
 	}
-	if err := sweep.RunHintContext(ctx, dom, cc.Config, func(w int, input []int64, innerOnly bool) error {
-		qo, err := qRuns[w](input, innerOnly)
-		if err != nil {
-			return err
-		}
-		tables[w].add(pol.View(input), obs.Render(qo))
+	if err := sweepOutcomes(ctx, dom, cc, []Mechanism{q}, func(w int, input []int64, outs []Outcome) error {
+		tables[w].add(pol.View(input), obs.Render(outs[0]))
 		return nil
 	}); err != nil {
 		return rep, err
@@ -214,26 +207,14 @@ func CheckMaximalityContext(ctx context.Context, m, q Mechanism, pol Policy, dom
 
 	// Pass 2: sharded verdicts against the merged table (read-only now).
 	type shard struct {
-		runQ, runM HintRunFunc
-		checked    int
-		witness    []int64
-		reason     string
+		checked int
+		witness []int64
+		reason  string
 	}
-	mFactory := cc.hintFactory(m)
 	shards := make([]shard, workers)
-	for w := range shards {
-		shards[w] = shard{runQ: qFactory(), runM: mFactory()}
-	}
-	if err := sweep.RunHintContext(ctx, dom, cc.Config, func(w int, input []int64, innerOnly bool) error {
+	if err := sweepOutcomes(ctx, dom, cc, []Mechanism{q, m}, func(w int, input []int64, outs []Outcome) error {
 		s := &shards[w]
-		qo, err := s.runQ(input, innerOnly)
-		if err != nil {
-			return err
-		}
-		mo, err := s.runM(input, innerOnly)
-		if err != nil {
-			return err
-		}
+		qo, mo := outs[0], outs[1]
 		s.checked++
 		if ok, reason := maximalVerdict(classes, pol.View(input), qo, mo, obs); !ok && s.witness == nil {
 			s.witness = append([]int64(nil), input...)

@@ -81,26 +81,16 @@ func CheckMaximalityShard(ctx context.Context, m, q Mechanism, pol Policy, dom D
 	workers := cc.ResolvedWorkers(sweep.Size(dom))
 
 	type shard struct {
-		runQ, runM HintRunFunc
-		classes    map[string]*ClassSummary
-		checked    int
+		classes map[string]*ClassSummary
+		checked int
 	}
-	qFactory := cc.hintFactory(q)
-	mFactory := cc.hintFactory(m)
 	shards := make([]shard, workers)
 	for w := range shards {
-		shards[w] = shard{runQ: qFactory(), runM: mFactory(), classes: make(map[string]*ClassSummary)}
+		shards[w] = shard{classes: make(map[string]*ClassSummary)}
 	}
-	if err := sweep.RunHintContext(ctx, dom, cc.Config, func(w int, input []int64, innerOnly bool) error {
+	if err := sweepOutcomes(ctx, dom, cc, []Mechanism{q, m}, func(w int, input []int64, outs []Outcome) error {
 		s := &shards[w]
-		qo, err := s.runQ(input, innerOnly)
-		if err != nil {
-			return err
-		}
-		mo, err := s.runM(input, innerOnly)
-		if err != nil {
-			return err
-		}
+		qo, mo := outs[0], outs[1]
 		s.checked++
 		view := pol.View(input)
 		rq := obs.Render(qo)

@@ -99,11 +99,17 @@ func RunnerFactory(m Mechanism) func() RunFunc {
 // the prefix benchmarks compare against); CollectViews asks
 // CheckSoundnessContext to export its merged per-class observation table
 // so a shard verdict can be folded with its siblings by check.Merge.
+// Batch > 1 selects the batch/columnar execution tier (the knob behind
+// check.WithBatch): each worker executes strides of up to Batch
+// innermost-axis tuples in lockstep over structure-of-arrays register
+// columns, falling back to the scalar tiers when a mechanism is not
+// batch-compilable. Verdicts are identical across all tiers.
 type CheckConfig struct {
 	sweep.Config
 	Interpreted  bool
 	NoMemo       bool
 	CollectViews bool
+	Batch        int
 }
 
 // hintFactory resolves the per-worker hinted runner factory for m under
@@ -174,24 +180,19 @@ func CheckSoundnessContext(ctx context.Context, m Mechanism, pol Policy, dom Dom
 	// were visited by different workers (views span chunks whenever the
 	// policy ignores part of the input).
 	type shard struct {
-		run       HintRunFunc
 		views     map[string]viewEntry
 		conflictA *viewEntry
 		conflictB *viewEntry
 		checked   int
 	}
 	workers := cc.ResolvedWorkers(sweep.Size(dom))
-	factory := cc.hintFactory(m)
 	shards := make([]shard, workers)
 	for w := range shards {
-		shards[w] = shard{run: factory(), views: make(map[string]viewEntry)}
+		shards[w] = shard{views: make(map[string]viewEntry)}
 	}
-	err := sweep.RunHintContext(ctx, dom, cc.Config, func(w int, input []int64, innerOnly bool) error {
+	err := sweepOutcomes(ctx, dom, cc, []Mechanism{m}, func(w int, input []int64, outs []Outcome) error {
 		s := &shards[w]
-		o, err := s.run(input, innerOnly)
-		if err != nil {
-			return err
-		}
+		o := outs[0]
 		s.checked++
 		view := pol.View(input)
 		rendered := obs.Render(o)
@@ -268,18 +269,9 @@ func PassCountContext(ctx context.Context, m Mechanism, dom Domain, cc CheckConf
 		return 0, fmt.Errorf("core: arity mismatch: mechanism %d, domain %d", m.Arity(), len(dom))
 	}
 	workers := cc.ResolvedWorkers(sweep.Size(dom))
-	factory := cc.hintFactory(m)
-	runs := make([]HintRunFunc, workers)
 	counts := make([]int, workers)
-	for w := range runs {
-		runs[w] = factory()
-	}
-	err := sweep.RunHintContext(ctx, dom, cc.Config, func(w int, input []int64, innerOnly bool) error {
-		o, err := runs[w](input, innerOnly)
-		if err != nil {
-			return err
-		}
-		if !o.Violation {
+	err := sweepOutcomes(ctx, dom, cc, []Mechanism{m}, func(w int, input []int64, outs []Outcome) error {
+		if !outs[0].Violation {
 			counts[w]++
 		}
 		return nil

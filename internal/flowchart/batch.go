@@ -1,0 +1,698 @@
+package flowchart
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// This file is the library's third execution tier. The tree-walking
+// interpreter (interp.go) establishes semantics; the compiled scalar runner
+// (compile.go) removes per-step map lookups; the batch runner here removes
+// per-tuple instruction dispatch. It executes one instruction across a
+// stride of N register files laid out structure-of-arrays — one column of N
+// values per register slot — so the var⊕const and var⊕var inner loops that
+// dominate sweep workloads become tight counted loops over contiguous
+// int64s, which the Go compiler can unroll and auto-vectorize, and the
+// closure-call and switch overhead of instruction dispatch is paid once per
+// N lanes instead of once per tuple.
+//
+// Lanes execute in lockstep. When a decision splits the live lanes — or an
+// instruction only the scalar engine can express is reached — the lanes
+// that leave the common path are extracted (their column values gathered
+// into an ordinary register file) and finished on the scalar runLoop, so
+// every lane's Result (value, steps, violations, budget accounting) is
+// byte-identical to what RunReuse would have produced for that tuple. The
+// equivalence is pinned by differential tests and FuzzBatchVsScalar.
+
+// bnode is one instruction of the batch-compiled program: the same control
+// fields as cnode plus the columnar evaluators. vexpr evaluates an assign's
+// expression across lanes [0, n); for the hot var⊕const/var⊕var/const/var
+// shapes it is a branch-free vector kernel that may compute garbage in dead
+// lanes (all covered operators are total), while the generic fallback
+// consults the live mask so arbitrary expressions — including registered
+// Call functions — only ever see lanes the scalar engine would have run.
+// lcond evaluates a decision's predicate for one lane; decisions are
+// inherently per-lane because the uniformity check needs each live lane's
+// direction.
+type bnode struct {
+	kind      Kind
+	target    int
+	vexpr     func(cols [][]int64, out []int64, n int, live []bool)
+	lcond     func(cols [][]int64, lane int) bool
+	next      int32
+	onTrue    int32
+	onFalse   int32
+	violation bool
+	notice    string
+}
+
+// ensureBatch lowers the program to batch form on first use. Compilation is
+// lazy — interpreter- and scalar-only callers never pay for it — and
+// happens once per Compiled, shared by every worker's Lanes.
+func (c *Compiled) ensureBatch() error {
+	c.batchOnce.Do(func() {
+		code := make([]bnode, len(c.code))
+		for i := range c.Source.Nodes {
+			n := &c.Source.Nodes[i]
+			bn := bnode{kind: n.Kind, next: int32(n.Next), onTrue: int32(n.True), onFalse: int32(n.False),
+				violation: n.Violation, notice: n.Notice}
+			switch n.Kind {
+			case KindAssign:
+				bn.target = c.slotOf[n.Target]
+				e, err := compileExprBatch(n.Expr, c.slotOf)
+				if err != nil {
+					c.batchErr = fmt.Errorf("flowchart %q: node %d: %w", c.Source.Name, i, err)
+					return
+				}
+				bn.vexpr = e
+			case KindDecision:
+				q, err := compilePredLane(n.Cond, c.slotOf)
+				if err != nil {
+					c.batchErr = fmt.Errorf("flowchart %q: node %d: %w", c.Source.Name, i, err)
+					return
+				}
+				bn.lcond = q
+			}
+			code[i] = bn
+		}
+		c.bcode = code
+	})
+	return c.batchErr
+}
+
+// batchState is the lazily-built batch tier of a Compiled program; embedded
+// in Compiled so the scalar structure stays unchanged.
+type batchState struct {
+	batchOnce sync.Once
+	bcode     []bnode
+	batchErr  error
+}
+
+// Lanes is the mutable state of one batch execution stream: a
+// structure-of-arrays register file (one contiguous column of Width values
+// per slot), the live mask, and the scratch register file used to extract
+// diverging lanes onto the scalar engine. Like a register file or a
+// Snapshot, a Lanes is single-goroutine state — each sweep worker owns one
+// — and stays bound to the Compiled program that created it.
+type Lanes struct {
+	c     *Compiled
+	width int
+	flat  []int64   // slots × width backing store
+	cols  [][]int64 // cols[slot][lane]
+	live  []bool
+	conds []bool
+	errs  []error
+	regs  []int64 // scratch for divergence extraction
+}
+
+// NewLanes allocates batch-execution state for up to width lanes. width
+// must be ≥ 1; RunBatch and RunBatchFromSnapshot accept any batch size up
+// to it, so sweep tails narrower than the configured stride reuse the same
+// allocation.
+func (c *Compiled) NewLanes(width int) (*Lanes, error) {
+	if width < 1 {
+		return nil, fmt.Errorf("flowchart %q: batch width %d, need ≥ 1", c.Source.Name, width)
+	}
+	if err := c.ensureBatch(); err != nil {
+		return nil, err
+	}
+	slots := len(c.slotOf)
+	l := &Lanes{
+		c:     c,
+		width: width,
+		flat:  make([]int64, slots*width),
+		cols:  make([][]int64, slots),
+		live:  make([]bool, width),
+		conds: make([]bool, width),
+		errs:  make([]error, width),
+		regs:  make([]int64, slots),
+	}
+	for s := 0; s < slots; s++ {
+		l.cols[s] = l.flat[s*width : (s+1)*width : (s+1)*width]
+	}
+	return l, nil
+}
+
+// Width returns the lane capacity the Lanes was allocated with.
+func (l *Lanes) Width() int { return l.width }
+
+// RunBatch executes the program once per lane: lane i runs on the input
+// tuple whose first len(inputs)-1 coordinates come from inputs and whose
+// innermost coordinate is last[i] — the shape of a sweep stride along the
+// fastest-varying axis. Results land in out (out[i] for lane i); the first
+// error in lane order (a step-budget exhaustion, typically) is returned,
+// matching the error the scalar sweep would have hit first. The program
+// must have at least one input; len(last) must equal len(out) and fit in
+// l's width.
+//
+// Every lane's Result is exactly what RunReuse would produce for the same
+// tuple: lanes execute in lockstep while they agree and are finished on the
+// scalar engine when they diverge.
+func (c *Compiled) RunBatch(l *Lanes, inputs []int64, last []int64, maxSteps int64, out []Result) error {
+	n, err := c.batchPreflight(l, len(last), len(out))
+	if err != nil {
+		return err
+	}
+	if len(c.inputSlots) == 0 {
+		return fmt.Errorf("flowchart %q: batch execution needs at least one input", c.Source.Name)
+	}
+	if len(inputs) != len(c.inputSlots) {
+		return fmt.Errorf("%w: got %d inputs, program %q wants %d",
+			ErrArity, len(inputs), c.Source.Name, len(c.inputSlots))
+	}
+	for s := range l.cols {
+		col := l.cols[s][:n]
+		for i := range col {
+			col[i] = 0
+		}
+	}
+	for i, s := range c.inputSlots {
+		col := l.cols[s][:n]
+		for lane := range col {
+			col[lane] = inputs[i]
+		}
+	}
+	copy(l.cols[c.inputSlots[len(c.inputSlots)-1]][:n], last)
+	return c.runBatchLoop(l, n, c.start, 0, maxSteps, out)
+}
+
+// RunBatchFromSnapshot is RunBatch resuming from a prefix snapshot: the
+// captured register file feeds every lane, lane i installs last[i] as the
+// innermost input, and execution resumes in lockstep at the captured
+// instruction with the captured step count — the batch counterpart of
+// RunFromSnapshot, and the composition that lets one snapshot capture
+// amortize across a whole stride of the sweep's innermost axis. The same
+// row contract applies: since snap was recorded, only the innermost input
+// may have changed. An invalid snapshot returns ErrNoSnapshot; a snapshot
+// whose recording run never touched the innermost input replicates its
+// recorded result into every lane.
+func (c *Compiled) RunBatchFromSnapshot(l *Lanes, snap *Snapshot, last []int64, maxSteps int64, out []Result) error {
+	if snap == nil || snap.c != c || snap.state == snapInvalid {
+		return ErrNoSnapshot
+	}
+	n, err := c.batchPreflight(l, len(last), len(out))
+	if err != nil {
+		return err
+	}
+	if snap.state == snapConstant {
+		for i := 0; i < n; i++ {
+			out[i] = snap.res
+		}
+		return nil
+	}
+	for s := range l.cols {
+		col := l.cols[s][:n]
+		v := snap.regs[s]
+		for lane := range col {
+			col[lane] = v
+		}
+	}
+	copy(l.cols[c.lastSlot][:n], last)
+	return c.runBatchLoop(l, n, snap.pc, snap.steps, maxSteps, out)
+}
+
+// batchPreflight validates the lanes/batch-size/output agreement shared by
+// both batch entry points and resets per-run lane state.
+func (c *Compiled) batchPreflight(l *Lanes, nLast, nOut int) (int, error) {
+	if l == nil || l.c != c {
+		return 0, fmt.Errorf("flowchart %q: lanes belong to a different program", c.Source.Name)
+	}
+	if nLast == 0 || nLast > l.width || nLast != nOut {
+		return 0, fmt.Errorf("flowchart %q: batch of %d lanes with %d results (lane capacity %d)",
+			c.Source.Name, nLast, nOut, l.width)
+	}
+	for i := 0; i < nLast; i++ {
+		l.live[i] = true
+		l.errs[i] = nil
+	}
+	return nLast, nil
+}
+
+// runBatchLoop is the lockstep execution core: one instruction fetched per
+// iteration and applied across every live lane. Divergence — a decision
+// whose live lanes disagree — keeps the larger side in the batch and
+// finishes each lane of the smaller side on the scalar runLoop from its
+// current state, so divergence costs exactly the scalar execution of the
+// lanes that left. Budget exhaustion hits all live lanes at the same step
+// (they are in lockstep); diverged lanes account their budgets
+// independently on the scalar engine.
+func (c *Compiled) runBatchLoop(l *Lanes, n int, pc int32, steps, maxSteps int64, out []Result) error {
+	liveCount := n
+	for liveCount > 0 {
+		if steps >= maxSteps {
+			err := fmt.Errorf("%w: budget %d, program %q", ErrStepLimit, maxSteps, c.Source.Name)
+			for lane := 0; lane < n; lane++ {
+				if l.live[lane] {
+					out[lane] = Result{Steps: steps}
+					l.errs[lane] = err
+				}
+			}
+			break
+		}
+		node := &c.bcode[pc]
+		steps++
+		switch node.kind {
+		case KindStart:
+			pc = node.next
+		case KindAssign:
+			node.vexpr(l.cols, l.cols[node.target], n, l.live)
+			pc = node.next
+		case KindDecision:
+			nTrue := 0
+			for lane := 0; lane < n; lane++ {
+				if l.live[lane] {
+					t := node.lcond(l.cols, lane)
+					l.conds[lane] = t
+					if t {
+						nTrue++
+					}
+				}
+			}
+			switch {
+			case nTrue == liveCount:
+				pc = node.onTrue
+			case nTrue == 0:
+				pc = node.onFalse
+			default:
+				// Divergence: the majority side (ties go to the true arm)
+				// stays batched; each minority lane is gathered into the
+				// scratch register file and finished scalar from its branch
+				// target with the common step count.
+				stay := nTrue*2 >= liveCount
+				stayPC, leavePC := node.onTrue, node.onFalse
+				if !stay {
+					stayPC, leavePC = node.onFalse, node.onTrue
+				}
+				for lane := 0; lane < n; lane++ {
+					if !l.live[lane] || l.conds[lane] == stay {
+						continue
+					}
+					for s := range l.cols {
+						l.regs[s] = l.cols[s][lane]
+					}
+					out[lane], l.errs[lane] = c.runLoop(l.regs, leavePC, steps, maxSteps)
+					l.live[lane] = false
+					liveCount--
+				}
+				pc = stayPC
+			}
+		case KindHalt:
+			if node.violation {
+				for lane := 0; lane < n; lane++ {
+					if l.live[lane] {
+						out[lane] = Result{Steps: steps, Violation: true, Notice: node.notice}
+						l.live[lane] = false
+					}
+				}
+			} else {
+				outCol := l.cols[c.outputSlot]
+				for lane := 0; lane < n; lane++ {
+					if l.live[lane] {
+						out[lane] = Result{Value: outCol[lane], Steps: steps}
+						l.live[lane] = false
+					}
+				}
+			}
+			liveCount = 0
+		default:
+			err := fmt.Errorf("flowchart %q: node %d has unknown kind %d", c.Source.Name, pc, node.kind)
+			for lane := 0; lane < n; lane++ {
+				if l.live[lane] {
+					out[lane] = Result{Steps: steps}
+					l.errs[lane] = err
+					l.live[lane] = false
+				}
+			}
+			liveCount = 0
+		}
+	}
+	for lane := 0; lane < n; lane++ {
+		if l.errs[lane] != nil {
+			return l.errs[lane]
+		}
+	}
+	return nil
+}
+
+// compileExprBatch lowers an assign's expression to a columnar kernel. The
+// var⊕const, var⊕var, const, and var shapes — the bulk of sweep-hot
+// programs, mirroring compileBinFast — become branch-free counted loops
+// over the columns (computing harmlessly in dead lanes: every covered
+// operator is total). Everything else falls back to a per-lane evaluation
+// of a lane-indexed closure, guarded by the live mask so expressions with
+// operator-level guards (division) or registered Call functions only run
+// where the scalar engine would have run them.
+func compileExprBatch(e Expr, slotOf map[string]int) (func(cols [][]int64, out []int64, n int, live []bool), error) {
+	if f := compileExprVec(e, slotOf); f != nil {
+		return f, nil
+	}
+	lane, err := compileExprLane(e, slotOf)
+	if err != nil {
+		return nil, err
+	}
+	return func(cols [][]int64, out []int64, n int, live []bool) {
+		for l := 0; l < n; l++ {
+			if live[l] {
+				out[l] = lane(cols, l)
+			}
+		}
+	}, nil
+}
+
+// compileExprVec builds the vectorizable kernel for the hot expression
+// shapes, or nil when the shape (or operator) needs the generic path.
+func compileExprVec(e Expr, slotOf map[string]int) func(cols [][]int64, out []int64, n int, live []bool) {
+	switch x := e.(type) {
+	case Const:
+		v := int64(x)
+		return func(cols [][]int64, out []int64, n int, live []bool) {
+			out = out[:n]
+			for l := range out {
+				out[l] = v
+			}
+		}
+	case Var:
+		s := slotOf[string(x)]
+		return func(cols [][]int64, out []int64, n int, live []bool) {
+			copy(out[:n], cols[s][:n])
+		}
+	case *Bin:
+		lv, ok := x.L.(Var)
+		if !ok {
+			return nil
+		}
+		s := slotOf[string(lv)]
+		switch r := x.R.(type) {
+		case Const:
+			cv := int64(r)
+			switch x.Op {
+			case OpAdd:
+				return func(cols [][]int64, out []int64, n int, live []bool) {
+					a := cols[s][:n]
+					out = out[:n]
+					for l := range out {
+						out[l] = a[l] + cv
+					}
+				}
+			case OpSub:
+				return func(cols [][]int64, out []int64, n int, live []bool) {
+					a := cols[s][:n]
+					out = out[:n]
+					for l := range out {
+						out[l] = a[l] - cv
+					}
+				}
+			case OpMul:
+				return func(cols [][]int64, out []int64, n int, live []bool) {
+					a := cols[s][:n]
+					out = out[:n]
+					for l := range out {
+						out[l] = a[l] * cv
+					}
+				}
+			case OpAnd:
+				return func(cols [][]int64, out []int64, n int, live []bool) {
+					a := cols[s][:n]
+					out = out[:n]
+					for l := range out {
+						out[l] = a[l] & cv
+					}
+				}
+			case OpOr:
+				return func(cols [][]int64, out []int64, n int, live []bool) {
+					a := cols[s][:n]
+					out = out[:n]
+					for l := range out {
+						out[l] = a[l] | cv
+					}
+				}
+			case OpXor:
+				return func(cols [][]int64, out []int64, n int, live []bool) {
+					a := cols[s][:n]
+					out = out[:n]
+					for l := range out {
+						out[l] = a[l] ^ cv
+					}
+				}
+			case OpAndNot:
+				return func(cols [][]int64, out []int64, n int, live []bool) {
+					a := cols[s][:n]
+					out = out[:n]
+					for l := range out {
+						out[l] = a[l] &^ cv
+					}
+				}
+			}
+		case Var:
+			t := slotOf[string(r)]
+			switch x.Op {
+			case OpAdd:
+				return func(cols [][]int64, out []int64, n int, live []bool) {
+					a, b := cols[s][:n], cols[t][:n]
+					out = out[:n]
+					for l := range out {
+						out[l] = a[l] + b[l]
+					}
+				}
+			case OpSub:
+				return func(cols [][]int64, out []int64, n int, live []bool) {
+					a, b := cols[s][:n], cols[t][:n]
+					out = out[:n]
+					for l := range out {
+						out[l] = a[l] - b[l]
+					}
+				}
+			case OpMul:
+				return func(cols [][]int64, out []int64, n int, live []bool) {
+					a, b := cols[s][:n], cols[t][:n]
+					out = out[:n]
+					for l := range out {
+						out[l] = a[l] * b[l]
+					}
+				}
+			case OpAnd:
+				return func(cols [][]int64, out []int64, n int, live []bool) {
+					a, b := cols[s][:n], cols[t][:n]
+					out = out[:n]
+					for l := range out {
+						out[l] = a[l] & b[l]
+					}
+				}
+			case OpOr:
+				return func(cols [][]int64, out []int64, n int, live []bool) {
+					a, b := cols[s][:n], cols[t][:n]
+					out = out[:n]
+					for l := range out {
+						out[l] = a[l] | b[l]
+					}
+				}
+			case OpXor:
+				return func(cols [][]int64, out []int64, n int, live []bool) {
+					a, b := cols[s][:n], cols[t][:n]
+					out = out[:n]
+					for l := range out {
+						out[l] = a[l] ^ b[l]
+					}
+				}
+			case OpAndNot:
+				return func(cols [][]int64, out []int64, n int, live []bool) {
+					a, b := cols[s][:n], cols[t][:n]
+					out = out[:n]
+					for l := range out {
+						out[l] = a[l] &^ b[l]
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// compileExprLane mirrors compileExpr over the columnar register file: the
+// returned closure evaluates the expression for one lane, indexing
+// cols[slot][lane] where the scalar form indexes regs[slot]. Evaluation
+// order, operator guards (division by zero, MinInt64 overflow), and the
+// both-arms rule for Cond match the scalar compiler exactly.
+func compileExprLane(e Expr, slotOf map[string]int) (func(cols [][]int64, lane int) int64, error) {
+	switch x := e.(type) {
+	case Const:
+		v := int64(x)
+		return func([][]int64, int) int64 { return v }, nil
+	case Var:
+		s := slotOf[string(x)]
+		return func(cols [][]int64, lane int) int64 { return cols[s][lane] }, nil
+	case *Neg:
+		sub, err := compileExprLane(x.X, slotOf)
+		if err != nil {
+			return nil, err
+		}
+		return func(cols [][]int64, lane int) int64 { return -sub(cols, lane) }, nil
+	case *BitNot:
+		sub, err := compileExprLane(x.X, slotOf)
+		if err != nil {
+			return nil, err
+		}
+		return func(cols [][]int64, lane int) int64 { return ^sub(cols, lane) }, nil
+	case *Bin:
+		l, err := compileExprLane(x.L, slotOf)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileExprLane(x.R, slotOf)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case OpAdd:
+			return func(cols [][]int64, lane int) int64 { return l(cols, lane) + r(cols, lane) }, nil
+		case OpSub:
+			return func(cols [][]int64, lane int) int64 { return l(cols, lane) - r(cols, lane) }, nil
+		case OpMul:
+			return func(cols [][]int64, lane int) int64 { return l(cols, lane) * r(cols, lane) }, nil
+		case OpDiv:
+			return func(cols [][]int64, lane int) int64 {
+				lv, rv := l(cols, lane), r(cols, lane)
+				if rv == 0 {
+					return 0
+				}
+				if lv == math.MinInt64 && rv == -1 {
+					return math.MinInt64
+				}
+				return lv / rv
+			}, nil
+		case OpMod:
+			return func(cols [][]int64, lane int) int64 {
+				lv, rv := l(cols, lane), r(cols, lane)
+				if rv == 0 {
+					return 0
+				}
+				if lv == math.MinInt64 && rv == -1 {
+					return 0
+				}
+				return lv % rv
+			}, nil
+		case OpAnd:
+			return func(cols [][]int64, lane int) int64 { return l(cols, lane) & r(cols, lane) }, nil
+		case OpOr:
+			return func(cols [][]int64, lane int) int64 { return l(cols, lane) | r(cols, lane) }, nil
+		case OpXor:
+			return func(cols [][]int64, lane int) int64 { return l(cols, lane) ^ r(cols, lane) }, nil
+		case OpAndNot:
+			return func(cols [][]int64, lane int) int64 { return l(cols, lane) &^ r(cols, lane) }, nil
+		default:
+			return nil, fmt.Errorf("compile: unknown binary op %d", x.Op)
+		}
+	case *Cond:
+		p, err := compilePredLane(x.P, slotOf)
+		if err != nil {
+			return nil, err
+		}
+		a, err := compileExprLane(x.A, slotOf)
+		if err != nil {
+			return nil, err
+		}
+		b, err := compileExprLane(x.B, slotOf)
+		if err != nil {
+			return nil, err
+		}
+		// Both arms evaluated, like the scalar compiler: constant time.
+		return func(cols [][]int64, lane int) int64 {
+			av, bv := a(cols, lane), b(cols, lane)
+			if p(cols, lane) {
+				return av
+			}
+			return bv
+		}, nil
+	case *Call:
+		if x.Resolved == nil || x.Resolved.Fn == nil {
+			return nil, fmt.Errorf("compile: unresolved call to %q", x.Name)
+		}
+		args := make([]func([][]int64, int) int64, len(x.Args))
+		for i, a := range x.Args {
+			f, err := compileExprLane(a, slotOf)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = f
+		}
+		fn := x.Resolved.Fn
+		return func(cols [][]int64, lane int) int64 {
+			vals := make([]int64, len(args))
+			for i, f := range args {
+				vals[i] = f(cols, lane)
+			}
+			return fn(vals)
+		}, nil
+	default:
+		return nil, fmt.Errorf("compile: unknown expression type %T", e)
+	}
+}
+
+// compilePredLane mirrors compilePred over the columnar register file.
+func compilePredLane(q Pred, slotOf map[string]int) (func(cols [][]int64, lane int) bool, error) {
+	switch x := q.(type) {
+	case BoolConst:
+		v := bool(x)
+		return func([][]int64, int) bool { return v }, nil
+	case *Not:
+		sub, err := compilePredLane(x.X, slotOf)
+		if err != nil {
+			return nil, err
+		}
+		return func(cols [][]int64, lane int) bool { return !sub(cols, lane) }, nil
+	case *AndP:
+		l, err := compilePredLane(x.L, slotOf)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compilePredLane(x.R, slotOf)
+		if err != nil {
+			return nil, err
+		}
+		return func(cols [][]int64, lane int) bool {
+			lv, rv := l(cols, lane), r(cols, lane)
+			return lv && rv
+		}, nil
+	case *OrP:
+		l, err := compilePredLane(x.L, slotOf)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compilePredLane(x.R, slotOf)
+		if err != nil {
+			return nil, err
+		}
+		return func(cols [][]int64, lane int) bool {
+			lv, rv := l(cols, lane), r(cols, lane)
+			return lv || rv
+		}, nil
+	case *Cmp:
+		l, err := compileExprLane(x.L, slotOf)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileExprLane(x.R, slotOf)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case CmpEq:
+			return func(cols [][]int64, lane int) bool { return l(cols, lane) == r(cols, lane) }, nil
+		case CmpNe:
+			return func(cols [][]int64, lane int) bool { return l(cols, lane) != r(cols, lane) }, nil
+		case CmpLt:
+			return func(cols [][]int64, lane int) bool { return l(cols, lane) < r(cols, lane) }, nil
+		case CmpLe:
+			return func(cols [][]int64, lane int) bool { return l(cols, lane) <= r(cols, lane) }, nil
+		case CmpGt:
+			return func(cols [][]int64, lane int) bool { return l(cols, lane) > r(cols, lane) }, nil
+		case CmpGe:
+			return func(cols [][]int64, lane int) bool { return l(cols, lane) >= r(cols, lane) }, nil
+		default:
+			return nil, fmt.Errorf("compile: unknown comparison op %d", x.Op)
+		}
+	default:
+		return nil, fmt.Errorf("compile: unknown predicate type %T", q)
+	}
+}

@@ -1,0 +1,394 @@
+package flowchart
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// batchDiffSweep enumerates the cartesian product of values in odometer
+// order, strides of up to width tuples along the innermost axis at a time,
+// and checks that the batch tier — RunBatch for fresh rows, or the
+// snapshot composition (one scalar RunSnapshot capture per row,
+// RunBatchFromSnapshot for the row's remaining lanes) when memo is set —
+// produces exactly the Result and error class of a fresh RunReuse at every
+// tuple. It is diffSweep one tier up.
+func batchDiffSweep(t *testing.T, p *Program, values [][]int64, maxSteps int64, width int, memo bool) {
+	t.Helper()
+	c, err := p.Compile()
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	k := len(values)
+	if k != p.Arity() || k == 0 {
+		t.Fatalf("domain arity %d, program arity %d (batch needs ≥ 1)", k, p.Arity())
+	}
+	lanes, err := c.NewLanes(width)
+	if err != nil {
+		t.Fatalf("NewLanes: %v", err)
+	}
+	fregs := make([]int64, c.Slots())
+	regs := make([]int64, c.Slots())
+	snap := c.NewSnapshot()
+	out := make([]Result, width)
+	inner := values[k-1]
+	idx := make([]int, k)
+	in := make([]int64, k)
+	for i := range in {
+		if len(values[i]) == 0 {
+			return
+		}
+		in[i] = values[i][0]
+	}
+	for {
+		// One row of the odometer: stride over the innermost axis.
+		for j := 0; j < len(inner); {
+			n := len(inner) - j
+			if n > width {
+				n = width
+			}
+			last := inner[j : j+n]
+			in[k-1] = last[0]
+			var batchErr error
+			if memo {
+				if j > 0 && snap.Valid() {
+					batchErr = c.RunBatchFromSnapshot(lanes, snap, last, maxSteps, out[:n])
+				} else {
+					var r0 Result
+					r0, batchErr = c.RunSnapshot(regs, in, maxSteps, snap)
+					out[0] = r0
+					if batchErr == nil && n > 1 {
+						if snap.Valid() {
+							batchErr = c.RunBatchFromSnapshot(lanes, snap, last[1:], maxSteps, out[1:n])
+						} else {
+							batchErr = c.RunBatch(lanes, in, last[1:], maxSteps, out[1:n])
+						}
+					}
+				}
+			} else {
+				batchErr = c.RunBatch(lanes, in, last, maxSteps, out[:n])
+			}
+			// The scalar reference, lane by lane; the batch must return the
+			// first error in lane order and every earlier lane's exact
+			// Result.
+			var wantErr error
+			for lane := 0; lane < n; lane++ {
+				in[k-1] = last[lane]
+				wantRes, werr := c.RunReuse(fregs, in, maxSteps)
+				if werr != nil {
+					wantErr = werr
+					break
+				}
+				if batchErr == nil && out[lane] != wantRes {
+					t.Fatalf("%q at %v lane %d (memo=%v width=%d): batch = %+v, scalar = %+v",
+						p.Name, in, lane, memo, width, out[lane], wantRes)
+				}
+			}
+			if (batchErr == nil) != (wantErr == nil) ||
+				errors.Is(batchErr, ErrStepLimit) != errors.Is(wantErr, ErrStepLimit) {
+				t.Fatalf("%q stride at %v (memo=%v width=%d): batch err = %v, scalar err = %v",
+					p.Name, in, memo, width, batchErr, wantErr)
+			}
+			if batchErr != nil {
+				return // the sweep would abort here; so does the comparison
+			}
+			j += n
+		}
+		// Carry the outer digits; the innermost axis restarts per row.
+		done := true
+		for i := k - 2; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(values[i]) {
+				in[i] = values[i][idx[i]]
+				done = false
+				break
+			}
+			idx[i] = 0
+			in[i] = values[i][0]
+		}
+		if done {
+			return
+		}
+	}
+}
+
+// The handcrafted divergence-heavy programs: branches on the innermost
+// input split lanes at every width, loops whose trip count is the
+// innermost input make lanes leave the batch at different steps, and the
+// snapshot edge cases (dead innermost input, output-is-input) cross with
+// batching.
+func TestBatchDifferentialPrograms(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"diverge-first-instruction", `
+program divergefirst
+inputs x1 x2
+    if x2 > 0 goto Pos else NonPos
+Pos:    y := x2 + x1
+        halt
+NonPos: y := x1 - x2
+        halt
+`},
+		{"diverge-three-way", `
+program divergethree
+inputs x1 x2
+    if x2 > 1 goto Hi else Rest
+Rest: if x2 < 0 goto Lo else Mid
+Hi:  y := x1 + 100
+     halt
+Mid: y := x1
+     halt
+Lo:  y := x1 - 100
+     halt
+`},
+		{"loop-on-innermost", `
+program loopinner
+inputs x1 x2
+    i := x2 & 7
+    y := x1
+Loop: if i == 0 goto Done else Body
+Body: i := i - 1
+      y := y + 2
+      goto Loop
+Done: halt
+`},
+		{"straightline-vector", `
+program vec
+inputs x1 x2
+    a := x2 + 3
+    b := a * x1
+    c := b & 255
+    y := c ^ a
+    halt
+`},
+		{"guarded-division", `
+program guarded
+inputs x1 x2
+    y := x1 / x2
+    y := y + x1 % x2
+    halt
+`},
+		{"violation-on-branch", `
+program viol
+inputs x1 x2
+    if x2 == 2 goto Bad else Ok
+Bad: violation "x2 is two"
+Ok:  y := x1 + x2
+     halt
+`},
+		{"dead-innermost", `
+program deadinput
+inputs x1 x2
+    x2 := x1 + 1
+    y := x2 * 2
+    halt
+`},
+		{"output-is-innermost", `
+program outinput
+inputs x1 y
+    r := x1
+    halt
+`},
+	}
+	widths := []int{1, 2, 3, 8, 32}
+	for _, tc := range cases {
+		p := MustParse(tc.src)
+		for _, w := range widths {
+			for _, memo := range []bool{false, true} {
+				t.Run(fmt.Sprintf("%s/w%d/memo=%v", tc.name, w, memo), func(t *testing.T) {
+					batchDiffSweep(t, p, grid2(-2, 3), DefaultMaxSteps, w, memo)
+				})
+			}
+		}
+	}
+}
+
+// TestBatchAllLanesDiverge drives a stride where every live lane leaves
+// the batch at the first decision: lanes alternate branch directions, so
+// whichever side stays, the other half is extracted scalar immediately —
+// and with two lanes of opposite sign the tie rule (true side stays)
+// decides.
+func TestBatchAllLanesDiverge(t *testing.T) {
+	p := MustParse(`
+program split
+inputs x1 x2
+    if x2 > 0 goto Pos else NonPos
+Pos:    y := x1 + x2
+        halt
+NonPos: y := x1 - x2
+        halt
+`)
+	c, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lanes, err := c.NewLanes(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := []int64{1, -1, 2, -2, 3, -3, 4, -4}
+	out := make([]Result, len(last))
+	if err := c.RunBatch(lanes, []int64{7, last[0]}, last, DefaultMaxSteps, out); err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	regs := make([]int64, c.Slots())
+	for i, v := range last {
+		want, err := c.RunReuse(regs, []int64{7, v}, DefaultMaxSteps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[i] != want {
+			t.Fatalf("lane %d (x2=%d): batch = %+v, scalar = %+v", i, v, out[i], want)
+		}
+	}
+}
+
+// TestBatchStepLimit exercises budget exhaustion mid-batch: a loop whose
+// trip count is the innermost input makes short lanes halt and long lanes
+// run out of budget, in the same batch. The batch must return ErrStepLimit
+// (the first lane-ordered error) exactly when the scalar runs would, and
+// lanes that halted before exhaustion keep their exact results.
+func TestBatchStepLimit(t *testing.T) {
+	p := MustParse(`
+program spin
+inputs x1 x2
+    i := x2
+    y := x1
+Loop: if i == 0 goto Done else Body
+Body: i := i - 1
+      goto Loop
+Done: halt
+`)
+	c, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lanes, err := c.NewLanes(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := make([]int64, c.Slots())
+	for _, budget := range []int64{1, 5, 10, 20, 100} {
+		last := []int64{0, 2, 30, 1}
+		out := make([]Result, len(last))
+		batchErr := c.RunBatch(lanes, []int64{1, last[0]}, last, budget, out)
+		var wantErr error
+		for lane, v := range last {
+			res, err := c.RunReuse(regs, []int64{1, v}, budget)
+			if err != nil {
+				wantErr = err
+				break
+			}
+			if batchErr == nil && out[lane] != res {
+				t.Fatalf("budget %d lane %d: batch = %+v, scalar = %+v", budget, lane, out[lane], res)
+			}
+		}
+		if (batchErr == nil) != (wantErr == nil) || errors.Is(batchErr, ErrStepLimit) != errors.Is(wantErr, ErrStepLimit) {
+			t.Fatalf("budget %d: batch err = %v, scalar err = %v", budget, batchErr, wantErr)
+		}
+	}
+}
+
+// TestBatchNarrowTail checks batches narrower than the allocated width —
+// the sweep's chunk tails — including a single lane, and rejects the
+// shapes the contract forbids (empty batch, batch wider than the lanes,
+// mismatched result buffer, lanes from another program).
+func TestBatchNarrowTail(t *testing.T) {
+	p := MustParse(`
+program tail
+inputs x1 x2
+    y := x1 * 10 + x2
+    halt
+`)
+	c, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lanes, err := c.NewLanes(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := make([]int64, c.Slots())
+	for n := 1; n <= 8; n++ {
+		last := make([]int64, n)
+		for i := range last {
+			last[i] = int64(i)
+		}
+		out := make([]Result, n)
+		if err := c.RunBatch(lanes, []int64{3, last[0]}, last, DefaultMaxSteps, out); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := range last {
+			want, err := c.RunReuse(regs, []int64{3, last[i]}, DefaultMaxSteps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out[i] != want {
+				t.Fatalf("n=%d lane %d: batch = %+v, scalar = %+v", n, i, out[i], want)
+			}
+		}
+	}
+	if err := c.RunBatch(lanes, []int64{3, 0}, nil, DefaultMaxSteps, nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if err := c.RunBatch(lanes, []int64{3, 0}, make([]int64, 9), DefaultMaxSteps, make([]Result, 9)); err == nil {
+		t.Fatal("batch wider than lane capacity accepted")
+	}
+	if err := c.RunBatch(lanes, []int64{3, 0}, make([]int64, 4), DefaultMaxSteps, make([]Result, 3)); err == nil {
+		t.Fatal("mismatched result buffer accepted")
+	}
+	other, err := MustParse("program other\ninputs a b\n y := a + b\n halt\n").Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.RunBatch(lanes, []int64{1, 0}, make([]int64, 2), DefaultMaxSteps, make([]Result, 2)); err == nil {
+		t.Fatal("lanes from another program accepted")
+	}
+	if _, err := c.NewLanes(0); err == nil {
+		t.Fatal("zero-width lanes accepted")
+	}
+}
+
+// TestBatchFromSnapshotContract pins the snapshot entry point's edge
+// cases: an invalid snapshot is ErrNoSnapshot, and a constant snapshot
+// (recording run never touched the innermost input) replicates its result
+// into every lane.
+func TestBatchFromSnapshotContract(t *testing.T) {
+	p := MustParse(`
+program untouched
+inputs x1 x2
+    y := x1 * 3
+    halt
+`)
+	c, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lanes, err := c.NewLanes(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := c.NewSnapshot()
+	out := make([]Result, 3)
+	if err := c.RunBatchFromSnapshot(lanes, snap, make([]int64, 3), DefaultMaxSteps, out); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("invalid snapshot: err = %v, want ErrNoSnapshot", err)
+	}
+	regs := make([]int64, c.Slots())
+	want, err := c.RunSnapshot(regs, []int64{2, 0}, DefaultMaxSteps, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Valid() {
+		t.Fatal("snapshot not valid after recording run")
+	}
+	if err := c.RunBatchFromSnapshot(lanes, snap, []int64{5, 6, 7}, DefaultMaxSteps, out); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range out {
+		if r != want {
+			t.Fatalf("lane %d: %+v, want replicated %+v", i, r, want)
+		}
+	}
+}

@@ -29,6 +29,9 @@ type Compiled struct {
 	// runs. lastSlot is that input's register slot.
 	lastBit  uint64
 	lastSlot int
+	// batchState is the lazily-compiled third execution tier (batch.go):
+	// columnar kernels built on first NewLanes, shared by every worker.
+	batchState
 }
 
 type cnode struct {

@@ -196,6 +196,7 @@ func (s *Service) checkStore(ctx context.Context, j *Job) (*Result, error) {
 	})
 	opts := []check.Option{
 		check.WithWorkers(s.cfg.SweepWorkers),
+		check.WithBatch(s.cfg.SweepBatch),
 		check.WithProgress(&j.progress),
 		commit,
 	}

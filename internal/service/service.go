@@ -74,6 +74,10 @@ type Config struct {
 	// SweepWorkers is the sweep parallelism of each job; ≤ 0 divides the
 	// CPUs evenly across pools (at least 1 each).
 	SweepWorkers int
+	// SweepBatch is the batch/columnar execution width of each job's sweep
+	// (check.WithBatch): ≤ 0 means DefaultSweepBatch, 1 forces the scalar
+	// tiers. Mechanisms that cannot batch fall back to scalar transparently.
+	SweepBatch int
 	// CacheCap bounds the compile cache; ≤ 0 means DefaultCacheCap.
 	CacheCap int
 	// MaxTuples rejects domains whose cartesian product exceeds it;
@@ -98,10 +102,11 @@ type Config struct {
 
 // Service defaults.
 const (
-	DefaultPools     = 4
-	DefaultQueueCap  = 64
-	DefaultMaxTuples = 8 << 20
-	DefaultMaxJobs   = 4096
+	DefaultPools      = 4
+	DefaultQueueCap   = 64
+	DefaultSweepBatch = 16
+	DefaultMaxTuples  = 8 << 20
+	DefaultMaxJobs    = 4096
 )
 
 func (c Config) normalized() Config {
@@ -116,6 +121,9 @@ func (c Config) normalized() Config {
 		if c.SweepWorkers < 1 {
 			c.SweepWorkers = 1
 		}
+	}
+	if c.SweepBatch <= 0 {
+		c.SweepBatch = DefaultSweepBatch
 	}
 	if c.MaxTuples <= 0 {
 		c.MaxTuples = DefaultMaxTuples
@@ -495,6 +503,7 @@ func (s *Service) check(ctx context.Context, j *Job) (*Result, error) {
 	}
 	opts := []check.Option{
 		check.WithWorkers(s.cfg.SweepWorkers),
+		check.WithBatch(s.cfg.SweepBatch),
 		check.WithProgress(&j.progress),
 	}
 

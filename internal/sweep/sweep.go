@@ -191,6 +191,49 @@ func RunHintContext(ctx context.Context, values [][]int64, cfg Config, fn HintFu
 		func(start, end, worker int) error { return runChunkHint(values, start, end, worker, fn) })
 }
 
+// BatchFunc is the callback of RunBatch/RunBatchContext: instead of one
+// tuple per call, fn receives a stride of up to width consecutive tuples
+// that differ only in the last — fastest-varying — coordinate. input holds
+// the first tuple of the stride; last holds the innermost coordinate of
+// every tuple in it (so last[0] == input[len(input)-1] and the stride
+// covers the tuples obtained by substituting each element of last). Strides
+// never cross an odometer carry or a chunk boundary, so the batch is
+// exactly the unit a columnar executor can run from one shared prefix.
+//
+// innerOnly is the batch lift of HintFunc's hint: true exactly when the
+// stride continues the same odometer row as the previous call on this
+// worker (within its current chunk) — no coordinate other than the last has
+// changed — so a prefix snapshot recorded on that earlier call still
+// applies. The first stride of every chunk and every stride reached through
+// a carry report false.
+//
+// Both slices are owned by the worker and reused between calls; fn may
+// overwrite input's last element (the natural way to reconstruct per-lane
+// tuples) but must copy anything it retains.
+type BatchFunc func(worker int, input []int64, last []int64, innerOnly bool) error
+
+// RunBatch is RunBatchContext with a background context.
+func RunBatch(values [][]int64, cfg Config, width int, fn BatchFunc) error {
+	return RunBatchContext(context.Background(), values, cfg, width, fn)
+}
+
+// RunBatchContext is RunContext with tuples delivered in innermost-axis
+// strides of up to width: the same chunked odometer-ordered enumeration,
+// cancellation, and shard semantics, with fn called once per stride instead
+// of once per tuple. Tuple order within and across calls is identical to
+// RunContext's, so per-worker fold state (view tables, first-witness
+// selection) is path-independent between the scalar and batch entry points.
+// width < 1 is treated as 1. The zero-arity product delivers its single
+// empty tuple as one call with nil input and nil last.
+func RunBatchContext(ctx context.Context, values [][]int64, cfg Config, width int, fn BatchFunc) error {
+	if width < 1 {
+		width = 1
+	}
+	return runRange(ctx, values, cfg,
+		func(worker int) error { return fn(worker, nil, nil, false) },
+		func(start, end, worker int) error { return runChunkBatch(values, start, end, worker, width, fn) })
+}
+
 // RunContext is Run with cancellation: workers observe ctx between chunks,
 // so after ctx is cancelled every worker stops within one chunk of tuples
 // and RunContext returns ctx's error. A cancelled sweep has visited a
@@ -378,6 +421,62 @@ func runChunk(values [][]int64, start, end, worker int, fn func(worker int, inpu
 			return err
 		}
 		for i := k - 1; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(values[i]) {
+				buf[i] = values[i][idx[i]]
+				break
+			}
+			idx[i] = 0
+			buf[i] = values[i][0]
+		}
+	}
+	return nil
+}
+
+// runChunkBatch is runChunk grouped into innermost-axis strides: the same
+// mixed-radix decode and odometer walk, with the innermost digit advanced
+// up to width positions at a time. A stride is clipped to the end of its
+// row (the next carry) and to the end of the chunk, so callbacks always see
+// lanes sharing one prefix and the chunk visits exactly [start, end).
+func runChunkBatch(values [][]int64, start, end, worker, width int, fn BatchFunc) error {
+	k := len(values)
+	idx := make([]int, k)
+	buf := make([]int64, k)
+	rem := start
+	for i := k - 1; i >= 0; i-- {
+		n := len(values[i])
+		idx[i] = rem % n
+		buf[i] = values[i][idx[i]]
+		rem /= n
+	}
+	inner := values[k-1]
+	innerOnly := false
+	for pos := start; pos < end; {
+		j := idx[k-1]
+		n := len(inner) - j
+		if n > width {
+			n = width
+		}
+		if n > end-pos {
+			n = end - pos
+		}
+		// The callback may have scribbled the innermost coordinate of buf
+		// on the previous call; every other coordinate is only written by
+		// the carry below.
+		buf[k-1] = inner[j]
+		if err := fn(worker, buf, inner[j:j+n:j+n], innerOnly); err != nil {
+			return err
+		}
+		pos += n
+		j += n
+		if j < len(inner) {
+			idx[k-1] = j
+			innerOnly = true
+			continue
+		}
+		idx[k-1] = 0
+		innerOnly = false
+		for i := k - 2; i >= 0; i-- {
 			idx[i]++
 			if idx[i] < len(values[i]) {
 				buf[i] = values[i][idx[i]]
