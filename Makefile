@@ -42,7 +42,9 @@ bench-batch-json:
 	@echo wrote BENCH_batch.json
 
 # The cluster perf-trajectory artifact: 1-node vs 2-node in-process fleet
-# over a 160k-tuple sweep, averaged like bench-json.
+# over a 160k-tuple sweep, plus the straggler scenario (one throttled
+# node) under the fixed and the elastic coordinator, averaged like
+# bench-json.
 bench-cluster-json:
 	$(GO) test -bench 'Cluster' -benchmem -count 3 -run '^$$' ./internal/cluster/ > bench_cluster.txt
 	$(GO) run ./cmd/benchjson < bench_cluster.txt > BENCH_cluster.json

@@ -3,8 +3,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"spm/internal/cluster"
 	"spm/internal/service"
@@ -15,11 +19,23 @@ import (
 // shards over the v2 API with retry/reassignment on node failure, and
 // prints the merged verdict in exactly the format `spm check` uses —
 // followed by one line of cluster accounting.
+//
+// Any of -steal-threshold, -speculate, -admin, or -nodes-file switches
+// the fleet to elastic mode: membership may change mid-check (via the
+// admin listener or a SIGHUP reread of the nodes file), stragglers have
+// the back half of their remaining range stolen onto idle nodes, and
+// with -speculate the last in-flight shards are duplicated so the fastest
+// copy wins. The merged verdict is byte-identical either way.
 func cmdCluster(args []string) error {
 	fs := flag.NewFlagSet("cluster", flag.ContinueOnError)
-	nodes := fs.String("nodes", "", "comma-separated worker base URLs, e.g. 127.0.0.1:8135,127.0.0.1:8136 (required)")
+	nodes := fs.String("nodes", "", "comma-separated worker base URLs, e.g. 127.0.0.1:8135,127.0.0.1:8136")
+	nodesFile := fs.String("nodes-file", "", "file with one worker base URL per line; SIGHUP rereads it mid-check (joins additions, retires removals)")
 	shards := fs.Int("shards", 0, "contiguous index-space shards (0 = 4 per node)")
 	retries := fs.Int("retries", 0, "per-shard re-dispatch budget after node failures (0 = default)")
+	stealThreshold := fs.Float64("steal-threshold", 0, "steal a straggler's remaining back half when its projected finish exceeds this multiple of the median (0 = off; try 2)")
+	speculate := fs.Bool("speculate", false, "duplicate the last in-flight shards on idle nodes; first result wins")
+	stealInterval := fs.Duration("steal-interval", 0, "straggler-supervisor cadence (0 = default)")
+	admin := fs.String("admin", "", "listen address for the membership admin API (GET /nodes, POST /join, POST /leave)")
 	policy := fs.String("policy", "{}", "allowed input indices, e.g. {1,3} or all")
 	variant := fs.String("variant", "untimed", "untimed, timed, or highwater")
 	domain := fs.String("domain", "0,1,2", "comma-separated values every input ranges over")
@@ -32,8 +48,8 @@ func cmdCluster(args []string) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("cluster: need exactly one program file")
 	}
-	if *nodes == "" {
-		return fmt.Errorf("cluster: -nodes is required")
+	if *nodes == "" && *nodesFile == "" {
+		return fmt.Errorf("cluster: -nodes or -nodes-file is required")
 	}
 	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
@@ -43,13 +59,47 @@ func cmdCluster(args []string) error {
 	if err != nil {
 		return err
 	}
-	coord, err := cluster.New(cluster.Config{
-		Nodes:   parseNodes(*nodes),
-		Shards:  *shards,
-		Retries: *retries,
-	})
+	nodeList := parseNodes(*nodes)
+	if *nodesFile != "" {
+		fromFile, err := readNodesFile(*nodesFile)
+		if err != nil {
+			return err
+		}
+		nodeList = append(nodeList, fromFile...)
+	}
+	cfg := cluster.Config{
+		Nodes:          nodeList,
+		Shards:         *shards,
+		Retries:        *retries,
+		StealThreshold: *stealThreshold,
+		Speculate:      *speculate,
+		StealInterval:  *stealInterval,
+	}
+	elastic := *stealThreshold > 0 || *speculate || *admin != "" || *nodesFile != ""
+	if elastic {
+		cfg.Registry = cluster.NewRegistry(nodeList)
+	}
+	coord, err := cluster.New(cfg)
 	if err != nil {
 		return err
+	}
+	if *admin != "" {
+		srv := &http.Server{
+			Addr:              *admin,
+			Handler:           coord.AdminHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "spm cluster: admin listener: %v\n", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "spm cluster: admin API on %s\n", *admin)
+	}
+	if *nodesFile != "" {
+		stopHUP := watchNodesFile(*nodesFile, cfg.Registry)
+		defer stopHUP()
 	}
 	rep, err := coord.Check(interruptContext(), service.CheckRequest{
 		Program: string(src),
@@ -82,4 +132,51 @@ func parseNodes(spec string) []string {
 		out = append(out, strings.TrimRight(part, "/"))
 	}
 	return out
+}
+
+// readNodesFile parses a nodes file: one URL per line, blank lines and
+// #-comments ignored, bare host:port defaulting to http.
+func readNodesFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: nodes file: %w", err)
+	}
+	var out []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, parseNodes(line)...)
+	}
+	return out, nil
+}
+
+// watchNodesFile rereads the nodes file on SIGHUP and reconciles the
+// registry against it: new URLs join the running check, missing ones are
+// retired. Returns a stop function for shutdown.
+func watchNodesFile(path string, reg *cluster.Registry) func() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGHUP)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-ch:
+				urls, err := readNodesFile(path)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "spm cluster: %v\n", err)
+					continue
+				}
+				joined, left := reg.SyncNodes(urls)
+				fmt.Fprintf(os.Stderr, "spm cluster: nodes file reloaded (%d joined, %d left)\n", joined, left)
+			}
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
 }

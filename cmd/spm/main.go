@@ -12,7 +12,7 @@
 //	spm check     [-policy {i,j}] [-variant ...] [-domain 0,1,2] [-time] file.fc
 //	spm sweep     [-policy {i,j}] [-variant ...] [-domain 0,1,2] [-workers N] [-chunk N] [-time] [-maximal] [-raw] file.fc
 //	spm serve     [-addr :8135] [-pools N] [-queue N] [-sweep-workers N] [-cache N]
-//	spm cluster   -nodes host:port,... [-shards N] [-retries N] [-policy ...] [-domain ...] [-maximal] file.fc
+//	spm cluster   -nodes host:port,... [-shards N] [-retries N] [-steal-threshold X] [-speculate] [-admin :addr] [-nodes-file F] [-policy ...] [-domain ...] [-maximal] file.fc
 //	spm loadgen   [-addr URL] [-n N] [-c N] [-maximal-every K] [-job-timeout D] [-program file.fc]
 //	spm dot       file.fc
 //
@@ -92,7 +92,7 @@ func usage() error {
   spm check      [-policy {i,j}] [-variant ...] [-domain 0,1,2] [-time] file.fc
   spm sweep      [-policy {i,j}] [-variant ...] [-domain 0,1,2] [-workers N] [-chunk N] [-time] [-maximal] [-raw] file.fc
   spm serve      [-addr :8135] [-pools N] [-queue N] [-sweep-workers N] [-cache N]
-  spm cluster    -nodes host:port,... [-shards N] [-retries N] [-policy ...] [-variant ...] [-domain ...] [-time] [-raw] [-maximal] file.fc
+  spm cluster    -nodes host:port,... [-shards N] [-retries N] [-steal-threshold X] [-speculate] [-admin :addr] [-nodes-file F] [-policy ...] [-variant ...] [-domain ...] [-time] [-raw] [-maximal] file.fc
   spm loadgen    [-addr URL] [-n N] [-c N] [-maximal-every K] [-job-timeout D] [-program file.fc] [-policy ...] [-domain ...]
   spm dot        file.fc`)
 	return nil

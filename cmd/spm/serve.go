@@ -42,6 +42,7 @@ func cmdServe(args []string) error {
 	tenantRate := fs.Float64("tenant-rate", 0, "per-tenant token refill, tuples/s (0 = default; needs -tenant-burst)")
 	tenantBurst := fs.Int64("tenant-burst", 0, "per-tenant bucket capacity in tuples; > 0 enables tenant quotas")
 	tenantQueue := fs.Int("tenant-queue", 0, "per-tenant dispatch backlog in jobs (0 = default)")
+	throttleD := fs.Duration("throttle", 0, "test hook: pause every sweep worker this long per chunk (makes this node a deterministic straggler)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,6 +62,7 @@ func cmdServe(args []string) error {
 			Burst:    *tenantBurst,
 			QueueCap: *tenantQueue,
 		},
+		Throttle: *throttleD,
 	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir)

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+	"time"
 
 	"spm/internal/core"
 	"spm/internal/sweep"
@@ -127,6 +128,30 @@ type Shard struct {
 // IsZero reports whether the shard denotes the whole domain.
 func (s Shard) IsZero() bool { return s == Shard{} }
 
+// SplitRemaining cuts the shard in two at the midpoint of its remaining
+// range: with done tuples already swept from the front, the remainder
+// [Offset+done, Offset+Count) is halved with integer arithmetic and the
+// shard becomes front = [Offset, mid) — the already-swept prefix plus the
+// first half of the remainder — and back = [mid, Offset+Count). front and
+// back partition the original exactly, which is what lets an elastic
+// cluster coordinator steal a straggler's back half to an idle node and
+// re-dispatch the shrunken front without perturbing the merged verdict.
+//
+// ok is false — and both halves zero — when there is nothing to split:
+// done is negative, Count is zero (an unbounded "through the end" shard
+// has no known remainder), done has consumed the shard, or fewer than two
+// tuples remain (a split would leave an empty half).
+func (s Shard) SplitRemaining(done int64) (front, back Shard, ok bool) {
+	if done < 0 || s.Count <= 0 || done > s.Count-2 {
+		return Shard{}, Shard{}, false
+	}
+	rem := s.Count - done
+	mid := s.Offset + done + rem/2
+	front = Shard{Offset: s.Offset, Count: mid - s.Offset}
+	back = Shard{Offset: mid, Count: s.Offset + s.Count - mid}
+	return front, back, true
+}
+
 // Spec names one verdict: what kind, about which mechanism, against which
 // policy, over which finite domain, under which observation.
 type Spec struct {
@@ -173,6 +198,10 @@ type Options struct {
 	// the run's range (in tuples, relative to the range start) as it
 	// grows — the resumable cursor behind crash-safe checkpointing.
 	Commit func(done int64)
+	// Throttle, when positive, makes every sweep worker pause this long
+	// after each completed chunk — the artificial slow-node hook behind
+	// straggler testing.
+	Throttle time.Duration
 }
 
 // Option tunes one Run call.
@@ -227,6 +256,14 @@ func WithMemo(on bool) Option { return func(o *Options) { o.Memo = on } }
 // WithCompiled(false).
 func WithBatch(n int) Option { return func(o *Options) { o.Batch = n } }
 
+// WithThrottle makes every sweep worker pause d after each completed
+// chunk (d ≤ 0 is free, the default). It never changes which tuples are
+// visited — only how fast — so the verdict is identical with and without
+// it. It exists as a test hook: an artificially throttled node is how the
+// elastic cluster coordinator's straggler detection (shard stealing,
+// speculative re-dispatch) is exercised deterministically.
+func WithThrottle(d time.Duration) Option { return func(o *Options) { o.Throttle = d } }
+
 // Run decides the Spec's verdict over its domain, sweeping in parallel and
 // honouring ctx: cancellation stops every worker within one chunk and
 // returns ctx's error. Run is the only code path in the repository that
@@ -264,6 +301,7 @@ func Run(ctx context.Context, spec Spec, opts ...Option) (Verdict, error) {
 			Count:    int(spec.Shard.Count),
 			Progress: o.Progress,
 			Commit:   commit,
+			Throttle: o.Throttle,
 		},
 		Interpreted:  !o.Compiled,
 		NoMemo:       !o.Memo,

@@ -1,6 +1,8 @@
 package check
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"reflect"
 	"testing"
@@ -146,6 +148,65 @@ func TestMergeDuplicateWitnessesAcrossOverlappingRetries(t *testing.T) {
 	}
 	if merged.Sound || !reflect.DeepEqual(merged.WitnessA, []int64{0, 0}) || !reflect.DeepEqual(merged.WitnessB, []int64{0, 1}) {
 		t.Fatalf("duplicate unsound shards merged wrong: %+v", merged)
+	}
+}
+
+// TestMergeFullyDuplicatedShard is the speculative-re-dispatch shape: two
+// complete results for the same range (the loser's cancel missed and both
+// copies finished) reach the merge alongside a distinct shard. The
+// verdict must be byte-identical to the duplicate-free merge in every
+// field except Checked, which sums over inputs — overlap inflates it by
+// design, which is exactly why the cluster runner keeps one result per
+// offset.
+func TestMergeFullyDuplicatedShard(t *testing.T) {
+	a := sv(Shard{Offset: 0, Count: 4}, 4, map[string]core.ViewObs{
+		"a": {Obs: "v=1", Witness: []int64{0, 0}},
+		"b": {Obs: "v=2", Witness: []int64{0, 1}},
+	})
+	b := sv(Shard{Offset: 4, Count: 4}, 4, map[string]core.ViewObs{
+		"a": {Obs: "v=1", Witness: []int64{1, 0}},
+		"c": {Obs: "v=3", Witness: []int64{1, 1}},
+	})
+	clean, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withDup, err := Merge(a, b, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withDup.Checked != clean.Checked+4 {
+		t.Fatalf("duplicate shard's tuples not summed: %d vs %d+4", withDup.Checked, clean.Checked)
+	}
+	withDup.Checked = clean.Checked
+	cleanJSON, _ := json.Marshal(clean)
+	dupJSON, _ := json.Marshal(withDup)
+	if !bytes.Equal(cleanJSON, dupJSON) {
+		t.Fatalf("fully duplicated shard changed the merge:\n  %s\nvs\n  %s", dupJSON, cleanJSON)
+	}
+	if !reflect.DeepEqual(clean, withDup) {
+		t.Fatalf("fully duplicated shard changed the merge: %+v vs %+v", withDup, clean)
+	}
+
+	// The same tolerance must hold when the duplicated shard carries the
+	// counterexample: one witness pair, not a fabricated second conflict.
+	u := sv(Shard{Offset: 4, Count: 4}, 4, map[string]core.ViewObs{
+		"a": {Obs: "v=1", Witness: []int64{1, 0}},
+	})
+	u.Sound = false
+	u.WitnessA, u.WitnessB = []int64{1, 0}, []int64{1, 1}
+	u.ObsA, u.ObsB = "v=1", "v=9"
+	cleanU, err := Merge(a, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dupU, err := Merge(a, u, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dupU.Checked = cleanU.Checked
+	if !reflect.DeepEqual(cleanU, dupU) {
+		t.Fatalf("duplicated unsound shard changed the merge: %+v vs %+v", dupU, cleanU)
 	}
 }
 

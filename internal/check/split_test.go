@@ -1,0 +1,86 @@
+package check
+
+import "testing"
+
+// checkSplitRemaining asserts the SplitRemaining contract for one input:
+// when ok, front and back partition the original range exactly — front
+// keeps the origin (and everything already swept), back is non-empty and
+// abuts front — and when not ok the inputs were genuinely unsplittable.
+func checkSplitRemaining(t *testing.T, s Shard, done int64) {
+	t.Helper()
+	front, back, ok := s.SplitRemaining(done)
+	if !ok {
+		if done >= 0 && s.Count > 0 && done <= s.Count-2 {
+			t.Fatalf("SplitRemaining(%+v, %d): refused a splittable range", s, done)
+		}
+		return
+	}
+	if done < 0 || s.Count <= 0 || done > s.Count-2 {
+		t.Fatalf("SplitRemaining(%+v, %d): split an unsplittable range into %+v / %+v", s, done, front, back)
+	}
+	if front.Offset != s.Offset {
+		t.Fatalf("SplitRemaining(%+v, %d): front moved to %d", s, done, front.Offset)
+	}
+	if front.Count < 1 || back.Count < 1 {
+		t.Fatalf("SplitRemaining(%+v, %d): empty half: %+v / %+v", s, done, front, back)
+	}
+	if back.Offset != front.Offset+front.Count {
+		t.Fatalf("SplitRemaining(%+v, %d): gap or overlap: %+v / %+v", s, done, front, back)
+	}
+	if front.Count+back.Count != s.Count {
+		t.Fatalf("SplitRemaining(%+v, %d): coverage changed: %+v / %+v", s, done, front, back)
+	}
+	if done > front.Count {
+		t.Fatalf("SplitRemaining(%+v, %d): swept work leaked into the stolen back half: %+v", s, done, front)
+	}
+	// The split halves what remains: the halves of Count-done differ by
+	// at most one, with the larger half going to the back (the thief is
+	// the faster party; the front's holder re-sweeps its prefix anyway).
+	remFront, remBack := front.Count-done, back.Count
+	if d := remBack - remFront; d < 0 || d > 1 {
+		t.Fatalf("SplitRemaining(%+v, %d): unbalanced remainder split %d/%d", s, done, remFront, remBack)
+	}
+}
+
+// TestSplitRemainingProperties seeds the contract checker with the
+// boundary shapes: nothing done, everything-but-two done, one-past
+// splittable, negative cursors, unbounded (Count 0) shards.
+func TestSplitRemainingProperties(t *testing.T) {
+	for _, tc := range []struct {
+		s    Shard
+		done int64
+	}{
+		{Shard{Offset: 0, Count: 10}, 0},
+		{Shard{Offset: 0, Count: 10}, 5},
+		{Shard{Offset: 0, Count: 10}, 8},  // exactly two remain: last splittable cursor
+		{Shard{Offset: 0, Count: 10}, 9},  // one remains: refuse
+		{Shard{Offset: 0, Count: 10}, 10}, // nothing remains: refuse
+		{Shard{Offset: 0, Count: 10}, -1}, // corrupt cursor: refuse
+		{Shard{Offset: 0, Count: 0}, 0},   // unbounded shard: refuse
+		{Shard{Offset: 0, Count: 2}, 0},
+		{Shard{Offset: 4096, Count: 4096}, 1024},
+		{Shard{Offset: 160000 - 13333, Count: 13333}, 13331},
+	} {
+		checkSplitRemaining(t, tc.s, tc.done)
+	}
+}
+
+// FuzzSplitRemaining drives the contract from arbitrary cursors and
+// ranges — the same invariants the cluster coordinator's shard stealing
+// relies on for exactness: front ∪ back must be exactly the original
+// range or the merged verdict would double-count or miss tuples.
+func FuzzSplitRemaining(f *testing.F) {
+	f.Add(int64(0), int64(10), int64(3))
+	f.Add(int64(4096), int64(4096), int64(0))
+	f.Add(int64(1)<<40, int64(1)<<20, int64(1)<<19)
+	f.Add(int64(5), int64(2), int64(-7))
+	f.Fuzz(func(t *testing.T, offset, count, done int64) {
+		if offset < 0 || count < 0 || offset > (int64(1)<<60) || count > (int64(1)<<60) {
+			t.Skip()
+		}
+		if done > (int64(1)<<60) || done < -(int64(1)<<60) {
+			t.Skip()
+		}
+		checkSplitRemaining(t, Shard{Offset: offset, Count: count}, done)
+	})
+}

@@ -62,3 +62,73 @@ func BenchmarkClusterCheck(b *testing.B) {
 		})
 	}
 }
+
+// benchmarkStraggler runs the same 160k-tuple check on a 3-node fleet
+// whose third node is a deterministic straggler (the serve-side throttle
+// hook naps it every chunk). The fixed row eats the straggler's tail
+// latency; the elastic row steals the back half of its remaining range
+// and speculates the stragglers away, so the delta between the two rows
+// is the price of a slow node under each coordinator.
+func benchmarkStraggler(b *testing.B, elastic bool) {
+	nodes := make([]string, 3)
+	for i := range nodes {
+		cfg := service.Config{Pools: 2}
+		if i == 2 {
+			cfg.Throttle = 10 * time.Millisecond
+		}
+		svc := service.New(cfg)
+		srv := httptest.NewServer(svc.Handler())
+		b.Cleanup(func() {
+			srv.Close()
+			svc.Close()
+		})
+		nodes[i] = srv.URL
+	}
+	dom := make([]int64, 400)
+	for i := range dom {
+		dom[i] = int64(i)
+	}
+	req := service.CheckRequest{Program: soundProg, Policy: "{2}", Domain: dom}
+	cfg := Config{Nodes: nodes, Shards: 6, Poll: 2 * time.Millisecond}
+	if elastic {
+		cfg.Registry = NewRegistry(nodes)
+		cfg.StealThreshold = 2
+		cfg.Speculate = true
+		cfg.StealInterval = 5 * time.Millisecond
+	}
+	coord, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var stolen, speculated int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := coord.Check(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Soundness.Sound || rep.Soundness.Checked != benchTuples {
+			b.Fatalf("bad verdict: %+v", rep.Soundness)
+		}
+		stolen += rep.Stolen
+		speculated += rep.Speculated
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(benchTuples)*float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+	b.ReportMetric(float64(stolen)/float64(b.N), "stolen/op")
+	b.ReportMetric(float64(speculated)/float64(b.N), "speculated/op")
+}
+
+// BenchmarkClusterStraggler is the elastic trajectory row pair in
+// BENCH_cluster.json: the same straggler scenario under the fixed and the
+// elastic coordinator.
+func BenchmarkClusterStraggler(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		elastic bool
+	}{{"fixed", false}, {"elastic", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			benchmarkStraggler(b, mode.elastic)
+		})
+	}
+}

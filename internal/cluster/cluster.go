@@ -21,6 +21,35 @@
 // shard the moment it finishes, so faster nodes sweep more of the index
 // space — the same dynamic balance the JSQ scheduler gives jobs inside one
 // node.
+//
+// # Elastic mode
+//
+// With a Registry (or any steal/speculate knob) configured the fleet
+// becomes elastic, exploiting the fact that a shard is nothing but a
+// contiguous index range [Offset, Offset+Count):
+//
+//   - Dynamic membership. Nodes join and leave mid-check through the
+//     registry (Coordinator.AdminHandler, nodes-file SIGHUP rereads);
+//     joiners enter the shard pool immediately, leavers have their
+//     in-flight shard cancelled and requeued without charging its retry
+//     budget, and health probes of GET /v2/stats retire silently dead
+//     nodes.
+//
+//   - Shard stealing. The coordinator follows each job's chunk cursor
+//     over the SSE event stream (GET /v2/jobs/{id}/events, with a poll
+//     fallback) and projects every flight's finish time. When a
+//     straggler's projection exceeds StealThreshold × the median and
+//     idle nodes exist, the remaining range is split at a cursor-aligned
+//     midpoint with integer arithmetic: the back half goes to an idle
+//     node and the straggler is shrunk by cancel-and-resubmit of the
+//     front half.
+//
+//   - Speculative re-dispatch. When idle nodes outnumber the remaining
+//     shards, in-flight shards are duplicated on idle nodes; the first
+//     result per shard wins and the loser is cancelled. check.Merge
+//     tolerates overlapping duplicates by construction, but the runner
+//     keeps exactly one result per shard offset, so the merged verdict
+//     stays byte-identical to a single-node check.
 package cluster
 
 import (
@@ -82,21 +111,48 @@ type Config struct {
 	Poll time.Duration
 	// Client is the HTTP client; nil means a client with a 30s timeout.
 	Client *http.Client
+
+	// Registry, when set, makes the fleet elastic: membership comes from
+	// the registry (Nodes, if also given, are joined into it) and may
+	// change mid-check. Setting any of the fields below without a
+	// Registry creates one implicitly from Nodes.
+	Registry *Registry
+	// StealThreshold enables shard stealing when > 0: a flight whose
+	// projected finish exceeds StealThreshold × the median (of the other
+	// flights, or of completed shard times) while idle nodes exist has
+	// the back half of its remaining range stolen. Values near 1 steal
+	// aggressively; 2–4 is a reasonable range.
+	StealThreshold float64
+	// Speculate enables speculative re-dispatch: when idle nodes exist
+	// and no shards are pending, in-flight shards are duplicated on the
+	// idle nodes and the first result per shard wins.
+	Speculate bool
+	// StealInterval is the supervisor cadence; ≤ 0 means
+	// DefaultStealInterval.
+	StealInterval time.Duration
+}
+
+// elastic reports whether cfg asks for the elastic runner.
+func (cfg *Config) elastic() bool {
+	return cfg.Registry != nil || cfg.StealThreshold > 0 || cfg.Speculate
 }
 
 // Coordinator fans one check out over a fleet of spm serve nodes.
 type Coordinator struct {
-	cfg    Config
-	client *http.Client
+	cfg     Config
+	client  *http.Client
+	elastic bool
+	// registry is the membership table; in fixed mode it exists but is
+	// never consulted or probed.
+	registry *Registry
+	// stream is client without a deadline, for long-lived SSE watches.
+	stream *http.Client
 }
 
 // New validates cfg and builds a Coordinator. Duplicate node URLs are
 // collapsed: the runner's per-node accounting (live-node count, failure
 // tallies) keys on the URL, so one physical node must appear once.
 func New(cfg Config) (*Coordinator, error) {
-	if len(cfg.Nodes) == 0 {
-		return nil, errors.New("cluster: no nodes")
-	}
 	seen := make(map[string]bool, len(cfg.Nodes))
 	deduped := make([]string, 0, len(cfg.Nodes))
 	for _, n := range cfg.Nodes {
@@ -119,7 +175,29 @@ func New(cfg Config) (*Coordinator, error) {
 	if client == nil {
 		client = &http.Client{Timeout: 30 * time.Second}
 	}
-	return &Coordinator{cfg: cfg, client: client}, nil
+	registry := cfg.Registry
+	if registry == nil {
+		registry = NewRegistry(cfg.Nodes)
+	} else {
+		for _, n := range cfg.Nodes {
+			registry.Join(n)
+		}
+	}
+	c := &Coordinator{
+		cfg:      cfg,
+		client:   client,
+		elastic:  cfg.elastic(),
+		registry: registry,
+		stream:   &http.Client{Transport: client.Transport},
+	}
+	if c.elastic {
+		if len(registry.Alive()) == 0 {
+			return nil, errors.New("cluster: no nodes")
+		}
+	} else if len(cfg.Nodes) == 0 {
+		return nil, errors.New("cluster: no nodes")
+	}
+	return c, nil
 }
 
 // NodeReport is one node's row in a Report.
@@ -131,6 +209,9 @@ type NodeReport struct {
 	Failures int `json:"failures"`
 	// Dead marks a node the coordinator stopped using mid-run.
 	Dead bool `json:"dead,omitempty"`
+	// State is the node's membership state at the end of an elastic run;
+	// empty in fixed mode.
+	State NodeState `json:"state,omitempty"`
 }
 
 // Report is the outcome of one distributed check.
@@ -157,8 +238,15 @@ type Report struct {
 	Completed int
 	Retries   int
 	Cancelled int
-	Nodes     []NodeReport
-	Elapsed   time.Duration
+	// Elastic accounting: nodes that joined and left mid-check, shards
+	// whose back half was stolen from a straggler, and speculative
+	// duplicates dispatched. All zero in fixed mode.
+	Joined     int
+	Left       int
+	Stolen     int
+	Speculated int
+	Nodes      []NodeReport
+	Elapsed    time.Duration
 }
 
 // String summarises the distributed run: the merged verdict(s) first —
@@ -173,6 +261,10 @@ func (r *Report) String() string {
 	}
 	fmt.Fprintf(&b, "\ncluster: %d/%d shards on %d nodes (%d retries, %d cancelled) in %v",
 		r.Completed, r.Shards, len(r.Nodes), r.Retries, r.Cancelled, r.Elapsed.Round(time.Millisecond))
+	if r.Joined+r.Left+r.Stolen+r.Speculated > 0 {
+		fmt.Fprintf(&b, "\nelastic: %d joined, %d left, %d stolen, %d speculated",
+			r.Joined, r.Left, r.Stolen, r.Speculated)
+	}
 	return b.String()
 }
 
@@ -182,7 +274,25 @@ var (
 	errStopped  = errors.New("cluster: run stopped")
 	errNodeDown = errors.New("cluster: node down")
 	errBusy     = errors.New("cluster: node busy")
+	// errLost marks a speculative flight whose rival finished first; its
+	// outcome is discarded without requeue or charge.
+	errLost = errors.New("cluster: speculative race lost")
+	// errEvicted marks a flight cancelled because its node retired; the
+	// shard is requeued without charging its retry budget.
+	errEvicted = errors.New("cluster: node retired mid-shard")
+	// errNoNodesLeft fails an elastic run whose registry drained.
+	errNoNodesLeft = errors.New("cluster: every node retired")
 )
+
+// shrunkError carries a committed steal back to the node loop: the
+// straggler's job was cancelled, the back half of its remaining range is
+// already in the pool, and the loop must immediately re-run the front
+// half on the same node.
+type shrunkError struct{ front check.Shard }
+
+func (e *shrunkError) Error() string {
+	return fmt.Sprintf("cluster: shard shrunk to [%d,+%d)", e.front.Offset, e.front.Count)
+}
 
 // fatalError wraps a node response that retrying elsewhere cannot fix —
 // the service rejected the submission as invalid.
@@ -215,15 +325,19 @@ func (c *Coordinator) Check(ctx context.Context, req service.CheckRequest) (*Rep
 
 	start := time.Now()
 	r := newRunner(ctx, c, req, shards)
-	var wg sync.WaitGroup
-	for _, node := range c.cfg.Nodes {
-		wg.Add(1)
-		go func(node string) {
-			defer wg.Done()
-			r.nodeLoop(node)
-		}(node)
+	if c.elastic {
+		go c.registry.probeLoop(r.stopCtx, c.client)
+		go r.membershipLoop()
+		go r.supervise()
+		for _, node := range c.registry.Alive() {
+			r.spawnLoop(node)
+		}
+	} else {
+		for _, node := range c.cfg.Nodes {
+			r.spawnLoop(node)
+		}
 	}
-	wg.Wait()
+	r.waitDone()
 	r.stop() // release the stop context in every exit path
 
 	if err := ctx.Err(); err != nil {
@@ -244,7 +358,14 @@ func (c *Coordinator) Check(ctx context.Context, req service.CheckRequest) (*Rep
 func (c *Coordinator) shardCount(size int) int {
 	n := c.cfg.Shards
 	if n <= 0 {
-		n = DefaultShardsPerNode * len(c.cfg.Nodes)
+		nodes := len(c.cfg.Nodes)
+		if c.elastic {
+			nodes = len(c.registry.Alive())
+		}
+		if nodes < 1 {
+			nodes = 1
+		}
+		n = DefaultShardsPerNode * nodes
 	}
 	if size > 0 && n > size {
 		n = size
@@ -271,10 +392,21 @@ func splitIndexSpace(size, n int) []check.Shard {
 	return shards
 }
 
+// pendingEntry is one unit of dispatchable work: a shard, plus whether it
+// is a speculative duplicate of a range already in flight elsewhere, or
+// the shrunk front of a committed steal.
+type pendingEntry struct {
+	sh          check.Shard
+	speculative bool
+	shrunk      bool
+}
+
 // runner is the state of one distributed check: a pool of pending shards,
 // the per-shard retry ledger, and the completed results. Node goroutines
 // pull shards from it; any definitive counterexample or fatal error stops
-// the pool.
+// the pool. In elastic mode the runner additionally tracks every attempt
+// as a flight (for the steal/speculate supervisor) and spawns and retires
+// node loops as the registry changes.
 type runner struct {
 	c   *Coordinator
 	req service.CheckRequest
@@ -285,7 +417,7 @@ type runner struct {
 
 	mu          sync.Mutex
 	cond        *sync.Cond
-	pending     []check.Shard
+	pending     []pendingEntry
 	outstanding int // shards not yet completed
 	attempts    map[int64]int
 	results     map[int64]*service.Result
@@ -296,6 +428,19 @@ type runner struct {
 	fatal       error
 	definitive  bool
 	stopped     bool
+
+	// Elastic state. flights is every shard attempt currently on a node;
+	// idle counts node loops blocked in next with nothing to pull;
+	// loopsActive and started govern the dynamic loop-per-node lifecycle;
+	// shardDurs collects completed shard wall times for the steal
+	// baseline.
+	flights     map[*flight]struct{}
+	idle        int
+	loopsActive int
+	started     map[string]bool
+	shardDurs   []time.Duration
+	stolen      int
+	speculated  int
 }
 
 func newRunner(ctx context.Context, c *Coordinator, req service.CheckRequest, shards []check.Shard) *runner {
@@ -306,16 +451,26 @@ func newRunner(ctx context.Context, c *Coordinator, req service.CheckRequest, sh
 		ctx:         ctx,
 		stopCtx:     stopCtx,
 		stop:        stop,
-		pending:     append([]check.Shard(nil), shards...),
 		outstanding: len(shards),
 		attempts:    make(map[int64]int),
 		results:     make(map[int64]*service.Result),
 		nodes:       make(map[string]*NodeReport),
-		live:        len(c.cfg.Nodes),
+		flights:     make(map[*flight]struct{}),
+		started:     make(map[string]bool),
+	}
+	for _, sh := range shards {
+		r.pending = append(r.pending, pendingEntry{sh: sh})
 	}
 	r.cond = sync.NewCond(&r.mu)
-	for _, n := range c.cfg.Nodes {
-		r.nodes[n] = &NodeReport{URL: n}
+	if c.elastic {
+		for _, m := range c.registry.Members() {
+			r.nodes[m.URL] = &NodeReport{URL: m.URL}
+		}
+	} else {
+		r.live = len(c.cfg.Nodes)
+		for _, n := range c.cfg.Nodes {
+			r.nodes[n] = &NodeReport{URL: n}
+		}
 	}
 	// Wake waiters when the caller's context dies so node loops never
 	// block past cancellation.
@@ -328,33 +483,125 @@ func newRunner(ctx context.Context, c *Coordinator, req service.CheckRequest, sh
 	return r
 }
 
-// next blocks until a shard is available, every shard has completed, or
-// the run stopped. The second return is false when the node should exit.
-func (r *runner) next() (check.Shard, bool) {
+// nodeRep returns the node's report row, creating one for nodes that
+// joined after the run started. Callers hold r.mu.
+func (r *runner) nodeRep(node string) *NodeReport {
+	nr := r.nodes[node]
+	if nr == nil {
+		nr = &NodeReport{URL: node}
+		r.nodes[node] = nr
+	}
+	return nr
+}
+
+// spawnLoop starts a node loop unless the run is over or the node already
+// has one. Used both for the initial fleet and for mid-check joiners.
+func (r *runner) spawnLoop(node string) {
+	r.mu.Lock()
+	if r.stopped || r.outstanding == 0 || r.started[node] {
+		r.mu.Unlock()
+		return
+	}
+	r.started[node] = true
+	r.loopsActive++
+	r.nodeRep(node)
+	r.mu.Unlock()
+	go func() {
+		defer func() {
+			r.mu.Lock()
+			r.loopsActive--
+			r.started[node] = false
+			r.mu.Unlock()
+			r.cond.Broadcast()
+		}()
+		r.nodeLoop(node)
+	}()
+}
+
+// waitDone blocks until the run is decided (all shards complete, or
+// stopped) and every node loop has wound down — after which the results
+// map is immutable and safe to merge.
+func (r *runner) waitDone() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for {
-		if r.stopped || r.outstanding == 0 {
-			return check.Shard{}, false
-		}
-		if len(r.pending) > 0 {
-			sh := r.pending[0]
-			r.pending = r.pending[1:]
-			return sh, true
-		}
-		// Shards are all in flight on other nodes; one may yet fail and
-		// come back to the pool.
+	for !((r.stopped || r.outstanding == 0) && r.loopsActive == 0) {
 		r.cond.Wait()
 	}
 }
 
-// complete records a finished shard and short-circuits the pool when its
-// result is a definitive counterexample.
-func (r *runner) complete(node string, sh check.Shard, res *service.Result) {
+// next blocks until a shard is available, every shard has completed, or
+// the run stopped. The second return is false when the node should exit.
+func (r *runner) next() (pendingEntry, bool) {
 	r.mu.Lock()
-	r.results[sh.Offset] = res
+	defer r.mu.Unlock()
+	for {
+		if r.stopped || r.outstanding == 0 {
+			return pendingEntry{}, false
+		}
+		if len(r.pending) > 0 {
+			e := r.pending[0]
+			r.pending = r.pending[1:]
+			if e.speculative && r.results[e.sh.Offset] != nil {
+				// The primary finished while this duplicate waited.
+				continue
+			}
+			return e, true
+		}
+		// Shards are all in flight on other nodes; one may yet fail and
+		// come back to the pool — and in elastic mode an idle loop here
+		// is the capacity signal that triggers stealing and speculation.
+		r.idle++
+		r.cond.Wait()
+		r.idle--
+	}
+}
+
+// giveBack returns an undispatched entry to the pool (the loop pulled it
+// but cannot run it — its node retired between next and submit).
+func (r *runner) giveBack(e pendingEntry) {
+	r.mu.Lock()
+	r.pending = append([]pendingEntry{e}, r.pending...)
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+// complete records a finished shard and short-circuits the pool when its
+// result is a definitive counterexample. Exactly one result per shard
+// offset is kept: a speculative duplicate arriving second is discarded
+// (keeping the merge input duplicate-free), and a win cancels the losing
+// rival flights.
+func (r *runner) complete(node string, e pendingEntry, res *service.Result, fl *flight) {
+	r.mu.Lock()
+	off := e.sh.Offset
+	if r.results[off] != nil {
+		// A rival already decided this range; this copy lost the race
+		// after the cancel missed it. Drop the result.
+		r.mu.Unlock()
+		return
+	}
+	r.results[off] = res
 	r.outstanding--
-	r.nodes[node].Shards++
+	r.nodeRep(node).Shards++
+	if fl != nil {
+		r.shardDurs = append(r.shardDurs, time.Since(fl.started))
+	}
+	// Settle rivals: in-flight twins lose, queued duplicates evaporate.
+	var losers []*flight
+	for other := range r.flights {
+		if other != fl && other.sh.Offset == off && !other.gone() {
+			other.lost.Store(true)
+			losers = append(losers, other)
+		}
+	}
+	if len(losers) > 0 || len(r.pending) > 0 {
+		kept := r.pending[:0]
+		for _, p := range r.pending {
+			if !(p.speculative && p.sh.Offset == off) {
+				kept = append(kept, p)
+			}
+		}
+		r.pending = kept
+	}
 	definitive := !res.Sound || (res.Maximal != nil && !*res.Maximal)
 	if definitive {
 		r.definitive = true
@@ -362,6 +609,9 @@ func (r *runner) complete(node string, sh check.Shard, res *service.Result) {
 	}
 	done := r.outstanding == 0
 	r.mu.Unlock()
+	for _, other := range losers {
+		go r.cancelJob(other.node, other.id)
+	}
 	if definitive {
 		r.stop()
 	}
@@ -372,23 +622,69 @@ func (r *runner) complete(node string, sh check.Shard, res *service.Result) {
 	}
 }
 
+// addFlight / removeFlight bracket one shard attempt for the supervisor.
+func (r *runner) addFlight(fl *flight) {
+	r.mu.Lock()
+	r.flights[fl] = struct{}{}
+	r.mu.Unlock()
+}
+
+func (r *runner) removeFlight(fl *flight) {
+	r.mu.Lock()
+	delete(r.flights, fl)
+	r.mu.Unlock()
+}
+
+// commitSplit finalizes a steal once the straggler's cancellation is
+// observed: the stolen back half enters the pool as a brand-new shard
+// (fresh retry budget — it is new work, not a failure) and the shard
+// count grows by one.
+func (r *runner) commitSplit(intent splitIntent) {
+	r.mu.Lock()
+	r.outstanding++
+	r.stolen++
+	r.pending = append(r.pending, pendingEntry{sh: intent.back})
+	r.mu.Unlock()
+	r.cond.Signal()
+}
+
 // requeue hands a failed shard back to the pool. A genuine failure
 // charges the shard's retry budget — exhausting it is fatal for the whole
-// check — while a busy refusal (charge false) does not: the node is
-// healthy, its queues are just full, and bouncing the shard back to the
-// pool after the submit backoff must not convert sustained load into a
+// check — while a busy refusal or an eviction (charge false) does not:
+// the node is healthy or merely leaving, and neither must convert into a
 // permanent failure. The caller's context bounds how long a perpetually
 // busy fleet can spin.
-func (r *runner) requeue(node string, sh check.Shard, cause error, charge bool) {
+//
+// Speculation complicates the ledger: a range whose result already
+// arrived (the twin won) needs no requeue at all, a failed speculative
+// copy whose primary is still flying is simply dropped, and a failed
+// primary whose twin is still flying promotes the twin instead of
+// requeuing — the range must be owned by exactly one live attempt or
+// pool entry at all times.
+func (r *runner) requeue(node string, e pendingEntry, cause error, charge bool) {
 	r.mu.Lock()
 	defer func() {
 		r.mu.Unlock()
 		r.cond.Broadcast()
 	}()
-	r.nodes[node].Failures++
+	r.nodeRep(node).Failures++
 	if r.stopped {
 		return
 	}
+	sh := e.sh
+	if r.results[sh.Offset] != nil {
+		return // a rival already finished this range
+	}
+	if twin := r.rivalFlightLocked(sh.Offset, node); twin != nil {
+		if e.speculative {
+			return // the primary is still flying
+		}
+		// The primary died; its speculative twin inherits the range.
+		twin.spec.Store(false)
+		return
+	}
+	// A failing speculative copy with no surviving primary inherits the
+	// primary role and requeues under the normal rules.
 	if charge {
 		r.attempts[sh.Offset]++
 		if r.attempts[sh.Offset] > r.c.cfg.Retries {
@@ -398,11 +694,35 @@ func (r *runner) requeue(node string, sh check.Shard, cause error, charge bool) 
 		}
 	}
 	r.retries++
-	r.pending = append(r.pending, sh)
+	r.pending = append(r.pending, pendingEntry{sh: sh})
 }
 
-// nodeDead retires a node; with no live nodes left the check fails.
+// rivalFlightLocked finds another live flight covering the offset, if
+// any. Callers hold r.mu.
+func (r *runner) rivalFlightLocked(offset int64, excludeNode string) *flight {
+	for fl := range r.flights {
+		if fl.sh.Offset == offset && !fl.gone() && fl.node != excludeNode {
+			return fl
+		}
+	}
+	return nil
+}
+
+// nodeDead retires a node; with no usable nodes left the check fails. In
+// elastic mode the registry is the source of truth (and a later Join can
+// revive the URL for the next check); in fixed mode the live counter is.
 func (r *runner) nodeDead(node string) {
+	if r.c.elastic {
+		r.c.registry.retire(node)
+		r.mu.Lock()
+		r.nodeRep(node).Dead = true
+		if len(r.c.registry.Alive()) == 0 && !r.stopped {
+			r.failLocked(errNoNodesLeft)
+		}
+		r.mu.Unlock()
+		r.cond.Broadcast()
+		return
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.nodes[node].Dead {
@@ -434,56 +754,85 @@ func (r *runner) noteCancelled() {
 }
 
 // nodeLoop pulls shards and runs them on one node until the pool drains,
-// the run stops, or the node dies.
+// the run stops, the node dies, or (elastic) the node retires. A shrunk
+// shard — the supervisor stole its back half — re-runs its front half on
+// the same node immediately, without a round-trip through the pool.
 func (r *runner) nodeLoop(node string) {
 	for {
-		sh, ok := r.next()
+		e, ok := r.next()
 		if !ok {
 			return
 		}
-		res, err := r.runShard(node, sh)
+		if r.c.elastic && !r.c.registry.usable(node) {
+			r.giveBack(e)
+			return
+		}
+	attempt:
+		res, fl, err := r.runShard(node, e)
 		switch {
 		case err == nil:
-			r.complete(node, sh, res)
+			r.complete(node, e, res, fl)
 		case errors.Is(err, errStopped):
 			// The pool stopped while this shard was in flight; it is
 			// deliberately not completed and not requeued.
 			return
+		case errors.Is(err, errLost):
+			// A speculative rival finished first; nothing to do.
+			continue
+		case errors.Is(err, errEvicted):
+			r.requeue(node, e, err, false)
+			return
 		case errors.Is(err, errNodeDown):
-			r.requeue(node, sh, err, true)
+			r.requeue(node, e, err, true)
 			r.nodeDead(node)
 			return
 		case errors.Is(err, errBusy):
-			r.requeue(node, sh, err, false)
+			r.requeue(node, e, err, false)
+			continue
 		default:
+			var se *shrunkError
+			if errors.As(err, &se) {
+				e = pendingEntry{sh: se.front, shrunk: true}
+				goto attempt
+			}
 			var fe *fatalError
 			if errors.As(err, &fe) {
 				r.mu.Lock()
-				r.failLocked(fmt.Errorf("cluster: node %s rejected shard [%d,+%d): %s", node, sh.Offset, sh.Count, fe.msg))
+				r.failLocked(fmt.Errorf("cluster: node %s rejected shard [%d,+%d): %s", node, e.sh.Offset, e.sh.Count, fe.msg))
 				r.mu.Unlock()
 				r.cond.Broadcast()
 				return
 			}
-			r.requeue(node, sh, err, true)
+			r.requeue(node, e, err, true)
 		}
 	}
 }
 
-// runShard executes one shard on one node: submit, poll to a terminal
-// state, and return the result. On coordinator stop the in-flight job is
-// cancelled server-side (DELETE /v2/jobs/{id}) before returning.
-func (r *runner) runShard(node string, sh check.Shard) (*service.Result, error) {
+// runShard executes one shard attempt on one node: submit, watch (SSE
+// with poll fallback; plain poll in fixed mode) to a terminal state, and
+// return the result plus the flight that produced it (nil in fixed
+// mode). On coordinator stop the in-flight job is cancelled server-side
+// (DELETE /v2/jobs/{id}) before returning.
+func (r *runner) runShard(node string, e pendingEntry) (*service.Result, *flight, error) {
 	req := r.req
-	req.Offset = sh.Offset
-	req.Count = sh.Count
+	req.Offset = e.sh.Offset
+	req.Count = e.sh.Count
 	// Every shard of the run submits the same program text, so after the
 	// first shard the node's content-addressed compile cache answers and
 	// the job goes straight to the sweep.
 	id, err := r.submit(node, req)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return r.poll(node, id)
+	if !r.c.elastic {
+		res, err := r.poll(node, id, nil)
+		return res, nil, err
+	}
+	fl := newFlight(node, id, e)
+	r.addFlight(fl)
+	defer r.removeFlight(fl)
+	res, err := r.watch(node, id, fl)
+	return res, fl, err
 }
 
 // submit POSTs the shard to the node, absorbing transient 503s with a
@@ -547,8 +896,10 @@ func (r *runner) submit(node string, req service.CheckRequest) (string, error) {
 // poll watches the job until it reaches a terminal state, checking
 // immediately (small shards on a warm compile cache finish faster than a
 // poll interval) and then once per interval. A coordinator stop cancels
-// the job server-side; repeated poll failures mark the node dead.
-func (r *runner) poll(node, id string) (*service.Result, error) {
+// the job server-side; repeated poll failures mark the node dead. In
+// elastic mode poll is the fallback behind the SSE watch and keeps the
+// flight's cursor fed from the status snapshots.
+func (r *runner) poll(node, id string, fl *flight) (*service.Result, error) {
 	failures := 0
 	for {
 		st, err := r.jobStatus(node, id)
@@ -567,19 +918,11 @@ func (r *runner) poll(node, id string) (*service.Result, error) {
 			}
 		default:
 			failures = 0
-			switch st.State {
-			case service.StateDone:
-				if st.Result == nil {
-					return nil, fmt.Errorf("cluster: %s: job %s done without result", node, id)
-				}
-				return st.Result, nil
-			case service.StateFailed:
-				return nil, fmt.Errorf("cluster: %s: job %s failed: %s", node, id, st.Error)
-			case service.StateCancelled:
-				if r.stopCtx.Err() != nil {
-					return nil, errStopped
-				}
-				return nil, fmt.Errorf("cluster: %s: job %s cancelled externally", node, id)
+			if fl != nil {
+				fl.observe(st)
+			}
+			if res, terr, terminal := r.terminalStatus(node, id, st, fl); terminal {
+				return res, terr
 			}
 		}
 		select {
@@ -589,6 +932,44 @@ func (r *runner) poll(node, id string) (*service.Result, error) {
 		case <-time.After(r.c.cfg.Poll):
 		}
 	}
+}
+
+// terminalStatus interprets one status snapshot, shared by the SSE watch
+// and the poll loop. The third return is false while the job is still
+// queued or running. A cancellation is disambiguated by who asked for
+// it: the coordinator's short-circuit, a lost speculative race, a node
+// eviction, or a steal — in which case the split commits here, exactly
+// once, and the loop is told to re-run the shrunk front half. A
+// cancellation nobody asked for is an external actor and counts as a
+// normal failure.
+func (r *runner) terminalStatus(node, id string, st *service.JobStatus, fl *flight) (*service.Result, error, bool) {
+	switch st.State {
+	case service.StateDone:
+		if st.Result == nil {
+			return nil, fmt.Errorf("cluster: %s: job %s done without result", node, id), true
+		}
+		return st.Result, nil, true
+	case service.StateFailed:
+		return nil, fmt.Errorf("cluster: %s: job %s failed: %s", node, id, st.Error), true
+	case service.StateCancelled:
+		if r.stopCtx.Err() != nil {
+			return nil, errStopped, true
+		}
+		if fl != nil {
+			if fl.lost.Load() {
+				return nil, errLost, true
+			}
+			if fl.evicted.Load() {
+				return nil, errEvicted, true
+			}
+			if intent, ok := fl.takeShrink(); ok {
+				r.commitSplit(intent)
+				return nil, &shrunkError{front: intent.front}, true
+			}
+		}
+		return nil, fmt.Errorf("cluster: %s: job %s cancelled externally", node, id), true
+	}
+	return nil, nil, false
 }
 
 // jobStatus GETs one status snapshot. The request rides the stop context
@@ -663,11 +1044,16 @@ func (r *runner) report(nodeOrder []string) (*Report, error) {
 		}
 	}
 	rep := &Report{
-		Complete:  r.outstanding == 0,
-		Shards:    r.outstanding + len(r.results),
-		Completed: len(r.results),
-		Retries:   r.retries,
-		Cancelled: r.cancelled,
+		Complete:   r.outstanding == 0,
+		Shards:     r.outstanding + len(r.results),
+		Completed:  len(r.results),
+		Retries:    r.retries,
+		Cancelled:  r.cancelled,
+		Stolen:     r.stolen,
+		Speculated: r.speculated,
+	}
+	if r.c.elastic {
+		rep.Joined, rep.Left = r.c.registry.counts()
 	}
 	merged, err := check.Merge(soundParts...)
 	if err != nil {
@@ -692,8 +1078,21 @@ func (r *runner) report(nodeOrder []string) (*Report, error) {
 			rep.Maximality = &mv
 		}
 	}
-	for _, n := range nodeOrder {
-		rep.Nodes = append(rep.Nodes, *r.nodes[n])
+	if r.c.elastic {
+		// Membership order, with each node's final health state; a
+		// retired node reads as dead whether it failed or left politely.
+		for _, m := range r.c.registry.Members() {
+			nr := r.nodeRep(m.URL)
+			nr.State = m.State
+			if m.State == NodeRetired {
+				nr.Dead = true
+			}
+			rep.Nodes = append(rep.Nodes, *nr)
+		}
+	} else {
+		for _, n := range nodeOrder {
+			rep.Nodes = append(rep.Nodes, *r.nodes[n])
+		}
 	}
 	return rep, nil
 }

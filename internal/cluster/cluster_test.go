@@ -424,23 +424,5 @@ func TestClusterRejectsShardedRequest(t *testing.T) {
 	}
 }
 
-func TestSplitIndexSpacePartitions(t *testing.T) {
-	for _, tc := range []struct{ size, n int }{{10, 3}, {64, 8}, {7, 7}, {5, 1}} {
-		shards := splitIndexSpace(tc.size, tc.n)
-		if len(shards) != tc.n {
-			t.Fatalf("split(%d, %d): %d shards", tc.size, tc.n, len(shards))
-		}
-		next := int64(0)
-		total := int64(0)
-		for _, sh := range shards {
-			if sh.Offset != next {
-				t.Fatalf("split(%d, %d): gap at %d", tc.size, tc.n, sh.Offset)
-			}
-			next += sh.Count
-			total += sh.Count
-		}
-		if total != int64(tc.size) {
-			t.Fatalf("split(%d, %d): covers %d", tc.size, tc.n, total)
-		}
-	}
-}
+// splitIndexSpace invariants are property-checked (and fuzzed) in
+// split_test.go.

@@ -1,0 +1,353 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"spm/internal/service"
+)
+
+// elasticConfig is the common elastic test fleet: fast poll and a fast
+// supervisor so steal/speculate decisions land within test timescales.
+func elasticConfig(nodes ...string) Config {
+	return Config{
+		Nodes:         nodes,
+		Registry:      NewRegistry(nodes),
+		Poll:          5 * time.Millisecond,
+		StealInterval: 5 * time.Millisecond,
+	}
+}
+
+// requireByteIdentical fails unless the merged soundness verdict equals
+// the single-node one byte for byte.
+func requireByteIdentical(t *testing.T, rep *Report, req service.CheckRequest) {
+	t.Helper()
+	want := localVerdict(t, req)
+	if !reflect.DeepEqual(rep.Soundness, want) {
+		t.Fatalf("merged verdict differs from single-node check.Run:\n  %+v\nvs\n  %+v", rep.Soundness, want)
+	}
+	gotJSON, _ := json.Marshal(rep.Soundness)
+	wantJSON, _ := json.Marshal(want)
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Fatalf("verdicts not byte-identical:\n  %s\nvs\n  %s", gotJSON, wantJSON)
+	}
+}
+
+// TestElasticStealFromStraggler is the tentpole steal scenario: one node
+// is made a deterministic straggler via the serve-side throttle hook, and
+// the coordinator must detect it, steal the back half of its remaining
+// range onto the idle fast node, and still merge a verdict byte-identical
+// to a single-node check.
+func TestElasticStealFromStraggler(t *testing.T) {
+	req := service.CheckRequest{
+		Program: soundProg,
+		Policy:  "{2}",
+		Domain:  bigDomain(128), // 16,384 tuples
+	}
+	_, fast := startNode(t, service.Config{Pools: 2})
+	_, slow := startNode(t, service.Config{Pools: 2, Throttle: 10 * time.Millisecond})
+
+	cfg := elasticConfig(fast.URL, slow.URL)
+	cfg.Shards = 4
+	cfg.StealThreshold = 2
+	coord, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	rep, err := coord.Check(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Fatalf("run incomplete: %+v", rep)
+	}
+	if rep.Stolen < 1 {
+		t.Fatalf("no shard stolen from the straggler: %+v", rep)
+	}
+	// Stealing grows the shard count: every steal adds one back-half.
+	if rep.Shards != 4+rep.Stolen {
+		t.Fatalf("shard accounting off: %d shards after %d steals", rep.Shards, rep.Stolen)
+	}
+	if rep.Soundness.Checked != 16384 {
+		t.Fatalf("checked %d of 16384", rep.Soundness.Checked)
+	}
+	requireByteIdentical(t, rep, req)
+}
+
+// TestElasticSpeculateDuplicates drives speculative re-dispatch: with the
+// shard pool drained and the fast node idle, the straggler's in-flight
+// shard is duplicated; the fast copy wins and the loser is cancelled —
+// with exactly one result per range surviving to the merge.
+func TestElasticSpeculateDuplicates(t *testing.T) {
+	req := service.CheckRequest{
+		Program: soundProg,
+		Policy:  "{2}",
+		Domain:  bigDomain(128),
+	}
+	_, fast := startNode(t, service.Config{Pools: 2})
+	_, slow := startNode(t, service.Config{Pools: 2, Throttle: 20 * time.Millisecond})
+
+	cfg := elasticConfig(fast.URL, slow.URL)
+	cfg.Shards = 4
+	cfg.Speculate = true
+	coord, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	rep, err := coord.Check(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Fatalf("run incomplete: %+v", rep)
+	}
+	if rep.Speculated < 1 {
+		t.Fatalf("no speculative duplicate dispatched: %+v", rep)
+	}
+	// Speculation duplicates ranges but never the merge input: the shard
+	// count is unchanged and coverage exact.
+	if rep.Shards != 4 {
+		t.Fatalf("speculation changed the shard count: %+v", rep)
+	}
+	if rep.Soundness.Checked != 16384 {
+		t.Fatalf("checked %d of 16384 (duplicate result leaked into the merge?)", rep.Soundness.Checked)
+	}
+	requireByteIdentical(t, rep, req)
+}
+
+// TestElasticJoinLeaveMidCheck exercises dynamic membership end to end
+// through the admin surface: a check starts on one (throttled) node, a
+// fast node joins mid-sweep and immediately enters the shard pool, then
+// the original node leaves — its in-flight shard is requeued without
+// charge — and the verdict is still exact.
+func TestElasticJoinLeaveMidCheck(t *testing.T) {
+	req := service.CheckRequest{
+		Program: soundProg,
+		Policy:  "{2}",
+		Domain:  bigDomain(128),
+	}
+	_, first := startNode(t, service.Config{Pools: 2, Throttle: 10 * time.Millisecond})
+	_, joiner := startNode(t, service.Config{Pools: 2})
+
+	cfg := elasticConfig(first.URL)
+	cfg.Shards = 8
+	coord, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	admin := httptest.NewServer(coord.AdminHandler())
+	t.Cleanup(admin.Close)
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	done := make(chan struct{})
+	var rep *Report
+	var checkErr error
+	go func() {
+		defer close(done)
+		rep, checkErr = coord.Check(ctx, req)
+	}()
+
+	// Let the throttled node start sweeping, then join the fast node and
+	// retire the original, both through the admin API.
+	time.Sleep(150 * time.Millisecond)
+	adminPost(t, admin.URL+"/join?node="+joiner.URL)
+	time.Sleep(50 * time.Millisecond)
+	adminPost(t, admin.URL+"/leave?node="+first.URL)
+
+	select {
+	case <-done:
+	case <-time.After(50 * time.Second):
+		t.Fatal("elastic check hung across join/leave")
+	}
+	if checkErr != nil {
+		t.Fatalf("check failed despite the joined node: %v", checkErr)
+	}
+	if !rep.Complete {
+		t.Fatalf("run incomplete: %+v", rep)
+	}
+	if rep.Joined < 1 || rep.Left < 1 {
+		t.Fatalf("membership churn not reported: joined=%d left=%d", rep.Joined, rep.Left)
+	}
+	states := map[string]NodeState{}
+	for _, n := range rep.Nodes {
+		states[n.URL] = n.State
+	}
+	if states[first.URL] != NodeRetired {
+		t.Fatalf("left node not retired: %+v", rep.Nodes)
+	}
+	if states[joiner.URL] != NodeAlive {
+		t.Fatalf("joined node not alive: %+v", rep.Nodes)
+	}
+	if rep.Soundness.Checked != 16384 {
+		t.Fatalf("checked %d of 16384", rep.Soundness.Checked)
+	}
+	requireByteIdentical(t, rep, req)
+}
+
+func adminPost(t *testing.T, url string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", nil)
+	if err != nil {
+		t.Fatalf("admin POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("admin POST %s: status %d", url, resp.StatusCode)
+	}
+}
+
+// TestRegistryProbeTransitions pins the health state machine: alive →
+// suspect on the first probe failure, back to alive on success, retired
+// (counted as a leave) after sustained failures.
+func TestRegistryProbeTransitions(t *testing.T) {
+	g := NewRegistry([]string{"http://a", "http://b"})
+	g.probeResult("http://a", false)
+	if ms := g.Members(); ms[0].State != NodeSuspect {
+		t.Fatalf("one failure: %+v", ms[0])
+	}
+	g.probeResult("http://a", true)
+	if ms := g.Members(); ms[0].State != NodeAlive || ms[0].Failures != 0 {
+		t.Fatalf("recovery: %+v", ms[0])
+	}
+	for i := 0; i < probeRetireAfter; i++ {
+		g.probeResult("http://a", false)
+	}
+	ms := g.Members()
+	if ms[0].State != NodeRetired {
+		t.Fatalf("sustained failures did not retire: %+v", ms[0])
+	}
+	if _, left := g.counts(); left != 1 {
+		t.Fatalf("probe retirement not counted as a leave: left=%d", left)
+	}
+	// Retired is sticky against probes but not against an explicit Join.
+	g.probeResult("http://a", true)
+	if g.Members()[0].State != NodeRetired {
+		t.Fatal("probe revived a retired node")
+	}
+	if !g.Join("http://a") {
+		t.Fatal("join did not revive the retired node")
+	}
+	if g.Members()[0].State != NodeAlive {
+		t.Fatalf("revived node not alive: %+v", g.Members()[0])
+	}
+}
+
+// TestRegistrySyncNodes covers the nodes-file reload path: additions
+// join, removals leave, and the registry converges on the file contents.
+func TestRegistrySyncNodes(t *testing.T) {
+	g := NewRegistry([]string{"http://a", "http://b"})
+	joined, left := g.SyncNodes([]string{"http://b", "http://c"})
+	if joined != 1 || left != 1 {
+		t.Fatalf("sync applied %d joins, %d leaves", joined, left)
+	}
+	states := map[string]NodeState{}
+	for _, m := range g.Members() {
+		states[m.URL] = m.State
+	}
+	want := map[string]NodeState{"http://a": NodeRetired, "http://b": NodeAlive, "http://c": NodeAlive}
+	if !reflect.DeepEqual(states, want) {
+		t.Fatalf("after sync: %+v", states)
+	}
+	if got := g.Alive(); len(got) != 2 {
+		t.Fatalf("alive after sync: %v", got)
+	}
+}
+
+// TestAdminHandlerSurface covers the HTTP membership API directly.
+func TestAdminHandlerSurface(t *testing.T) {
+	cfg := elasticConfig("http://a")
+	coord, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.AdminHandler())
+	t.Cleanup(srv.Close)
+
+	// Bare host:port joins default to http, like the -nodes flag.
+	adminPost(t, srv.URL+"/join?node=127.0.0.1:9999")
+	resp, err := http.Get(srv.URL + "/nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var members []Member
+	if err := json.NewDecoder(resp.Body).Decode(&members); err != nil {
+		t.Fatal(err)
+	}
+	if got := sortedMemberURLs(members); len(got) != 2 || got[0] != "http://127.0.0.1:9999" || got[1] != "http://a" {
+		t.Fatalf("members after join: %v", got)
+	}
+	adminPost(t, srv.URL+"/leave?node=127.0.0.1:9999")
+	if alive := cfg.Registry.Alive(); len(alive) != 1 || alive[0] != "http://a" {
+		t.Fatalf("alive after leave: %v", alive)
+	}
+	// Missing node parameter is a 400.
+	resp2, err := http.Post(srv.URL+"/join", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("join without node: status %d", resp2.StatusCode)
+	}
+}
+
+// TestElasticProbeRetiresDeadNode lets the health probes — not a dispatch
+// failure — discover a dead node mid-check: the probe loop retires it and
+// the survivors absorb its shards.
+func TestElasticProbeRetiresDeadNode(t *testing.T) {
+	req := service.CheckRequest{
+		Program: slowSoundProg,
+		Policy:  "{2}",
+		Raw:     true,
+		Domain:  bigDomain(64), // 4,096 tuples × ~15k steps
+	}
+	_, alive := startNode(t, service.Config{Pools: 2})
+	svcB := service.New(service.Config{Pools: 2})
+	srvB := httptest.NewServer(svcB.Handler())
+	t.Cleanup(svcB.Close)
+
+	cfg := elasticConfig(alive.URL, srvB.URL)
+	cfg.Shards = 8
+	cfg.Registry.ProbeInterval = 20 * time.Millisecond
+	cfg.Registry.ProbeTimeout = 200 * time.Millisecond
+	coord, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	done := make(chan struct{})
+	var rep *Report
+	var checkErr error
+	go func() {
+		defer close(done)
+		rep, checkErr = coord.Check(ctx, req)
+	}()
+	time.Sleep(100 * time.Millisecond)
+	srvB.CloseClientConnections()
+	srvB.Close()
+	select {
+	case <-done:
+	case <-time.After(50 * time.Second):
+		t.Fatal("elastic check hung after node death")
+	}
+	if checkErr != nil {
+		t.Fatalf("check failed despite a surviving node: %v", checkErr)
+	}
+	if !rep.Complete {
+		t.Fatalf("run incomplete: %+v", rep)
+	}
+	requireByteIdentical(t, rep, req)
+}

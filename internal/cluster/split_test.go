@@ -1,0 +1,77 @@
+package cluster
+
+import "testing"
+
+// checkSplitInvariants asserts the three properties every index-space
+// split must satisfy, for any size ≥ 0 and n ≥ 1 — including n > size,
+// where the tail shards are legitimately empty:
+//
+//   - complete: the shards cover exactly [0, size)
+//   - disjoint: consecutive shards abut with no gap or overlap
+//   - balanced: shard counts differ by at most one
+func checkSplitInvariants(t *testing.T, size, n int) {
+	t.Helper()
+	shards := splitIndexSpace(size, n)
+	if len(shards) != n {
+		t.Fatalf("split(%d, %d): %d shards", size, n, len(shards))
+	}
+	next := int64(0)
+	total := int64(0)
+	minC, maxC := int64(1)<<62, int64(-1)
+	for i, sh := range shards {
+		if sh.Count < 0 {
+			t.Fatalf("split(%d, %d): shard %d has negative count %d", size, n, i, sh.Count)
+		}
+		if sh.Offset != next {
+			t.Fatalf("split(%d, %d): shard %d at offset %d, want %d (gap or overlap)", size, n, i, sh.Offset, next)
+		}
+		next += sh.Count
+		total += sh.Count
+		if sh.Count < minC {
+			minC = sh.Count
+		}
+		if sh.Count > maxC {
+			maxC = sh.Count
+		}
+	}
+	if total != int64(size) {
+		t.Fatalf("split(%d, %d): covers %d of %d", size, n, total, size)
+	}
+	if maxC-minC > 1 {
+		t.Fatalf("split(%d, %d): unbalanced, counts range [%d, %d]", size, n, minC, maxC)
+	}
+}
+
+// TestSplitIndexSpaceProperties seeds the invariant checker with the
+// shapes the coordinator actually produces plus the degenerate corners:
+// one shard, shard-per-tuple, more shards than tuples, and empty spaces.
+func TestSplitIndexSpaceProperties(t *testing.T) {
+	for _, tc := range []struct{ size, n int }{
+		{10, 3}, {64, 8}, {7, 7}, {5, 1},
+		{1, 1}, {0, 1}, {0, 5},
+		{3, 7}, {1, 64}, // n > size: zero-count tails
+		{102400, 8}, {160000, 12}, {1 << 20, 1000},
+	} {
+		checkSplitInvariants(t, tc.size, tc.n)
+	}
+}
+
+// FuzzSplitIndexSpace drives the same invariants from arbitrary inputs.
+func FuzzSplitIndexSpace(f *testing.F) {
+	f.Add(10, 3)
+	f.Add(7, 7)
+	f.Add(3, 11)
+	f.Add(0, 1)
+	f.Add(1<<20, 64)
+	f.Fuzz(func(t *testing.T, size, n int) {
+		if size < 0 || n < 1 {
+			t.Skip()
+		}
+		// Cap the shard count: the invariants don't change past the
+		// n > size regime and huge n only allocates.
+		if n > 1<<16 || size > 1<<40 {
+			t.Skip()
+		}
+		checkSplitInvariants(t, size, n)
+	})
+}

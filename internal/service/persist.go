@@ -198,6 +198,7 @@ func (s *Service) checkStore(ctx context.Context, j *Job) (*Result, error) {
 		check.WithWorkers(s.cfg.SweepWorkers),
 		check.WithBatch(s.cfg.SweepBatch),
 		check.WithProgress(&j.progress),
+		check.WithThrottle(s.cfg.Throttle),
 		commit,
 	}
 	shard := check.Shard{Offset: j.Req.Offset, Count: j.Req.Count}

@@ -98,6 +98,12 @@ type Config struct {
 	// Tenant configures per-tenant admission control; the zero value
 	// disables it (every request shares one unlimited lane).
 	Tenant TenantConfig
+	// Throttle, when positive, makes every job's sweep workers pause this
+	// long after each completed chunk (check.WithThrottle). It is a test
+	// hook — `spm serve -throttle` turns one node into a deterministic
+	// straggler so the elastic cluster's shard stealing and speculative
+	// re-dispatch can be exercised; production fleets leave it zero.
+	Throttle time.Duration
 }
 
 // Service defaults.
@@ -505,6 +511,7 @@ func (s *Service) check(ctx context.Context, j *Job) (*Result, error) {
 		check.WithWorkers(s.cfg.SweepWorkers),
 		check.WithBatch(s.cfg.SweepBatch),
 		check.WithProgress(&j.progress),
+		check.WithThrottle(s.cfg.Throttle),
 	}
 
 	shard := check.Shard{Offset: j.Req.Offset, Count: j.Req.Count}

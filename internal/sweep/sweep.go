@@ -26,6 +26,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrTooLarge is returned by Run when the cartesian product has more tuples
@@ -72,6 +73,13 @@ type Config struct {
 	// cursor) can durably record it. Calls are serialized and strictly
 	// monotone; granularity is one chunk.
 	Commit func(done int)
+	// Throttle, when positive, makes every worker sleep this long after
+	// each completed chunk — an artificial slow-down hook for straggler
+	// testing (a deliberately throttled `spm serve` node lets the elastic
+	// cluster's steal/speculate paths be exercised deterministically). It
+	// never changes which tuples are visited, only how fast; cancellation
+	// still lands within one chunk because the sleep itself observes ctx.
+	Throttle time.Duration
 }
 
 func (c Config) normalized(size int) Config {
@@ -310,6 +318,14 @@ func runRange(ctx context.Context, values [][]int64, cfg Config, empty func(work
 				// chunk end is itself the contiguous prefix.
 				cfg.Commit(end - lo)
 			}
+			// No sleep after the final chunk: a complete enumeration must
+			// report success even if cancellation lands during the pause,
+			// matching the multi-worker visited==span rule.
+			if end < hi {
+				if err := throttle(ctx, cfg.Throttle); err != nil {
+					return err
+				}
+			}
 		}
 		return nil
 	}
@@ -351,6 +367,9 @@ func runRange(ctx context.Context, values [][]int64, cfg Config, empty func(work
 				if commits != nil {
 					commits.done(int(start)-lo, int(end)-lo)
 				}
+				if throttle(ctx, cfg.Throttle) != nil {
+					return
+				}
 			}
 		}(w)
 	}
@@ -368,6 +387,22 @@ func runRange(ctx context.Context, values [][]int64, cfg Config, empty func(work
 		return nil
 	}
 	return ctx.Err()
+}
+
+// throttle sleeps for d after a completed chunk, returning early with
+// ctx's error if the caller is cancelled mid-sleep. d ≤ 0 is free.
+func throttle(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // commitTracker turns out-of-order chunk completions into the monotone
