@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json bench-prefix-json bench-batch-json bench-cluster-json bench-store-json lint fmt serve loadgen api-golden docs-check
+.PHONY: all build test bench bench-json bench-prefix-json bench-batch-json bench-cluster-json bench-store-json lint fmt serve loadgen metrics-smoke api-golden docs-check
 
 all: build lint test
 
@@ -67,13 +67,33 @@ serve:
 loadgen:
 	$(GO) run ./cmd/spm loadgen -addr http://127.0.0.1:8135
 
+# The same metrics gate CI's test job runs: a served node with -pprof on,
+# loadgen traffic, then one `spm top -once` snapshot — which fetches
+# GET /v2/metrics and validates the exposition with the internal/obs
+# parser before rendering — plus raw-exposition and pprof probes.
+metrics-smoke:
+	$(GO) build -o /tmp/spm-metrics-smoke ./cmd/spm
+	@set -e; \
+	/tmp/spm-metrics-smoke serve -addr 127.0.0.1:8148 -pools 2 -pprof & \
+	PID=$$!; \
+	trap 'kill $$PID 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -fsS http://127.0.0.1:8148/v2/stats >/dev/null 2>&1 && break; \
+		sleep 0.2; \
+	done; \
+	/tmp/spm-metrics-smoke loadgen -addr http://127.0.0.1:8148 -n 32 -c 8; \
+	/tmp/spm-metrics-smoke top -addr http://127.0.0.1:8148 -once; \
+	curl -fsS http://127.0.0.1:8148/v2/metrics | grep -q '^spm_jobs_done_total'; \
+	curl -fsS http://127.0.0.1:8148/debug/pprof/cmdline >/dev/null; \
+	echo "metrics smoke ok"
+
 lint:
 	$(GO) vet ./...
 	@unformatted=$$(gofmt -s -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt -s needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
 	fi
-	@for pkg in check store; do \
+	@for pkg in check store obs; do \
 		if ! $(GO) doc -all ./internal/$$pkg | diff -u internal/$$pkg/api.golden -; then \
 			echo "internal/$$pkg API surface drifted from api.golden — run 'make api-golden' and commit the result" >&2; \
 			exit 1; \
@@ -87,12 +107,14 @@ docs-check:
 	$(GO) run ./cmd/linkcheck README.md DESIGN.md doc.go
 	$(GO) test -run 'Example' ./internal/check ./internal/flowchart ./internal/service
 
-# Regenerate the committed API surfaces (the unified check package and
-# the persistence layer) after an intentional signature change; CI diffs
-# the live `go doc` output against these goldens and fails on drift.
+# Regenerate the committed API surfaces (the unified check package, the
+# persistence layer, and the observability kit) after an intentional
+# signature change; CI diffs the live `go doc` output against these
+# goldens and fails on drift.
 api-golden:
 	$(GO) doc -all ./internal/check > internal/check/api.golden
 	$(GO) doc -all ./internal/store > internal/store/api.golden
+	$(GO) doc -all ./internal/obs > internal/obs/api.golden
 
 fmt:
 	gofmt -s -w .

@@ -20,12 +20,16 @@ import (
 	"strings"
 )
 
-// Metrics is one benchmark's aggregated row.
+// Metrics is one benchmark's aggregated row. Extra carries custom
+// b.ReportMetric columns (inputs/check, tuples/s, MB/s, ...) keyed by
+// their unit, so throughput-style metrics survive the conversion instead
+// of being dropped on the floor.
 type Metrics struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	BPerOp      float64 `json:"b_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
-	Runs        int     `json:"runs"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BPerOp      float64            `json:"b_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+	Runs        int                `json:"runs"`
 }
 
 // Output is the artifact schema.
@@ -49,10 +53,14 @@ func main() {
 	}
 }
 
-// accum sums one benchmark's runs before averaging.
+// accum sums one benchmark's runs before averaging. Custom columns are
+// averaged over the runs that reported them — a unit absent from some
+// runs must not be dragged toward zero by the others.
 type accum struct {
 	ns, b, allocs float64
 	runs          int
+	extra         map[string]float64
+	extraRuns     map[string]int
 }
 
 func convert(r io.Reader) (*Output, error) {
@@ -86,25 +94,36 @@ func convert(r io.Reader) (*Output, error) {
 		}
 		a := acc[name]
 		if a == nil {
-			a = &accum{}
+			a = &accum{extra: map[string]float64{}, extraRuns: map[string]int{}}
 			acc[name] = a
 		}
 		a.ns += m.NsPerOp
 		a.b += m.BPerOp
 		a.allocs += m.AllocsPerOp
 		a.runs++
+		for unit, v := range m.Extra {
+			a.extra[unit] += v
+			a.extraRuns[unit]++
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
 	for name, a := range acc {
 		n := float64(a.runs)
-		out.Benchmarks[name] = Metrics{
+		row := Metrics{
 			NsPerOp:     a.ns / n,
 			BPerOp:      a.b / n,
 			AllocsPerOp: a.allocs / n,
 			Runs:        a.runs,
 		}
+		if len(a.extra) > 0 {
+			row.Extra = make(map[string]float64, len(a.extra))
+			for unit, sum := range a.extra {
+				row.Extra[unit] = sum / float64(a.extraRuns[unit])
+			}
+		}
+		out.Benchmarks[name] = row
 	}
 	sort.Strings(out.Pkg)
 	return out, nil
@@ -112,11 +131,13 @@ func convert(r io.Reader) (*Output, error) {
 
 // parseBenchLine parses one result line, e.g.
 //
-//	BenchmarkSweep/workers=8-16   100   12345 ns/op   120 B/op   3 allocs/op
+//	BenchmarkSweep/workers=8-16   100   12345 ns/op   120 B/op   3 allocs/op   41483 tuples/s
 //
 // The -P GOMAXPROCS suffix is kept in the name (it is part of the
 // configuration being measured). B/op and allocs/op are present only with
-// -benchmem; they default to 0.
+// -benchmem; they default to 0. Any other `value unit` pair — custom
+// b.ReportMetric columns and SetBytes's MB/s — lands in Extra keyed by
+// its unit.
 func parseBenchLine(line string) (string, Metrics, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
@@ -129,7 +150,7 @@ func parseBenchLine(line string) (string, Metrics, bool) {
 		if err != nil {
 			continue
 		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "ns/op":
 			m.NsPerOp = v
 			seenNs = true
@@ -137,7 +158,18 @@ func parseBenchLine(line string) (string, Metrics, bool) {
 			m.BPerOp = v
 		case "allocs/op":
 			m.AllocsPerOp = v
+		default:
+			// A unit is a word like tuples/s or inputs/check — never a
+			// bare number (that would be the next pair's value).
+			if _, err := strconv.ParseFloat(unit, 64); err == nil {
+				continue
+			}
+			if m.Extra == nil {
+				m.Extra = map[string]float64{}
+			}
+			m.Extra[unit] = v
 		}
+		i++ // consumed the unit
 	}
 	if !seenNs {
 		return "", Metrics{}, false

@@ -20,6 +20,10 @@ pkg: spm/internal/service
 BenchmarkServiceSubmitWarm-16       	      10	   100000 ns/op
 no test files
 --- BENCH: some stray line
+pkg: spm/internal/check
+BenchmarkBatchSweep/width=8-16      	      50	    40000 ns/op	  200000 tuples/s	       9 inputs/check	     256 B/op	       2 allocs/op
+BenchmarkBatchSweep/width=8-16      	      50	    40000 ns/op	  300000 tuples/s	       9 inputs/check	     256 B/op	       2 allocs/op
+BenchmarkBatchSweep/width=8-16      	      50	    40000 ns/op	     256 B/op	       2 allocs/op
 `
 
 func TestConvertAveragesRuns(t *testing.T) {
@@ -27,8 +31,8 @@ func TestConvertAveragesRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(out.Benchmarks) != 3 {
-		t.Fatalf("parsed %d benchmarks, want 3: %v", len(out.Benchmarks), out.Benchmarks)
+	if len(out.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", len(out.Benchmarks), out.Benchmarks)
 	}
 	sweep, ok := out.Benchmarks["spm/internal/sweep.BenchmarkSweep/workers=1-16"]
 	if !ok {
@@ -42,6 +46,36 @@ func TestConvertAveragesRuns(t *testing.T) {
 	}
 	if sweep.BPerOp != 128 || sweep.AllocsPerOp != 4 {
 		t.Errorf("mem metrics = %v B/op %v allocs/op, want 128/4", sweep.BPerOp, sweep.AllocsPerOp)
+	}
+	if sweep.Extra != nil {
+		t.Errorf("extra = %v, want none for standard-column rows", sweep.Extra)
+	}
+}
+
+// TestConvertPreservesReportMetric pins the custom-column contract:
+// b.ReportMetric pairs survive into Extra keyed by unit, and each unit
+// averages over only the runs that reported it.
+func TestConvertPreservesReportMetric(t *testing.T) {
+	out, err := convert(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, ok := out.Benchmarks["spm/internal/check.BenchmarkBatchSweep/width=8-16"]
+	if !ok {
+		t.Fatal("spm/internal/check.BenchmarkBatchSweep/width=8-16 missing")
+	}
+	if row.Runs != 3 {
+		t.Errorf("runs = %d, want 3", row.Runs)
+	}
+	// tuples/s appears in 2 of 3 runs: mean of 200000 and 300000.
+	if got := row.Extra["tuples/s"]; math.Abs(got-250000) > 1e-9 {
+		t.Errorf("tuples/s = %v, want 250000 (mean over reporting runs only)", got)
+	}
+	if got := row.Extra["inputs/check"]; math.Abs(got-9) > 1e-9 {
+		t.Errorf("inputs/check = %v, want 9", got)
+	}
+	if row.BPerOp != 256 || row.AllocsPerOp != 2 {
+		t.Errorf("standard columns disturbed by extras: %+v", row)
 	}
 }
 
@@ -64,7 +98,7 @@ func TestConvertRecordsPackages(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"spm/internal/service", "spm/internal/sweep"}
+	want := []string{"spm/internal/check", "spm/internal/service", "spm/internal/sweep"}
 	if len(out.Pkg) != len(want) {
 		t.Fatalf("packages = %v, want %v", out.Pkg, want)
 	}

@@ -35,7 +35,8 @@ func cmdCluster(args []string) error {
 	stealThreshold := fs.Float64("steal-threshold", 0, "steal a straggler's remaining back half when its projected finish exceeds this multiple of the median (0 = off; try 2)")
 	speculate := fs.Bool("speculate", false, "duplicate the last in-flight shards on idle nodes; first result wins")
 	stealInterval := fs.Duration("steal-interval", 0, "straggler-supervisor cadence (0 = default)")
-	admin := fs.String("admin", "", "listen address for the membership admin API (GET /nodes, POST /join, POST /leave)")
+	admin := fs.String("admin", "", "listen address for the membership admin API (GET /nodes, GET /metrics, POST /join, POST /leave)")
+	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the admin listener (needs -admin)")
 	policy := fs.String("policy", "{}", "allowed input indices, e.g. {1,3} or all")
 	variant := fs.String("variant", "untimed", "untimed, timed, or highwater")
 	domain := fs.String("domain", "0,1,2", "comma-separated values every input ranges over")
@@ -83,10 +84,17 @@ func cmdCluster(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *pprofOn && *admin == "" {
+		return fmt.Errorf("cluster: -pprof needs -admin")
+	}
 	if *admin != "" {
+		handler := coord.AdminHandler()
+		if *pprofOn {
+			handler = withPprof(handler)
+		}
 		srv := &http.Server{
 			Addr:              *admin,
-			Handler:           coord.AdminHandler(),
+			Handler:           handler,
 			ReadHeaderTimeout: 10 * time.Second,
 		}
 		go func() {

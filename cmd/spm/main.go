@@ -14,6 +14,8 @@
 //	spm serve     [-addr :8135] [-pools N] [-queue N] [-sweep-workers N] [-cache N]
 //	spm cluster   -nodes host:port,... [-shards N] [-retries N] [-steal-threshold X] [-speculate] [-admin :addr] [-nodes-file F] [-policy ...] [-domain ...] [-maximal] file.fc
 //	spm loadgen   [-addr URL] [-n N] [-c N] [-maximal-every K] [-job-timeout D] [-program file.fc]
+//	spm top       [-addr URL] [-interval D] [-once]
+//	spm trace     [-addr URL] job-id
 //	spm dot       file.fc
 //
 // Programs use the flowchart DSL (see package spm/internal/flowchart):
@@ -74,6 +76,10 @@ func run(args []string) error {
 		return cmdCluster(args[1:])
 	case "loadgen":
 		return cmdLoadgen(args[1:])
+	case "top":
+		return cmdTop(args[1:])
+	case "trace":
+		return cmdTrace(args[1:])
 	case "dot":
 		return cmdDot(args[1:])
 	case "help", "-h", "--help":
@@ -94,6 +100,8 @@ func usage() error {
   spm serve      [-addr :8135] [-pools N] [-queue N] [-sweep-workers N] [-cache N]
   spm cluster    -nodes host:port,... [-shards N] [-retries N] [-steal-threshold X] [-speculate] [-admin :addr] [-nodes-file F] [-policy ...] [-variant ...] [-domain ...] [-time] [-raw] [-maximal] file.fc
   spm loadgen    [-addr URL] [-n N] [-c N] [-maximal-every K] [-job-timeout D] [-program file.fc] [-policy ...] [-domain ...]
+  spm top        [-addr URL] [-interval D] [-once]
+  spm trace      [-addr URL] job-id
   spm dot        file.fc`)
 	return nil
 }

@@ -4,12 +4,29 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
 	"spm/internal/service"
 	"spm/internal/store"
 )
+
+// withPprof mounts the net/http/pprof handlers under /debug/pprof/ in
+// front of h. The serve and cluster-admin listeners use it behind their
+// -pprof flags; the explicit registrations are needed because neither
+// listener uses http.DefaultServeMux, which is all importing the package
+// wires up on its own.
+func withPprof(h http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", h)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
 // defaultLoadgenProg is the program loadgen submits when no -program file
 // is given: sound under allow(2) once instrumented, unsound raw.
@@ -43,6 +60,7 @@ func cmdServe(args []string) error {
 	tenantBurst := fs.Int64("tenant-burst", 0, "per-tenant bucket capacity in tuples; > 0 enables tenant quotas")
 	tenantQueue := fs.Int("tenant-queue", 0, "per-tenant dispatch backlog in jobs (0 = default)")
 	throttleD := fs.Duration("throttle", 0, "test hook: pause every sweep worker this long per chunk (makes this node a deterministic straggler)")
+	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -82,9 +100,14 @@ func cmdServe(args []string) error {
 		fmt.Fprintf(os.Stderr, "spm serve: store %s (%d verdicts, %d jobs resumed)\n",
 			*storeDir, st.Verdicts, st.ResumedJobs)
 	}
+	handler := svc.Handler()
+	if *pprofOn {
+		handler = withPprof(handler)
+		fmt.Fprintln(os.Stderr, "spm serve: pprof on /debug/pprof/")
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           svc.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	return srv.ListenAndServe()

@@ -202,6 +202,14 @@ type Options struct {
 	// after each completed chunk — the artificial slow-node hook behind
 	// straggler testing.
 	Throttle time.Duration
+	// Observer, when non-nil, receives the sweep engine's per-chunk
+	// callbacks (worker, tuples, duration) — the seam behind chunk
+	// counters and chunk-latency histograms.
+	Observer sweep.Observer
+	// Exec, when non-nil, accumulates execution-tier counters: memo
+	// snapshot captures/replays/invalidations and batch
+	// strides/lanes/divergence.
+	Exec *core.ExecTally
 }
 
 // Option tunes one Run call.
@@ -264,6 +272,22 @@ func WithBatch(n int) Option { return func(o *Options) { o.Batch = n } }
 // speculative re-dispatch) is exercised deterministically.
 func WithThrottle(d time.Duration) Option { return func(o *Options) { o.Throttle = d } }
 
+// WithObserver installs a sweep engine observer: obs.ChunkDone is called
+// once per completed chunk with the worker index, the tuples covered,
+// and the chunk's wall-clock duration. Implementations must be safe for
+// concurrent use. The default (nil) pays one branch per chunk and
+// nothing per tuple — the no-op cost rule the observability layer is
+// built on.
+func WithObserver(obs sweep.Observer) Option { return func(o *Options) { o.Observer = obs } }
+
+// WithExecTally directs execution-tier counters into t: the memoized
+// tiers count snapshot captures, replays, and invalidation fallbacks;
+// the batch tier counts strides, lanes (utilization of the configured
+// width), and lanes lost to branch divergence. Counters accumulate
+// per-worker and uncontended (see core.ExecTally); nil — the default —
+// keeps the execution hot paths entirely unobserved.
+func WithExecTally(t *core.ExecTally) Option { return func(o *Options) { o.Exec = t } }
+
 // Run decides the Spec's verdict over its domain, sweeping in parallel and
 // honouring ctx: cancellation stops every worker within one chunk and
 // returns ctx's error. Run is the only code path in the repository that
@@ -302,11 +326,13 @@ func Run(ctx context.Context, spec Spec, opts ...Option) (Verdict, error) {
 			Progress: o.Progress,
 			Commit:   commit,
 			Throttle: o.Throttle,
+			Observer: o.Observer,
 		},
 		Interpreted:  !o.Compiled,
 		NoMemo:       !o.Memo,
 		CollectViews: sharded,
 		Batch:        o.Batch,
+		Exec:         o.Exec,
 	}
 	v := Verdict{Kind: spec.Kind, Mechanism: spec.Mechanism.Name(), Observation: spec.Observation.ObsName, Shard: spec.Shard}
 	switch spec.Kind {

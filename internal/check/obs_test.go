@@ -1,0 +1,98 @@
+package check_test
+
+import (
+	"context"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spm/internal/check"
+	"spm/internal/core"
+	"spm/internal/progen"
+)
+
+type chunkTally struct {
+	chunks atomic.Int64
+	tuples atomic.Int64
+}
+
+func (c *chunkTally) ChunkDone(worker, tuples int, d time.Duration) {
+	c.chunks.Add(1)
+	c.tuples.Add(int64(tuples))
+}
+
+// TestObserverAndTally pins the observability seams end to end through
+// check.Run: the sweep observer must see every tuple exactly once, and
+// the execution tally must account for the memo and batch tiers'
+// activity — on both the scalar memoized path and the batch path.
+func TestObserverAndTally(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	p := progen.Generate(r, progen.DefaultConfig(2))
+	m := core.FromProgram(p)
+	pol := core.NewAllow(2, 1)
+	axis := []int64{-2, -1, 0, 1, 2, 3, 4, 5}
+	dom := core.Domain{axis, axis}
+	size := int64(len(axis) * len(axis))
+	spec := check.Spec{Kind: check.Soundness, Mechanism: m, Policy: pol, Domain: dom}
+
+	t.Run("scalar", func(t *testing.T) {
+		obs := &chunkTally{}
+		tally := &core.ExecTally{}
+		v, err := check.Run(context.Background(), spec,
+			check.WithWorkers(2), check.WithChunk(8),
+			check.WithObserver(obs), check.WithExecTally(tally))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if obs.tuples.Load() != size {
+			t.Errorf("observer saw %d tuples, want %d (checked %d)", obs.tuples.Load(), size, v.Checked)
+		}
+		if obs.chunks.Load() != (size+7)/8 {
+			t.Errorf("observer saw %d chunks, want %d", obs.chunks.Load(), (size+7)/8)
+		}
+		c := tally.Counts()
+		if c.MemoCaptures == 0 {
+			t.Errorf("no memo captures recorded: %+v", c)
+		}
+		// Every tuple either captured or replayed (invalidations re-run
+		// as captures, so the identity still holds).
+		if c.MemoCaptures+c.MemoReplays != size {
+			t.Errorf("captures %d + replays %d != %d tuples", c.MemoCaptures, c.MemoReplays, size)
+		}
+		if c.BatchStrides != 0 || c.BatchLanes != 0 {
+			t.Errorf("scalar run recorded batch activity: %+v", c)
+		}
+	})
+
+	t.Run("batch", func(t *testing.T) {
+		obs := &chunkTally{}
+		tally := &core.ExecTally{}
+		_, err := check.Run(context.Background(), spec,
+			check.WithWorkers(1), check.WithChunk(16), check.WithBatch(4),
+			check.WithObserver(obs), check.WithExecTally(tally))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if obs.tuples.Load() != size {
+			t.Errorf("observer saw %d tuples, want %d", obs.tuples.Load(), size)
+		}
+		c := tally.Counts()
+		// Memo composition runs the first tuple of each fresh row scalar
+		// (the capture); every remaining tuple rides a batch lane.
+		if c.BatchLanes+c.MemoCaptures < size {
+			t.Errorf("batch lanes %d + captures %d < %d tuples: %+v", c.BatchLanes, c.MemoCaptures, size, c)
+		}
+		if c.BatchStrides == 0 {
+			t.Errorf("no batch strides recorded: %+v", c)
+		}
+	})
+
+	t.Run("disabled", func(t *testing.T) {
+		// The defaults must stay observation-free: nothing to assert but
+		// that nil options run — the no-op cost rule's correctness half.
+		if _, err := check.Run(context.Background(), spec, check.WithWorkers(2)); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -147,6 +147,9 @@ type Coordinator struct {
 	registry *Registry
 	// stream is client without a deadline, for long-lived SSE watches.
 	stream *http.Client
+	// metrics accumulates coordinator-lifetime counters (GET /metrics on
+	// the admin mux).
+	metrics *clusterMetrics
 }
 
 // New validates cfg and builds a Coordinator. Duplicate node URLs are
@@ -190,6 +193,7 @@ func New(cfg Config) (*Coordinator, error) {
 		registry: registry,
 		stream:   &http.Client{Transport: client.Transport},
 	}
+	c.metrics = newClusterMetrics(c)
 	if c.elastic {
 		if len(registry.Alive()) == 0 {
 			return nil, errors.New("cluster: no nodes")
@@ -323,6 +327,7 @@ func (c *Coordinator) Check(ctx context.Context, req service.CheckRequest) (*Rep
 	}
 	shards := splitIndexSpace(size, c.shardCount(size))
 
+	c.metrics.checks.Inc()
 	start := time.Now()
 	r := newRunner(ctx, c, req, shards)
 	if c.elastic {
@@ -582,6 +587,7 @@ func (r *runner) complete(node string, e pendingEntry, res *service.Result, fl *
 	r.results[off] = res
 	r.outstanding--
 	r.nodeRep(node).Shards++
+	r.c.metrics.shards.Inc()
 	if fl != nil {
 		r.shardDurs = append(r.shardDurs, time.Since(fl.started))
 	}
@@ -640,6 +646,7 @@ func (r *runner) removeFlight(fl *flight) {
 // (fresh retry budget — it is new work, not a failure) and the shard
 // count grows by one.
 func (r *runner) commitSplit(intent splitIntent) {
+	r.c.metrics.stolen.Inc()
 	r.mu.Lock()
 	r.outstanding++
 	r.stolen++
@@ -694,6 +701,7 @@ func (r *runner) requeue(node string, e pendingEntry, cause error, charge bool) 
 		}
 	}
 	r.retries++
+	r.c.metrics.retries.Inc()
 	r.pending = append(r.pending, pendingEntry{sh: sh})
 }
 
@@ -748,6 +756,7 @@ func (r *runner) failLocked(err error) {
 
 // noteCancelled counts an in-flight job the short-circuit cancelled.
 func (r *runner) noteCancelled() {
+	r.c.metrics.cancelled.Inc()
 	r.mu.Lock()
 	r.cancelled++
 	r.mu.Unlock()

@@ -313,13 +313,16 @@ func (g *Registry) SyncNodes(urls []string) (joined, left int) {
 //	GET  /nodes        the registry snapshot (JSON array of members)
 //	POST /join?node=U  add (or revive) node U
 //	POST /leave?node=U retire node U; its in-flight shard is requeued
+//	GET  /metrics      coordinator counters, Prometheus text exposition
 //
-// Responses are JSON; unknown routes are 404.
+// Responses are JSON (exposition text for /metrics); unknown routes are
+// 404.
 func (c *Coordinator) AdminHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /nodes", func(w http.ResponseWriter, r *http.Request) {
 		writeAdminJSON(w, http.StatusOK, c.registry.Members())
 	})
+	mux.Handle("GET /metrics", c.metrics.reg)
 	mux.HandleFunc("POST /join", func(w http.ResponseWriter, r *http.Request) {
 		c.adminChange(w, r, c.registry.Join)
 	})

@@ -1,0 +1,48 @@
+package cluster
+
+import "spm/internal/obs"
+
+// clusterMetrics is the coordinator's observability surface, served as
+// GET /metrics on the admin mux. Counters are coordinator-lifetime —
+// they accumulate across checks, unlike the per-run Report tallies —
+// and the membership counts read the registry at scrape time.
+type clusterMetrics struct {
+	reg        *obs.Registry
+	checks     *obs.Counter
+	shards     *obs.Counter
+	retries    *obs.Counter
+	cancelled  *obs.Counter
+	stolen     *obs.Counter
+	speculated *obs.Counter
+}
+
+func newClusterMetrics(c *Coordinator) *clusterMetrics {
+	reg := obs.New()
+	m := &clusterMetrics{reg: reg}
+	m.checks = reg.Counter("spm_cluster_checks_total",
+		"Distributed checks started by this coordinator.")
+	m.shards = reg.Counter("spm_cluster_shards_completed_total",
+		"Shards completed across all checks.")
+	m.retries = reg.Counter("spm_cluster_shard_retries_total",
+		"Shard re-dispatches forced by node failures or busy refusals.")
+	m.cancelled = reg.Counter("spm_cluster_jobs_cancelled_total",
+		"In-flight jobs cancelled by short-circuits, steals, and lost races.")
+	m.stolen = reg.Counter("spm_cluster_shards_stolen_total",
+		"Straggler back halves split off to idle nodes.")
+	m.speculated = reg.Counter("spm_cluster_speculative_dispatches_total",
+		"Speculative duplicate shard dispatches.")
+	reg.CounterFunc("spm_cluster_nodes_joined_total",
+		"Nodes that joined (or revived into) the registry.",
+		func() float64 { j, _ := c.registry.counts(); return float64(j) })
+	reg.CounterFunc("spm_cluster_nodes_left_total",
+		"Nodes that left: administrative leaves, probe retirements, dispatch deaths.",
+		func() float64 { _, l := c.registry.counts(); return float64(l) })
+	reg.GaugeFunc("spm_cluster_nodes_alive",
+		"Registry members currently usable for dispatch.",
+		func() float64 { return float64(len(c.registry.Alive())) })
+	return m
+}
+
+// Metrics returns the coordinator's metrics registry — the handler the
+// admin mux serves as GET /metrics.
+func (c *Coordinator) Metrics() *obs.Registry { return c.metrics.reg }

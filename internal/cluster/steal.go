@@ -377,6 +377,7 @@ func (r *runner) pushSpeculative(sh check.Shard) bool {
 	}
 	r.pending = append(r.pending, pendingEntry{sh: sh, speculative: true})
 	r.speculated++
+	r.c.metrics.speculated.Inc()
 	return true
 }
 

@@ -30,7 +30,9 @@ type HintRunnerProvider interface {
 	// HintRunners returns a factory producing one HintRunFunc per sweep
 	// worker. Each returned runner owns its mutable state (register file
 	// and snapshot) and must not be shared between concurrent workers.
-	HintRunners() func() HintRunFunc
+	// tally, when non-nil, receives each worker's execution-tier
+	// counters (one ExecTally.Part per runner); nil disables counting.
+	HintRunners(tally *ExecTally) func() HintRunFunc
 }
 
 // CompiledMechanism is a flowchart-backed Mechanism bound to its compiled
@@ -74,8 +76,8 @@ func (c *CompiledMechanism) Run(input []int64) (Outcome, error) {
 // register file and execution snapshot over the shared compiled code, so
 // sweeps in odometer order replay only the instructions after the first
 // read of the innermost input.
-func (c *CompiledMechanism) HintRunners() func() HintRunFunc {
-	return func() HintRunFunc { return snapshotRunner(c.code, c.pm.MaxSteps) }
+func (c *CompiledMechanism) HintRunners(tally *ExecTally) func() HintRunFunc {
+	return func() HintRunFunc { return snapshotRunner(c.code, c.pm.MaxSteps, tally.Part()) }
 }
 
 // BatchRunners implements BatchRunnerProvider: each worker gets private
@@ -83,11 +85,11 @@ func (c *CompiledMechanism) HintRunners() func() HintRunFunc {
 // scalar fallback) over the shared compiled code, so sweeps execute one
 // instruction across width tuples at a time. Returns nil if the program's
 // batch form cannot be built, sending the sweep down the scalar tiers.
-func (c *CompiledMechanism) BatchRunners(width int, memo bool) func() BatchRunFunc {
+func (c *CompiledMechanism) BatchRunners(width int, memo bool, tally *ExecTally) func() BatchRunFunc {
 	if _, err := c.code.NewLanes(width); err != nil {
 		return nil
 	}
-	return func() BatchRunFunc { return batchRunner(c.code, c.pm.MaxSteps, width, memo) }
+	return func() BatchRunFunc { return batchRunner(c.code, c.pm.MaxSteps, width, memo, tally.Part()) }
 }
 
 // Runners implements RunnerProvider: each worker gets a private register

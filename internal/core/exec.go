@@ -32,8 +32,10 @@ type BatchRunnerProvider interface {
 	// selects whether strides compose with prefix memoization (a snapshot
 	// captured on the row's first tuple feeds the remaining lanes) or run
 	// every batch from instruction zero — the check.WithMemo(false)
-	// ablation applied to the batch tier.
-	BatchRunners(width int, memo bool) func() BatchRunFunc
+	// ablation applied to the batch tier. tally, when non-nil, receives
+	// each worker's execution-tier counters (one ExecTally.Part per
+	// runner); nil disables counting.
+	BatchRunners(width int, memo bool, tally *ExecTally) func() BatchRunFunc
 }
 
 // batchRunner is the per-worker batch executor over compiled code, the
@@ -44,7 +46,7 @@ type BatchRunnerProvider interface {
 // row) resumes from that capture in lockstep; without memo, each stride
 // runs whole from instruction zero, still amortizing instruction dispatch
 // across lanes. Outcomes are exactly RunReuse's for every tuple.
-func batchRunner(c *flowchart.Compiled, maxSteps int64, width int, memo bool) BatchRunFunc {
+func batchRunner(c *flowchart.Compiled, maxSteps int64, width int, memo bool, part *ExecPart) BatchRunFunc {
 	lanes, err := c.NewLanes(width)
 	if err != nil {
 		// Factories probe NewLanes before handing out runners; reaching
@@ -58,6 +60,7 @@ func batchRunner(c *flowchart.Compiled, maxSteps int64, width int, memo bool) Ba
 		regs = make([]int64, c.Slots())
 		snap = c.NewSnapshot()
 	}
+	var prev flowchart.BatchStats
 	return func(input []int64, last []int64, innerOnly bool, out []Outcome) error {
 		n := len(last)
 		res := results[:n]
@@ -66,6 +69,7 @@ func batchRunner(c *flowchart.Compiled, maxSteps int64, width int, memo bool) Ba
 			if err := c.RunBatchFromSnapshot(lanes, snap, last, maxSteps, res); err != nil {
 				return err
 			}
+			part.memoReplay()
 		case memo:
 			// Fresh row: lane 0 records the snapshot the rest of the row
 			// replays from.
@@ -73,12 +77,15 @@ func batchRunner(c *flowchart.Compiled, maxSteps int64, width int, memo bool) Ba
 			if err != nil {
 				return err
 			}
+			part.memoCapture()
 			res[0] = r0
 			if n > 1 {
 				if snap.Valid() {
 					err = c.RunBatchFromSnapshot(lanes, snap, last[1:], maxSteps, res[1:])
+					part.memoReplay()
 				} else {
 					err = c.RunBatch(lanes, input, last[1:], maxSteps, res[1:])
+					part.memoInvalidated()
 				}
 				if err != nil {
 					return err
@@ -88,6 +95,11 @@ func batchRunner(c *flowchart.Compiled, maxSteps int64, width int, memo bool) Ba
 			if err := c.RunBatch(lanes, input, last, maxSteps, res); err != nil {
 				return err
 			}
+		}
+		if part != nil {
+			st := lanes.Stats
+			part.addBatch(st.Strides-prev.Strides, st.Lanes-prev.Lanes, st.Diverged-prev.Diverged)
+			prev = st
 		}
 		for i := range res {
 			out[i] = Outcome{Value: res[i].Value, Steps: res[i].Steps, Violation: res[i].Violation, Notice: res[i].Notice}
@@ -106,13 +118,14 @@ func (cc CheckConfig) batchFactory(m Mechanism, width int) func() BatchRunFunc {
 	}
 	memo := !cc.NoMemo
 	if bp, ok := m.(BatchRunnerProvider); ok {
-		return bp.BatchRunners(width, memo)
+		return bp.BatchRunners(width, memo, cc.Exec)
 	}
 	if pm, ok := m.(*Program); ok {
 		if c, err := pm.P.Compile(); err == nil {
 			if _, err := c.NewLanes(width); err == nil {
 				maxSteps := pm.MaxSteps
-				return func() BatchRunFunc { return batchRunner(c, maxSteps, width, memo) }
+				tally := cc.Exec
+				return func() BatchRunFunc { return batchRunner(c, maxSteps, width, memo, tally.Part()) }
 			}
 		}
 	}

@@ -36,7 +36,7 @@ func ignoreHint(run RunFunc) HintRunFunc {
 // unusable — the recording run exhausted its step budget or failed before
 // the capture point — the runner falls back to full runs, so the outcome
 // of every tuple is exactly RunReuse's.
-func snapshotRunner(c *flowchart.Compiled, maxSteps int64) HintRunFunc {
+func snapshotRunner(c *flowchart.Compiled, maxSteps int64, part *ExecPart) HintRunFunc {
 	regs := make([]int64, c.Slots())
 	snap := c.NewSnapshot()
 	return func(input []int64, innerOnly bool) (Outcome, error) {
@@ -44,11 +44,15 @@ func snapshotRunner(c *flowchart.Compiled, maxSteps int64) HintRunFunc {
 		var err error
 		if innerOnly && snap.Valid() && len(input) > 0 {
 			res, err = c.RunFromSnapshot(regs, snap, input[len(input)-1], maxSteps)
+			part.memoReplay()
 			if errors.Is(err, flowchart.ErrNoSnapshot) {
+				part.memoInvalidated()
 				res, err = c.RunSnapshot(regs, input, maxSteps, snap)
+				part.memoCapture()
 			}
 		} else {
 			res, err = c.RunSnapshot(regs, input, maxSteps, snap)
+			part.memoCapture()
 		}
 		if err != nil {
 			return Outcome{}, err
@@ -103,13 +107,17 @@ func RunnerFactory(m Mechanism) func() RunFunc {
 // check.WithBatch): each worker executes strides of up to Batch
 // innermost-axis tuples in lockstep over structure-of-arrays register
 // columns, falling back to the scalar tiers when a mechanism is not
-// batch-compilable. Verdicts are identical across all tiers.
+// batch-compilable. Verdicts are identical across all tiers. Exec, when
+// non-nil, receives execution-tier counters (memo captures/replays,
+// batch strides/lanes/divergence — see ExecTally); nil keeps the hot
+// paths entirely unobserved.
 type CheckConfig struct {
 	sweep.Config
 	Interpreted  bool
 	NoMemo       bool
 	CollectViews bool
 	Batch        int
+	Exec         *ExecTally
 }
 
 // hintFactory resolves the per-worker hinted runner factory for m under
@@ -123,12 +131,13 @@ func (cc CheckConfig) hintFactory(m Mechanism) func() HintRunFunc {
 	}
 	if !cc.NoMemo {
 		if hp, ok := m.(HintRunnerProvider); ok {
-			return hp.HintRunners()
+			return hp.HintRunners(cc.Exec)
 		}
 		if pm, ok := m.(*Program); ok {
 			if c, err := pm.P.Compile(); err == nil {
 				maxSteps := pm.MaxSteps
-				return func() HintRunFunc { return snapshotRunner(c, maxSteps) }
+				tally := cc.Exec
+				return func() HintRunFunc { return snapshotRunner(c, maxSteps, tally.Part()) }
 			}
 		}
 	}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ExecTally aggregates execution-tier counters across a sweep's workers:
+// how often the prefix-memoized tier captured, replayed, or invalidated
+// a snapshot, and how the batch tier's strides, lanes, and divergences
+// went. It is the core-layer half of the observability seam — the
+// policy-checking service samples Counts into its metrics registry.
+//
+// Layout follows the sweep engine's per-worker discipline: every runner
+// registers its own ExecPart (one allocation at worker start), so the
+// per-tuple hot path pays one uncontended atomic add and never shares a
+// cache line between workers. Counts folds the parts at read time. A
+// nil *ExecTally hands out nil parts, whose increments are no-ops — the
+// disabled configuration costs a nil check per event.
+type ExecTally struct {
+	mu    sync.Mutex
+	parts []*ExecPart
+}
+
+// Part registers and returns a new per-worker accumulator.
+func (t *ExecTally) Part() *ExecPart {
+	if t == nil {
+		return nil
+	}
+	p := &ExecPart{}
+	t.mu.Lock()
+	t.parts = append(t.parts, p)
+	t.mu.Unlock()
+	return p
+}
+
+// ExecCounts is one consistent-enough snapshot of a tally (individual
+// counters may lag an in-flight increment).
+type ExecCounts struct {
+	// MemoCaptures counts snapshot recordings (one per fresh odometer
+	// row on the memoized tiers); MemoReplays counts executions resumed
+	// from a snapshot (one per replayed tuple on the scalar tier, one
+	// per replayed stride on the batch tier); MemoInvalid counts
+	// replay attempts that found the snapshot unusable and fell back to
+	// a full run.
+	MemoCaptures int64
+	MemoReplays  int64
+	MemoInvalid  int64
+	// BatchStrides counts lockstep executions, BatchLanes the tuples
+	// they carried (lanes per stride = utilization of the configured
+	// width), and BatchDiverged the lanes that left the lockstep on a
+	// split decision and finished on the scalar engine.
+	BatchStrides  int64
+	BatchLanes    int64
+	BatchDiverged int64
+}
+
+// Counts folds every registered part.
+func (t *ExecTally) Counts() ExecCounts {
+	var c ExecCounts
+	if t == nil {
+		return c
+	}
+	t.mu.Lock()
+	parts := append([]*ExecPart(nil), t.parts...)
+	t.mu.Unlock()
+	for _, p := range parts {
+		c.MemoCaptures += p.memoCaptures.Load()
+		c.MemoReplays += p.memoReplays.Load()
+		c.MemoInvalid += p.memoInvalid.Load()
+		c.BatchStrides += p.batchStrides.Load()
+		c.BatchLanes += p.batchLanes.Load()
+		c.BatchDiverged += p.batchDiverged.Load()
+	}
+	return c
+}
+
+// ExecPart is one worker's accumulator; see ExecTally. Increment
+// methods are nil-safe.
+type ExecPart struct {
+	memoCaptures  atomic.Int64
+	memoReplays   atomic.Int64
+	memoInvalid   atomic.Int64
+	batchStrides  atomic.Int64
+	batchLanes    atomic.Int64
+	batchDiverged atomic.Int64
+}
+
+func (p *ExecPart) memoCapture() {
+	if p != nil {
+		p.memoCaptures.Add(1)
+	}
+}
+
+func (p *ExecPart) memoReplay() {
+	if p != nil {
+		p.memoReplays.Add(1)
+	}
+}
+
+func (p *ExecPart) memoInvalidated() {
+	if p != nil {
+		p.memoInvalid.Add(1)
+	}
+}
+
+func (p *ExecPart) addBatch(strides, lanes, diverged int64) {
+	if p != nil {
+		p.batchStrides.Add(strides)
+		p.batchLanes.Add(lanes)
+		p.batchDiverged.Add(diverged)
+	}
+}

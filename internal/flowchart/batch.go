@@ -104,6 +104,23 @@ type Lanes struct {
 	conds []bool
 	errs  []error
 	regs  []int64 // scratch for divergence extraction
+
+	// Stats accumulates lane-level execution counts across the Lanes'
+	// lifetime. Like the rest of the Lanes it is single-goroutine state:
+	// read it from the owning worker (or after the sweep), not
+	// concurrently with execution.
+	Stats BatchStats
+}
+
+// BatchStats counts what the batch tier did: Strides is the number of
+// lockstep executions, Lanes the tuples they carried (Lanes/Strides
+// against the configured width is lane utilization), and Diverged the
+// lanes that left the lockstep on a split decision and were finished on
+// the scalar engine (Diverged/Lanes is the divergence rate).
+type BatchStats struct {
+	Strides  int64
+	Lanes    int64
+	Diverged int64
 }
 
 // NewLanes allocates batch-execution state for up to width lanes. width
@@ -196,6 +213,8 @@ func (c *Compiled) RunBatchFromSnapshot(l *Lanes, snap *Snapshot, last []int64, 
 		return err
 	}
 	if snap.state == snapConstant {
+		l.Stats.Strides++
+		l.Stats.Lanes += int64(n)
 		for i := 0; i < n; i++ {
 			out[i] = snap.res
 		}
@@ -238,6 +257,8 @@ func (c *Compiled) batchPreflight(l *Lanes, nLast, nOut int) (int, error) {
 // (they are in lockstep); diverged lanes account their budgets
 // independently on the scalar engine.
 func (c *Compiled) runBatchLoop(l *Lanes, n int, pc int32, steps, maxSteps int64, out []Result) error {
+	l.Stats.Strides++
+	l.Stats.Lanes += int64(n)
 	liveCount := n
 	for liveCount > 0 {
 		if steps >= maxSteps {
@@ -293,6 +314,7 @@ func (c *Compiled) runBatchLoop(l *Lanes, n int, pc int32, steps, maxSteps int64
 					}
 					out[lane], l.errs[lane] = c.runLoop(l.regs, leavePC, steps, maxSteps)
 					l.live[lane] = false
+					l.Stats.Diverged++
 					liveCount--
 				}
 				pc = stayPC

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition media type served by
+// Registry.ServeHTTP.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteTo renders every family in registration order in Prometheus text
+// exposition format (version 0.0.4): a # HELP and # TYPE line per
+// family, one sample line per series, histograms expanded into
+// cumulative _bucket series plus _sum and _count. Gather hooks run
+// first, so sampled gauges are fresh.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	if r == nil {
+		return 0, nil
+	}
+	r.gatherMu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	r.gatherMu.Unlock()
+	for _, h := range hooks {
+		h()
+	}
+
+	r.mu.Lock()
+	fams := append([]*family{}, r.order...)
+	r.mu.Unlock()
+
+	cw := &countWriter{w: bufio.NewWriter(w)}
+	for _, f := range fams {
+		f.expose(cw)
+		if cw.err != nil {
+			return cw.n, cw.err
+		}
+	}
+	if err := cw.w.(*bufio.Writer).Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ServeHTTP writes the exposition, making a registry mountable directly
+// on a mux.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", ContentType)
+	r.WriteTo(w)
+}
+
+type countWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countWriter) printf(format string, args ...any) {
+	if c.err != nil {
+		return
+	}
+	n, err := fmt.Fprintf(c.w, format, args...)
+	c.n += int64(n)
+	c.err = err
+}
+
+func (f *family) expose(w *countWriter) {
+	if f.help != "" {
+		w.printf("# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	w.printf("# TYPE %s %s\n", f.name, f.typ)
+	if f.fn != nil {
+		w.printf("%s %s\n", f.name, fmtFloat(f.fn()))
+		return
+	}
+	f.mu.Lock()
+	keys := append([]string{}, f.order...)
+	type row struct {
+		labels []string
+		metric any
+	}
+	rows := make([]row, 0, len(keys))
+	for _, k := range keys {
+		rows = append(rows, row{labels: f.lsets[k], metric: f.series[k]})
+	}
+	f.mu.Unlock()
+	for _, rw := range rows {
+		switch m := rw.metric.(type) {
+		case *Counter:
+			w.printf("%s%s %s\n", f.name, labelString(f.labels, rw.labels, "", ""), fmtFloat(float64(m.Value())))
+		case *Gauge:
+			w.printf("%s%s %s\n", f.name, labelString(f.labels, rw.labels, "", ""), fmtFloat(m.Value()))
+		case *Histogram:
+			cum, sum, count := m.snapshot()
+			for i, bound := range m.bounds {
+				w.printf("%s_bucket%s %d\n", f.name,
+					labelString(f.labels, rw.labels, "le", fmtFloat(bound)), cum[i])
+			}
+			w.printf("%s_bucket%s %d\n", f.name,
+				labelString(f.labels, rw.labels, "le", "+Inf"), cum[len(cum)-1])
+			w.printf("%s_sum%s %s\n", f.name, labelString(f.labels, rw.labels, "", ""), fmtFloat(sum))
+			w.printf("%s_count%s %d\n", f.name, labelString(f.labels, rw.labels, "", ""), count)
+		}
+	}
+}
+
+// labelString renders a {k="v",...} label block, with an optional extra
+// pair (the histogram le label); empty when there are no labels at all.
+func labelString(names, values []string, extraK, extraV string) string {
+	if len(names) == 0 && extraK == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraK != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraK)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraV))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func fmtFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryRoundTrip renders a registry with every instrument kind
+// and re-reads it through ParseExposition — the same validation the CI
+// metrics smoke applies to a live /v2/metrics endpoint.
+func TestRegistryRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("jobs_total", "jobs ever").Add(3)
+	r.CounterVec("state_total", "by state", "state").With("done").Add(2)
+	r.CounterVec("state_total", "by state", "state").With("failed").Inc()
+	r.Gauge("depth", "queue depth").Set(4.5)
+	r.GaugeVec("pool_depth", "per pool", "pool").With("0").Set(2)
+	h := r.Histogram("wait_seconds", "queue wait", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+	r.CounterFunc("fn_total", "sampled counter", func() float64 { return 7 })
+	r.GaugeFunc("fn_gauge", "sampled gauge", func() float64 { return -1.5 })
+	hooked := false
+	r.OnGather(func() { hooked = true })
+
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if !hooked {
+		t.Fatal("gather hook did not run")
+	}
+	text := buf.String()
+	fams, err := ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseExposition on own output: %v\n%s", err, text)
+	}
+	if v, ok := fams["jobs_total"].Get(nil); !ok || v != 3 {
+		t.Errorf("jobs_total = %v, %v; want 3", v, ok)
+	}
+	if v, ok := fams["state_total"].Get(map[string]string{"state": "done"}); !ok || v != 2 {
+		t.Errorf("state_total{state=done} = %v, %v; want 2", v, ok)
+	}
+	if fams["wait_seconds"].Type != "histogram" {
+		t.Errorf("wait_seconds type = %q, want histogram", fams["wait_seconds"].Type)
+	}
+	bks := fams["wait_seconds"].Buckets(nil)
+	if len(bks) != 4 || !math.IsInf(bks[3].LE, 1) || bks[3].Count != 3 {
+		t.Errorf("wait_seconds buckets = %+v", bks)
+	}
+	if v, ok := fams["fn_total"].Get(nil); !ok || v != 7 {
+		t.Errorf("fn_total = %v, %v; want 7", v, ok)
+	}
+	if v, ok := fams["fn_gauge"].Get(nil); !ok || v != -1.5 {
+		t.Errorf("fn_gauge = %v, %v; want -1.5", v, ok)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := New()
+	r.CounterVec("esc_total", "escapes", "k").With("a\"b\\c\nd").Inc()
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	fams, err := ParseExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseExposition: %v\n%s", err, buf.String())
+	}
+	if v, ok := fams["esc_total"].Get(map[string]string{"k": "a\"b\\c\nd"}); !ok || v != 1 {
+		t.Errorf("escaped label round-trip failed: %v, %v\n%s", v, ok, buf.String())
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",                 // no samples at all
+		"1bad_name 3\n",    // name starts with a digit
+		"x{le=\"oops} 1\n", // unterminated label value
+		"x 1 2 3\n",        // too many fields
+		"x nope\n",         // non-numeric value
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 2\n",                          // no +Inf bucket
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\n", // not cumulative
+		"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_count 2\n",            // count mismatch
+	}
+	for _, text := range bad {
+		if _, err := ParseExposition(strings.NewReader(text)); err == nil {
+			t.Errorf("ParseExposition(%q) accepted malformed input", text)
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	buckets := []Bucket{
+		{LE: 0.1, Count: 10},
+		{LE: 1, Count: 90},
+		{LE: math.Inf(1), Count: 100},
+	}
+	// Median rank 50 falls in the (0.1, 1] bucket: 0.1 + 0.9*(50-10)/80 = 0.55.
+	if q := Quantile(0.5, buckets); math.Abs(q-0.55) > 1e-9 {
+		t.Errorf("Quantile(0.5) = %g, want 0.55", q)
+	}
+	// Rank past every finite bound reports the largest finite bound.
+	if q := Quantile(0.99, buckets); q != 1 {
+		t.Errorf("Quantile(0.99) = %g, want 1", q)
+	}
+	if q := Quantile(0.5, nil); !math.IsNaN(q) {
+		t.Errorf("Quantile of empty = %g, want NaN", q)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := New()
+	h := r.Histogram("h_seconds", "", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("Count = %d, want 8000", h.Count())
+	}
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if _, err := ParseExposition(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("ParseExposition: %v", err)
+	}
+}
+
+func TestSeriesOverflowCollapses(t *testing.T) {
+	r := New()
+	v := r.CounterVec("many_total", "", "id")
+	for i := 0; i < maxSeries+50; i++ {
+		v.With(fmt.Sprintf("id-%d", i)).Inc()
+	}
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	fams, err := ParseExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseExposition: %v", err)
+	}
+	if v, ok := fams["many_total"].Get(map[string]string{"id": overflowLabel}); !ok || v != 50 {
+		t.Errorf("overflow series = %v, %v; want 50", v, ok)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("a", "").Inc()
+	r.Gauge("b", "").Set(1)
+	r.Histogram("c", "", nil).Observe(1)
+	r.CounterVec("d", "", "l").With("x").Add(2)
+	r.GaugeVec("e", "", "l").With("x").Add(-1)
+	r.HistogramVec("f", "", nil, "l").With("x").Observe(1)
+	r.CounterFunc("g", "", func() float64 { return 1 })
+	r.GaugeFunc("h", "", func() float64 { return 1 })
+	r.OnGather(func() {})
+	if n, err := r.WriteTo(&bytes.Buffer{}); n != 0 || err != nil {
+		t.Errorf("nil registry WriteTo = %d, %v", n, err)
+	}
+
+	var tr *Tracer
+	trace := tr.Begin("job-1")
+	trace.Event("submit", "")
+	trace.Span("sweep", "", time.Second)
+	if d := trace.Snapshot(); len(d.Events) != 0 {
+		t.Errorf("nil trace snapshot has events: %+v", d)
+	}
+	if tr.Lookup("job-1") != nil {
+		t.Error("nil tracer Lookup returned a trace")
+	}
+}
+
+func TestTraceRingKeepsHeadAndTail(t *testing.T) {
+	tr := NewTracer(2, 8) // keep 4, ring 4
+	trace := tr.Begin("job-1")
+	for i := 0; i < 20; i++ {
+		trace.Event("e", fmt.Sprintf("%d", i))
+	}
+	d := trace.Snapshot()
+	if len(d.Events) != 8 {
+		t.Fatalf("len(events) = %d, want 8", len(d.Events))
+	}
+	if d.Dropped != 12 {
+		t.Errorf("dropped = %d, want 12", d.Dropped)
+	}
+	// First four survive verbatim; last four are the most recent.
+	for i := 0; i < 4; i++ {
+		if d.Events[i].Detail != fmt.Sprintf("%d", i) {
+			t.Errorf("head[%d] = %q", i, d.Events[i].Detail)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		want := fmt.Sprintf("%d", 16+i)
+		if d.Events[4+i].Detail != want {
+			t.Errorf("tail[%d] = %q, want %s", i, d.Events[4+i].Detail, want)
+		}
+	}
+	// Offsets are monotone in event order.
+	for i := 1; i < len(d.Events); i++ {
+		if d.Events[i].At < d.Events[i-1].At {
+			t.Errorf("event %d At %v < previous %v", i, d.Events[i].At, d.Events[i-1].At)
+		}
+	}
+}
+
+func TestTracerEvictsOldest(t *testing.T) {
+	tr := NewTracer(2, 8)
+	tr.Begin("a")
+	tr.Begin("b")
+	tr.Begin("c")
+	if tr.Lookup("a") != nil {
+		t.Error("oldest trace not evicted")
+	}
+	if tr.Lookup("b") == nil || tr.Lookup("c") == nil {
+		t.Error("recent traces evicted")
+	}
+}
+
+func TestTracerBeginRestarts(t *testing.T) {
+	tr := NewTracer(4, 8)
+	first := tr.Begin("a")
+	first.Event("submit", "")
+	second := tr.Begin("a")
+	if d := second.Snapshot(); len(d.Events) != 0 {
+		t.Errorf("restarted trace kept %d events", len(d.Events))
+	}
+	if tr.Lookup("a") != second {
+		t.Error("Lookup did not return the restarted trace")
+	}
+}

@@ -1,0 +1,404 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one exposition line: a metric name (which for histograms
+// carries the _bucket/_sum/_count suffix), its label set, and the value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one parsed metric family: the base name, its declared type,
+// and every sample that belongs to it.
+type Family struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples []Sample
+}
+
+// Get returns the value of the first sample matching every given label
+// pair (an empty filter matches the first sample), and whether one
+// matched.
+func (f *Family) Get(labels map[string]string) (float64, bool) {
+	for _, s := range f.Samples {
+		if matchLabels(s.Labels, labels) {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+func matchLabels(have, want map[string]string) bool {
+	for k, v := range want {
+		if have[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Bucket is one cumulative histogram bucket: the count of observations
+// at or below LE.
+type Bucket struct {
+	LE    float64
+	Count float64
+}
+
+// Buckets extracts the cumulative buckets of a histogram family's
+// series matching the given labels (le excluded from matching), sorted
+// by bound.
+func (f *Family) Buckets(labels map[string]string) []Bucket {
+	var out []Bucket
+	for _, s := range f.Samples {
+		if !strings.HasSuffix(s.Name, "_bucket") {
+			continue
+		}
+		le, ok := s.Labels["le"]
+		if !ok || !matchLabels(stripLE(s.Labels), labels) {
+			continue
+		}
+		bound, err := parseFloat(le)
+		if err != nil {
+			continue
+		}
+		out = append(out, Bucket{LE: bound, Count: s.Value})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].LE < out[j].LE })
+	return out
+}
+
+func stripLE(labels map[string]string) map[string]string {
+	m := make(map[string]string, len(labels))
+	for k, v := range labels {
+		if k != "le" {
+			m[k] = v
+		}
+	}
+	return m
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from cumulative
+// histogram buckets by linear interpolation within the bucket the
+// target rank falls in — the same estimate Prometheus's
+// histogram_quantile gives. It returns NaN when the histogram is empty
+// and the highest finite bound when the rank lands in the +Inf bucket.
+func Quantile(q float64, buckets []Bucket) float64 {
+	if len(buckets) == 0 {
+		return math.NaN()
+	}
+	total := buckets[len(buckets)-1].Count
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * total
+	for i, b := range buckets {
+		if b.Count < rank {
+			continue
+		}
+		if math.IsInf(b.LE, 1) {
+			// Rank past every finite bound: report the largest finite
+			// bound rather than inventing a value.
+			if i == 0 {
+				return math.NaN()
+			}
+			return buckets[i-1].LE
+		}
+		lo, prev := 0.0, 0.0
+		if i > 0 {
+			lo, prev = buckets[i-1].LE, buckets[i-1].Count
+		}
+		if b.Count == prev {
+			return b.LE
+		}
+		return lo + (b.LE-lo)*(rank-prev)/(b.Count-prev)
+	}
+	return buckets[len(buckets)-1].LE
+}
+
+// ParseExposition parses and validates Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE comment handling, metric name and
+// label syntax (including escaped label values), float values, and —
+// for families declared histogram — the structural invariants that
+// buckets are cumulative, an le="+Inf" bucket exists, and _count
+// matches it. It returns the families keyed by base name. It is the
+// validator behind the CI metrics smoke and the reader behind spm top.
+func ParseExposition(r io.Reader) (map[string]*Family, error) {
+	families := map[string]*Family{}
+	var order []string
+	get := func(name string) *Family {
+		base := baseName(name, families)
+		f, ok := families[base]
+		if !ok {
+			f = &Family{Name: base, Type: "untyped"}
+			families[base] = f
+			order = append(order, base)
+		}
+		return f
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	sawAny := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+				name := fields[2]
+				if !validName(name) {
+					return nil, fmt.Errorf("obs: line %d: invalid metric name %q", lineNo, name)
+				}
+				f, ok := families[name]
+				if !ok {
+					f = &Family{Name: name, Type: "untyped"}
+					families[name] = f
+					order = append(order, name)
+				}
+				if fields[1] == "TYPE" {
+					if len(fields) < 4 {
+						return nil, fmt.Errorf("obs: line %d: TYPE without a type", lineNo)
+					}
+					switch fields[3] {
+					case "counter", "gauge", "histogram", "summary", "untyped":
+						f.Type = fields[3]
+					default:
+						return nil, fmt.Errorf("obs: line %d: unknown metric type %q", lineNo, fields[3])
+					}
+				} else if len(fields) >= 4 {
+					f.Help = fields[3]
+				}
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		sawAny = true
+		f := get(s.Name)
+		f.Samples = append(f.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading exposition: %w", err)
+	}
+	if !sawAny {
+		return nil, fmt.Errorf("obs: exposition contains no samples")
+	}
+	for _, name := range order {
+		f := families[name]
+		if f.Type == "histogram" {
+			if err := validateHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return families, nil
+}
+
+// baseName strips the histogram sample suffix when the prefix is a
+// declared histogram family, so _bucket/_sum/_count samples group under
+// their family.
+func baseName(name string, families map[string]*Family) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if f, exists := families[base]; exists && f.Type == "histogram" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// validateHistogram checks the structural invariants of one histogram
+// series group: cumulative non-decreasing buckets, a closing +Inf
+// bucket, and agreement between _count and the +Inf bucket.
+func validateHistogram(f *Family) error {
+	// Partition bucket samples by their non-le label set.
+	type group struct {
+		labels  map[string]string
+		buckets []Bucket
+		count   float64
+		hasCnt  bool
+	}
+	var groups []*group
+	find := func(labels map[string]string) *group {
+		for _, g := range groups {
+			if len(g.labels) == len(labels) && matchLabels(g.labels, labels) {
+				return g
+			}
+		}
+		g := &group{labels: labels}
+		groups = append(groups, g)
+		return g
+	}
+	for _, s := range f.Samples {
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("obs: histogram %s: bucket sample without le label", f.Name)
+			}
+			bound, err := parseFloat(le)
+			if err != nil {
+				return fmt.Errorf("obs: histogram %s: bad le %q", f.Name, le)
+			}
+			g := find(stripLE(s.Labels))
+			g.buckets = append(g.buckets, Bucket{LE: bound, Count: s.Value})
+		case strings.HasSuffix(s.Name, "_count"):
+			g := find(s.Labels)
+			g.count, g.hasCnt = s.Value, true
+		}
+	}
+	for _, g := range groups {
+		if len(g.buckets) == 0 {
+			return fmt.Errorf("obs: histogram %s: series with no buckets", f.Name)
+		}
+		sort.Slice(g.buckets, func(i, j int) bool { return g.buckets[i].LE < g.buckets[j].LE })
+		last := g.buckets[len(g.buckets)-1]
+		if !math.IsInf(last.LE, 1) {
+			return fmt.Errorf("obs: histogram %s: missing le=\"+Inf\" bucket", f.Name)
+		}
+		for i := 1; i < len(g.buckets); i++ {
+			if g.buckets[i].Count < g.buckets[i-1].Count {
+				return fmt.Errorf("obs: histogram %s: buckets not cumulative at le=%g", f.Name, g.buckets[i].LE)
+			}
+		}
+		if g.hasCnt && g.count != last.Count {
+			return fmt.Errorf("obs: histogram %s: _count %g disagrees with +Inf bucket %g", f.Name, g.count, last.Count)
+		}
+	}
+	return nil
+}
+
+// parseSample parses one sample line: name[{labels}] value [timestamp].
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("sample line %q: no metric name", line)
+	}
+	s.Name = line[:i]
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, err := parseLabels(rest, s.Labels)
+		if err != nil {
+			return s, fmt.Errorf("sample %s: %w", s.Name, err)
+		}
+		rest = rest[end:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("sample %s: want value [timestamp], got %q", s.Name, strings.TrimSpace(rest))
+	}
+	v, err := parseFloat(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("sample %s: bad value %q", s.Name, fields[0])
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("sample %s: bad timestamp %q", s.Name, fields[1])
+		}
+	}
+	return s, nil
+}
+
+// parseLabels parses a {k="v",...} block starting at s[0] == '{',
+// returning the index just past the closing brace.
+func parseLabels(s string, out map[string]string) (int, error) {
+	i := 1
+	for {
+		for i < len(s) && (s[i] == ' ' || s[i] == ',') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return i + 1, nil
+		}
+		start := i
+		for i < len(s) && isNameChar(s[i], i == start) {
+			i++
+		}
+		if i == start {
+			return 0, fmt.Errorf("bad label name at %q", s[i:])
+		}
+		name := s[start:i]
+		if i >= len(s) || s[i] != '=' {
+			return 0, fmt.Errorf("label %s: missing =", name)
+		}
+		i++
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("label %s: missing opening quote", name)
+		}
+		i++
+		var b strings.Builder
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				i++
+				if i >= len(s) {
+					return 0, fmt.Errorf("label %s: dangling escape", name)
+				}
+				switch s[i] {
+				case 'n':
+					b.WriteByte('\n')
+				case '\\', '"':
+					b.WriteByte(s[i])
+				default:
+					return 0, fmt.Errorf("label %s: bad escape \\%c", name, s[i])
+				}
+			} else {
+				b.WriteByte(s[i])
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("label %s: unterminated value", name)
+		}
+		i++ // closing quote
+		out[name] = b.String()
+	}
+}
+
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isNameChar(s[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func parseFloat(s string) (float64, error) {
+	return strconv.ParseFloat(s, 64)
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one point on a job's timeline: a name from the job
+// lifecycle vocabulary (submit, compile, queue, dispatch, chunk,
+// segment, merge, done, ...), the monotonic offset from the trace's
+// start, an optional duration for events that describe a completed
+// span, and free-form detail.
+type Event struct {
+	Name   string        `json:"name"`
+	At     time.Duration `json:"at_ns"`
+	Dur    time.Duration `json:"dur_ns,omitempty"`
+	Detail string        `json:"detail,omitempty"`
+}
+
+// Trace is the recorded timeline of one job. Offsets come from the
+// monotonic clock (time.Since the trace's start), captured under the
+// trace's lock, so At is non-decreasing in append order regardless of
+// which goroutine records the event. All methods are nil-safe: code
+// paths that may run without tracing thread a possibly-nil *Trace and
+// never check it.
+//
+// The event buffer is bounded: the first half of the capacity is kept
+// forever (the submit→dispatch prefix of a long job must survive), the
+// second half is a ring over the most recent events — so a sweep that
+// emits thousands of chunk events keeps its beginning and its end, and
+// Dropped counts what the middle lost.
+type Trace struct {
+	mu      sync.Mutex
+	id      string
+	start   time.Time
+	events  []Event
+	max     int
+	keep    int // events[:keep] are immortal once the buffer fills
+	next    int // ring cursor in [keep, max)
+	dropped int
+}
+
+// Event records a point event.
+func (t *Trace) Event(name, detail string) {
+	t.record(Event{Name: name, Detail: detail})
+}
+
+// Span records an event describing a span of work that just completed,
+// with its duration.
+func (t *Trace) Span(name, detail string, d time.Duration) {
+	t.record(Event{Name: name, Detail: detail, Dur: d})
+}
+
+func (t *Trace) record(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	e.At = time.Since(t.start)
+	if len(t.events) < t.max {
+		t.events = append(t.events, e)
+	} else {
+		t.events[t.next] = e
+		t.dropped++
+		t.next++
+		if t.next == t.max {
+			t.next = t.keep
+		}
+	}
+	t.mu.Unlock()
+}
+
+// TraceData is the wire form of a trace: what GET /v2/jobs/{id}/trace
+// returns and spm trace renders.
+type TraceData struct {
+	ID      string    `json:"id"`
+	Start   time.Time `json:"start"`
+	Dropped int       `json:"dropped,omitempty"`
+	Events  []Event   `json:"events"`
+}
+
+// Snapshot returns the trace's current timeline in event order.
+func (t *Trace) Snapshot() TraceData {
+	if t == nil {
+		return TraceData{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	d := TraceData{ID: t.id, Start: t.start, Dropped: t.dropped}
+	if t.dropped == 0 {
+		d.Events = append([]Event(nil), t.events...)
+		return d
+	}
+	d.Events = make([]Event, 0, len(t.events))
+	d.Events = append(d.Events, t.events[:t.keep]...)
+	d.Events = append(d.Events, t.events[t.next:]...)
+	d.Events = append(d.Events, t.events[t.keep:t.next]...)
+	return d
+}
+
+// Tracer keeps the traces of the most recent jobs, keyed by job ID,
+// evicting the oldest once the job cap is reached. A nil *Tracer
+// returns nil traces, so tracing degrades to a no-op end to end.
+type Tracer struct {
+	mu        sync.Mutex
+	capJobs   int
+	maxEvents int
+	byID      map[string]*Trace
+	order     []string
+}
+
+// NewTracer returns a tracer retaining up to jobs traces of up to
+// events events each (256 and 512 when ≤ 0).
+func NewTracer(jobs, events int) *Tracer {
+	if jobs <= 0 {
+		jobs = 256
+	}
+	if events <= 0 {
+		events = 512
+	}
+	if events < 4 {
+		events = 4
+	}
+	return &Tracer{capJobs: jobs, maxEvents: events, byID: map[string]*Trace{}}
+}
+
+// Begin starts (or restarts — a resumed job records a fresh timeline)
+// the trace for a job ID and returns it.
+func (tr *Tracer) Begin(id string) *Trace {
+	if tr == nil {
+		return nil
+	}
+	keep := tr.maxEvents / 2
+	t := &Trace{id: id, start: time.Now(), max: tr.maxEvents, keep: keep, next: keep}
+	tr.mu.Lock()
+	if _, ok := tr.byID[id]; !ok {
+		tr.order = append(tr.order, id)
+		if len(tr.order) > tr.capJobs {
+			delete(tr.byID, tr.order[0])
+			tr.order = tr.order[1:]
+		}
+	}
+	tr.byID[id] = t
+	tr.mu.Unlock()
+	return t
+}
+
+// Lookup returns the trace for a job ID, or nil when the job is unknown
+// or already evicted.
+func (tr *Tracer) Lookup(id string) *Trace {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.byID[id]
+}

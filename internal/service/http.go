@@ -71,8 +71,11 @@ const (
 //	GET    /v2/jobs/{id}        poll lifecycle state, progress, and verdict
 //	DELETE /v2/jobs/{id}        cancel a queued or running job
 //	GET    /v2/jobs/{id}/events stream progress as server-sent events
+//	GET    /v2/jobs/{id}/trace  the job's recorded event timeline
 //	GET    /v2/stats            queue depths, cache and verdict-store
 //	                            counters, per-tenant admission tallies
+//	GET    /v2/metrics          Prometheus text exposition of every
+//	                            service counter and histogram
 //
 // v1 (frozen; thin aliases of the v2 handlers):
 //
@@ -92,7 +95,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v2/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v2/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v2/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v2/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v2/stats", s.handleStats)
+	mux.Handle("GET /v2/metrics", s.metrics.reg)
 	return mux
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"spm/internal/core"
+	"spm/internal/obs"
 	"spm/internal/store"
 )
 
@@ -109,6 +110,11 @@ type Job struct {
 	// admission accounting and DRR dispatch.
 	tenant string
 
+	// trace is the job's event timeline (GET /v2/jobs/{id}/trace).
+	// Nil-safe throughout: jobs built outside a full service record
+	// nothing.
+	trace *obs.Trace
+
 	// ctx is cancelled by Service.Cancel; the sweep engine observes it
 	// between chunks.
 	ctx    context.Context
@@ -192,11 +198,13 @@ func (j *Job) cancelRequest() (State, bool) {
 		j.finished = time.Now()
 		j.mu.Unlock()
 		j.cancel()
+		j.trace.Event("cancelled", "while queued")
 		close(j.done)
 		return StateQueued, true
 	case StateRunning:
 		j.mu.Unlock()
 		j.cancel()
+		j.trace.Event("cancel", "requested; sweep stops within one chunk")
 		return StateRunning, true
 	default:
 		st := j.state
@@ -222,7 +230,9 @@ func (j *Job) finish(res *Result, err error) {
 		j.state = StateFailed
 		j.errMsg = err.Error()
 	}
+	st, msg := j.state, j.errMsg
 	j.mu.Unlock()
+	j.trace.Event(string(st), msg)
 	j.cancel()
 	close(j.done)
 }

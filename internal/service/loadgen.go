@@ -12,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"spm/internal/obs"
 )
 
 // LoadgenConfig drives Loadgen: a closed-loop generator where Concurrency
@@ -66,6 +68,17 @@ type LoadgenReport struct {
 	P90          time.Duration `json:"p90_ns"`
 	P99          time.Duration `json:"p99_ns"`
 	Max          time.Duration `json:"max_ns"`
+	// Queue-wait percentiles, read from each job's trace span data (the
+	// dispatch span's duration on GET /v2/jobs/{id}/trace): time spent
+	// waiting for a pool worker, separating scheduling delay from sweep
+	// time inside the end-to-end latency above. TracedJobs counts the
+	// jobs that contributed — store-answered jobs never dispatch, and a
+	// trace may already be evicted — so 0 means the column is absent,
+	// not that waits were zero.
+	TracedJobs int           `json:"traced_jobs,omitempty"`
+	QWaitP50   time.Duration `json:"queue_wait_p50_ns,omitempty"`
+	QWaitP90   time.Duration `json:"queue_wait_p90_ns,omitempty"`
+	QWaitP99   time.Duration `json:"queue_wait_p99_ns,omitempty"`
 }
 
 // String renders the report for the CLI.
@@ -76,6 +89,11 @@ func (r *LoadgenReport) String() string {
 	fmt.Fprintf(&b, "  latency p50 %v  p90 %v  p99 %v  max %v\n",
 		r.P50.Round(time.Microsecond), r.P90.Round(time.Microsecond),
 		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond))
+	if r.TracedJobs > 0 {
+		fmt.Fprintf(&b, "  queue wait p50 %v  p90 %v  p99 %v  (%d traced jobs)\n",
+			r.QWaitP50.Round(time.Microsecond), r.QWaitP90.Round(time.Microsecond),
+			r.QWaitP99.Round(time.Microsecond), r.TracedJobs)
+	}
 	fmt.Fprintf(&b, "  cache hits %d/%d, verdict hits %d, failed %d, cancelled at deadline %d, busy retries %d, quota retries %d",
 		r.CacheHits, r.Jobs, r.VerdictHits, r.Failed, r.Cancelled, r.Busy, r.QuotaRetries)
 	return b.String()
@@ -116,6 +134,7 @@ func Loadgen(cfg LoadgenConfig) (*LoadgenReport, error) {
 		quota       atomic.Int64
 		mu          sync.Mutex
 		latencies   []time.Duration
+		waits       []time.Duration
 		firstErr    error
 	)
 	start := time.Now()
@@ -139,6 +158,9 @@ func Loadgen(cfg LoadgenConfig) (*LoadgenReport, error) {
 				mu.Lock()
 				if !ok.cancelled {
 					latencies = append(latencies, lat)
+				}
+				if ok.hasWait {
+					waits = append(waits, ok.queueWait)
 				}
 				if err != nil && firstErr == nil {
 					firstErr = err
@@ -184,6 +206,13 @@ func Loadgen(cfg LoadgenConfig) (*LoadgenReport, error) {
 	if elapsed > 0 {
 		rep.JobsPerSec = float64(cfg.Jobs) / elapsed.Seconds()
 	}
+	if len(waits) > 0 {
+		sort.Slice(waits, func(i, j int) bool { return waits[i] < waits[j] })
+		rep.TracedJobs = len(waits)
+		rep.QWaitP50 = percentile(waits, 50)
+		rep.QWaitP90 = percentile(waits, 90)
+		rep.QWaitP99 = percentile(waits, 99)
+	}
 	return rep, nil
 }
 
@@ -192,6 +221,37 @@ type oneResult struct {
 	verdictHit bool
 	succeeded  bool
 	cancelled  bool
+	// queueWait is the dispatch span's duration from the job's trace;
+	// hasWait distinguishes a measured zero from no trace at all.
+	queueWait time.Duration
+	hasWait   bool
+}
+
+// fetchQueueWait reads a finished job's dispatch span off the trace
+// endpoint. Best-effort by design: a 404 (trace evicted, or an older
+// server without the endpoint) or a timeline without a dispatch span —
+// a job answered from the verdict store never dispatched — just means
+// no sample.
+func fetchQueueWait(client *http.Client, base, id string) (time.Duration, bool) {
+	resp, err := client.Get(base + "/v2/jobs/" + id + "/trace")
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return 0, false
+	}
+	var td obs.TraceData
+	if err := json.NewDecoder(resp.Body).Decode(&td); err != nil {
+		return 0, false
+	}
+	for _, e := range td.Events {
+		if e.Name == "dispatch" {
+			return e.Dur, true
+		}
+	}
+	return 0, false
 }
 
 // cancelJob asks the server to stop a job the client no longer wants,
@@ -296,6 +356,7 @@ func runOne(client *http.Client, base string, req CheckRequest, tenant string, p
 			// completion: the verdict landed, so it counts as a success,
 			// keeping the client's tallies consistent with the server's.
 			out.succeeded = true
+			out.queueWait, out.hasWait = fetchQueueWait(client, base, sub.ID)
 			return out, nil
 		case StateFailed:
 			return out, nil

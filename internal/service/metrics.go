@@ -1,0 +1,233 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"spm/internal/core"
+	"spm/internal/obs"
+)
+
+// serviceMetrics owns the service's observability state: the metrics
+// registry behind GET /v2/metrics, the per-job trace recorder behind
+// GET /v2/jobs/{id}/trace, and the execution tally every job's sweep
+// reports into. Instrument handles are resolved once here; the per-job
+// hot paths (jobObserver, the execution tiers) only touch atomics.
+type serviceMetrics struct {
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	exec   *core.ExecTally
+
+	// Dispatch latency and sweep duration, by pool and by tenant.
+	queueWait  *obs.HistogramVec
+	runDur     *obs.HistogramVec
+	tenantWait *obs.HistogramVec
+	tenantRun  *obs.HistogramVec
+
+	// Sweep-engine chunk counters, fed by jobObserver.
+	sweepChunks  *obs.Counter
+	sweepTuples  *obs.Counter
+	chunkSeconds *obs.Histogram
+
+	// Sampled at scrape time from Scheduler.Stats / tenantGate.stats.
+	poolDepth      *obs.GaugeVec
+	poolPeak       *obs.GaugeVec
+	poolDispatched *obs.GaugeVec
+	poolCompleted  *obs.GaugeVec
+	tenantQueued   *obs.GaugeVec
+	tenantAdmitted *obs.GaugeVec
+	tenantRejected *obs.GaugeVec
+	tenantTuples   *obs.GaugeVec
+}
+
+// newServiceMetrics builds the registry and binds every counter source
+// the service already keeps: lifecycle atomics, compile-cache and
+// verdict-store counters, the execution tally, and scrape-time samples
+// of the scheduler and tenant gate. Called from New after the scheduler
+// and tenant gate exist; the gather hook and the *Func families read s
+// only at scrape time.
+func newServiceMetrics(s *Service) *serviceMetrics {
+	reg := obs.New()
+	m := &serviceMetrics{
+		reg:    reg,
+		tracer: obs.NewTracer(0, 0),
+		exec:   &core.ExecTally{},
+	}
+
+	m.queueWait = reg.HistogramVec("spm_job_queue_wait_seconds",
+		"Time from submission to dispatch onto a pool worker.", nil, "pool")
+	m.runDur = reg.HistogramVec("spm_job_run_seconds",
+		"Wall-clock sweep time of jobs that ran, by pool.", nil, "pool")
+	m.tenantWait = reg.HistogramVec("spm_tenant_queue_wait_seconds",
+		"Time from submission to dispatch, by tenant.", nil, "tenant")
+	m.tenantRun = reg.HistogramVec("spm_tenant_run_seconds",
+		"Wall-clock sweep time of jobs that ran, by tenant.", nil, "tenant")
+
+	m.sweepChunks = reg.Counter("spm_sweep_chunks_total",
+		"Sweep chunks completed across all jobs.")
+	m.sweepTuples = reg.Counter("spm_sweep_tuples_total",
+		"Tuples enumerated across all jobs.")
+	m.chunkSeconds = reg.Histogram("spm_sweep_chunk_seconds",
+		"Duration of individual sweep chunks.", nil)
+
+	reg.GaugeFunc("spm_jobs_queued",
+		"Jobs currently waiting in pool queues.",
+		func() float64 { return float64(s.nQueued.Load()) })
+	reg.GaugeFunc("spm_jobs_running",
+		"Jobs currently sweeping.",
+		func() float64 { return float64(s.nRunning.Load()) })
+	reg.CounterFunc("spm_jobs_done_total",
+		"Jobs finished successfully.",
+		func() float64 { return float64(s.nDone.Load()) })
+	reg.CounterFunc("spm_jobs_failed_total",
+		"Jobs that ended in an error.",
+		func() float64 { return float64(s.nFailed.Load()) })
+	reg.CounterFunc("spm_jobs_cancelled_total",
+		"Jobs cancelled before or during their sweep.",
+		func() float64 { return float64(s.nCancelled.Load()) })
+
+	reg.CounterFunc("spm_compile_cache_hits_total",
+		"Submissions that skipped parse+instrument+Compile.",
+		func() float64 { return float64(s.cache.hits.Load()) })
+	reg.CounterFunc("spm_compile_cache_misses_total",
+		"Submissions that paid a full compile.",
+		func() float64 { return float64(s.cache.misses.Load()) })
+	reg.GaugeFunc("spm_compile_cache_entries",
+		"Compiled entries currently cached.",
+		func() float64 { return float64(s.cache.Stats().Entries) })
+
+	reg.CounterFunc("spm_memo_captures_total",
+		"Prefix-memo snapshot captures (fresh odometer rows).",
+		func() float64 { return float64(m.exec.Counts().MemoCaptures) })
+	reg.CounterFunc("spm_memo_replays_total",
+		"Executions resumed from a prefix snapshot.",
+		func() float64 { return float64(m.exec.Counts().MemoReplays) })
+	reg.CounterFunc("spm_memo_invalidations_total",
+		"Snapshot replays abandoned for a full re-run.",
+		func() float64 { return float64(m.exec.Counts().MemoInvalid) })
+	reg.CounterFunc("spm_batch_strides_total",
+		"Batch-tier strides executed.",
+		func() float64 { return float64(m.exec.Counts().BatchStrides) })
+	reg.CounterFunc("spm_batch_lanes_total",
+		"Tuples executed on batch lanes.",
+		func() float64 { return float64(m.exec.Counts().BatchLanes) })
+	reg.CounterFunc("spm_batch_diverged_total",
+		"Batch lanes that diverged to the scalar fallback.",
+		func() float64 { return float64(m.exec.Counts().BatchDiverged) })
+
+	if s.store != nil {
+		reg.CounterFunc("spm_store_verdict_hits_total",
+			"Submissions answered straight from the verdict store.",
+			func() float64 { return float64(s.nVerdictHits.Load()) })
+		reg.CounterFunc("spm_store_resumed_jobs_total",
+			"Jobs re-enqueued from a crash checkpoint at startup.",
+			func() float64 { return float64(s.nResumed.Load()) })
+		reg.CounterFunc("spm_store_lookups_total",
+			"Verdict-store probes (hits plus misses).",
+			func() float64 { st := s.store.Stats(); return float64(st.Hits + st.Misses) })
+		reg.CounterFunc("spm_store_bytes_appended_total",
+			"Log bytes persisted since the store opened.",
+			func() float64 { return float64(s.store.Stats().BytesAppended) })
+		reg.GaugeFunc("spm_store_verdicts",
+			"Verdicts currently indexed by the store.",
+			func() float64 { return float64(s.store.Stats().Verdicts) })
+		reg.GaugeFunc("spm_store_pending",
+			"In-flight jobs the store would resume after a crash.",
+			func() float64 { return float64(s.store.Stats().Pending) })
+	}
+
+	m.poolDepth = reg.GaugeVec("spm_pool_queue_depth",
+		"Jobs waiting in each pool queue.", "pool")
+	m.poolPeak = reg.GaugeVec("spm_pool_queue_peak",
+		"High-water queue depth of each pool.", "pool")
+	m.poolDispatched = reg.GaugeVec("spm_pool_dispatched_jobs",
+		"Jobs dispatched to each pool since start.", "pool")
+	m.poolCompleted = reg.GaugeVec("spm_pool_completed_jobs",
+		"Jobs each pool finished since start.", "pool")
+	m.tenantQueued = reg.GaugeVec("spm_tenant_queued_jobs",
+		"Jobs in each tenant's DRR backlog.", "tenant")
+	m.tenantAdmitted = reg.GaugeVec("spm_tenant_admitted_jobs",
+		"Submissions admitted past each tenant's token bucket.", "tenant")
+	m.tenantRejected = reg.GaugeVec("spm_tenant_rejected_jobs",
+		"Submissions stopped by each tenant's token bucket.", "tenant")
+	m.tenantTuples = reg.GaugeVec("spm_tenant_admitted_tuples",
+		"Tuple volume admitted for each tenant.", "tenant")
+	reg.OnGather(func() {
+		for i, p := range s.sched.Stats() {
+			pool := strconv.Itoa(i)
+			m.poolDepth.With(pool).Set(float64(p.Depth))
+			m.poolPeak.With(pool).Set(float64(p.Peak))
+			m.poolDispatched.With(pool).Set(float64(p.Dispatched))
+			m.poolCompleted.With(pool).Set(float64(p.Completed))
+		}
+		for _, t := range s.tenants.stats() {
+			m.tenantQueued.With(t.Tenant).Set(float64(t.Queued))
+			m.tenantAdmitted.With(t.Tenant).Set(float64(t.Admitted))
+			m.tenantRejected.With(t.Tenant).Set(float64(t.Rejected))
+			m.tenantTuples.With(t.Tenant).Set(float64(t.TuplesAdmitted))
+		}
+	})
+	return m
+}
+
+// observeDispatch records a job leaving its queue for a pool worker:
+// the queue-wait histograms and the trace's dispatch span.
+func (m *serviceMetrics) observeDispatch(j *Job, pool int, wait time.Duration) {
+	p := strconv.Itoa(pool)
+	m.queueWait.With(p).Observe(wait.Seconds())
+	m.tenantWait.With(j.tenant).Observe(wait.Seconds())
+	j.trace.Span("dispatch", "pool="+p, wait)
+}
+
+// observeRun records a finished sweep's wall-clock duration.
+func (m *serviceMetrics) observeRun(j *Job, pool int, d time.Duration) {
+	p := strconv.Itoa(pool)
+	m.runDur.With(p).Observe(d.Seconds())
+	m.tenantRun.With(j.tenant).Observe(d.Seconds())
+}
+
+// jobObserver is the per-job sweep.Observer: every completed chunk
+// bumps the service-wide chunk counters and lands on the job's trace
+// timeline. One is built per job run, so the trace pointer needs no
+// lookup on the chunk path.
+type jobObserver struct {
+	m  *serviceMetrics
+	tr *obs.Trace
+}
+
+func (o *jobObserver) ChunkDone(worker, tuples int, d time.Duration) {
+	o.m.sweepChunks.Inc()
+	o.m.sweepTuples.Add(int64(tuples))
+	o.m.chunkSeconds.Observe(d.Seconds())
+	o.tr.Span("chunk", fmt.Sprintf("worker=%d tuples=%d", worker, tuples), d)
+}
+
+// Metrics returns the service's metrics registry — the handler behind
+// GET /v2/metrics, also mountable on additional muxes (the cluster
+// admin surface exposes it as /metrics).
+func (s *Service) Metrics() *obs.Registry { return s.metrics.reg }
+
+// JobTrace returns the recorded timeline of a job, if the tracer still
+// holds it (traces outlive the job history bound but are themselves
+// bounded; see obs.NewTracer).
+func (s *Service) JobTrace(id string) (obs.TraceData, bool) {
+	t := s.metrics.tracer.Lookup(id)
+	if t == nil {
+		return obs.TraceData{}, false
+	}
+	return t.Snapshot(), true
+}
+
+// handleTrace is GET /v2/jobs/{id}/trace: the job's event timeline as
+// JSON, 404 once the trace has been evicted (or the ID never existed).
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	td, ok := s.JobTrace(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound,
+			fmt.Sprintf("service: no trace for job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, td)
+}

@@ -157,6 +157,9 @@ func (s *Service) cachedJob(req CheckRequest, entry *compiled, total int64, raw 
 	j := newJob(fmt.Sprintf("job-%d", s.seq.Add(1)), req, entry, true, total)
 	j.CachedVerdict = true
 	j.progress.Store(total)
+	j.trace = s.metrics.tracer.Begin(j.ID)
+	j.trace.Event("submit", fmt.Sprintf("total=%d", total))
+	j.trace.Event("store-hit", "verdict served from store; no sweep")
 	j.finish(&res, nil)
 
 	s.mu.Lock()
@@ -199,6 +202,8 @@ func (s *Service) checkStore(ctx context.Context, j *Job) (*Result, error) {
 		check.WithBatch(s.cfg.SweepBatch),
 		check.WithProgress(&j.progress),
 		check.WithThrottle(s.cfg.Throttle),
+		check.WithObserver(&jobObserver{m: s.metrics, tr: j.trace}),
+		check.WithExecTally(s.metrics.exec),
 		commit,
 	}
 	shard := check.Shard{Offset: j.Req.Offset, Count: j.Req.Count}
@@ -216,6 +221,7 @@ func (s *Service) checkStore(ctx context.Context, j *Job) (*Result, error) {
 			from = &check.Checkpoint{Cursor: resume.Cursor, Partial: resume.Partial}
 			j.progress.Store(resume.Cursor)
 		}
+		j.trace.Event("sweep", "phase=sound")
 		v, err := check.RunCheckpointed(ctx, check.Spec{
 			Kind:        check.Soundness,
 			Mechanism:   entry.mech,
@@ -224,11 +230,12 @@ func (s *Service) checkStore(ctx context.Context, j *Job) (*Result, error) {
 			Observation: obs,
 			Shard:       shard,
 		}, from, every, func(ck check.Checkpoint) error {
-			return s.saveCheckpoint(j.ID, jobCheckpoint{Phase: "sound", Cursor: ck.Cursor, Partial: ck.Partial}, ck.Cursor)
+			return s.saveCheckpoint(j, jobCheckpoint{Phase: "sound", Cursor: ck.Cursor, Partial: ck.Partial}, ck.Cursor)
 		}, opts...)
 		if err != nil {
 			return nil, err
 		}
+		j.trace.Span("sound", fmt.Sprintf("checked=%d", v.Checked), time.Since(start))
 		soundV = v
 	}
 
@@ -253,6 +260,8 @@ func (s *Service) checkStore(ctx context.Context, j *Job) (*Result, error) {
 			from = &check.Checkpoint{Cursor: resume.Cursor, Partial: resume.Partial}
 			j.progress.Store(span + resume.Cursor)
 		}
+		mstart := time.Now()
+		j.trace.Event("sweep", "phase=max")
 		mv, err := check.RunCheckpointed(ctx, check.Spec{
 			Kind:        check.Maximality,
 			Mechanism:   entry.mech,
@@ -262,11 +271,12 @@ func (s *Service) checkStore(ctx context.Context, j *Job) (*Result, error) {
 			Observation: obs,
 			Shard:       shard,
 		}, from, every, func(ck check.Checkpoint) error {
-			return s.saveCheckpoint(j.ID, jobCheckpoint{Phase: "max", Cursor: ck.Cursor, Partial: ck.Partial, Sound: &soundV}, span+ck.Cursor)
+			return s.saveCheckpoint(j, jobCheckpoint{Phase: "max", Cursor: ck.Cursor, Partial: ck.Partial, Sound: &soundV}, span+ck.Cursor)
 		}, opts...)
 		if err != nil {
 			return nil, err
 		}
+		j.trace.Span("max", fmt.Sprintf("checked=%d", mv.Checked), time.Since(mstart))
 		maximal := mv.Maximal
 		res.Program = mv.Program
 		res.Maximal = &maximal
@@ -274,6 +284,7 @@ func (s *Service) checkStore(ctx context.Context, j *Job) (*Result, error) {
 		res.MaximalReason = mv.Reason
 		res.Classes = mv.Classes
 	}
+	j.trace.Event("merge", "assembling result")
 	elapsed := time.Since(start)
 	res.ElapsedSeconds = elapsed.Seconds()
 	if elapsed > 0 {
@@ -282,12 +293,13 @@ func (s *Service) checkStore(ctx context.Context, j *Job) (*Result, error) {
 	return res, nil
 }
 
-func (s *Service) saveCheckpoint(id string, ck jobCheckpoint, cursor int64) error {
+func (s *Service) saveCheckpoint(j *Job, ck jobCheckpoint, cursor int64) error {
 	data, err := json.Marshal(ck)
 	if err != nil {
 		return err
 	}
-	return s.store.Checkpoint(id, data, cursor)
+	j.trace.Event("segment", fmt.Sprintf("phase=%s cursor=%d", ck.Phase, cursor))
+	return s.store.Checkpoint(j.ID, data, cursor)
 }
 
 // settleStore finishes a job's store bookkeeping after its run: a

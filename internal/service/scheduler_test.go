@@ -160,6 +160,12 @@ func TestJSQSkewUnderConcurrentLoad(t *testing.T) {
 	if rep.CacheHits < jobs-2 {
 		t.Errorf("cache hits = %d, want ≥ %d (identical submissions)", rep.CacheHits, jobs-2)
 	}
+	// Every job dispatched (no store), so the trace-sourced queue-wait
+	// column must be populated. The tracer retains more jobs than this
+	// run submits, so eviction cannot explain an empty column.
+	if rep.TracedJobs == 0 {
+		t.Error("no queue-wait samples from trace spans")
+	}
 
 	stats := svc.Stats()
 	var totalDispatched, totalPeak, maxDispatched, maxPeak int64

@@ -150,6 +150,7 @@ type Service struct {
 	sched   *Scheduler
 	store   *store.Store
 	tenants *tenantGate
+	metrics *serviceMetrics
 
 	mu    sync.Mutex
 	jobs  map[string]*Job
@@ -181,6 +182,7 @@ func New(cfg Config) *Service {
 	}
 	s.sched = NewScheduler(cfg.Pools, cfg.QueueCap, s.runJob)
 	s.tenants = newTenantGate(cfg.Tenant, s)
+	s.metrics = newServiceMetrics(s)
 	if s.store != nil {
 		s.resumePending()
 	}
@@ -306,6 +308,16 @@ func (s *Service) submit(req CheckRequest, id string, resume *jobCheckpoint, ten
 	j.storeKey = key
 	j.resume = resume
 	j.tenant = tenant
+	j.trace = s.metrics.tracer.Begin(j.ID)
+	j.trace.Event("submit", fmt.Sprintf("tenant=%q total=%d", tenant, j.Total))
+	if hit {
+		j.trace.Event("compile", "cache hit")
+	} else {
+		j.trace.Event("compile", "compiled")
+	}
+	if resume != nil {
+		j.trace.Event("resume", fmt.Sprintf("phase=%s cursor=%d", resume.Phase, resume.Cursor))
+	}
 	if resume != nil {
 		// The job's progress denominator includes the checkpointed prefix;
 		// seed the counter so done/total stays truthful before the sweep
@@ -335,6 +347,7 @@ func (s *Service) submit(req CheckRequest, id string, resume *jobCheckpoint, ten
 	}
 
 	s.nQueued.Add(1)
+	j.trace.Event("queue", "awaiting pool")
 	if err := s.tenants.dispatch(j); err != nil {
 		s.nQueued.Add(-1)
 		s.dropJob(j.ID)
@@ -474,6 +487,8 @@ func (s *Service) runJob(pool int, j *Job) {
 	}
 	s.nQueued.Add(-1)
 	s.nRunning.Add(1)
+	s.metrics.observeDispatch(j, pool, time.Since(j.created))
+	runStart := time.Now()
 	var res *Result
 	var err error
 	if s.store != nil {
@@ -481,6 +496,7 @@ func (s *Service) runJob(pool int, j *Job) {
 	} else {
 		res, err = s.check(j.ctx, j)
 	}
+	s.metrics.observeRun(j, pool, time.Since(runStart))
 	if s.store != nil {
 		s.settleStore(j, res, err)
 	}
@@ -512,11 +528,14 @@ func (s *Service) check(ctx context.Context, j *Job) (*Result, error) {
 		check.WithBatch(s.cfg.SweepBatch),
 		check.WithProgress(&j.progress),
 		check.WithThrottle(s.cfg.Throttle),
+		check.WithObserver(&jobObserver{m: s.metrics, tr: j.trace}),
+		check.WithExecTally(s.metrics.exec),
 	}
 
 	shard := check.Shard{Offset: j.Req.Offset, Count: j.Req.Count}
 
 	start := time.Now()
+	j.trace.Event("sweep", "phase=sound")
 	v, err := check.Run(ctx, check.Spec{
 		Kind:        check.Soundness,
 		Mechanism:   entry.mech,
@@ -528,6 +547,7 @@ func (s *Service) check(ctx context.Context, j *Job) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	j.trace.Span("sound", fmt.Sprintf("checked=%d", v.Checked), time.Since(start))
 	res := &Result{
 		Mechanism:   v.Mechanism,
 		Policy:      v.Policy,
@@ -543,6 +563,8 @@ func (s *Service) check(ctx context.Context, j *Job) (*Result, error) {
 		Views:       v.Views,
 	}
 	if j.Req.Maximal {
+		mstart := time.Now()
+		j.trace.Event("sweep", "phase=max")
 		mv, err := check.Run(ctx, check.Spec{
 			Kind:        check.Maximality,
 			Mechanism:   entry.mech,
@@ -555,6 +577,7 @@ func (s *Service) check(ctx context.Context, j *Job) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		j.trace.Span("max", fmt.Sprintf("checked=%d", mv.Checked), time.Since(mstart))
 		maximal := mv.Maximal
 		res.Program = mv.Program
 		res.Maximal = &maximal
@@ -562,6 +585,7 @@ func (s *Service) check(ctx context.Context, j *Job) (*Result, error) {
 		res.MaximalReason = mv.Reason
 		res.Classes = mv.Classes
 	}
+	j.trace.Event("merge", "assembling result")
 	elapsed := time.Since(start)
 	res.ElapsedSeconds = elapsed.Seconds()
 	if elapsed > 0 {

@@ -43,6 +43,19 @@ var ErrBadRange = errors.New("sweep: negative shard offset or count")
 // a skewed tail still balances across workers.
 const DefaultChunk = 1024
 
+// Observer receives engine events as a sweep runs — the instrumentation
+// seam the policy-checking service hangs chunk counters, chunk-duration
+// histograms, and per-job trace events on. Implementations must be safe
+// for concurrent use: with multiple workers, ChunkDone is called from
+// every worker goroutine. A nil Config.Observer costs one predictable
+// branch per chunk, so library callers and benchmarks that don't
+// observe pay effectively nothing.
+type Observer interface {
+	// ChunkDone reports one completed chunk: the worker that ran it,
+	// the number of tuples it covered, and how long it took.
+	ChunkDone(worker, tuples int, d time.Duration)
+}
+
 // Config tunes the engine. The zero value means "pick sensible defaults".
 type Config struct {
 	// Workers is the number of goroutines; ≤ 0 means runtime.NumCPU().
@@ -80,6 +93,12 @@ type Config struct {
 	// never changes which tuples are visited, only how fast; cancellation
 	// still lands within one chunk because the sleep itself observes ctx.
 	Throttle time.Duration
+	// Observer, when non-nil, receives a ChunkDone callback for every
+	// completed chunk (see Observer). Like Progress, it adds no
+	// per-tuple overhead; unlike Progress it also carries the chunk's
+	// wall-clock duration, the raw material for chunk-latency
+	// histograms.
+	Observer Observer
 }
 
 func (c Config) normalized(size int) Config {
@@ -288,6 +307,9 @@ func runRange(ctx context.Context, values [][]int64, cfg Config, empty func(work
 	if len(values) == 0 {
 		err := empty(0)
 		if err == nil {
+			if cfg.Observer != nil {
+				cfg.Observer.ChunkDone(0, 1, 0)
+			}
 			if cfg.Progress != nil {
 				cfg.Progress.Add(1)
 			}
@@ -307,7 +329,7 @@ func runRange(ctx context.Context, values [][]int64, cfg Config, empty func(work
 			if end > hi {
 				end = hi
 			}
-			if err := chunk(start, end, 0); err != nil {
+			if err := runObserved(chunk, start, end, 0, cfg.Observer); err != nil {
 				return err
 			}
 			if cfg.Progress != nil {
@@ -355,7 +377,7 @@ func runRange(ctx context.Context, values [][]int64, cfg Config, empty func(work
 				if end > int64(hi) {
 					end = int64(hi)
 				}
-				if err := chunk(int(start), int(end), w); err != nil {
+				if err := runObserved(chunk, int(start), int(end), w, cfg.Observer); err != nil {
 					errs[w] = err
 					stop.Store(true)
 					return
@@ -387,6 +409,20 @@ func runRange(ctx context.Context, values [][]int64, cfg Config, empty func(work
 		return nil
 	}
 	return ctx.Err()
+}
+
+// runObserved runs one chunk, timing it only when an observer is
+// installed — the nil path stays exactly the unobserved engine.
+func runObserved(chunk func(start, end, worker int) error, start, end, worker int, obs Observer) error {
+	if obs == nil {
+		return chunk(start, end, worker)
+	}
+	t0 := time.Now()
+	err := chunk(start, end, worker)
+	if err == nil {
+		obs.ChunkDone(worker, end-start, time.Since(t0))
+	}
+	return err
 }
 
 // throttle sleeps for d after a completed chunk, returning early with
