@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json bench-prefix-json bench-batch-json bench-cluster-json bench-store-json lint fmt serve loadgen metrics-smoke api-golden docs-check
+.PHONY: all build test bench bench-json bench-prefix-json bench-batch-json bench-memostack-json bench-cluster-json bench-store-json lint fmt serve loadgen metrics-smoke api-golden docs-check
 
 all: build lint test
 
@@ -40,6 +40,15 @@ bench-batch-json:
 	$(GO) test -bench 'BatchSweep' -benchmem -count 3 -run '^$$' . > bench_batch.txt
 	$(GO) run ./cmd/benchjson < bench_batch.txt > BENCH_batch.json
 	@echo wrote BENCH_batch.json
+
+# The snapshot-stack perf-trajectory artifact: the stack tier vs the
+# single-axis memo vs no memoization on a deep five-axis 32k-tuple
+# domain whose cost concentrates in the outer axes, averaged like
+# bench-json.
+bench-memostack-json:
+	$(GO) test -bench 'SnapshotStack' -benchmem -count 3 -run '^$$' . > bench_memostack.txt
+	$(GO) run ./cmd/benchjson < bench_memostack.txt > BENCH_memostack.json
+	@echo wrote BENCH_memostack.json
 
 # The cluster perf-trajectory artifact: 1-node vs 2-node in-process fleet
 # over a 160k-tuple sweep, plus the straggler scenario (one throttled

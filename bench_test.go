@@ -696,6 +696,71 @@ func BenchmarkBatchSweep(b *testing.B) {
 	}
 }
 
+// benchStack is a deep-domain program whose cost concentrates in the
+// outer axes: each input read is followed by a burn loop whose length
+// halves with depth (x1's ≈ 96 iterations, x4's ≈ 12) and the x5 tail is
+// a bare copy. A sweep tier is rewarded exactly for the prefix work it
+// avoids re-running: the single-axis memo skips the whole prefix only
+// while the row lasts and re-runs all four loops on every fresh row; the
+// snapshot stack resumes from the deepest unchanged axis, re-running
+// just the loops below the odometer carry.
+const benchStack = `
+program stackdemo
+inputs x1 x2 x3 x4 x5
+    i := (x1 & 7) + 768
+L1: if i == 0 goto S2 else B1
+B1: i := i - 1
+    goto L1
+S2: i := (x2 & 7) + 384
+L2: if i == 0 goto S3 else B2
+B2: i := i - 1
+    goto L2
+S3: i := (x3 & 7) + 192
+L3: if i == 0 goto S4 else B3
+B3: i := i - 1
+    goto L3
+S4: i := (x4 & 7) + 96
+L4: if i == 0 goto S5 else B4
+B4: i := i - 1
+    goto L4
+S5: y := x5
+    halt
+`
+
+// BenchmarkSnapshotStack is the snapshot-stack ablation on a deep
+// five-axis domain (8⁵ = 32,768 tuples) where prefix work dominates:
+// stack is the default tier (per-axis captures — an odometer carry at
+// digit d replays only the loops below d), memo the single-axis prefix
+// memo (WithMemoStack(false), the PR-5 baseline — fresh rows re-run all
+// five loops), reuse the compiled path with no memoization at all. The
+// 1-worker rows are the headline superlinear-vs-depth comparison; the
+// 8-worker row shows the stack composes with work stealing. CI's bench
+// job uploads this as BENCH_memostack.json.
+func BenchmarkSnapshotStack(b *testing.B) {
+	q := flowchart.MustParse(benchStack)
+	m := core.FromProgram(q)
+	pol := core.NewAllow(5, 5)
+	dom := core.Grid(5, core.Range(0, 7)...) // 8⁵ = 32,768 tuples
+	run := func(name string, opts ...check.Option) {
+		b.Run(name, func(b *testing.B) {
+			b.ReportMetric(float64(dom.Size()), "inputs/check")
+			for i := 0; i < b.N; i++ {
+				v, err := check.Run(context.Background(), check.Spec{
+					Kind: check.Soundness, Mechanism: m, Policy: pol, Domain: dom,
+				}, opts...)
+				if err != nil || !v.Sound {
+					b.Fatalf("v=%+v err=%v", v, err)
+				}
+			}
+		})
+	}
+	run("stack-1w", check.WithWorkers(1))
+	run("memo-1w", check.WithWorkers(1), check.WithMemoStack(false))
+	run("reuse-1w", check.WithWorkers(1), check.WithMemo(false))
+	run("stack-batch32-1w", check.WithWorkers(1), check.WithBatch(32))
+	run("stack-8w", check.WithWorkers(8))
+}
+
 // BenchmarkAblationSweepMaximality measures the two-pass parallel
 // maximality checker against its sequential counterpart on the same
 // flowchart-backed mechanism.

@@ -191,6 +191,11 @@ type Options struct {
 	// Memo enables prefix memoization on the compiled fast path; Run
 	// defaults it to true.
 	Memo bool
+	// MemoStack enables the snapshot-stack tier on top of Memo — one
+	// capture per domain axis, constant-suffix pruning, and the
+	// content-addressed row cache; Run defaults it to true. It has no
+	// effect when Memo is off.
+	MemoStack bool
 	// Batch is the batch/columnar execution width; values ≤ 1 keep the
 	// scalar tiers.
 	Batch int
@@ -251,6 +256,20 @@ func WithCommit(fn func(done int64)) Option { return func(o *Options) { o.Commit
 // compare against. It has no effect under WithCompiled(false).
 func WithMemo(on bool) Option { return func(o *Options) { o.Memo = on } }
 
+// WithMemoStack toggles the snapshot-stack tier (default true): instead
+// of one snapshot at the innermost axis, each sweep worker keeps one
+// capture per domain axis — taken at the first instruction that reads
+// that axis's input — so an odometer carry at depth d invalidates only
+// the captures below d and the next tuple replays just the tail beyond
+// the shallowest changed input. Axes a program never reads collapse to
+// constant entries answered without executing anything, and innermost
+// rows whose captured state content-addresses equal reuse each other's
+// results. The verdict is identical either way (differential tests pin
+// this); WithMemoStack(false) falls back to the single-axis prefix memo —
+// the ablation baseline the snapshot-stack benchmarks compare against.
+// It has no effect under WithCompiled(false) or WithMemo(false).
+func WithMemoStack(on bool) Option { return func(o *Options) { o.MemoStack = on } }
+
 // WithBatch selects the batch/columnar execution tier: each sweep worker
 // executes strides of up to n innermost-axis tuples in lockstep over
 // structure-of-arrays register columns, amortizing instruction dispatch
@@ -295,7 +314,7 @@ func WithExecTally(t *core.ExecTally) Option { return func(o *Options) { o.Exec 
 // the spm CLI, the v1 and v2 HTTP services, and the experiment tables all
 // reduce to it.
 func Run(ctx context.Context, spec Spec, opts ...Option) (Verdict, error) {
-	o := Options{Compiled: true, Memo: true}
+	o := Options{Compiled: true, Memo: true, MemoStack: true}
 	for _, opt := range opts {
 		opt(&o)
 	}
@@ -330,6 +349,7 @@ func Run(ctx context.Context, spec Spec, opts ...Option) (Verdict, error) {
 		},
 		Interpreted:  !o.Compiled,
 		NoMemo:       !o.Memo,
+		NoStack:      !o.MemoStack,
 		CollectViews: sharded,
 		Batch:        o.Batch,
 		Exec:         o.Exec,

@@ -52,6 +52,38 @@ func TestObserverAndTally(t *testing.T) {
 			t.Errorf("observer saw %d chunks, want %d", obs.chunks.Load(), (size+7)/8)
 		}
 		c := tally.Counts()
+		if c.StackFull == 0 {
+			t.Errorf("no full stack recordings: %+v", c)
+		}
+		// Every tuple is answered exactly once by the stack: a full
+		// recording, a tail replay, a constant suffix, or a row hit.
+		if got := c.StackFull + c.StackReplays + c.StackConstants + c.StackRowHits; got != size {
+			t.Errorf("stack answers %d != %d tuples: %+v", got, size, c)
+		}
+		var depths int64
+		for _, d := range c.StackReplayDepth {
+			depths += d
+		}
+		if depths != c.StackReplays {
+			t.Errorf("depth buckets sum to %d, want %d replays: %+v", depths, c.StackReplays, c)
+		}
+		if c.BatchStrides != 0 || c.BatchLanes != 0 {
+			t.Errorf("scalar run recorded batch activity: %+v", c)
+		}
+		if c.MemoCaptures != 0 || c.MemoReplays != 0 {
+			t.Errorf("stack run recorded single-axis memo activity: %+v", c)
+		}
+	})
+
+	t.Run("scalar-nostack", func(t *testing.T) {
+		tally := &core.ExecTally{}
+		_, err := check.Run(context.Background(), spec,
+			check.WithWorkers(2), check.WithChunk(8),
+			check.WithMemoStack(false), check.WithExecTally(tally))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := tally.Counts()
 		if c.MemoCaptures == 0 {
 			t.Errorf("no memo captures recorded: %+v", c)
 		}
@@ -60,8 +92,8 @@ func TestObserverAndTally(t *testing.T) {
 		if c.MemoCaptures+c.MemoReplays != size {
 			t.Errorf("captures %d + replays %d != %d tuples", c.MemoCaptures, c.MemoReplays, size)
 		}
-		if c.BatchStrides != 0 || c.BatchLanes != 0 {
-			t.Errorf("scalar run recorded batch activity: %+v", c)
+		if c.StackFull+c.StackReplays+c.StackConstants+c.StackRowHits != 0 {
+			t.Errorf("ablated run recorded stack activity: %+v", c)
 		}
 	})
 
@@ -78,13 +110,18 @@ func TestObserverAndTally(t *testing.T) {
 			t.Errorf("observer saw %d tuples, want %d", obs.tuples.Load(), size)
 		}
 		c := tally.Counts()
-		// Memo composition runs the first tuple of each fresh row scalar
-		// (the capture); every remaining tuple rides a batch lane.
-		if c.BatchLanes+c.MemoCaptures < size {
-			t.Errorf("batch lanes %d + captures %d < %d tuples: %+v", c.BatchLanes, c.MemoCaptures, size, c)
+		// Stack composition runs lane 0 of each fresh stride through the
+		// snapshot stack; every remaining tuple rides a batch lane (or a
+		// constant replication). Stack answers count per stride, not per
+		// lane, so the sum over-covers the domain.
+		if c.BatchLanes+c.StackFull+c.StackReplays+c.StackConstants+c.StackRowHits < size {
+			t.Errorf("batch lanes + stack answers do not cover %d tuples: %+v", size, c)
 		}
 		if c.BatchStrides == 0 {
 			t.Errorf("no batch strides recorded: %+v", c)
+		}
+		if c.StackFull == 0 {
+			t.Errorf("no full stack recordings: %+v", c)
 		}
 	})
 

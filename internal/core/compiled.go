@@ -20,19 +20,22 @@ type RunnerProvider interface {
 }
 
 // HintRunnerProvider lets a mechanism supply per-worker runners that
-// understand the sweep engine's innermost-axis hint (HintRunFunc). The
+// understand the sweep engine's carry-depth hint (HintRunFunc). The
 // engines consult it before HintRunnerProvider-unaware fallbacks, so a
-// compile-cache entry serves the prefix-memoized fast path directly:
-// every odometer row records one execution snapshot and replays only the
-// program tail for the row's remaining tuples.
+// compile-cache entry serves the memoized fast paths directly: each
+// worker keeps per-axis execution snapshots and replays only the program
+// tail below the shallowest changed input.
 type HintRunnerProvider interface {
 	Mechanism
 	// HintRunners returns a factory producing one HintRunFunc per sweep
 	// worker. Each returned runner owns its mutable state (register file
-	// and snapshot) and must not be shared between concurrent workers.
-	// tally, when non-nil, receives each worker's execution-tier
-	// counters (one ExecTally.Part per runner); nil disables counting.
-	HintRunners(tally *ExecTally) func() HintRunFunc
+	// and snapshots) and must not be shared between concurrent workers.
+	// stack selects the snapshot-stack tier (per-axis captures, constant
+	// suffixes, row cache); false falls back to the single-axis prefix
+	// memo — the check.WithMemoStack(false) ablation. tally, when
+	// non-nil, receives each worker's execution-tier counters (one
+	// ExecTally.Part per runner); nil disables counting.
+	HintRunners(stack bool, tally *ExecTally) func() HintRunFunc
 }
 
 // CompiledMechanism is a flowchart-backed Mechanism bound to its compiled
@@ -73,10 +76,14 @@ func (c *CompiledMechanism) Run(input []int64) (Outcome, error) {
 }
 
 // HintRunners implements HintRunnerProvider: each worker gets a private
-// register file and execution snapshot over the shared compiled code, so
-// sweeps in odometer order replay only the instructions after the first
-// read of the innermost input.
-func (c *CompiledMechanism) HintRunners(tally *ExecTally) func() HintRunFunc {
+// snapshot stack (or, without stack, a register file and single execution
+// snapshot) over the shared compiled code, so sweeps in odometer order
+// replay only the instructions after the first read of the shallowest
+// changed input.
+func (c *CompiledMechanism) HintRunners(stack bool, tally *ExecTally) func() HintRunFunc {
+	if stack {
+		return func() HintRunFunc { return stackRunner(c.code, c.pm.MaxSteps, tally.Part()) }
+	}
 	return func() HintRunFunc { return snapshotRunner(c.code, c.pm.MaxSteps, tally.Part()) }
 }
 
@@ -85,11 +92,11 @@ func (c *CompiledMechanism) HintRunners(tally *ExecTally) func() HintRunFunc {
 // scalar fallback) over the shared compiled code, so sweeps execute one
 // instruction across width tuples at a time. Returns nil if the program's
 // batch form cannot be built, sending the sweep down the scalar tiers.
-func (c *CompiledMechanism) BatchRunners(width int, memo bool, tally *ExecTally) func() BatchRunFunc {
+func (c *CompiledMechanism) BatchRunners(width int, memo, stack bool, tally *ExecTally) func() BatchRunFunc {
 	if _, err := c.code.NewLanes(width); err != nil {
 		return nil
 	}
-	return func() BatchRunFunc { return batchRunner(c.code, c.pm.MaxSteps, width, memo, tally.Part()) }
+	return func() BatchRunFunc { return batchRunner(c.code, c.pm.MaxSteps, width, memo, stack, tally.Part()) }
 }
 
 // Runners implements RunnerProvider: each worker gets a private register

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 
 	"spm/internal/flowchart"
 	"spm/internal/sweep"
@@ -10,13 +11,15 @@ import (
 // BatchRunFunc evaluates a mechanism on one innermost-axis stride of the
 // sweep: input is the first tuple of the stride, last the innermost
 // coordinate of each of its len(last) lanes (last[0] equals input's last
-// element), and out receives one Outcome per lane. innerOnly carries the
-// sweep engine's row hint (sweep.BatchFunc): when true, only the innermost
-// coordinate has moved since the previous call on this worker, so a prefix
-// snapshot recorded then still applies and one capture feeds every lane.
-// The first error in lane order is returned — the same error a scalar
-// enumeration of the stride would have hit first.
-type BatchRunFunc func(input []int64, last []int64, innerOnly bool, out []Outcome) error
+// element), and out receives one Outcome per lane. carry carries the
+// sweep engine's carry-depth hint (sweep.BatchFunc): the number of
+// leading coordinates of input unchanged since the previous call on this
+// worker, so carry == len(input)-1 means a snapshot recorded on the
+// previous stride of the same row still applies and one capture feeds
+// every lane, and a shallower carry tells the snapshot-stack tier which
+// per-axis captures survive. The first error in lane order is returned —
+// the same error a scalar enumeration of the stride would have hit first.
+type BatchRunFunc func(input []int64, last []int64, carry int, out []Outcome) error
 
 // BatchRunnerProvider lets a mechanism supply per-worker batch runners —
 // the structure-of-arrays execution tier behind check.WithBatch. The
@@ -32,39 +35,99 @@ type BatchRunnerProvider interface {
 	// selects whether strides compose with prefix memoization (a snapshot
 	// captured on the row's first tuple feeds the remaining lanes) or run
 	// every batch from instruction zero — the check.WithMemo(false)
-	// ablation applied to the batch tier. tally, when non-nil, receives
-	// each worker's execution-tier counters (one ExecTally.Part per
-	// runner); nil disables counting.
-	BatchRunners(width int, memo bool, tally *ExecTally) func() BatchRunFunc
+	// ablation applied to the batch tier. stack upgrades memoization to
+	// the snapshot-stack tier: lane 0 of each fresh stride runs through a
+	// per-worker flowchart.SnapshotStack (per-axis captures, constant
+	// suffixes, row cache) and the remaining lanes resume from its
+	// innermost capture. tally, when non-nil, receives each worker's
+	// execution-tier counters (one ExecTally.Part per runner); nil
+	// disables counting.
+	BatchRunners(width int, memo, stack bool, tally *ExecTally) func() BatchRunFunc
 }
 
 // batchRunner is the per-worker batch executor over compiled code, the
-// counterpart of snapshotRunner one tier up. With memo, a fresh row runs
-// its first lane on the scalar snapshot recorder — capturing execution
-// state at the first instruction that touches the innermost input — and
-// every remaining lane of the stride (and every further stride of the same
-// row) resumes from that capture in lockstep; without memo, each stride
-// runs whole from instruction zero, still amortizing instruction dispatch
-// across lanes. Outcomes are exactly RunReuse's for every tuple.
-func batchRunner(c *flowchart.Compiled, maxSteps int64, width int, memo bool, part *ExecPart) BatchRunFunc {
+// counterpart of stackRunner and snapshotRunner one tier up. With stack,
+// lane 0 of each fresh stride runs through a per-worker snapshot stack —
+// per-axis captures, constant-suffix pruning, and the row cache all apply
+// to it — and the remaining lanes (and every continuation stride of the
+// same row) resume in lockstep from the stack's innermost capture; a
+// constant answer replicates to the whole stride without executing a
+// lane. With memo alone, a fresh row runs its first lane on the
+// single-axis snapshot recorder — capturing execution state at the first
+// instruction that touches the innermost input — and every further lane
+// of the row resumes from that capture in lockstep; without either, each
+// stride runs whole from instruction zero, still amortizing instruction
+// dispatch across lanes. Outcomes are exactly RunReuse's for every tuple.
+func batchRunner(c *flowchart.Compiled, maxSteps int64, width int, memo, stack bool, part *ExecPart) BatchRunFunc {
 	lanes, err := c.NewLanes(width)
 	if err != nil {
 		// Factories probe NewLanes before handing out runners; reaching
 		// here means the probe was skipped, so fail loudly per call.
-		return func([]int64, []int64, bool, []Outcome) error { return err }
+		return func([]int64, []int64, int, []Outcome) error { return err }
 	}
 	results := make([]flowchart.Result, width)
 	var regs []int64
 	var snap *flowchart.Snapshot
-	if memo {
+	var st *flowchart.SnapshotStack
+	if memo && stack {
+		st = c.NewSnapshotStack()
+	} else if memo {
 		regs = make([]int64, c.Slots())
 		snap = c.NewSnapshot()
 	}
 	var prev flowchart.BatchStats
-	return func(input []int64, last []int64, innerOnly bool, out []Outcome) error {
+	runStack := func(input []int64, last []int64, carry int, res []flowchart.Result) error {
+		n := len(last)
+		k := len(input)
+		if k > 0 && carry >= k-1 {
+			// Continuation stride of the current row: the whole stride
+			// resumes from the stack's innermost capture.
+			err := c.RunBatchFromStack(lanes, st, last, maxSteps, res)
+			if err == nil {
+				part.stackOp(flowchart.StackOp{Kind: flowchart.StackReplay, Depth: k - 1})
+				return nil
+			}
+			if !errors.Is(err, flowchart.ErrNoSnapshot) {
+				return err
+			}
+			// No usable capture (recording run died before reaching the
+			// innermost axis): fall through to the fresh path.
+		}
+		r0, op, err := st.Run(input, carry, maxSteps)
+		if err != nil {
+			return err
+		}
+		part.stackOp(op)
+		res[0] = r0
+		if n == 1 {
+			return nil
+		}
+		if op.Kind == flowchart.StackConstant {
+			// The innermost axis is never read on this path: every lane
+			// halts identically, no lockstep execution needed.
+			for i := 1; i < n; i++ {
+				res[i] = r0
+			}
+			return nil
+		}
+		if err := c.RunBatchFromStack(lanes, st, last[1:], maxSteps, res[1:]); err != nil {
+			if !errors.Is(err, flowchart.ErrNoSnapshot) {
+				return err
+			}
+			return c.RunBatch(lanes, input, last[1:], maxSteps, res[1:])
+		}
+		part.stackOp(flowchart.StackOp{Kind: flowchart.StackReplay, Depth: k - 1})
+		return nil
+	}
+	return func(input []int64, last []int64, carry int, out []Outcome) error {
 		n := len(last)
 		res := results[:n]
+		innerOnly := len(input) > 0 && carry >= len(input)-1
 		switch {
+		case memo && stack:
+			if err := runStack(input, last, carry, res); err != nil {
+				return err
+			}
 		case memo && innerOnly && snap.Valid():
 			if err := c.RunBatchFromSnapshot(lanes, snap, last, maxSteps, res); err != nil {
 				return err
@@ -117,15 +180,16 @@ func (cc CheckConfig) batchFactory(m Mechanism, width int) func() BatchRunFunc {
 		return nil
 	}
 	memo := !cc.NoMemo
+	stack := !cc.NoStack
 	if bp, ok := m.(BatchRunnerProvider); ok {
-		return bp.BatchRunners(width, memo, cc.Exec)
+		return bp.BatchRunners(width, memo, stack, cc.Exec)
 	}
 	if pm, ok := m.(*Program); ok {
 		if c, err := pm.P.Compile(); err == nil {
 			if _, err := c.NewLanes(width); err == nil {
 				maxSteps := pm.MaxSteps
 				tally := cc.Exec
-				return func() BatchRunFunc { return batchRunner(c, maxSteps, width, memo, tally.Part()) }
+				return func() BatchRunFunc { return batchRunner(c, maxSteps, width, memo, stack, tally.Part()) }
 			}
 		}
 	}
@@ -176,10 +240,10 @@ func sweepOutcomes(ctx context.Context, dom Domain, cc CheckConfig, mechs []Mech
 		}
 		states[w] = wstate{runs: runs, outs: make([]Outcome, len(mechs))}
 	}
-	return sweep.RunHintContext(ctx, dom, cc.Config, func(w int, input []int64, innerOnly bool) error {
+	return sweep.RunHintContext(ctx, dom, cc.Config, func(w int, input []int64, carry int) error {
 		s := &states[w]
 		for i, run := range s.runs {
-			o, err := run(input, innerOnly)
+			o, err := run(input, carry)
 			if err != nil {
 				return err
 			}
@@ -211,11 +275,11 @@ func sweepOutcomesBatch(ctx context.Context, dom Domain, cc CheckConfig, workers
 		states[w] = wstate{runs: runs, outCols: cols, outs: make([]Outcome, len(factories))}
 	}
 	k := len(dom)
-	return sweep.RunBatchContext(ctx, dom, cc.Config, width, func(w int, input []int64, last []int64, innerOnly bool) error {
+	return sweep.RunBatchContext(ctx, dom, cc.Config, width, func(w int, input []int64, last []int64, carry int) error {
 		s := &states[w]
 		n := len(last)
 		for i, run := range s.runs {
-			if err := run(input, last, innerOnly, s.outCols[i][:n]); err != nil {
+			if err := run(input, last, carry, s.outCols[i][:n]); err != nil {
 				return err
 			}
 		}

@@ -13,36 +13,37 @@ import (
 // engine schedules; see RunnerFactory.
 type RunFunc func(input []int64) (Outcome, error)
 
-// HintRunFunc is RunFunc with the sweep engine's innermost-axis hint:
-// innerOnly is true exactly when only the last input coordinate changed
-// since the previous call on this worker (sweep.HintFunc). Compiled
-// runners use the hint to resume from an execution snapshot —
-// flowchart.RunFromSnapshot replays only the instructions after the first
-// read of the innermost input — instead of re-running the shared prefix
-// on every tuple of an odometer row.
-type HintRunFunc func(input []int64, innerOnly bool) (Outcome, error)
+// HintRunFunc is RunFunc with the sweep engine's carry-depth hint: carry
+// is the number of leading input coordinates unchanged since the previous
+// call on this worker (sweep.HintFunc). Compiled runners use the hint to
+// resume from per-axis execution snapshots — flowchart.SnapshotStack.Run
+// replays only the instructions after the first read of the shallowest
+// changed input — instead of re-running the shared prefix on every tuple.
+type HintRunFunc func(input []int64, carry int) (Outcome, error)
 
 // ignoreHint adapts a plain runner for mechanisms with no prefix to
 // memoize.
 func ignoreHint(run RunFunc) HintRunFunc {
-	return func(input []int64, _ bool) (Outcome, error) { return run(input) }
+	return func(input []int64, _ int) (Outcome, error) { return run(input) }
 }
 
-// snapshotRunner returns the prefix-memoized per-worker runner over
-// compiled code: a fresh row (innerOnly false, or no usable snapshot)
-// runs in full while recording a snapshot at the first instruction that
-// touches the innermost input; every further tuple of the row replays
-// only the program tail from that snapshot. Whenever the snapshot is
-// unusable — the recording run exhausted its step budget or failed before
-// the capture point — the runner falls back to full runs, so the outcome
-// of every tuple is exactly RunReuse's.
+// snapshotRunner returns the single-axis prefix-memoized per-worker
+// runner over compiled code — the PR-5 tier, kept as the
+// WithMemoStack(false) ablation and the baseline the snapshot-stack
+// benchmarks compare against. A fresh row (carry below the innermost
+// axis, or no usable snapshot) runs in full while recording a snapshot at
+// the first instruction that touches the innermost input; every further
+// tuple of the row replays only the program tail from that snapshot.
+// Whenever the snapshot is unusable — the recording run exhausted its
+// step budget or failed before the capture point — the runner falls back
+// to full runs, so the outcome of every tuple is exactly RunReuse's.
 func snapshotRunner(c *flowchart.Compiled, maxSteps int64, part *ExecPart) HintRunFunc {
 	regs := make([]int64, c.Slots())
 	snap := c.NewSnapshot()
-	return func(input []int64, innerOnly bool) (Outcome, error) {
+	return func(input []int64, carry int) (Outcome, error) {
 		var res flowchart.Result
 		var err error
-		if innerOnly && snap.Valid() && len(input) > 0 {
+		if len(input) > 0 && carry >= len(input)-1 && snap.Valid() {
 			res, err = c.RunFromSnapshot(regs, snap, input[len(input)-1], maxSteps)
 			part.memoReplay()
 			if errors.Is(err, flowchart.ErrNoSnapshot) {
@@ -54,6 +55,27 @@ func snapshotRunner(c *flowchart.Compiled, maxSteps int64, part *ExecPart) HintR
 			res, err = c.RunSnapshot(regs, input, maxSteps, snap)
 			part.memoCapture()
 		}
+		if err != nil {
+			return Outcome{}, err
+		}
+		return Outcome{Value: res.Value, Steps: res.Steps, Violation: res.Violation, Notice: res.Notice}, nil
+	}
+}
+
+// stackRunner returns the snapshot-stack per-worker runner over compiled
+// code — the default memoized tier. Each worker owns a
+// flowchart.SnapshotStack: the sweep's carry hint invalidates exactly the
+// stack suffix above the carried digit, the deepest surviving per-axis
+// capture answers each tuple (replaying only the tail, skipping
+// never-read axes wholesale via constant entries, and reusing tail
+// results across rows whose captured state content-addresses equal), and
+// anything unusable falls back to a full recording run — so the outcome
+// of every tuple is exactly RunReuse's.
+func stackRunner(c *flowchart.Compiled, maxSteps int64, part *ExecPart) HintRunFunc {
+	stack := c.NewSnapshotStack()
+	return func(input []int64, carry int) (Outcome, error) {
+		res, op, err := stack.Run(input, carry, maxSteps)
+		part.stackOp(op)
 		if err != nil {
 			return Outcome{}, err
 		}
@@ -100,7 +122,11 @@ func RunnerFactory(m Mechanism) func() RunFunc {
 // check.WithCompiled(false)); NoMemo keeps the compiled fast path but
 // disables prefix memoization, so every tuple replays from instruction
 // zero (the ablation knob behind check.WithMemo(false), and the baseline
-// the prefix benchmarks compare against); CollectViews asks
+// the prefix benchmarks compare against); NoStack keeps single-axis
+// prefix memoization but disables the snapshot-stack tier — per-axis
+// captures, constant-suffix pruning, and the content-addressed row cache
+// (the ablation knob behind check.WithMemoStack(false), and the baseline
+// the snapshot-stack benchmarks compare against); CollectViews asks
 // CheckSoundnessContext to export its merged per-class observation table
 // so a shard verdict can be folded with its siblings by check.Merge.
 // Batch > 1 selects the batch/columnar execution tier (the knob behind
@@ -115,28 +141,33 @@ type CheckConfig struct {
 	sweep.Config
 	Interpreted  bool
 	NoMemo       bool
+	NoStack      bool
 	CollectViews bool
 	Batch        int
 	Exec         *ExecTally
 }
 
 // hintFactory resolves the per-worker hinted runner factory for m under
-// the config: the snapshot-memoized compiled path when m is
-// flowchart-backed (or supplies its own hinted runners), plain runners
-// otherwise — the hint is simply ignored by mechanisms with no prefix to
-// reuse.
+// the config: the snapshot-stack compiled path when m is flowchart-backed
+// (or supplies its own hinted runners), the single-axis snapshot path
+// under NoStack, plain runners otherwise — the hint is simply ignored by
+// mechanisms with no prefix to reuse.
 func (cc CheckConfig) hintFactory(m Mechanism) func() HintRunFunc {
 	if cc.Interpreted {
 		return func() HintRunFunc { return ignoreHint(m.Run) }
 	}
 	if !cc.NoMemo {
+		stack := !cc.NoStack
 		if hp, ok := m.(HintRunnerProvider); ok {
-			return hp.HintRunners(cc.Exec)
+			return hp.HintRunners(stack, cc.Exec)
 		}
 		if pm, ok := m.(*Program); ok {
 			if c, err := pm.P.Compile(); err == nil {
 				maxSteps := pm.MaxSteps
 				tally := cc.Exec
+				if stack {
+					return func() HintRunFunc { return stackRunner(c, maxSteps, tally.Part()) }
+				}
 				return func() HintRunFunc { return snapshotRunner(c, maxSteps, tally.Part()) }
 			}
 		}

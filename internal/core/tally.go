@@ -3,7 +3,15 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+
+	"spm/internal/flowchart"
 )
+
+// StackDepthBuckets is the number of per-axis replay buckets the tally
+// keeps: replays resumed from stack depth d land in bucket min(d,
+// StackDepthBuckets-1), so domains deeper than the bucket count fold
+// their tail into the last bucket instead of growing the counter set.
+const StackDepthBuckets = 8
 
 // ExecTally aggregates execution-tier counters across a sweep's workers:
 // how often the prefix-memoized tier captured, replayed, or invalidated
@@ -53,6 +61,21 @@ type ExecCounts struct {
 	BatchStrides  int64
 	BatchLanes    int64
 	BatchDiverged int64
+	// The snapshot-stack tier's answers by kind: StackFull counts
+	// recordings from instruction zero (no valid per-axis capture),
+	// StackReplays tails resumed from a captured stack entry,
+	// StackConstants tuples answered by a constant suffix entry without
+	// executing anything, and StackRowHits tuples answered from the
+	// content-addressed row cache — the two pruning layers of the
+	// subdomain pruner.
+	StackFull      int64
+	StackReplays   int64
+	StackConstants int64
+	StackRowHits   int64
+	// StackReplayDepth splits StackReplays by the stack depth the tail
+	// resumed from (deeper = shorter tail = cheaper); depths beyond the
+	// bucket count accumulate in the last bucket.
+	StackReplayDepth [StackDepthBuckets]int64
 }
 
 // Counts folds every registered part.
@@ -71,6 +94,13 @@ func (t *ExecTally) Counts() ExecCounts {
 		c.BatchStrides += p.batchStrides.Load()
 		c.BatchLanes += p.batchLanes.Load()
 		c.BatchDiverged += p.batchDiverged.Load()
+		c.StackFull += p.stackFull.Load()
+		c.StackReplays += p.stackReplays.Load()
+		c.StackConstants += p.stackConstants.Load()
+		c.StackRowHits += p.stackRowHits.Load()
+		for d := range c.StackReplayDepth {
+			c.StackReplayDepth[d] += p.stackReplayDepth[d].Load()
+		}
 	}
 	return c
 }
@@ -78,12 +108,17 @@ func (t *ExecTally) Counts() ExecCounts {
 // ExecPart is one worker's accumulator; see ExecTally. Increment
 // methods are nil-safe.
 type ExecPart struct {
-	memoCaptures  atomic.Int64
-	memoReplays   atomic.Int64
-	memoInvalid   atomic.Int64
-	batchStrides  atomic.Int64
-	batchLanes    atomic.Int64
-	batchDiverged atomic.Int64
+	memoCaptures     atomic.Int64
+	memoReplays      atomic.Int64
+	memoInvalid      atomic.Int64
+	batchStrides     atomic.Int64
+	batchLanes       atomic.Int64
+	batchDiverged    atomic.Int64
+	stackFull        atomic.Int64
+	stackReplays     atomic.Int64
+	stackConstants   atomic.Int64
+	stackRowHits     atomic.Int64
+	stackReplayDepth [StackDepthBuckets]atomic.Int64
 }
 
 func (p *ExecPart) memoCapture() {
@@ -101,6 +136,32 @@ func (p *ExecPart) memoReplay() {
 func (p *ExecPart) memoInvalidated() {
 	if p != nil {
 		p.memoInvalid.Add(1)
+	}
+}
+
+// stackOp records one snapshot-stack answer by kind, bucketing replays by
+// the resume depth.
+func (p *ExecPart) stackOp(op flowchart.StackOp) {
+	if p == nil {
+		return
+	}
+	switch op.Kind {
+	case flowchart.StackFull:
+		p.stackFull.Add(1)
+	case flowchart.StackReplay:
+		p.stackReplays.Add(1)
+		d := op.Depth
+		if d < 0 {
+			d = 0
+		}
+		if d >= StackDepthBuckets {
+			d = StackDepthBuckets - 1
+		}
+		p.stackReplayDepth[d].Add(1)
+	case flowchart.StackConstant:
+		p.stackConstants.Add(1)
+	case flowchart.StackRowHit:
+		p.stackRowHits.Add(1)
 	}
 }
 

@@ -231,6 +231,47 @@ func (c *Compiled) RunBatchFromSnapshot(l *Lanes, snap *Snapshot, last []int64, 
 	return c.runBatchLoop(l, n, snap.pc, snap.steps, maxSteps, out)
 }
 
+// RunBatchFromStack is RunBatchFromSnapshot against a snapshot stack's
+// innermost capture: the stride's lanes resume in lockstep from the state
+// the stack recorded before the first instruction touching the innermost
+// input, each lane installing its own innermost value. The same row
+// contract applies — since the innermost entry was recorded (a
+// SnapshotStack.Run on this worker), only the innermost input may have
+// changed — which is exactly what a sweep carry of k-1 guarantees. A
+// constant innermost entry replicates its recorded result into every
+// lane; an invalid one returns ErrNoSnapshot and the caller falls back to
+// RunBatch.
+func (c *Compiled) RunBatchFromStack(l *Lanes, st *SnapshotStack, last []int64, maxSteps int64, out []Result) error {
+	if st == nil || st.c != c || len(st.entries) == 0 {
+		return ErrNoSnapshot
+	}
+	e := &st.entries[len(st.entries)-1]
+	if e.state == snapInvalid {
+		return ErrNoSnapshot
+	}
+	n, err := c.batchPreflight(l, len(last), len(out))
+	if err != nil {
+		return err
+	}
+	if e.state == snapConstant {
+		l.Stats.Strides++
+		l.Stats.Lanes += int64(n)
+		for i := 0; i < n; i++ {
+			out[i] = e.res
+		}
+		return nil
+	}
+	for s := range l.cols {
+		col := l.cols[s][:n]
+		v := e.regs[s]
+		for lane := range col {
+			col[lane] = v
+		}
+	}
+	copy(l.cols[c.lastSlot][:n], last)
+	return c.runBatchLoop(l, n, e.pc, e.steps, maxSteps, out)
+}
+
 // batchPreflight validates the lanes/batch-size/output agreement shared by
 // both batch entry points and resets per-run lane state.
 func (c *Compiled) batchPreflight(l *Lanes, nLast, nOut int) (int, error) {

@@ -116,6 +116,26 @@ func newServiceMetrics(s *Service) *serviceMetrics {
 	reg.CounterFunc("spm_batch_diverged_total",
 		"Batch lanes that diverged to the scalar fallback.",
 		func() float64 { return float64(m.exec.Counts().BatchDiverged) })
+	reg.CounterFunc("spm_stack_full_total",
+		"Snapshot-stack recordings from instruction zero.",
+		func() float64 { return float64(m.exec.Counts().StackFull) })
+	reg.CounterFunc("spm_stack_replays_total",
+		"Executions resumed from a per-axis stack capture.",
+		func() float64 { return float64(m.exec.Counts().StackReplays) })
+	reg.CounterFunc("spm_stack_constants_total",
+		"Tuples answered by a constant suffix entry without executing.",
+		func() float64 { return float64(m.exec.Counts().StackConstants) })
+	reg.CounterFunc("spm_stack_rowhits_total",
+		"Tuples answered from the content-addressed row cache.",
+		func() float64 { return float64(m.exec.Counts().StackRowHits) })
+	stackDepth := reg.GaugeVec("spm_stack_replay_depth",
+		"Stack replays by resume depth (deeper = shorter tail).", "depth")
+	reg.OnGather(func() {
+		c := m.exec.Counts()
+		for d, n := range c.StackReplayDepth {
+			stackDepth.With(strconv.Itoa(d)).Set(float64(n))
+		}
+	})
 
 	if s.store != nil {
 		reg.CounterFunc("spm_store_verdict_hits_total",

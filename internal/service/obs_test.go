@@ -58,8 +58,12 @@ func TestMetricsExposition(t *testing.T) {
 	if counter("spm_compile_cache_hits_total")+counter("spm_compile_cache_misses_total") < 2 {
 		t.Error("compile cache counters do not cover the submissions")
 	}
-	if counter("spm_memo_captures_total") == 0 {
-		t.Error("no memo captures surfaced — the execution tally is not wired")
+	if counter("spm_stack_full_total") == 0 {
+		t.Error("no snapshot-stack recordings surfaced — the execution tally is not wired")
+	}
+	if counter("spm_stack_full_total")+counter("spm_stack_replays_total")+
+		counter("spm_stack_constants_total")+counter("spm_stack_rowhits_total") < 18 {
+		t.Error("stack answers do not cover the swept tuples")
 	}
 	// 2-ary testProg over {0,1,2} is 9 tuples; maximal adds two passes.
 	if got := counter("spm_sweep_tuples_total"); got < 18 {
@@ -68,7 +72,8 @@ func TestMetricsExposition(t *testing.T) {
 	if counter("spm_store_lookups_total") == 0 {
 		t.Error("store lookups not surfaced")
 	}
-	for _, name := range []string{"spm_batch_strides_total", "spm_jobs_queued",
+	for _, name := range []string{"spm_batch_strides_total", "spm_memo_captures_total",
+		"spm_stack_replay_depth", "spm_jobs_queued",
 		"spm_jobs_running", "spm_store_verdicts"} {
 		if fams[name] == nil {
 			t.Errorf("metric %q missing from exposition", name)

@@ -7,10 +7,10 @@ import (
 
 // stride is one recorded BatchFunc call.
 type stride struct {
-	worker    int
-	prefix    string
-	last      []int64
-	innerOnly bool
+	worker int
+	prefix string
+	last   []int64
+	carry  int
 }
 
 // collectBatch runs the batch iterator and records every call per worker.
@@ -21,8 +21,8 @@ func collectBatch(t *testing.T, values [][]int64, cfg Config, width int) []strid
 		workers = 64
 	}
 	buckets := make([][]stride, workers)
-	if err := RunBatch(values, cfg, width, func(w int, input []int64, last []int64, innerOnly bool) error {
-		s := stride{worker: w, innerOnly: innerOnly}
+	if err := RunBatch(values, cfg, width, func(w int, input []int64, last []int64, carry int) error {
+		s := stride{worker: w, carry: carry}
 		if len(input) > 0 {
 			s.prefix = key(input[:len(input)-1])
 			s.last = append([]int64(nil), last...)
@@ -101,9 +101,10 @@ func TestRunBatchVisitsEveryTupleOnce(t *testing.T) {
 }
 
 // TestRunBatchStrideShapes pins the exact stride decomposition on a single
-// worker: strides stop at chunk boundaries and odometer carries, and
-// innerOnly is true exactly for strides continuing the same row within the
-// same chunk — the contract the prefix-memoized batch runner builds on.
+// worker: strides stop at chunk boundaries and odometer carries, and the
+// carry hint is k-1 exactly for strides continuing the same row within the
+// same chunk (the stop digit of the odometer otherwise) — the contract the
+// memoized batch runner builds on.
 func TestRunBatchStrideShapes(t *testing.T) {
 	values := [][]int64{{0, 1}, {0, 1, 2, 3, 4, 5, 6}}
 	t.Run("row-spanning-chunk", func(t *testing.T) {
@@ -112,24 +113,24 @@ func TestRunBatchStrideShapes(t *testing.T) {
 		// into row 1) all reset innerOnly.
 		strides := collectBatch(t, values, Config{Workers: 1, Chunk: 5}, 8)
 		want := []stride{
-			{prefix: "[0]", last: []int64{0, 1, 2, 3, 4}, innerOnly: false},
-			{prefix: "[0]", last: []int64{5, 6}, innerOnly: false},
-			{prefix: "[1]", last: []int64{0, 1, 2}, innerOnly: false},
-			{prefix: "[1]", last: []int64{3, 4, 5, 6}, innerOnly: false},
+			{prefix: "[0]", last: []int64{0, 1, 2, 3, 4}, carry: 0},
+			{prefix: "[0]", last: []int64{5, 6}, carry: 0},
+			{prefix: "[1]", last: []int64{0, 1, 2}, carry: 0},
+			{prefix: "[1]", last: []int64{3, 4, 5, 6}, carry: 0},
 		}
 		checkStrides(t, strides, want)
 	})
 	t.Run("width-splits-row", func(t *testing.T) {
 		// One chunk covers everything: rows split only by width, and the
-		// continuation strides carry innerOnly.
+		// continuation strides report the full carry k-1.
 		strides := collectBatch(t, values, Config{Workers: 1, Chunk: 100}, 3)
 		want := []stride{
-			{prefix: "[0]", last: []int64{0, 1, 2}, innerOnly: false},
-			{prefix: "[0]", last: []int64{3, 4, 5}, innerOnly: true},
-			{prefix: "[0]", last: []int64{6}, innerOnly: true},
-			{prefix: "[1]", last: []int64{0, 1, 2}, innerOnly: false},
-			{prefix: "[1]", last: []int64{3, 4, 5}, innerOnly: true},
-			{prefix: "[1]", last: []int64{6}, innerOnly: true},
+			{prefix: "[0]", last: []int64{0, 1, 2}, carry: 0},
+			{prefix: "[0]", last: []int64{3, 4, 5}, carry: 1},
+			{prefix: "[0]", last: []int64{6}, carry: 1},
+			{prefix: "[1]", last: []int64{0, 1, 2}, carry: 0},
+			{prefix: "[1]", last: []int64{3, 4, 5}, carry: 1},
+			{prefix: "[1]", last: []int64{6}, carry: 1},
 		}
 		checkStrides(t, strides, want)
 	})
@@ -138,8 +139,22 @@ func TestRunBatchStrideShapes(t *testing.T) {
 		// carry.
 		strides := collectBatch(t, values, Config{Workers: 1, Chunk: 100}, 64)
 		want := []stride{
-			{prefix: "[0]", last: []int64{0, 1, 2, 3, 4, 5, 6}, innerOnly: false},
-			{prefix: "[1]", last: []int64{0, 1, 2, 3, 4, 5, 6}, innerOnly: false},
+			{prefix: "[0]", last: []int64{0, 1, 2, 3, 4, 5, 6}, carry: 0},
+			{prefix: "[1]", last: []int64{0, 1, 2, 3, 4, 5, 6}, carry: 0},
+		}
+		checkStrides(t, strides, want)
+	})
+	t.Run("carry-depth-between-rows", func(t *testing.T) {
+		// Three axes in one chunk: a row change that stops at the middle
+		// digit reports carry 1, one that wraps through to the outermost
+		// reports 0 — per-axis snapshots above the stop digit survive.
+		deep := [][]int64{{0, 1}, {0, 1}, {0, 1, 2}}
+		strides := collectBatch(t, deep, Config{Workers: 1, Chunk: 100}, 64)
+		want := []stride{
+			{prefix: "[0 0]", last: []int64{0, 1, 2}, carry: 0},
+			{prefix: "[0 1]", last: []int64{0, 1, 2}, carry: 1},
+			{prefix: "[1 0]", last: []int64{0, 1, 2}, carry: 0},
+			{prefix: "[1 1]", last: []int64{0, 1, 2}, carry: 1},
 		}
 		checkStrides(t, strides, want)
 	})
@@ -151,7 +166,7 @@ func checkStrides(t *testing.T, got, want []stride) {
 		t.Fatalf("got %d strides %v, want %d %v", len(got), got, len(want), want)
 	}
 	for i := range want {
-		if got[i].prefix != want[i].prefix || got[i].innerOnly != want[i].innerOnly || key(got[i].last) != key(want[i].last) {
+		if got[i].prefix != want[i].prefix || got[i].carry != want[i].carry || key(got[i].last) != key(want[i].last) {
 			t.Fatalf("stride %d = %+v, want %+v", i, got[i], want[i])
 		}
 	}
@@ -165,20 +180,20 @@ func TestRunBatchWidthOneMatchesHint(t *testing.T) {
 	cfg := Config{Workers: 1, Chunk: 4}
 	type visit struct {
 		tuple string
-		hint  bool
+		carry int
 	}
 	var fromHint, fromBatch []visit
-	if err := RunHint(values, cfg, func(_ int, in []int64, innerOnly bool) error {
-		fromHint = append(fromHint, visit{key(in), innerOnly})
+	if err := RunHint(values, cfg, func(_ int, in []int64, carry int) error {
+		fromHint = append(fromHint, visit{key(in), carry})
 		return nil
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := RunBatch(values, cfg, 1, func(_ int, in []int64, last []int64, innerOnly bool) error {
+	if err := RunBatch(values, cfg, 1, func(_ int, in []int64, last []int64, carry int) error {
 		if len(last) != 1 || last[0] != in[len(in)-1] {
 			t.Fatalf("width-1 stride: input %v, last %v", in, last)
 		}
-		fromBatch = append(fromBatch, visit{key(in), innerOnly})
+		fromBatch = append(fromBatch, visit{key(in), carry})
 		return nil
 	}); err != nil {
 		t.Fatal(err)
@@ -197,10 +212,10 @@ func TestRunBatchWidthOneMatchesHint(t *testing.T) {
 // empty tuple as one nil/nil call.
 func TestRunBatchNullaryProduct(t *testing.T) {
 	calls := 0
-	if err := RunBatch(nil, Config{Workers: 3}, 8, func(_ int, in []int64, last []int64, innerOnly bool) error {
+	if err := RunBatch(nil, Config{Workers: 3}, 8, func(_ int, in []int64, last []int64, carry int) error {
 		calls++
-		if in != nil || last != nil || innerOnly {
-			t.Fatalf("nullary call: input %v, last %v, innerOnly %v", in, last, innerOnly)
+		if in != nil || last != nil || carry != 0 {
+			t.Fatalf("nullary call: input %v, last %v, carry %v", in, last, carry)
 		}
 		return nil
 	}); err != nil {
@@ -216,7 +231,7 @@ func TestRunBatchNullaryProduct(t *testing.T) {
 func TestRunBatchErrorStopsAndPropagates(t *testing.T) {
 	boom := errors.New("boom")
 	err := RunBatch([][]int64{{0, 1, 2}, {0, 1, 2}}, Config{Workers: 2, Chunk: 1}, 2,
-		func(_ int, in []int64, _ []int64, _ bool) error {
+		func(_ int, in []int64, _ []int64, _ int) error {
 			if in[0] == 1 {
 				return boom
 			}

@@ -127,7 +127,7 @@ func TestRunHintVisitsSameIndexSet(t *testing.T) {
 		plain := collectRange(t, rangeValues, cfg)
 		var mu sync.Mutex
 		hinted := make(map[string]int)
-		if err := RunHint(rangeValues, cfg, func(w int, in []int64, innerOnly bool) error {
+		if err := RunHint(rangeValues, cfg, func(w int, in []int64, carry int) error {
 			mu.Lock()
 			hinted[key(in)]++
 			mu.Unlock()
@@ -146,11 +146,13 @@ func TestRunHintVisitsSameIndexSet(t *testing.T) {
 	}
 }
 
-// TestRunHintInnerOnlyContract checks the hint's guarantee: whenever
-// innerOnly is reported, the worker's previous tuple differed only in the
-// last coordinate. Aligned single-worker chunking additionally pins the
-// exact number of hinted tuples.
+// TestRunHintInnerOnlyContract checks the innermost special case of the
+// carry hint — the guarantee the single-axis prefix memo keyed on: whenever
+// carry == k-1 is reported, the worker's previous tuple differed only in
+// the last coordinate. Aligned single-worker chunking additionally pins the
+// exact number of fully-hinted tuples.
 func TestRunHintInnerOnlyContract(t *testing.T) {
+	k := len(rangeValues)
 	for _, cfg := range []Config{
 		{Workers: 1, Chunk: 4},
 		{Workers: 1, Chunk: 3},
@@ -160,10 +162,10 @@ func TestRunHintInnerOnlyContract(t *testing.T) {
 		var mu sync.Mutex
 		prev := make(map[int][]int64)
 		hintCount := 0
-		if err := RunHint(rangeValues, cfg, func(w int, in []int64, innerOnly bool) error {
+		if err := RunHint(rangeValues, cfg, func(w int, in []int64, carry int) error {
 			mu.Lock()
 			defer mu.Unlock()
-			if innerOnly {
+			if carry == k-1 {
 				hintCount++
 				p, ok := prev[w]
 				if !ok {
@@ -194,14 +196,70 @@ func TestRunHintInnerOnlyContract(t *testing.T) {
 	}
 }
 
+// TestRunHintCarryDepthContract checks the full carry guarantee: every
+// reported carry c means the worker's previous tuple (within its current
+// chunk) agrees on coordinates [0, c). The axes of rangeValues hold
+// distinct values, so the odometer's carry is also exact — coordinate c
+// itself must have changed on every non-first tuple — and one
+// whole-domain chunk at one worker pins the carry distribution of the
+// 4×4×4 walk: 63 increments split 48/12/3 by stop digit, plus the fresh
+// first tuple at carry 0.
+func TestRunHintCarryDepthContract(t *testing.T) {
+	k := len(rangeValues)
+	for _, cfg := range []Config{
+		{Workers: 1, Chunk: 1024},
+		{Workers: 1, Chunk: 5},
+		{Workers: 4, Chunk: 3},
+		{Workers: 2, Chunk: 6, Offset: 9, Count: 41},
+	} {
+		var mu sync.Mutex
+		prev := make(map[int][]int64)
+		counts := make([]int, k)
+		if err := RunHint(rangeValues, cfg, func(w int, in []int64, carry int) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if carry < 0 || carry >= k {
+				t.Errorf("cfg %+v: carry %d out of range [0, %d)", cfg, carry, k)
+				return nil
+			}
+			counts[carry]++
+			p, ok := prev[w]
+			if ok {
+				for i := 0; i < carry; i++ {
+					if p[i] != in[i] {
+						t.Errorf("cfg %+v: carry %d but coordinate %d changed: %v -> %v", cfg, carry, i, p, in)
+					}
+				}
+				// A positive carry can only come from a mid-chunk odometer
+				// increment (chunk-first tuples report 0), and the axes hold
+				// distinct values, so the stop digit itself must have moved.
+				if carry > 0 && p[carry] == in[carry] {
+					t.Errorf("cfg %+v: carry %d but coordinate %d unchanged: %v -> %v", cfg, carry, carry, p, in)
+				}
+			} else if carry != 0 {
+				t.Errorf("cfg %+v: worker %d first tuple %v reported carry %d, want 0", cfg, w, in, carry)
+			}
+			prev[w] = append(prev[w][:0], in...)
+			return nil
+		}); err != nil {
+			t.Fatalf("cfg %+v: RunHint: %v", cfg, err)
+		}
+		if cfg.Workers == 1 && cfg.Chunk == 1024 && cfg.Offset == 0 {
+			if counts[0] != 4 || counts[1] != 12 || counts[2] != 48 {
+				t.Fatalf("whole-domain chunk carry distribution = %v, want [4 12 48]", counts)
+			}
+		}
+	}
+}
+
 // TestRunHintEmptyProduct: the zero-arity product is one empty tuple,
 // reported as a fresh row.
 func TestRunHintEmptyProduct(t *testing.T) {
 	calls := 0
-	if err := RunHint(nil, Config{}, func(w int, in []int64, innerOnly bool) error {
+	if err := RunHint(nil, Config{}, func(w int, in []int64, carry int) error {
 		calls++
-		if innerOnly {
-			t.Error("empty product reported innerOnly")
+		if carry != 0 {
+			t.Errorf("empty product reported carry %d, want 0", carry)
 		}
 		return nil
 	}); err != nil {

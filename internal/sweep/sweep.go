@@ -189,32 +189,36 @@ func Run(values [][]int64, cfg Config, fn func(worker int, input []int64) error)
 }
 
 // HintFunc is the callback of RunHint/RunHintContext: fn additionally
-// receives innerOnly, true exactly when the input differs from the
-// previous tuple this worker visited (within its current chunk) only in
-// the last — fastest-varying — coordinate. The first tuple of every chunk
-// and every tuple reached through an odometer carry report false.
+// receives carry, the number of leading coordinates guaranteed unchanged
+// since the previous tuple this worker visited within its current chunk.
+// The odometer walk knows it exactly: an increment that stops at digit i
+// (no carry past it) leaves coordinates [0, i) untouched, so the callback
+// learns carry == i for free. Consecutive same-row tuples report
+// carry == len(input)-1 (only the innermost coordinate moved); the first
+// tuple of every chunk reports carry == 0 — the previous tuple, if any,
+// belonged to another worker's chunk, so nothing is guaranteed.
 //
-// The hint is what the prefix-memoized compiled fast path keys on: a run
-// whose innermost input alone changed can resume from an execution
-// snapshot instead of starting at instruction zero
-// (flowchart.RunFromSnapshot), and the guarantee the callback needs — no
-// other coordinate moved since the last call on this worker — is exactly
-// what the odometer walk provides for free.
-type HintFunc func(worker int, input []int64, innerOnly bool) error
+// The hint is what the snapshot-stack compiled fast path keys on: a
+// carry of c says every per-axis execution snapshot at depth ≤ c is still
+// valid, so the run can resume from the deepest one instead of starting
+// at instruction zero (flowchart.SnapshotStack.Run) — the single-axis
+// special case being the PR-5 prefix memo, which only used
+// carry == len(input)-1.
+type HintFunc func(worker int, input []int64, carry int) error
 
 // RunHint is Run with the innermost-axis hint; see HintFunc.
 func RunHint(values [][]int64, cfg Config, fn HintFunc) error {
 	return RunHintContext(context.Background(), values, cfg, fn)
 }
 
-// RunHintContext is RunContext with the innermost-axis hint: the same
+// RunHintContext is RunContext with the carry-depth hint: the same
 // chunked odometer-ordered enumeration, the same cancellation and shard
-// semantics, with fn told when only the last coordinate changed. Both
-// entry points share one engine, so they visit exactly the same index set
-// for a given Config.
+// semantics, with fn told how many leading coordinates are unchanged
+// since its previous tuple. Both entry points share one engine, so they
+// visit exactly the same index set for a given Config.
 func RunHintContext(ctx context.Context, values [][]int64, cfg Config, fn HintFunc) error {
 	return runRange(ctx, values, cfg,
-		func(worker int) error { return fn(worker, nil, false) },
+		func(worker int) error { return fn(worker, nil, 0) },
 		func(start, end, worker int) error { return runChunkHint(values, start, end, worker, fn) })
 }
 
@@ -227,17 +231,19 @@ func RunHintContext(ctx context.Context, values [][]int64, cfg Config, fn HintFu
 // never cross an odometer carry or a chunk boundary, so the batch is
 // exactly the unit a columnar executor can run from one shared prefix.
 //
-// innerOnly is the batch lift of HintFunc's hint: true exactly when the
-// stride continues the same odometer row as the previous call on this
-// worker (within its current chunk) — no coordinate other than the last has
-// changed — so a prefix snapshot recorded on that earlier call still
-// applies. The first stride of every chunk and every stride reached through
-// a carry report false.
+// carry is the batch lift of HintFunc's hint: the number of leading
+// coordinates guaranteed unchanged since the previous stride on this
+// worker (within its current chunk). A stride continuing the same
+// odometer row reports carry == len(input)-1 — a prefix snapshot
+// recorded on that earlier stride still applies — and a stride reached
+// through an odometer carry at digit i reports carry == i, so per-axis
+// snapshots at depth ≤ i survive the row change. The first stride of
+// every chunk reports 0.
 //
 // Both slices are owned by the worker and reused between calls; fn may
 // overwrite input's last element (the natural way to reconstruct per-lane
 // tuples) but must copy anything it retains.
-type BatchFunc func(worker int, input []int64, last []int64, innerOnly bool) error
+type BatchFunc func(worker int, input []int64, last []int64, carry int) error
 
 // RunBatch is RunBatchContext with a background context.
 func RunBatch(values [][]int64, cfg Config, width int, fn BatchFunc) error {
@@ -257,7 +263,7 @@ func RunBatchContext(ctx context.Context, values [][]int64, cfg Config, width in
 		width = 1
 	}
 	return runRange(ctx, values, cfg,
-		func(worker int) error { return fn(worker, nil, nil, false) },
+		func(worker int) error { return fn(worker, nil, nil, 0) },
 		func(start, end, worker int) error { return runChunkBatch(values, start, end, worker, width, fn) })
 }
 
@@ -521,7 +527,7 @@ func runChunkBatch(values [][]int64, start, end, worker, width int, fn BatchFunc
 		rem /= n
 	}
 	inner := values[k-1]
-	innerOnly := false
+	carry := 0
 	for pos := start; pos < end; {
 		j := idx[k-1]
 		n := len(inner) - j
@@ -535,22 +541,23 @@ func runChunkBatch(values [][]int64, start, end, worker, width int, fn BatchFunc
 		// on the previous call; every other coordinate is only written by
 		// the carry below.
 		buf[k-1] = inner[j]
-		if err := fn(worker, buf, inner[j:j+n:j+n], innerOnly); err != nil {
+		if err := fn(worker, buf, inner[j:j+n:j+n], carry); err != nil {
 			return err
 		}
 		pos += n
 		j += n
 		if j < len(inner) {
 			idx[k-1] = j
-			innerOnly = true
+			carry = k - 1
 			continue
 		}
 		idx[k-1] = 0
-		innerOnly = false
+		carry = 0
 		for i := k - 2; i >= 0; i-- {
 			idx[i]++
 			if idx[i] < len(values[i]) {
 				buf[i] = values[i][idx[i]]
+				carry = i
 				break
 			}
 			idx[i] = 0
@@ -560,12 +567,12 @@ func runChunkBatch(values [][]int64, start, end, worker, width int, fn BatchFunc
 	return nil
 }
 
-// runChunkHint is runChunk with inner-axis tracking: the same mixed-radix
-// decode and odometer walk, additionally reporting whether the increment
-// that produced the current tuple stopped at the last digit — i.e. no
-// carry, only the innermost coordinate moved. The first tuple of the
-// chunk is always reported as a fresh row: the previous tuple (if any)
-// belonged to another worker's chunk.
+// runChunkHint is runChunk with carry tracking: the same mixed-radix
+// decode and odometer walk, additionally reporting the digit at which the
+// increment that produced the current tuple stopped — i.e. how many
+// leading coordinates the increment left untouched. The first tuple of
+// the chunk always reports carry 0: the previous tuple (if any) belonged
+// to another worker's chunk, so no coordinate is guaranteed.
 func runChunkHint(values [][]int64, start, end, worker int, fn HintFunc) error {
 	k := len(values)
 	idx := make([]int, k)
@@ -577,17 +584,17 @@ func runChunkHint(values [][]int64, start, end, worker int, fn HintFunc) error {
 		buf[i] = values[i][idx[i]]
 		rem /= n
 	}
-	innerOnly := false
+	carry := 0
 	for pos := start; pos < end; pos++ {
-		if err := fn(worker, buf, innerOnly); err != nil {
+		if err := fn(worker, buf, carry); err != nil {
 			return err
 		}
-		innerOnly = false
+		carry = 0
 		for i := k - 1; i >= 0; i-- {
 			idx[i]++
 			if idx[i] < len(values[i]) {
 				buf[i] = values[i][idx[i]]
-				innerOnly = i == k-1
+				carry = i
 				break
 			}
 			idx[i] = 0
